@@ -1,0 +1,51 @@
+// Ablation (DESIGN.md / paper §8): bootstrap-expert quality sweep. How does
+// the quality of the demonstration optimizer affect convergence? Experts:
+//   random      - random valid plans (the §6.3.3 degenerate case)
+//   greedy      - SQLite-style greedy planner
+//   dp          - PostgreSQL-style DP (the paper's choice)
+#include "bench/common.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  Env env = Env::Make(WorkloadKind::kJob, opt, /*build_rvec_joins=*/true);
+  const int episodes = opt.EffectiveEpisodes();
+
+  std::printf("# Ablation: bootstrap expert quality vs convergence (JOB)\n");
+  std::printf("%-8s %12s %12s %14s\n", "expert", "ep1", "best", "eps-to-native");
+
+  for (const char* expert_name : {"random", "greedy", "dp"}) {
+    NeoRun run = NeoRun::Make(env, engine::EngineKind::kPostgres,
+                              FeatVariant::kRVector, opt, 9100);
+    const double native_total =
+        run.OptimizerTotal(run.native.optimizer.get(), env.split.test);
+
+    optim::RandomOptimizer random(env.ds.schema, 31);
+    optim::GreedyOptimizer greedy(env.ds.schema, run.expert.cost_model.get());
+    optim::Optimizer* expert = nullptr;
+    if (!std::strcmp(expert_name, "random")) expert = &random;
+    if (!std::strcmp(expert_name, "greedy")) expert = &greedy;
+    if (!std::strcmp(expert_name, "dp")) expert = run.expert.optimizer.get();
+
+    run.neo->Bootstrap(env.split.train, expert);
+    double first = 0.0, best = 1e300;
+    int eps_to_native = -1;
+    for (int e = 0; e < episodes; ++e) {
+      run.neo->RunEpisode(env.split.train);
+      const double total = run.neo->EvaluateTotalLatency(env.split.test);
+      if (e == 0) first = total / native_total;
+      best = std::min(best, total / native_total);
+      if (eps_to_native < 0 && total <= native_total) eps_to_native = e + 1;
+    }
+    if (eps_to_native < 0) {
+      std::printf("%-8s %12.3f %12.3f %14s\n", expert_name, first, best, "never");
+    } else {
+      std::printf("%-8s %12.3f %12.3f %14d\n", expert_name, first, best,
+                  eps_to_native);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Ablation (DESIGN.md): value-network *search* vs greedy value use.
+// §4.2 argues that combining the value network with best-first search beats
+// using it greedily (the Q-learning / "hurry-up"-only equivalent). After
+// training one Neo on JOB, re-plan the test set three ways:
+//   best-first  - the full anytime search,
+//   greedy      - hurry-up from the initial state (no heap),
+//   random      - random valid plans (floor).
+#include "bench/common.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  Env env = Env::Make(WorkloadKind::kJob, opt, /*build_rvec_joins=*/true);
+
+  NeoRun run = NeoRun::Make(env, engine::EngineKind::kPostgres, FeatVariant::kRVector,
+                            opt, 9000);
+  const double native_total =
+      run.OptimizerTotal(run.native.optimizer.get(), env.split.test);
+  run.neo->Bootstrap(env.split.train, run.expert.optimizer.get());
+  for (int e = 0; e < opt.EffectiveEpisodes(); ++e) run.neo->RunEpisode(env.split.train);
+
+  double best_first = 0.0, greedy = 0.0, random_total = 0.0;
+  optim::RandomOptimizer random(env.ds.schema, 4242);
+  for (const query::Query* q : env.split.test) {
+    best_first += run.neo->PlanAndExecute(*q);
+    greedy += run.engine->ExecutePlan(*q, run.neo->search().GreedyPlan(*q).plan);
+    random_total += run.engine->ExecutePlan(*q, random.Optimize(*q));
+  }
+
+  std::printf("# Ablation: search strategy vs plan quality (JOB test set)\n");
+  std::printf("%-22s %12s\n", "strategy", "vs native");
+  std::printf("%-22s %12.3f\n", "best-first search", best_first / native_total);
+  std::printf("%-22s %12.3f\n", "greedy (hurry-up only)", greedy / native_total);
+  std::printf("%-22s %12.3f\n", "random plans", random_total / native_total);
+  return 0;
+}

@@ -1,0 +1,234 @@
+// Shared infrastructure for the figure/table reproduction benches.
+//
+// Each bench binary accepts:
+//   --quick        small datasets / few episodes (default; CI-friendly)
+//   --full         paper-scale episodes and wider networks (slow)
+//   --seeds N      number of random seeds (learning-curve bands)
+//   --episodes N   override episode count
+//   --scale X      dataset scale factor
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/neo.h"
+#include "src/datagen/corp_gen.h"
+#include "src/datagen/imdb_gen.h"
+#include "src/datagen/tpch_gen.h"
+#include "src/embedding/row_embedding.h"
+#include "src/query/corp_workload.h"
+#include "src/query/job_workload.h"
+#include "src/query/tpch_workload.h"
+
+namespace neo::bench {
+
+struct Options {
+  bool full = false;
+  int seeds = 1;
+  int episodes = -1;  ///< -1: per-mode default.
+  double scale = -1.0;
+  int train_cap = -1;  ///< Max training queries (-1: per-mode default).
+
+  int EffectiveEpisodes() const { return episodes > 0 ? episodes : (full ? 50 : 12); }
+  double EffectiveScale() const { return scale > 0 ? scale : (full ? 0.15 : 0.05); }
+  int EffectiveTrainCap() const { return train_cap > 0 ? train_cap : (full ? 1000 : 40); }
+
+  static Options Parse(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--full")) opt.full = true;
+      if (!std::strcmp(argv[i], "--quick")) opt.full = false;
+      if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc) opt.seeds = atoi(argv[++i]);
+      if (!std::strcmp(argv[i], "--episodes") && i + 1 < argc) {
+        opt.episodes = atoi(argv[++i]);
+      }
+      if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
+        opt.scale = atof(argv[++i]);
+      }
+      if (!std::strcmp(argv[i], "--train-cap") && i + 1 < argc) {
+        opt.train_cap = atoi(argv[++i]);
+      }
+    }
+    return opt;
+  }
+};
+
+enum class WorkloadKind { kJob, kTpch, kCorp };
+inline const char* WorkloadName(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::kJob: return "JOB";
+    case WorkloadKind::kTpch: return "TPC-H";
+    case WorkloadKind::kCorp: return "Corp";
+  }
+  return "?";
+}
+
+/// One dataset + workload + the shared read-only artifacts every run needs.
+struct Env {
+  datagen::Dataset ds;
+  query::Workload workload{"none"};
+  query::WorkloadSplit split;
+  std::unique_ptr<catalog::Statistics> stats;
+  std::unique_ptr<optim::HistogramEstimator> hist;
+  std::unique_ptr<embedding::RowEmbedding> rvec_joins;
+  std::unique_ptr<embedding::RowEmbedding> rvec_nojoins;
+
+  static Env Make(WorkloadKind kind, const Options& opt, bool build_rvec_joins = false,
+                  bool build_rvec_nojoins = false, uint64_t seed = 42) {
+    Env env;
+    datagen::GenOptions gen;
+    gen.scale = opt.EffectiveScale();
+    gen.seed = seed;
+    switch (kind) {
+      case WorkloadKind::kJob:
+        env.ds = datagen::GenerateImdb(gen);
+        env.workload = query::MakeJobWorkload(env.ds.schema, *env.ds.db);
+        env.split = env.workload.Split(0.8, seed + 1);
+        break;
+      case WorkloadKind::kTpch:
+        env.ds = datagen::GenerateTpch(gen);
+        env.workload = query::MakeTpchWorkload(env.ds.schema, *env.ds.db);
+        // Paper: no template shared between train and test.
+        env.split = query::SplitByTemplate(env.workload, 4, seed + 1);
+        break;
+      case WorkloadKind::kCorp:
+        env.ds = datagen::GenerateCorp(gen);
+        env.workload = query::MakeCorpWorkload(env.ds.schema, *env.ds.db);
+        env.split = env.workload.Split(0.8, seed + 1);
+        break;
+    }
+    // Cap training-set size for bench runtime; test set untouched.
+    const size_t cap = static_cast<size_t>(opt.EffectiveTrainCap());
+    if (env.split.train.size() > cap) env.split.train.resize(cap);
+
+    env.stats = std::make_unique<catalog::Statistics>(env.ds.schema, *env.ds.db);
+    env.hist = std::make_unique<optim::HistogramEstimator>(env.ds.schema, *env.stats,
+                                                           *env.ds.db);
+    if (build_rvec_joins) {
+      embedding::RowEmbeddingOptions ropt;
+      ropt.mode = embedding::RowEmbeddingMode::kJoins;
+      ropt.w2v.dim = opt.full ? 32 : 16;
+      ropt.w2v.epochs = opt.full ? 10 : 8;
+      env.rvec_joins =
+          std::make_unique<embedding::RowEmbedding>(env.ds.schema, *env.ds.db, ropt);
+    }
+    if (build_rvec_nojoins) {
+      embedding::RowEmbeddingOptions ropt;
+      ropt.mode = embedding::RowEmbeddingMode::kNoJoins;
+      ropt.w2v.dim = opt.full ? 32 : 16;
+      ropt.w2v.epochs = opt.full ? 10 : 8;
+      env.rvec_nojoins =
+          std::make_unique<embedding::RowEmbedding>(env.ds.schema, *env.ds.db, ropt);
+    }
+    return env;
+  }
+};
+
+/// Featurization variants of Fig. 12 / 13.
+enum class FeatVariant { kRVector, kRVectorNoJoins, kHistogram, k1Hot };
+inline const char* FeatVariantName(FeatVariant v) {
+  switch (v) {
+    case FeatVariant::kRVector: return "R-Vector";
+    case FeatVariant::kRVectorNoJoins: return "R-Vector(no joins)";
+    case FeatVariant::kHistogram: return "Histogram";
+    case FeatVariant::k1Hot: return "1-Hot";
+  }
+  return "?";
+}
+
+inline core::NeoConfig DefaultNeoConfig(const Options& opt, uint64_t seed) {
+  core::NeoConfig cfg;
+  if (opt.full) {
+    cfg.net.query_fc = {128, 64, 32};
+    cfg.net.tree_channels = {64, 32, 16};
+    cfg.net.head_fc = {32, 16};
+    cfg.search.max_expansions = 120;
+    cfg.epochs_per_episode = 4;
+  } else {
+    cfg.net.query_fc = {64, 32};
+    cfg.net.tree_channels = {32, 16};
+    cfg.net.head_fc = {16};
+    cfg.search.max_expansions = 60;
+    cfg.epochs_per_episode = 4;
+  }
+  cfg.net.adam.lr = 1e-3f;
+  cfg.batch_size = 32;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// One full Neo training setup against one engine.
+struct NeoRun {
+  std::unique_ptr<engine::ExecutionEngine> engine;
+  optim::NativeOptimizer native;   ///< The engine's own optimizer (baseline).
+  optim::NativeOptimizer expert;   ///< PostgreSQL-style expert (bootstrap).
+  std::unique_ptr<featurize::Featurizer> featurizer;
+  std::unique_ptr<core::Neo> neo;
+
+  static NeoRun Make(Env& env, engine::EngineKind kind, FeatVariant variant,
+                     const Options& opt, uint64_t seed,
+                     core::CostFunction cost_fn = core::CostFunction::kLatency,
+                     const std::function<void(core::NeoConfig&)>& tweak = {}) {
+    NeoRun run;
+    run.engine = std::make_unique<engine::ExecutionEngine>(env.ds.schema, *env.ds.db,
+                                                           kind);
+    run.native = optim::MakeNativeOptimizer(kind, env.ds.schema, *env.ds.db);
+    run.expert = optim::MakeNativeOptimizer(engine::EngineKind::kPostgres,
+                                            env.ds.schema, *env.ds.db);
+    featurize::FeaturizerConfig fcfg;
+    const embedding::RowEmbedding* rvec = nullptr;
+    switch (variant) {
+      case FeatVariant::kRVector:
+        fcfg.encoding = featurize::PredicateEncoding::kRVector;
+        rvec = env.rvec_joins.get();
+        break;
+      case FeatVariant::kRVectorNoJoins:
+        fcfg.encoding = featurize::PredicateEncoding::kRVector;
+        rvec = env.rvec_nojoins.get();
+        break;
+      case FeatVariant::kHistogram:
+        fcfg.encoding = featurize::PredicateEncoding::kHistogram;
+        break;
+      case FeatVariant::k1Hot:
+        fcfg.encoding = featurize::PredicateEncoding::k1Hot;
+        break;
+    }
+    run.featurizer = std::make_unique<featurize::Featurizer>(
+        env.ds.schema, *env.ds.db, fcfg, env.hist.get(), rvec);
+    core::NeoConfig cfg = DefaultNeoConfig(opt, seed);
+    cfg.cost_function = cost_fn;
+    if (tweak) tweak(cfg);
+    run.neo = std::make_unique<core::Neo>(run.featurizer.get(), run.engine.get(), cfg);
+    return run;
+  }
+
+  /// Total latency of a plan set produced by an optimizer, on this engine.
+  double OptimizerTotal(optim::Optimizer* optimizer,
+                        const std::vector<const query::Query*>& queries) {
+    double total = 0.0;
+    for (const auto* q : queries) {
+      total += engine->ExecutePlan(*q, optimizer->Optimize(*q));
+    }
+    return total;
+  }
+};
+
+/// Simple aggregate helpers.
+inline double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+inline double Min(const std::vector<double>& v) {
+  return *std::min_element(v.begin(), v.end());
+}
+inline double Max(const std::vector<double>& v) {
+  return *std::max_element(v.begin(), v.end());
+}
+
+}  // namespace neo::bench

@@ -1,0 +1,59 @@
+// Figure 9: relative performance of Neo's plans vs each engine's native
+// optimizer, across 4 engines x 3 workloads, R-Vector featurization.
+// Lower is better; < 1.0 means Neo beats the native optimizer on its own
+// engine. Also prints PostgreSQL-expert-plans-on-engine for context (the
+// bootstrap source, as in Fig. 10's dashed lines).
+#include "bench/common.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  const engine::EngineKind kEngines[] = {
+      engine::EngineKind::kPostgres, engine::EngineKind::kSqlite,
+      engine::EngineKind::kMssql, engine::EngineKind::kOracle};
+  const WorkloadKind kWorkloads[] = {WorkloadKind::kJob, WorkloadKind::kTpch,
+                                     WorkloadKind::kCorp};
+
+  std::printf("# Figure 9: relative test-set latency of Neo vs native optimizer\n");
+  std::printf("# (median over %d seed(s), %d episodes, R-Vector encoding)\n",
+              opt.seeds, opt.EffectiveEpisodes());
+  std::printf("%-10s %-8s %12s %14s %14s\n", "workload", "engine", "neo/native",
+              "pg-plans/nat", "neo_total_ms");
+
+  for (WorkloadKind wk : kWorkloads) {
+    Env env = Env::Make(wk, opt, /*build_rvec_joins=*/true);
+    for (engine::EngineKind ek : kEngines) {
+      std::vector<double> ratios;
+      double last_total = 0, pg_ratio = 0;
+      for (int seed = 0; seed < opt.seeds; ++seed) {
+        NeoRun run = NeoRun::Make(env, ek, FeatVariant::kRVector, opt,
+                                  1000 + static_cast<uint64_t>(seed) * 77);
+        const double native_total =
+            run.OptimizerTotal(run.native.optimizer.get(), env.split.test);
+        const double pg_total =
+            run.OptimizerTotal(run.expert.optimizer.get(), env.split.test);
+        run.neo->Bootstrap(env.split.train, run.expert.optimizer.get());
+        // Evaluate the final policy as the median of the last three
+        // episodes' test evaluations (the paper reports the median over 50
+        // full runs; per-episode policies oscillate, §6.3.1).
+        std::vector<double> tail;
+        for (int e = 0; e < opt.EffectiveEpisodes(); ++e) {
+          run.neo->RunEpisode(env.split.train);
+          if (e >= opt.EffectiveEpisodes() - 3) {
+            tail.push_back(run.neo->EvaluateTotalLatency(env.split.test));
+          }
+        }
+        const double neo_total = Median(tail);
+        ratios.push_back(neo_total / native_total);
+        pg_ratio = pg_total / native_total;
+        last_total = neo_total;
+      }
+      std::printf("%-10s %-8s %12.3f %14.3f %14.1f\n", WorkloadName(wk),
+                  engine::EngineKindName(ek), Median(ratios), pg_ratio, last_total);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 10: learning curves. Per (workload, engine): test-set latency
+// normalized to the native optimizer after every training episode, with
+// min/median/max bands over seeds; the PostgreSQL-plans-on-engine reference
+// line of the paper's plots is printed per combination.
+//
+// Output: CSV rows  workload,engine,episode,min,median,max
+#include "bench/common.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+int main(int argc, char** argv) {
+  Options opt = Options::Parse(argc, argv);
+  if (opt.seeds < 1) opt.seeds = 1;
+  const engine::EngineKind kEngines[] = {
+      engine::EngineKind::kPostgres, engine::EngineKind::kSqlite,
+      engine::EngineKind::kMssql, engine::EngineKind::kOracle};
+  const WorkloadKind kWorkloads[] = {WorkloadKind::kJob, WorkloadKind::kTpch,
+                                     WorkloadKind::kCorp};
+  const int episodes = opt.EffectiveEpisodes();
+
+  std::printf("# Figure 10: learning curves (normalized test latency, %d seeds)\n",
+              opt.seeds);
+  std::printf("workload,engine,episode,min,median,max\n");
+
+  for (WorkloadKind wk : kWorkloads) {
+    Env env = Env::Make(wk, opt, /*build_rvec_joins=*/true);
+    for (engine::EngineKind ek : kEngines) {
+      // curve[seed][episode] = normalized latency.
+      std::vector<std::vector<double>> curves;
+      double pg_line = 0.0;
+      for (int seed = 0; seed < opt.seeds; ++seed) {
+        NeoRun run = NeoRun::Make(env, ek, FeatVariant::kRVector, opt,
+                                  2000 + static_cast<uint64_t>(seed) * 131);
+        const double native_total =
+            run.OptimizerTotal(run.native.optimizer.get(), env.split.test);
+        pg_line = run.OptimizerTotal(run.expert.optimizer.get(), env.split.test) /
+                  native_total;
+        run.neo->Bootstrap(env.split.train, run.expert.optimizer.get());
+        std::vector<double> curve;
+        for (int e = 0; e < episodes; ++e) {
+          run.neo->RunEpisode(env.split.train);
+          curve.push_back(run.neo->EvaluateTotalLatency(env.split.test) /
+                          native_total);
+        }
+        curves.push_back(std::move(curve));
+      }
+      for (int e = 0; e < episodes; ++e) {
+        std::vector<double> vals;
+        for (const auto& c : curves) vals.push_back(c[static_cast<size_t>(e)]);
+        std::printf("%s,%s,%d,%.4f,%.4f,%.4f\n", WorkloadName(wk),
+                    engine::EngineKindName(ek), e + 1, Min(vals), Median(vals),
+                    Max(vals));
+      }
+      std::printf("# %s/%s: PostgreSQL-plans-on-engine reference = %.4f\n",
+                  WorkloadName(wk), engine::EngineKindName(ek), pg_line);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

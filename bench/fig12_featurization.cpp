@@ -1,0 +1,43 @@
+// Figure 12: featurization ablation on JOB across the four engines.
+// Relative test-set performance (Neo / native optimizer) for R-Vector,
+// R-Vector(no joins), Histogram, and 1-Hot. Paper shape: 1-Hot worst,
+// Histogram middle, R-Vector best with no-joins slightly behind.
+#include "bench/common.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  const engine::EngineKind kEngines[] = {
+      engine::EngineKind::kPostgres, engine::EngineKind::kSqlite,
+      engine::EngineKind::kMssql, engine::EngineKind::kOracle};
+  const FeatVariant kVariants[] = {FeatVariant::kRVector, FeatVariant::kRVectorNoJoins,
+                                   FeatVariant::kHistogram, FeatVariant::k1Hot};
+
+  std::printf("# Figure 12: Neo/native relative latency on JOB per featurization\n");
+  std::printf("%-8s %-20s %12s\n", "engine", "featurization", "neo/native");
+
+  Env env = Env::Make(WorkloadKind::kJob, opt, /*build_rvec_joins=*/true,
+                      /*build_rvec_nojoins=*/true);
+  for (engine::EngineKind ek : kEngines) {
+    for (FeatVariant v : kVariants) {
+      std::vector<double> ratios;
+      for (int seed = 0; seed < opt.seeds; ++seed) {
+        NeoRun run = NeoRun::Make(env, ek, v, opt,
+                                  4000 + static_cast<uint64_t>(seed) * 59);
+        const double native_total =
+            run.OptimizerTotal(run.native.optimizer.get(), env.split.test);
+        run.neo->Bootstrap(env.split.train, run.expert.optimizer.get());
+        for (int e = 0; e < opt.EffectiveEpisodes(); ++e) {
+          run.neo->RunEpisode(env.split.train);
+        }
+        ratios.push_back(run.neo->EvaluateTotalLatency(env.split.test) / native_total);
+      }
+      std::printf("%-8s %-20s %12.3f\n", engine::EngineKindName(ek),
+                  FeatVariantName(v), Median(ratios));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 13: generalization to entirely new queries (Ext-JOB).
+// After training on JOB, evaluate on the 24 Ext-JOB queries (full bar),
+// then run 5 additional learning episodes that include the Ext-JOB queries
+// and re-evaluate (solid bar). Printed per featurization.
+#include "bench/common.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  const engine::EngineKind kEngines[] = {engine::EngineKind::kPostgres,
+                                         engine::EngineKind::kMssql};
+  const FeatVariant kVariants[] = {FeatVariant::kRVector, FeatVariant::kRVectorNoJoins,
+                                   FeatVariant::kHistogram, FeatVariant::k1Hot};
+
+  std::printf("# Figure 13: Neo on Ext-JOB (never-seen queries), relative to native\n");
+  std::printf("%-8s %-20s %14s %14s\n", "engine", "featurization", "before",
+              "after-5-eps");
+
+  Env env = Env::Make(WorkloadKind::kJob, opt, /*build_rvec_joins=*/true,
+                      /*build_rvec_nojoins=*/true);
+  const query::Workload ext =
+      query::MakeExtJobWorkload(env.ds.schema, *env.ds.db);
+  const std::vector<const query::Query*> ext_queries = ext.All();
+
+  for (engine::EngineKind ek : kEngines) {
+    for (FeatVariant v : kVariants) {
+      NeoRun run = NeoRun::Make(env, ek, v, opt, 5000);
+      const double native_ext =
+          run.OptimizerTotal(run.native.optimizer.get(), ext_queries);
+      run.neo->Bootstrap(env.split.train, run.expert.optimizer.get());
+      for (int e = 0; e < opt.EffectiveEpisodes(); ++e) {
+        run.neo->RunEpisode(env.split.train);
+      }
+      const double before = run.neo->EvaluateTotalLatency(ext_queries) / native_ext;
+
+      // Five additional episodes that include the new queries (§6.4.2
+      // "Learning new queries"). Baselines for the relative cost are not
+      // needed (latency cost function).
+      std::vector<const query::Query*> mixed = env.split.train;
+      mixed.insert(mixed.end(), ext_queries.begin(), ext_queries.end());
+      for (int e = 0; e < 5; ++e) run.neo->RunEpisode(mixed);
+      const double after = run.neo->EvaluateTotalLatency(ext_queries) / native_ext;
+
+      std::printf("%-8s %-20s %14.3f %14.3f\n", engine::EngineKindName(ek),
+                  FeatVariantName(v), before, after);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

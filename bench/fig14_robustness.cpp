@@ -1,0 +1,103 @@
+// Figure 14: robustness to cardinality estimation errors.
+//
+// Two Neo models are trained with an extra per-node cardinality feature:
+// one fed PostgreSQL-style estimates, one fed true cardinalities. At
+// inference, the feature is perturbed by 0 / 2 / 5 orders of magnitude and
+// the distribution of value-network outputs over JOB plans is printed,
+// bucketed by join count (<=3 vs >3).
+//
+// Paper shape: the estimate-fed model varies with error only for <=3 joins
+// (it learned to distrust estimates on big joins); the true-cardinality
+// model varies in both buckets.
+#include <cmath>
+
+#include "bench/common.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+namespace {
+
+struct Histo {
+  static constexpr int kBuckets = 9;
+  int counts[kBuckets] = {0};
+  int total = 0;
+  void Add(double v) {
+    // Buckets over normalized output in [-2, 2.5].
+    int b = static_cast<int>((v + 2.0) / 0.5);
+    b = std::max(0, std::min(kBuckets - 1, b));
+    counts[b]++;
+    total++;
+  }
+  double StdDev() const {
+    // Std of bucket centers (summary statistic for the spread).
+    if (total == 0) return 0;
+    double mean = 0;
+    for (int b = 0; b < kBuckets; ++b) mean += (-1.75 + 0.5 * b) * counts[b];
+    mean /= total;
+    double var = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      const double c = -1.75 + 0.5 * b;
+      var += counts[b] * (c - mean) * (c - mean);
+    }
+    return std::sqrt(var / total);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  Env env = Env::Make(WorkloadKind::kJob, opt);
+
+  std::printf(
+      "# Figure 14: value-network output distribution vs injected card error\n");
+  std::printf("%-12s %-8s %-6s %8s   histogram(output in [-2,2.5], 9 buckets)\n",
+              "card-source", "joins", "error", "stddev");
+
+  for (featurize::CardChannel channel :
+       {featurize::CardChannel::kEstimated, featurize::CardChannel::kTrue}) {
+    // Train one model with this cardinality channel (no injected error).
+    engine::ExecutionEngine engine(env.ds.schema, *env.ds.db,
+                                   engine::EngineKind::kPostgres);
+    auto expert = optim::MakeNativeOptimizer(engine::EngineKind::kPostgres,
+                                             env.ds.schema, *env.ds.db);
+    featurize::FeaturizerConfig fcfg;
+    fcfg.encoding = featurize::PredicateEncoding::kHistogram;
+    fcfg.card_channel = channel;
+    featurize::Featurizer featurizer(env.ds.schema, *env.ds.db, fcfg, env.hist.get(),
+                                     nullptr, &engine.oracle());
+    core::NeoConfig cfg = DefaultNeoConfig(opt, 6000);
+    core::Neo neo(&featurizer, &engine, cfg);
+    neo.Bootstrap(env.split.train, expert.optimizer.get());
+    const int episodes = std::max(4, opt.EffectiveEpisodes() / 2);
+    for (int e = 0; e < episodes; ++e) neo.RunEpisode(env.split.train);
+
+    for (double error : {0.0, 2.0, 5.0}) {
+      // Error-injecting featurizer sharing the trained net's input layout.
+      featurize::FeaturizerConfig ecfg = fcfg;
+      ecfg.card_error_orders = error;
+      featurize::Featurizer err_feat(env.ds.schema, *env.ds.db, ecfg, env.hist.get(),
+                                     nullptr, &engine.oracle());
+      Histo small_joins, big_joins;
+      for (const query::Query* q : env.workload.All()) {
+        const plan::PartialPlan plan = expert.optimizer->Optimize(*q);
+        const nn::PlanSample sample = err_feat.Encode(*q, plan);
+        const float out = neo.net().Predict(sample);
+        (q->num_joins() <= 3 ? small_joins : big_joins).Add(out);
+      }
+      for (const auto& [name, histo] :
+           {std::pair<const char*, const Histo&>{"<=3", small_joins},
+            {">3", big_joins}}) {
+        std::printf("%-12s %-8s %-6.0f %8.3f   [",
+                    channel == featurize::CardChannel::kEstimated ? "postgres-est"
+                                                                  : "true-card",
+                    name, error, histo.StdDev());
+        for (int b = 0; b < Histo::kBuckets; ++b) std::printf("%3d", histo.counts[b]);
+        std::printf(" ]\n");
+      }
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 15: per-query absolute improvement vs PostgreSQL plans under two
+// optimization goals: total workload cost vs relative (per-query) cost
+// (§6.4.4). Prints per-query deltas (negative = Neo faster), the number of
+// regressed queries, and the total workload saving for each cost function.
+#include <algorithm>
+
+#include "bench/common.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  Env env = Env::Make(WorkloadKind::kJob, opt, /*build_rvec_joins=*/true);
+  const std::vector<const query::Query*> all = env.workload.All();
+
+  std::printf("# Figure 15: per-query delta vs PostgreSQL plans (negative = faster)\n");
+
+  struct Row {
+    std::string name;
+    double delta_ms;
+  };
+
+  for (core::CostFunction fn :
+       {core::CostFunction::kLatency, core::CostFunction::kRelative}) {
+    NeoRun run = NeoRun::Make(env, engine::EngineKind::kPostgres,
+                              FeatVariant::kRVector, opt, 7000, fn);
+    run.neo->Bootstrap(env.split.train, run.expert.optimizer.get());
+    for (int e = 0; e < opt.EffectiveEpisodes(); ++e) {
+      run.neo->RunEpisode(env.split.train);
+    }
+
+    std::vector<Row> rows;
+    double total_delta = 0.0;
+    int regressions = 0;
+    double worst_regression = 0.0;
+    for (const query::Query* q : all) {
+      const double pg =
+          run.engine->ExecutePlan(*q, run.expert.optimizer->Optimize(*q));
+      const double neo_ms = run.neo->PlanAndExecute(*q);
+      const double delta = neo_ms - pg;
+      rows.push_back({q->name, delta});
+      total_delta += delta;
+      if (delta > 1.0) ++regressions;  // > 1ms counts as a regression.
+      worst_regression = std::max(worst_regression, delta);
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.delta_ms < b.delta_ms; });
+
+    std::printf("\n## cost function = %s\n", core::CostFunctionName(fn));
+    std::printf("total workload delta: %.1f ms over %zu queries\n", total_delta,
+                rows.size());
+    std::printf("regressed queries (>1ms slower): %d; worst regression: %.1f ms\n",
+                regressions, worst_regression);
+    std::printf("best 5 improvements / worst 5 regressions:\n");
+    for (size_t i = 0; i < std::min<size_t>(5, rows.size()); ++i) {
+      std::printf("  %-12s %10.1f ms\n", rows[i].name.c_str(), rows[i].delta_ms);
+    }
+    for (size_t i = rows.size() >= 5 ? rows.size() - 5 : 0; i < rows.size(); ++i) {
+      std::printf("  %-12s %10.1f ms\n", rows[i].name.c_str(), rows[i].delta_ms);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 16: plan quality vs search cutoff, grouped by join count.
+// After training on JOB, each query is re-planned with increasing expansion
+// budgets; reported value is latency relative to the best observed latency
+// for that query across all budgets (1.0 = found the best plan). Paper
+// shape: small queries saturate at small budgets; queries with more joins
+// need a larger budget; beyond saturation, more time does not help.
+#include <map>
+
+#include "bench/common.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  Env env = Env::Make(WorkloadKind::kJob, opt, /*build_rvec_joins=*/true);
+
+  NeoRun run = NeoRun::Make(env, engine::EngineKind::kPostgres, FeatVariant::kRVector,
+                            opt, 8000);
+  run.neo->Bootstrap(env.split.train, run.expert.optimizer.get());
+  for (int e = 0; e < opt.EffectiveEpisodes(); ++e) run.neo->RunEpisode(env.split.train);
+
+  const std::vector<int> budgets = {5, 10, 20, 40, 80, 160};
+
+  // latency[#joins][budget] accumulated over queries.
+  std::map<int, std::map<int, double>> latency;
+  std::map<int, double> best_total;
+  std::map<int, int> count;
+
+  const auto all_queries = env.workload.All();
+  for (size_t qi = 0; qi < all_queries.size(); qi += 2) {
+    const query::Query* q = all_queries[qi];
+    const int joins = static_cast<int>(q->num_joins());
+    std::map<int, double> by_budget;
+    double best = 1e300;
+    for (int budget : budgets) {
+      core::SearchOptions sopt = run.neo->config().search;
+      sopt.max_expansions = budget;
+      const core::SearchResult r = run.neo->search().FindPlan(*q, sopt);
+      const double ms = run.engine->ExecutePlan(*q, r.plan);
+      by_budget[budget] = ms;
+      best = std::min(best, ms);
+    }
+    for (int budget : budgets) latency[joins][budget] += by_budget[budget];
+    best_total[joins] += best;
+    count[joins]++;
+  }
+
+  std::printf("# Figure 16: latency relative to best-observed vs search budget\n");
+  std::printf("%-6s %-3s |", "joins", "n");
+  for (int b : budgets) std::printf(" %7d", b);
+  std::printf("  (expansions)\n");
+  for (const auto& [joins, by_budget] : latency) {
+    std::printf("%-6d %-3d |", joins, count[joins]);
+    for (int b : budgets) {
+      std::printf(" %7.3f", by_budget.at(b) / best_total[joins]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

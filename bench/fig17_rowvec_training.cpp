@@ -1,0 +1,37 @@
+// Figure 17: row-vector training time per dataset, "joins" (partially
+// denormalized) vs "no joins" (normalized) variants. The paper reports
+// minutes on real datasets (4GB-2TB); here the absolute numbers are
+// laptop-scale, but the shape must hold: joins >> no-joins, and time grows
+// with dataset size.
+#include "bench/common.h"
+#include "src/util/stopwatch.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  std::printf("# Figure 17: row-vector training time (wall seconds)\n");
+  std::printf("%-8s %-10s %10s %12s %10s %12s\n", "dataset", "variant", "seconds",
+              "sentences", "vocab", "total_rows");
+
+  for (WorkloadKind wk :
+       {WorkloadKind::kJob, WorkloadKind::kTpch, WorkloadKind::kCorp}) {
+    Env env = Env::Make(wk, opt);
+    for (auto mode :
+         {embedding::RowEmbeddingMode::kJoins, embedding::RowEmbeddingMode::kNoJoins}) {
+      embedding::RowEmbeddingOptions ropt;
+      ropt.mode = mode;
+      ropt.w2v.dim = opt.full ? 32 : 16;
+      ropt.w2v.epochs = opt.full ? 10 : 8;
+      util::Stopwatch watch;
+      embedding::RowEmbedding rvec(env.ds.schema, *env.ds.db, ropt);
+      std::printf("%-8s %-10s %10.2f %12zu %10zu %12zu\n", WorkloadName(wk),
+                  mode == embedding::RowEmbeddingMode::kJoins ? "joins" : "no-joins",
+                  watch.ElapsedSeconds(), rvec.num_sentences(), rvec.vocab_size(),
+                  env.ds.db->total_rows());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Micro-benchmarks (google-benchmark): neural network primitives.
+#include <benchmark/benchmark.h>
+
+#include "src/nn/value_network.h"
+
+namespace {
+
+using namespace neo::nn;
+
+Matrix RandomMatrix(int rows, int cols, neo::util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.Size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.NextUniform(-1, 1));
+  }
+  return m;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  neo::util::Rng rng(1);
+  const Matrix a = RandomMatrix(n, n, rng);
+  const Matrix b = RandomMatrix(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TreeConvForward(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  neo::util::Rng rng(2);
+  TreeConv conv(53, 32, rng);
+  TreeStructure tree;
+  tree.left.assign(static_cast<size_t>(nodes), -1);
+  tree.right.assign(static_cast<size_t>(nodes), -1);
+  for (int i = 0; i + 2 < nodes; i += 2) {
+    tree.left[static_cast<size_t>(i)] = i + 1;
+    tree.right[static_cast<size_t>(i)] = i + 2;
+  }
+  const Matrix x = RandomMatrix(nodes, 53, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(tree, x));
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_TreeConvForward)->Arg(9)->Arg(17)->Arg(33);
+
+void BM_ValueNetPredict(benchmark::State& state) {
+  ValueNetConfig cfg;
+  cfg.query_dim = 66;
+  cfg.plan_dim = 21;
+  cfg.query_fc = {64, 32};
+  cfg.tree_channels = {32, 16};
+  cfg.head_fc = {16};
+  ValueNetwork net(cfg);
+  neo::util::Rng rng(3);
+  PlanSample s;
+  s.query_vec = RandomMatrix(1, 66, rng);
+  const int nodes = 17;
+  s.node_features = RandomMatrix(nodes, 21, rng);
+  s.tree.left.assign(nodes, -1);
+  s.tree.right.assign(nodes, -1);
+  for (int i = 0; i + 2 < nodes; i += 2) {
+    s.tree.left[static_cast<size_t>(i)] = i + 1;
+    s.tree.right[static_cast<size_t>(i)] = i + 2;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Predict(s));
+  }
+}
+BENCHMARK(BM_ValueNetPredict);
+
+void BM_ValueNetPredictWithCachedEmbedding(benchmark::State& state) {
+  ValueNetConfig cfg;
+  cfg.query_dim = 66;
+  cfg.plan_dim = 21;
+  cfg.query_fc = {64, 32};
+  cfg.tree_channels = {32, 16};
+  cfg.head_fc = {16};
+  ValueNetwork net(cfg);
+  neo::util::Rng rng(4);
+  PlanSample s;
+  s.query_vec = RandomMatrix(1, 66, rng);
+  const int nodes = 17;
+  s.node_features = RandomMatrix(nodes, 21, rng);
+  s.tree.left.assign(nodes, -1);
+  s.tree.right.assign(nodes, -1);
+  const Matrix embed = net.EmbedQuery(s.query_vec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net.PredictWithEmbedding(embed, s.tree, s.node_features));
+  }
+}
+BENCHMARK(BM_ValueNetPredictWithCachedEmbedding);
+
+void BM_ValueNetTrainBatch(benchmark::State& state) {
+  ValueNetConfig cfg;
+  cfg.query_dim = 66;
+  cfg.plan_dim = 21;
+  cfg.query_fc = {64, 32};
+  cfg.tree_channels = {32, 16};
+  cfg.head_fc = {16};
+  ValueNetwork net(cfg);
+  neo::util::Rng rng(5);
+  std::vector<PlanSample> samples(32);
+  std::vector<const PlanSample*> ptrs;
+  std::vector<float> targets;
+  for (auto& s : samples) {
+    s.query_vec = RandomMatrix(1, 66, rng);
+    s.node_features = RandomMatrix(17, 21, rng);
+    s.tree.left.assign(17, -1);
+    s.tree.right.assign(17, -1);
+    ptrs.push_back(&s);
+    targets.push_back(static_cast<float>(rng.NextUniform(-1, 1)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.TrainBatch(ptrs, targets));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_ValueNetTrainBatch);
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Micro-benchmarks: plan search (children enumeration, full best-first
+// search, featurization throughput).
+#include <benchmark/benchmark.h>
+
+#include "src/core/neo.h"
+#include "src/datagen/imdb_gen.h"
+#include "src/query/job_workload.h"
+
+namespace {
+
+using namespace neo;
+
+struct Fixture {
+  datagen::Dataset ds;
+  query::Workload wl{"none"};
+  std::unique_ptr<featurize::Featurizer> feat;
+  std::unique_ptr<engine::ExecutionEngine> eng;
+  std::unique_ptr<core::Neo> neo;
+
+  Fixture() {
+    datagen::GenOptions opt;
+    opt.scale = 0.05;
+    ds = datagen::GenerateImdb(opt);
+    wl = query::MakeJobWorkload(ds.schema, *ds.db);
+    feat = std::make_unique<featurize::Featurizer>(ds.schema, *ds.db,
+                                                   featurize::FeaturizerConfig{});
+    eng = std::make_unique<engine::ExecutionEngine>(ds.schema, *ds.db,
+                                                    engine::EngineKind::kPostgres);
+    core::NeoConfig cfg;
+    cfg.net.query_fc = {64, 32};
+    cfg.net.tree_channels = {32, 16};
+    cfg.net.head_fc = {16};
+    neo = std::make_unique<core::Neo>(feat.get(), eng.get(), cfg);
+  }
+  static Fixture& Get() {
+    static Fixture f;
+    return f;
+  }
+};
+
+void BM_ChildrenEnumeration(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  const query::Query& q = f.wl.query(60);
+  const plan::PartialPlan initial = plan::PartialPlan::Initial(q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.neo->search().Children(q, initial));
+  }
+}
+BENCHMARK(BM_ChildrenEnumeration);
+
+void BM_EncodePlan(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  const query::Query& q = f.wl.query(60);
+  const plan::PartialPlan initial = plan::PartialPlan::Initial(q);
+  nn::TreeStructure tree;
+  nn::Matrix feats;
+  for (auto _ : state) {
+    f.feat->EncodePlan(q, initial, &tree, &feats);
+    benchmark::DoNotOptimize(feats);
+  }
+}
+BENCHMARK(BM_EncodePlan);
+
+void BM_EncodeQuery(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  const query::Query& q = f.wl.query(60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.feat->EncodeQuery(q));
+  }
+}
+BENCHMARK(BM_EncodeQuery);
+
+void BM_BestFirstSearch(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  const query::Query& q = f.wl.query(static_cast<size_t>(state.range(0)));
+  core::SearchOptions opt;
+  opt.max_expansions = 40;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.neo->search().FindPlan(q, opt));
+  }
+  state.SetLabel(std::to_string(q.num_relations()) + " relations");
+}
+BENCHMARK(BM_BestFirstSearch)->Arg(0)->Arg(60);
+
+void BM_GreedyPlan(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  const query::Query& q = f.wl.query(60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.neo->search().GreedyPlan(q));
+  }
+}
+BENCHMARK(BM_GreedyPlan);
+
+}  // namespace

@@ -1,0 +1,54 @@
+// Table 2: embedding cosine similarity vs true pair cardinality for
+// (keyword, genre) pairs — the paper's 'love'/'romance' example (Fig. 8).
+// Expected shape: aligned pairs (love-romance, fight-action) have both the
+// highest similarity and the highest true cardinality of their row.
+#include "bench/common.h"
+#include "src/query/builder.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::Parse(argc, argv);
+  Env env = Env::Make(WorkloadKind::kJob, opt, /*build_rvec_joins=*/true);
+  engine::CardinalityOracle oracle(env.ds.schema, *env.ds.db);
+
+  const int kw_gid = env.ds.schema.GlobalColumnId("keyword", "keyword");
+  const int info_gid = env.ds.schema.GlobalColumnId("movie_info", "info");
+  const auto& kw_col = env.ds.db->table("keyword").ColumnByName("keyword");
+  const auto& info_col = env.ds.db->table("movie_info").ColumnByName("info");
+
+  std::printf("# Table 2: similarity vs cardinality (Fig. 8 query family)\n");
+  std::printf("%-10s %-10s %12s %12s\n", "keyword", "genre", "similarity",
+              "cardinality");
+
+  int next_id = 90000;
+  for (const char* stem : {"love", "fight"}) {
+    for (const char* genre : {"romance", "action", "horror"}) {
+      // Mean cosine between all '<stem>-*' keyword values and the genre.
+      const auto matched = kw_col.CodesContaining(stem);
+      const int64_t genre_code = info_col.LookupString(genre);
+      double sim = 0.0;
+      for (int64_t code : matched) {
+        sim += env.rvec_joins->Cosine(kw_gid, code, info_gid, genre_code);
+      }
+      if (!matched.empty()) sim /= static_cast<double>(matched.size());
+
+      // True cardinality of the Fig. 8 query with this (stem, genre) pair.
+      query::QueryBuilder b(env.ds.schema, *env.ds.db, "table2");
+      b.JoinFk("movie_info", "title")
+          .JoinFk("movie_info", "info_type")
+          .JoinFk("movie_keyword", "title")
+          .JoinFk("movie_keyword", "keyword")
+          .PredStr("info_type", "info", query::PredOp::kEq, "genres")
+          .PredStr("movie_info", "info", query::PredOp::kEq, genre)
+          .PredStr("keyword", "keyword", query::PredOp::kContains, stem);
+      query::Query q = b.Build();
+      q.id = next_id++;
+      const double card = oracle.Cardinality(q, (1ULL << q.num_relations()) - 1);
+
+      std::printf("%-10s %-10s %12.3f %12.0f\n", stem, genre, sim, card);
+    }
+  }
+  return 0;
+}

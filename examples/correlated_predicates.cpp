@@ -1,0 +1,101 @@
+// Walk-through of the paper's Figure 8 / Table 2 example: why correlated
+// predicates break classical optimizers, and what the R-Vector embedding
+// sees instead.
+//
+// The query counts movies with genre 'romance' and a keyword containing
+// 'love'. These predicates are strongly correlated in the data, so the
+// histogram + independence estimate is off by orders of magnitude — which
+// makes the classical optimizer pick a fragile plan. The row-vector
+// embedding, in contrast, puts 'love' keywords close to 'romance'.
+#include <cstdio>
+
+#include "src/datagen/imdb_gen.h"
+#include "src/embedding/row_embedding.h"
+#include "src/engine/execution_engine.h"
+#include "src/optim/optimizer.h"
+#include "src/query/builder.h"
+
+using namespace neo;
+
+int main() {
+  datagen::GenOptions gen;
+  gen.scale = 0.08;
+  datagen::Dataset ds = datagen::GenerateImdb(gen);
+
+  // The Figure 8 query (adapted to this schema).
+  auto make_query = [&](const std::string& genre, const std::string& stem, int id) {
+    query::QueryBuilder b(ds.schema, *ds.db, "fig8_" + genre + "_" + stem);
+    b.JoinFk("movie_info", "title")
+        .JoinFk("movie_info", "info_type")
+        .JoinFk("movie_keyword", "title")
+        .JoinFk("movie_keyword", "keyword")
+        .PredStr("info_type", "info", query::PredOp::kEq, "genres")
+        .PredStr("movie_info", "info", query::PredOp::kEq, genre)
+        .PredStr("keyword", "keyword", query::PredOp::kContains, stem);
+    query::Query q = b.Build();
+    q.id = id;
+    return q;
+  };
+
+  engine::CardinalityOracle oracle(ds.schema, *ds.db);
+  catalog::Statistics stats(ds.schema, *ds.db);
+  optim::HistogramEstimator hist(ds.schema, stats, *ds.db);
+
+  std::printf("=== Estimated vs true cardinality (the JOB pathology) ===\n");
+  std::printf("%-22s %14s %14s %10s\n", "(genre, keyword)", "histogram-est",
+              "true-card", "under-est");
+  for (const auto& [genre, stem] : std::vector<std::pair<std::string, std::string>>{
+           {"romance", "love"}, {"action", "fight"}, {"horror", "love"}}) {
+    query::Query q = make_query(genre, stem, 1000 + static_cast<int>(stem[0]) +
+                                                 static_cast<int>(genre[0]));
+    const uint64_t full = (1ULL << q.num_relations()) - 1;
+    const double est = hist.EstimateSubset(q, full);
+    const double truth = oracle.Cardinality(q, full);
+    std::printf("%-22s %14.2f %14.0f %9.1fx\n",
+                ("(" + genre + ", " + stem + ")").c_str(), est, truth,
+                truth / std::max(est, 1e-9));
+  }
+
+  std::printf("\n=== Row-vector embedding similarity (paper Table 2) ===\n");
+  embedding::RowEmbedding rvec(ds.schema, *ds.db);  // 'joins' variant default.
+  const int kw_gid = ds.schema.GlobalColumnId("keyword", "keyword");
+  const int info_gid = ds.schema.GlobalColumnId("movie_info", "info");
+  const auto& kw_col = ds.db->table("keyword").ColumnByName("keyword");
+  const auto& info_col = ds.db->table("movie_info").ColumnByName("info");
+  for (const char* stem : {"love", "fight"}) {
+    for (const char* genre : {"romance", "action"}) {
+      const auto matched = kw_col.CodesContaining(stem);
+      double sim = 0;
+      for (int64_t code : matched) {
+        sim += rvec.Cosine(kw_gid, code, info_gid, info_col.LookupString(genre));
+      }
+      std::printf("cos('%s'~keywords, '%s') = %.3f\n", stem, genre,
+                  sim / static_cast<double>(matched.size()));
+    }
+  }
+
+  std::printf(
+      "\n=== Plan choice: histogram DP vs true-cardinality DP ===\n");
+  engine::ExecutionEngine engine(ds.schema, *ds.db, engine::EngineKind::kPostgres);
+  optim::NativeOptimizer pg =
+      optim::MakeNativeOptimizer(engine::EngineKind::kPostgres, ds.schema, *ds.db);
+  optim::TrueCardEstimator true_est(&engine.oracle());
+  optim::CostModel true_cost(ds.schema,
+                             engine::GetEngineProfile(engine::EngineKind::kPostgres),
+                             &true_est);
+  optim::DpOptimizer true_dp(ds.schema, &true_cost);
+
+  query::Query q = make_query("romance", "love", 2000);
+  const plan::PartialPlan pg_plan = pg.optimizer->Optimize(q);
+  const plan::PartialPlan oracle_plan = true_dp.Optimize(q);
+  const double pg_ms = engine.ExecutePlan(q, pg_plan);
+  const double oracle_ms = engine.ExecutePlan(q, oracle_plan);
+  std::printf("histogram-DP plan (%8.1f ms): %s\n", pg_ms,
+              pg_plan.ToString(ds.schema).c_str());
+  std::printf("true-card-DP plan (%8.1f ms): %s\n", oracle_ms,
+              oracle_plan.ToString(ds.schema).c_str());
+  std::printf("\nmis-estimation costs %.1fx on this query — the gap Neo learns to "
+              "close from observed latencies.\n",
+              pg_ms / oracle_ms);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: the complete Neo loop in ~60 lines of user code.
+//
+//   1. Generate the IMDB-like dataset and JOB-like workload.
+//   2. Bootstrap Neo from the PostgreSQL-style expert optimizer.
+//   3. Train for a few reinforcement-learning episodes.
+//   4. Optimize a held-out query and compare against the expert.
+//
+// Build: cmake --build build --target quickstart && ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/neo.h"
+#include "src/datagen/imdb_gen.h"
+#include "src/optim/optimizer.h"
+#include "src/query/job_workload.h"
+
+using namespace neo;
+
+int main() {
+  // 1. Data + workload. Everything is deterministic given the seeds.
+  datagen::GenOptions gen;
+  gen.scale = 0.05;
+  datagen::Dataset ds = datagen::GenerateImdb(gen);
+  query::Workload workload = query::MakeJobWorkload(ds.schema, *ds.db);
+  query::WorkloadSplit split = workload.Split(0.8, /*seed=*/7);
+  split.train.resize(40);  // Keep the demo fast.
+
+  // 2. Wire up the components: execution engine (the "database"), expert
+  //    optimizer (the demonstration source), featurizer, and Neo itself.
+  engine::ExecutionEngine engine(ds.schema, *ds.db, engine::EngineKind::kPostgres);
+  optim::NativeOptimizer expert =
+      optim::MakeNativeOptimizer(engine::EngineKind::kPostgres, ds.schema, *ds.db);
+  featurize::Featurizer featurizer(ds.schema, *ds.db, {});  // 1-Hot encoding.
+
+  core::NeoConfig config;
+  config.net.query_fc = {64, 32};
+  config.net.tree_channels = {32, 16};
+  config.net.head_fc = {16};
+  config.search.max_expansions = 60;
+  core::Neo neo(&featurizer, &engine, config);
+
+  std::printf("bootstrapping from %s on %zu training queries...\n",
+              expert.optimizer->name().c_str(), split.train.size());
+  neo.Bootstrap(split.train, expert.optimizer.get());
+
+  // 3. Reinforcement-learning episodes: retrain value network, plan, execute,
+  //    learn from the observed latencies.
+  for (int episode = 0; episode < 8; ++episode) {
+    const core::EpisodeStats stats = neo.RunEpisode(split.train);
+    std::printf("episode %d: total train latency %8.1f ms  (loss %.4f, %zu states)\n",
+                episode + 1, stats.train_total_latency_ms, stats.retrain_loss,
+                stats.experience_states);
+  }
+
+  // 4. Optimize a held-out query.
+  const query::Query& q = *split.test.front();
+  std::printf("\nheld-out query %s:\n  %s\n", q.name.c_str(),
+              q.ToSql(ds.schema).c_str());
+
+  const plan::PartialPlan expert_plan = expert.optimizer->Optimize(q);
+  const core::SearchResult neo_result = neo.Plan(q);
+  const double expert_ms = engine.ExecutePlan(q, expert_plan);
+  const double neo_ms = engine.ExecutePlan(q, neo_result.plan);
+
+  std::printf("\nexpert plan  (%7.1f ms): %s\n", expert_ms,
+              expert_plan.ToString(ds.schema).c_str());
+  std::printf("neo plan     (%7.1f ms): %s\n", neo_ms,
+              neo_result.plan.ToString(ds.schema).c_str());
+  std::printf("\nneo/expert latency ratio on this query: %.2fx\n", neo_ms / expert_ms);
+  return 0;
+}

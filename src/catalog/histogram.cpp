@@ -1,0 +1,99 @@
+#include "src/catalog/histogram.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace neo::catalog {
+
+Histogram::Histogram(const std::vector<int64_t>& codes, int num_buckets, int num_mcvs) {
+  total_rows_ = codes.size();
+  if (codes.empty()) return;
+
+  std::vector<int64_t> sorted = codes;
+  std::sort(sorted.begin(), sorted.end());
+  min_code_ = sorted.front();
+  max_code_ = sorted.back();
+
+  // Exact value counts (run-length over the sorted data).
+  std::vector<std::pair<int64_t, size_t>> value_counts;
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    value_counts.emplace_back(sorted[i], j - i);
+    i = j;
+  }
+  num_distinct_ = value_counts.size();
+
+  // MCVs: the `num_mcvs` most frequent values, tracked exactly.
+  std::vector<std::pair<int64_t, size_t>> by_freq = value_counts;
+  const size_t mcv_count =
+      std::min<size_t>(static_cast<size_t>(std::max(num_mcvs, 0)), by_freq.size());
+  std::partial_sort(by_freq.begin(), by_freq.begin() + static_cast<long>(mcv_count),
+                    by_freq.end(), [](const auto& a, const auto& b) {
+                      return a.second > b.second ||
+                             (a.second == b.second && a.first < b.first);
+                    });
+  for (size_t i = 0; i < mcv_count; ++i) mcv_.emplace(by_freq[i].first, by_freq[i].second);
+
+  // Equi-depth buckets over the remaining (non-MCV) values.
+  std::vector<std::pair<int64_t, size_t>> rest;
+  size_t rest_rows = 0;
+  for (const auto& vc : value_counts) {
+    if (mcv_.count(vc.first) == 0) {
+      rest.push_back(vc);
+      rest_rows += vc.second;
+    }
+  }
+  if (rest.empty()) return;
+  const size_t target_depth =
+      std::max<size_t>(1, rest_rows / static_cast<size_t>(std::max(num_buckets, 1)));
+  Bucket cur;
+  cur.lo = rest.front().first;
+  for (const auto& [code, count] : rest) {
+    cur.hi = code;
+    cur.count += count;
+    cur.distinct += 1;
+    if (cur.count >= target_depth) {
+      buckets_.push_back(cur);
+      cur = Bucket{};
+      cur.lo = code + 1;
+    }
+  }
+  if (cur.count > 0) buckets_.push_back(cur);
+}
+
+double Histogram::SelectivityEq(int64_t code) const {
+  if (total_rows_ == 0) return 0.0;
+  auto it = mcv_.find(code);
+  if (it != mcv_.end()) {
+    return static_cast<double>(it->second) / static_cast<double>(total_rows_);
+  }
+  for (const Bucket& b : buckets_) {
+    if (code >= b.lo && code <= b.hi) {
+      if (b.distinct == 0) return 0.0;
+      // Uniformity within the bucket: count / distinct rows per value.
+      return static_cast<double>(b.count) / static_cast<double>(b.distinct) /
+             static_cast<double>(total_rows_);
+    }
+  }
+  return 0.0;
+}
+
+double Histogram::SelectivityRange(int64_t lo, int64_t hi) const {
+  if (total_rows_ == 0 || lo > hi) return 0.0;
+  double rows = 0.0;
+  for (const auto& [code, count] : mcv_) {
+    if (code >= lo && code <= hi) rows += static_cast<double>(count);
+  }
+  for (const Bucket& b : buckets_) {
+    if (b.hi < lo || b.lo > hi) continue;
+    const int64_t ov_lo = std::max(lo, b.lo);
+    const int64_t ov_hi = std::min(hi, b.hi);
+    const double width = static_cast<double>(b.hi - b.lo) + 1.0;
+    const double overlap = static_cast<double>(ov_hi - ov_lo) + 1.0;
+    rows += static_cast<double>(b.count) * (overlap / width);
+  }
+  return std::min(1.0, rows / static_cast<double>(total_rows_));
+}
+
+}  // namespace neo::catalog

@@ -1,0 +1,49 @@
+// Equi-depth histogram with a most-common-values (MCV) list, mirroring the
+// statistics PostgreSQL keeps (paper §3.2 "Histogram" featurization and the
+// expert optimizer's cardinality estimation both consume these).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace neo::catalog {
+
+class Histogram {
+ public:
+  /// Builds from raw column codes. `num_buckets` bounds the equi-depth bucket
+  /// count; `num_mcvs` values are tracked exactly.
+  Histogram(const std::vector<int64_t>& codes, int num_buckets = 32, int num_mcvs = 16);
+
+  Histogram() = default;
+
+  /// Estimated selectivity of `column = code` in [0, 1].
+  double SelectivityEq(int64_t code) const;
+
+  /// Estimated selectivity of `lo <= column <= hi` (use INT64_MIN/MAX for
+  /// open ends).
+  double SelectivityRange(int64_t lo, int64_t hi) const;
+
+  size_t total_rows() const { return total_rows_; }
+  size_t num_distinct() const { return num_distinct_; }
+  int64_t min_code() const { return min_code_; }
+  int64_t max_code() const { return max_code_; }
+
+ private:
+  struct Bucket {
+    int64_t lo = 0;       ///< Inclusive lower bound.
+    int64_t hi = 0;       ///< Inclusive upper bound.
+    size_t count = 0;     ///< Rows in bucket (excluding MCV rows).
+    size_t distinct = 0;  ///< Distinct codes in bucket (excluding MCVs).
+  };
+
+  size_t total_rows_ = 0;
+  size_t num_distinct_ = 0;
+  int64_t min_code_ = 0;
+  int64_t max_code_ = 0;
+  std::vector<Bucket> buckets_;
+  std::unordered_map<int64_t, size_t> mcv_;  ///< code -> exact count
+};
+
+}  // namespace neo::catalog

@@ -1,0 +1,111 @@
+#include "src/catalog/schema.h"
+
+namespace neo::catalog {
+
+int Schema::AddTable(
+    const std::string& name,
+    const std::vector<std::pair<std::string, storage::ColumnType>>& columns,
+    const std::string& primary_key) {
+  NEO_CHECK_MSG(table_ids_.count(name) == 0, name.c_str());
+  TableInfo info;
+  info.name = name;
+  info.id = static_cast<int>(tables_.size());
+  for (const auto& [col_name, type] : columns) {
+    ColumnInfo ci;
+    ci.name = col_name;
+    ci.type = type;
+    ci.table_id = info.id;
+    ci.global_id = num_columns_;
+    global_columns_.emplace_back(info.id, static_cast<int>(info.columns.size()));
+    ++num_columns_;
+    info.columns.push_back(ci);
+  }
+  if (!primary_key.empty()) {
+    info.primary_key = info.ColumnIndex(primary_key);
+    NEO_CHECK_MSG(info.primary_key >= 0, primary_key.c_str());
+  }
+  table_ids_.emplace(name, info.id);
+  tables_.push_back(std::move(info));
+  return tables_.back().id;
+}
+
+void Schema::MarkIndexed(const std::string& table, const std::string& column) {
+  TableInfo& t = tables_[static_cast<size_t>(TableId(table))];
+  const int ci = t.ColumnIndex(column);
+  NEO_CHECK_MSG(ci >= 0, column.c_str());
+  t.columns[static_cast<size_t>(ci)].indexed = true;
+}
+
+void Schema::AddForeignKey(const std::string& from_table, const std::string& from_column,
+                           const std::string& to_table, const std::string& to_column) {
+  ForeignKey fk;
+  fk.from_table = TableId(from_table);
+  fk.to_table = TableId(to_table);
+  fk.from_column = tables_[static_cast<size_t>(fk.from_table)].ColumnIndex(from_column);
+  fk.to_column = tables_[static_cast<size_t>(fk.to_table)].ColumnIndex(to_column);
+  NEO_CHECK(fk.from_column >= 0 && fk.to_column >= 0);
+  foreign_keys_.push_back(fk);
+}
+
+int Schema::TableId(const std::string& name) const {
+  auto it = table_ids_.find(name);
+  NEO_CHECK_MSG(it != table_ids_.end(), name.c_str());
+  return it->second;
+}
+
+const TableInfo& Schema::TableByName(const std::string& name) const {
+  return tables_[static_cast<size_t>(TableId(name))];
+}
+
+int Schema::GlobalColumnId(const std::string& table, const std::string& column) const {
+  auto it = table_ids_.find(table);
+  if (it == table_ids_.end()) return -1;
+  const TableInfo& t = tables_[static_cast<size_t>(it->second)];
+  const int ci = t.ColumnIndex(column);
+  if (ci < 0) return -1;
+  return t.columns[static_cast<size_t>(ci)].global_id;
+}
+
+const ColumnInfo& Schema::ColumnByGlobalId(int global_id) const {
+  const auto& [tid, cid] = global_columns_[static_cast<size_t>(global_id)];
+  return tables_[static_cast<size_t>(tid)].columns[static_cast<size_t>(cid)];
+}
+
+std::string Schema::QualifiedName(int global_id) const {
+  const auto& [tid, cid] = global_columns_[static_cast<size_t>(global_id)];
+  return tables_[static_cast<size_t>(tid)].name + "." +
+         tables_[static_cast<size_t>(tid)].columns[static_cast<size_t>(cid)].name;
+}
+
+std::vector<ForeignKey> Schema::ForeignKeysOf(int id) const {
+  std::vector<ForeignKey> out;
+  for (const auto& fk : foreign_keys_) {
+    if (fk.from_table == id || fk.to_table == id) out.push_back(fk);
+  }
+  return out;
+}
+
+bool Schema::FindJoinEdge(int a, int b, ForeignKey* fk) const {
+  for (const auto& edge : foreign_keys_) {
+    if ((edge.from_table == a && edge.to_table == b) ||
+        (edge.from_table == b && edge.to_table == a)) {
+      if (fk != nullptr) *fk = edge;
+      return true;
+    }
+  }
+  return false;
+}
+
+void BuildDeclaredIndexes(const Schema& schema, storage::Database* db) {
+  for (const TableInfo& t : schema.tables()) {
+    storage::Table& table = db->table(t.name);
+    for (size_t i = 0; i < t.columns.size(); ++i) {
+      const bool is_pk = static_cast<int>(i) == t.primary_key;
+      if (t.columns[i].indexed || is_pk) {
+        table.BuildIndex(t.columns[i].name);
+      }
+    }
+  }
+}
+
+}  // namespace neo::catalog

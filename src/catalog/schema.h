@@ -1,0 +1,105 @@
+// Schema metadata: the logical description of a database that queries,
+// featurization, and optimizers work against. Data lives in storage::Database;
+// this class records table/column identities, key relationships, and which
+// columns carry secondary indexes.
+//
+// Neo's featurization (paper §3.2) needs a stable global numbering of tables
+// (for the join-graph adjacency matrix) and of columns (for the predicate
+// vector); Schema provides both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/table.h"
+#include "src/util/status.h"
+
+namespace neo::catalog {
+
+struct ColumnInfo {
+  std::string name;
+  storage::ColumnType type = storage::ColumnType::kInt;
+  bool indexed = false;
+  int table_id = -1;     ///< Owning table.
+  int global_id = -1;    ///< Position in the schema-wide column numbering.
+};
+
+struct TableInfo {
+  std::string name;
+  int id = -1;
+  std::vector<ColumnInfo> columns;
+  int primary_key = -1;  ///< Column position within `columns`, or -1.
+
+  int ColumnIndex(const std::string& col) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == col) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// Foreign-key relationship `from_table.from_column -> to_table.to_column`.
+/// These edges define which equi-joins the workload generators emit and which
+/// denormalization joins the row-embedding trainer performs.
+struct ForeignKey {
+  int from_table = -1;
+  int from_column = -1;  ///< Position within from_table's columns.
+  int to_table = -1;
+  int to_column = -1;
+};
+
+class Schema {
+ public:
+  /// Registers a table; returns its id. Column global ids are assigned in
+  /// registration order.
+  int AddTable(const std::string& name,
+               const std::vector<std::pair<std::string, storage::ColumnType>>& columns,
+               const std::string& primary_key = "");
+
+  /// Marks `table.column` as indexed (mirrors storage-side index builds).
+  void MarkIndexed(const std::string& table, const std::string& column);
+
+  /// Declares a foreign key edge.
+  void AddForeignKey(const std::string& from_table, const std::string& from_column,
+                     const std::string& to_table, const std::string& to_column);
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  int num_columns() const { return num_columns_; }
+
+  const TableInfo& table(int id) const { return tables_[static_cast<size_t>(id)]; }
+  const std::vector<TableInfo>& tables() const { return tables_; }
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+
+  int TableId(const std::string& name) const;
+  const TableInfo& TableByName(const std::string& name) const;
+
+  /// Global column id for table.column; -1 if unknown.
+  int GlobalColumnId(const std::string& table, const std::string& column) const;
+
+  /// Reverse lookup of a global column id.
+  const ColumnInfo& ColumnByGlobalId(int global_id) const;
+
+  /// "table.column" for a global column id (for messages and SQL printing).
+  std::string QualifiedName(int global_id) const;
+
+  /// Foreign keys touching table `id` (either side).
+  std::vector<ForeignKey> ForeignKeysOf(int id) const;
+
+  /// True if some FK connects `a` and `b` (either direction); fills `fk`.
+  bool FindJoinEdge(int a, int b, ForeignKey* fk) const;
+
+ private:
+  std::vector<TableInfo> tables_;
+  std::unordered_map<std::string, int> table_ids_;
+  std::vector<ForeignKey> foreign_keys_;
+  std::vector<std::pair<int, int>> global_columns_;  ///< global id -> (table, col)
+  int num_columns_ = 0;
+};
+
+/// Builds storage-side indexes for every column marked indexed in the schema,
+/// plus primary keys.
+void BuildDeclaredIndexes(const Schema& schema, storage::Database* db);
+
+}  // namespace neo::catalog

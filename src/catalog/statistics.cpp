@@ -1,0 +1,47 @@
+#include "src/catalog/statistics.h"
+
+namespace neo::catalog {
+
+Statistics::Statistics(const Schema& schema, const storage::Database& db,
+                       int histogram_buckets, int histogram_mcvs, size_t sample_size,
+                       uint64_t seed) {
+  util::Rng rng(seed);
+  table_rows_.resize(static_cast<size_t>(schema.num_tables()));
+  histograms_.resize(static_cast<size_t>(schema.num_tables()));
+  samples_.resize(static_cast<size_t>(schema.num_tables()));
+
+  for (const TableInfo& t : schema.tables()) {
+    const storage::Table& table = db.table(t.name);
+    const size_t tid = static_cast<size_t>(t.id);
+    table_rows_[tid] = table.num_rows();
+
+    histograms_[tid].reserve(t.columns.size());
+    for (size_t c = 0; c < t.columns.size(); ++c) {
+      histograms_[tid].emplace_back(table.column(c).codes(), histogram_buckets,
+                                    histogram_mcvs);
+    }
+
+    // Reservoir sample of row ids.
+    util::Rng table_rng = rng.Fork(static_cast<uint64_t>(t.id));
+    std::vector<uint32_t>& sample = samples_[tid];
+    const size_t n = table.num_rows();
+    for (uint32_t row = 0; row < n; ++row) {
+      if (sample.size() < sample_size) {
+        sample.push_back(row);
+      } else {
+        const size_t j = table_rng.NextBounded(row + 1);
+        if (j < sample_size) sample[j] = row;
+      }
+    }
+  }
+}
+
+const Histogram& Statistics::histogram(int table_id, int column_idx) const {
+  return histograms_[static_cast<size_t>(table_id)][static_cast<size_t>(column_idx)];
+}
+
+size_t Statistics::num_distinct(int table_id, int column_idx) const {
+  return histogram(table_id, column_idx).num_distinct();
+}
+
+}  // namespace neo::catalog

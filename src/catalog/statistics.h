@@ -1,0 +1,40 @@
+// Database statistics: per-column histograms + per-table reservoir samples.
+// Consumed by (a) the histogram-based expert cardinality estimator, (b) the
+// "Histogram" query featurization, and (c) the sampling-based estimators that
+// emulate commercial optimizers.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/catalog/histogram.h"
+#include "src/catalog/schema.h"
+#include "src/storage/table.h"
+#include "src/util/rng.h"
+
+namespace neo::catalog {
+
+class Statistics {
+ public:
+  /// Scans every table of `db` and builds all statistics.
+  Statistics(const Schema& schema, const storage::Database& db,
+             int histogram_buckets = 32, int histogram_mcvs = 16,
+             size_t sample_size = 1000, uint64_t seed = 0x57a7ULL);
+
+  const Histogram& histogram(int table_id, int column_idx) const;
+  size_t table_rows(int table_id) const { return table_rows_[static_cast<size_t>(table_id)]; }
+  size_t num_distinct(int table_id, int column_idx) const;
+
+  /// Sampled row ids of a table (uniform without replacement, deterministic).
+  const std::vector<uint32_t>& sample_rows(int table_id) const {
+    return samples_[static_cast<size_t>(table_id)];
+  }
+
+ private:
+  std::vector<size_t> table_rows_;
+  std::vector<std::vector<Histogram>> histograms_;  ///< [table][column]
+  std::vector<std::vector<uint32_t>> samples_;
+};
+
+}  // namespace neo::catalog

@@ -1,0 +1,83 @@
+#include "src/core/experience.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace neo::core {
+
+const char* CostFunctionName(CostFunction f) {
+  switch (f) {
+    case CostFunction::kLatency: return "workload-latency";
+    case CostFunction::kRelative: return "relative-to-baseline";
+  }
+  return "?";
+}
+
+void Experience::AddCompletePlan(const query::Query& query,
+                                 const plan::PartialPlan& plan, double cost) {
+  ++num_complete_;
+  auto [bit, inserted] = best_cost_.emplace(query.id, cost);
+  if (!inserted) bit->second = std::min(bit->second, cost);
+
+  for (const plan::PartialPlan& state : plan::DecomposeForTraining(plan)) {
+    const uint64_t key = util::HashCombine(query.fingerprint + 0x99ULL, state.Hash());
+    auto it = states_.find(key);
+    if (it != states_.end()) {
+      it->second.min_cost = std::min(it->second.min_cost, cost);
+      continue;
+    }
+    State s;
+    s.sample = featurizer_->Encode(query, state);
+    s.min_cost = cost;
+    states_.emplace(key, std::move(s));
+  }
+}
+
+double Experience::BestCost(int query_id) const {
+  auto it = best_cost_.find(query_id);
+  return it == best_cost_.end() ? std::numeric_limits<double>::infinity() : it->second;
+}
+
+namespace {
+// Pure-log transform with a floor: preserves multiplicative structure (a
+// plan 10x slower is a constant offset away) regardless of the absolute
+// latency scale, unlike log1p which degenerates to linear for costs << 1.
+constexpr double kCostFloor = 1e-6;
+double TransformCost(double cost) { return std::log(std::max(kCostFloor, cost)); }
+}  // namespace
+
+float Experience::NormalizeCost(double cost) const {
+  return static_cast<float>((TransformCost(cost) - target_mean_) / target_std_);
+}
+
+Experience::TrainingBatchView Experience::Sample(size_t max_samples, util::Rng& rng) {
+  // Refit the target transform.
+  double sum = 0.0, sum2 = 0.0;
+  for (const auto& [key, state] : states_) {
+    const double t = TransformCost(state.min_cost);
+    sum += t;
+    sum2 += t * t;
+  }
+  const double n = std::max<double>(1.0, static_cast<double>(states_.size()));
+  target_mean_ = sum / n;
+  target_std_ = std::sqrt(std::max(1e-8, sum2 / n - target_mean_ * target_mean_));
+
+  std::vector<const State*> all;
+  all.reserve(states_.size());
+  for (const auto& [key, state] : states_) all.push_back(&state);
+  rng.Shuffle(all);
+  if (all.size() > max_samples) all.resize(max_samples);
+
+  TrainingBatchView view;
+  view.samples.reserve(all.size());
+  view.targets.reserve(all.size());
+  for (const State* s : all) {
+    view.samples.push_back(&s->sample);
+    view.targets.push_back(NormalizeCost(s->min_cost));
+  }
+  return view;
+}
+
+}  // namespace neo::core

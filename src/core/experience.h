@@ -1,0 +1,68 @@
+// Neo's experience store (paper §2, §4): complete plans with observed
+// latencies, decomposed into partial-plan training states labeled with the
+// minimum cost of any experienced complete plan containing them:
+//     M(P_i) ~ min{ C(P_f) | P_i subplan of P_f, P_f in experience }.
+//
+// States are deduplicated by (query, state-hash); each keeps the minimum
+// cost seen, so repeated executions of similar plans tighten the labels.
+// The cost C is pluggable (paper §6.4.4): absolute latency, or latency
+// relative to a per-query baseline.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/featurize/featurizer.h"
+#include "src/plan/plan.h"
+
+namespace neo::core {
+
+enum class CostFunction { kLatency, kRelative };
+const char* CostFunctionName(CostFunction f);
+
+class Experience {
+ public:
+  explicit Experience(const featurize::Featurizer* featurizer)
+      : featurizer_(featurizer) {}
+
+  /// Records a complete plan execution. `cost` is C(P_f) under the active
+  /// cost function. Decomposes into training states immediately (encoding
+  /// is deterministic, so states are featurized once).
+  void AddCompletePlan(const query::Query& query, const plan::PartialPlan& plan,
+                       double cost);
+
+  /// Best (minimum) recorded cost of complete plans for a query; +inf if
+  /// none.
+  double BestCost(int query_id) const;
+
+  struct TrainingBatchView {
+    std::vector<const nn::PlanSample*> samples;
+    std::vector<float> targets;  ///< Normalized.
+  };
+
+  /// Assembles a (subsampled, shuffled) training set. Targets are
+  /// log1p-transformed and standardized; the transform parameters are
+  /// refitted on the current store.
+  TrainingBatchView Sample(size_t max_samples, util::Rng& rng);
+
+  /// Normalizes a raw cost with the last-fitted transform (for diagnostics).
+  float NormalizeCost(double cost) const;
+
+  size_t NumStates() const { return states_.size(); }
+  size_t NumCompletePlans() const { return num_complete_; }
+
+ private:
+  struct State {
+    nn::PlanSample sample;
+    double min_cost;
+  };
+
+  const featurize::Featurizer* featurizer_;
+  std::unordered_map<uint64_t, State> states_;  ///< Key: (query, state hash).
+  std::unordered_map<int, double> best_cost_;
+  size_t num_complete_ = 0;
+  double target_mean_ = 0.0;
+  double target_std_ = 1.0;
+};
+
+}  // namespace neo::core

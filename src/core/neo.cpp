@@ -1,0 +1,119 @@
+#include "src/core/neo.h"
+
+#include <algorithm>
+
+#include "src/util/stopwatch.h"
+
+namespace neo::core {
+
+Neo::Neo(const featurize::Featurizer* featurizer, engine::ExecutionEngine* engine,
+         NeoConfig config)
+    : featurizer_(featurizer),
+      engine_(engine),
+      config_(std::move(config)),
+      experience_(featurizer),
+      search_(featurizer, nullptr),
+      rng_(config_.seed) {
+  config_.net.query_dim = featurizer_->query_dim();
+  config_.net.plan_dim = featurizer_->plan_dim();
+  config_.net.seed = util::HashCombine(config_.seed, 0x4e7ULL);
+  net_ = std::make_unique<nn::ValueNetwork>(config_.net);
+  search_ = PlanSearch(featurizer_, net_.get());
+}
+
+double Neo::Baseline(int query_id) const {
+  auto it = baselines_.find(query_id);
+  return it == baselines_.end() ? 1.0 : std::max(1e-6, it->second);
+}
+
+double Neo::CostOf(const query::Query& query, double latency_ms) const {
+  double lat = latency_ms;
+  if (config_.latency_clip_ms > 0.0) lat = std::min(lat, config_.latency_clip_ms);
+  switch (config_.cost_function) {
+    case CostFunction::kLatency: return lat;
+    case CostFunction::kRelative: return lat / Baseline(query.id);
+  }
+  return lat;
+}
+
+void Neo::Bootstrap(const std::vector<const query::Query*>& queries,
+                    optim::Optimizer* expert) {
+  for (const query::Query* q : queries) {
+    const plan::PartialPlan plan = expert->Optimize(*q);
+    const double latency = engine_->ExecutePlan(*q, plan);
+    SetBaseline(q->id, latency);
+    experience_.AddCompletePlan(*q, plan, CostOf(*q, latency));
+  }
+}
+
+float Neo::Retrain() {
+  util::Stopwatch watch;
+  float last_loss = 0.0f;
+  for (int epoch = 0; epoch < config_.epochs_per_episode; ++epoch) {
+    Experience::TrainingBatchView view =
+        experience_.Sample(config_.max_train_samples, rng_);
+    if (view.samples.empty()) break;
+    for (size_t start = 0; start < view.samples.size();
+         start += static_cast<size_t>(config_.batch_size)) {
+      const size_t end = std::min(view.samples.size(),
+                                  start + static_cast<size_t>(config_.batch_size));
+      std::vector<const nn::PlanSample*> batch(view.samples.begin() + start,
+                                               view.samples.begin() + end);
+      std::vector<float> targets(view.targets.begin() + start,
+                                 view.targets.begin() + end);
+      last_loss = net_->TrainBatch(batch, targets);
+    }
+  }
+  total_nn_time_ms_ += watch.ElapsedMs();
+  return last_loss;
+}
+
+EpisodeStats Neo::RunEpisode(const std::vector<const query::Query*>& queries) {
+  EpisodeStats stats;
+  stats.episode = ++episodes_run_;
+
+  util::Stopwatch nn_watch;
+  stats.retrain_loss = Retrain();
+  stats.nn_time_ms = nn_watch.ElapsedMs();
+
+  // Plan, execute, and learn from each training query (shuffled order).
+  std::vector<const query::Query*> order = queries;
+  rng_.Shuffle(order);
+  util::Stopwatch search_watch;
+  double search_ms = 0.0;
+  for (const query::Query* q : order) {
+    search_watch.Restart();
+    const SearchResult found = search_.FindPlan(*q, config_.search);
+    search_ms += search_watch.ElapsedMs();
+    const double latency = engine_->ExecutePlan(*q, found.plan);
+    stats.train_total_latency_ms += latency;
+    experience_.AddCompletePlan(*q, found.plan, CostOf(*q, latency));
+  }
+  stats.search_time_ms = search_ms;
+  stats.experience_states = experience_.NumStates();
+  return stats;
+}
+
+SearchResult Neo::Plan(const query::Query& query) {
+  return search_.FindPlan(query, config_.search);
+}
+
+double Neo::PlanAndExecute(const query::Query& query) {
+  const SearchResult found = search_.FindPlan(query, config_.search);
+  return engine_->ExecutePlan(query, found.plan);
+}
+
+double Neo::EvaluateTotalLatency(const std::vector<const query::Query*>& queries) {
+  double total = 0.0;
+  for (const query::Query* q : queries) total += PlanAndExecute(*q);
+  return total;
+}
+
+double Neo::ExecuteAndLearn(const query::Query& query) {
+  const SearchResult found = search_.FindPlan(query, config_.search);
+  const double latency = engine_->ExecutePlan(query, found.plan);
+  experience_.AddCompletePlan(query, found.plan, CostOf(query, latency));
+  return latency;
+}
+
+}  // namespace neo::core

@@ -1,0 +1,108 @@
+// Neo (Neural Optimizer): the end-to-end learned query optimizer of the
+// paper, tying together featurization, the value network, DNN-guided search,
+// the experience store, and the execution engine.
+//
+// Lifecycle (paper §2, Figure 1):
+//   1. Bootstrap(queries, expert)  - "Expertise Collection": execute the
+//      expert optimizer's plans, seed the experience store, record per-query
+//      baselines (used by the relative cost function).
+//   2. RunEpisode(queries)         - "Model Building + Plan Search + Model
+//      Refinement": retrain the value network on experience, then for each
+//      training query search a plan, execute it, and add the observed
+//      latency back to experience (value iteration).
+//   3. Plan / PlanAndExecute       - inference on arbitrary queries.
+#pragma once
+
+#include <memory>
+
+#include "src/core/experience.h"
+#include "src/core/search.h"
+#include "src/engine/execution_engine.h"
+#include "src/optim/optimizer.h"
+
+namespace neo::core {
+
+struct NeoConfig {
+  CostFunction cost_function = CostFunction::kLatency;
+  int epochs_per_episode = 2;
+  int batch_size = 64;
+  size_t max_train_samples = 3000;
+  SearchOptions search;
+  /// Latency clipping applied when adding experience (0 = off). Used by the
+  /// no-demonstration experiment (§6.3.3): clipping destroys the reward
+  /// signal beyond the timeout.
+  double latency_clip_ms = 0.0;
+  nn::ValueNetConfig net;  ///< query_dim / plan_dim are filled from the featurizer.
+  uint64_t seed = 17;
+};
+
+struct EpisodeStats {
+  int episode = 0;
+  double train_total_latency_ms = 0.0;  ///< Executed latency over the episode.
+  float retrain_loss = 0.0f;            ///< Final minibatch MSE.
+  double nn_time_ms = 0.0;              ///< Wall time spent on network training.
+  double search_time_ms = 0.0;          ///< Wall time spent searching plans.
+  size_t experience_states = 0;
+};
+
+class Neo {
+ public:
+  Neo(const featurize::Featurizer* featurizer, engine::ExecutionEngine* engine,
+      NeoConfig config);
+
+  /// Collects expert demonstrations: for each query, runs the expert's plan
+  /// on the engine, records it as experience and as the per-query baseline.
+  void Bootstrap(const std::vector<const query::Query*>& queries,
+                 optim::Optimizer* expert);
+
+  /// One full training episode over the training queries.
+  EpisodeStats RunEpisode(const std::vector<const query::Query*>& queries);
+
+  /// Search a plan with the current value network (no execution).
+  SearchResult Plan(const query::Query& query);
+
+  /// Search + execute; returns observed latency (ms). Does not learn.
+  double PlanAndExecute(const query::Query& query);
+
+  /// Total latency of the current policy over a set of queries (no learning).
+  double EvaluateTotalLatency(const std::vector<const query::Query*>& queries);
+
+  /// Executes a query with learning: plan, execute, add to experience.
+  /// Returns observed latency. Used by the Ext-JOB incremental-learning
+  /// experiment (§6.4.2).
+  double ExecuteAndLearn(const query::Query& query);
+
+  /// Re-fits the value network on current experience (called automatically
+  /// by RunEpisode; exposed for Fig. 13/14 style offline training).
+  float Retrain();
+
+  void SetBaseline(int query_id, double latency_ms) {
+    baselines_[query_id] = latency_ms;
+  }
+  double Baseline(int query_id) const;
+
+  Experience& experience() { return experience_; }
+  nn::ValueNetwork& net() { return *net_; }
+  PlanSearch& search() { return search_; }
+  engine::ExecutionEngine& engine() { return *engine_; }
+  const NeoConfig& config() const { return config_; }
+
+  double total_nn_time_ms() const { return total_nn_time_ms_; }
+  int episodes_run() const { return episodes_run_; }
+
+ private:
+  double CostOf(const query::Query& query, double latency_ms) const;
+
+  const featurize::Featurizer* featurizer_;
+  engine::ExecutionEngine* engine_;
+  NeoConfig config_;
+  std::unique_ptr<nn::ValueNetwork> net_;
+  Experience experience_;
+  PlanSearch search_;
+  util::Rng rng_;
+  std::unordered_map<int, double> baselines_;
+  double total_nn_time_ms_ = 0.0;
+  int episodes_run_ = 0;
+};
+
+}  // namespace neo::core

@@ -1,0 +1,211 @@
+#include "src/core/search.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "src/engine/latency_model.h"
+#include "src/util/status.h"
+#include "src/util/stopwatch.h"
+
+namespace neo::core {
+
+namespace {
+
+/// Path-copies `root`, replacing the (unique) node `target` with
+/// `replacement`. Returns nullptr if `target` is not in this tree.
+plan::NodeRef ReplaceNode(const plan::NodeRef& root, const plan::PlanNode* target,
+                          const plan::NodeRef& replacement) {
+  if (root.get() == target) return replacement;
+  if (!root->is_join) return nullptr;
+  if (plan::NodeRef l = ReplaceNode(root->left, target, replacement)) {
+    return plan::MakeJoin(root->join_op, l, root->right);
+  }
+  if (plan::NodeRef r = ReplaceNode(root->right, target, replacement)) {
+    return plan::MakeJoin(root->join_op, root->left, r);
+  }
+  return nullptr;
+}
+
+/// First unspecified leaf in pre-order (or nullptr).
+const plan::PlanNode* FirstUnspecified(const plan::PlanNode& node) {
+  if (!node.is_join) {
+    return node.scan_op == plan::ScanOp::kUnspecified ? &node : nullptr;
+  }
+  if (node.num_unspecified == 0) return nullptr;
+  if (const plan::PlanNode* l = FirstUnspecified(*node.left)) return l;
+  return FirstUnspecified(*node.right);
+}
+
+}  // namespace
+
+std::vector<plan::PartialPlan> PlanSearch::Children(
+    const query::Query& query, const plan::PartialPlan& plan) const {
+  // Children per the paper (§4.2): (a) turn an unspecified scan anywhere in
+  // the forest into a table or index scan, (b) merge two roots with a join
+  // operator (both orientations: left = probe/outer, right = build/inner).
+  //
+  // One deviation for tractability: only the *first* unspecified leaf (in
+  // pre-order over the forest) may be specified at each step. Every complete
+  // plan remains reachable (leaves can be specified in the forced order
+  // before/after any join), but the 2^n duplicate intermediate states that
+  // arbitrary specification orders generate are gone.
+  std::vector<plan::PartialPlan> children;
+  const catalog::Schema& schema = featurizer_->schema();
+  const size_t n_roots = plan.roots.size();
+
+  auto with_replaced_root = [&](size_t root_idx, plan::NodeRef new_root) {
+    plan::PartialPlan child;
+    child.query = plan.query;
+    child.roots = plan.roots;
+    child.roots[root_idx] = std::move(new_root);
+    return child;
+  };
+
+  // (a) Specify the first unspecified leaf.
+  for (size_t i = 0; i < n_roots; ++i) {
+    const plan::PlanNode* leaf = FirstUnspecified(*plan.roots[i]);
+    if (leaf == nullptr) continue;
+    children.push_back(with_replaced_root(
+        i, ReplaceNode(plan.roots[i], leaf,
+                       plan::MakeScan(plan::ScanOp::kTable, leaf->table_id,
+                                      leaf->rel_mask))));
+    if (engine::IndexScanUsable(schema, query, leaf->table_id)) {
+      children.push_back(with_replaced_root(
+          i, ReplaceNode(plan.roots[i], leaf,
+                         plan::MakeScan(plan::ScanOp::kIndex, leaf->table_id,
+                                        leaf->rel_mask))));
+    }
+    break;  // Forced specification order: only the first leaf.
+  }
+
+  // (b) Join two roots (any specification state), both orientations.
+  constexpr plan::JoinOp kOps[] = {plan::JoinOp::kHash, plan::JoinOp::kMerge,
+                                   plan::JoinOp::kLoop};
+  auto with_joined = [&](size_t a, size_t b, plan::JoinOp op) {
+    plan::PartialPlan child;
+    child.query = plan.query;
+    child.roots.reserve(n_roots - 1);
+    for (size_t i = 0; i < n_roots; ++i) {
+      if (i == a || i == b) continue;
+      child.roots.push_back(plan.roots[i]);
+    }
+    child.roots.push_back(plan::MakeJoin(op, plan.roots[a], plan.roots[b]));
+    return child;
+  };
+  for (size_t a = 0; a < n_roots; ++a) {
+    for (size_t b = 0; b < n_roots; ++b) {
+      if (a == b) continue;
+      if (!query.MasksJoinable(plan.roots[a]->rel_mask, plan.roots[b]->rel_mask)) {
+        continue;
+      }
+      for (plan::JoinOp op : kOps) children.push_back(with_joined(a, b, op));
+    }
+  }
+  return children;
+}
+
+SearchResult PlanSearch::GreedyPlan(const query::Query& query) {
+  SearchOptions options;
+  options.max_expansions = 0;  // Forces immediate hurry-up behavior.
+  options.early_stop = false;
+  return FindPlan(query, options);
+}
+
+float PlanSearch::Score(const query::Query& query, const nn::Matrix& query_embedding,
+                        const plan::PartialPlan& plan, size_t* evals) {
+  ++*evals;
+  nn::TreeStructure tree;
+  nn::Matrix features;
+  featurizer_->EncodePlan(query, plan, &tree, &features);
+  return net_->PredictWithEmbedding(query_embedding, tree, features);
+}
+
+SearchResult PlanSearch::FindPlan(const query::Query& query,
+                                  const SearchOptions& options) {
+  util::Stopwatch watch;
+  SearchResult result;
+  const nn::Matrix query_vec = featurizer_->EncodeQuery(query);
+  const nn::Matrix embed = net_->EmbedQuery(query_vec);
+
+  struct HeapEntry {
+    float score;
+    size_t idx;
+    bool operator>(const HeapEntry& o) const { return score > o.score; }
+  };
+  std::vector<plan::PartialPlan> arena;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap;
+  std::unordered_set<uint64_t> visited;
+
+  plan::PartialPlan initial = plan::PartialPlan::Initial(query);
+  visited.insert(initial.Hash());
+  arena.push_back(initial);
+  heap.push({Score(query, embed, initial, &result.evaluations), 0});
+
+  bool have_complete = false;
+  float best_complete_score = 0.0f;
+  plan::PartialPlan best_complete;
+  plan::PartialPlan last_popped = initial;
+
+  auto out_of_time = [&] {
+    return options.time_cutoff_ms > 0.0 && watch.ElapsedMs() >= options.time_cutoff_ms;
+  };
+
+  while (!heap.empty()) {
+    if (options.max_expansions > 0 && result.expansions >= options.max_expansions) break;
+    if (options.max_expansions == 0) break;  // Pure hurry-up mode.
+    if (out_of_time()) break;
+    const HeapEntry top = heap.top();
+    if (options.early_stop && have_complete && top.score >= best_complete_score) break;
+    heap.pop();
+    const plan::PartialPlan current = arena[top.idx];
+    last_popped = current;
+    ++result.expansions;
+
+    for (plan::PartialPlan& child : Children(query, current)) {
+      const uint64_t h = child.Hash();
+      if (!visited.insert(h).second) continue;
+      const float score = Score(query, embed, child, &result.evaluations);
+      if (child.IsComplete()) {
+        if (!have_complete || score < best_complete_score) {
+          have_complete = true;
+          best_complete_score = score;
+          best_complete = child;
+        }
+      } else {
+        arena.push_back(std::move(child));
+        heap.push({score, arena.size() - 1});
+      }
+    }
+  }
+
+  if (!have_complete) {
+    // Hurry-up mode (§4.2): greedily descend from the most promising state.
+    result.hurried = true;
+    plan::PartialPlan current = last_popped;
+    while (!current.IsComplete()) {
+      std::vector<plan::PartialPlan> kids = Children(query, current);
+      NEO_CHECK_MSG(!kids.empty(), "search: dead-end state");
+      float best_score = 0.0f;
+      size_t best_idx = 0;
+      for (size_t i = 0; i < kids.size(); ++i) {
+        const float s = Score(query, embed, kids[i], &result.evaluations);
+        if (i == 0 || s < best_score) {
+          best_score = s;
+          best_idx = i;
+        }
+      }
+      current = std::move(kids[best_idx]);
+    }
+    best_complete = current;
+    best_complete_score = 0.0f;
+    have_complete = true;
+  }
+
+  result.plan = best_complete;
+  result.predicted_cost = best_complete_score;
+  result.wall_ms = watch.ElapsedMs();
+  return result;
+}
+
+}  // namespace neo::core

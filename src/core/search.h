@@ -1,0 +1,62 @@
+// DNN-guided best-first plan search (paper §4.2).
+//
+// The search state is a partial plan (forest). A min-heap ordered by the
+// value network's prediction repeatedly expands the most promising state.
+// Children either (a) specify an unspecified root scan as a table or index
+// scan, or (b) join two fully-specified roots with one of the three join
+// operators in either orientation (orientation matters: probe/build,
+// outer/inner). The search is *anytime*: it keeps the best complete plan
+// found and stops on an expansion budget or wall-clock cutoff; if the budget
+// expires with no complete plan, a greedy "hurry-up" descent (the paper's
+// §4.2 fallback, equivalent to Q-learning-style greedy action selection)
+// finishes the plan.
+#pragma once
+
+#include <unordered_map>
+
+#include "src/featurize/featurizer.h"
+#include "src/nn/value_network.h"
+#include "src/plan/plan.h"
+
+namespace neo::core {
+
+struct SearchOptions {
+  int max_expansions = 60;      ///< Heap pops before giving up (<=0: unlimited).
+  double time_cutoff_ms = 0.0;  ///< Wall-clock cutoff (0 = disabled).
+  bool early_stop = true;       ///< Stop when heap top >= best complete score.
+};
+
+struct SearchResult {
+  plan::PartialPlan plan;
+  float predicted_cost = 0.0f;
+  int expansions = 0;
+  size_t evaluations = 0;
+  double wall_ms = 0.0;
+  bool hurried = false;  ///< Completed via hurry-up mode.
+};
+
+class PlanSearch {
+ public:
+  PlanSearch(const featurize::Featurizer* featurizer, nn::ValueNetwork* net)
+      : featurizer_(featurizer), net_(net) {}
+
+  SearchResult FindPlan(const query::Query& query, const SearchOptions& options);
+
+  /// Child states of a partial plan (exposed for tests / the ablation
+  /// bench's pure-greedy mode).
+  std::vector<plan::PartialPlan> Children(const query::Query& query,
+                                          const plan::PartialPlan& plan) const;
+
+  /// Greedy descent: repeatedly takes the best-scored child ("hurry-up"
+  /// from the start state == Q-learning-style planning, §4.2).
+  SearchResult GreedyPlan(const query::Query& query);
+
+ private:
+  float Score(const query::Query& query, const nn::Matrix& query_embedding,
+              const plan::PartialPlan& plan, size_t* evals);
+
+  const featurize::Featurizer* featurizer_;
+  nn::ValueNetwork* net_;
+};
+
+}  // namespace neo::core

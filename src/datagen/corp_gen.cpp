@@ -1,0 +1,194 @@
+#include "src/datagen/corp_gen.h"
+
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace neo::datagen {
+
+using storage::ColumnType;
+
+namespace {
+const std::vector<std::string> kSegments = {"enterprise", "smb", "consumer",
+                                            "education", "government"};
+const std::vector<std::string> kCountries = {"us", "de", "jp", "br", "in",
+                                             "fr", "uk", "au", "ca", "mx"};
+const std::vector<std::string> kCategories = {"analytics", "storage",  "compute",
+                                              "network",   "security", "ml",
+                                              "mobile",    "search"};
+const std::vector<std::string> kTiers = {"free", "basic", "pro", "enterprise"};
+const std::vector<std::string> kZones = {"amer", "emea", "apac"};
+const std::vector<std::string> kMediums = {"web", "mobile", "api", "partner"};
+}  // namespace
+
+Dataset GenerateCorp(const GenOptions& options) {
+  Dataset ds;
+  util::Rng rng(options.seed);
+  const double s = options.scale;
+
+  const size_t n_user = static_cast<size_t>(4000 * s);
+  const size_t n_product = static_cast<size_t>(600 * s);
+  const size_t n_region = 48;
+  const size_t n_date = 730;
+  const size_t n_channel = 12;
+  const size_t n_fact = static_cast<size_t>(50000 * s);
+
+  catalog::Schema& schema = ds.schema;
+  schema.AddTable("dim_user",
+                  {{"id", ColumnType::kInt},
+                   {"segment", ColumnType::kString},
+                   {"country", ColumnType::kString},
+                   {"signup_year", ColumnType::kInt}},
+                  "id");
+  schema.AddTable("dim_product",
+                  {{"id", ColumnType::kInt},
+                   {"category", ColumnType::kString},
+                   {"price_tier", ColumnType::kString}},
+                  "id");
+  schema.AddTable("dim_region",
+                  {{"id", ColumnType::kInt}, {"zone", ColumnType::kString}}, "id");
+  schema.AddTable("dim_date",
+                  {{"id", ColumnType::kInt},
+                   {"year", ColumnType::kInt},
+                   {"month", ColumnType::kInt},
+                   {"quarter", ColumnType::kInt}},
+                  "id");
+  schema.AddTable("dim_channel",
+                  {{"id", ColumnType::kInt}, {"medium", ColumnType::kString}}, "id");
+  schema.AddTable("fact_events",
+                  {{"id", ColumnType::kInt},
+                   {"user_id", ColumnType::kInt},
+                   {"product_id", ColumnType::kInt},
+                   {"region_id", ColumnType::kInt},
+                   {"date_id", ColumnType::kInt},
+                   {"channel_id", ColumnType::kInt},
+                   {"amount", ColumnType::kInt},
+                   {"duration", ColumnType::kInt}},
+                  "id");
+
+  schema.AddForeignKey("fact_events", "user_id", "dim_user", "id");
+  schema.AddForeignKey("fact_events", "product_id", "dim_product", "id");
+  schema.AddForeignKey("fact_events", "region_id", "dim_region", "id");
+  schema.AddForeignKey("fact_events", "date_id", "dim_date", "id");
+  schema.AddForeignKey("fact_events", "channel_id", "dim_channel", "id");
+
+  for (const char* col : {"user_id", "product_id", "region_id", "date_id",
+                          "channel_id"}) {
+    schema.MarkIndexed("fact_events", col);
+  }
+  schema.MarkIndexed("dim_user", "signup_year");
+
+  storage::Database& db = *ds.db;
+
+  // Correlated dimensions: segment influences country; category influences
+  // price tier. Skewed usage: hot users/products dominate the fact table.
+  std::vector<int> user_segment(n_user);
+  {
+    storage::Table& t = db.AddTable("dim_user");
+    storage::Column& id = t.AddColumn("id", ColumnType::kInt);
+    storage::Column& seg = t.AddColumn("segment", ColumnType::kString);
+    storage::Column& country = t.AddColumn("country", ColumnType::kString);
+    storage::Column& year = t.AddColumn("signup_year", ColumnType::kInt);
+    util::Zipf seg_dist(kSegments.size(), 0.8, options.seed + 11);
+    for (size_t i = 0; i < n_user; ++i) {
+      const int sg = static_cast<int>(seg_dist.Sample(rng));
+      user_segment[i] = sg;
+      id.AppendInt(static_cast<int64_t>(i));
+      seg.AppendString(kSegments[static_cast<size_t>(sg)]);
+      // Country correlated with segment: each segment concentrates in 3
+      // countries.
+      const size_t country_idx =
+          rng.NextBool(0.7)
+              ? (static_cast<size_t>(sg) * 2 + rng.NextBounded(3)) % kCountries.size()
+              : rng.NextBounded(kCountries.size());
+      country.AppendString(kCountries[country_idx]);
+      year.AppendInt(rng.NextInt(2008, 2019));
+    }
+    t.SealRows();
+  }
+  {
+    storage::Table& t = db.AddTable("dim_product");
+    storage::Column& id = t.AddColumn("id", ColumnType::kInt);
+    storage::Column& cat = t.AddColumn("category", ColumnType::kString);
+    storage::Column& tier = t.AddColumn("price_tier", ColumnType::kString);
+    util::Zipf cat_dist(kCategories.size(), 0.9, options.seed + 12);
+    for (size_t i = 0; i < n_product; ++i) {
+      const size_t c = cat_dist.Sample(rng);
+      id.AppendInt(static_cast<int64_t>(i));
+      cat.AppendString(kCategories[c]);
+      // Tier correlated with category.
+      const size_t tier_idx = rng.NextBool(0.6) ? c % kTiers.size()
+                                                : rng.NextBounded(kTiers.size());
+      tier.AppendString(kTiers[tier_idx]);
+    }
+    t.SealRows();
+  }
+  {
+    storage::Table& t = db.AddTable("dim_region");
+    storage::Column& id = t.AddColumn("id", ColumnType::kInt);
+    storage::Column& zone = t.AddColumn("zone", ColumnType::kString);
+    for (size_t i = 0; i < n_region; ++i) {
+      id.AppendInt(static_cast<int64_t>(i));
+      zone.AppendString(kZones[i % kZones.size()]);
+    }
+    t.SealRows();
+  }
+  {
+    storage::Table& t = db.AddTable("dim_date");
+    storage::Column& id = t.AddColumn("id", ColumnType::kInt);
+    storage::Column& year = t.AddColumn("year", ColumnType::kInt);
+    storage::Column& month = t.AddColumn("month", ColumnType::kInt);
+    storage::Column& quarter = t.AddColumn("quarter", ColumnType::kInt);
+    for (size_t i = 0; i < n_date; ++i) {
+      id.AppendInt(static_cast<int64_t>(i));
+      const int y = 2017 + static_cast<int>(i / 365);
+      const int m = static_cast<int>((i / 30) % 12) + 1;
+      year.AppendInt(y);
+      month.AppendInt(m);
+      quarter.AppendInt((m - 1) / 3 + 1);
+    }
+    t.SealRows();
+  }
+  {
+    storage::Table& t = db.AddTable("dim_channel");
+    storage::Column& id = t.AddColumn("id", ColumnType::kInt);
+    storage::Column& medium = t.AddColumn("medium", ColumnType::kString);
+    for (size_t i = 0; i < n_channel; ++i) {
+      id.AppendInt(static_cast<int64_t>(i));
+      medium.AppendString(kMediums[i % kMediums.size()]);
+    }
+    t.SealRows();
+  }
+  {
+    storage::Table& t = db.AddTable("fact_events");
+    storage::Column& id = t.AddColumn("id", ColumnType::kInt);
+    storage::Column& user = t.AddColumn("user_id", ColumnType::kInt);
+    storage::Column& product = t.AddColumn("product_id", ColumnType::kInt);
+    storage::Column& region = t.AddColumn("region_id", ColumnType::kInt);
+    storage::Column& date = t.AddColumn("date_id", ColumnType::kInt);
+    storage::Column& channel = t.AddColumn("channel_id", ColumnType::kInt);
+    storage::Column& amount = t.AddColumn("amount", ColumnType::kInt);
+    storage::Column& duration = t.AddColumn("duration", ColumnType::kInt);
+    util::Zipf user_dist(n_user, 1.1, options.seed + 13);
+    util::Zipf product_dist(n_product, 1.0, options.seed + 14);
+    util::Zipf channel_dist(n_channel, 0.8, options.seed + 15);
+    for (size_t i = 0; i < n_fact; ++i) {
+      const size_t u = user_dist.Sample(rng);
+      id.AppendInt(static_cast<int64_t>(i));
+      user.AppendInt(static_cast<int64_t>(u));
+      product.AppendInt(static_cast<int64_t>(product_dist.Sample(rng)));
+      region.AppendInt(static_cast<int64_t>(rng.NextBounded(n_region)));
+      date.AppendInt(static_cast<int64_t>(rng.NextBounded(n_date)));
+      channel.AppendInt(static_cast<int64_t>(channel_dist.Sample(rng)));
+      // Amount correlated with user segment (enterprise spends more).
+      const int base = (user_segment[u] == 0) ? 5000 : 200;
+      amount.AppendInt(rng.NextInt(base, base * 10));
+      duration.AppendInt(rng.NextInt(1, 3600));
+    }
+    t.SealRows();
+  }
+
+  catalog::BuildDeclaredIndexes(schema, ds.db.get());
+  return ds;
+}
+
+}  // namespace neo::datagen

@@ -1,0 +1,21 @@
+// "Corp"-like dataset generator: stands in for the paper's anonymous 2 TB
+// internal dashboard workload (§6.1). A star schema with Zipf-skewed foreign
+// keys and correlated dimension attributes (product category <-> price tier,
+// user segment <-> country), at laptop scale.
+#pragma once
+
+#include "src/datagen/dataset.h"
+
+namespace neo::datagen {
+
+/// Schema:
+///   dim_user(id, segment, country, signup_year)
+///   dim_product(id, category, price_tier)
+///   dim_region(id, zone)
+///   dim_date(id, year, month, quarter)
+///   dim_channel(id, medium)
+///   fact_events(id, user_id, product_id, region_id, date_id, channel_id,
+///               amount, duration)
+Dataset GenerateCorp(const GenOptions& options = {});
+
+}  // namespace neo::datagen

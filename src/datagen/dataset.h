@@ -1,0 +1,30 @@
+// A Dataset bundles generated data with its schema description. The three
+// generators mirror the paper's evaluation datasets (§6.1):
+//   ImdbGen  -> JOB's IMDB database (correlated, skewed)
+//   TpchGen  -> TPC-H SF10 (uniform, independent; the control)
+//   CorpGen  -> the anonymous 2TB dashboard workload (star schema, skewed)
+// at laptop scale. See DESIGN.md §1 for the substitution argument.
+#pragma once
+
+#include <memory>
+
+#include "src/catalog/schema.h"
+#include "src/storage/table.h"
+
+namespace neo::datagen {
+
+struct Dataset {
+  catalog::Schema schema;
+  std::unique_ptr<storage::Database> db;
+
+  Dataset() : db(std::make_unique<storage::Database>()) {}
+};
+
+/// Scale knobs shared by the generators. `scale = 1.0` is the default bench
+/// size (~10^5 rows/dataset); tests use smaller scales.
+struct GenOptions {
+  double scale = 1.0;
+  uint64_t seed = 42;
+};
+
+}  // namespace neo::datagen

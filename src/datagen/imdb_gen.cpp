@@ -1,0 +1,384 @@
+#include "src/datagen/imdb_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace neo::datagen {
+
+using storage::ColumnType;
+
+namespace {
+
+const std::vector<std::string> kGenres = {
+    "action", "adventure", "comedy",      "romance", "horror",  "scifi",
+    "drama",  "thriller",  "documentary", "fantasy", "crime",   "family"};
+
+const std::vector<std::string> kCountries = {
+    "usa",    "france", "germany", "japan",  "china", "india", "italy", "spain",
+    "mexico", "brazil", "canada",  "russia", "korea", "uk",    "sweden"};
+
+// Genre-specific keyword stems. Stems are reused across suffixes so that
+// LIKE '%stem%' predicates match a whole family of keywords that share a
+// genre affinity (Table 2: 'love'<->romance, 'fight'<->action).
+const std::vector<std::vector<std::string>> kKeywordStems = {
+    {"fight", "explosion", "chase", "gun", "hero"},          // action
+    {"quest", "island", "treasure", "jungle", "voyage"},     // adventure
+    {"joke", "satire", "parody", "slapstick", "sitcom"},     // comedy
+    {"love", "wedding", "kiss", "heart", "affair"},          // romance
+    {"blood", "ghost", "slasher", "curse", "zombie"},        // horror
+    {"space", "robot", "alien", "future", "cyborg"},         // scifi
+    {"family-drama", "tragedy", "memoir", "courtroom", "illness"},  // drama
+    {"conspiracy", "spy", "hostage", "assassin", "heist"},   // thriller
+    {"nature", "biography", "war-footage", "archive", "interview"},  // documentary
+    {"dragon", "magic", "kingdom", "wizard", "prophecy"},    // fantasy
+    {"murder", "detective", "gangster", "prison", "noir"},   // crime
+    {"holiday", "animal", "school", "toy", "friendship"},    // family
+};
+
+const std::vector<std::string> kInfoTypes = {"genres", "country", "rating", "budget"};
+
+}  // namespace
+
+const std::vector<std::string>& ImdbGenreNames() { return kGenres; }
+const std::vector<std::string>& ImdbCountryNames() { return kCountries; }
+const std::vector<std::string>& ImdbKeywordStems(int genre) {
+  return kKeywordStems[static_cast<size_t>(genre) % kKeywordStems.size()];
+}
+
+Dataset GenerateImdb(const GenOptions& options, ImdbGenStats* stats) {
+  Dataset ds;
+  util::Rng rng(options.seed);
+  const double s = options.scale;
+
+  const size_t n_title = static_cast<size_t>(8000 * s);
+  const size_t n_keyword = std::max<size_t>(
+      kGenres.size() * kKeywordStems[0].size(),
+      static_cast<size_t>(500 * std::sqrt(s)));
+  const size_t n_name = static_cast<size_t>(4000 * s);
+  const size_t n_company = static_cast<size_t>(400 * std::sqrt(s));
+  const int n_genre = static_cast<int>(kGenres.size());
+  const int n_country = static_cast<int>(kCountries.size());
+
+  // ---- Schema ----------------------------------------------------------
+  catalog::Schema& schema = ds.schema;
+  schema.AddTable("info_type", {{"id", ColumnType::kInt}, {"info", ColumnType::kString}},
+                  "id");
+  schema.AddTable("title",
+                  {{"id", ColumnType::kInt},
+                   {"kind_id", ColumnType::kInt},
+                   {"production_year", ColumnType::kInt},
+                   {"popularity", ColumnType::kInt}},
+                  "id");
+  schema.AddTable("movie_info",
+                  {{"id", ColumnType::kInt},
+                   {"movie_id", ColumnType::kInt},
+                   {"info_type_id", ColumnType::kInt},
+                   {"info", ColumnType::kString}},
+                  "id");
+  schema.AddTable("keyword", {{"id", ColumnType::kInt}, {"keyword", ColumnType::kString}},
+                  "id");
+  schema.AddTable("movie_keyword",
+                  {{"id", ColumnType::kInt},
+                   {"movie_id", ColumnType::kInt},
+                   {"keyword_id", ColumnType::kInt}},
+                  "id");
+  schema.AddTable("name",
+                  {{"id", ColumnType::kInt},
+                   {"gender", ColumnType::kInt},
+                   {"birth_country", ColumnType::kString}},
+                  "id");
+  schema.AddTable("cast_info",
+                  {{"id", ColumnType::kInt},
+                   {"movie_id", ColumnType::kInt},
+                   {"person_id", ColumnType::kInt},
+                   {"role_id", ColumnType::kInt}},
+                  "id");
+  schema.AddTable("company_name",
+                  {{"id", ColumnType::kInt}, {"country_code", ColumnType::kString}},
+                  "id");
+  schema.AddTable("movie_companies",
+                  {{"id", ColumnType::kInt},
+                   {"movie_id", ColumnType::kInt},
+                   {"company_id", ColumnType::kInt}},
+                  "id");
+
+  schema.AddForeignKey("movie_info", "movie_id", "title", "id");
+  schema.AddForeignKey("movie_info", "info_type_id", "info_type", "id");
+  schema.AddForeignKey("movie_keyword", "movie_id", "title", "id");
+  schema.AddForeignKey("movie_keyword", "keyword_id", "keyword", "id");
+  schema.AddForeignKey("cast_info", "movie_id", "title", "id");
+  schema.AddForeignKey("cast_info", "person_id", "name", "id");
+  schema.AddForeignKey("movie_companies", "movie_id", "title", "id");
+  schema.AddForeignKey("movie_companies", "company_id", "company_name", "id");
+
+  schema.MarkIndexed("movie_info", "movie_id");
+  schema.MarkIndexed("movie_info", "info_type_id");
+  schema.MarkIndexed("movie_keyword", "movie_id");
+  schema.MarkIndexed("movie_keyword", "keyword_id");
+  schema.MarkIndexed("cast_info", "movie_id");
+  schema.MarkIndexed("cast_info", "person_id");
+  schema.MarkIndexed("movie_companies", "movie_id");
+  schema.MarkIndexed("movie_companies", "company_id");
+  schema.MarkIndexed("title", "production_year");
+
+  // ---- Latent state ----------------------------------------------------
+  // Genre popularity is skewed (drama/comedy movies dominate), as is movie
+  // popularity (blockbusters get more keywords/cast entries).
+  util::Zipf genre_dist(static_cast<size_t>(n_genre), 0.7, options.seed + 1);
+  util::Zipf country_dist(static_cast<size_t>(n_country), 0.9, options.seed + 2);
+  util::Zipf pop_dist(10, 1.2, 0);
+
+  std::vector<int> movie_genre(n_title);
+  std::vector<int> movie_country(n_title);
+  std::vector<int> movie_year(n_title);
+  std::vector<int> movie_pop(n_title);
+  for (size_t i = 0; i < n_title; ++i) {
+    movie_genre[i] = static_cast<int>(genre_dist.Sample(rng));
+    movie_country[i] = static_cast<int>(country_dist.Sample(rng));
+    // Year correlates mildly with genre (e.g. scifi skews recent).
+    const int base = 1950 + static_cast<int>(rng.NextBounded(70));
+    movie_year[i] = std::min(2019, base + movie_genre[i] % 4 * 5);
+    movie_pop[i] = static_cast<int>(pop_dist.Sample(rng));  // 0 = hottest decile
+  }
+
+  // Keywords: each keyword belongs to a primary genre and is named
+  // "<stem><index>" from that genre's stem pool.
+  // The first |genres| x |stems| keywords enumerate every (genre, stem)
+  // combination so that each stem exists at every scale (workload LIKE
+  // predicates rely on this); the rest are drawn from the skewed genre
+  // distribution.
+  std::vector<int> keyword_genre(n_keyword);
+  std::vector<std::string> keyword_text(n_keyword);
+  const size_t stems_per_genre = kKeywordStems[0].size();
+  for (size_t k = 0; k < n_keyword; ++k) {
+    int g;
+    size_t stem_idx;
+    if (k < static_cast<size_t>(n_genre) * stems_per_genre) {
+      g = static_cast<int>(k / stems_per_genre);
+      stem_idx = k % stems_per_genre;
+    } else {
+      g = static_cast<int>(genre_dist.Sample(rng));
+      stem_idx = rng.NextBounded(stems_per_genre);
+    }
+    keyword_genre[k] = g;
+    const auto& stem = kKeywordStems[static_cast<size_t>(g)][stem_idx];
+    keyword_text[k] = util::StrFormat("%s-%03zu", stem.c_str(), k);
+  }
+
+  // Actors: birth country, skewed like movie countries.
+  std::vector<int> person_country(n_name);
+  for (size_t p = 0; p < n_name; ++p) {
+    person_country[p] = static_cast<int>(country_dist.Sample(rng));
+  }
+  // Bucket actors by country for correlated casting.
+  std::vector<std::vector<uint32_t>> actors_by_country(
+      static_cast<size_t>(n_country));
+  for (size_t p = 0; p < n_name; ++p) {
+    actors_by_country[static_cast<size_t>(person_country[p])].push_back(
+        static_cast<uint32_t>(p));
+  }
+
+  std::vector<int> company_country(n_company);
+  std::vector<std::vector<uint32_t>> companies_by_country(
+      static_cast<size_t>(n_country));
+  for (size_t c = 0; c < n_company; ++c) {
+    company_country[c] = static_cast<int>(country_dist.Sample(rng));
+    companies_by_country[static_cast<size_t>(company_country[c])].push_back(
+        static_cast<uint32_t>(c));
+  }
+
+  // ---- Materialize tables ----------------------------------------------
+  storage::Database& db = *ds.db;
+
+  {
+    storage::Table& t = db.AddTable("info_type");
+    storage::Column& id = t.AddColumn("id", ColumnType::kInt);
+    storage::Column& info = t.AddColumn("info", ColumnType::kString);
+    for (size_t i = 0; i < kInfoTypes.size(); ++i) {
+      id.AppendInt(static_cast<int64_t>(i));
+      info.AppendString(kInfoTypes[i]);
+    }
+    t.SealRows();
+  }
+
+  {
+    storage::Table& t = db.AddTable("title");
+    storage::Column& id = t.AddColumn("id", ColumnType::kInt);
+    storage::Column& kind = t.AddColumn("kind_id", ColumnType::kInt);
+    storage::Column& year = t.AddColumn("production_year", ColumnType::kInt);
+    storage::Column& pop = t.AddColumn("popularity", ColumnType::kInt);
+    for (size_t i = 0; i < n_title; ++i) {
+      id.AppendInt(static_cast<int64_t>(i));
+      kind.AppendInt(static_cast<int64_t>(rng.NextBounded(3)));
+      year.AppendInt(movie_year[i]);
+      pop.AppendInt(movie_pop[i]);
+    }
+    t.SealRows();
+  }
+
+  {
+    storage::Table& t = db.AddTable("movie_info");
+    storage::Column& id = t.AddColumn("id", ColumnType::kInt);
+    storage::Column& movie = t.AddColumn("movie_id", ColumnType::kInt);
+    storage::Column& type = t.AddColumn("info_type_id", ColumnType::kInt);
+    storage::Column& info = t.AddColumn("info", ColumnType::kString);
+    int64_t next_id = 0;
+    for (size_t m = 0; m < n_title; ++m) {
+      // genres row
+      id.AppendInt(next_id++);
+      movie.AppendInt(static_cast<int64_t>(m));
+      type.AppendInt(0);
+      info.AppendString(kGenres[static_cast<size_t>(movie_genre[m])]);
+      // country row
+      id.AppendInt(next_id++);
+      movie.AppendInt(static_cast<int64_t>(m));
+      type.AppendInt(1);
+      info.AppendString(kCountries[static_cast<size_t>(movie_country[m])]);
+      // rating row: popularity-correlated bucket "r0".."r9"
+      id.AppendInt(next_id++);
+      movie.AppendInt(static_cast<int64_t>(m));
+      type.AppendInt(2);
+      info.AppendString(util::StrFormat("r%d", movie_pop[m]));
+      // budget row: genre-correlated bucket
+      id.AppendInt(next_id++);
+      movie.AppendInt(static_cast<int64_t>(m));
+      type.AppendInt(3);
+      info.AppendString(util::StrFormat(
+          "b%d", (movie_genre[m] + static_cast<int>(rng.NextBounded(3))) % 8));
+    }
+    t.SealRows();
+  }
+
+  {
+    storage::Table& t = db.AddTable("keyword");
+    storage::Column& id = t.AddColumn("id", ColumnType::kInt);
+    storage::Column& kw = t.AddColumn("keyword", ColumnType::kString);
+    for (size_t k = 0; k < n_keyword; ++k) {
+      id.AppendInt(static_cast<int64_t>(k));
+      kw.AppendString(keyword_text[k]);
+    }
+    t.SealRows();
+  }
+
+  // Keywords per movie: drawn from the movie's genre pool w.p. 0.75, else
+  // uniform. Popular movies get more keywords.
+  std::vector<std::vector<uint32_t>> keywords_by_genre(
+      static_cast<size_t>(n_genre));
+  for (size_t k = 0; k < n_keyword; ++k) {
+    keywords_by_genre[static_cast<size_t>(keyword_genre[k])].push_back(
+        static_cast<uint32_t>(k));
+  }
+  {
+    storage::Table& t = db.AddTable("movie_keyword");
+    storage::Column& id = t.AddColumn("id", ColumnType::kInt);
+    storage::Column& movie = t.AddColumn("movie_id", ColumnType::kInt);
+    storage::Column& kw = t.AddColumn("keyword_id", ColumnType::kInt);
+    int64_t next_id = 0;
+    for (size_t m = 0; m < n_title; ++m) {
+      const size_t n_kw = 2 + (9 - static_cast<size_t>(movie_pop[m])) / 3 +
+                          rng.NextBounded(3);
+      for (size_t i = 0; i < n_kw; ++i) {
+        uint32_t kid;
+        const auto& pool = keywords_by_genre[static_cast<size_t>(movie_genre[m])];
+        if (!pool.empty() && rng.NextBool(0.75)) {
+          kid = pool[rng.NextBounded(pool.size())];
+        } else {
+          kid = static_cast<uint32_t>(rng.NextBounded(n_keyword));
+        }
+        id.AppendInt(next_id++);
+        movie.AppendInt(static_cast<int64_t>(m));
+        kw.AppendInt(kid);
+      }
+    }
+    t.SealRows();
+  }
+
+  {
+    storage::Table& t = db.AddTable("name");
+    storage::Column& id = t.AddColumn("id", ColumnType::kInt);
+    storage::Column& gender = t.AddColumn("gender", ColumnType::kInt);
+    storage::Column& country = t.AddColumn("birth_country", ColumnType::kString);
+    for (size_t p = 0; p < n_name; ++p) {
+      id.AppendInt(static_cast<int64_t>(p));
+      gender.AppendInt(static_cast<int64_t>(rng.NextBounded(2)));
+      country.AppendString(kCountries[static_cast<size_t>(person_country[p])]);
+    }
+    t.SealRows();
+  }
+
+  {
+    storage::Table& t = db.AddTable("cast_info");
+    storage::Column& id = t.AddColumn("id", ColumnType::kInt);
+    storage::Column& movie = t.AddColumn("movie_id", ColumnType::kInt);
+    storage::Column& person = t.AddColumn("person_id", ColumnType::kInt);
+    storage::Column& role = t.AddColumn("role_id", ColumnType::kInt);
+    int64_t next_id = 0;
+    for (size_t m = 0; m < n_title; ++m) {
+      const size_t n_cast = 2 + (9 - static_cast<size_t>(movie_pop[m])) / 2;
+      for (size_t i = 0; i < n_cast; ++i) {
+        uint32_t pid;
+        const auto& pool = actors_by_country[static_cast<size_t>(movie_country[m])];
+        if (!pool.empty() && rng.NextBool(0.7)) {
+          pid = pool[rng.NextBounded(pool.size())];
+        } else {
+          pid = static_cast<uint32_t>(rng.NextBounded(n_name));
+        }
+        id.AppendInt(next_id++);
+        movie.AppendInt(static_cast<int64_t>(m));
+        person.AppendInt(pid);
+        role.AppendInt(static_cast<int64_t>(rng.NextBounded(10)));
+      }
+    }
+    t.SealRows();
+  }
+
+  {
+    storage::Table& t = db.AddTable("company_name");
+    storage::Column& id = t.AddColumn("id", ColumnType::kInt);
+    storage::Column& country = t.AddColumn("country_code", ColumnType::kString);
+    for (size_t c = 0; c < n_company; ++c) {
+      id.AppendInt(static_cast<int64_t>(c));
+      country.AppendString(kCountries[static_cast<size_t>(company_country[c])]);
+    }
+    t.SealRows();
+  }
+
+  {
+    storage::Table& t = db.AddTable("movie_companies");
+    storage::Column& id = t.AddColumn("id", ColumnType::kInt);
+    storage::Column& movie = t.AddColumn("movie_id", ColumnType::kInt);
+    storage::Column& company = t.AddColumn("company_id", ColumnType::kInt);
+    int64_t next_id = 0;
+    for (size_t m = 0; m < n_title; ++m) {
+      const size_t n_mc = 1 + rng.NextBounded(3);
+      for (size_t i = 0; i < n_mc; ++i) {
+        uint32_t cid;
+        const auto& pool =
+            companies_by_country[static_cast<size_t>(movie_country[m])];
+        if (!pool.empty() && rng.NextBool(0.65)) {
+          cid = pool[rng.NextBounded(pool.size())];
+        } else {
+          cid = static_cast<uint32_t>(rng.NextBounded(n_company));
+        }
+        id.AppendInt(next_id++);
+        movie.AppendInt(static_cast<int64_t>(m));
+        company.AppendInt(cid);
+      }
+    }
+    t.SealRows();
+  }
+
+  catalog::BuildDeclaredIndexes(schema, ds.db.get());
+
+  if (stats != nullptr) {
+    stats->num_genres = n_genre;
+    stats->num_countries = n_country;
+    stats->num_keywords = static_cast<int>(n_keyword);
+  }
+  return ds;
+}
+
+}  // namespace neo::datagen

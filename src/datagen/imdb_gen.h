@@ -1,0 +1,47 @@
+// IMDB-like dataset generator.
+//
+// Reproduces the *statistical pathologies* that make the Join Order Benchmark
+// hard (Leis et al. [25], paper §5-6): cross-table correlations and skew that
+// violate the uniformity/independence assumptions of histogram-based
+// cardinality estimation. Each movie has a latent (genre, country, year,
+// popularity); keywords, cast, and companies are drawn *conditionally* on
+// that latent state:
+//   - movie_keyword.keyword is drawn from a genre-specific keyword pool
+//     (so `k.keyword LIKE '%love%' AND mi.info = 'romance'` is correlated:
+//     exactly the paper's Table 2 / Figure 8 example);
+//   - cast_info links actors whose birth country matches the movie's country
+//     with high probability (the paper's "Paris-born actors play in French
+//     movies" example, §5.1);
+//   - movie_companies prefers same-country companies;
+//   - popularity is Zipfian: hot movies have more keywords/cast rows.
+#pragma once
+
+#include "src/datagen/dataset.h"
+
+namespace neo::datagen {
+
+struct ImdbGenStats {
+  int num_genres = 0;
+  int num_countries = 0;
+  int num_keywords = 0;
+};
+
+/// Schema (scaled IMDB subset):
+///   info_type(id, info)                       -- 'genres','country','rating','budget'
+///   title(id, kind_id, production_year, ...)
+///   movie_info(id, movie_id, info_type_id, info)
+///   keyword(id, keyword)
+///   movie_keyword(id, movie_id, keyword_id)
+///   name(id, gender, birth_country)
+///   cast_info(id, movie_id, person_id, role_id)
+///   company_name(id, country_code)
+///   movie_companies(id, movie_id, company_id)
+Dataset GenerateImdb(const GenOptions& options = {}, ImdbGenStats* stats = nullptr);
+
+/// Word pools used for keyword construction; exposed so workloads and the
+/// Table-2 bench can form LIKE predicates that hit a known genre.
+const std::vector<std::string>& ImdbGenreNames();
+const std::vector<std::string>& ImdbCountryNames();
+const std::vector<std::string>& ImdbKeywordStems(int genre);
+
+}  // namespace neo::datagen

@@ -1,0 +1,241 @@
+#include "src/datagen/tpch_gen.h"
+
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace neo::datagen {
+
+using storage::ColumnType;
+
+namespace {
+const std::vector<std::string> kRegions = {"africa", "america", "asia", "europe",
+                                           "mideast"};
+const std::vector<std::string> kSegments = {"automobile", "building", "furniture",
+                                            "household", "machinery"};
+const std::vector<std::string> kPriorities = {"1-urgent", "2-high", "3-medium",
+                                              "4-low", "5-none"};
+const std::vector<std::string> kBrands = {"brand11", "brand12", "brand13", "brand21",
+                                          "brand22", "brand23", "brand31", "brand32",
+                                          "brand33", "brand41"};
+const std::vector<std::string> kTypes = {"anodized-steel", "burnished-brass",
+                                         "economy-copper", "plated-tin",
+                                         "polished-nickel", "promo-steel",
+                                         "standard-brass", "small-copper"};
+const std::vector<std::string> kContainers = {"jumbo-bag", "lg-box", "med-case",
+                                              "sm-drum", "wrap-jar"};
+const std::vector<std::string> kFlags = {"A", "N", "R"};
+}  // namespace
+
+Dataset GenerateTpch(const GenOptions& options) {
+  Dataset ds;
+  util::Rng rng(options.seed);
+  const double s = options.scale;
+
+  const size_t n_nation = 25;
+  const size_t n_supplier = static_cast<size_t>(400 * s);
+  const size_t n_customer = static_cast<size_t>(2500 * s);
+  const size_t n_part = static_cast<size_t>(3000 * s);
+  const size_t n_partsupp = n_part * 4;
+  const size_t n_orders = static_cast<size_t>(10000 * s);
+  const size_t avg_lines = 4;
+
+  catalog::Schema& schema = ds.schema;
+  schema.AddTable("region",
+                  {{"r_regionkey", ColumnType::kInt}, {"r_name", ColumnType::kString}},
+                  "r_regionkey");
+  schema.AddTable("nation",
+                  {{"n_nationkey", ColumnType::kInt},
+                   {"n_name", ColumnType::kString},
+                   {"n_regionkey", ColumnType::kInt}},
+                  "n_nationkey");
+  schema.AddTable("supplier",
+                  {{"s_suppkey", ColumnType::kInt},
+                   {"s_nationkey", ColumnType::kInt},
+                   {"s_acctbal", ColumnType::kInt}},
+                  "s_suppkey");
+  schema.AddTable("customer",
+                  {{"c_custkey", ColumnType::kInt},
+                   {"c_nationkey", ColumnType::kInt},
+                   {"c_mktsegment", ColumnType::kString},
+                   {"c_acctbal", ColumnType::kInt}},
+                  "c_custkey");
+  schema.AddTable("part",
+                  {{"p_partkey", ColumnType::kInt},
+                   {"p_brand", ColumnType::kString},
+                   {"p_type", ColumnType::kString},
+                   {"p_size", ColumnType::kInt},
+                   {"p_container", ColumnType::kString}},
+                  "p_partkey");
+  schema.AddTable("partsupp",
+                  {{"ps_partkey", ColumnType::kInt},
+                   {"ps_suppkey", ColumnType::kInt},
+                   {"ps_supplycost", ColumnType::kInt}},
+                  "");
+  schema.AddTable("orders",
+                  {{"o_orderkey", ColumnType::kInt},
+                   {"o_custkey", ColumnType::kInt},
+                   {"o_orderdate", ColumnType::kInt},
+                   {"o_orderpriority", ColumnType::kString},
+                   {"o_totalprice", ColumnType::kInt}},
+                  "o_orderkey");
+  schema.AddTable("lineitem",
+                  {{"l_linekey", ColumnType::kInt},
+                   {"l_orderkey", ColumnType::kInt},
+                   {"l_partkey", ColumnType::kInt},
+                   {"l_suppkey", ColumnType::kInt},
+                   {"l_quantity", ColumnType::kInt},
+                   {"l_discount", ColumnType::kInt},
+                   {"l_shipdate", ColumnType::kInt},
+                   {"l_returnflag", ColumnType::kString}},
+                  "l_linekey");
+
+  schema.AddForeignKey("nation", "n_regionkey", "region", "r_regionkey");
+  schema.AddForeignKey("supplier", "s_nationkey", "nation", "n_nationkey");
+  schema.AddForeignKey("customer", "c_nationkey", "nation", "n_nationkey");
+  schema.AddForeignKey("partsupp", "ps_partkey", "part", "p_partkey");
+  schema.AddForeignKey("partsupp", "ps_suppkey", "supplier", "s_suppkey");
+  schema.AddForeignKey("orders", "o_custkey", "customer", "c_custkey");
+  schema.AddForeignKey("lineitem", "l_orderkey", "orders", "o_orderkey");
+  schema.AddForeignKey("lineitem", "l_partkey", "part", "p_partkey");
+  schema.AddForeignKey("lineitem", "l_suppkey", "supplier", "s_suppkey");
+
+  schema.MarkIndexed("nation", "n_regionkey");
+  schema.MarkIndexed("supplier", "s_nationkey");
+  schema.MarkIndexed("customer", "c_nationkey");
+  schema.MarkIndexed("partsupp", "ps_partkey");
+  schema.MarkIndexed("partsupp", "ps_suppkey");
+  schema.MarkIndexed("orders", "o_custkey");
+  schema.MarkIndexed("orders", "o_orderdate");
+  schema.MarkIndexed("lineitem", "l_orderkey");
+  schema.MarkIndexed("lineitem", "l_partkey");
+  schema.MarkIndexed("lineitem", "l_suppkey");
+  schema.MarkIndexed("lineitem", "l_shipdate");
+
+  storage::Database& db = *ds.db;
+
+  {
+    storage::Table& t = db.AddTable("region");
+    storage::Column& key = t.AddColumn("r_regionkey", ColumnType::kInt);
+    storage::Column& name = t.AddColumn("r_name", ColumnType::kString);
+    for (size_t i = 0; i < kRegions.size(); ++i) {
+      key.AppendInt(static_cast<int64_t>(i));
+      name.AppendString(kRegions[i]);
+    }
+    t.SealRows();
+  }
+  {
+    storage::Table& t = db.AddTable("nation");
+    storage::Column& key = t.AddColumn("n_nationkey", ColumnType::kInt);
+    storage::Column& name = t.AddColumn("n_name", ColumnType::kString);
+    storage::Column& region = t.AddColumn("n_regionkey", ColumnType::kInt);
+    for (size_t i = 0; i < n_nation; ++i) {
+      key.AppendInt(static_cast<int64_t>(i));
+      name.AppendString(util::StrFormat("nation%02zu", i));
+      region.AppendInt(static_cast<int64_t>(i % kRegions.size()));
+    }
+    t.SealRows();
+  }
+  {
+    storage::Table& t = db.AddTable("supplier");
+    storage::Column& key = t.AddColumn("s_suppkey", ColumnType::kInt);
+    storage::Column& nation = t.AddColumn("s_nationkey", ColumnType::kInt);
+    storage::Column& bal = t.AddColumn("s_acctbal", ColumnType::kInt);
+    for (size_t i = 0; i < n_supplier; ++i) {
+      key.AppendInt(static_cast<int64_t>(i));
+      nation.AppendInt(static_cast<int64_t>(rng.NextBounded(n_nation)));
+      bal.AppendInt(rng.NextInt(-999, 9999));
+    }
+    t.SealRows();
+  }
+  {
+    storage::Table& t = db.AddTable("customer");
+    storage::Column& key = t.AddColumn("c_custkey", ColumnType::kInt);
+    storage::Column& nation = t.AddColumn("c_nationkey", ColumnType::kInt);
+    storage::Column& seg = t.AddColumn("c_mktsegment", ColumnType::kString);
+    storage::Column& bal = t.AddColumn("c_acctbal", ColumnType::kInt);
+    for (size_t i = 0; i < n_customer; ++i) {
+      key.AppendInt(static_cast<int64_t>(i));
+      nation.AppendInt(static_cast<int64_t>(rng.NextBounded(n_nation)));
+      seg.AppendString(kSegments[rng.NextBounded(kSegments.size())]);
+      bal.AppendInt(rng.NextInt(-999, 9999));
+    }
+    t.SealRows();
+  }
+  {
+    storage::Table& t = db.AddTable("part");
+    storage::Column& key = t.AddColumn("p_partkey", ColumnType::kInt);
+    storage::Column& brand = t.AddColumn("p_brand", ColumnType::kString);
+    storage::Column& type = t.AddColumn("p_type", ColumnType::kString);
+    storage::Column& size = t.AddColumn("p_size", ColumnType::kInt);
+    storage::Column& container = t.AddColumn("p_container", ColumnType::kString);
+    for (size_t i = 0; i < n_part; ++i) {
+      key.AppendInt(static_cast<int64_t>(i));
+      brand.AppendString(kBrands[rng.NextBounded(kBrands.size())]);
+      type.AppendString(kTypes[rng.NextBounded(kTypes.size())]);
+      size.AppendInt(rng.NextInt(1, 50));
+      container.AppendString(kContainers[rng.NextBounded(kContainers.size())]);
+    }
+    t.SealRows();
+  }
+  {
+    storage::Table& t = db.AddTable("partsupp");
+    storage::Column& part = t.AddColumn("ps_partkey", ColumnType::kInt);
+    storage::Column& supp = t.AddColumn("ps_suppkey", ColumnType::kInt);
+    storage::Column& cost = t.AddColumn("ps_supplycost", ColumnType::kInt);
+    for (size_t i = 0; i < n_partsupp; ++i) {
+      part.AppendInt(static_cast<int64_t>(i % n_part));
+      supp.AppendInt(static_cast<int64_t>(rng.NextBounded(n_supplier)));
+      cost.AppendInt(rng.NextInt(1, 1000));
+    }
+    t.SealRows();
+  }
+  std::vector<int> order_date(n_orders);
+  {
+    storage::Table& t = db.AddTable("orders");
+    storage::Column& key = t.AddColumn("o_orderkey", ColumnType::kInt);
+    storage::Column& cust = t.AddColumn("o_custkey", ColumnType::kInt);
+    storage::Column& date = t.AddColumn("o_orderdate", ColumnType::kInt);
+    storage::Column& prio = t.AddColumn("o_orderpriority", ColumnType::kString);
+    storage::Column& total = t.AddColumn("o_totalprice", ColumnType::kInt);
+    for (size_t i = 0; i < n_orders; ++i) {
+      key.AppendInt(static_cast<int64_t>(i));
+      cust.AppendInt(static_cast<int64_t>(rng.NextBounded(n_customer)));
+      order_date[i] = static_cast<int>(rng.NextBounded(2557));  // ~7 years of days
+      date.AppendInt(order_date[i]);
+      prio.AppendString(kPriorities[rng.NextBounded(kPriorities.size())]);
+      total.AppendInt(rng.NextInt(100, 500000));
+    }
+    t.SealRows();
+  }
+  {
+    storage::Table& t = db.AddTable("lineitem");
+    storage::Column& key = t.AddColumn("l_linekey", ColumnType::kInt);
+    storage::Column& order = t.AddColumn("l_orderkey", ColumnType::kInt);
+    storage::Column& part = t.AddColumn("l_partkey", ColumnType::kInt);
+    storage::Column& supp = t.AddColumn("l_suppkey", ColumnType::kInt);
+    storage::Column& qty = t.AddColumn("l_quantity", ColumnType::kInt);
+    storage::Column& disc = t.AddColumn("l_discount", ColumnType::kInt);
+    storage::Column& ship = t.AddColumn("l_shipdate", ColumnType::kInt);
+    storage::Column& flag = t.AddColumn("l_returnflag", ColumnType::kString);
+    int64_t next = 0;
+    for (size_t o = 0; o < n_orders; ++o) {
+      const size_t lines = 1 + rng.NextBounded(avg_lines * 2 - 1);
+      for (size_t l = 0; l < lines; ++l) {
+        key.AppendInt(next++);
+        order.AppendInt(static_cast<int64_t>(o));
+        part.AppendInt(static_cast<int64_t>(rng.NextBounded(n_part)));
+        supp.AppendInt(static_cast<int64_t>(rng.NextBounded(n_supplier)));
+        qty.AppendInt(rng.NextInt(1, 50));
+        disc.AppendInt(rng.NextInt(0, 10));
+        ship.AppendInt(order_date[o] + rng.NextInt(1, 120));
+        flag.AppendString(kFlags[rng.NextBounded(kFlags.size())]);
+      }
+    }
+    t.SealRows();
+  }
+
+  catalog::BuildDeclaredIndexes(schema, ds.db.get());
+  return ds;
+}
+
+}  // namespace neo::datagen

@@ -1,0 +1,23 @@
+// TPC-H-like dataset generator: the *uniform-data control* of the paper's
+// evaluation. Columns are independent and near-uniform, so histogram-based
+// estimation is accurate and R-Vector embeddings add little (paper §6.3.1:
+// highest learning-curve variance, R-Vector least useful).
+#pragma once
+
+#include "src/datagen/dataset.h"
+
+namespace neo::datagen {
+
+/// Schema (TPC-H subset, laptop scale):
+///   region(r_regionkey, r_name)
+///   nation(n_nationkey, n_name, n_regionkey)
+///   supplier(s_suppkey, s_nationkey, s_acctbal)
+///   customer(c_custkey, c_nationkey, c_mktsegment, c_acctbal)
+///   part(p_partkey, p_brand, p_type, p_size, p_container)
+///   partsupp(ps_partkey, ps_suppkey, ps_supplycost)
+///   orders(o_orderkey, o_custkey, o_orderdate, o_orderpriority, o_totalprice)
+///   lineitem(l_linekey, l_orderkey, l_partkey, l_suppkey, l_quantity,
+///            l_discount, l_shipdate, l_returnflag)
+Dataset GenerateTpch(const GenOptions& options = {});
+
+}  // namespace neo::datagen

@@ -1,0 +1,216 @@
+#include "src/embedding/row_embedding.h"
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace neo::embedding {
+
+namespace {
+
+/// True for columns excluded from attribute tokens: primary keys and
+/// foreign-key columns (ids only matter as join bridges).
+std::vector<std::vector<bool>> KeyColumnMask(const catalog::Schema& schema) {
+  std::vector<std::vector<bool>> is_key(static_cast<size_t>(schema.num_tables()));
+  for (const auto& t : schema.tables()) {
+    is_key[static_cast<size_t>(t.id)].assign(t.columns.size(), false);
+    if (t.primary_key >= 0) {
+      is_key[static_cast<size_t>(t.id)][static_cast<size_t>(t.primary_key)] = true;
+    }
+  }
+  for (const auto& fk : schema.foreign_keys()) {
+    is_key[static_cast<size_t>(fk.from_table)][static_cast<size_t>(fk.from_column)] =
+        true;
+    is_key[static_cast<size_t>(fk.to_table)][static_cast<size_t>(fk.to_column)] = true;
+  }
+  return is_key;
+}
+
+}  // namespace
+
+int RowEmbedding::InternToken(int global_col_id, int64_t code) {
+  const uint64_t key = util::HashCombine(static_cast<uint64_t>(global_col_id),
+                                         static_cast<uint64_t>(code) + 0x7fULL);
+  auto [it, inserted] = token_ids_.emplace(key, static_cast<int>(next_token_));
+  if (inserted) ++next_token_;
+  return it->second;
+}
+
+RowEmbedding::RowEmbedding(const catalog::Schema& schema, const storage::Database& db,
+                           RowEmbeddingOptions options)
+    : options_(options), w2v_(options.w2v) {
+  const auto is_key = KeyColumnMask(schema);
+  std::vector<std::vector<int>> sentences;
+
+  // Attribute tokens of one row of one table.
+  auto row_tokens = [&](const catalog::TableInfo& t, size_t row,
+                        std::vector<int>* out) {
+    const storage::Table& table = db.table(t.name);
+    for (size_t c = 0; c < t.columns.size(); ++c) {
+      if (is_key[static_cast<size_t>(t.id)][c]) continue;
+      out->push_back(InternToken(t.columns[c].global_id,
+                                 table.column(c).CodeAt(row)));
+    }
+  };
+
+  if (options_.mode == RowEmbeddingMode::kNoJoins) {
+    for (const auto& t : schema.tables()) {
+      const storage::Table& table = db.table(t.name);
+      for (size_t row = 0; row < table.num_rows(); ++row) {
+        std::vector<int> sentence;
+        row_tokens(t, row, &sentence);
+        if (sentence.size() >= 2) sentences.push_back(std::move(sentence));
+      }
+    }
+  } else {
+    // Partially denormalized (paper §5.1: "we join large fact tables with
+    // smaller tables which share a foreign key").
+
+    // Finds the row of `target` whose key column equals key_code.
+    auto lookup_row = [&](const catalog::TableInfo& target, int key_col,
+                          int64_t key_code) -> int64_t {
+      const storage::Table& target_table = db.table(target.name);
+      // Fast path: generated data keys row position by PK value.
+      if (key_code >= 0 && static_cast<size_t>(key_code) < target_table.num_rows() &&
+          target_table.column(static_cast<size_t>(key_col))
+                  .CodeAt(static_cast<size_t>(key_code)) == key_code) {
+        return key_code;
+      }
+      if (const storage::Index* idx = target_table.GetIndex(
+              target.columns[static_cast<size_t>(key_col)].name)) {
+        const auto rows = idx->LookupEqual(key_code);
+        if (!rows.empty()) return rows[0];
+      }
+      return -1;
+    };
+
+    // (1) One sentence per row of every table with outgoing FKs: own
+    // attributes + referenced rows' attributes + bridge tokens.
+    for (const auto& t : schema.tables()) {
+      std::vector<catalog::ForeignKey> outgoing;
+      for (const auto& fk : schema.foreign_keys()) {
+        if (fk.from_table == t.id) outgoing.push_back(fk);
+      }
+      if (outgoing.empty()) continue;
+      const storage::Table& table = db.table(t.name);
+      for (size_t row = 0; row < table.num_rows(); ++row) {
+        std::vector<int> sentence;
+        row_tokens(t, row, &sentence);
+        for (const auto& fk : outgoing) {
+          const catalog::TableInfo& target = schema.table(fk.to_table);
+          const int64_t key_code =
+              table.column(static_cast<size_t>(fk.from_column)).CodeAt(row);
+          // Bridge token: the referenced primary-key value itself.
+          sentence.push_back(InternToken(
+              target.columns[static_cast<size_t>(fk.to_column)].global_id, key_code));
+          const int64_t target_row = lookup_row(target, fk.to_column, key_code);
+          if (target_row >= 0) {
+            row_tokens(target, static_cast<size_t>(target_row), &sentence);
+          }
+        }
+        if (sentence.size() >= 2) sentences.push_back(std::move(sentence));
+      }
+    }
+
+    // (2) Hub documents: for every table referenced by >= 2 distinct link
+    // tables (e.g. title), one sentence per row combining its attributes
+    // with a few referencing rows from each link table, each denormalized
+    // through its *other* FK (title <- movie_keyword -> keyword). This is
+    // the title|movie_keyword|keyword + title|movie_info|info_type
+    // denormalization of §5.2, and is what lets word2vec see that 'love'
+    // keywords and 'romance' genres describe the same movies.
+    constexpr size_t kMaxRefsPerLink = 4;
+    for (const auto& hub : schema.tables()) {
+      std::vector<catalog::ForeignKey> incoming;
+      for (const auto& fk : schema.foreign_keys()) {
+        if (fk.to_table == hub.id) incoming.push_back(fk);
+      }
+      std::unordered_map<int, int> distinct_sources;
+      for (const auto& fk : incoming) distinct_sources[fk.from_table]++;
+      if (distinct_sources.size() < 2) continue;
+
+      const storage::Table& hub_table = db.table(hub.name);
+      for (size_t row = 0; row < hub_table.num_rows(); ++row) {
+        std::vector<int> sentence;
+        row_tokens(hub, row, &sentence);
+        const int64_t hub_key =
+            hub.primary_key >= 0
+                ? hub_table.column(static_cast<size_t>(hub.primary_key)).CodeAt(row)
+                : static_cast<int64_t>(row);
+        for (const auto& fk : incoming) {
+          const catalog::TableInfo& link = schema.table(fk.from_table);
+          const storage::Table& link_table = db.table(link.name);
+          const storage::Index* idx = link_table.GetIndex(
+              link.columns[static_cast<size_t>(fk.from_column)].name);
+          if (idx == nullptr) continue;
+          const auto link_rows = idx->LookupEqual(hub_key);
+          const size_t limit = std::min(kMaxRefsPerLink, link_rows.size());
+          for (size_t i = 0; i < limit; ++i) {
+            const size_t link_row = link_rows[i];
+            row_tokens(link, link_row, &sentence);
+            // Denormalize through the link's other FKs.
+            for (const auto& other_fk : schema.foreign_keys()) {
+              if (other_fk.from_table != link.id || other_fk.to_table == hub.id) {
+                continue;
+              }
+              const catalog::TableInfo& dim = schema.table(other_fk.to_table);
+              const int64_t dim_key =
+                  link_table.column(static_cast<size_t>(other_fk.from_column))
+                      .CodeAt(link_row);
+              const int64_t dim_row = lookup_row(dim, other_fk.to_column, dim_key);
+              if (dim_row >= 0) {
+                row_tokens(dim, static_cast<size_t>(dim_row), &sentence);
+              }
+            }
+          }
+        }
+        if (sentence.size() >= 2) sentences.push_back(std::move(sentence));
+      }
+    }
+  }
+
+  num_sentences_ = sentences.size();
+  NEO_CHECK_MSG(next_token_ > 0, "row embedding: empty vocabulary");
+  w2v_.Train(sentences, static_cast<int>(next_token_));
+}
+
+int RowEmbedding::TokenFor(int global_col_id, int64_t code) const {
+  const uint64_t key = util::HashCombine(static_cast<uint64_t>(global_col_id),
+                                         static_cast<uint64_t>(code) + 0x7fULL);
+  auto it = token_ids_.find(key);
+  return it == token_ids_.end() ? -1 : it->second;
+}
+
+void RowEmbedding::VectorFor(int global_col_id, int64_t code, float* out) const {
+  const int token = TokenFor(global_col_id, code);
+  if (token < 0) {
+    for (int d = 0; d < dim(); ++d) out[d] = 0.0f;
+    return;
+  }
+  const float* v = w2v_.Vector(token);
+  for (int d = 0; d < dim(); ++d) out[d] = v[d];
+}
+
+void RowEmbedding::MeanVectorFor(int global_col_id, const std::vector<int64_t>& codes,
+                                 float* out) const {
+  std::vector<int> tokens;
+  for (int64_t code : codes) {
+    const int t = TokenFor(global_col_id, code);
+    if (t >= 0) tokens.push_back(t);
+  }
+  w2v_.MeanVector(tokens, out);
+}
+
+int64_t RowEmbedding::CountFor(int global_col_id, int64_t code) const {
+  const int token = TokenFor(global_col_id, code);
+  return token < 0 ? 0 : w2v_.Count(token);
+}
+
+double RowEmbedding::Cosine(int col_a, int64_t code_a, int col_b,
+                            int64_t code_b) const {
+  const int ta = TokenFor(col_a, code_a);
+  const int tb = TokenFor(col_b, code_b);
+  if (ta < 0 || tb < 0) return 0.0;
+  return w2v_.Cosine(ta, tb);
+}
+
+}  // namespace neo::embedding

@@ -1,0 +1,62 @@
+// Skip-gram word2vec with negative sampling (Mikolov et al. [36]), from
+// scratch. Used by the R-Vector featurization (paper §5): sentences are
+// database rows, "words" are (column, value) tokens. Sentences are treated
+// as unordered bags (database rows have no token order), so context words
+// are sampled from the whole sentence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace neo::embedding {
+
+struct Word2VecOptions {
+  int dim = 16;
+  int epochs = 4;
+  int negatives = 5;           ///< Negative samples per positive pair.
+  int max_context = 4;         ///< Context tokens sampled per center token.
+  float lr = 0.05f;
+  float min_lr = 0.001f;
+  double unigram_power = 0.75; ///< Negative-sampling distribution exponent.
+  /// Frequent-token subsampling threshold (Mikolov et al.): tokens with
+  /// corpus frequency f are kept with probability sqrt(t/f) + t/f. Prevents
+  /// ubiquitous tokens (hub attributes) from collapsing the space. 0 = off.
+  double subsample_threshold = 0.0;
+  uint64_t seed = 0x33cc77ULL;
+};
+
+class Word2Vec {
+ public:
+  explicit Word2Vec(Word2VecOptions options = {}) : options_(options) {}
+
+  /// Trains on token-id sentences. `vocab_size` must exceed every token id.
+  void Train(const std::vector<std::vector<int>>& sentences, int vocab_size);
+
+  int dim() const { return options_.dim; }
+  int vocab_size() const { return vocab_size_; }
+
+  /// Input-embedding vector of a token (the conventional output of w2v).
+  const float* Vector(int token) const;
+
+  /// Number of occurrences of `token` in the training corpus.
+  int64_t Count(int token) const;
+
+  /// Cosine similarity between two token embeddings.
+  double Cosine(int a, int b) const;
+
+  /// Element-wise mean of several token vectors into `out` (size dim).
+  void MeanVector(const std::vector<int>& tokens, float* out) const;
+
+ private:
+  Word2VecOptions options_;
+  int vocab_size_ = 0;
+  std::vector<float> in_vecs_;   ///< vocab x dim
+  std::vector<float> out_vecs_;  ///< vocab x dim
+  std::vector<int64_t> counts_;
+};
+
+}  // namespace neo::embedding

@@ -1,0 +1,198 @@
+#include "src/engine/cardinality_oracle.h"
+
+#include <functional>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace neo::engine {
+
+size_t CardinalityOracle::QueryKeyHash::operator()(const QueryKey& k) const {
+  return static_cast<size_t>(util::HashCombine(k.fingerprint, k.mask));
+}
+
+const Selection& CardinalityOracle::CachedSelection(const query::Query& query,
+                                                    int table_id) {
+  const int pos = query.RelationIndex(table_id);
+  NEO_CHECK(pos >= 0);
+  const QueryKey key{query.fingerprint, 1ULL << pos};
+  auto it = selection_cache_.find(key);
+  if (it != selection_cache_.end()) return it->second;
+  Selection sel = EvaluatePredicates(db_, schema_, query, table_id);
+  return selection_cache_.emplace(key, std::move(sel)).first->second;
+}
+
+double CardinalityOracle::BaseCardinality(const query::Query& query, int table_id) {
+  return static_cast<double>(CachedSelection(query, table_id).count);
+}
+
+size_t CardinalityOracle::TableRows(int table_id) const {
+  return db_.table(schema_.table(table_id).name).num_rows();
+}
+
+double CardinalityOracle::PredicateSelectivity(const query::Query& query,
+                                               int table_id) {
+  const size_t rows = TableRows(table_id);
+  if (rows == 0) return 0.0;
+  return BaseCardinality(query, table_id) / static_cast<double>(rows);
+}
+
+double CardinalityOracle::Cardinality(const query::Query& query, uint64_t mask) {
+  NEO_CHECK(mask != 0);
+  const QueryKey key{query.fingerprint, mask};
+  auto it = subset_cache_.find(key);
+  if (it != subset_cache_.end()) return it->second;
+  const double result = ComputeSubset(query, mask);
+  subset_cache_.emplace(key, result);
+  return result;
+}
+
+double CardinalityOracle::ComputeSubset(const query::Query& query, uint64_t mask) {
+  // Collect relation positions in the subset.
+  std::vector<int> members;
+  for (size_t i = 0; i < query.relations.size(); ++i) {
+    if (mask & (1ULL << i)) members.push_back(static_cast<int>(i));
+  }
+  if (members.size() == 1) {
+    return BaseCardinality(query, query.relations[static_cast<size_t>(members[0])]);
+  }
+  NEO_CHECK_MSG(query.SubsetConnected(mask), "oracle: disconnected subset");
+
+  // Build the tree structure over subset members. Multiple edges between the
+  // same pair are combined into a composite key.
+  struct TreeEdge {
+    int parent_pos;  ///< position within `members`
+    int child_pos;
+    std::vector<std::pair<int, int>> key_cols;  ///< (parent col, child col)
+  };
+
+  const int n = static_cast<int>(members.size());
+  auto member_index = [&](int rel_pos) {
+    for (int i = 0; i < n; ++i) {
+      if (members[static_cast<size_t>(i)] == rel_pos) return i;
+    }
+    return -1;
+  };
+
+  // Adjacency via join edges restricted to the subset.
+  std::vector<std::vector<TreeEdge>> children(static_cast<size_t>(n));
+  std::vector<bool> visited(static_cast<size_t>(n), false);
+  std::vector<int> order;  // BFS order, parents before children
+  std::vector<int> stack{0};
+  visited[0] = true;
+  std::vector<std::pair<int, int>> parent_of(static_cast<size_t>(n), {-1, -1});
+  while (!stack.empty()) {
+    const int cur = stack.back();
+    stack.pop_back();
+    order.push_back(cur);
+    const int cur_table = query.relations[static_cast<size_t>(members[static_cast<size_t>(cur)])];
+    for (const query::JoinEdge& j : query.joins) {
+      if (!j.Touches(cur_table)) continue;
+      const int other_table = j.left_table == cur_table ? j.right_table : j.left_table;
+      const int other_rel_pos = query.RelationIndex(other_table);
+      if (other_rel_pos < 0 || !(mask & (1ULL << other_rel_pos))) continue;
+      const int other = member_index(other_rel_pos);
+      const int cur_col = j.left_table == cur_table ? j.left_column : j.right_column;
+      const int other_col = j.left_table == cur_table ? j.right_column : j.left_column;
+      if (!visited[static_cast<size_t>(other)]) {
+        visited[static_cast<size_t>(other)] = true;
+        TreeEdge e;
+        e.parent_pos = cur;
+        e.child_pos = other;
+        e.key_cols.emplace_back(cur_col, other_col);
+        children[static_cast<size_t>(cur)].push_back(e);
+        stack.push_back(other);
+      } else {
+        // Extra edge between already-connected members: if it parallels an
+        // existing parent-child edge, extend that edge's composite key;
+        // cyclic graphs are not supported (workloads generate FK trees).
+        bool extended = false;
+        for (auto& e : children[static_cast<size_t>(cur)]) {
+          if (e.child_pos == other) {
+            bool dup = false;
+            for (auto& kc : e.key_cols) {
+              if (kc.first == cur_col && kc.second == other_col) dup = true;
+            }
+            if (!dup) e.key_cols.emplace_back(cur_col, other_col);
+            extended = true;
+            break;
+          }
+        }
+        for (auto& e : children[static_cast<size_t>(other)]) {
+          if (e.child_pos == cur) {
+            bool dup = false;
+            for (auto& kc : e.key_cols) {
+              if (kc.first == other_col && kc.second == cur_col) dup = true;
+            }
+            if (!dup) e.key_cols.emplace_back(other_col, cur_col);
+            extended = true;
+            break;
+          }
+        }
+        NEO_CHECK_MSG(extended, "oracle: cyclic join graph not supported");
+      }
+    }
+  }
+
+  // Bottom-up message passing. weight[i][row] = number of join combinations
+  // in member i's subtree rooted at that row; messages are keyed by the
+  // composite join key toward the parent.
+  std::vector<std::vector<double>> weights(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int table_id =
+        query.relations[static_cast<size_t>(members[static_cast<size_t>(i)])];
+    const Selection& sel = CachedSelection(query, table_id);
+    weights[static_cast<size_t>(i)].assign(sel.mask.size(), 0.0);
+    for (size_t row = 0; row < sel.mask.size(); ++row) {
+      weights[static_cast<size_t>(i)][row] = sel.mask[row] ? 1.0 : 0.0;
+    }
+  }
+
+  // Process in reverse BFS order so children finish before parents.
+  for (auto it_order = order.rbegin(); it_order != order.rend(); ++it_order) {
+    const int node = *it_order;
+    const int node_table =
+        query.relations[static_cast<size_t>(members[static_cast<size_t>(node)])];
+    const storage::Table& node_storage = db_.table(schema_.table(node_table).name);
+    for (const TreeEdge& e : children[static_cast<size_t>(node)]) {
+      const int child = e.child_pos;
+      const int child_table =
+          query.relations[static_cast<size_t>(members[static_cast<size_t>(child)])];
+      const storage::Table& child_storage =
+          db_.table(schema_.table(child_table).name);
+
+      // Aggregate child weights by composite key.
+      std::unordered_map<uint64_t, double> msg;
+      const auto& child_weights = weights[static_cast<size_t>(child)];
+      for (size_t row = 0; row < child_weights.size(); ++row) {
+        if (child_weights[row] == 0.0) continue;
+        uint64_t key = 0xabc;
+        for (const auto& [pcol, ccol] : e.key_cols) {
+          key = util::HashCombine(
+              key, static_cast<uint64_t>(
+                       child_storage.column(static_cast<size_t>(ccol)).CodeAt(row)));
+        }
+        msg[key] += child_weights[row];
+      }
+      // Multiply into parent weights.
+      auto& node_weights = weights[static_cast<size_t>(node)];
+      for (size_t row = 0; row < node_weights.size(); ++row) {
+        if (node_weights[row] == 0.0) continue;
+        uint64_t key = 0xabc;
+        for (const auto& [pcol, ccol] : e.key_cols) {
+          key = util::HashCombine(
+              key, static_cast<uint64_t>(
+                       node_storage.column(static_cast<size_t>(pcol)).CodeAt(row)));
+        }
+        auto msg_it = msg.find(key);
+        node_weights[row] = msg_it == msg.end() ? 0.0 : node_weights[row] * msg_it->second;
+      }
+    }
+  }
+
+  double total = 0.0;
+  for (double w : weights[static_cast<size_t>(order[0])]) total += w;
+  return total;
+}
+
+}  // namespace neo::engine

@@ -1,0 +1,77 @@
+// True-cardinality oracle: computes the exact result size of joining any
+// connected subset of a query's relations (with all single-table predicates
+// applied) by actually evaluating the join over the stored data.
+//
+// Because workload join graphs are acyclic (FK trees, like JOB's), any
+// connected relation subset is a tree, and the exact count is computed with
+// one bottom-up message-passing sweep (O(total rows) hash aggregation per
+// subset) instead of materializing join results. Results are memoized per
+// (query, subset), so the thousands of plan executions in an RL training run
+// reuse the same counts.
+//
+// This oracle plays the role of the real execution engines' data-dependent
+// behavior in the paper: all latency numbers derive from these exact counts,
+// so cross-column correlations in the data show up in latencies exactly as
+// they would on a real system.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/catalog/schema.h"
+#include "src/engine/predicate_eval.h"
+#include "src/query/query.h"
+#include "src/storage/table.h"
+
+namespace neo::engine {
+
+class CardinalityOracle {
+ public:
+  CardinalityOracle(const catalog::Schema& schema, const storage::Database& db)
+      : schema_(schema), db_(db) {}
+
+  /// Exact cardinality of joining the relations in `mask` (bit i =
+  /// query.relations[i]), all predicates applied. `mask` must induce a
+  /// connected subgraph. For a single relation, the filtered row count.
+  double Cardinality(const query::Query& query, uint64_t mask);
+
+  /// Filtered base-table cardinality for one relation of the query.
+  double BaseCardinality(const query::Query& query, int table_id);
+
+  /// Unfiltered row count of a table.
+  size_t TableRows(int table_id) const;
+
+  /// Exact selectivity of the query's predicates on `table_id` in [0,1].
+  double PredicateSelectivity(const query::Query& query, int table_id);
+
+  /// Number of memoized subset entries (for tests / stats).
+  size_t CacheSize() const { return subset_cache_.size(); }
+
+  const catalog::Schema& schema() const { return schema_; }
+  const storage::Database& db() const { return db_; }
+
+ private:
+  struct QueryKey {
+    uint64_t fingerprint;
+    uint64_t mask;
+    bool operator==(const QueryKey& o) const {
+      return fingerprint == o.fingerprint && mask == o.mask;
+    }
+  };
+  struct QueryKeyHash {
+    size_t operator()(const QueryKey& k) const;
+  };
+
+  /// Selection vectors are cached per (query, relation).
+  const Selection& CachedSelection(const query::Query& query, int table_id);
+
+  double ComputeSubset(const query::Query& query, uint64_t mask);
+
+  const catalog::Schema& schema_;
+  const storage::Database& db_;
+  std::unordered_map<QueryKey, double, QueryKeyHash> subset_cache_;
+  std::unordered_map<QueryKey, Selection, QueryKeyHash> selection_cache_;
+};
+
+}  // namespace neo::engine

@@ -1,0 +1,101 @@
+#include "src/engine/engine_profile.h"
+
+#include "src/util/status.h"
+
+namespace neo::engine {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kPostgres: return "PostgreSQL";
+    case EngineKind::kSqlite: return "SQLite";
+    case EngineKind::kMssql: return "SQLServer";
+    case EngineKind::kOracle: return "Oracle";
+  }
+  return "?";
+}
+
+namespace {
+
+EngineProfile MakePostgres() {
+  EngineProfile p;
+  p.name = "PostgreSQL";
+  return p;  // The reference profile: defaults above are tuned for it.
+}
+
+EngineProfile MakeSqlite() {
+  // SQLite's executor is loop-join centric with strong B-tree support but a
+  // comparatively weak hash join and no intra-query parallelism.
+  EngineProfile p;
+  p.name = "SQLite";
+  p.seq_tuple = 0.9;
+  p.index_tuple = 1.4;
+  p.btree_depth = 2.5;
+  p.hash_build = 5.0;
+  p.hash_probe = 3.0;
+  p.merge_tuple = 1.6;
+  p.sort_tuple = 0.5;
+  p.loop_tuple = 0.5;
+  p.hash_mem_rows = 50000.0;
+  p.spill_factor = 5.0;
+  p.parallelism = 1.0;
+  return p;
+}
+
+EngineProfile MakeMssql() {
+  // Commercial engine: efficient across all operators, large memory grants,
+  // parallel execution.
+  EngineProfile p;
+  p.name = "SQLServer";
+  p.seq_tuple = 0.8;
+  p.filter_tuple = 0.15;
+  p.index_tuple = 1.6;
+  p.btree_depth = 3.0;
+  p.hash_build = 1.5;
+  p.hash_probe = 0.9;
+  p.merge_tuple = 0.6;
+  p.sort_tuple = 0.2;
+  p.loop_tuple = 0.55;
+  p.output_tuple = 0.25;
+  p.hash_mem_rows = 800000.0;
+  p.spill_factor = 2.5;
+  p.parallelism = 2.0;
+  return p;
+}
+
+EngineProfile MakeOracle() {
+  EngineProfile p;
+  p.name = "Oracle";
+  p.seq_tuple = 0.75;
+  p.filter_tuple = 0.15;
+  p.index_tuple = 1.5;
+  p.btree_depth = 3.2;
+  p.hash_build = 1.4;
+  p.hash_probe = 0.85;
+  p.merge_tuple = 0.65;
+  p.sort_tuple = 0.18;
+  p.loop_tuple = 0.6;
+  p.output_tuple = 0.25;
+  p.hash_mem_rows = 1000000.0;
+  p.spill_factor = 2.5;
+  p.parallelism = 2.2;
+  return p;
+}
+
+}  // namespace
+
+const EngineProfile& GetEngineProfile(EngineKind kind) {
+  static const EngineProfile kPostgres = MakePostgres();
+  static const EngineProfile kSqlite = MakeSqlite();
+  static const EngineProfile kMssql = MakeMssql();
+  static const EngineProfile kOracle = MakeOracle();
+  switch (kind) {
+    case EngineKind::kPostgres: return kPostgres;
+    case EngineKind::kSqlite: return kSqlite;
+    case EngineKind::kMssql: return kMssql;
+    case EngineKind::kOracle: return kOracle;
+  }
+  NEO_CHECK(false);
+  return kPostgres;
+}
+
+}  // namespace neo::engine

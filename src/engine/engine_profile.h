@@ -1,0 +1,52 @@
+// Engine profiles: per-operator work-unit weights that emulate the four
+// execution engines of the paper's evaluation (§6.1-6.2). The latency of a
+// complete plan is the profile-weighted sum of per-operator work computed
+// from *true* cardinalities (see latency_model.h), so the same plan costs
+// different amounts on different "engines", and different plans rank
+// differently per engine — which is what Neo must adapt to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace neo::engine {
+
+enum class EngineKind : int { kPostgres = 0, kSqlite = 1, kMssql = 2, kOracle = 3 };
+constexpr int kNumEngines = 4;
+const char* EngineKindName(EngineKind kind);
+
+struct EngineProfile {
+  std::string name;
+
+  // CPU work per tuple by operator stage.
+  double seq_tuple = 1.0;      ///< Sequential scan, per stored row.
+  double filter_tuple = 0.2;   ///< Predicate evaluation, per scanned row.
+  double index_tuple = 2.0;    ///< Random index fetch, per matched row.
+  double btree_depth = 4.0;    ///< Per index probe: weight * log2(rows).
+  double hash_build = 2.0;     ///< Hash-table insert, per build row.
+  double hash_probe = 1.2;     ///< Hash-table probe, per probe row.
+  double merge_tuple = 0.8;    ///< Merge step, per input row.
+  double sort_tuple = 0.25;    ///< Sort: weight * n * log2(n).
+  double loop_tuple = 0.6;     ///< Naive nested loop, per (outer x inner) pair.
+  double output_tuple = 0.3;   ///< Per produced row, any operator.
+
+  // Memory behavior: hash builds larger than this spill.
+  double hash_mem_rows = 200000.0;
+  double spill_factor = 3.0;  ///< Multiplier applied to the spilled build.
+
+  /// Degree of intra-query parallelism the engine achieves (divides total
+  /// work; commercial engines > open source, per paper §6.2).
+  double parallelism = 1.0;
+
+  /// Deterministic plan-keyed latency jitter amplitude (fraction of latency);
+  /// emulates run-to-run variation without breaking reproducibility.
+  double noise = 0.03;
+
+  /// Work units -> milliseconds conversion.
+  double ms_per_kilounit = 2.0;
+};
+
+/// Built-in profile for each emulated engine.
+const EngineProfile& GetEngineProfile(EngineKind kind);
+
+}  // namespace neo::engine

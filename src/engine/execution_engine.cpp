@@ -1,0 +1,22 @@
+#include "src/engine/execution_engine.h"
+
+#include "src/util/rng.h"
+
+namespace neo::engine {
+
+double ExecutionEngine::ExecutePlan(const query::Query& query,
+                                    const plan::PartialPlan& plan) {
+  const uint64_t key = util::HashCombine(plan.Hash(), query.fingerprint);
+  ++num_executions_;
+  auto it = latency_cache_.find(key);
+  if (it != latency_cache_.end()) {
+    simulated_execution_ms_ += it->second;
+    return it->second;
+  }
+  const double ms = model_.Execute(query, plan).latency_ms;
+  latency_cache_.emplace(key, ms);
+  simulated_execution_ms_ += ms;
+  return ms;
+}
+
+}  // namespace neo::engine

@@ -1,0 +1,52 @@
+// Facade bundling one emulated engine: profile + oracle + latency model +
+// a plan-latency memo cache. Plays the role of "the database execution
+// engine" in Figure 1 of the paper: Neo submits a complete plan, gets back a
+// latency.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/engine/cardinality_oracle.h"
+#include "src/engine/engine_profile.h"
+#include "src/engine/latency_model.h"
+
+namespace neo::engine {
+
+class ExecutionEngine {
+ public:
+  ExecutionEngine(const catalog::Schema& schema, const storage::Database& db,
+                  EngineKind kind)
+      : kind_(kind),
+        profile_(GetEngineProfile(kind)),
+        oracle_(std::make_unique<CardinalityOracle>(schema, db)),
+        model_(profile_, oracle_.get()) {}
+
+  /// Executes a complete plan, returning its latency in (simulated) ms.
+  /// Deterministic; memoized on (query, plan) so RL retraining loops are
+  /// cheap, but every call still accrues simulated execution time.
+  double ExecutePlan(const query::Query& query, const plan::PartialPlan& plan);
+
+  EngineKind kind() const { return kind_; }
+  const EngineProfile& profile() const { return profile_; }
+  CardinalityOracle& oracle() { return *oracle_; }
+  const LatencyModel& model() const { return model_; }
+
+  /// Simulated wall-clock spent executing queries (counts cache hits too:
+  /// a real deployment executes each submitted plan). Used by the Fig. 11
+  /// training-time accounting.
+  double simulated_execution_ms() const { return simulated_execution_ms_; }
+  size_t num_executions() const { return num_executions_; }
+  size_t num_distinct_plans() const { return latency_cache_.size(); }
+
+ private:
+  EngineKind kind_;
+  const EngineProfile& profile_;
+  std::unique_ptr<CardinalityOracle> oracle_;
+  LatencyModel model_;
+  std::unordered_map<uint64_t, double> latency_cache_;
+  double simulated_execution_ms_ = 0.0;
+  size_t num_executions_ = 0;
+};
+
+}  // namespace neo::engine

@@ -1,0 +1,57 @@
+#include "src/engine/explain.h"
+
+#include "src/util/string_util.h"
+
+namespace neo::engine {
+
+namespace {
+
+const char* JoinName(plan::JoinOp op) {
+  switch (op) {
+    case plan::JoinOp::kHash: return "HashJoin";
+    case plan::JoinOp::kMerge: return "MergeJoin";
+    case plan::JoinOp::kLoop: return "LoopJoin";
+  }
+  return "?";
+}
+
+const char* ScanName(plan::ScanOp op) {
+  switch (op) {
+    case plan::ScanOp::kTable: return "TableScan";
+    case plan::ScanOp::kIndex: return "IndexScan";
+    case plan::ScanOp::kUnspecified: return "UnspecifiedScan";
+  }
+  return "?";
+}
+
+void Render(const query::Query& query, const plan::PlanNode& node,
+            const LatencyModel& model, const catalog::Schema& schema, int depth,
+            std::string* out) {
+  const NodeExec exec = model.EvaluateNode(query, node);
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  if (node.is_join) {
+    out->append(util::StrFormat("%s  (out=%.0f, work=%.3g)\n", JoinName(node.join_op),
+                                exec.out_card, exec.work));
+    Render(query, *node.left, model, schema, depth + 1, out);
+    Render(query, *node.right, model, schema, depth + 1, out);
+  } else {
+    out->append(util::StrFormat("%s %s  (out=%.0f, work=%.3g)\n",
+                                ScanName(node.scan_op),
+                                schema.table(node.table_id).name.c_str(),
+                                exec.out_card, exec.work));
+  }
+}
+
+}  // namespace
+
+std::string ExplainPlan(const query::Query& query, const plan::PartialPlan& plan,
+                        const LatencyModel& model) {
+  std::string out;
+  const catalog::Schema& schema = model.oracle().schema();
+  for (const auto& root : plan.roots) {
+    Render(query, *root, model, schema, 0, &out);
+  }
+  return out;
+}
+
+}  // namespace neo::engine

@@ -1,0 +1,19 @@
+// EXPLAIN-style plan rendering: operator tree with per-node true output
+// cardinalities and cumulative work, as computed by the latency model.
+// Useful for inspecting why one plan beats another.
+#pragma once
+
+#include <string>
+
+#include "src/engine/latency_model.h"
+
+namespace neo::engine {
+
+/// Multi-line rendering, e.g.:
+///   HashJoin  (out=1204, work=5.31e4)
+///     IndexScan movie_keyword  (out=880, work=3.1e3)
+///     TableScan keyword  (out=12, work=6.2e2)
+std::string ExplainPlan(const query::Query& query, const plan::PartialPlan& plan,
+                        const LatencyModel& model);
+
+}  // namespace neo::engine

@@ -1,0 +1,292 @@
+#include "src/engine/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace neo::engine {
+
+namespace {
+
+double Log2Safe(double x) { return std::log2(std::max(2.0, x)); }
+
+/// Join-edge columns connecting the two child subtrees, as
+/// (left_table, left_col, right_table, right_col), canonically ordered.
+std::vector<query::JoinEdge> EdgesBetween(const query::Query& query,
+                                          uint64_t left_mask, uint64_t right_mask) {
+  std::vector<query::JoinEdge> out;
+  for (const query::JoinEdge& j : query.joins) {
+    const int li = query.RelationIndex(j.left_table);
+    const int ri = query.RelationIndex(j.right_table);
+    if (li < 0 || ri < 0) continue;
+    const uint64_t lbit = 1ULL << li;
+    const uint64_t rbit = 1ULL << ri;
+    if ((left_mask & lbit) && (right_mask & rbit)) {
+      out.push_back(j);
+    } else if ((left_mask & rbit) && (right_mask & lbit)) {
+      // Normalize orientation: left fields describe the left subtree.
+      query::JoinEdge flipped;
+      flipped.left_table = j.right_table;
+      flipped.left_column = j.right_column;
+      flipped.right_table = j.left_table;
+      flipped.right_column = j.left_column;
+      out.push_back(flipped);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const query::JoinEdge& a, const query::JoinEdge& b) {
+    return std::tie(a.left_table, a.left_column, a.right_table, a.right_column) <
+           std::tie(b.left_table, b.left_column, b.right_table, b.right_column);
+  });
+  return out;
+}
+
+/// Index-supported predicate ops.
+bool IndexSupported(query::PredOp op) {
+  using query::PredOp;
+  return op == PredOp::kEq || op == PredOp::kLt || op == PredOp::kLe ||
+         op == PredOp::kGt || op == PredOp::kGe;
+}
+
+}  // namespace
+
+bool IndexScanUsable(const catalog::Schema& schema, const query::Query& query,
+                     int table_id) {
+  const catalog::TableInfo& info = schema.table(table_id);
+  auto is_indexed = [&](int col) {
+    return info.columns[static_cast<size_t>(col)].indexed ||
+           info.primary_key == col;
+  };
+  for (const query::JoinEdge& j : query.joins) {
+    if (j.left_table == table_id && is_indexed(j.left_column)) return true;
+    if (j.right_table == table_id && is_indexed(j.right_column)) return true;
+  }
+  for (const query::Predicate& p : query.predicates) {
+    if (p.table_id == table_id && IndexSupported(p.op) &&
+        is_indexed(p.column_idx)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+NodeExec LatencyModel::EvaluateNode(const query::Query& query,
+                                    const plan::PlanNode& node,
+                                    int preferred_sort_gid) const {
+  const catalog::Schema& schema = oracle_->schema();
+  NodeExec result;
+  result.out_card = oracle_->Cardinality(query, node.rel_mask);
+  constexpr double kStartup = 50.0;
+
+  if (!node.is_join) {
+    NEO_CHECK_MSG(node.scan_op != plan::ScanOp::kUnspecified,
+                  "cannot execute an unspecified scan");
+    const int table_id = node.table_id;
+    const catalog::TableInfo& info = schema.table(table_id);
+    const storage::Table& table = oracle_->db().table(info.name);
+    const double n_rows = static_cast<double>(table.num_rows());
+    const size_t n_preds = query.PredicatesOn(table_id).size();
+
+    if (node.scan_op == plan::ScanOp::kTable) {
+      result.work = kStartup + n_rows * (profile_.seq_tuple +
+                                         profile_.filter_tuple * static_cast<double>(n_preds)) +
+                    result.out_card * profile_.output_tuple;
+      return result;
+    }
+
+    // Index scan. Pick the most selective index-supported predicate on an
+    // indexed column; exact match counts come from the stored index.
+    double fetched = n_rows;  // Full index sweep if nothing narrows it.
+    int sort_col = -1;
+    for (const query::Predicate& p : query.PredicatesOn(table_id)) {
+      if (!IndexSupported(p.op)) continue;
+      const auto& col_info = info.columns[static_cast<size_t>(p.column_idx)];
+      if (!col_info.indexed && info.primary_key != p.column_idx) continue;
+      const storage::Index* index = table.GetIndex(col_info.name);
+      if (index == nullptr) continue;
+      double matches = 0.0;
+      switch (p.op) {
+        case query::PredOp::kEq:
+          matches = static_cast<double>(index->CountEqual(p.value_code));
+          break;
+        case query::PredOp::kLt:
+          matches = static_cast<double>(index->CountRange(INT64_MIN, p.value_code - 1));
+          break;
+        case query::PredOp::kLe:
+          matches = static_cast<double>(index->CountRange(INT64_MIN, p.value_code));
+          break;
+        case query::PredOp::kGt:
+          matches = static_cast<double>(index->CountRange(p.value_code + 1, INT64_MAX));
+          break;
+        case query::PredOp::kGe:
+          matches = static_cast<double>(index->CountRange(p.value_code, INT64_MAX));
+          break;
+        default: continue;
+      }
+      if (matches < fetched) {
+        fetched = matches;
+        sort_col = col_info.global_id;
+      }
+    }
+    // If an enclosing merge join wants a particular order and this table has
+    // an index on that column, an index-order sweep avoids the parent's sort.
+    // Use it unless a selective predicate path (< 20% of rows) is available.
+    bool use_preferred_sweep = false;
+    if (preferred_sort_gid >= 0) {
+      const auto& pref_col = schema.ColumnByGlobalId(preferred_sort_gid);
+      if (pref_col.table_id == table_id &&
+          table.HasIndex(pref_col.name) &&
+          !(sort_col >= 0 && fetched < 0.2 * n_rows)) {
+        use_preferred_sweep = true;
+      }
+    }
+    if (use_preferred_sweep) {
+      result.work = kStartup +
+                    n_rows * (profile_.index_tuple +
+                              profile_.filter_tuple * static_cast<double>(n_preds)) +
+                    result.out_card * profile_.output_tuple;
+      result.sorted_cols.push_back(preferred_sort_gid);
+      return result;
+    }
+    result.work = kStartup + profile_.btree_depth * Log2Safe(n_rows) +
+                  fetched * (profile_.index_tuple +
+                             profile_.filter_tuple * static_cast<double>(n_preds)) +
+                  result.out_card * profile_.output_tuple;
+    if (sort_col >= 0) {
+      result.sorted_cols.push_back(sort_col);
+    } else if (fetched >= n_rows) {
+      // Full sweep of some index: output ordered by that index's column. Use
+      // the first declared index for determinism.
+      const auto idx_cols = table.indexed_columns();
+      if (!idx_cols.empty()) {
+        const int gid = schema.GlobalColumnId(info.name, idx_cols.front());
+        if (gid >= 0) result.sorted_cols.push_back(gid);
+      }
+    }
+    return result;
+  }
+
+  // ---- Join node --------------------------------------------------------
+  const plan::PlanNode& left = *node.left;
+  const plan::PlanNode& right = *node.right;
+  const std::vector<query::JoinEdge> edges =
+      EdgesBetween(query, left.rel_mask, right.rel_mask);
+  NEO_CHECK_MSG(!edges.empty(), "cross products are not generated");
+  const query::JoinEdge& key_edge = edges.front();
+  const int left_key_gid = schema.GlobalColumnId(
+      schema.table(key_edge.left_table).name,
+      schema.table(key_edge.left_table).columns[static_cast<size_t>(key_edge.left_column)].name);
+  const int right_key_gid = schema.GlobalColumnId(
+      schema.table(key_edge.right_table).name,
+      schema.table(key_edge.right_table)
+          .columns[static_cast<size_t>(key_edge.right_column)]
+          .name);
+
+  const double out = result.out_card;
+
+  // Loop and hash joins stream the left (outer/probe) side, so an enclosing
+  // merge join's order preference propagates to it; merge joins want their
+  // own join key.
+  const int left_pref = node.join_op == plan::JoinOp::kMerge ? left_key_gid
+                                                             : preferred_sort_gid;
+  const NodeExec left_exec = EvaluateNode(query, left, left_pref);
+
+  if (node.join_op == plan::JoinOp::kLoop) {
+    // Index nested-loop: right child is an index scan whose table has an
+    // index on the join-edge column.
+    if (!right.is_join && right.scan_op == plan::ScanOp::kIndex) {
+      const catalog::TableInfo& rinfo = schema.table(right.table_id);
+      const storage::Table& rtable = oracle_->db().table(rinfo.name);
+      bool edge_indexed = false;
+      for (const query::JoinEdge& e : edges) {
+        const auto& col = rinfo.columns[static_cast<size_t>(e.right_column)];
+        if (col.indexed || rinfo.primary_key == e.right_column) {
+          edge_indexed = true;
+          break;
+        }
+      }
+      if (edge_indexed) {
+        const double probes = left_exec.out_card;
+        const double rsel =
+            std::max(oracle_->PredicateSelectivity(query, right.table_id), 1e-9);
+        // Rows fetched via the index before the inner predicates filter them;
+        // assumes join-key / predicate independence on the inner (documented
+        // approximation; exact value would need predicate-less oracle calls).
+        const double fetched = std::min(
+            out / rsel, probes * static_cast<double>(rtable.num_rows()));
+        const size_t n_preds = query.PredicatesOn(right.table_id).size();
+        result.work = left_exec.work + kStartup +
+                      probes * profile_.btree_depth * Log2Safe(static_cast<double>(
+                                   rtable.num_rows())) +
+                      fetched * (profile_.index_tuple +
+                                 profile_.filter_tuple * static_cast<double>(n_preds)) +
+                      out * profile_.output_tuple;
+        result.sorted_cols = left_exec.sorted_cols;  // Preserves outer order.
+        return result;
+      }
+    }
+    // Naive nested loop over materialized inner.
+    const NodeExec right_exec = EvaluateNode(query, right);
+    result.work = left_exec.work + right_exec.work + kStartup +
+                  left_exec.out_card * right_exec.out_card * profile_.loop_tuple +
+                  out * profile_.output_tuple;
+    result.sorted_cols = left_exec.sorted_cols;
+    return result;
+  }
+
+  const NodeExec right_exec = EvaluateNode(
+      query, right, node.join_op == plan::JoinOp::kMerge ? right_key_gid : -1);
+
+  if (node.join_op == plan::JoinOp::kHash) {
+    // Left = probe, right = build.
+    const double build = right_exec.out_card;
+    const double probe = left_exec.out_card;
+    double join_work = build * profile_.hash_build + probe * profile_.hash_probe;
+    if (build > profile_.hash_mem_rows) {
+      join_work *= profile_.spill_factor;
+    }
+    result.work = left_exec.work + right_exec.work + kStartup + join_work +
+                  out * profile_.output_tuple;
+    // Hash join output order: streams the probe side.
+    result.sorted_cols = left_exec.sorted_cols;
+    return result;
+  }
+
+  // Merge join: sort any input not already ordered by its join key.
+  auto sort_cost = [&](const NodeExec& exec, int key_gid) {
+    const bool sorted = std::find(exec.sorted_cols.begin(), exec.sorted_cols.end(),
+                                  key_gid) != exec.sorted_cols.end();
+    if (sorted) return 0.0;
+    return exec.out_card * Log2Safe(exec.out_card) * profile_.sort_tuple;
+  };
+  const double work = sort_cost(left_exec, left_key_gid) +
+                      sort_cost(right_exec, right_key_gid) +
+                      (left_exec.out_card + right_exec.out_card) * profile_.merge_tuple +
+                      out * profile_.output_tuple;
+  result.work = left_exec.work + right_exec.work + kStartup + work;
+  result.sorted_cols = {left_key_gid, right_key_gid};
+  return result;
+}
+
+ExecResult LatencyModel::Execute(const query::Query& query,
+                                 const plan::PartialPlan& plan) const {
+  NEO_CHECK_MSG(plan.IsComplete(), "Execute requires a complete plan");
+  const NodeExec exec = EvaluateNode(query, *plan.roots[0]);
+  ExecResult result;
+  result.total_work = exec.work / profile_.parallelism;
+  result.root_card = exec.out_card;
+  double ms = result.total_work * profile_.ms_per_kilounit / 1000.0;
+  if (profile_.noise > 0.0) {
+    // Deterministic jitter keyed by (plan, query, engine).
+    const uint64_t h = util::HashCombine(
+        util::HashCombine(plan.Hash(), query.fingerprint),
+        util::Mix64(std::hash<std::string>{}(profile_.name)));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    ms *= 1.0 + profile_.noise * (2.0 * u - 1.0);
+  }
+  result.latency_ms = ms;
+  return result;
+}
+
+}  // namespace neo::engine

@@ -1,0 +1,69 @@
+// Deterministic latency model: walks a complete physical plan, computes every
+// operator's input/output cardinality from the true-cardinality oracle, and
+// charges engine-profile-weighted work per operator. Captures the physical
+// effects the paper's value network must learn to recognize (§4):
+//   - loop joins without an inner index are quadratic (the catastrophic
+//     plans Leis et al. observed);
+//   - index nested-loop joins are cheap for small outer cardinalities;
+//   - hash joins pay a build cost and spill when the build side exceeds the
+//     engine's memory grant ("a hash join using a fact table as the build
+//     relation is likely to incur spills");
+//   - merge joins are cheap when inputs arrive sorted (index scans and
+//     previous merge joins preserve order) and pay n log n sorts otherwise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/engine/cardinality_oracle.h"
+#include "src/engine/engine_profile.h"
+#include "src/plan/plan.h"
+
+namespace neo::engine {
+
+/// Per-node execution summary (also consumed by featurization's cardinality
+/// channel and by EXPLAIN-style output).
+struct NodeExec {
+  double out_card = 0.0;
+  double work = 0.0;               ///< Cumulative work of the subtree.
+  std::vector<int> sorted_cols;    ///< Global column ids the output is sorted by.
+  bool index_inner_capable = false;
+};
+
+struct ExecResult {
+  double latency_ms = 0.0;
+  double total_work = 0.0;
+  double root_card = 0.0;
+};
+
+class LatencyModel {
+ public:
+  LatencyModel(const EngineProfile& profile, CardinalityOracle* oracle)
+      : profile_(profile), oracle_(oracle) {}
+
+  /// Latency of a complete plan on this engine. Deterministic; includes
+  /// plan-keyed jitter if the profile's noise amplitude is non-zero.
+  ExecResult Execute(const query::Query& query, const plan::PartialPlan& plan) const;
+
+  /// Work of one subtree (no noise, no ms conversion); exposed for tests.
+  /// `preferred_sort_gid` is the global column id an enclosing merge join
+  /// would like this subtree's output sorted by (-1 = no preference); index
+  /// scan leaves use it to pick an index-order sweep when beneficial.
+  NodeExec EvaluateNode(const query::Query& query, const plan::PlanNode& node,
+                        int preferred_sort_gid = -1) const;
+
+  const EngineProfile& profile() const { return profile_; }
+  const CardinalityOracle& oracle() const { return *oracle_; }
+
+ private:
+  const EngineProfile& profile_;
+  CardinalityOracle* oracle_;
+};
+
+/// True if an index scan over `table_id` is meaningful for this query: the
+/// table has an index on a join-edge column (enabling index nested-loop) or
+/// on a column with an index-supported predicate (Eq or range).
+bool IndexScanUsable(const catalog::Schema& schema, const query::Query& query,
+                     int table_id);
+
+}  // namespace neo::engine

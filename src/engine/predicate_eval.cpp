@@ -1,0 +1,64 @@
+#include "src/engine/predicate_eval.h"
+
+#include "src/util/status.h"
+
+namespace neo::engine {
+
+bool MatchesPredicate(const query::Predicate& pred, int64_t code,
+                      const std::unordered_set<int64_t>* contains_codes) {
+  using query::PredOp;
+  switch (pred.op) {
+    case PredOp::kEq: return code == pred.value_code;
+    case PredOp::kNeq: return code != pred.value_code;
+    case PredOp::kLt: return code < pred.value_code;
+    case PredOp::kLe: return code <= pred.value_code;
+    case PredOp::kGt: return code > pred.value_code;
+    case PredOp::kGe: return code >= pred.value_code;
+    case PredOp::kContains:
+      NEO_CHECK(contains_codes != nullptr);
+      return contains_codes->count(code) > 0;
+  }
+  return false;
+}
+
+std::unordered_set<int64_t> ContainsCodeSet(const storage::Column& column,
+                                            const std::string& needle) {
+  std::unordered_set<int64_t> out;
+  for (int64_t code : column.CodesContaining(needle)) out.insert(code);
+  return out;
+}
+
+Selection EvaluatePredicates(const storage::Database& db, const catalog::Schema& schema,
+                             const query::Query& query, int table_id) {
+  const catalog::TableInfo& info = schema.table(table_id);
+  const storage::Table& table = db.table(info.name);
+  Selection sel;
+  sel.mask.assign(table.num_rows(), 1);
+  sel.count = table.num_rows();
+
+  for (const query::Predicate& pred : query.predicates) {
+    if (pred.table_id != table_id) continue;
+    const storage::Column& col = table.column(static_cast<size_t>(pred.column_idx));
+    std::unordered_set<int64_t> contains_codes;
+    const std::unordered_set<int64_t>* contains_ptr = nullptr;
+    if (pred.op == query::PredOp::kContains) {
+      contains_codes = ContainsCodeSet(col, pred.value_str);
+      contains_ptr = &contains_codes;
+    }
+    size_t count = 0;
+    for (size_t row = 0; row < sel.mask.size(); ++row) {
+      if (!sel.mask[row]) continue;
+      if (MatchesPredicate(pred, col.CodeAt(row), contains_ptr)) {
+        ++count;
+      } else {
+        sel.mask[row] = 0;
+      }
+    }
+    sel.count = count;
+  }
+  // Recount in case there were no predicates (count stayed at num_rows).
+  if (query.PredicatesOn(table_id).empty()) sel.count = table.num_rows();
+  return sel;
+}
+
+}  // namespace neo::engine

@@ -1,0 +1,33 @@
+// Exact predicate evaluation over stored data. Produces per-relation
+// selection vectors used by the cardinality oracle and (as exact
+// selectivities) by the latency model.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/query/query.h"
+#include "src/storage/table.h"
+
+namespace neo::engine {
+
+/// Evaluates one predicate against one row code.
+bool MatchesPredicate(const query::Predicate& pred, int64_t code,
+                      const std::unordered_set<int64_t>* contains_codes);
+
+/// Computes the dictionary-code set matched by a kContains predicate.
+std::unordered_set<int64_t> ContainsCodeSet(const storage::Column& column,
+                                            const std::string& needle);
+
+/// Selection result for one relation of a query.
+struct Selection {
+  std::vector<uint8_t> mask;  ///< 1 if the row passes all predicates.
+  size_t count = 0;           ///< Number of passing rows.
+};
+
+/// Applies all of `query`'s predicates on `table_id` to the stored table.
+Selection EvaluatePredicates(const storage::Database& db, const catalog::Schema& schema,
+                             const query::Query& query, int table_id);
+
+}  // namespace neo::engine

@@ -1,0 +1,56 @@
+#include "src/nn/adam.h"
+
+#include <cmath>
+
+namespace neo::nn {
+
+Adam::Adam(std::vector<Param*> params, AdamOptions options)
+    : params_(std::move(params)), options_(options) {
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  // Optional global-norm gradient clipping.
+  if (options_.grad_clip > 0.0f) {
+    double norm_sq = 0.0;
+    for (Param* p : params_) {
+      for (size_t i = 0; i < p->grad.Size(); ++i) {
+        norm_sq += static_cast<double>(p->grad.data()[i]) * p->grad.data()[i];
+      }
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > options_.grad_clip) {
+      const float scale = static_cast<float>(options_.grad_clip / norm);
+      for (Param* p : params_) p->grad.Scale(scale);
+    }
+  }
+
+  const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Param* p = params_[k];
+    float* w = p->value.data();
+    float* g = p->grad.data();
+    float* m = m_[k].data();
+    float* v = v_[k].data();
+    for (size_t i = 0; i < p->value.Size(); ++i) {
+      float grad = g[i] + options_.weight_decay * w[i];
+      m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * grad;
+      v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * grad * grad;
+      const float m_hat = m[i] / bc1;
+      const float v_hat = v[i] / bc2;
+      w[i] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+    }
+  }
+  ZeroGrad();
+}
+
+void Adam::ZeroGrad() {
+  for (Param* p : params_) p->ZeroGrad();
+}
+
+}  // namespace neo::nn

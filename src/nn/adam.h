@@ -1,0 +1,38 @@
+// Adam optimizer (Kingma & Ba [19]; paper §6.1 trains with Adam).
+#pragma once
+
+#include <vector>
+
+#include "src/nn/layers.h"
+
+namespace neo::nn {
+
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+  float grad_clip = 5.0f;  ///< Global-norm clip; 0 disables.
+};
+
+class Adam {
+ public:
+  explicit Adam(std::vector<Param*> params, AdamOptions options = {});
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+  void ZeroGrad();
+
+  int64_t steps() const { return t_; }
+
+ private:
+  std::vector<Param*> params_;
+  AdamOptions options_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  int64_t t_ = 0;
+};
+
+}  // namespace neo::nn

@@ -1,0 +1,139 @@
+#include "src/nn/layers.h"
+
+#include <cmath>
+
+namespace neo::nn {
+
+Linear::Linear(int in_dim, int out_dim, util::Rng& rng) {
+  weight_.value = Matrix(in_dim, out_dim);
+  weight_.value.InitKaiming(rng, in_dim);
+  weight_.grad = Matrix(in_dim, out_dim);
+  bias_.value = Matrix(1, out_dim);
+  bias_.grad = Matrix(1, out_dim);
+}
+
+Matrix Linear::Forward(const Matrix& x) {
+  last_input_ = x;
+  Matrix y = MatMul(x, weight_.value);
+  for (int r = 0; r < y.rows(); ++r) {
+    float* row = y.Row(r);
+    const float* b = bias_.value.Row(0);
+    for (int c = 0; c < y.cols(); ++c) row[c] += b[c];
+  }
+  return y;
+}
+
+Matrix Linear::Backward(const Matrix& grad_out) {
+  // dW += x^T g ; db += sum_rows(g) ; dx = g W^T.
+  weight_.grad.Add(MatMulTransposeA(last_input_, grad_out));
+  for (int r = 0; r < grad_out.rows(); ++r) {
+    const float* g = grad_out.Row(r);
+    float* b = bias_.grad.Row(0);
+    for (int c = 0; c < grad_out.cols(); ++c) b[c] += g[c];
+  }
+  return MatMulTransposeB(grad_out, weight_.value);
+}
+
+Matrix LeakyReLU::Forward(const Matrix& x) {
+  last_input_ = x;
+  Matrix y = x;
+  for (size_t i = 0; i < y.Size(); ++i) {
+    if (y.data()[i] < 0.0f) y.data()[i] *= alpha_;
+  }
+  return y;
+}
+
+Matrix LeakyReLU::Backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (size_t i = 0; i < g.Size(); ++i) {
+    if (last_input_.data()[i] < 0.0f) g.data()[i] *= alpha_;
+  }
+  return g;
+}
+
+LayerNorm::LayerNorm(int dim) {
+  gain_.value = Matrix(1, dim);
+  for (size_t i = 0; i < gain_.value.Size(); ++i) gain_.value.data()[i] = 1.0f;
+  gain_.grad = Matrix(1, dim);
+  bias_.value = Matrix(1, dim);
+  bias_.grad = Matrix(1, dim);
+}
+
+Matrix LayerNorm::Forward(const Matrix& x) {
+  const int n = x.rows(), d = x.cols();
+  last_norm_ = Matrix(n, d);
+  last_inv_std_.assign(static_cast<size_t>(n), 0.0f);
+  Matrix y(n, d);
+  for (int r = 0; r < n; ++r) {
+    const float* row = x.Row(r);
+    float mean = 0.0f;
+    for (int c = 0; c < d; ++c) mean += row[c];
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (int c = 0; c < d; ++c) {
+      const float dv = row[c] - mean;
+      var += dv * dv;
+    }
+    var /= static_cast<float>(d);
+    const float inv_std = 1.0f / std::sqrt(var + kEps);
+    last_inv_std_[static_cast<size_t>(r)] = inv_std;
+    float* nrow = last_norm_.Row(r);
+    float* yrow = y.Row(r);
+    for (int c = 0; c < d; ++c) {
+      nrow[c] = (row[c] - mean) * inv_std;
+      yrow[c] = nrow[c] * gain_.value.At(0, c) + bias_.value.At(0, c);
+    }
+  }
+  return y;
+}
+
+Matrix LayerNorm::Backward(const Matrix& grad_out) {
+  const int n = grad_out.rows(), d = grad_out.cols();
+  Matrix grad_in(n, d);
+  for (int r = 0; r < n; ++r) {
+    const float* g = grad_out.Row(r);
+    const float* x_hat = last_norm_.Row(r);
+    const float inv_std = last_inv_std_[static_cast<size_t>(r)];
+    // Param grads.
+    for (int c = 0; c < d; ++c) {
+      gain_.grad.At(0, c) += g[c] * x_hat[c];
+      bias_.grad.At(0, c) += g[c];
+    }
+    // dx = (1/std) * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat))
+    float mean_dxhat = 0.0f, mean_dxhat_xhat = 0.0f;
+    std::vector<float> dxhat(static_cast<size_t>(d));
+    for (int c = 0; c < d; ++c) {
+      dxhat[static_cast<size_t>(c)] = g[c] * gain_.value.At(0, c);
+      mean_dxhat += dxhat[static_cast<size_t>(c)];
+      mean_dxhat_xhat += dxhat[static_cast<size_t>(c)] * x_hat[c];
+    }
+    mean_dxhat /= static_cast<float>(d);
+    mean_dxhat_xhat /= static_cast<float>(d);
+    float* out = grad_in.Row(r);
+    for (int c = 0; c < d; ++c) {
+      out[c] = inv_std *
+               (dxhat[static_cast<size_t>(c)] - mean_dxhat - x_hat[c] * mean_dxhat_xhat);
+    }
+  }
+  return grad_in;
+}
+
+Matrix Sequential::Forward(const Matrix& x) {
+  Matrix cur = x;
+  for (auto& layer : layers_) cur = layer->Forward(cur);
+  return cur;
+}
+
+Matrix Sequential::Backward(const Matrix& grad_out) {
+  Matrix cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    cur = (*it)->Backward(cur);
+  }
+  return cur;
+}
+
+void Sequential::CollectParams(std::vector<Param*>* out) {
+  for (auto& layer : layers_) layer->CollectParams(out);
+}
+
+}  // namespace neo::nn

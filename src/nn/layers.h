@@ -1,0 +1,106 @@
+// Neural network layers with explicit forward/backward passes. The batch
+// dimension is the matrix row dimension; every layer caches what it needs
+// from the last Forward call for the matching Backward call.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/matrix.h"
+
+namespace neo::nn {
+
+/// A trainable parameter: value + gradient accumulator.
+struct Param {
+  Matrix value;
+  Matrix grad;
+
+  void ZeroGrad() { grad.Zero(); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// x: (batch x in_dim) -> (batch x out_dim).
+  virtual Matrix Forward(const Matrix& x) = 0;
+
+  /// grad_out: (batch x out_dim) -> grad_in (batch x in_dim); accumulates
+  /// parameter gradients.
+  virtual Matrix Backward(const Matrix& grad_out) = 0;
+
+  /// Appends this layer's trainable parameters.
+  virtual void CollectParams(std::vector<Param*>* /*out*/) {}
+};
+
+/// Fully connected: y = x W + b.
+class Linear : public Layer {
+ public:
+  Linear(int in_dim, int out_dim, util::Rng& rng);
+
+  Matrix Forward(const Matrix& x) override;
+  Matrix Backward(const Matrix& grad_out) override;
+  void CollectParams(std::vector<Param*>* out) override {
+    out->push_back(&weight_);
+    out->push_back(&bias_);
+  }
+
+  int in_dim() const { return weight_.value.rows(); }
+  int out_dim() const { return weight_.value.cols(); }
+
+ private:
+  Param weight_;  ///< (in x out)
+  Param bias_;    ///< (1 x out)
+  Matrix last_input_;
+};
+
+/// Leaky rectified linear unit (paper §6.1 uses the leaky variant).
+class LeakyReLU : public Layer {
+ public:
+  explicit LeakyReLU(float alpha = 0.01f) : alpha_(alpha) {}
+
+  Matrix Forward(const Matrix& x) override;
+  Matrix Backward(const Matrix& grad_out) override;
+
+ private:
+  float alpha_;
+  Matrix last_input_;
+};
+
+/// Layer normalization over the feature dimension with learned gain/bias
+/// (paper §6.1 uses layer norm to stabilize training).
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(int dim);
+
+  Matrix Forward(const Matrix& x) override;
+  Matrix Backward(const Matrix& grad_out) override;
+  void CollectParams(std::vector<Param*>* out) override {
+    out->push_back(&gain_);
+    out->push_back(&bias_);
+  }
+
+ private:
+  static constexpr float kEps = 1e-5f;
+  Param gain_;
+  Param bias_;
+  Matrix last_norm_;  ///< Normalized activations.
+  std::vector<float> last_inv_std_;
+};
+
+/// Layer pipeline.
+class Sequential : public Layer {
+ public:
+  void Add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  Matrix Forward(const Matrix& x) override;
+  Matrix Backward(const Matrix& grad_out) override;
+  void CollectParams(std::vector<Param*>* out) override;
+
+  size_t size() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace neo::nn

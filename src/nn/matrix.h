@@ -1,0 +1,67 @@
+// Minimal dense float matrix used by the neural network layers. Row-major,
+// contiguous; all shapes are (rows x cols).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace neo::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols) : rows_(rows), cols_(cols), data_(Size(), 0.0f) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t Size() const { return static_cast<size_t>(rows_) * static_cast<size_t>(cols_); }
+
+  float& At(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  float At(int r, int c) const { return data_[static_cast<size_t>(r) * cols_ + c]; }
+
+  float* Row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* Row(int r) const { return data_.data() + static_cast<size_t>(r) * cols_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void Zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+  /// Kaiming-uniform initialization for a layer with `fan_in` inputs.
+  void InitKaiming(util::Rng& rng, int fan_in) {
+    const double bound = std::sqrt(6.0 / static_cast<double>(fan_in > 0 ? fan_in : 1));
+    for (auto& v : data_) v = static_cast<float>(rng.NextUniform(-bound, bound));
+  }
+
+  /// this += other (same shape).
+  void Add(const Matrix& other) {
+    NEO_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+    for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  }
+
+  /// this *= s.
+  void Scale(float s) {
+    for (auto& v : data_) v *= s;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a (n x k) * b (k x m). Accumulates into a fresh matrix.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// out = a (n x k) * b^T where b is (m x k).
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+
+/// out = a^T (k x n -> n x k') ... computes a^T (a: k x n) times b (k x m).
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
+
+}  // namespace neo::nn

@@ -1,0 +1,107 @@
+#include "src/nn/tree_conv.h"
+
+namespace neo::nn {
+
+TreeConv::TreeConv(int in_channels, int out_channels, util::Rng& rng)
+    : in_channels_(in_channels) {
+  weight_.value = Matrix(3 * in_channels, out_channels);
+  weight_.value.InitKaiming(rng, 3 * in_channels);
+  weight_.grad = Matrix(3 * in_channels, out_channels);
+  bias_.value = Matrix(1, out_channels);
+  bias_.grad = Matrix(1, out_channels);
+}
+
+Matrix TreeConv::Forward(const TreeStructure& tree, const Matrix& x) {
+  const int n = x.rows();
+  const int cin = in_channels_;
+  NEO_CHECK(x.cols() == cin);
+  NEO_CHECK(static_cast<size_t>(n) == tree.NumNodes());
+
+  // Build the concatenated (node, left, right) features.
+  last_concat_ = Matrix(n, 3 * cin);
+  for (int i = 0; i < n; ++i) {
+    float* dst = last_concat_.Row(i);
+    const float* self = x.Row(i);
+    for (int c = 0; c < cin; ++c) dst[c] = self[c];
+    const int l = tree.left[static_cast<size_t>(i)];
+    if (l >= 0) {
+      const float* lv = x.Row(l);
+      for (int c = 0; c < cin; ++c) dst[cin + c] = lv[c];
+    }
+    const int r = tree.right[static_cast<size_t>(i)];
+    if (r >= 0) {
+      const float* rv = x.Row(r);
+      for (int c = 0; c < cin; ++c) dst[2 * cin + c] = rv[c];
+    }
+  }
+  Matrix y = MatMul(last_concat_, weight_.value);
+  for (int i = 0; i < n; ++i) {
+    float* row = y.Row(i);
+    const float* b = bias_.value.Row(0);
+    for (int c = 0; c < y.cols(); ++c) row[c] += b[c];
+  }
+  return y;
+}
+
+Matrix TreeConv::Backward(const TreeStructure& tree, const Matrix& grad_out) {
+  const int n = grad_out.rows();
+  const int cin = in_channels_;
+
+  weight_.grad.Add(MatMulTransposeA(last_concat_, grad_out));
+  for (int i = 0; i < n; ++i) {
+    const float* g = grad_out.Row(i);
+    float* b = bias_.grad.Row(0);
+    for (int c = 0; c < grad_out.cols(); ++c) b[c] += g[c];
+  }
+
+  // Gradient w.r.t. the concatenated input, then scatter to node / children.
+  const Matrix grad_concat = MatMulTransposeB(grad_out, weight_.value);
+  Matrix grad_in(n, cin);
+  for (int i = 0; i < n; ++i) {
+    const float* g = grad_concat.Row(i);
+    float* self = grad_in.Row(i);
+    for (int c = 0; c < cin; ++c) self[c] += g[c];
+    const int l = tree.left[static_cast<size_t>(i)];
+    if (l >= 0) {
+      float* lv = grad_in.Row(l);
+      for (int c = 0; c < cin; ++c) lv[c] += g[cin + c];
+    }
+    const int r = tree.right[static_cast<size_t>(i)];
+    if (r >= 0) {
+      float* rv = grad_in.Row(r);
+      for (int c = 0; c < cin; ++c) rv[c] += g[2 * cin + c];
+    }
+  }
+  return grad_in;
+}
+
+Matrix DynamicPooling::Forward(const Matrix& x) {
+  const int n = x.rows(), d = x.cols();
+  NEO_CHECK(n > 0);
+  last_rows_ = n;
+  argmax_.assign(static_cast<size_t>(d), 0);
+  Matrix y(1, d);
+  for (int c = 0; c < d; ++c) {
+    float best = x.At(0, c);
+    int best_row = 0;
+    for (int r = 1; r < n; ++r) {
+      if (x.At(r, c) > best) {
+        best = x.At(r, c);
+        best_row = r;
+      }
+    }
+    y.At(0, c) = best;
+    argmax_[static_cast<size_t>(c)] = best_row;
+  }
+  return y;
+}
+
+Matrix DynamicPooling::Backward(const Matrix& grad_out) {
+  Matrix grad_in(last_rows_, grad_out.cols());
+  for (int c = 0; c < grad_out.cols(); ++c) {
+    grad_in.At(argmax_[static_cast<size_t>(c)], c) = grad_out.At(0, c);
+  }
+  return grad_in;
+}
+
+}  // namespace neo::nn

@@ -1,0 +1,66 @@
+// Tree convolution (Mou et al. [40], paper §4.1) over binary plan trees.
+//
+// A tree sample is a flattened node array with child indices; filters are
+// triples of weight vectors (e_p, e_l, e_r) applied to each (node, left
+// child, right child) triangle. Missing children behave as zero vectors
+// (the paper attaches all-zero leaves). The output is a tree with identical
+// structure and `out_channels` features per node.
+//
+// DynamicPooling flattens a tree into a single vector via per-channel max
+// (paper §4 / Appendix A).
+#pragma once
+
+#include <vector>
+
+#include "src/nn/layers.h"
+
+namespace neo::nn {
+
+/// Flattened forest structure shared by all tree-conv layers of one forward
+/// pass. Node features live in a (num_nodes x channels) matrix; `left` /
+/// `right` give child row indices or -1.
+struct TreeStructure {
+  std::vector<int> left;
+  std::vector<int> right;
+
+  size_t NumNodes() const { return left.size(); }
+};
+
+/// One tree convolution layer: out[i] = [x_i ; x_l ; x_r] * W + b.
+class TreeConv {
+ public:
+  TreeConv(int in_channels, int out_channels, util::Rng& rng);
+
+  /// x: (nodes x in_channels) -> (nodes x out_channels).
+  Matrix Forward(const TreeStructure& tree, const Matrix& x);
+
+  /// Backward for the most recent Forward (same tree).
+  Matrix Backward(const TreeStructure& tree, const Matrix& grad_out);
+
+  void CollectParams(std::vector<Param*>* out) {
+    out->push_back(&weight_);
+    out->push_back(&bias_);
+  }
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return weight_.value.cols(); }
+
+ private:
+  int in_channels_;
+  Param weight_;  ///< (3*in x out): [e_p; e_l; e_r] stacked.
+  Param bias_;    ///< (1 x out)
+  Matrix last_concat_;  ///< (nodes x 3*in) cached for backward.
+};
+
+/// Per-channel max pool over all nodes: (nodes x C) -> (1 x C).
+class DynamicPooling {
+ public:
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& grad_out);
+
+ private:
+  std::vector<int> argmax_;
+  int last_rows_ = 0;
+};
+
+}  // namespace neo::nn

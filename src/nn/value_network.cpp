@@ -1,0 +1,217 @@
+#include "src/nn/value_network.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace neo::nn {
+
+ValueNetwork::ValueNetwork(const ValueNetConfig& config)
+    : config_(config), rng_(config.seed), leaky_alpha_(config.leaky_alpha) {
+  NEO_CHECK(config.query_dim > 0 && config.plan_dim > 0);
+  NEO_CHECK(!config.query_fc.empty() && !config.tree_channels.empty());
+
+  // Query-level FC stack with layer norm (paper §6.1).
+  int prev = config.query_dim;
+  for (size_t i = 0; i < config.query_fc.size(); ++i) {
+    const int width = config.query_fc[i];
+    query_stack_.Add(std::make_unique<Linear>(prev, width, rng_));
+    query_stack_.Add(std::make_unique<LayerNorm>(width));
+    query_stack_.Add(std::make_unique<LeakyReLU>(leaky_alpha_));
+    prev = width;
+  }
+  embed_dim_ = prev;
+
+  // Tree convolution stack over augmented nodes.
+  int channels = config.plan_dim + embed_dim_;
+  for (int out_channels : config.tree_channels) {
+    convs_.emplace_back(channels, out_channels, rng_);
+    channels = out_channels;
+  }
+
+  // Head FC stack -> scalar.
+  prev = channels;
+  for (int width : config.head_fc) {
+    head_.Add(std::make_unique<Linear>(prev, width, rng_));
+    head_.Add(std::make_unique<LayerNorm>(width));
+    head_.Add(std::make_unique<LeakyReLU>(leaky_alpha_));
+    prev = width;
+  }
+  head_.Add(std::make_unique<Linear>(prev, 1, rng_));
+
+  std::vector<Param*> params;
+  query_stack_.CollectParams(&params);
+  for (auto& conv : convs_) conv.CollectParams(&params);
+  head_.CollectParams(&params);
+  adam_ = std::make_unique<Adam>(std::move(params), config.adam);
+}
+
+size_t ValueNetwork::NumParameters() const {
+  std::vector<Param*> params;
+  const_cast<ValueNetwork*>(this)->query_stack_.CollectParams(&params);
+  for (auto& conv : const_cast<ValueNetwork*>(this)->convs_) conv.CollectParams(&params);
+  const_cast<ValueNetwork*>(this)->head_.CollectParams(&params);
+  size_t total = 0;
+  for (const Param* p : params) total += p->value.Size();
+  return total;
+}
+
+namespace {
+constexpr uint32_t kWeightsMagic = 0x4e454f57;  // "NEOW"
+}  // namespace
+
+bool ValueNetwork::SaveWeights(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::vector<Param*> params;
+  auto* self = const_cast<ValueNetwork*>(this);
+  self->query_stack_.CollectParams(&params);
+  for (auto& conv : self->convs_) conv.CollectParams(&params);
+  self->head_.CollectParams(&params);
+
+  bool ok = true;
+  const uint32_t magic = kWeightsMagic;
+  const uint32_t n_params = static_cast<uint32_t>(params.size());
+  ok &= std::fwrite(&magic, sizeof(magic), 1, f) == 1;
+  ok &= std::fwrite(&n_params, sizeof(n_params), 1, f) == 1;
+  for (const Param* p : params) {
+    const int32_t rows = p->value.rows();
+    const int32_t cols = p->value.cols();
+    ok &= std::fwrite(&rows, sizeof(rows), 1, f) == 1;
+    ok &= std::fwrite(&cols, sizeof(cols), 1, f) == 1;
+    ok &= std::fwrite(p->value.data(), sizeof(float), p->value.Size(), f) ==
+          p->value.Size();
+  }
+  std::fclose(f);
+  return ok;
+}
+
+bool ValueNetwork::LoadWeights(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::vector<Param*> params;
+  query_stack_.CollectParams(&params);
+  for (auto& conv : convs_) conv.CollectParams(&params);
+  head_.CollectParams(&params);
+
+  bool ok = true;
+  uint32_t magic = 0, n_params = 0;
+  ok &= std::fread(&magic, sizeof(magic), 1, f) == 1 && magic == kWeightsMagic;
+  ok &= std::fread(&n_params, sizeof(n_params), 1, f) == 1 &&
+        n_params == params.size();
+  for (Param* p : params) {
+    if (!ok) break;
+    int32_t rows = 0, cols = 0;
+    ok &= std::fread(&rows, sizeof(rows), 1, f) == 1;
+    ok &= std::fread(&cols, sizeof(cols), 1, f) == 1;
+    ok &= rows == p->value.rows() && cols == p->value.cols();
+    if (ok) {
+      ok &= std::fread(p->value.data(), sizeof(float), p->value.Size(), f) ==
+            p->value.Size();
+    }
+  }
+  std::fclose(f);
+  if (ok) ++version_;  // Loaded weights invalidate any cached scores.
+  return ok;
+}
+
+Matrix ValueNetwork::EmbedQuery(const Matrix& query_vec) {
+  return query_stack_.Forward(query_vec);
+}
+
+float ValueNetwork::ForwardPlan(const Matrix& query_embedding, const TreeStructure& tree,
+                                const Matrix& node_features, ForwardState* state) {
+  const int n = node_features.rows();
+  NEO_CHECK(n > 0);
+  // Spatial replication: append the query embedding to every node.
+  Matrix augmented(n, config_.plan_dim + embed_dim_);
+  for (int i = 0; i < n; ++i) {
+    float* dst = augmented.Row(i);
+    const float* src = node_features.Row(i);
+    for (int c = 0; c < config_.plan_dim; ++c) dst[c] = src[c];
+    const float* e = query_embedding.Row(0);
+    for (int c = 0; c < embed_dim_; ++c) dst[config_.plan_dim + c] = e[c];
+  }
+
+  Matrix cur = augmented;
+  std::vector<Matrix> pre, post;
+  for (auto& conv : convs_) {
+    Matrix z = conv.Forward(tree, cur);
+    if (state != nullptr) pre.push_back(z);
+    // Leaky ReLU between conv layers.
+    for (size_t i = 0; i < z.Size(); ++i) {
+      if (z.data()[i] < 0.0f) z.data()[i] *= leaky_alpha_;
+    }
+    if (state != nullptr) post.push_back(z);
+    cur = std::move(z);
+  }
+  const Matrix pooled = pool_.Forward(cur);
+  const Matrix out = head_.Forward(pooled);
+  if (state != nullptr) {
+    state->augmented = std::move(augmented);
+    state->conv_pre = std::move(pre);
+    state->conv_post = std::move(post);
+  }
+  return out.At(0, 0);
+}
+
+float ValueNetwork::Predict(const PlanSample& sample) {
+  const Matrix embed = EmbedQuery(sample.query_vec);
+  return ForwardPlan(embed, sample.tree, sample.node_features, nullptr);
+}
+
+float ValueNetwork::PredictWithEmbedding(const Matrix& query_embedding,
+                                         const TreeStructure& tree,
+                                         const Matrix& node_features) {
+  return ForwardPlan(query_embedding, tree, node_features, nullptr);
+}
+
+float ValueNetwork::TrainBatch(const std::vector<const PlanSample*>& samples,
+                               const std::vector<float>& targets) {
+  NEO_CHECK(samples.size() == targets.size());
+  NEO_CHECK(!samples.empty());
+  double total_loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(samples.size());
+
+  for (size_t s = 0; s < samples.size(); ++s) {
+    const PlanSample& sample = *samples[s];
+    // Forward (query stack caches activations for this sample's backward).
+    const Matrix embed = query_stack_.Forward(sample.query_vec);
+    ForwardState state;
+    const float pred = ForwardPlan(embed, sample.tree, sample.node_features, &state);
+
+    const float err = pred - targets[s];
+    total_loss += static_cast<double>(err) * err;
+
+    // Backward: dL/dpred = 2 * err / batch (L2 loss, paper §4).
+    Matrix grad_out(1, 1);
+    grad_out.At(0, 0) = 2.0f * err * inv_batch;
+    Matrix grad_pooled = head_.Backward(grad_out);
+    Matrix grad_nodes = pool_.Backward(grad_pooled);
+
+    // Back through the conv stack (activation then conv, reversed).
+    for (int li = static_cast<int>(convs_.size()) - 1; li >= 0; --li) {
+      // Leaky ReLU backward on pre-activation.
+      const Matrix& z = state.conv_pre[static_cast<size_t>(li)];
+      for (size_t i = 0; i < grad_nodes.Size(); ++i) {
+        if (z.data()[i] < 0.0f) grad_nodes.data()[i] *= leaky_alpha_;
+      }
+      grad_nodes = convs_[static_cast<size_t>(li)].Backward(sample.tree, grad_nodes);
+    }
+
+    // Split: plan-feature gradients are dropped (inputs); query-embedding
+    // gradients sum over nodes (replication).
+    Matrix grad_embed(1, embed_dim_);
+    for (int i = 0; i < grad_nodes.rows(); ++i) {
+      const float* row = grad_nodes.Row(i);
+      float* ge = grad_embed.Row(0);
+      for (int c = 0; c < embed_dim_; ++c) ge[c] += row[config_.plan_dim + c];
+    }
+    query_stack_.Backward(grad_embed);
+  }
+
+  adam_->Step();
+  ++version_;
+  return static_cast<float>(total_loss / static_cast<double>(samples.size()));
+}
+
+}  // namespace neo::nn

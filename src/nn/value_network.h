@@ -1,0 +1,100 @@
+// Neo's value network (paper Figure 5 / Appendix A).
+//
+// Architecture: the query-level encoding passes through fully connected
+// layers; the final vector is concatenated onto every plan-tree node
+// ("spatial replication"); the augmented forest passes through a stack of
+// tree convolution layers; dynamic pooling flattens it; a final FC stack
+// produces the scalar cost prediction.
+//
+// Channel widths are configurable: the paper uses 512/256/128 tree-conv
+// filters; the default here is narrower so that the full RL loop runs on a
+// laptop-scale substrate (see NeoConfig; benches can widen via --full).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/adam.h"
+#include "src/nn/tree_conv.h"
+
+namespace neo::nn {
+
+struct ValueNetConfig {
+  int query_dim = 0;  ///< Set by the featurizer.
+  int plan_dim = 0;   ///< Set by the featurizer.
+  std::vector<int> query_fc = {128, 64, 32};
+  std::vector<int> tree_channels = {64, 32, 16};
+  std::vector<int> head_fc = {32, 16};
+  float leaky_alpha = 0.01f;
+  AdamOptions adam;
+  uint64_t seed = 0x5eedf00dULL;
+};
+
+/// One featurized (query, partial plan) pair.
+struct PlanSample {
+  Matrix query_vec;      ///< (1 x query_dim)
+  TreeStructure tree;    ///< Forest structure (roots have no parent).
+  Matrix node_features;  ///< (nodes x plan_dim)
+};
+
+class ValueNetwork {
+ public:
+  explicit ValueNetwork(const ValueNetConfig& config);
+
+  /// Predicted (normalized) cost of one sample.
+  float Predict(const PlanSample& sample);
+
+  /// Predict with a precomputed query embedding (search fast path: the
+  /// query-level FC stack runs once per query, not once per candidate plan).
+  float PredictWithEmbedding(const Matrix& query_embedding, const TreeStructure& tree,
+                             const Matrix& node_features);
+
+  /// Runs the query-level FC stack only.
+  Matrix EmbedQuery(const Matrix& query_vec);
+
+  /// One SGD step over a minibatch; returns mean squared error before the
+  /// update.
+  float TrainBatch(const std::vector<const PlanSample*>& samples,
+                   const std::vector<float>& targets);
+
+  /// Increments on every optimizer step; lets caches detect staleness.
+  uint64_t version() const { return version_; }
+
+  const ValueNetConfig& config() const { return config_; }
+  size_t NumParameters() const;
+
+  /// Serializes all weights to a binary file (architecture dims + parameter
+  /// blobs). Returns false on I/O failure. A trained optimizer can thus be
+  /// shipped and reloaded without re-running the RL loop.
+  bool SaveWeights(const std::string& path) const;
+
+  /// Loads weights saved by SaveWeights. The network must have been
+  /// constructed with the same architecture; returns false on mismatch or
+  /// I/O failure.
+  bool LoadWeights(const std::string& path);
+
+ private:
+  struct ForwardState {
+    Matrix augmented;                ///< (nodes x aug_dim)
+    std::vector<Matrix> conv_pre;    ///< Pre-activation outputs per conv layer.
+    std::vector<Matrix> conv_post;   ///< Post-activation outputs.
+  };
+
+  /// Forward through tree conv + pooling + head. Fills `state` if training.
+  float ForwardPlan(const Matrix& query_embedding, const TreeStructure& tree,
+                    const Matrix& node_features, ForwardState* state);
+
+  ValueNetConfig config_;
+  util::Rng rng_;
+  Sequential query_stack_;
+  std::vector<TreeConv> convs_;
+  DynamicPooling pool_;
+  Sequential head_;
+  std::unique_ptr<Adam> adam_;
+  uint64_t version_ = 0;
+  float leaky_alpha_;
+  int embed_dim_ = 0;
+};
+
+}  // namespace neo::nn

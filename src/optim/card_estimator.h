@@ -1,0 +1,140 @@
+// Cardinality estimators used by the classical (expert / native baseline)
+// optimizers, spanning the quality spectrum of the paper's systems:
+//
+//   HistogramEstimator  - per-column histograms + uniformity + independence +
+//                         principle of inclusion (PostgreSQL-style; the
+//                         expert that bootstraps Neo).
+//   SamplingEstimator   - evaluates the query's predicate *conjunction* on a
+//                         reservoir sample per table (captures intra-table
+//                         correlation, like commercial optimizers' sampled
+//                         stats); joins still use the inclusion formula.
+//   TrueCardEstimator   - oracle-backed exact cardinalities (upper bound;
+//                         used by Fig. 14's "true cardinality" model).
+//   ErrorInjectingEstimator - wraps another estimator and multiplies results
+//                         by 10^(+/- error) deterministically per subset
+//                         (Fig. 14's robustness experiment).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/catalog/statistics.h"
+#include "src/engine/cardinality_oracle.h"
+#include "src/query/query.h"
+
+namespace neo::optim {
+
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  /// Estimated filtered row count of one relation of the query.
+  virtual double EstimateBase(const query::Query& query, int table_id) = 0;
+
+  /// Estimated join cardinality of a connected relation subset (bit i =
+  /// query.relations[i]).
+  virtual double EstimateSubset(const query::Query& query, uint64_t mask) = 0;
+
+  /// Estimated selectivity of a single predicate in [0, 1].
+  virtual double EstimatePredicate(const query::Query& query,
+                                   const query::Predicate& pred) = 0;
+
+  /// Unfiltered row count of a table (known exactly by every estimator).
+  virtual double TableRows(int table_id) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Shared join-formula base: subset estimate = product of base estimates,
+/// divided per join edge by max(distinct(left key), distinct(right key)).
+class FormulaJoinEstimator : public CardinalityEstimator {
+ public:
+  FormulaJoinEstimator(const catalog::Schema& schema, const catalog::Statistics& stats)
+      : schema_(schema), stats_(stats) {}
+
+  double EstimateSubset(const query::Query& query, uint64_t mask) override;
+  double TableRows(int table_id) const override {
+    return static_cast<double>(stats_.table_rows(table_id));
+  }
+
+ protected:
+  const catalog::Schema& schema_;
+  const catalog::Statistics& stats_;
+};
+
+class HistogramEstimator : public FormulaJoinEstimator {
+ public:
+  HistogramEstimator(const catalog::Schema& schema, const catalog::Statistics& stats,
+                     const storage::Database& db)
+      : FormulaJoinEstimator(schema, stats), db_(db) {}
+
+  double EstimateBase(const query::Query& query, int table_id) override;
+  double EstimatePredicate(const query::Query& query,
+                           const query::Predicate& pred) override;
+  std::string name() const override { return "histogram"; }
+
+ private:
+  const storage::Database& db_;
+};
+
+class SamplingEstimator : public FormulaJoinEstimator {
+ public:
+  SamplingEstimator(const catalog::Schema& schema, const catalog::Statistics& stats,
+                    const storage::Database& db)
+      : FormulaJoinEstimator(schema, stats), db_(db) {}
+
+  double EstimateBase(const query::Query& query, int table_id) override;
+  double EstimatePredicate(const query::Query& query,
+                           const query::Predicate& pred) override;
+  std::string name() const override { return "sampling"; }
+
+ private:
+  const storage::Database& db_;
+};
+
+class TrueCardEstimator : public CardinalityEstimator {
+ public:
+  explicit TrueCardEstimator(engine::CardinalityOracle* oracle) : oracle_(oracle) {}
+
+  double EstimateBase(const query::Query& query, int table_id) override {
+    return oracle_->BaseCardinality(query, table_id);
+  }
+  double EstimateSubset(const query::Query& query, uint64_t mask) override {
+    return oracle_->Cardinality(query, mask);
+  }
+  double EstimatePredicate(const query::Query& query,
+                           const query::Predicate& pred) override;
+  double TableRows(int table_id) const override {
+    return static_cast<double>(oracle_->TableRows(table_id));
+  }
+  std::string name() const override { return "true"; }
+
+ private:
+  engine::CardinalityOracle* oracle_;
+};
+
+/// Multiplies the wrapped estimates by 10^(s * error_orders), where the sign
+/// s in {-1, +1} is a deterministic function of (query, mask).
+class ErrorInjectingEstimator : public CardinalityEstimator {
+ public:
+  ErrorInjectingEstimator(CardinalityEstimator* inner, double error_orders,
+                          uint64_t seed = 0xe44ULL)
+      : inner_(inner), error_orders_(error_orders), seed_(seed) {}
+
+  double EstimateBase(const query::Query& query, int table_id) override;
+  double EstimateSubset(const query::Query& query, uint64_t mask) override;
+  double EstimatePredicate(const query::Query& query,
+                           const query::Predicate& pred) override {
+    return inner_->EstimatePredicate(query, pred);
+  }
+  double TableRows(int table_id) const override { return inner_->TableRows(table_id); }
+  std::string name() const override { return inner_->name() + "+error"; }
+
+ private:
+  double Perturb(double value, uint64_t key) const;
+  CardinalityEstimator* inner_;
+  double error_orders_;
+  uint64_t seed_;
+};
+
+}  // namespace neo::optim

@@ -1,0 +1,79 @@
+#include "src/query/builder.h"
+
+#include <algorithm>
+
+#include "src/util/status.h"
+
+namespace neo::query {
+
+QueryBuilder::QueryBuilder(const catalog::Schema& schema, const storage::Database& db,
+                           std::string name)
+    : schema_(schema), db_(db) {
+  query_.name = std::move(name);
+}
+
+QueryBuilder& QueryBuilder::Rel(const std::string& table) {
+  const int id = schema_.TableId(table);
+  if (std::find(query_.relations.begin(), query_.relations.end(), id) ==
+      query_.relations.end()) {
+    query_.relations.push_back(id);
+  }
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::JoinFk(const std::string& table_a,
+                                   const std::string& table_b) {
+  Rel(table_a);
+  Rel(table_b);
+  const int a = schema_.TableId(table_a);
+  const int b = schema_.TableId(table_b);
+  catalog::ForeignKey fk;
+  NEO_CHECK_MSG(schema_.FindJoinEdge(a, b, &fk), (table_a + "<->" + table_b).c_str());
+  JoinEdge edge;
+  edge.left_table = fk.from_table;
+  edge.left_column = fk.from_column;
+  edge.right_table = fk.to_table;
+  edge.right_column = fk.to_column;
+  query_.joins.push_back(edge);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Pred(const std::string& table, const std::string& column,
+                                 PredOp op, int64_t value) {
+  Rel(table);
+  Predicate p;
+  p.table_id = schema_.TableId(table);
+  p.column_idx = schema_.TableByName(table).ColumnIndex(column);
+  NEO_CHECK_MSG(p.column_idx >= 0, (table + "." + column).c_str());
+  p.op = op;
+  p.value_code = value;
+  p.is_string = false;
+  query_.predicates.push_back(p);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::PredStr(const std::string& table, const std::string& column,
+                                    PredOp op, const std::string& value) {
+  Rel(table);
+  Predicate p;
+  p.table_id = schema_.TableId(table);
+  p.column_idx = schema_.TableByName(table).ColumnIndex(column);
+  NEO_CHECK_MSG(p.column_idx >= 0, (table + "." + column).c_str());
+  p.op = op;
+  p.is_string = true;
+  p.value_str = value;
+  if (op != PredOp::kContains) {
+    const storage::Column& col =
+        db_.table(table).column(static_cast<size_t>(p.column_idx));
+    p.value_code = col.LookupString(value);  // -1 if absent: matches nothing.
+  }
+  query_.predicates.push_back(p);
+  return *this;
+}
+
+Query QueryBuilder::Build() {
+  query_.Finalize(schema_);
+  return query_;
+}
+
+}  // namespace neo::query

@@ -1,0 +1,44 @@
+// Fluent builder for constructing queries against a schema + database.
+// Resolves string literals to dictionary codes and auto-discovers FK join
+// edges, so workload generators stay declarative.
+#pragma once
+
+#include <string>
+
+#include "src/query/query.h"
+#include "src/storage/table.h"
+
+namespace neo::query {
+
+class QueryBuilder {
+ public:
+  QueryBuilder(const catalog::Schema& schema, const storage::Database& db,
+               std::string name);
+
+  /// Adds a relation (idempotent).
+  QueryBuilder& Rel(const std::string& table);
+
+  /// Adds the FK join edge between two tables (must exist in the schema);
+  /// adds both relations.
+  QueryBuilder& JoinFk(const std::string& table_a, const std::string& table_b);
+
+  /// Integer predicate, e.g. Pred("title", "production_year", PredOp::kGe, 2000).
+  QueryBuilder& Pred(const std::string& table, const std::string& column, PredOp op,
+                     int64_t value);
+
+  /// String predicate; Eq literals are resolved against the dictionary
+  /// (missing values yield code -1, matching nothing), kContains keeps the
+  /// needle for LIKE-style evaluation.
+  QueryBuilder& PredStr(const std::string& table, const std::string& column, PredOp op,
+                        const std::string& value);
+
+  /// Finalizes (validates connectivity) and returns the query.
+  Query Build();
+
+ private:
+  const catalog::Schema& schema_;
+  const storage::Database& db_;
+  Query query_;
+};
+
+}  // namespace neo::query

@@ -1,0 +1,111 @@
+#include "src/query/corp_workload.h"
+
+#include "src/query/builder.h"
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace neo::query {
+
+namespace {
+
+const std::vector<std::string> kSegments = {"enterprise", "smb", "consumer",
+                                            "education", "government"};
+const std::vector<std::string> kCategories = {"analytics", "storage",  "compute",
+                                              "network",   "security", "ml",
+                                              "mobile",    "search"};
+const std::vector<std::string> kTiers = {"free", "basic", "pro", "enterprise"};
+const std::vector<std::string> kZones = {"amer", "emea", "apac"};
+const std::vector<std::string> kMediums = {"web", "mobile", "api", "partner"};
+const std::vector<std::string> kCountries = {"us", "de", "jp", "br", "in",
+                                             "fr", "uk", "au", "ca", "mx"};
+
+void BuildPanel(QueryBuilder& b, int family, util::Rng& rng) {
+  auto join_user = [&] { b.JoinFk("fact_events", "dim_user"); };
+  auto join_product = [&] { b.JoinFk("fact_events", "dim_product"); };
+  auto join_region = [&] { b.JoinFk("fact_events", "dim_region"); };
+  auto join_date = [&] { b.JoinFk("fact_events", "dim_date"); };
+  auto join_channel = [&] { b.JoinFk("fact_events", "dim_channel"); };
+
+  auto seg = [&] {
+    b.PredStr("dim_user", "segment", PredOp::kEq,
+              kSegments[rng.NextBounded(kSegments.size())]);
+  };
+  auto cat = [&] {
+    b.PredStr("dim_product", "category", PredOp::kEq,
+              kCategories[rng.NextBounded(kCategories.size())]);
+  };
+  auto quarter = [&] {
+    b.Pred("dim_date", "year", PredOp::kEq, rng.NextInt(2017, 2018));
+    b.Pred("dim_date", "quarter", PredOp::kEq, rng.NextInt(1, 4));
+  };
+  auto amount = [&] {
+    b.Pred("fact_events", "amount", PredOp::kGe, rng.NextInt(500, 20000));
+  };
+
+  switch (family) {
+    case 0: join_user(); seg(); amount(); break;
+    case 1: join_product(); cat(); amount(); break;
+    case 2: join_user(); join_date(); seg(); quarter(); break;
+    case 3: join_product(); join_date(); cat(); quarter(); break;
+    case 4:
+      join_region(); join_date();
+      b.PredStr("dim_region", "zone", PredOp::kEq,
+                kZones[rng.NextBounded(kZones.size())]);
+      quarter();
+      break;
+    case 5:
+      join_channel(); join_user();
+      b.PredStr("dim_channel", "medium", PredOp::kEq,
+                kMediums[rng.NextBounded(kMediums.size())]);
+      seg();
+      break;
+    case 6:
+      join_user(); join_product(); seg(); cat();
+      break;
+    case 7:
+      join_user(); join_product(); join_date(); seg(); cat(); quarter();
+      break;
+    case 8:
+      join_user();
+      b.PredStr("dim_user", "country", PredOp::kEq,
+                kCountries[rng.NextBounded(kCountries.size())]);
+      b.Pred("dim_user", "signup_year", PredOp::kGe, rng.NextInt(2012, 2018));
+      break;
+    case 9:
+      join_product(); join_channel(); cat();
+      b.PredStr("dim_product", "price_tier", PredOp::kEq,
+                kTiers[rng.NextBounded(kTiers.size())]);
+      break;
+    case 10:
+      join_user(); join_region(); join_date(); join_channel();
+      seg(); quarter();
+      b.PredStr("dim_channel", "medium", PredOp::kEq,
+                kMediums[rng.NextBounded(kMediums.size())]);
+      break;
+    case 11:
+    default:
+      join_user(); join_product(); join_region(); join_date(); join_channel();
+      seg(); cat(); quarter(); amount();
+      break;
+  }
+}
+
+}  // namespace
+
+Workload MakeCorpWorkload(const catalog::Schema& schema, const storage::Database& db,
+                          uint64_t seed, int queries_per_family) {
+  Workload wl("Corp");
+  util::Rng rng(seed);
+  for (int family = 0; family < 12; ++family) {
+    for (int v = 0; v < queries_per_family; ++v) {
+      util::Rng qrng = rng.Fork(static_cast<uint64_t>(family * 1000 + v));
+      QueryBuilder b(schema, db, util::StrFormat("corp%02d_%d", family + 1, v));
+      b.Rel("fact_events");
+      BuildPanel(b, family, qrng);
+      wl.Add(b.Build());
+    }
+  }
+  return wl;
+}
+
+}  // namespace neo::query

@@ -1,0 +1,15 @@
+// Corp-like dashboard workload (paper §6.1): star-join queries over the
+// fact_events schema, generated from 12 dashboard "panels" (families) with
+// parameter grids — the repeated-template, skewed-predicate shape of an
+// internal analytics workload.
+#pragma once
+
+#include "src/query/workload.h"
+#include "src/storage/table.h"
+
+namespace neo::query {
+
+Workload MakeCorpWorkload(const catalog::Schema& schema, const storage::Database& db,
+                          uint64_t seed = 3456, int queries_per_family = 10);
+
+}  // namespace neo::query

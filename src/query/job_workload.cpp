@@ -1,0 +1,244 @@
+#include "src/query/job_workload.h"
+
+#include "src/datagen/imdb_gen.h"
+#include "src/query/builder.h"
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace neo::query {
+
+namespace {
+
+// The IMDB-like join graph is a star around `title` with four arms:
+//   MI: movie_info -> title, movie_info -> info_type
+//   MK: movie_keyword -> title, movie_keyword -> keyword
+//   CI: cast_info -> title, cast_info -> name
+//   MC: movie_companies -> title, movie_companies -> company_name
+enum Arm : int { kMI = 1, kMK = 2, kCI = 4, kMC = 8 };
+
+void AddArms(QueryBuilder& b, int arms) {
+  if (arms & kMI) b.JoinFk("movie_info", "title").JoinFk("movie_info", "info_type");
+  if (arms & kMK) b.JoinFk("movie_keyword", "title").JoinFk("movie_keyword", "keyword");
+  if (arms & kCI) b.JoinFk("cast_info", "title").JoinFk("cast_info", "name");
+  if (arms & kMC) {
+    b.JoinFk("movie_companies", "title").JoinFk("movie_companies", "company_name");
+  }
+}
+
+/// Predicate "theme" controlling which templates a family draws from.
+enum class Theme { kGenre, kCountry, kYear, kPopularity, kMixed };
+
+/// Adds variant-specific predicates. `aligned` chooses keyword stems from
+/// the same genre as the mi.info genre predicate (correlated, large result);
+/// otherwise from a different genre (anti-correlated, tiny result).
+void AddPredicates(QueryBuilder& b, int arms, Theme theme, util::Rng& rng) {
+  const auto& genres = datagen::ImdbGenreNames();
+  const auto& countries = datagen::ImdbCountryNames();
+  const int genre = static_cast<int>(rng.NextBounded(genres.size()));
+  const int country = static_cast<int>(rng.NextBounded(countries.size()));
+  const bool aligned = rng.NextBool(0.5);
+
+  const bool use_genre =
+      (arms & kMI) && (theme == Theme::kGenre || theme == Theme::kMixed);
+  const bool use_country =
+      (arms & kMI) && theme == Theme::kCountry && !use_genre;
+
+  if (use_genre) {
+    b.PredStr("info_type", "info", PredOp::kEq, "genres");
+    b.PredStr("movie_info", "info", PredOp::kEq, genres[static_cast<size_t>(genre)]);
+  } else if (use_country) {
+    b.PredStr("info_type", "info", PredOp::kEq, "country");
+    b.PredStr("movie_info", "info", PredOp::kEq,
+              countries[static_cast<size_t>(country)]);
+  } else if (arms & kMI) {
+    // Keep the arm non-trivial: restrict info_type only.
+    b.PredStr("info_type", "info", PredOp::kEq,
+              rng.NextBool(0.5) ? "rating" : "budget");
+  }
+
+  if (arms & kMK) {
+    const int kw_genre = aligned && use_genre
+                             ? genre
+                             : static_cast<int>(rng.NextBounded(genres.size()));
+    const auto& stems = datagen::ImdbKeywordStems(kw_genre);
+    b.PredStr("keyword", "keyword", PredOp::kContains,
+              stems[rng.NextBounded(stems.size())]);
+  }
+
+  if (arms & kCI) {
+    if (theme == Theme::kCountry || rng.NextBool(0.4)) {
+      b.PredStr("name", "birth_country", PredOp::kEq,
+                countries[static_cast<size_t>(
+                    aligned ? country : rng.NextBounded(countries.size()))]);
+    } else {
+      b.Pred("name", "gender", PredOp::kEq, static_cast<int64_t>(rng.NextBounded(2)));
+    }
+  }
+
+  if (arms & kMC) {
+    b.PredStr("company_name", "country_code", PredOp::kEq,
+              countries[static_cast<size_t>(
+                  aligned ? country : rng.NextBounded(countries.size()))]);
+  }
+
+  if (theme == Theme::kYear || (theme == Theme::kMixed && rng.NextBool(0.5))) {
+    const int64_t lo = 1950 + static_cast<int64_t>(rng.NextBounded(50));
+    b.Pred("title", "production_year", PredOp::kGe, lo);
+    if (rng.NextBool(0.5)) {
+      b.Pred("title", "production_year", PredOp::kLe, lo + 10 + rng.NextInt(0, 25));
+    }
+  }
+  if (theme == Theme::kPopularity) {
+    b.Pred("title", "popularity", PredOp::kLe, rng.NextInt(1, 4));
+  }
+  if (theme == Theme::kMixed && rng.NextBool(0.3)) {
+    b.Pred("title", "kind_id", PredOp::kEq, rng.NextInt(0, 2));
+  }
+}
+
+struct Family {
+  int arms;
+  Theme theme;
+};
+
+/// 33 families: all 15 arm subsets with mixed predicates, then re-themed
+/// repeats of the most interesting graphs (mirrors how JOB reuses join
+/// graphs across families with different predicates).
+std::vector<Family> JobFamilies() {
+  std::vector<Family> fams;
+  for (int arms = 1; arms <= 15; ++arms) fams.push_back({arms, Theme::kMixed});
+  const std::vector<int> repeat = {kMI | kMK, kMI | kCI, kMK | kCI, kMI | kMK | kCI,
+                                   kMI | kMC, kMK | kMC, kCI | kMC,
+                                   kMI | kMK | kMC, kMI | kCI | kMC};
+  for (int arms : repeat) fams.push_back({arms, Theme::kGenre});
+  fams.push_back({kMI | kCI, Theme::kCountry});
+  fams.push_back({kMI | kMC, Theme::kCountry});
+  fams.push_back({kCI | kMC, Theme::kCountry});
+  fams.push_back({kMI | kMK, Theme::kYear});
+  fams.push_back({kMI | kMK | kCI | kMC, Theme::kYear});
+  fams.push_back({kMK | kCI, Theme::kPopularity});
+  fams.push_back({kMI | kMK | kCI, Theme::kPopularity});
+  fams.push_back({kMI | kMK | kCI | kMC, Theme::kGenre});
+  fams.push_back({kMI, Theme::kCountry});
+  return fams;  // 15 + 9 + 3 + 2 + 2 + 2 = 33
+}
+
+}  // namespace
+
+Workload MakeJobWorkload(const catalog::Schema& schema, const storage::Database& db,
+                         uint64_t seed) {
+  Workload wl("JOB");
+  const std::vector<Family> families = JobFamilies();
+  util::Rng rng(seed);
+  const char* variants = "abcd";
+  for (size_t f = 0; f < families.size(); ++f) {
+    for (int v = 0; v < 4; ++v) {
+      util::Rng qrng = rng.Fork(f * 16 + static_cast<size_t>(v));
+      QueryBuilder b(schema, db,
+                     util::StrFormat("job_%zu%c", f + 1, variants[v]));
+      b.Rel("title");
+      AddArms(b, families[f].arms);
+      AddPredicates(b, families[f].arms, families[f].theme, qrng);
+      wl.Add(b.Build());
+    }
+  }
+  return wl;
+}
+
+Workload MakeExtJobWorkload(const catalog::Schema& schema, const storage::Database& db,
+                            uint64_t seed) {
+  // Novel join graphs / predicate combinations: arm subsets are reused (the
+  // schema only has four arms) but predicates use templates JOB never emits
+  // (rating/budget equality on movie_info, Contains on movie_info.info,
+  // Neq predicates, popularity+country conjunctions), making the queries
+  // semantically distinct from every JOB query.
+  Workload wl("Ext-JOB");
+  wl.SetIdOffset(100000);  // Never collide with JOB query ids.
+  util::Rng rng(seed);
+  const auto& genres = datagen::ImdbGenreNames();
+  const auto& countries = datagen::ImdbCountryNames();
+
+  const std::vector<int> graphs = {kMI,        kMK,          kCI,          kMC,
+                                   kMI | kMK,  kMI | kCI,    kMK | kMC,    kCI | kMC,
+                                   kMI | kMC,  kMK | kCI,    kMI | kMK | kCI,
+                                   kMI | kMK | kMC, kMI | kCI | kMC, kMK | kCI | kMC,
+                                   kMI | kMK | kCI | kMC};
+
+  for (int i = 0; i < 24; ++i) {
+    util::Rng qrng = rng.Fork(static_cast<uint64_t>(i) + 100);
+    const int arms = graphs[static_cast<size_t>(i) % graphs.size()];
+    QueryBuilder b(schema, db, util::StrFormat("extjob_%02d", i + 1));
+    b.Rel("title");
+    AddArms(b, arms);
+
+    // Novel predicate templates.
+    switch (i % 6) {
+      case 0:
+        if (arms & kMI) {
+          b.PredStr("info_type", "info", PredOp::kEq, "rating");
+          b.PredStr("movie_info", "info", PredOp::kEq,
+                    util::StrFormat("r%d", static_cast<int>(qrng.NextBounded(4))));
+        }
+        b.Pred("title", "popularity", PredOp::kGe, 5);
+        break;
+      case 1:
+        if (arms & kMI) {
+          b.PredStr("info_type", "info", PredOp::kEq, "budget");
+          b.PredStr("movie_info", "info", PredOp::kEq,
+                    util::StrFormat("b%d", static_cast<int>(qrng.NextBounded(8))));
+        }
+        if (arms & kMK) {
+          const auto& stems = datagen::ImdbKeywordStems(
+              static_cast<int>(qrng.NextBounded(genres.size())));
+          b.PredStr("keyword", "keyword", PredOp::kContains, stems[0]);
+        }
+        break;
+      case 2:
+        if (arms & kMI) {
+          b.PredStr("info_type", "info", PredOp::kEq, "genres");
+          b.PredStr("movie_info", "info", PredOp::kNeq,
+                    genres[qrng.NextBounded(genres.size())]);
+        }
+        b.Pred("title", "kind_id", PredOp::kNeq, 1);
+        break;
+      case 3:
+        if (arms & kCI) {
+          b.PredStr("name", "birth_country", PredOp::kEq,
+                    countries[qrng.NextBounded(3)]);
+          b.Pred("name", "gender", PredOp::kEq,
+                 static_cast<int64_t>(qrng.NextBounded(2)));
+        }
+        if (arms & kMC) {
+          b.PredStr("company_name", "country_code", PredOp::kEq,
+                    countries[qrng.NextBounded(3)]);
+        }
+        b.Pred("title", "production_year", PredOp::kLt, 1975);
+        break;
+      case 4:
+        if (arms & kMI) {
+          b.PredStr("info_type", "info", PredOp::kEq, "country");
+          b.PredStr("movie_info", "info", PredOp::kContains, "an");  // multi-match
+        }
+        if (arms & kMK) {
+          const auto& stems = datagen::ImdbKeywordStems(
+              static_cast<int>(qrng.NextBounded(genres.size())));
+          b.PredStr("keyword", "keyword", PredOp::kContains,
+                    stems[qrng.NextBounded(stems.size())]);
+        }
+        break;
+      case 5:
+      default:
+        b.Pred("title", "popularity", PredOp::kEq,
+               static_cast<int64_t>(qrng.NextBounded(10)));
+        b.Pred("title", "production_year", PredOp::kGe, 1990);
+        if (arms & kCI) {
+          b.PredStr("name", "birth_country", PredOp::kNeq, countries[0]);
+        }
+        break;
+    }
+    wl.Add(b.Build());
+  }
+  return wl;
+}
+
+}  // namespace neo::query

@@ -1,0 +1,25 @@
+// JOB-like workload over the IMDB-like dataset (paper §6.1).
+//
+// 33 query families x 4 variants (a-d), mirroring the Join Order Benchmark's
+// structure: fixed join graphs per family, predicate literals varying per
+// variant. Predicates deliberately mix genre/keyword and country/person
+// correlations so that histogram + independence estimation is wrong by
+// orders of magnitude on some queries (the JOB pathology Neo must learn).
+//
+// MakeExtJobWorkload builds the paper's Ext-JOB set (§6.4.2): 24 queries
+// with join graphs and predicate combinations that never occur in JOB
+// (semantically distinct; used to test generalization to novel queries).
+#pragma once
+
+#include "src/query/workload.h"
+#include "src/storage/table.h"
+
+namespace neo::query {
+
+Workload MakeJobWorkload(const catalog::Schema& schema, const storage::Database& db,
+                         uint64_t seed = 1234);
+
+Workload MakeExtJobWorkload(const catalog::Schema& schema, const storage::Database& db,
+                            uint64_t seed = 4321);
+
+}  // namespace neo::query

@@ -1,0 +1,165 @@
+#include "src/query/query.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/string_util.h"
+
+namespace neo::query {
+
+const char* PredOpName(PredOp op) {
+  switch (op) {
+    case PredOp::kEq: return "=";
+    case PredOp::kNeq: return "<>";
+    case PredOp::kLt: return "<";
+    case PredOp::kLe: return "<=";
+    case PredOp::kGt: return ">";
+    case PredOp::kGe: return ">=";
+    case PredOp::kContains: return "LIKE";
+  }
+  return "?";
+}
+
+int Query::RelationIndex(int table_id) const {
+  for (size_t i = 0; i < relations.size(); ++i) {
+    if (relations[i] == table_id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<Predicate> Query::PredicatesOn(int table_id) const {
+  std::vector<Predicate> out;
+  for (const auto& p : predicates) {
+    if (p.table_id == table_id) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<JoinEdge> Query::JoinsBetween(int table_a, int table_b) const {
+  std::vector<JoinEdge> out;
+  for (const auto& j : joins) {
+    if ((j.left_table == table_a && j.right_table == table_b) ||
+        (j.left_table == table_b && j.right_table == table_a)) {
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+bool Query::SubsetConnected(uint64_t mask) const {
+  if (mask == 0) return false;
+  const int n = static_cast<int>(relations.size());
+  // BFS from the lowest set bit over join edges restricted to `mask`.
+  int start = -1;
+  for (int i = 0; i < n; ++i) {
+    if (mask & (1ULL << i)) {
+      start = i;
+      break;
+    }
+  }
+  uint64_t visited = 1ULL << start;
+  std::vector<int> frontier{start};
+  while (!frontier.empty()) {
+    const int cur = frontier.back();
+    frontier.pop_back();
+    const int cur_table = relations[static_cast<size_t>(cur)];
+    for (const JoinEdge& j : joins) {
+      if (!j.Touches(cur_table)) continue;
+      const int other_table = j.left_table == cur_table ? j.right_table : j.left_table;
+      const int other = RelationIndex(other_table);
+      if (other < 0) continue;
+      const uint64_t bit = 1ULL << other;
+      if ((mask & bit) && !(visited & bit)) {
+        visited |= bit;
+        frontier.push_back(other);
+      }
+    }
+  }
+  return visited == mask;
+}
+
+bool Query::MasksJoinable(uint64_t mask_a, uint64_t mask_b) const {
+  for (const JoinEdge& j : joins) {
+    const int li = RelationIndex(j.left_table);
+    const int ri = RelationIndex(j.right_table);
+    if (li < 0 || ri < 0) continue;
+    const uint64_t lbit = 1ULL << li;
+    const uint64_t rbit = 1ULL << ri;
+    if (((mask_a & lbit) && (mask_b & rbit)) || ((mask_a & rbit) && (mask_b & lbit))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Query::Finalize(const catalog::Schema& schema) {
+  std::sort(relations.begin(), relations.end());
+  relations.erase(std::unique(relations.begin(), relations.end()), relations.end());
+  NEO_CHECK_MSG(relations.size() <= 20, "query too wide for 64-bit masks");
+  for (const auto& j : joins) {
+    NEO_CHECK(UsesTable(j.left_table) && UsesTable(j.right_table));
+    (void)schema;
+  }
+  for (const auto& p : predicates) {
+    NEO_CHECK(UsesTable(p.table_id));
+  }
+  if (relations.size() > 1) {
+    const uint64_t all = (relations.size() == 64)
+                             ? ~0ULL
+                             : ((1ULL << relations.size()) - 1);
+    NEO_CHECK_MSG(SubsetConnected(all), ("disconnected join graph: " + name).c_str());
+  }
+
+  uint64_t h = util::Mix64(0xf17e + relations.size());
+  for (int r : relations) h = util::HashCombine(h, util::Mix64(static_cast<uint64_t>(r)));
+  for (const auto& j : joins) {
+    h = util::HashCombine(h, util::Mix64((static_cast<uint64_t>(j.left_table) << 40) ^
+                                         (static_cast<uint64_t>(j.left_column) << 28) ^
+                                         (static_cast<uint64_t>(j.right_table) << 14) ^
+                                         static_cast<uint64_t>(j.right_column)));
+  }
+  for (const auto& p : predicates) {
+    h = util::HashCombine(h, util::Mix64((static_cast<uint64_t>(p.table_id) << 40) ^
+                                         (static_cast<uint64_t>(p.column_idx) << 28) ^
+                                         (static_cast<uint64_t>(p.op) << 20) ^
+                                         static_cast<uint64_t>(p.value_code + (1 << 19))));
+    h = util::HashCombine(h, util::Mix64(std::hash<std::string>{}(p.value_str)));
+  }
+  fingerprint = h;
+}
+
+std::string Query::ToSql(const catalog::Schema& schema) const {
+  std::vector<std::string> froms;
+  for (int t : relations) froms.push_back(schema.table(t).name);
+  std::vector<std::string> conds;
+  for (const auto& j : joins) {
+    conds.push_back(util::StrFormat(
+        "%s.%s = %s.%s", schema.table(j.left_table).name.c_str(),
+        schema.table(j.left_table).columns[static_cast<size_t>(j.left_column)].name.c_str(),
+        schema.table(j.right_table).name.c_str(),
+        schema.table(j.right_table)
+            .columns[static_cast<size_t>(j.right_column)]
+            .name.c_str()));
+  }
+  for (const auto& p : predicates) {
+    const auto& col =
+        schema.table(p.table_id).columns[static_cast<size_t>(p.column_idx)];
+    std::string rhs;
+    if (p.op == PredOp::kContains) {
+      rhs = "'%" + p.value_str + "%'";
+    } else if (p.is_string) {
+      rhs = "'" + p.value_str + "'";
+    } else {
+      rhs = util::StrFormat("%lld", static_cast<long long>(p.value_code));
+    }
+    conds.push_back(util::StrFormat("%s.%s %s %s", schema.table(p.table_id).name.c_str(),
+                                    col.name.c_str(), PredOpName(p.op), rhs.c_str()));
+  }
+  std::string sql = "SELECT count(*) FROM " + util::Join(froms, ", ");
+  if (!conds.empty()) sql += " WHERE " + util::Join(conds, " AND ");
+  return sql + ";";
+}
+
+}  // namespace neo::query

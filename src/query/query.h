@@ -1,0 +1,92 @@
+// Logical query representation: project-select-equijoin-aggregate queries
+// (the class Neo supports, paper §1). A query is a set of base relations, a
+// join graph of FK equi-join edges, and single-table filter predicates.
+//
+// Like the paper, each schema table appears at most once per query (no self
+// joins), so "relation" and "table" coincide and the join-graph adjacency
+// matrix can be indexed by schema table id (§3.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/catalog/schema.h"
+
+namespace neo::query {
+
+enum class PredOp { kEq, kNeq, kLt, kLe, kGt, kGe, kContains };
+
+const char* PredOpName(PredOp op);
+constexpr int kNumPredOps = 7;
+
+/// Single-table filter predicate. String literals keep both the raw text (for
+/// printing / LIKE matching / embedding lookup) and the resolved dictionary
+/// code (-1 if the value does not occur in the column).
+struct Predicate {
+  int table_id = -1;
+  int column_idx = -1;  ///< Within the table.
+  PredOp op = PredOp::kEq;
+  int64_t value_code = 0;
+  std::string value_str;      ///< Set for string-typed predicates.
+  bool is_string = false;
+};
+
+/// Equi-join edge between two relations of the query (an FK edge).
+struct JoinEdge {
+  int left_table = -1;
+  int left_column = -1;
+  int right_table = -1;
+  int right_column = -1;
+
+  bool Touches(int table_id) const {
+    return left_table == table_id || right_table == table_id;
+  }
+};
+
+class Query {
+ public:
+  Query() = default;
+
+  int id = -1;
+  std::string name;                  ///< e.g. "job_17a".
+  std::vector<int> relations;        ///< Schema table ids, sorted ascending.
+  std::vector<JoinEdge> joins;
+  std::vector<Predicate> predicates;
+  /// Content hash over relations/joins/predicates, set by Finalize(). Used
+  /// as the cache key by the cardinality oracle and the execution engine, so
+  /// that structurally identical queries share cache entries and distinct
+  /// temporaries never collide.
+  uint64_t fingerprint = 0;
+
+  size_t num_relations() const { return relations.size(); }
+  size_t num_joins() const { return joins.size(); }
+
+  /// Position of `table_id` within `relations`, or -1.
+  int RelationIndex(int table_id) const;
+
+  bool UsesTable(int table_id) const { return RelationIndex(table_id) >= 0; }
+
+  /// Predicates restricted to one relation.
+  std::vector<Predicate> PredicatesOn(int table_id) const;
+
+  /// Join edges between two specific relations.
+  std::vector<JoinEdge> JoinsBetween(int table_a, int table_b) const;
+
+  /// True if the relation set `mask` (bit i = relations[i]) induces a
+  /// connected subgraph of the join graph.
+  bool SubsetConnected(uint64_t mask) const;
+
+  /// True if some join edge connects a relation in `mask_a` to one in
+  /// `mask_b` (both masks indexed by position in `relations`).
+  bool MasksJoinable(uint64_t mask_a, uint64_t mask_b) const;
+
+  /// Canonicalizes: sorts relations, validates joins/predicates reference
+  /// member relations, checks join-graph connectivity over all relations.
+  void Finalize(const catalog::Schema& schema);
+
+  /// SQL-ish rendering for logs and docs.
+  std::string ToSql(const catalog::Schema& schema) const;
+};
+
+}  // namespace neo::query

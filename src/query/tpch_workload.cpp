@@ -1,0 +1,217 @@
+#include "src/query/tpch_workload.h"
+
+#include <map>
+#include <set>
+
+#include "src/query/builder.h"
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace neo::query {
+
+namespace {
+
+const std::vector<std::string> kSegments = {"automobile", "building", "furniture",
+                                            "household", "machinery"};
+const std::vector<std::string> kPriorities = {"1-urgent", "2-high", "3-medium",
+                                              "4-low", "5-none"};
+const std::vector<std::string> kBrands = {"brand11", "brand12", "brand13", "brand21",
+                                          "brand22", "brand23", "brand31", "brand32",
+                                          "brand33", "brand41"};
+const std::vector<std::string> kContainers = {"jumbo-bag", "lg-box", "med-case",
+                                              "sm-drum", "wrap-jar"};
+const std::vector<std::string> kFlags = {"A", "N", "R"};
+
+/// One of 22 join-graph templates. Predicates are drawn uniformly per query
+/// instance (uniform data -> uniform parameters, the TPC-H way).
+void BuildTemplate(QueryBuilder& b, int tmpl, util::Rng& rng) {
+  auto date_range = [&](const char* table, const char* col) {
+    const int64_t lo = rng.NextInt(0, 2000);
+    b.Pred(table, col, PredOp::kGe, lo);
+    b.Pred(table, col, PredOp::kLe, lo + rng.NextInt(60, 400));
+  };
+  auto qty_pred = [&] {
+    b.Pred("lineitem", "l_quantity", PredOp::kLe, rng.NextInt(10, 45));
+  };
+  auto seg_pred = [&] {
+    b.PredStr("customer", "c_mktsegment", PredOp::kEq,
+              kSegments[rng.NextBounded(kSegments.size())]);
+  };
+  auto brand_pred = [&] {
+    b.PredStr("part", "p_brand", PredOp::kEq, kBrands[rng.NextBounded(kBrands.size())]);
+  };
+
+  switch (tmpl) {
+    case 0:  // Q1-style: lineitem + orders scan-heavy
+      b.JoinFk("lineitem", "orders");
+      date_range("lineitem", "l_shipdate");
+      b.PredStr("lineitem", "l_returnflag", PredOp::kEq,
+                kFlags[rng.NextBounded(kFlags.size())]);
+      break;
+    case 1:  // Q3-style: customer/orders/lineitem
+      b.JoinFk("lineitem", "orders").JoinFk("orders", "customer");
+      seg_pred();
+      date_range("orders", "o_orderdate");
+      break;
+    case 2:  // Q4-style
+      b.JoinFk("lineitem", "orders");
+      date_range("orders", "o_orderdate");
+      b.PredStr("orders", "o_orderpriority", PredOp::kEq,
+                kPriorities[rng.NextBounded(kPriorities.size())]);
+      break;
+    case 3:  // Q5-style chain to region
+      b.JoinFk("lineitem", "orders")
+          .JoinFk("orders", "customer")
+          .JoinFk("customer", "nation")
+          .JoinFk("nation", "region");
+      b.Pred("region", "r_regionkey", PredOp::kEq, rng.NextInt(0, 4));
+      date_range("orders", "o_orderdate");
+      break;
+    case 4:  // Q6-style single-join selective
+      b.JoinFk("lineitem", "orders");
+      date_range("lineitem", "l_shipdate");
+      qty_pred();
+      b.Pred("lineitem", "l_discount", PredOp::kGe, rng.NextInt(2, 8));
+      break;
+    case 5:  // part/lineitem
+      b.JoinFk("lineitem", "part");
+      brand_pred();
+      qty_pred();
+      break;
+    case 6:  // supplier path
+      b.JoinFk("lineitem", "supplier").JoinFk("supplier", "nation");
+      b.Pred("nation", "n_nationkey", PredOp::kEq, rng.NextInt(0, 24));
+      date_range("lineitem", "l_shipdate");
+      break;
+    case 7:  // partsupp/part
+      b.JoinFk("partsupp", "part");
+      brand_pred();
+      b.Pred("partsupp", "ps_supplycost", PredOp::kLe, rng.NextInt(100, 900));
+      break;
+    case 8:  // partsupp/supplier/nation
+      b.JoinFk("partsupp", "supplier").JoinFk("supplier", "nation");
+      b.Pred("nation", "n_regionkey", PredOp::kEq, rng.NextInt(0, 4));
+      break;
+    case 9:  // customer/orders only
+      b.JoinFk("orders", "customer");
+      seg_pred();
+      b.Pred("orders", "o_totalprice", PredOp::kGe, rng.NextInt(100000, 400000));
+      break;
+    case 10:  // Q10-style: returns by customer nation
+      b.JoinFk("lineitem", "orders")
+          .JoinFk("orders", "customer")
+          .JoinFk("customer", "nation");
+      b.PredStr("lineitem", "l_returnflag", PredOp::kEq, "R");
+      date_range("orders", "o_orderdate");
+      break;
+    case 11:  // customer/nation/region
+      b.JoinFk("customer", "nation").JoinFk("nation", "region");
+      b.Pred("region", "r_regionkey", PredOp::kEq, rng.NextInt(0, 4));
+      b.Pred("customer", "c_acctbal", PredOp::kGe, rng.NextInt(0, 5000));
+      break;
+    case 12:  // Q12-style shipmode/priority
+      b.JoinFk("lineitem", "orders");
+      date_range("lineitem", "l_shipdate");
+      b.PredStr("orders", "o_orderpriority", PredOp::kNeq, kPriorities[4]);
+      break;
+    case 13:  // 4-way with part
+      b.JoinFk("lineitem", "orders").JoinFk("orders", "customer").JoinFk("lineitem",
+                                                                         "part");
+      brand_pred();
+      seg_pred();
+      break;
+    case 14:  // Q14-style part promo
+      b.JoinFk("lineitem", "part");
+      date_range("lineitem", "l_shipdate");
+      b.PredStr("part", "p_type", PredOp::kContains, "steel");
+      break;
+    case 15:  // supplier revenue
+      b.JoinFk("lineitem", "supplier");
+      date_range("lineitem", "l_shipdate");
+      b.Pred("supplier", "s_acctbal", PredOp::kGe, rng.NextInt(0, 5000));
+      break;
+    case 16:  // Q16-style partsupp/part attributes
+      b.JoinFk("partsupp", "part");
+      b.PredStr("part", "p_container", PredOp::kEq,
+                kContainers[rng.NextBounded(kContainers.size())]);
+      b.Pred("part", "p_size", PredOp::kLe, rng.NextInt(10, 40));
+      break;
+    case 17:  // Q17-style small-quantity parts
+      b.JoinFk("lineitem", "part");
+      brand_pred();
+      b.PredStr("part", "p_container", PredOp::kEq,
+                kContainers[rng.NextBounded(kContainers.size())]);
+      b.Pred("lineitem", "l_quantity", PredOp::kLt, rng.NextInt(3, 10));
+      break;
+    case 18:  // Q18-style big orders
+      b.JoinFk("lineitem", "orders").JoinFk("orders", "customer");
+      b.Pred("orders", "o_totalprice", PredOp::kGe, rng.NextInt(300000, 480000));
+      break;
+    case 19:  // Q19-style brand+container+qty
+      b.JoinFk("lineitem", "part");
+      brand_pred();
+      qty_pred();
+      b.Pred("part", "p_size", PredOp::kGe, rng.NextInt(1, 15));
+      break;
+    case 20:  // Q20/21-style supplier chain, 5-way
+      b.JoinFk("lineitem", "orders")
+          .JoinFk("lineitem", "supplier")
+          .JoinFk("supplier", "nation");
+      b.Pred("nation", "n_regionkey", PredOp::kEq, rng.NextInt(0, 4));
+      b.PredStr("orders", "o_orderpriority", PredOp::kEq,
+                kPriorities[rng.NextBounded(2)]);
+      break;
+    case 21:  // 6-way: full customer chain + part
+    default:
+      b.JoinFk("lineitem", "orders")
+          .JoinFk("orders", "customer")
+          .JoinFk("customer", "nation")
+          .JoinFk("nation", "region")
+          .JoinFk("lineitem", "part");
+      b.Pred("region", "r_regionkey", PredOp::kEq, rng.NextInt(0, 4));
+      brand_pred();
+      break;
+  }
+}
+
+}  // namespace
+
+Workload MakeTpchWorkload(const catalog::Schema& schema, const storage::Database& db,
+                          uint64_t seed, int queries_per_template) {
+  Workload wl("TPC-H");
+  util::Rng rng(seed);
+  for (int tmpl = 0; tmpl < 22; ++tmpl) {
+    for (int v = 0; v < queries_per_template; ++v) {
+      util::Rng qrng = rng.Fork(static_cast<uint64_t>(tmpl * 100 + v));
+      QueryBuilder b(schema, db, util::StrFormat("tpch%02d_%d", tmpl + 1, v));
+      BuildTemplate(b, tmpl, qrng);
+      wl.Add(b.Build());
+    }
+  }
+  return wl;
+}
+
+WorkloadSplit SplitByTemplate(const Workload& workload, int test_templates,
+                              uint64_t seed) {
+  // Template id = name up to the final '_'.
+  auto template_of = [](const std::string& name) {
+    const size_t pos = name.rfind('_');
+    return name.substr(0, pos);
+  };
+  std::set<std::string> templates;
+  for (const auto& q : workload.queries()) templates.insert(template_of(q.name));
+  std::vector<std::string> tmpl_list(templates.begin(), templates.end());
+  util::Rng rng(seed);
+  rng.Shuffle(tmpl_list);
+  std::set<std::string> test_set(
+      tmpl_list.begin(),
+      tmpl_list.begin() + std::min<size_t>(static_cast<size_t>(test_templates),
+                                           tmpl_list.size()));
+  WorkloadSplit split;
+  for (const auto& q : workload.queries()) {
+    (test_set.count(template_of(q.name)) ? split.test : split.train).push_back(&q);
+  }
+  return split;
+}
+
+}  // namespace neo::query

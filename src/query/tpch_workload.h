@@ -1,0 +1,20 @@
+// TPC-H-like workload (paper §6.1): queries generated from 22 join-graph
+// templates over the TPC-H-like schema. Following the paper, the train/test
+// split is by template — no template appears in both sets — which
+// SplitByTemplate implements (80 train / 20 test at default counts).
+#pragma once
+
+#include "src/query/workload.h"
+#include "src/storage/table.h"
+
+namespace neo::query {
+
+Workload MakeTpchWorkload(const catalog::Schema& schema, const storage::Database& db,
+                          uint64_t seed = 2345, int queries_per_template = 5);
+
+/// Splits so that no template (query name prefix before the final '_') is
+/// shared between train and test. `test_templates` templates go to test.
+WorkloadSplit SplitByTemplate(const Workload& workload, int test_templates,
+                              uint64_t seed);
+
+}  // namespace neo::query

@@ -1,0 +1,28 @@
+#include "src/query/workload.h"
+
+#include <numeric>
+
+namespace neo::query {
+
+WorkloadSplit Workload::Split(double train_fraction, uint64_t seed) const {
+  std::vector<size_t> order(queries_.size());
+  std::iota(order.begin(), order.end(), 0);
+  util::Rng rng(seed);
+  rng.Shuffle(order);
+  const size_t n_train = static_cast<size_t>(
+      static_cast<double>(queries_.size()) * train_fraction + 0.5);
+  WorkloadSplit split;
+  for (size_t i = 0; i < order.size(); ++i) {
+    (i < n_train ? split.train : split.test).push_back(&queries_[order[i]]);
+  }
+  return split;
+}
+
+std::vector<const Query*> Workload::All() const {
+  std::vector<const Query*> out;
+  out.reserve(queries_.size());
+  for (const auto& q : queries_) out.push_back(&q);
+  return out;
+}
+
+}  // namespace neo::query

@@ -1,0 +1,49 @@
+// A workload is a named set of queries plus deterministic train/test
+// splitting (paper §6.1: 80% train / 20% test).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/query/query.h"
+#include "src/util/rng.h"
+
+namespace neo::query {
+
+struct WorkloadSplit {
+  std::vector<const Query*> train;
+  std::vector<const Query*> test;
+};
+
+class Workload {
+ public:
+  explicit Workload(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return queries_.size(); }
+  const Query& query(size_t i) const { return queries_[i]; }
+  const std::vector<Query>& queries() const { return queries_; }
+
+  Query& Add(Query q) {
+    q.id = static_cast<int>(queries_.size()) + id_offset_;
+    queries_.push_back(std::move(q));
+    return queries_.back();
+  }
+
+  /// Makes query ids start at `offset` (avoid per-query-id collisions when
+  /// mixing workloads, e.g. JOB + Ext-JOB baselines). Call before Add.
+  void SetIdOffset(int offset) { id_offset_ = offset; }
+
+  /// Deterministic shuffled split; `train_fraction` of queries go to train.
+  WorkloadSplit Split(double train_fraction, uint64_t seed) const;
+
+  /// All queries as pointers (e.g. to evaluate on the full suite).
+  std::vector<const Query*> All() const;
+
+ private:
+  std::string name_;
+  std::vector<Query> queries_;
+  int id_offset_ = 0;
+};
+
+}  // namespace neo::query

@@ -1,0 +1,15 @@
+#include "src/storage/column.h"
+
+#include "src/util/string_util.h"
+
+namespace neo::storage {
+
+std::vector<int64_t> Column::CodesContaining(const std::string& needle) const {
+  std::vector<int64_t> out;
+  for (size_t code = 0; code < dict_.size(); ++code) {
+    if (util::Contains(dict_[code], needle)) out.push_back(static_cast<int64_t>(code));
+  }
+  return out;
+}
+
+}  // namespace neo::storage

@@ -1,0 +1,81 @@
+// Dictionary-encoded, in-memory column storage.
+//
+// Every value is stored as an int64 "code". Integer columns store the value
+// itself; string columns store an index into a per-column dictionary. This
+// uniform representation keeps joins, predicate evaluation, histograms, and
+// word2vec sentence building simple and fast.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace neo::storage {
+
+enum class ColumnType { kInt, kString };
+
+class Column {
+ public:
+  Column(std::string name, ColumnType type) : name_(std::move(name)), type_(type) {}
+
+  const std::string& name() const { return name_; }
+  ColumnType type() const { return type_; }
+  size_t size() const { return data_.size(); }
+
+  /// Appends an integer value (kInt columns only).
+  void AppendInt(int64_t v) {
+    NEO_CHECK(type_ == ColumnType::kInt);
+    data_.push_back(v);
+  }
+
+  /// Appends a string value, interning it in the dictionary (kString only).
+  void AppendString(const std::string& s) {
+    NEO_CHECK(type_ == ColumnType::kString);
+    data_.push_back(InternString(s));
+  }
+
+  /// Returns the dictionary code for `s`, adding it if absent.
+  int64_t InternString(const std::string& s) {
+    auto it = dict_index_.find(s);
+    if (it != dict_index_.end()) return it->second;
+    const int64_t code = static_cast<int64_t>(dict_.size());
+    dict_.push_back(s);
+    dict_index_.emplace(dict_.back(), code);
+    return code;
+  }
+
+  /// Returns the code for `s`, or -1 if the value does not occur.
+  int64_t LookupString(const std::string& s) const {
+    auto it = dict_index_.find(s);
+    return it == dict_index_.end() ? -1 : it->second;
+  }
+
+  /// Raw code at `row` (int value or dictionary code).
+  int64_t CodeAt(size_t row) const { return data_[row]; }
+
+  /// String at `row` (kString columns only).
+  const std::string& StringAt(size_t row) const {
+    NEO_CHECK(type_ == ColumnType::kString);
+    return dict_[static_cast<size_t>(data_[row])];
+  }
+
+  const std::vector<int64_t>& codes() const { return data_; }
+  const std::vector<std::string>& dictionary() const { return dict_; }
+  size_t dictionary_size() const { return dict_.size(); }
+
+  /// Dictionary codes whose string contains `needle` (for LIKE-style
+  /// predicates). O(dictionary size).
+  std::vector<int64_t> CodesContaining(const std::string& needle) const;
+
+ private:
+  std::string name_;
+  ColumnType type_;
+  std::vector<int64_t> data_;
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, int64_t> dict_index_;
+};
+
+}  // namespace neo::storage

@@ -1,0 +1,115 @@
+#include "src/storage/table.h"
+
+#include <algorithm>
+
+namespace neo::storage {
+
+Index::Index(std::string column_name, const Column& column)
+    : column_name_(std::move(column_name)) {
+  entries_.reserve(column.size());
+  for (size_t row = 0; row < column.size(); ++row) {
+    entries_.push_back(Entry{column.CodeAt(row), static_cast<uint32_t>(row)});
+  }
+  std::sort(entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+    return a.code < b.code || (a.code == b.code && a.row < b.row);
+  });
+}
+
+size_t Index::CountEqual(int64_t code) const {
+  auto lo = std::lower_bound(entries_.begin(), entries_.end(), code,
+                             [](const Entry& e, int64_t c) { return e.code < c; });
+  auto hi = std::upper_bound(entries_.begin(), entries_.end(), code,
+                             [](int64_t c, const Entry& e) { return c < e.code; });
+  return static_cast<size_t>(hi - lo);
+}
+
+std::vector<uint32_t> Index::LookupEqual(int64_t code) const {
+  auto lo = std::lower_bound(entries_.begin(), entries_.end(), code,
+                             [](const Entry& e, int64_t c) { return e.code < c; });
+  std::vector<uint32_t> rows;
+  for (auto it = lo; it != entries_.end() && it->code == code; ++it) {
+    rows.push_back(it->row);
+  }
+  return rows;
+}
+
+size_t Index::CountRange(int64_t lo_code, int64_t hi_code) const {
+  auto lo = std::lower_bound(entries_.begin(), entries_.end(), lo_code,
+                             [](const Entry& e, int64_t c) { return e.code < c; });
+  auto hi = std::upper_bound(entries_.begin(), entries_.end(), hi_code,
+                             [](int64_t c, const Entry& e) { return c < e.code; });
+  return static_cast<size_t>(hi - lo);
+}
+
+Column& Table::AddColumn(const std::string& col_name, ColumnType type) {
+  NEO_CHECK_MSG(column_index_.count(col_name) == 0, col_name.c_str());
+  column_index_.emplace(col_name, columns_.size());
+  columns_.push_back(std::make_unique<Column>(col_name, type));
+  return *columns_.back();
+}
+
+int Table::ColumnIndex(const std::string& col_name) const {
+  auto it = column_index_.find(col_name);
+  return it == column_index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+const Column& Table::ColumnByName(const std::string& col_name) const {
+  const int idx = ColumnIndex(col_name);
+  NEO_CHECK_MSG(idx >= 0, (name_ + "." + col_name).c_str());
+  return *columns_[static_cast<size_t>(idx)];
+}
+
+void Table::SealRows() {
+  NEO_CHECK(!columns_.empty());
+  num_rows_ = columns_[0]->size();
+  for (const auto& col : columns_) {
+    NEO_CHECK_MSG(col->size() == num_rows_, (name_ + "." + col->name()).c_str());
+  }
+}
+
+void Table::BuildIndex(const std::string& col_name) {
+  const Column& col = ColumnByName(col_name);
+  indexes_[col_name] = std::make_unique<Index>(col_name, col);
+}
+
+const Index* Table::GetIndex(const std::string& col_name) const {
+  auto it = indexes_.find(col_name);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Table::indexed_columns() const {
+  std::vector<std::string> out;
+  out.reserve(indexes_.size());
+  for (const auto& [name, idx] : indexes_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Table& Database::AddTable(const std::string& name) {
+  NEO_CHECK_MSG(tables_.count(name) == 0, name.c_str());
+  auto [it, inserted] = tables_.emplace(name, std::make_unique<Table>(name));
+  insertion_order_.push_back(name);
+  return *it->second;
+}
+
+const Table& Database::table(const std::string& name) const {
+  auto it = tables_.find(name);
+  NEO_CHECK_MSG(it != tables_.end(), name.c_str());
+  return *it->second;
+}
+
+Table& Database::table(const std::string& name) {
+  auto it = tables_.find(name);
+  NEO_CHECK_MSG(it != tables_.end(), name.c_str());
+  return *it->second;
+}
+
+std::vector<std::string> Database::table_names() const { return insertion_order_; }
+
+size_t Database::total_rows() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) total += table->num_rows();
+  return total;
+}
+
+}  // namespace neo::storage

@@ -1,0 +1,98 @@
+// A table is a set of equal-length columns plus optional secondary indexes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/column.h"
+#include "src/util/status.h"
+
+namespace neo::storage {
+
+/// Secondary index: rows sorted by column code, supporting equality lookups
+/// (binary search) and ordered iteration (for merge-join sortedness).
+class Index {
+ public:
+  Index(std::string column_name, const Column& column);
+
+  const std::string& column_name() const { return column_name_; }
+
+  /// Number of rows matching `code`.
+  size_t CountEqual(int64_t code) const;
+
+  /// Row ids matching `code`, in index order.
+  std::vector<uint32_t> LookupEqual(int64_t code) const;
+
+  /// Number of rows with code in [lo, hi] inclusive.
+  size_t CountRange(int64_t lo, int64_t hi) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    int64_t code;
+    uint32_t row;
+  };
+  std::string column_name_;
+  std::vector<Entry> entries_;  // sorted by (code, row)
+};
+
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Adds a column; all columns of a table must end up with the same length.
+  Column& AddColumn(const std::string& col_name, ColumnType type);
+
+  const Column& column(size_t i) const { return *columns_[i]; }
+  Column& column(size_t i) { return *columns_[i]; }
+
+  /// Column index by name; -1 if absent.
+  int ColumnIndex(const std::string& col_name) const;
+
+  const Column& ColumnByName(const std::string& col_name) const;
+
+  /// Recomputes the row count from column 0 and checks all columns agree.
+  void SealRows();
+
+  /// Builds (or rebuilds) a secondary index on `col_name`.
+  void BuildIndex(const std::string& col_name);
+
+  /// Returns the index on `col_name`, or nullptr.
+  const Index* GetIndex(const std::string& col_name) const;
+
+  bool HasIndex(const std::string& col_name) const { return GetIndex(col_name) != nullptr; }
+
+  std::vector<std::string> indexed_columns() const;
+
+ private:
+  std::string name_;
+  size_t num_rows_ = 0;
+  std::vector<std::unique_ptr<Column>> columns_;
+  std::unordered_map<std::string, size_t> column_index_;
+  std::unordered_map<std::string, std::unique_ptr<Index>> indexes_;
+};
+
+/// Named collection of tables.
+class Database {
+ public:
+  Table& AddTable(const std::string& name);
+  const Table& table(const std::string& name) const;
+  Table& table(const std::string& name);
+  bool HasTable(const std::string& name) const { return tables_.count(name) > 0; }
+
+  std::vector<std::string> table_names() const;
+  size_t total_rows() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> insertion_order_;
+};
+
+}  // namespace neo::storage

@@ -1,0 +1,54 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace neo::util {
+
+double Rng::NextGaussian() {
+  // Box-Muller; guard against log(0).
+  double u1 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+size_t Rng::SampleWeighted(const std::vector<double>& weights) {
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) return NextBounded(weights.empty() ? 1 : weights.size());
+  double r = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Zipf::Zipf(size_t n, double skew, uint64_t shuffle_seed) {
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), 0);
+  if (shuffle_seed != 0) {
+    Rng rng(shuffle_seed);
+    std::vector<uint32_t> tmp(perm_.begin(), perm_.end());
+    rng.Shuffle(tmp);
+    perm_.assign(tmp.begin(), tmp.end());
+  }
+}
+
+size_t Zipf::Sample(Rng& rng) const {
+  const double r = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), r);
+  size_t rank = static_cast<size_t>(it - cdf_.begin());
+  if (rank >= perm_.size()) rank = perm_.size() - 1;
+  return perm_[rank];
+}
+
+}  // namespace neo::util

@@ -1,0 +1,118 @@
+// Deterministic pseudo-random number generation for all stochastic components.
+//
+// Every module that needs randomness (data generation, network initialization,
+// word2vec negative sampling, search tie-breaking, engine noise) takes an
+// explicit Rng so that a single seed makes an entire experiment reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace neo::util {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless hash-mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes a 64-bit value into a well-distributed hash (stateless).
+inline uint64_t Mix64(uint64_t x) {
+  uint64_t s = x;
+  return SplitMix64(s);
+}
+
+/// Combines two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (Mix64(b) + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+/// xoshiro256** PRNG. Fast, high quality, deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform float in [lo, hi).
+  double NextUniform(double lo, double hi) { return lo + NextDouble() * (hi - lo); }
+
+  /// Standard normal via Box-Muller (one value per call; no caching for
+  /// determinism under interleaved use).
+  double NextGaussian();
+
+  /// Bernoulli trial.
+  bool NextBool(double p_true = 0.5) { return NextDouble() < p_true; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    if (v.empty()) return;
+    for (size_t i = v.size() - 1; i > 0; --i) {
+      size_t j = NextBounded(i + 1);
+      std::swap(v[i], v[j]);
+    }
+  }
+
+  /// Samples an index from a (non-normalized, non-negative) weight vector.
+  size_t SampleWeighted(const std::vector<double>& weights);
+
+  /// Derives an independent child generator; changing the order of other
+  /// draws on the parent does not perturb the child stream.
+  Rng Fork(uint64_t stream_id) const {
+    return Rng(HashCombine(HashCombine(s_[0], s_[3]), Mix64(stream_id)));
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed integer sampler over {0, .., n-1}; rank 0 is the most
+/// frequent. skew = 0 degenerates to uniform. Precomputes the CDF.
+class Zipf {
+ public:
+  Zipf(size_t n, double skew, uint64_t shuffle_seed = 0);
+
+  /// Draws one value. The mapping rank->value is a fixed permutation so that
+  /// "hot" values are spread across the domain (controlled by shuffle_seed).
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  std::vector<uint32_t> perm_;
+};
+
+}  // namespace neo::util

@@ -1,0 +1,72 @@
+// Minimal Status/StatusOr error propagation (RocksDB-style), used on fallible
+// public APIs. Internal invariant violations use NEO_CHECK instead.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace neo::util {
+
+/// Result of a fallible operation. Cheap to copy when OK.
+class Status {
+ public:
+  enum class Code { kOk = 0, kInvalidArgument, kNotFound, kFailedPrecondition, kInternal };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) { return Status(Code::kNotFound, std::move(msg)); }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) { return Status(Code::kInternal, std::move(msg)); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "UNKNOWN";
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kInvalidArgument: name = "INVALID_ARGUMENT"; break;
+      case Code::kNotFound: name = "NOT_FOUND"; break;
+      case Code::kFailedPrecondition: name = "FAILED_PRECONDITION"; break;
+      case Code::kInternal: name = "INTERNAL"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace neo::util
+
+/// Aborts the process with a message if `cond` is false. Used for programmer
+/// invariants (never for user input validation).
+#define NEO_CHECK(cond)                                                              \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      std::fprintf(stderr, "NEO_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,    \
+                   #cond);                                                           \
+      std::abort();                                                                  \
+    }                                                                                \
+  } while (0)
+
+#define NEO_CHECK_MSG(cond, msg)                                                     \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      std::fprintf(stderr, "NEO_CHECK failed at %s:%d: %s (%s)\n", __FILE__,         \
+                   __LINE__, #cond, (msg));                                          \
+      std::abort();                                                                  \
+    }                                                                                \
+  } while (0)

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch used by the anytime search cutoff and the training-time
+// accounting benches.
+#pragma once
+
+#include <chrono>
+
+namespace neo::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds since construction/restart.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace neo::util

@@ -1,0 +1,21 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace neo::util {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True if `haystack` contains `needle` (case-sensitive).
+bool Contains(const std::string& haystack, const std::string& needle);
+
+/// Lower-cases ASCII.
+std::string ToLower(std::string s);
+
+}  // namespace neo::util

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "src/catalog/histogram.h"
+#include "src/catalog/schema.h"
+#include "src/catalog/statistics.h"
+#include "src/datagen/imdb_gen.h"
+
+namespace neo::catalog {
+namespace {
+
+using storage::ColumnType;
+
+TEST(SchemaTest, GlobalColumnIds) {
+  Schema s;
+  s.AddTable("a", {{"x", ColumnType::kInt}, {"y", ColumnType::kInt}}, "x");
+  s.AddTable("b", {{"z", ColumnType::kInt}}, "z");
+  EXPECT_EQ(s.num_tables(), 2);
+  EXPECT_EQ(s.num_columns(), 3);
+  EXPECT_EQ(s.GlobalColumnId("a", "x"), 0);
+  EXPECT_EQ(s.GlobalColumnId("a", "y"), 1);
+  EXPECT_EQ(s.GlobalColumnId("b", "z"), 2);
+  EXPECT_EQ(s.GlobalColumnId("b", "missing"), -1);
+  EXPECT_EQ(s.QualifiedName(1), "a.y");
+  EXPECT_EQ(s.ColumnByGlobalId(2).table_id, 1);
+}
+
+TEST(SchemaTest, ForeignKeysAndJoinEdges) {
+  Schema s;
+  s.AddTable("fact", {{"id", ColumnType::kInt}, {"dim_id", ColumnType::kInt}}, "id");
+  s.AddTable("dim", {{"id", ColumnType::kInt}}, "id");
+  s.AddForeignKey("fact", "dim_id", "dim", "id");
+  ForeignKey fk;
+  EXPECT_TRUE(s.FindJoinEdge(0, 1, &fk));
+  EXPECT_TRUE(s.FindJoinEdge(1, 0, &fk));
+  EXPECT_EQ(fk.from_table, 0);
+  EXPECT_EQ(fk.to_table, 1);
+  EXPECT_EQ(s.ForeignKeysOf(0).size(), 1u);
+  EXPECT_FALSE(s.FindJoinEdge(0, 0, nullptr));
+}
+
+TEST(SchemaTest, MarkIndexed) {
+  Schema s;
+  s.AddTable("t", {{"a", ColumnType::kInt}}, "");
+  EXPECT_FALSE(s.table(0).columns[0].indexed);
+  s.MarkIndexed("t", "a");
+  EXPECT_TRUE(s.table(0).columns[0].indexed);
+}
+
+TEST(HistogramTest, ExactOnMcvs) {
+  // A heavily repeated value must be estimated exactly (MCV list).
+  std::vector<int64_t> codes;
+  for (int i = 0; i < 900; ++i) codes.push_back(7);
+  for (int i = 0; i < 100; ++i) codes.push_back(i + 100);
+  Histogram h(codes, 16, 8);
+  EXPECT_NEAR(h.SelectivityEq(7), 0.9, 1e-9);
+  EXPECT_EQ(h.total_rows(), 1000u);
+  EXPECT_EQ(h.num_distinct(), 101u);
+}
+
+TEST(HistogramTest, UniformEqualitySelectivity) {
+  std::vector<int64_t> codes;
+  for (int v = 0; v < 100; ++v) {
+    for (int i = 0; i < 10; ++i) codes.push_back(v);
+  }
+  Histogram h(codes, 16, 0);
+  // Every value has true selectivity 0.01; equi-depth should be close.
+  EXPECT_NEAR(h.SelectivityEq(50), 0.01, 0.005);
+}
+
+TEST(HistogramTest, RangeSelectivity) {
+  std::vector<int64_t> codes;
+  for (int v = 0; v < 1000; ++v) codes.push_back(v);
+  Histogram h(codes, 32, 0);
+  EXPECT_NEAR(h.SelectivityRange(0, 499), 0.5, 0.05);
+  EXPECT_NEAR(h.SelectivityRange(900, 999), 0.1, 0.05);
+  EXPECT_NEAR(h.SelectivityRange(0, 999), 1.0, 0.01);
+  EXPECT_EQ(h.SelectivityRange(5, 4), 0.0);
+}
+
+TEST(HistogramTest, EmptyColumn) {
+  Histogram h(std::vector<int64_t>{}, 8, 4);
+  EXPECT_EQ(h.SelectivityEq(1), 0.0);
+  EXPECT_EQ(h.SelectivityRange(0, 10), 0.0);
+  EXPECT_EQ(h.total_rows(), 0u);
+}
+
+TEST(HistogramTest, SelectivityBounds) {
+  std::vector<int64_t> codes;
+  for (int v = 0; v < 100; ++v) codes.push_back(v % 13);
+  Histogram h(codes, 4, 2);
+  for (int64_t v = -5; v < 20; ++v) {
+    const double s = h.SelectivityEq(v);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(StatisticsTest, BuildsOverImdb) {
+  datagen::GenOptions opt;
+  opt.scale = 0.05;
+  auto ds = datagen::GenerateImdb(opt);
+  Statistics stats(ds.schema, *ds.db, 16, 8, 100, 7);
+  const int title = ds.schema.TableId("title");
+  EXPECT_EQ(stats.table_rows(title), ds.db->table("title").num_rows());
+  EXPECT_EQ(stats.sample_rows(title).size(),
+            std::min<size_t>(100, ds.db->table("title").num_rows()));
+  // production_year histogram should cover a plausible range.
+  const int year_col = ds.schema.TableByName("title").ColumnIndex("production_year");
+  const auto& h = stats.histogram(title, year_col);
+  EXPECT_GE(h.min_code(), 1900);
+  EXPECT_LE(h.max_code(), 2025);
+  EXPECT_NEAR(h.SelectivityRange(INT64_MIN, INT64_MAX), 1.0, 0.01);
+}
+
+TEST(StatisticsTest, SampleDeterministic) {
+  datagen::GenOptions opt;
+  opt.scale = 0.05;
+  auto ds = datagen::GenerateImdb(opt);
+  Statistics s1(ds.schema, *ds.db, 16, 8, 50, 7);
+  Statistics s2(ds.schema, *ds.db, 16, 8, 50, 7);
+  EXPECT_EQ(s1.sample_rows(0), s2.sample_rows(0));
+}
+
+}  // namespace
+}  // namespace neo::catalog

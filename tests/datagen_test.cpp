@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "src/datagen/corp_gen.h"
+#include "src/datagen/imdb_gen.h"
+#include "src/datagen/tpch_gen.h"
+#include "src/query/corp_workload.h"
+#include "src/query/job_workload.h"
+#include "src/query/tpch_workload.h"
+
+namespace neo::datagen {
+namespace {
+
+TEST(ImdbGenTest, SchemaAndVolumes) {
+  GenOptions opt;
+  opt.scale = 0.05;
+  ImdbGenStats stats;
+  Dataset ds = GenerateImdb(opt, &stats);
+  EXPECT_EQ(ds.schema.num_tables(), 9);
+  EXPECT_GT(ds.db->table("title").num_rows(), 100u);
+  EXPECT_GT(ds.db->table("movie_keyword").num_rows(),
+            ds.db->table("title").num_rows());
+  EXPECT_EQ(ds.db->table("info_type").num_rows(), 4u);
+  EXPECT_GT(stats.num_keywords, 0);
+  // FK integrity: every movie_keyword.movie_id exists in title.
+  const auto& mk = ds.db->table("movie_keyword").ColumnByName("movie_id");
+  const size_t n_title = ds.db->table("title").num_rows();
+  for (size_t r = 0; r < mk.size(); ++r) {
+    ASSERT_GE(mk.CodeAt(r), 0);
+    ASSERT_LT(mk.CodeAt(r), static_cast<int64_t>(n_title));
+  }
+}
+
+TEST(ImdbGenTest, Deterministic) {
+  GenOptions opt;
+  opt.scale = 0.03;
+  Dataset a = GenerateImdb(opt);
+  Dataset b = GenerateImdb(opt);
+  EXPECT_EQ(a.db->table("cast_info").num_rows(), b.db->table("cast_info").num_rows());
+  const auto& ca = a.db->table("cast_info").ColumnByName("person_id");
+  const auto& cb = b.db->table("cast_info").ColumnByName("person_id");
+  EXPECT_EQ(ca.codes(), cb.codes());
+}
+
+TEST(ImdbGenTest, AllKeywordStemsPresent) {
+  GenOptions opt;
+  opt.scale = 0.02;
+  Dataset ds = GenerateImdb(opt);
+  const auto& kw = ds.db->table("keyword").ColumnByName("keyword");
+  for (int g = 0; g < static_cast<int>(ImdbGenreNames().size()); ++g) {
+    for (const auto& stem : ImdbKeywordStems(g)) {
+      EXPECT_FALSE(kw.CodesContaining(stem).empty()) << stem;
+    }
+  }
+}
+
+TEST(ImdbGenTest, IndexesBuilt) {
+  GenOptions opt;
+  opt.scale = 0.02;
+  Dataset ds = GenerateImdb(opt);
+  EXPECT_TRUE(ds.db->table("movie_keyword").HasIndex("movie_id"));
+  EXPECT_TRUE(ds.db->table("movie_keyword").HasIndex("keyword_id"));
+  EXPECT_TRUE(ds.db->table("title").HasIndex("id"));  // PK
+}
+
+TEST(TpchGenTest, SchemaAndUniformity) {
+  GenOptions opt;
+  opt.scale = 0.1;
+  Dataset ds = GenerateTpch(opt);
+  EXPECT_EQ(ds.schema.num_tables(), 8);
+  EXPECT_EQ(ds.db->table("region").num_rows(), 5u);
+  EXPECT_EQ(ds.db->table("nation").num_rows(), 25u);
+  EXPECT_GT(ds.db->table("lineitem").num_rows(), ds.db->table("orders").num_rows());
+  // l_quantity should be near-uniform over [1, 50].
+  const auto& qty = ds.db->table("lineitem").ColumnByName("l_quantity");
+  std::vector<int> counts(51, 0);
+  for (size_t r = 0; r < qty.size(); ++r) counts[static_cast<size_t>(qty.CodeAt(r))]++;
+  const double expected = static_cast<double>(qty.size()) / 50.0;
+  for (int v = 1; v <= 50; ++v) {
+    EXPECT_NEAR(counts[static_cast<size_t>(v)], expected, expected * 0.5);
+  }
+}
+
+TEST(CorpGenTest, StarSchemaAndSkew) {
+  GenOptions opt;
+  opt.scale = 0.1;
+  Dataset ds = GenerateCorp(opt);
+  EXPECT_EQ(ds.schema.num_tables(), 6);
+  const auto& user = ds.db->table("fact_events").ColumnByName("user_id");
+  // Zipf skew: the hottest user appears far more than average.
+  std::unordered_map<int64_t, int> counts;
+  for (size_t r = 0; r < user.size(); ++r) counts[user.CodeAt(r)]++;
+  int max_count = 0;
+  for (const auto& [k, v] : counts) max_count = std::max(max_count, v);
+  const double avg =
+      static_cast<double>(user.size()) / static_cast<double>(counts.size());
+  EXPECT_GT(max_count, avg * 10);
+}
+
+// ---- Workloads -----------------------------------------------------------
+
+class WorkloadFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GenOptions opt;
+    opt.scale = 0.05;
+    imdb_ = new Dataset(GenerateImdb(opt));
+    tpch_ = new Dataset(GenerateTpch(opt));
+    corp_ = new Dataset(GenerateCorp(opt));
+  }
+  static void TearDownTestSuite() {
+    delete imdb_;
+    delete tpch_;
+    delete corp_;
+  }
+  static Dataset* imdb_;
+  static Dataset* tpch_;
+  static Dataset* corp_;
+};
+
+Dataset* WorkloadFixture::imdb_ = nullptr;
+Dataset* WorkloadFixture::tpch_ = nullptr;
+Dataset* WorkloadFixture::corp_ = nullptr;
+
+TEST_F(WorkloadFixture, JobWorkloadShape) {
+  const auto wl = query::MakeJobWorkload(imdb_->schema, *imdb_->db);
+  EXPECT_EQ(wl.size(), 132u);  // 33 families x 4 variants.
+  size_t max_rels = 0;
+  for (const auto& q : wl.queries()) {
+    EXPECT_GE(q.num_relations(), 2u);
+    EXPECT_GE(q.num_joins(), q.num_relations() - 1);
+    max_rels = std::max(max_rels, q.num_relations());
+  }
+  EXPECT_EQ(max_rels, 9u);  // The full star: title + 4 arms.
+}
+
+TEST_F(WorkloadFixture, JobSplitDeterministicAndDisjoint) {
+  const auto wl = query::MakeJobWorkload(imdb_->schema, *imdb_->db);
+  const auto s1 = wl.Split(0.8, 99);
+  const auto s2 = wl.Split(0.8, 99);
+  ASSERT_EQ(s1.train.size(), s2.train.size());
+  EXPECT_EQ(s1.train.size(), 106u);
+  EXPECT_EQ(s1.test.size(), 26u);
+  for (size_t i = 0; i < s1.train.size(); ++i) {
+    EXPECT_EQ(s1.train[i]->id, s2.train[i]->id);
+  }
+  std::set<int> train_ids;
+  for (auto* q : s1.train) train_ids.insert(q->id);
+  for (auto* q : s1.test) EXPECT_EQ(train_ids.count(q->id), 0u);
+}
+
+TEST_F(WorkloadFixture, ExtJobDistinctFromJob) {
+  const auto job = query::MakeJobWorkload(imdb_->schema, *imdb_->db);
+  const auto ext = query::MakeExtJobWorkload(imdb_->schema, *imdb_->db);
+  EXPECT_EQ(ext.size(), 24u);
+  // No Ext-JOB query shares its SQL with any JOB query.
+  std::set<std::string> job_sql;
+  for (const auto& q : job.queries()) job_sql.insert(q.ToSql(imdb_->schema));
+  for (const auto& q : ext.queries()) {
+    EXPECT_EQ(job_sql.count(q.ToSql(imdb_->schema)), 0u) << q.name;
+  }
+}
+
+TEST_F(WorkloadFixture, TpchWorkloadTemplateSplit) {
+  const auto wl = query::MakeTpchWorkload(tpch_->schema, *tpch_->db, 7, 5);
+  EXPECT_EQ(wl.size(), 110u);  // 22 templates x 5.
+  const auto split = query::SplitByTemplate(wl, 4, 13);
+  EXPECT_EQ(split.test.size(), 20u);
+  EXPECT_EQ(split.train.size(), 90u);
+  // No template crosses the split.
+  auto tmpl = [](const std::string& n) { return n.substr(0, n.rfind('_')); };
+  std::set<std::string> train_tmpl, test_tmpl;
+  for (auto* q : split.train) train_tmpl.insert(tmpl(q->name));
+  for (auto* q : split.test) test_tmpl.insert(tmpl(q->name));
+  for (const auto& t : test_tmpl) EXPECT_EQ(train_tmpl.count(t), 0u);
+}
+
+TEST_F(WorkloadFixture, CorpWorkloadShape) {
+  const auto wl = query::MakeCorpWorkload(corp_->schema, *corp_->db);
+  EXPECT_EQ(wl.size(), 120u);
+  for (const auto& q : wl.queries()) {
+    EXPECT_GE(q.num_relations(), 2u);
+    EXPECT_LE(q.num_relations(), 6u);
+  }
+}
+
+TEST_F(WorkloadFixture, AllQueriesConnected) {
+  for (const auto* ds : {imdb_, tpch_, corp_}) {
+    (void)ds;
+  }
+  const auto job = query::MakeJobWorkload(imdb_->schema, *imdb_->db);
+  for (const auto& q : job.queries()) {
+    EXPECT_TRUE(q.SubsetConnected((1ULL << q.num_relations()) - 1)) << q.name;
+  }
+}
+
+}  // namespace
+}  // namespace neo::datagen

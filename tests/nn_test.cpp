@@ -1,0 +1,403 @@
+// Neural network library tests: numerical gradient checks for every layer
+// (Linear, LayerNorm, TreeConv), the paper's Figure 6 tree-convolution
+// examples, Adam convergence, and value-network overfitting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "src/nn/value_network.h"
+
+namespace neo::nn {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, util::Rng& rng, double scale = 1.0) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.Size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.NextUniform(-scale, scale));
+  }
+  return m;
+}
+
+/// Weighted-sum loss of a layer output: L = sum(out .* weights). Its exact
+/// output gradient is `weights`, enabling simple numeric checks.
+double WeightedLoss(const Matrix& out, const Matrix& weights) {
+  double loss = 0;
+  for (size_t i = 0; i < out.Size(); ++i) {
+    loss += static_cast<double>(out.data()[i]) * weights.data()[i];
+  }
+  return loss;
+}
+
+/// Checks analytic parameter gradients against central differences.
+void CheckParamGradients(Layer& layer, const Matrix& input, double tol = 2e-2) {
+  util::Rng rng(99);
+  Matrix out = layer.Forward(input);
+  const Matrix loss_w = RandomMatrix(out.rows(), out.cols(), rng);
+
+  std::vector<Param*> params;
+  layer.CollectParams(&params);
+  for (Param* p : params) p->ZeroGrad();
+  layer.Forward(input);
+  layer.Backward(loss_w);
+
+  const float eps = 1e-3f;
+  for (Param* p : params) {
+    for (size_t i = 0; i < p->value.Size(); i += std::max<size_t>(1, p->value.Size() / 17)) {
+      const float orig = p->value.data()[i];
+      p->value.data()[i] = orig + eps;
+      const double lp = WeightedLoss(layer.Forward(input), loss_w);
+      p->value.data()[i] = orig - eps;
+      const double lm = WeightedLoss(layer.Forward(input), loss_w);
+      p->value.data()[i] = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double analytic = p->grad.data()[i];
+      EXPECT_NEAR(analytic, numeric, tol * std::max(1.0, std::fabs(numeric)))
+          << "param index " << i;
+    }
+  }
+}
+
+/// Checks analytic input gradients against central differences.
+void CheckInputGradients(Layer& layer, Matrix input, double tol = 2e-2) {
+  util::Rng rng(98);
+  Matrix out = layer.Forward(input);
+  const Matrix loss_w = RandomMatrix(out.rows(), out.cols(), rng);
+  std::vector<Param*> params;
+  layer.CollectParams(&params);
+  for (Param* p : params) p->ZeroGrad();
+  layer.Forward(input);
+  const Matrix grad_in = layer.Backward(loss_w);
+
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < input.Size(); i += std::max<size_t>(1, input.Size() / 13)) {
+    const float orig = input.data()[i];
+    input.data()[i] = orig + eps;
+    const double lp = WeightedLoss(layer.Forward(input), loss_w);
+    input.data()[i] = orig - eps;
+    const double lm = WeightedLoss(layer.Forward(input), loss_w);
+    input.data()[i] = orig;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(grad_in.data()[i], numeric, tol * std::max(1.0, std::fabs(numeric)));
+  }
+}
+
+TEST(MatrixTest, MatMulHandChecked) {
+  Matrix a(2, 3), b(3, 2);
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  Matrix c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154);
+}
+
+TEST(MatrixTest, TransposedVariantsAgree) {
+  util::Rng rng(1);
+  Matrix a = RandomMatrix(4, 5, rng);
+  Matrix b = RandomMatrix(5, 3, rng);
+  const Matrix ref = MatMul(a, b);
+  // MatMulTransposeB(a, b^T) == a b.
+  Matrix bt(3, 5);
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 3; ++c) bt.At(c, r) = b.At(r, c);
+  }
+  const Matrix viaB = MatMulTransposeB(a, bt);
+  for (size_t i = 0; i < ref.Size(); ++i) {
+    EXPECT_NEAR(ref.data()[i], viaB.data()[i], 1e-5);
+  }
+  // MatMulTransposeA(a^T, b) == a b.
+  Matrix at(5, 4);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 5; ++c) at.At(c, r) = a.At(r, c);
+  }
+  const Matrix viaA = MatMulTransposeA(at, b);
+  for (size_t i = 0; i < ref.Size(); ++i) {
+    EXPECT_NEAR(ref.data()[i], viaA.data()[i], 1e-5);
+  }
+}
+
+TEST(LinearTest, GradientsMatchNumeric) {
+  util::Rng rng(2);
+  Linear layer(6, 4, rng);
+  const Matrix x = RandomMatrix(5, 6, rng);
+  CheckParamGradients(layer, x);
+  CheckInputGradients(layer, x);
+}
+
+TEST(LeakyReLUTest, ForwardAndGradient) {
+  LeakyReLU layer(0.1f);
+  Matrix x(1, 4);
+  x.At(0, 0) = -2;
+  x.At(0, 1) = 3;
+  x.At(0, 2) = 0;
+  x.At(0, 3) = -0.5;
+  Matrix y = layer.Forward(x);
+  EXPECT_FLOAT_EQ(y.At(0, 0), -0.2f);
+  EXPECT_FLOAT_EQ(y.At(0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(y.At(0, 3), -0.05f);
+  util::Rng rng(3);
+  CheckInputGradients(layer, RandomMatrix(3, 7, rng));
+}
+
+TEST(LayerNormTest, NormalizesAndGradients) {
+  LayerNorm layer(8);
+  util::Rng rng(4);
+  Matrix x = RandomMatrix(3, 8, rng, 5.0);
+  Matrix y = layer.Forward(x);
+  // With unit gain and zero bias, each row has ~zero mean / unit variance.
+  for (int r = 0; r < y.rows(); ++r) {
+    float mean = 0, var = 0;
+    for (int c = 0; c < 8; ++c) mean += y.At(r, c);
+    mean /= 8;
+    for (int c = 0; c < 8; ++c) var += (y.At(r, c) - mean) * (y.At(r, c) - mean);
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+  CheckParamGradients(layer, x);
+  CheckInputGradients(layer, x);
+}
+
+TEST(SequentialTest, ComposesAndBackprops) {
+  util::Rng rng(5);
+  Sequential seq;
+  seq.Add(std::make_unique<Linear>(5, 8, rng));
+  seq.Add(std::make_unique<LeakyReLU>());
+  seq.Add(std::make_unique<Linear>(8, 2, rng));
+  const Matrix x = RandomMatrix(4, 5, rng);
+  CheckParamGradients(seq, x);
+  CheckInputGradients(seq, x);
+}
+
+// ---- Tree convolution ----------------------------------------------------
+
+/// Paper Figure 6, Example 1: a filter with {1,-1} in the first two feature
+/// positions of all three weight vectors detects "merge join on top of merge
+/// join". Features: [is_merge, is_hash, A, B, C].
+TEST(TreeConvTest, PaperFigure6Example1) {
+  util::Rng rng(6);
+  TreeConv conv(5, 1, rng);
+  std::vector<Param*> params;
+  conv.CollectParams(&params);
+  // Set e_p = e_l = e_r = [1,-1,0,0,0], bias 0.
+  params[0]->value.Zero();
+  for (int part = 0; part < 3; ++part) {
+    params[0]->value.At(part * 5 + 0, 0) = 1.0f;
+    params[0]->value.At(part * 5 + 1, 0) = -1.0f;
+  }
+  params[1]->value.Zero();
+
+  // Tree 1: MJ(MJ(A,B), C) -- nodes: 0=root MJ, 1=inner MJ, 2=A, 3=B, 4=C.
+  TreeStructure t;
+  t.left = {1, 2, -1, -1, -1};
+  t.right = {4, 3, -1, -1, -1};
+  Matrix x(5, 5);
+  auto set_node = [&](int i, float mj, float hj, float a, float b, float c) {
+    x.At(i, 0) = mj; x.At(i, 1) = hj; x.At(i, 2) = a; x.At(i, 3) = b; x.At(i, 4) = c;
+  };
+  set_node(0, 1, 0, 1, 1, 1);  // root merge join
+  set_node(1, 1, 0, 1, 1, 0);  // inner merge join
+  set_node(2, 0, 0, 1, 0, 0);  // A
+  set_node(3, 0, 0, 0, 1, 0);  // B
+  set_node(4, 0, 0, 0, 0, 1);  // C
+  Matrix y = conv.Forward(t, x);
+  EXPECT_FLOAT_EQ(y.At(0, 0), 2.0f);  // MJ over MJ -> output 2 (paper value).
+
+  // Tree 2: HJ(MJ(A,B), C): root becomes hash join.
+  set_node(0, 0, 1, 1, 1, 1);
+  y = conv.Forward(t, x);
+  EXPECT_FLOAT_EQ(y.At(0, 0), 0.0f);  // paper value: 0.
+}
+
+TEST(TreeConvTest, OutputStructureIsomorphic) {
+  util::Rng rng(7);
+  TreeConv conv(4, 6, rng);
+  TreeStructure t;
+  t.left = {1, -1, -1};
+  t.right = {2, -1, -1};
+  const Matrix x = RandomMatrix(3, 4, rng);
+  const Matrix y = conv.Forward(t, x);
+  EXPECT_EQ(y.rows(), 3);
+  EXPECT_EQ(y.cols(), 6);
+}
+
+TEST(TreeConvTest, GradientsMatchNumeric) {
+  util::Rng rng(8);
+  TreeConv conv(3, 4, rng);
+  TreeStructure t;
+  // Forest: a 3-node tree + a lone leaf.
+  t.left = {1, -1, -1, -1};
+  t.right = {2, -1, -1, -1};
+  Matrix x = RandomMatrix(4, 3, rng);
+  Matrix loss_w = RandomMatrix(4, 4, rng);
+
+  std::vector<Param*> params;
+  conv.CollectParams(&params);
+  for (Param* p : params) p->ZeroGrad();
+  conv.Forward(t, x);
+  const Matrix grad_in = conv.Backward(t, loss_w);
+
+  const float eps = 1e-3f;
+  // Parameter gradients.
+  for (Param* p : params) {
+    for (size_t i = 0; i < p->value.Size(); ++i) {
+      const float orig = p->value.data()[i];
+      p->value.data()[i] = orig + eps;
+      const double lp = WeightedLoss(conv.Forward(t, x), loss_w);
+      p->value.data()[i] = orig - eps;
+      const double lm = WeightedLoss(conv.Forward(t, x), loss_w);
+      p->value.data()[i] = orig;
+      EXPECT_NEAR(p->grad.data()[i], (lp - lm) / (2 * eps), 2e-2);
+    }
+  }
+  // Input gradients (children feed multiple triangles).
+  for (size_t i = 0; i < x.Size(); ++i) {
+    const float orig = x.data()[i];
+    x.data()[i] = orig + eps;
+    const double lp = WeightedLoss(conv.Forward(t, x), loss_w);
+    x.data()[i] = orig - eps;
+    const double lm = WeightedLoss(conv.Forward(t, x), loss_w);
+    x.data()[i] = orig;
+    EXPECT_NEAR(grad_in.data()[i], (lp - lm) / (2 * eps), 2e-2);
+  }
+}
+
+TEST(DynamicPoolingTest, MaxAndGradRouting) {
+  DynamicPooling pool;
+  Matrix x(3, 2);
+  x.At(0, 0) = 1; x.At(0, 1) = 9;
+  x.At(1, 0) = 5; x.At(1, 1) = 2;
+  x.At(2, 0) = 3; x.At(2, 1) = 4;
+  Matrix y = pool.Forward(x);
+  EXPECT_FLOAT_EQ(y.At(0, 0), 5);
+  EXPECT_FLOAT_EQ(y.At(0, 1), 9);
+  Matrix g(1, 2);
+  g.At(0, 0) = 0.5f;
+  g.At(0, 1) = -2.0f;
+  Matrix gi = pool.Backward(g);
+  EXPECT_FLOAT_EQ(gi.At(1, 0), 0.5f);
+  EXPECT_FLOAT_EQ(gi.At(0, 1), -2.0f);
+  EXPECT_FLOAT_EQ(gi.At(2, 0), 0.0f);
+  EXPECT_FLOAT_EQ(gi.At(2, 1), 0.0f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize ||w - target||^2 with gradients fed manually.
+  Param w;
+  w.value = Matrix(1, 4);
+  w.grad = Matrix(1, 4);
+  const float target[] = {1.0f, -2.0f, 0.5f, 3.0f};
+  AdamOptions opt;
+  opt.lr = 0.05f;
+  Adam adam({&w}, opt);
+  for (int step = 0; step < 500; ++step) {
+    for (int i = 0; i < 4; ++i) {
+      w.grad.At(0, i) = 2.0f * (w.value.At(0, i) - target[i]);
+    }
+    adam.Step();
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(w.value.At(0, i), target[i], 1e-2);
+  EXPECT_EQ(adam.steps(), 500);
+}
+
+TEST(AdamTest, GradClipBoundsUpdate) {
+  Param w;
+  w.value = Matrix(1, 1);
+  w.grad = Matrix(1, 1);
+  AdamOptions opt;
+  opt.lr = 0.1f;
+  opt.grad_clip = 1.0f;
+  Adam adam({&w}, opt);
+  w.grad.At(0, 0) = 1e6f;  // Huge gradient must be clipped.
+  adam.Step();
+  EXPECT_LT(std::fabs(w.value.At(0, 0)), 0.2f);
+}
+
+// ---- Value network -------------------------------------------------------
+
+PlanSample MakeSample(util::Rng& rng, int query_dim, int plan_dim, int nodes) {
+  PlanSample s;
+  s.query_vec = RandomMatrix(1, query_dim, rng);
+  s.node_features = RandomMatrix(nodes, plan_dim, rng);
+  // Left-deep chain structure.
+  s.tree.left.assign(static_cast<size_t>(nodes), -1);
+  s.tree.right.assign(static_cast<size_t>(nodes), -1);
+  for (int i = 0; i + 2 < nodes; i += 2) {
+    s.tree.left[static_cast<size_t>(i)] = i + 1;
+    s.tree.right[static_cast<size_t>(i)] = i + 2;
+  }
+  return s;
+}
+
+ValueNetConfig SmallConfig() {
+  ValueNetConfig cfg;
+  cfg.query_dim = 10;
+  cfg.plan_dim = 7;
+  cfg.query_fc = {16, 8};
+  cfg.tree_channels = {12, 8};
+  cfg.head_fc = {8};
+  cfg.adam.lr = 3e-3f;
+  return cfg;
+}
+
+TEST(ValueNetworkTest, PredictConsistentWithEmbeddingPath) {
+  ValueNetwork net(SmallConfig());
+  util::Rng rng(11);
+  const PlanSample s = MakeSample(rng, 10, 7, 5);
+  const float direct = net.Predict(s);
+  const Matrix embed = net.EmbedQuery(s.query_vec);
+  const float via_embed = net.PredictWithEmbedding(embed, s.tree, s.node_features);
+  EXPECT_FLOAT_EQ(direct, via_embed);
+}
+
+TEST(ValueNetworkTest, DeterministicInit) {
+  ValueNetwork a(SmallConfig()), b(SmallConfig());
+  util::Rng rng(12);
+  const PlanSample s = MakeSample(rng, 10, 7, 7);
+  EXPECT_FLOAT_EQ(a.Predict(s), b.Predict(s));
+}
+
+TEST(ValueNetworkTest, OverfitsTinyDataset) {
+  ValueNetwork net(SmallConfig());
+  util::Rng rng(13);
+  std::vector<PlanSample> samples;
+  std::vector<float> targets;
+  for (int i = 0; i < 8; ++i) {
+    samples.push_back(MakeSample(rng, 10, 7, 3 + i % 4));
+    targets.push_back(static_cast<float>(rng.NextUniform(-1, 1)));
+  }
+  std::vector<const PlanSample*> ptrs;
+  for (const auto& s : samples) ptrs.push_back(&s);
+
+  float first_loss = 0, last_loss = 0;
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    const float loss = net.TrainBatch(ptrs, targets);
+    if (epoch == 0) first_loss = loss;
+    last_loss = loss;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.05f);
+  EXPECT_LT(last_loss, 0.02f);
+}
+
+TEST(ValueNetworkTest, VersionBumpsOnTraining) {
+  ValueNetwork net(SmallConfig());
+  util::Rng rng(14);
+  const PlanSample s = MakeSample(rng, 10, 7, 3);
+  EXPECT_EQ(net.version(), 0u);
+  net.TrainBatch({&s}, {0.5f});
+  EXPECT_EQ(net.version(), 1u);
+}
+
+TEST(ValueNetworkTest, HandlesSingleNodeForest) {
+  ValueNetwork net(SmallConfig());
+  util::Rng rng(15);
+  PlanSample s = MakeSample(rng, 10, 7, 1);
+  EXPECT_TRUE(std::isfinite(net.Predict(s)));
+}
+
+}  // namespace
+}  // namespace neo::nn

@@ -1,0 +1,109 @@
+// Tests for value-network weight persistence and EXPLAIN plan rendering.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/datagen/imdb_gen.h"
+#include "src/engine/execution_engine.h"
+#include "src/engine/explain.h"
+#include "src/nn/value_network.h"
+#include "src/optim/optimizer.h"
+#include "src/query/builder.h"
+
+namespace neo {
+namespace {
+
+nn::ValueNetConfig SmallConfig(uint64_t seed) {
+  nn::ValueNetConfig cfg;
+  cfg.query_dim = 12;
+  cfg.plan_dim = 9;
+  cfg.query_fc = {16, 8};
+  cfg.tree_channels = {12, 8};
+  cfg.head_fc = {8};
+  cfg.seed = seed;
+  return cfg;
+}
+
+nn::PlanSample MakeSample(util::Rng& rng) {
+  nn::PlanSample s;
+  s.query_vec = nn::Matrix(1, 12);
+  s.node_features = nn::Matrix(5, 9);
+  for (size_t i = 0; i < s.query_vec.Size(); ++i) {
+    s.query_vec.data()[i] = static_cast<float>(rng.NextUniform(-1, 1));
+  }
+  for (size_t i = 0; i < s.node_features.Size(); ++i) {
+    s.node_features.data()[i] = static_cast<float>(rng.NextUniform(-1, 1));
+  }
+  s.tree.left = {1, -1, -1, -1, -1};
+  s.tree.right = {2, -1, -1, -1, -1};
+  return s;
+}
+
+TEST(SerializeTest, RoundTripPreservesPredictions) {
+  nn::ValueNetwork net(SmallConfig(5));
+  util::Rng rng(6);
+  // Perturb weights away from init by training a bit.
+  const nn::PlanSample s = MakeSample(rng);
+  for (int i = 0; i < 20; ++i) net.TrainBatch({&s}, {0.7f});
+
+  const std::string path = ::testing::TempDir() + "/neo_weights.bin";
+  ASSERT_TRUE(net.SaveWeights(path));
+
+  // Fresh network with different init seed: predictions differ before load,
+  // match exactly after.
+  nn::ValueNetwork other(SmallConfig(99));
+  const float before = other.Predict(s);
+  const uint64_t version_before = other.version();
+  ASSERT_TRUE(other.LoadWeights(path));
+  EXPECT_GT(other.version(), version_before);
+  const float after = other.Predict(s);
+  EXPECT_NE(before, net.Predict(s));
+  EXPECT_FLOAT_EQ(after, net.Predict(s));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadRejectsArchitectureMismatch) {
+  nn::ValueNetwork net(SmallConfig(5));
+  const std::string path = ::testing::TempDir() + "/neo_weights2.bin";
+  ASSERT_TRUE(net.SaveWeights(path));
+
+  nn::ValueNetConfig wide = SmallConfig(5);
+  wide.tree_channels = {16, 8};  // Different width.
+  nn::ValueNetwork other(wide);
+  EXPECT_FALSE(other.LoadWeights(path));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadRejectsMissingFile) {
+  nn::ValueNetwork net(SmallConfig(5));
+  EXPECT_FALSE(net.LoadWeights("/nonexistent/path/weights.bin"));
+}
+
+TEST(ExplainTest, RendersTreeWithCardinalities) {
+  datagen::GenOptions opt;
+  opt.scale = 0.03;
+  datagen::Dataset ds = datagen::GenerateImdb(opt);
+  query::QueryBuilder b(ds.schema, *ds.db, "explain");
+  b.JoinFk("movie_keyword", "keyword")
+      .PredStr("keyword", "keyword", query::PredOp::kContains, "love");
+  query::Query q = b.Build();
+  q.id = 77;
+
+  engine::ExecutionEngine engine(ds.schema, *ds.db, engine::EngineKind::kPostgres);
+  auto native =
+      optim::MakeNativeOptimizer(engine::EngineKind::kPostgres, ds.schema, *ds.db);
+  const plan::PartialPlan p = native.optimizer->Optimize(q);
+  const std::string text = engine::ExplainPlan(q, p, engine.model());
+
+  // Mentions both tables and a join operator, with cardinality annotations.
+  EXPECT_NE(text.find("movie_keyword"), std::string::npos);
+  EXPECT_NE(text.find("keyword"), std::string::npos);
+  EXPECT_NE(text.find("Join"), std::string::npos);
+  EXPECT_NE(text.find("out="), std::string::npos);
+  EXPECT_NE(text.find("work="), std::string::npos);
+  // Two levels of indentation (children indented under the join).
+  EXPECT_NE(text.find("\n  "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace neo

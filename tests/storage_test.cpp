@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "src/storage/table.h"
+
+namespace neo::storage {
+namespace {
+
+TEST(ColumnTest, IntAppendAndRead) {
+  Column c("x", ColumnType::kInt);
+  c.AppendInt(5);
+  c.AppendInt(-7);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.CodeAt(0), 5);
+  EXPECT_EQ(c.CodeAt(1), -7);
+}
+
+TEST(ColumnTest, StringDictionaryInterning) {
+  Column c("s", ColumnType::kString);
+  c.AppendString("apple");
+  c.AppendString("banana");
+  c.AppendString("apple");
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.dictionary_size(), 2u);
+  EXPECT_EQ(c.CodeAt(0), c.CodeAt(2));
+  EXPECT_EQ(c.StringAt(1), "banana");
+  EXPECT_EQ(c.LookupString("apple"), c.CodeAt(0));
+  EXPECT_EQ(c.LookupString("missing"), -1);
+}
+
+TEST(ColumnTest, CodesContaining) {
+  Column c("s", ColumnType::kString);
+  c.AppendString("love-001");
+  c.AppendString("fight-002");
+  c.AppendString("lovely-003");
+  const auto codes = c.CodesContaining("love");
+  EXPECT_EQ(codes.size(), 2u);
+}
+
+TEST(IndexTest, EqualityLookup) {
+  Column c("k", ColumnType::kInt);
+  for (int64_t v : {3, 1, 3, 2, 3, 1}) c.AppendInt(v);
+  Index idx("k", c);
+  EXPECT_EQ(idx.CountEqual(3), 3u);
+  EXPECT_EQ(idx.CountEqual(1), 2u);
+  EXPECT_EQ(idx.CountEqual(99), 0u);
+  const auto rows = idx.LookupEqual(3);
+  EXPECT_EQ(rows.size(), 3u);
+  // Sorted by row within equal codes.
+  EXPECT_EQ(rows[0], 0u);
+  EXPECT_EQ(rows[1], 2u);
+  EXPECT_EQ(rows[2], 4u);
+}
+
+TEST(IndexTest, RangeCount) {
+  Column c("k", ColumnType::kInt);
+  for (int64_t v = 0; v < 100; ++v) c.AppendInt(v);
+  Index idx("k", c);
+  EXPECT_EQ(idx.CountRange(10, 19), 10u);
+  EXPECT_EQ(idx.CountRange(-5, 4), 5u);
+  EXPECT_EQ(idx.CountRange(95, 200), 5u);
+  EXPECT_EQ(idx.CountRange(50, 50), 1u);
+}
+
+TEST(TableTest, ColumnsAndSeal) {
+  Table t("t");
+  Column& a = t.AddColumn("a", ColumnType::kInt);
+  Column& b = t.AddColumn("b", ColumnType::kString);
+  for (int i = 0; i < 10; ++i) {
+    a.AppendInt(i);
+    b.AppendString(i % 2 ? "odd" : "even");
+  }
+  t.SealRows();
+  EXPECT_EQ(t.num_rows(), 10u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.ColumnIndex("b"), 1);
+  EXPECT_EQ(t.ColumnIndex("zzz"), -1);
+  EXPECT_EQ(&t.ColumnByName("a"), &t.column(0));
+}
+
+TEST(TableTest, IndexBuildAndLookup) {
+  Table t("t");
+  Column& a = t.AddColumn("a", ColumnType::kInt);
+  for (int i = 0; i < 20; ++i) a.AppendInt(i % 5);
+  t.SealRows();
+  EXPECT_FALSE(t.HasIndex("a"));
+  t.BuildIndex("a");
+  ASSERT_TRUE(t.HasIndex("a"));
+  EXPECT_EQ(t.GetIndex("a")->CountEqual(2), 4u);
+  EXPECT_EQ(t.indexed_columns(), std::vector<std::string>{"a"});
+}
+
+TEST(DatabaseTest, AddAndLookup) {
+  Database db;
+  Table& t = db.AddTable("movies");
+  t.AddColumn("id", ColumnType::kInt).AppendInt(1);
+  t.SealRows();
+  EXPECT_TRUE(db.HasTable("movies"));
+  EXPECT_FALSE(db.HasTable("nope"));
+  EXPECT_EQ(db.table("movies").num_rows(), 1u);
+  EXPECT_EQ(db.total_rows(), 1u);
+  EXPECT_EQ(db.table_names(), std::vector<std::string>{"movies"});
+}
+
+}  // namespace
+}  // namespace neo::storage

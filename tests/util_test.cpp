@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/string_util.h"
+
+namespace neo::util {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // All values hit.
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(3);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ForkIndependentOfParentDraws) {
+  Rng a(9);
+  Rng fork1 = a.Fork(5);
+  a.Next();
+  a.Next();
+  Rng b(9);
+  Rng fork2 = b.Fork(5);
+  EXPECT_EQ(fork1.Next(), fork2.Next());
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(4);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWeightedRespectsWeights) {
+  Rng rng(5);
+  std::vector<double> w{0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.SampleWeighted(w), 1u);
+}
+
+TEST(ZipfTest, SkewZeroIsUniformish) {
+  Rng rng(6);
+  Zipf z(10, 0.0, 0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) counts[z.Sample(rng)]++;
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(ZipfTest, HighSkewConcentrates) {
+  Rng rng(7);
+  Zipf z(100, 1.5, 0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) counts[z.Sample(rng)]++;
+  // Rank 0 should dominate rank 50 heavily.
+  EXPECT_GT(counts[0], counts[50] * 20);
+}
+
+TEST(ZipfTest, ShuffledPermutationStillCoversDomain) {
+  Rng rng(8);
+  Zipf z(16, 1.0, 77);
+  std::set<size_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(z.Sample(rng));
+  EXPECT_GT(seen.size(), 12u);
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status s = Status::InvalidArgument("bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("bad"), std::string::npos);
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, ContainsAndLower) {
+  EXPECT_TRUE(Contains("hello world", "lo w"));
+  EXPECT_FALSE(Contains("hello", "z"));
+  EXPECT_EQ(ToLower("AbC-12"), "abc-12");
+}
+
+TEST(HashTest, MixAndCombineStable) {
+  EXPECT_EQ(Mix64(123), Mix64(123));
+  EXPECT_NE(Mix64(123), Mix64(124));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+}  // namespace
+}  // namespace neo::util
