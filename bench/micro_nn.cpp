@@ -15,6 +15,14 @@ Matrix RandomMatrix(int rows, int cols, neo::util::Rng& rng) {
   return m;
 }
 
+/// items/sec = multiply-adds/sec; GFLOP/s counts 2 flops per multiply-add.
+void SetGemmCounters(benchmark::State& state, int n) {
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * n * n * n,
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
 void BM_MatMul(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   neo::util::Rng rng(1);
@@ -23,9 +31,33 @@ void BM_MatMul(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(MatMul(a, b));
   }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
+  SetGemmCounters(state, n);
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulNaive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  neo::util::Rng rng(1);
+  const Matrix a = RandomMatrix(n, n, rng);
+  const Matrix b = RandomMatrix(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulNaive(a, b));
+  }
+  SetGemmCounters(state, n);
+}
+BENCHMARK(BM_MatMulNaive)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulTransposeB(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  neo::util::Rng rng(1);
+  const Matrix a = RandomMatrix(n, n, rng);
+  const Matrix b = RandomMatrix(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransposeB(a, b));
+  }
+  SetGemmCounters(state, n);
+}
+BENCHMARK(BM_MatMulTransposeB)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_TreeConvForward(benchmark::State& state) {
   const int nodes = static_cast<int>(state.range(0));
@@ -93,6 +125,65 @@ void BM_ValueNetPredictWithCachedEmbedding(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ValueNetPredictWithCachedEmbedding);
+
+/// Shared fixture for the batched-vs-loop comparison: both arms must score
+/// the exact same plans with identically-configured networks.
+struct PredictFixture {
+  ValueNetwork net;
+  std::vector<PlanSample> samples;
+  std::vector<const PlanSample*> ptrs;
+  Matrix embed;
+
+  static ValueNetConfig Config() {
+    ValueNetConfig cfg;
+    cfg.query_dim = 66;
+    cfg.plan_dim = 21;
+    cfg.query_fc = {64, 32};
+    cfg.tree_channels = {32, 16};
+    cfg.head_fc = {16};
+    return cfg;
+  }
+
+  explicit PredictFixture(int batch) : net(Config()), samples(static_cast<size_t>(batch)) {
+    neo::util::Rng rng(6);
+    for (auto& s : samples) {
+      const int nodes = 9 + static_cast<int>(rng.NextBounded(9));
+      s.query_vec = RandomMatrix(1, 66, rng);
+      s.node_features = RandomMatrix(nodes, 21, rng);
+      s.tree.left.assign(static_cast<size_t>(nodes), -1);
+      s.tree.right.assign(static_cast<size_t>(nodes), -1);
+      for (int i = 0; i + 2 < nodes; i += 2) {
+        s.tree.left[static_cast<size_t>(i)] = i + 1;
+        s.tree.right[static_cast<size_t>(i)] = i + 2;
+      }
+      ptrs.push_back(&s);
+    }
+    embed = net.EmbedQuery(samples[0].query_vec);
+  }
+};
+
+/// Batched forest inference vs. the per-sample loop: both arms score the
+/// same plans sharing one query embedding; items/sec is plans scored/sec.
+void BM_ValueNetPredictBatch(benchmark::State& state) {
+  PredictFixture f(static_cast<int>(state.range(0)));
+  const PlanBatch packed = PackPlanBatch(f.ptrs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.net.PredictBatch(f.embed, packed));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ValueNetPredictBatch)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ValueNetPredictLoop(benchmark::State& state) {
+  PredictFixture f(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    for (const auto& s : f.samples) {
+      benchmark::DoNotOptimize(f.net.PredictWithEmbedding(f.embed, s.tree, s.node_features));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ValueNetPredictLoop)->Arg(8)->Arg(32)->Arg(128);
 
 void BM_ValueNetTrainBatch(benchmark::State& state) {
   ValueNetConfig cfg;

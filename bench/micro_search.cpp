@@ -1,10 +1,19 @@
 // Micro-benchmarks: plan search (children enumeration, full best-first
-// search, featurization throughput).
+// search, featurization throughput), plus a direct batched-vs-unbatched
+// scoring-throughput comparison whose result is written to BENCH_search.json
+// so successive PRs can track the inference-path perf trajectory.
+//
+// The google-benchmark suite runs after the JSON measurement; pass any
+// benchmark flags (e.g. --benchmark_filter) as usual.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
 
 #include "src/core/neo.h"
 #include "src/datagen/imdb_gen.h"
 #include "src/query/job_workload.h"
+#include "src/util/stopwatch.h"
 
 namespace {
 
@@ -26,11 +35,14 @@ struct Fixture {
                                                    featurize::FeaturizerConfig{});
     eng = std::make_unique<engine::ExecutionEngine>(ds.schema, *ds.db,
                                                     engine::EngineKind::kPostgres);
+    neo = std::make_unique<core::Neo>(feat.get(), eng.get(), Config());
+  }
+  static core::NeoConfig Config() {
     core::NeoConfig cfg;
     cfg.net.query_fc = {64, 32};
     cfg.net.tree_channels = {32, 16};
     cfg.net.head_fc = {16};
-    neo = std::make_unique<core::Neo>(feat.get(), eng.get(), cfg);
+    return cfg;
   }
   static Fixture& Get() {
     static Fixture f;
@@ -42,8 +54,10 @@ void BM_ChildrenEnumeration(benchmark::State& state) {
   Fixture& f = Fixture::Get();
   const query::Query& q = f.wl.query(60);
   const plan::PartialPlan initial = plan::PartialPlan::Initial(q);
+  std::vector<plan::PartialPlan> scratch;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(f.neo->search().Children(q, initial));
+    f.neo->search().ChildrenInto(q, initial, &scratch);
+    benchmark::DoNotOptimize(scratch);
   }
 }
 BENCHMARK(BM_ChildrenEnumeration);
@@ -61,6 +75,22 @@ void BM_EncodePlan(benchmark::State& state) {
 }
 BENCHMARK(BM_EncodePlan);
 
+void BM_EncodePlanBatch(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  const query::Query& q = f.wl.query(60);
+  const plan::PartialPlan initial = plan::PartialPlan::Initial(q);
+  const auto children = f.neo->search().Children(q, initial);
+  std::vector<const plan::PartialPlan*> ptrs;
+  for (const auto& c : children) ptrs.push_back(&c);
+  nn::PlanBatch batch;
+  for (auto _ : state) {
+    f.feat->EncodePlanBatch(q, ptrs, &batch);
+    benchmark::DoNotOptimize(batch);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(ptrs.size()));
+}
+BENCHMARK(BM_EncodePlanBatch);
+
 void BM_EncodeQuery(benchmark::State& state) {
   Fixture& f = Fixture::Get();
   const query::Query& q = f.wl.query(60);
@@ -70,7 +100,10 @@ void BM_EncodeQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_EncodeQuery);
 
-void BM_BestFirstSearch(benchmark::State& state) {
+/// Full best-first search. The per-query score cache persists across
+/// iterations, so after the first iteration this measures the fully-cached
+/// ("hot") search path: heap + hash lookups, no network forward passes.
+void BM_BestFirstSearchHot(benchmark::State& state) {
   Fixture& f = Fixture::Get();
   const query::Query& q = f.wl.query(static_cast<size_t>(state.range(0)));
   core::SearchOptions opt;
@@ -80,15 +113,159 @@ void BM_BestFirstSearch(benchmark::State& state) {
   }
   state.SetLabel(std::to_string(q.num_relations()) + " relations");
 }
-BENCHMARK(BM_BestFirstSearch)->Arg(0)->Arg(60);
+BENCHMARK(BM_BestFirstSearchHot)->Arg(0)->Arg(60);
 
+/// Cold search: a fresh Neo (fresh network version => empty score cache) per
+/// iteration; only FindPlan is timed. Items processed = network evaluations,
+/// so items/sec is plans scored per second.
+void BM_BestFirstSearchCold(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  const query::Query& q = f.wl.query(60);
+  core::SearchOptions opt;
+  opt.max_expansions = 40;
+  opt.batched = state.range(0) != 0;
+  int64_t evals = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Neo fresh(f.feat.get(), f.eng.get(), Fixture::Config());
+    state.ResumeTiming();
+    const core::SearchResult r = fresh.search().FindPlan(q, opt);
+    evals += static_cast<int64_t>(r.evaluations);
+  }
+  state.SetItemsProcessed(evals);
+  state.SetLabel(opt.batched ? "batched" : "per-candidate");
+}
+BENCHMARK(BM_BestFirstSearchCold)->Arg(1)->Arg(0);
+
+/// Cold greedy descent: a fresh Neo per iteration so the score cache never
+/// carries over from earlier benchmarks (the shared-fixture Neo would serve
+/// every child score from cache after BM_BestFirstSearchHot runs).
 void BM_GreedyPlan(benchmark::State& state) {
   Fixture& f = Fixture::Get();
   const query::Query& q = f.wl.query(60);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(f.neo->search().GreedyPlan(q));
+    state.PauseTiming();
+    core::Neo fresh(f.feat.get(), f.eng.get(), Fixture::Config());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(fresh.search().GreedyPlan(q));
   }
 }
 BENCHMARK(BM_GreedyPlan);
 
+// ---- BENCH_search.json ----------------------------------------------------
+
+struct ThroughputResult {
+  double plans_per_sec = 0.0;
+  double wall_ms_mean = 0.0;
+  size_t evaluations = 0;
+  size_t cache_hits = 0;
+};
+
+/// Repeatedly runs a cold best-first search (fresh network => empty cache,
+/// construction untimed) and reports plans scored per second. With
+/// `reference_kernels`, GEMMs route through the naive triple loops — combined
+/// with `batched = false` this reconstructs the seed per-candidate path.
+ThroughputResult MeasureSearchThroughput(bool batched, bool reference_kernels,
+                                         int reps) {
+  Fixture& f = Fixture::Get();
+  const query::Query& q = f.wl.query(60);
+  core::SearchOptions opt;
+  opt.max_expansions = 40;
+  opt.batched = batched;
+
+  // Default ValueNetConfig channel widths (the paper-shaped 64/32/16 conv
+  // stack), not the narrower widths the google-benchmark fixture uses.
+  core::NeoConfig cfg;
+  nn::SetUseReferenceKernels(reference_kernels);
+  ThroughputResult out;
+  double total_s = 0.0;
+  for (int rep = 0; rep < reps + 1; ++rep) {
+    core::Neo fresh(f.feat.get(), f.eng.get(), cfg);
+    util::Stopwatch watch;
+    const core::SearchResult r = fresh.search().FindPlan(q, opt);
+    if (rep == 0) continue;  // Warm-up run (page-in, allocator).
+    total_s += watch.ElapsedSeconds();
+    out.evaluations += r.evaluations;
+    out.cache_hits += r.cache_hits;
+  }
+  nn::SetUseReferenceKernels(false);
+  out.plans_per_sec = static_cast<double>(out.evaluations) / total_s;
+  out.wall_ms_mean = total_s * 1000.0 / reps;
+  return out;
+}
+
+void PrintArm(std::FILE* out, const char* name, const ThroughputResult& r,
+              const char* trailing_comma) {
+  std::fprintf(out,
+               "  \"%s\": {\"plans_per_sec\": %.1f, \"wall_ms_mean\": %.3f,"
+               " \"evaluations\": %zu, \"cache_hits\": %zu}%s\n",
+               name, r.plans_per_sec, r.wall_ms_mean, r.evaluations, r.cache_hits,
+               trailing_comma);
+}
+
+void WriteSearchJson(const std::string& path) {
+  const int reps = 20;
+  // Three arms: the seed path (per-candidate scoring, naive GEMMs), the
+  // blocked kernels alone (per-candidate), and the full batched pipeline.
+  const ThroughputResult seed = MeasureSearchThroughput(false, true, reps);
+  const ThroughputResult unbatched = MeasureSearchThroughput(false, false, reps);
+  const ThroughputResult batched = MeasureSearchThroughput(true, false, reps);
+  const double speedup_vs_seed = batched.plans_per_sec / seed.plans_per_sec;
+  const double speedup_batching = batched.plans_per_sec / unbatched.plans_per_sec;
+
+  Fixture& f = Fixture::Get();
+  const query::Query& q = f.wl.query(60);
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "micro_search: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"micro_search\",\n"
+               "  \"query_relations\": %zu,\n"
+               "  \"max_expansions\": 40,\n"
+               "  \"repetitions\": %d,\n",
+               q.num_relations(), reps);
+  PrintArm(out, "seed_path", seed, ",");
+  PrintArm(out, "unbatched", unbatched, ",");
+  PrintArm(out, "batched", batched, ",");
+  std::fprintf(out,
+               "  \"speedup_vs_seed\": %.2f,\n"
+               "  \"speedup_from_batching\": %.2f\n"
+               "}\n",
+               speedup_vs_seed, speedup_batching);
+  std::fclose(out);
+  std::printf("search scoring throughput: seed %.0f, unbatched %.0f, batched"
+              " %.0f plans/s (%.2fx vs seed) -> %s\n",
+              seed.plans_per_sec, unbatched.plans_per_sec, batched.plans_per_sec,
+              speedup_vs_seed, path.c_str());
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_search.json";
+  bool filtered = false;
+  bool json_requested = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json-out=", 0) == 0) {
+      json_requested = true;
+      json_path = arg.substr(std::string("--json-out=").size());
+    } else if (arg == "--json-out") {
+      json_requested = true;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        json_path = argv[++i];
+      }
+    }
+    if (arg.rfind("--benchmark_filter", 0) == 0) filtered = true;
+  }
+  // The three-arm JSON measurement takes a minute; skip it when the caller
+  // asked for specific micro-benchmarks, unless --json-out forces it.
+  if (!filtered || json_requested) WriteSearchJson(json_path);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -39,8 +39,9 @@ const plan::PlanNode* FirstUnspecified(const plan::PlanNode& node) {
 
 }  // namespace
 
-std::vector<plan::PartialPlan> PlanSearch::Children(
-    const query::Query& query, const plan::PartialPlan& plan) const {
+void PlanSearch::ChildrenInto(const query::Query& query,
+                              const plan::PartialPlan& plan,
+                              std::vector<plan::PartialPlan>* out) const {
   // Children per the paper (§4.2): (a) turn an unspecified scan anywhere in
   // the forest into a table or index scan, (b) merge two roots with a join
   // operator (both orientations: left = probe/outer, right = build/inner).
@@ -50,9 +51,13 @@ std::vector<plan::PartialPlan> PlanSearch::Children(
   // plan remains reachable (leaves can be specified in the forced order
   // before/after any join), but the 2^n duplicate intermediate states that
   // arbitrary specification orders generate are gone.
-  std::vector<plan::PartialPlan> children;
+  out->clear();
   const catalog::Schema& schema = featurizer_->schema();
   const size_t n_roots = plan.roots.size();
+  // Upper bound: 2 scan specializations per root + 3 join ops per ordered
+  // root pair (only the first unspecified leaf is expanded, but reserving the
+  // per-root bound keeps this allocation-free for every reachable state).
+  out->reserve(2 * n_roots + 3 * n_roots * (n_roots - 1));
 
   auto with_replaced_root = [&](size_t root_idx, plan::NodeRef new_root) {
     plan::PartialPlan child;
@@ -66,12 +71,12 @@ std::vector<plan::PartialPlan> PlanSearch::Children(
   for (size_t i = 0; i < n_roots; ++i) {
     const plan::PlanNode* leaf = FirstUnspecified(*plan.roots[i]);
     if (leaf == nullptr) continue;
-    children.push_back(with_replaced_root(
+    out->push_back(with_replaced_root(
         i, ReplaceNode(plan.roots[i], leaf,
                        plan::MakeScan(plan::ScanOp::kTable, leaf->table_id,
                                       leaf->rel_mask))));
     if (engine::IndexScanUsable(schema, query, leaf->table_id)) {
-      children.push_back(with_replaced_root(
+      out->push_back(with_replaced_root(
           i, ReplaceNode(plan.roots[i], leaf,
                          plan::MakeScan(plan::ScanOp::kIndex, leaf->table_id,
                                         leaf->rel_mask))));
@@ -99,9 +104,15 @@ std::vector<plan::PartialPlan> PlanSearch::Children(
       if (!query.MasksJoinable(plan.roots[a]->rel_mask, plan.roots[b]->rel_mask)) {
         continue;
       }
-      for (plan::JoinOp op : kOps) children.push_back(with_joined(a, b, op));
+      for (plan::JoinOp op : kOps) out->push_back(with_joined(a, b, op));
     }
   }
+}
+
+std::vector<plan::PartialPlan> PlanSearch::Children(
+    const query::Query& query, const plan::PartialPlan& plan) const {
+  std::vector<plan::PartialPlan> children;
+  ChildrenInto(query, plan, &children);
   return children;
 }
 
@@ -112,13 +123,90 @@ SearchResult PlanSearch::GreedyPlan(const query::Query& query) {
   return FindPlan(query, options);
 }
 
-float PlanSearch::Score(const query::Query& query, const nn::Matrix& query_embedding,
-                        const plan::PartialPlan& plan, size_t* evals) {
-  ++*evals;
+void PlanSearch::SyncCache(const query::Query& query) {
+  if (cache_valid_ && cache_query_fp_ == query.fingerprint &&
+      cache_version_ == net_->version() &&
+      cache_reference_mode_ == nn::UseReferenceKernels()) {
+    return;
+  }
+  score_cache_.clear();
+  cache_query_fp_ = query.fingerprint;
+  cache_version_ = net_->version();
+  cache_reference_mode_ = nn::UseReferenceKernels();
+  cache_valid_ = true;
+}
+
+float PlanSearch::ScoreUncached(const query::Query& query,
+                                const nn::Matrix& query_embedding,
+                                const plan::PartialPlan& plan, uint64_t hash,
+                                SearchResult* result) {
+  ++result->evaluations;
   nn::TreeStructure tree;
   nn::Matrix features;
   featurizer_->EncodePlan(query, plan, &tree, &features);
-  return net_->PredictWithEmbedding(query_embedding, tree, features);
+  const float score = net_->PredictWithEmbedding(query_embedding, tree, features);
+  score_cache_.emplace(hash, score);
+  return score;
+}
+
+float PlanSearch::Score(const query::Query& query, const nn::Matrix& query_embedding,
+                        const plan::PartialPlan& plan, SearchResult* result) {
+  SyncCache(query);
+  const uint64_t h = plan.Hash();
+  const auto it = score_cache_.find(h);
+  if (it != score_cache_.end()) {
+    ++result->cache_hits;
+    return it->second;
+  }
+  return ScoreUncached(query, query_embedding, plan, h, result);
+}
+
+std::vector<float> PlanSearch::ScoreAll(const query::Query& query,
+                                        const nn::Matrix& query_embedding,
+                                        const std::vector<plan::PartialPlan>& plans,
+                                        const std::vector<uint64_t>* hashes,
+                                        bool batched, SearchResult* result) {
+  SyncCache(query);
+  NEO_CHECK(hashes == nullptr || hashes->size() == plans.size());
+  std::vector<float> scores(plans.size(), 0.0f);
+  std::vector<const plan::PartialPlan*>& misses = miss_scratch_;
+  std::vector<size_t>& miss_idx = miss_idx_scratch_;
+  std::vector<uint64_t>& miss_hash = miss_hash_scratch_;
+  misses.clear();
+  miss_idx.clear();
+  miss_hash.clear();
+  misses.reserve(plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const uint64_t h = hashes != nullptr ? (*hashes)[i] : plans[i].Hash();
+    const auto it = score_cache_.find(h);
+    if (it != score_cache_.end()) {
+      ++result->cache_hits;
+      scores[i] = it->second;
+    } else {
+      misses.push_back(&plans[i]);
+      miss_idx.push_back(i);
+      miss_hash.push_back(h);
+    }
+  }
+  if (misses.empty()) return scores;
+
+  if (batched) {
+    result->evaluations += misses.size();
+    featurizer_->EncodePlanBatch(query, misses, &batch_scratch_);
+    const std::vector<float> predicted =
+        net_->PredictBatch(query_embedding, batch_scratch_);
+    for (size_t m = 0; m < misses.size(); ++m) {
+      scores[miss_idx[m]] = predicted[m];
+      score_cache_.emplace(miss_hash[m], predicted[m]);
+    }
+  } else {
+    // Per-candidate fallback, reusing the hashes from the miss scan.
+    for (size_t m = 0; m < misses.size(); ++m) {
+      scores[miss_idx[m]] =
+          ScoreUncached(query, query_embedding, *misses[m], miss_hash[m], result);
+    }
+  }
+  return scores;
 }
 
 SearchResult PlanSearch::FindPlan(const query::Query& query,
@@ -140,7 +228,7 @@ SearchResult PlanSearch::FindPlan(const query::Query& query,
   plan::PartialPlan initial = plan::PartialPlan::Initial(query);
   visited.insert(initial.Hash());
   arena.push_back(initial);
-  heap.push({Score(query, embed, initial, &result.evaluations), 0});
+  heap.push({Score(query, embed, initial, &result), 0});
 
   bool have_complete = false;
   float best_complete_score = 0.0f;
@@ -162,15 +250,30 @@ SearchResult PlanSearch::FindPlan(const query::Query& query,
     last_popped = current;
     ++result.expansions;
 
-    for (plan::PartialPlan& child : Children(query, current)) {
-      const uint64_t h = child.Hash();
+    ChildrenInto(query, current, &child_scratch_);
+    // Drop already-visited children, then score the survivors in one batch.
+    // The hashes computed for dedup are reused for the score-cache probes.
+    child_hash_scratch_.clear();
+    size_t kept = 0;
+    for (size_t i = 0; i < child_scratch_.size(); ++i) {
+      const uint64_t h = child_scratch_[i].Hash();
       if (!visited.insert(h).second) continue;
-      const float score = Score(query, embed, child, &result.evaluations);
+      if (kept != i) child_scratch_[kept] = std::move(child_scratch_[i]);
+      child_hash_scratch_.push_back(h);
+      ++kept;
+    }
+    child_scratch_.resize(kept);
+    const std::vector<float> scores = ScoreAll(
+        query, embed, child_scratch_, &child_hash_scratch_, options.batched, &result);
+
+    for (size_t i = 0; i < child_scratch_.size(); ++i) {
+      plan::PartialPlan& child = child_scratch_[i];
+      const float score = scores[i];
       if (child.IsComplete()) {
         if (!have_complete || score < best_complete_score) {
           have_complete = true;
           best_complete_score = score;
-          best_complete = child;
+          best_complete = std::move(child);
         }
       } else {
         arena.push_back(std::move(child));
@@ -181,24 +284,22 @@ SearchResult PlanSearch::FindPlan(const query::Query& query,
 
   if (!have_complete) {
     // Hurry-up mode (§4.2): greedily descend from the most promising state.
+    // Children the best-first phase already scored come out of the cache.
     result.hurried = true;
     plan::PartialPlan current = last_popped;
     while (!current.IsComplete()) {
-      std::vector<plan::PartialPlan> kids = Children(query, current);
-      NEO_CHECK_MSG(!kids.empty(), "search: dead-end state");
-      float best_score = 0.0f;
+      ChildrenInto(query, current, &child_scratch_);
+      NEO_CHECK_MSG(!child_scratch_.empty(), "search: dead-end state");
+      const std::vector<float> scores = ScoreAll(
+          query, embed, child_scratch_, /*hashes=*/nullptr, options.batched, &result);
       size_t best_idx = 0;
-      for (size_t i = 0; i < kids.size(); ++i) {
-        const float s = Score(query, embed, kids[i], &result.evaluations);
-        if (i == 0 || s < best_score) {
-          best_score = s;
-          best_idx = i;
-        }
+      for (size_t i = 1; i < scores.size(); ++i) {
+        if (scores[i] < scores[best_idx]) best_idx = i;
       }
-      current = std::move(kids[best_idx]);
+      current = std::move(child_scratch_[best_idx]);
+      best_complete_score = scores[best_idx];  // Final step: returned plan's score.
     }
-    best_complete = current;
-    best_complete_score = 0.0f;
+    best_complete = std::move(current);
     have_complete = true;
   }
 

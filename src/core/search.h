@@ -10,6 +10,12 @@
 // expires with no complete plan, a greedy "hurry-up" descent (the paper's
 // §4.2 fallback, equivalent to Q-learning-style greedy action selection)
 // finishes the plan.
+//
+// Inference batching: all children of one expansion are scored in a single
+// value-network forward pass (Featurizer::EncodePlanBatch packs them into one
+// forest; ValueNetwork::PredictBatch runs each layer as one large GEMM). A
+// per-query score cache keyed by (plan hash, network version) ensures the
+// hurry-up descent and re-expansions never re-evaluate a plan already scored.
 #pragma once
 
 #include <unordered_map>
@@ -24,13 +30,15 @@ struct SearchOptions {
   int max_expansions = 60;      ///< Heap pops before giving up (<=0: unlimited).
   double time_cutoff_ms = 0.0;  ///< Wall-clock cutoff (0 = disabled).
   bool early_stop = true;       ///< Stop when heap top >= best complete score.
+  bool batched = true;          ///< Score each expansion's children in one pass.
 };
 
 struct SearchResult {
   plan::PartialPlan plan;
   float predicted_cost = 0.0f;
   int expansions = 0;
-  size_t evaluations = 0;
+  size_t evaluations = 0;  ///< Real value-network forward passes (cache misses).
+  size_t cache_hits = 0;   ///< Scores served from the per-query score cache.
   double wall_ms = 0.0;
   bool hurried = false;  ///< Completed via hurry-up mode.
 };
@@ -47,16 +55,61 @@ class PlanSearch {
   std::vector<plan::PartialPlan> Children(const query::Query& query,
                                           const plan::PartialPlan& plan) const;
 
+  /// Fills `out` with the child states (cleared first). Reusing one vector
+  /// across expansions avoids a fresh allocation per heap pop.
+  void ChildrenInto(const query::Query& query, const plan::PartialPlan& plan,
+                    std::vector<plan::PartialPlan>* out) const;
+
   /// Greedy descent: repeatedly takes the best-scored child ("hurry-up"
   /// from the start state == Q-learning-style planning, §4.2).
   SearchResult GreedyPlan(const query::Query& query);
 
  private:
   float Score(const query::Query& query, const nn::Matrix& query_embedding,
-              const plan::PartialPlan& plan, size_t* evals);
+              const plan::PartialPlan& plan, SearchResult* result);
+
+  /// Forward pass + cache insert for a plan whose hash is already known to
+  /// miss the cache. Shared by Score() and ScoreAll()'s per-candidate path.
+  float ScoreUncached(const query::Query& query, const nn::Matrix& query_embedding,
+                      const plan::PartialPlan& plan, uint64_t hash,
+                      SearchResult* result);
+
+  /// Scores `plans`, serving cached entries and batching the misses into one
+  /// PredictBatch call (or per-plan passes when `batched` is false).
+  /// `hashes`, when non-null, supplies plans[i].Hash() values the caller
+  /// already computed (Hash() allocates and sorts, so it is worth reusing).
+  std::vector<float> ScoreAll(const query::Query& query,
+                              const nn::Matrix& query_embedding,
+                              const std::vector<plan::PartialPlan>& plans,
+                              const std::vector<uint64_t>* hashes, bool batched,
+                              SearchResult* result);
+
+  /// Drops the score cache unless it matches (query, network version).
+  void SyncCache(const query::Query& query);
 
   const featurize::Featurizer* featurizer_;
   nn::ValueNetwork* net_;
+
+  /// Per-query score cache: plan hash -> predicted cost. Valid only for
+  /// (cache_query_fp_, cache_version_, cache_reference_mode_); cleared on
+  /// any mismatch. Keyed by Query::fingerprint (content hash), not
+  /// Query::id, so distinct queries that share an id (or the -1 default)
+  /// never read each other's scores; the reference-kernel mode is part of
+  /// the key so bench arms on one instance never mix kernel paths.
+  std::unordered_map<uint64_t, float> score_cache_;
+  uint64_t cache_version_ = 0;
+  uint64_t cache_query_fp_ = 0;
+  bool cache_reference_mode_ = false;
+  bool cache_valid_ = false;
+
+  /// Scratch reused across expansions (children, batch encoding buffers, and
+  /// the cache-miss bookkeeping of ScoreAll).
+  std::vector<plan::PartialPlan> child_scratch_;
+  std::vector<uint64_t> child_hash_scratch_;
+  nn::PlanBatch batch_scratch_;
+  std::vector<const plan::PartialPlan*> miss_scratch_;
+  std::vector<size_t> miss_idx_scratch_;
+  std::vector<uint64_t> miss_hash_scratch_;
 };
 
 }  // namespace neo::core

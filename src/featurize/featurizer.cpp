@@ -166,16 +166,11 @@ void Featurizer::EncodeNode(const query::Query& query, const plan::PlanNode& nod
   }
 }
 
-void Featurizer::EncodePlan(const query::Query& query, const plan::PartialPlan& plan,
-                            nn::TreeStructure* tree, nn::Matrix* features) const {
-  // Pre-order flattening over all roots of the forest.
-  size_t total_nodes = 0;
-  for (const auto& r : plan.roots) total_nodes += r->NumNodes();
-  tree->left.assign(total_nodes, -1);
-  tree->right.assign(total_nodes, -1);
-  *features = nn::Matrix(static_cast<int>(total_nodes), plan_dim_);
-
-  int next = 0;
+void Featurizer::AppendPlan(const query::Query& query, const plan::PartialPlan& plan,
+                            int base, nn::TreeStructure* tree,
+                            nn::Matrix* features) const {
+  // Pre-order flattening over all roots of the forest, at offset `base`.
+  int next = base;
   std::function<int(const plan::PlanNode&)> visit = [&](const plan::PlanNode& node) {
     const int idx = next++;
     EncodeNode(query, node, features->Row(idx));
@@ -186,6 +181,36 @@ void Featurizer::EncodePlan(const query::Query& query, const plan::PartialPlan& 
     return idx;
   };
   for (const auto& r : plan.roots) visit(*r);
+}
+
+void Featurizer::EncodePlan(const query::Query& query, const plan::PartialPlan& plan,
+                            nn::TreeStructure* tree, nn::Matrix* features) const {
+  size_t total_nodes = 0;
+  for (const auto& r : plan.roots) total_nodes += r->NumNodes();
+  tree->left.assign(total_nodes, -1);
+  tree->right.assign(total_nodes, -1);
+  *features = nn::Matrix(static_cast<int>(total_nodes), plan_dim_);
+  AppendPlan(query, plan, 0, tree, features);
+}
+
+void Featurizer::EncodePlanBatch(const query::Query& query,
+                                 const std::vector<const plan::PartialPlan*>& plans,
+                                 nn::PlanBatch* batch) const {
+  batch->tree_offsets.clear();
+  batch->tree_offsets.reserve(plans.size() + 1);
+  batch->tree_offsets.push_back(0);
+  size_t total_nodes = 0;
+  for (const plan::PartialPlan* p : plans) {
+    for (const auto& r : p->roots) total_nodes += r->NumNodes();
+    batch->tree_offsets.push_back(static_cast<int>(total_nodes));
+  }
+  batch->forest.left.assign(total_nodes, -1);
+  batch->forest.right.assign(total_nodes, -1);
+  batch->node_features = nn::Matrix(static_cast<int>(total_nodes), plan_dim_);
+  for (size_t i = 0; i < plans.size(); ++i) {
+    AppendPlan(query, *plans[i], batch->tree_offsets[i], &batch->forest,
+               &batch->node_features);
+  }
 }
 
 nn::PlanSample Featurizer::Encode(const query::Query& query,

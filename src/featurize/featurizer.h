@@ -60,12 +60,23 @@ class Featurizer {
   void EncodePlan(const query::Query& query, const plan::PartialPlan& plan,
                   nn::TreeStructure* tree, nn::Matrix* features) const;
 
+  /// Encodes several plans of one query into a single packed forest (child
+  /// indices offset per plan, features stacked into one matrix) for
+  /// ValueNetwork::PredictBatch. All plans append into shared buffers sized
+  /// once up front.
+  void EncodePlanBatch(const query::Query& query,
+                       const std::vector<const plan::PartialPlan*>& plans,
+                       nn::PlanBatch* batch) const;
+
   /// Both encodings bundled as a network sample.
   nn::PlanSample Encode(const query::Query& query, const plan::PartialPlan& plan) const;
 
  private:
   void EncodeNode(const query::Query& query, const plan::PlanNode& node,
                   float* out) const;
+  /// Appends one plan's trees at node offset `base` into shared buffers.
+  void AppendPlan(const query::Query& query, const plan::PartialPlan& plan,
+                  int base, nn::TreeStructure* tree, nn::Matrix* features) const;
   double CardFeature(const query::Query& query, uint64_t rel_mask) const;
 
   const catalog::Schema& schema_;

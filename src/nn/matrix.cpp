@@ -2,52 +2,182 @@
 
 namespace neo::nn {
 
+// Optimized GEMM kernels (this TU is compiled -O3; see CMakeLists.txt).
+//
+// MatMul — the inference hot path (tree-conv + FC forward) — uses a
+// register-blocked kernel: outputs are produced in fixed 16-wide column
+// chunks held in registers across the whole k sweep, with four interleaved
+// k-chains per chunk so the FMA accumulation pipeline stays full even at the
+// small output widths (16-64 channels) the value network uses.
+//
+// Numerical contract: each output element's summation order is a fixed
+// function of (k, m) only — independent of the row's position and of how many
+// rows the call carries. Scoring one plan or a packed batch of plans
+// therefore yields bit-identical values, which keeps batched and per-
+// candidate search decisions in lockstep. Results may differ from the
+// reference kernels by accumulation-order ulps (tests allow 1e-5).
+//
+// The backward-only kernels (MatMulTransposeA/B) keep the reference
+// ascending-k order per output and gain their speed from loop blocking and
+// multi-accumulator ILP alone.
+
+namespace {
+
+// Tile sizes (floats) for the backward kernels: a 64 x 128 block of outputs
+// or inputs stays well inside L2 while the k-dim rows stream through L1.
+constexpr int kBlockI = 64;
+constexpr int kBlockJ = 128;
+
+inline int MinInt(int a, int b) { return a < b ? a : b; }
+
+bool g_use_reference_kernels = false;
+
+}  // namespace
+
+void SetUseReferenceKernels(bool use) { g_use_reference_kernels = use; }
+bool UseReferenceKernels() { return g_use_reference_kernels; }
+
+
+
+
+namespace {
+
+/// One output row x one 16-wide (or `w`-wide tail) column chunk: four
+/// interleaved k-chains c0..c3 (p % 4), folded as (c0+c1)+(c2+c3). The chunk
+/// accumulators live in vector registers for the whole k sweep.
+template <bool kFullWidth>
+inline void MatMulRowChunk(const float* __restrict arow,
+                           const float* __restrict bdata, float* __restrict orow,
+                           int k, int m, int jc, int w) {
+  constexpr int kW = 16;
+  float c0[kW] = {0}, c1[kW] = {0}, c2[kW] = {0}, c3[kW] = {0};
+  const int width = kFullWidth ? kW : w;
+  int p = 0;
+  for (; p + 3 < k; p += 4) {
+    const float av0 = arow[p], av1 = arow[p + 1];
+    const float av2 = arow[p + 2], av3 = arow[p + 3];
+    const float* __restrict b0 = bdata + static_cast<size_t>(p) * m + jc;
+    const float* __restrict b1 = b0 + m;
+    const float* __restrict b2 = b1 + m;
+    const float* __restrict b3 = b2 + m;
+    for (int jj = 0; jj < width; ++jj) {
+      c0[jj] += av0 * b0[jj];
+      c1[jj] += av1 * b1[jj];
+      c2[jj] += av2 * b2[jj];
+      c3[jj] += av3 * b3[jj];
+    }
+  }
+  for (; p < k; ++p) {
+    const float av = arow[p];
+    const float* __restrict bp = bdata + static_cast<size_t>(p) * m + jc;
+    for (int jj = 0; jj < width; ++jj) c0[jj] += av * bp[jj];
+  }
+  for (int jj = 0; jj < width; ++jj) {
+    orow[jc + jj] = (c0[jj] + c1[jj]) + (c2[jj] + c3[jj]);
+  }
+}
+
+}  // namespace
+
 Matrix MatMul(const Matrix& a, const Matrix& b) {
+  if (g_use_reference_kernels) return MatMulNaive(a, b);
   NEO_CHECK(a.cols() == b.rows());
   Matrix out(a.rows(), b.cols());
   const int n = a.rows(), k = a.cols(), m = b.cols();
+  const float* __restrict adata = a.data();
+  const float* __restrict bdata = b.data();
+  float* __restrict odata = out.data();
+
+  constexpr int kW = 16;
   for (int i = 0; i < n; ++i) {
-    const float* arow = a.Row(i);
-    float* orow = out.Row(i);
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.Row(p);
-      for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
+    const float* __restrict arow = adata + static_cast<size_t>(i) * k;
+    float* __restrict orow = odata + static_cast<size_t>(i) * m;
+    int jc = 0;
+    for (; jc + kW <= m; jc += kW) {
+      MatMulRowChunk<true>(arow, bdata, orow, k, m, jc, kW);
     }
+    if (jc < m) MatMulRowChunk<false>(arow, bdata, orow, k, m, jc, m - jc);
   }
   return out;
 }
 
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  if (g_use_reference_kernels) return MatMulTransposeBNaive(a, b);
   NEO_CHECK(a.cols() == b.cols());
   Matrix out(a.rows(), b.rows());
   const int n = a.rows(), k = a.cols(), m = b.rows();
-  for (int i = 0; i < n; ++i) {
-    const float* arow = a.Row(i);
-    float* orow = out.Row(i);
-    for (int j = 0; j < m; ++j) {
-      const float* brow = b.Row(j);
-      float acc = 0.0f;
-      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      orow[j] = acc;
+  const float* __restrict adata = a.data();
+  const float* __restrict bdata = b.data();
+  float* __restrict odata = out.data();
+
+  // Both operands are traversed along contiguous k-rows; computing four dot
+  // products per pass gives four independent accumulator chains (ILP) while
+  // each output still sums in ascending-p order.
+  for (int ic = 0; ic < n; ic += kBlockI) {
+    const int iend = MinInt(ic + kBlockI, n);
+    for (int jc = 0; jc < m; jc += kBlockJ) {
+      const int jend = MinInt(jc + kBlockJ, m);
+      for (int i = ic; i < iend; ++i) {
+        const float* __restrict arow = adata + static_cast<size_t>(i) * k;
+        float* __restrict orow = odata + static_cast<size_t>(i) * m;
+        int j = jc;
+        for (; j + 3 < jend; j += 4) {
+          const float* __restrict b0 = bdata + static_cast<size_t>(j) * k;
+          const float* __restrict b1 = bdata + static_cast<size_t>(j + 1) * k;
+          const float* __restrict b2 = bdata + static_cast<size_t>(j + 2) * k;
+          const float* __restrict b3 = bdata + static_cast<size_t>(j + 3) * k;
+          float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+          for (int p = 0; p < k; ++p) {
+            const float av = arow[p];
+            acc0 += av * b0[p];
+            acc1 += av * b1[p];
+            acc2 += av * b2[p];
+            acc3 += av * b3[p];
+          }
+          orow[j] = acc0;
+          orow[j + 1] = acc1;
+          orow[j + 2] = acc2;
+          orow[j + 3] = acc3;
+        }
+        for (; j < jend; ++j) {
+          const float* __restrict brow = bdata + static_cast<size_t>(j) * k;
+          float acc = 0.0f;
+          for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+          orow[j] = acc;
+        }
+      }
     }
   }
   return out;
 }
 
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  if (g_use_reference_kernels) return MatMulTransposeANaive(a, b);
   NEO_CHECK(a.rows() == b.rows());
   Matrix out(a.cols(), b.cols());
   const int n = a.rows(), k = a.cols(), m = b.cols();
-  for (int r = 0; r < n; ++r) {
-    const float* arow = a.Row(r);
-    const float* brow = b.Row(r);
-    for (int i = 0; i < k; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* orow = out.Row(i);
-      for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
+  const float* __restrict adata = a.data();
+  const float* __restrict bdata = b.data();
+  float* __restrict odata = out.data();
+
+  // out (k x m) accumulates a rank-1 update per input row r; r stays the
+  // outermost accumulation dimension so each output sums in ascending-r
+  // order. Tiling i/j keeps the touched slice of `out` resident.
+  for (int jc = 0; jc < m; jc += kBlockJ) {
+    const int jend = MinInt(jc + kBlockJ, m);
+    const int jlen = jend - jc;
+    for (int icc = 0; icc < k; icc += kBlockI) {
+      const int icend = MinInt(icc + kBlockI, k);
+      for (int r = 0; r < n; ++r) {
+        const float* __restrict arow = adata + static_cast<size_t>(r) * k;
+        const float* __restrict brow = bdata + static_cast<size_t>(r) * m + jc;
+        for (int i = icc; i < icend; ++i) {
+          const float av = arow[i];
+          if (av == 0.0f) continue;
+          float* __restrict orow = odata + static_cast<size_t>(i) * m + jc;
+          for (int j = 0; j < jlen; ++j) orow[j] += av * brow[j];
+        }
+      }
     }
   }
   return out;

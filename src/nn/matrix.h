@@ -55,13 +55,31 @@ class Matrix {
   std::vector<float> data_;
 };
 
-/// out = a (n x k) * b (k x m). Accumulates into a fresh matrix.
+/// out = a (n x k) * b (k x m). Register-blocked kernel. Each output's
+/// summation order is a fixed function of (k, m) alone — independent of the
+/// row's position and of n — so a row multiplied alone or inside any batch
+/// yields bit-identical results (batched plan scoring relies on this).
+/// Results may differ from MatMulNaive by accumulation-order ulps.
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
-/// out = a (n x k) * b^T where b is (m x k).
+/// out = a (n x k) * b^T where b is (m x k). Blocked kernel.
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
 
 /// out = a^T (k x n -> n x k') ... computes a^T (a: k x n) times b (k x m).
+/// Blocked kernel.
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
+
+/// Reference triple-loop kernels. Used by tests to validate the blocked
+/// kernels on non-tile-multiple shapes and by benches as the baseline.
+Matrix MatMulNaive(const Matrix& a, const Matrix& b);
+Matrix MatMulTransposeBNaive(const Matrix& a, const Matrix& b);
+Matrix MatMulTransposeANaive(const Matrix& a, const Matrix& b);
+
+/// When true, MatMul / MatMulTransposeA / MatMulTransposeB route through the
+/// reference kernels, and ValueNetwork inference reverts to the dense
+/// augment-and-concat forward. Bench-only: lets perf comparisons reconstruct
+/// the pre-optimization ("seed") inference path at runtime.
+void SetUseReferenceKernels(bool use);
+bool UseReferenceKernels();
 
 }  // namespace neo::nn

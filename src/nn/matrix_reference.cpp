@@ -1,0 +1,60 @@
+// Reference triple-loop GEMM kernels, in their own translation unit kept at
+// the build's default -O2 (no vectorization override): benches use them to
+// reconstruct the seed inference path faithfully, and tests use them as the
+// ground truth for the blocked kernels.
+#include "src/nn/matrix.h"
+
+namespace neo::nn {
+
+Matrix MatMulNaive(const Matrix& a, const Matrix& b) {
+  NEO_CHECK(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  for (int i = 0; i < n; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out.Row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;  // Seed kernel's sparse skip (one-hot inputs).
+      const float* brow = b.Row(p);
+      for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransposeBNaive(const Matrix& a, const Matrix& b) {
+  NEO_CHECK(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  const int n = a.rows(), k = a.cols(), m = b.rows();
+  for (int i = 0; i < n; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out.Row(i);
+    for (int j = 0; j < m; ++j) {
+      const float* brow = b.Row(j);
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransposeANaive(const Matrix& a, const Matrix& b) {
+  NEO_CHECK(a.rows() == b.rows());
+  Matrix out(a.cols(), b.cols());
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  for (int r = 0; r < n; ++r) {
+    const float* arow = a.Row(r);
+    const float* brow = b.Row(r);
+    for (int i = 0; i < k; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;  // Seed kernel's sparse skip.
+      float* orow = out.Row(i);
+      for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace neo::nn

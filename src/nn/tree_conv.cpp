@@ -2,8 +2,10 @@
 
 namespace neo::nn {
 
-TreeConv::TreeConv(int in_channels, int out_channels, util::Rng& rng)
-    : in_channels_(in_channels) {
+TreeConv::TreeConv(int in_channels, int out_channels, util::Rng& rng,
+                   int shared_suffix_dim)
+    : in_channels_(in_channels), shared_suffix_dim_(shared_suffix_dim) {
+  NEO_CHECK(shared_suffix_dim >= 0 && shared_suffix_dim < in_channels);
   weight_.value = Matrix(3 * in_channels, out_channels);
   weight_.value.InitKaiming(rng, 3 * in_channels);
   weight_.grad = Matrix(3 * in_channels, out_channels);
@@ -43,7 +45,110 @@ Matrix TreeConv::Forward(const TreeStructure& tree, const Matrix& x) {
   return y;
 }
 
+void TreeConv::RefreshInferenceWeights() {
+  const int cin = in_channels_;
+  const int s = shared_suffix_dim_;
+  const int top = cin - s;
+  const int cout = weight_.value.cols();
+  if (w_self_.rows() != top) {
+    w_self_ = Matrix(top, cout);
+    w_left_ = Matrix(top, cout);
+    w_right_ = Matrix(top, cout);
+    if (s > 0) {
+      w_self_suffix_ = Matrix(s, cout);
+      w_left_suffix_ = Matrix(s, cout);
+      w_right_suffix_ = Matrix(s, cout);
+    }
+  }
+  // Block b of the stacked weight occupies rows [b*cin, (b+1)*cin): the first
+  // `top` rows multiply the varying channels, the last `s` the shared suffix.
+  Matrix* tops[3] = {&w_self_, &w_left_, &w_right_};
+  Matrix* suffixes[3] = {&w_self_suffix_, &w_left_suffix_, &w_right_suffix_};
+  for (int blk = 0; blk < 3; ++blk) {
+    const float* src = weight_.value.Row(blk * cin);
+    std::copy(src, src + static_cast<size_t>(top) * cout, tops[blk]->data());
+    if (s > 0) {
+      std::copy(src + static_cast<size_t>(top) * cout,
+                src + static_cast<size_t>(cin) * cout, suffixes[blk]->data());
+    }
+  }
+  split_fresh_ = true;
+}
+
+Matrix TreeConv::ForwardInference(const TreeStructure& tree, const Matrix& x,
+                                  const Matrix* shared_suffix) {
+  const int n = x.rows();
+  const int s = shared_suffix_dim_;
+  const int top = in_channels_ - s;
+  NEO_CHECK(x.cols() == top);
+  NEO_CHECK((s > 0) == (shared_suffix != nullptr));
+  NEO_CHECK(static_cast<size_t>(n) == tree.NumNodes());
+  NEO_CHECK(split_fresh_);
+
+  // Per-call suffix projections: the shared channels contribute the same
+  // (1 x out) vector to every node (per present block), computed once.
+  Matrix suffix_self, suffix_left, suffix_right;
+  if (s > 0) {
+    NEO_CHECK(shared_suffix->cols() == s);
+    suffix_self = MatMul(*shared_suffix, w_self_suffix_);
+    suffix_left = MatMul(*shared_suffix, w_left_suffix_);
+    suffix_right = MatMul(*shared_suffix, w_right_suffix_);
+  }
+
+  // Self block + bias (+ self-suffix projection) for every node.
+  Matrix y = MatMul(x, w_self_);
+  const int cout = y.cols();
+  const float* b = bias_.value.Row(0);
+  const float* sp = s > 0 ? suffix_self.Row(0) : nullptr;
+  for (int i = 0; i < n; ++i) {
+    float* row = y.Row(i);
+    for (int c = 0; c < cout; ++c) row[c] += b[c];
+    if (sp != nullptr) {
+      for (int c = 0; c < cout; ++c) row[c] += sp[c];
+    }
+  }
+
+  // Child blocks: gather present children, one GEMM per side, scatter-add.
+  // MatMul rows are independent, so each node's contribution is the same
+  // regardless of which other nodes share the gather.
+  auto add_side = [&](const std::vector<int>& child, const Matrix& w,
+                      const Matrix& suffix_proj) {
+    int present = 0;
+    for (size_t i = 0; i < child.size(); ++i) {
+      if (child[i] >= 0) ++present;
+    }
+    if (present == 0) return;
+    if (gather_scratch_.rows() != present || gather_scratch_.cols() != top) {
+      gather_scratch_ = Matrix(present, top);
+    }
+    parent_scratch_.assign(static_cast<size_t>(present), 0);
+    int t = 0;
+    for (size_t i = 0; i < child.size(); ++i) {
+      if (child[i] < 0) continue;
+      std::copy(x.Row(child[i]), x.Row(child[i]) + top, gather_scratch_.Row(t));
+      parent_scratch_[static_cast<size_t>(t)] = static_cast<int>(i);
+      ++t;
+    }
+    const Matrix contrib = MatMul(gather_scratch_, w);
+    const float* proj = s > 0 ? suffix_proj.Row(0) : nullptr;
+    for (int r = 0; r < present; ++r) {
+      float* dst = y.Row(parent_scratch_[static_cast<size_t>(r)]);
+      const float* src = contrib.Row(r);
+      for (int c = 0; c < cout; ++c) dst[c] += src[c];
+      if (proj != nullptr) {
+        for (int c = 0; c < cout; ++c) dst[c] += proj[c];
+      }
+    }
+  };
+  add_side(tree.left, w_left_, suffix_left);
+  add_side(tree.right, w_right_, suffix_right);
+  return y;
+}
+
 Matrix TreeConv::Backward(const TreeStructure& tree, const Matrix& grad_out) {
+  // Training implies an imminent weight update: invalidate the inference
+  // split so ForwardInference cannot silently use stale weights.
+  split_fresh_ = false;
   const int n = grad_out.rows();
   const int cin = in_channels_;
 
@@ -76,30 +181,52 @@ Matrix TreeConv::Backward(const TreeStructure& tree, const Matrix& grad_out) {
 }
 
 Matrix DynamicPooling::Forward(const Matrix& x) {
-  const int n = x.rows(), d = x.cols();
-  NEO_CHECK(n > 0);
-  last_rows_ = n;
-  argmax_.assign(static_cast<size_t>(d), 0);
-  Matrix y(1, d);
-  for (int c = 0; c < d; ++c) {
-    float best = x.At(0, c);
-    int best_row = 0;
-    for (int r = 1; r < n; ++r) {
-      if (x.At(r, c) > best) {
-        best = x.At(r, c);
-        best_row = r;
+  NEO_CHECK(x.rows() > 0);
+  const std::vector<int> offsets = {0, x.rows()};
+  return Forward(x, offsets);
+}
+
+Matrix DynamicPooling::Forward(const Matrix& x, const std::vector<int>& offsets) {
+  const int d = x.cols();
+  NEO_CHECK(offsets.size() >= 2);
+  const int segments = static_cast<int>(offsets.size()) - 1;
+  NEO_CHECK(offsets.front() == 0 && offsets.back() == x.rows());
+  last_rows_ = x.rows();
+  last_segments_ = segments;
+  argmax_.assign(static_cast<size_t>(segments) * d, 0);
+  Matrix y(segments, d);
+  for (int s = 0; s < segments; ++s) {
+    const int begin = offsets[static_cast<size_t>(s)];
+    const int end = offsets[static_cast<size_t>(s) + 1];
+    NEO_CHECK(end > begin);  // Every tree has at least one node.
+    float* yrow = y.Row(s);
+    int* amax = argmax_.data() + static_cast<size_t>(s) * d;
+    const float* first = x.Row(begin);
+    for (int c = 0; c < d; ++c) {
+      yrow[c] = first[c];
+      amax[c] = begin;
+    }
+    for (int r = begin + 1; r < end; ++r) {
+      const float* row = x.Row(r);
+      for (int c = 0; c < d; ++c) {
+        if (row[c] > yrow[c]) {
+          yrow[c] = row[c];
+          amax[c] = r;
+        }
       }
     }
-    y.At(0, c) = best;
-    argmax_[static_cast<size_t>(c)] = best_row;
   }
   return y;
 }
 
 Matrix DynamicPooling::Backward(const Matrix& grad_out) {
-  Matrix grad_in(last_rows_, grad_out.cols());
-  for (int c = 0; c < grad_out.cols(); ++c) {
-    grad_in.At(argmax_[static_cast<size_t>(c)], c) = grad_out.At(0, c);
+  NEO_CHECK(grad_out.rows() == last_segments_);
+  const int d = grad_out.cols();
+  Matrix grad_in(last_rows_, d);
+  for (int s = 0; s < grad_out.rows(); ++s) {
+    const int* amax = argmax_.data() + static_cast<size_t>(s) * d;
+    const float* g = grad_out.Row(s);
+    for (int c = 0; c < d; ++c) grad_in.At(amax[c], c) += g[c];
   }
   return grad_in;
 }

@@ -27,12 +27,36 @@ struct TreeStructure {
 };
 
 /// One tree convolution layer: out[i] = [x_i ; x_l ; x_r] * W + b.
+///
+/// `shared_suffix_dim` (s) declares that at inference time the last s input
+/// channels of every node carry the same vector (Neo's spatially-replicated
+/// query embedding): ForwardInference then takes the (n x (in-s)) varying
+/// features plus the (1 x s) suffix and projects the suffix through each
+/// weight block once per call instead of once per node.
 class TreeConv {
  public:
-  TreeConv(int in_channels, int out_channels, util::Rng& rng);
+  TreeConv(int in_channels, int out_channels, util::Rng& rng,
+           int shared_suffix_dim = 0);
 
-  /// x: (nodes x in_channels) -> (nodes x out_channels).
+  /// x: (nodes x in_channels) -> (nodes x out_channels). Training path:
+  /// builds the dense concat matrix and caches it for Backward.
   Matrix Forward(const TreeStructure& tree, const Matrix& x);
+
+  /// Inference-only forward that skips absent-child weight blocks:
+  /// y = x*W_p + gather(x_left)*W_l + gather(x_right)*W_r + b. Most forest
+  /// nodes are leaves, so this does roughly half the flops of Forward. With
+  /// shared_suffix_dim > 0, `x` holds only the varying (in-s) channels and
+  /// `shared_suffix` the common (1 x s) tail. Each output row depends only
+  /// on that node's (self, left, right) features, so results are identical
+  /// whether a tree is scored alone or in a batch. Caller must
+  /// RefreshInferenceWeights() after any weight update; results may differ
+  /// from Forward by accumulation-order ulps.
+  Matrix ForwardInference(const TreeStructure& tree, const Matrix& x,
+                          const Matrix* shared_suffix = nullptr);
+
+  /// Re-splits the stacked weight into the per-block copies ForwardInference
+  /// multiplies with. Cheap (one memcpy of the weight matrix).
+  void RefreshInferenceWeights();
 
   /// Backward for the most recent Forward (same tree).
   Matrix Backward(const TreeStructure& tree, const Matrix& grad_out);
@@ -47,20 +71,34 @@ class TreeConv {
 
  private:
   int in_channels_;
+  int shared_suffix_dim_;
   Param weight_;  ///< (3*in x out): [e_p; e_l; e_r] stacked.
   Param bias_;    ///< (1 x out)
   Matrix last_concat_;  ///< (nodes x 3*in) cached for backward.
+  /// ((in - s) x out) varying-channel blocks of weight_.
+  Matrix w_self_, w_left_, w_right_;
+  /// (s x out) shared-suffix blocks (empty when shared_suffix_dim_ == 0).
+  Matrix w_self_suffix_, w_left_suffix_, w_right_suffix_;
+  bool split_fresh_ = false;
+  Matrix gather_scratch_;       ///< Reused child-feature gather buffer.
+  std::vector<int> parent_scratch_;  ///< Reused gather-row -> node map.
 };
 
 /// Per-channel max pool over all nodes: (nodes x C) -> (1 x C).
+///
+/// The segmented overload pools a packed forest of N trees in one pass: rows
+/// [offsets[s], offsets[s+1]) of `x` pool into row s of the output, giving an
+/// (N x C) matrix that feeds the FC head as one batch.
 class DynamicPooling {
  public:
   Matrix Forward(const Matrix& x);
+  Matrix Forward(const Matrix& x, const std::vector<int>& offsets);
   Matrix Backward(const Matrix& grad_out);
 
  private:
-  std::vector<int> argmax_;
+  std::vector<int> argmax_;  ///< (segments x C) winning row per (segment, channel).
   int last_rows_ = 0;
+  int last_segments_ = 0;
 };
 
 }  // namespace neo::nn

@@ -21,10 +21,14 @@ ValueNetwork::ValueNetwork(const ValueNetConfig& config)
   }
   embed_dim_ = prev;
 
-  // Tree convolution stack over augmented nodes.
+  // Tree convolution stack over augmented nodes. The first layer's input is
+  // [plan features ; query embedding]; the embedding tail is row-constant at
+  // inference, so layer 0 is built with a shared-suffix declaration and the
+  // inference path never materializes the augmented matrix.
   int channels = config.plan_dim + embed_dim_;
-  for (int out_channels : config.tree_channels) {
-    convs_.emplace_back(channels, out_channels, rng_);
+  for (size_t i = 0; i < config.tree_channels.size(); ++i) {
+    const int out_channels = config.tree_channels[i];
+    convs_.emplace_back(channels, out_channels, rng_, i == 0 ? embed_dim_ : 0);
     channels = out_channels;
   }
 
@@ -110,37 +114,147 @@ bool ValueNetwork::LoadWeights(const std::string& path) {
     }
   }
   std::fclose(f);
-  if (ok) ++version_;  // Loaded weights invalidate any cached scores.
+  // Bump even on failure: a truncated file may have partially overwritten
+  // parameters, and every weight-derived cache (score cache, inference
+  // weight splits) keys off version_ — stale serves would be silent.
+  ++version_;
   return ok;
+}
+
+PlanBatch PackPlanBatch(const std::vector<const PlanSample*>& samples) {
+  PlanBatch batch;
+  batch.tree_offsets.reserve(samples.size() + 1);
+  batch.tree_offsets.push_back(0);
+  size_t total = 0;
+  for (const PlanSample* s : samples) {
+    total += s->tree.NumNodes();
+    batch.tree_offsets.push_back(static_cast<int>(total));
+  }
+  if (total == 0) return batch;
+  batch.forest.left.reserve(total);
+  batch.forest.right.reserve(total);
+  batch.node_features = Matrix(static_cast<int>(total), samples[0]->node_features.cols());
+  for (size_t s = 0; s < samples.size(); ++s) {
+    const PlanSample& sample = *samples[s];
+    NEO_CHECK(sample.node_features.cols() == batch.node_features.cols());
+    NEO_CHECK(sample.node_features.rows() ==
+              static_cast<int>(sample.tree.NumNodes()));
+    const int base = batch.tree_offsets[s];
+    for (size_t i = 0; i < sample.tree.NumNodes(); ++i) {
+      const int l = sample.tree.left[i];
+      const int r = sample.tree.right[i];
+      batch.forest.left.push_back(l < 0 ? -1 : l + base);
+      batch.forest.right.push_back(r < 0 ? -1 : r + base);
+      std::copy(sample.node_features.Row(static_cast<int>(i)),
+                sample.node_features.Row(static_cast<int>(i)) + sample.node_features.cols(),
+                batch.node_features.Row(base + static_cast<int>(i)));
+    }
+  }
+  return batch;
 }
 
 Matrix ValueNetwork::EmbedQuery(const Matrix& query_vec) {
   return query_stack_.Forward(query_vec);
 }
 
-float ValueNetwork::ForwardPlan(const Matrix& query_embedding, const TreeStructure& tree,
-                                const Matrix& node_features, ForwardState* state) {
-  const int n = node_features.rows();
-  NEO_CHECK(n > 0);
+Matrix ValueNetwork::AugmentNodes(const Matrix& query_embedding,
+                                  const Matrix& node_features) const {
   // Spatial replication: append the query embedding to every node.
+  const int n = node_features.rows();
   Matrix augmented(n, config_.plan_dim + embed_dim_);
+  const float* e = query_embedding.Row(0);
   for (int i = 0; i < n; ++i) {
     float* dst = augmented.Row(i);
     const float* src = node_features.Row(i);
     for (int c = 0; c < config_.plan_dim; ++c) dst[c] = src[c];
-    const float* e = query_embedding.Row(0);
     for (int c = 0; c < embed_dim_; ++c) dst[config_.plan_dim + c] = e[c];
   }
+  return augmented;
+}
 
+void ValueNetwork::SyncInferenceWeights() {
+  if (inference_weights_version_ == version_) return;
+  for (auto& conv : convs_) conv.RefreshInferenceWeights();
+  inference_weights_version_ = version_;
+}
+
+void ValueNetwork::ApplyLeakyReLU(Matrix* m) const {
+  for (size_t i = 0; i < m->Size(); ++i) {
+    if (m->data()[i] < 0.0f) m->data()[i] *= leaky_alpha_;
+  }
+}
+
+Matrix ValueNetwork::InferencePooled(const TreeStructure& tree,
+                                     const Matrix& node_features,
+                                     const Matrix& query_embedding,
+                                     const std::vector<int>& offsets) {
+  SyncInferenceWeights();
+  Matrix cur;
+  for (size_t li = 0; li < convs_.size(); ++li) {
+    Matrix z = li == 0 ? convs_[0].ForwardInference(tree, node_features,
+                                                    &query_embedding)
+                       : convs_[li].ForwardInference(tree, cur);
+    ApplyLeakyReLU(&z);
+    cur = std::move(z);
+  }
+  return pool_.Forward(cur, offsets);
+}
+
+std::vector<float> ValueNetwork::PredictBatch(const Matrix& query_embedding,
+                                              const PlanBatch& batch) {
+  const int n_plans = batch.size();
+  if (n_plans == 0) return {};
+  NEO_CHECK(batch.node_features.rows() ==
+            static_cast<int>(batch.forest.NumNodes()));
+  Matrix pooled;  // (N x C)
+  if (UseReferenceKernels()) {
+    // Seed-path reconstruction for benches: dense augment-and-concat stack.
+    Matrix cur = AugmentNodes(query_embedding, batch.node_features);
+    for (auto& conv : convs_) {
+      Matrix z = conv.Forward(batch.forest, cur);
+      ApplyLeakyReLU(&z);
+      cur = std::move(z);
+    }
+    pooled = pool_.Forward(cur, batch.tree_offsets);
+  } else {
+    pooled = InferencePooled(batch.forest, batch.node_features, query_embedding,
+                             batch.tree_offsets);
+  }
+  const Matrix scores = head_.Forward(pooled);  // (N x 1)
+  std::vector<float> out(static_cast<size_t>(n_plans));
+  for (int i = 0; i < n_plans; ++i) out[static_cast<size_t>(i)] = scores.At(i, 0);
+  return out;
+}
+
+std::vector<float> ValueNetwork::PredictBatch(
+    const Matrix& query_embedding, const std::vector<const PlanSample*>& samples) {
+  return PredictBatch(query_embedding, PackPlanBatch(samples));
+}
+
+float ValueNetwork::ForwardPlan(const Matrix& query_embedding, const TreeStructure& tree,
+                                const Matrix& node_features, ForwardState* state) {
+  const int n = node_features.rows();
+  NEO_CHECK(n > 0);
+
+  // Fast inference: absent-child blocks are skipped and the query embedding
+  // is projected once per call (shared-suffix layer 0) instead of per node.
+  // Reference-kernel mode (benches reconstructing the seed path) uses the
+  // dense branch below even at inference.
+  if (state == nullptr && !UseReferenceKernels()) {
+    const std::vector<int> offsets = {0, n};
+    const Matrix pooled = InferencePooled(tree, node_features, query_embedding, offsets);
+    return head_.Forward(pooled).At(0, 0);
+  }
+
+  // Dense concat forward: training (caches activations for the backward) and
+  // reference mode.
+  Matrix augmented = AugmentNodes(query_embedding, node_features);
   Matrix cur = augmented;
   std::vector<Matrix> pre, post;
   for (auto& conv : convs_) {
     Matrix z = conv.Forward(tree, cur);
     if (state != nullptr) pre.push_back(z);
-    // Leaky ReLU between conv layers.
-    for (size_t i = 0; i < z.Size(); ++i) {
-      if (z.data()[i] < 0.0f) z.data()[i] *= leaky_alpha_;
-    }
+    ApplyLeakyReLU(&z);  // Leaky ReLU between conv layers.
     if (state != nullptr) post.push_back(z);
     cur = std::move(z);
   }

@@ -38,6 +38,24 @@ struct PlanSample {
   Matrix node_features;  ///< (nodes x plan_dim)
 };
 
+/// N featurized plans of one query packed into a single forest so the whole
+/// batch runs through each tree-conv layer and the FC head as one GEMM.
+/// Plan i's nodes occupy feature rows [tree_offsets[i], tree_offsets[i+1]);
+/// its child indices in `forest` are offset by tree_offsets[i].
+struct PlanBatch {
+  TreeStructure forest;           ///< Concatenated trees, offset child indices.
+  Matrix node_features;           ///< (total nodes x plan_dim)
+  std::vector<int> tree_offsets;  ///< size() + 1 monotone row offsets.
+
+  int size() const {
+    return tree_offsets.empty() ? 0 : static_cast<int>(tree_offsets.size()) - 1;
+  }
+};
+
+/// Packs per-sample (tree, node_features) pairs into one PlanBatch (query
+/// vectors are ignored; batched prediction shares one query embedding).
+PlanBatch PackPlanBatch(const std::vector<const PlanSample*>& samples);
+
 class ValueNetwork {
  public:
   explicit ValueNetwork(const ValueNetConfig& config);
@@ -49,6 +67,16 @@ class ValueNetwork {
   /// query-level FC stack runs once per query, not once per candidate plan).
   float PredictWithEmbedding(const Matrix& query_embedding, const TreeStructure& tree,
                              const Matrix& node_features);
+
+  /// Batched inference over a packed forest sharing one query embedding: one
+  /// forward pass scores all plans (each conv layer and the head run as a
+  /// single large GEMM instead of N small ones). Per-plan results match
+  /// PredictWithEmbedding bit-for-bit.
+  std::vector<float> PredictBatch(const Matrix& query_embedding, const PlanBatch& batch);
+
+  /// Convenience overload packing per-sample trees/features on the fly.
+  std::vector<float> PredictBatch(const Matrix& query_embedding,
+                                  const std::vector<const PlanSample*>& samples);
 
   /// Runs the query-level FC stack only.
   Matrix EmbedQuery(const Matrix& query_vec);
@@ -85,6 +113,22 @@ class ValueNetwork {
   float ForwardPlan(const Matrix& query_embedding, const TreeStructure& tree,
                     const Matrix& node_features, ForwardState* state);
 
+  /// Spatial replication: node features with the query embedding appended.
+  Matrix AugmentNodes(const Matrix& query_embedding, const Matrix& node_features) const;
+
+  /// Re-splits every conv layer's inference weights if training or weight
+  /// loading bumped version_ since the last inference call.
+  void SyncInferenceWeights();
+
+  /// Fast-inference conv stack + segmented pooling shared by PredictBatch
+  /// and the single-plan prediction path (offsets {0, n} for one tree).
+  Matrix InferencePooled(const TreeStructure& tree, const Matrix& node_features,
+                         const Matrix& query_embedding,
+                         const std::vector<int>& offsets);
+
+  /// In-place leaky ReLU (the inter-conv activation).
+  void ApplyLeakyReLU(Matrix* m) const;
+
   ValueNetConfig config_;
   util::Rng rng_;
   Sequential query_stack_;
@@ -93,6 +137,7 @@ class ValueNetwork {
   Sequential head_;
   std::unique_ptr<Adam> adam_;
   uint64_t version_ = 0;
+  uint64_t inference_weights_version_ = ~0ULL;
   float leaky_alpha_;
   int embed_dim_ = 0;
 };

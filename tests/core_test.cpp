@@ -131,6 +131,71 @@ TEST_F(CoreFixture, GreedyModeCompletesWithoutHeapSearch) {
   EXPECT_EQ(result.expansions, 0);
 }
 
+TEST_F(CoreFixture, BatchedSearchMatchesUnbatched) {
+  // Batched child scoring (PredictBatch over a packed forest) is bit-exact
+  // with the per-candidate path, so identical SearchOptions must return the
+  // same plan with the same predicted cost. Two independent Neo instances
+  // with the same seed avoid score-cache cross-talk between the two runs.
+  engine::ExecutionEngine engine(ds_->schema, *ds_->db, EngineKind::kPostgres);
+  Neo neo_batched(featurizer_, &engine, SmallConfig());
+  Neo neo_unbatched(featurizer_, &engine, SmallConfig());
+  const Query q = ThreeWay(57);
+
+  SearchOptions batched;
+  batched.max_expansions = 40;
+  SearchOptions unbatched = batched;
+  unbatched.batched = false;
+
+  const SearchResult rb = neo_batched.search().FindPlan(q, batched);
+  const SearchResult ru = neo_unbatched.search().FindPlan(q, unbatched);
+  EXPECT_EQ(rb.plan.Hash(), ru.plan.Hash());
+  EXPECT_EQ(rb.expansions, ru.expansions);
+  EXPECT_EQ(rb.evaluations, ru.evaluations);
+  EXPECT_FLOAT_EQ(rb.predicted_cost, ru.predicted_cost);
+  EXPECT_EQ(rb.plan.ToString(ds_->schema), ru.plan.ToString(ds_->schema));
+}
+
+TEST_F(CoreFixture, ScoreCacheServesRepeatSearches) {
+  engine::ExecutionEngine engine(ds_->schema, *ds_->db, EngineKind::kPostgres);
+  Neo neo(featurizer_, &engine, SmallConfig());
+  const Query q = ThreeWay(58);
+  SearchOptions opt;
+  opt.max_expansions = 20;
+
+  const SearchResult first = neo.search().FindPlan(q, opt);
+  EXPECT_GT(first.evaluations, 0u);
+  // Re-searching the same query under the same network: every state the
+  // first pass scored comes out of the cache, not a fresh forward pass.
+  const SearchResult second = neo.search().FindPlan(q, opt);
+  EXPECT_EQ(second.plan.Hash(), first.plan.Hash());
+  EXPECT_EQ(second.evaluations, 0u);
+  EXPECT_GT(second.cache_hits, 0u);
+
+  // Training bumps the network version, which must invalidate the cache.
+  const plan::PartialPlan complete = first.plan;
+  neo.experience().AddCompletePlan(q, complete, 25.0);
+  neo.Retrain();
+  const SearchResult after_train = neo.search().FindPlan(q, opt);
+  EXPECT_GT(after_train.evaluations, 0u);
+}
+
+TEST_F(CoreFixture, HurryUpReusesBestFirstScores) {
+  // A tiny expansion budget forces hurry-up completion; the greedy descent
+  // starts from the last popped state, whose children the best-first phase
+  // already scored, so the descent's first step must be all cache hits.
+  engine::ExecutionEngine engine(ds_->schema, *ds_->db, EngineKind::kPostgres);
+  Neo neo(featurizer_, &engine, SmallConfig());
+  const Query q = ThreeWay(59);
+  SearchOptions opt;
+  opt.max_expansions = 2;
+  opt.early_stop = false;
+  const SearchResult r = neo.search().FindPlan(q, opt);
+  EXPECT_TRUE(r.plan.IsComplete());
+  // Two expansions cannot complete a 3-relation plan, so hurry-up must fire.
+  ASSERT_TRUE(r.hurried);
+  EXPECT_GT(r.cache_hits, 0u);
+}
+
 TEST_F(CoreFixture, SearchMoreBudgetNeverWorsePrediction) {
   // Anytime property under a fixed network: a larger expansion budget never
   // returns a plan with a worse predicted cost.
