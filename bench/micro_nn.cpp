@@ -1,7 +1,17 @@
-// Micro-benchmarks (google-benchmark): neural network primitives.
+// Micro-benchmarks (google-benchmark): neural network primitives. Also
+// emits BENCH_train.json — TrainBatch throughput for the per-sample loop vs
+// the packed-forest path at 1 and 8 threads — so successive PRs can track
+// the training-path perf trajectory (the inference counterpart lives in
+// micro_search's BENCH_search.json).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
 #include "src/nn/value_network.h"
+#include "src/util/stopwatch.h"
 
 namespace {
 
@@ -185,31 +195,179 @@ void BM_ValueNetPredictLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_ValueNetPredictLoop)->Arg(8)->Arg(32)->Arg(128);
 
-void BM_ValueNetTrainBatch(benchmark::State& state) {
-  ValueNetConfig cfg;
-  cfg.query_dim = 66;
-  cfg.plan_dim = 21;
-  cfg.query_fc = {64, 32};
-  cfg.tree_channels = {32, 16};
-  cfg.head_fc = {16};
-  ValueNetwork net(cfg);
-  neo::util::Rng rng(5);
-  std::vector<PlanSample> samples(32);
+/// Training fixture: `batch` samples with mixed tree shapes. `packed`
+/// selects the packed-forest path vs the per-sample loop; `threads` the
+/// GEMM row-partitioning degree.
+struct TrainFixture {
+  ValueNetwork net;
+  std::vector<PlanSample> samples;
   std::vector<const PlanSample*> ptrs;
   std::vector<float> targets;
-  for (auto& s : samples) {
-    s.query_vec = RandomMatrix(1, 66, rng);
-    s.node_features = RandomMatrix(17, 21, rng);
-    s.tree.left.assign(17, -1);
-    s.tree.right.assign(17, -1);
-    ptrs.push_back(&s);
-    targets.push_back(static_cast<float>(rng.NextUniform(-1, 1)));
+
+  static ValueNetConfig Config() {
+    ValueNetConfig cfg;
+    cfg.query_dim = 66;
+    cfg.plan_dim = 21;
+    cfg.query_fc = {64, 32};
+    cfg.tree_channels = {32, 16};
+    cfg.head_fc = {16};
+    return cfg;
   }
+
+  explicit TrainFixture(int batch) : net(Config()), samples(static_cast<size_t>(batch)) {
+    neo::util::Rng rng(5);
+    for (auto& s : samples) {
+      const int nodes = 9 + static_cast<int>(rng.NextBounded(9));
+      s.query_vec = RandomMatrix(1, 66, rng);
+      s.node_features = RandomMatrix(nodes, 21, rng);
+      s.tree.left.assign(static_cast<size_t>(nodes), -1);
+      s.tree.right.assign(static_cast<size_t>(nodes), -1);
+      for (int i = 0; i + 2 < nodes; i += 2) {
+        s.tree.left[static_cast<size_t>(i)] = i + 1;
+        s.tree.right[static_cast<size_t>(i)] = i + 2;
+      }
+      ptrs.push_back(&s);
+      targets.push_back(static_cast<float>(rng.NextUniform(-1, 1)));
+    }
+  }
+};
+
+void BM_ValueNetTrainBatch(benchmark::State& state) {
+  TrainFixture f(32);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(net.TrainBatch(ptrs, targets));
+    benchmark::DoNotOptimize(f.net.TrainBatch(f.ptrs, f.targets));
   }
   state.SetItemsProcessed(state.iterations() * 32);
 }
 BENCHMARK(BM_ValueNetTrainBatch);
 
+void BM_ValueNetTrainBatchPerSample(benchmark::State& state) {
+  TrainFixture f(32);
+  f.net.SetBatchedTraining(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.net.TrainBatch(f.ptrs, f.targets));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_ValueNetTrainBatchPerSample);
+
+// ---- BENCH_train.json ------------------------------------------------------
+
+struct TrainThroughput {
+  double samples_per_sec = 0.0;
+  double step_ms_mean = 0.0;
+  float final_loss = 0.0f;
+};
+
+/// Steps a fresh default-width network (paper-shaped 64/32/16 conv stack)
+/// `steps` times on a batch-64 set and reports samples/sec. All arms train
+/// on identical data from identical initial weights.
+TrainThroughput MeasureTrainThroughput(bool packed, int threads, int steps) {
+  ValueNetConfig cfg;
+  cfg.query_dim = 66;
+  cfg.plan_dim = 21;  // Default channel widths (64/32/16) from ValueNetConfig.
+  ValueNetwork net(cfg);
+  net.SetBatchedTraining(packed);
+  ComputeThreadsScope scope(threads);
+
+  neo::util::Rng rng(5);
+  std::vector<PlanSample> samples(64);
+  std::vector<const PlanSample*> ptrs;
+  std::vector<float> targets;
+  for (auto& s : samples) {
+    const int nodes = 9 + static_cast<int>(rng.NextBounded(9));
+    s.query_vec = RandomMatrix(1, 66, rng);
+    s.node_features = RandomMatrix(nodes, 21, rng);
+    s.tree.left.assign(static_cast<size_t>(nodes), -1);
+    s.tree.right.assign(static_cast<size_t>(nodes), -1);
+    for (int i = 0; i + 2 < nodes; i += 2) {
+      s.tree.left[static_cast<size_t>(i)] = i + 1;
+      s.tree.right[static_cast<size_t>(i)] = i + 2;
+    }
+    ptrs.push_back(&s);
+    targets.push_back(static_cast<float>(rng.NextUniform(-1, 1)));
+  }
+
+  TrainThroughput out;
+  out.final_loss = net.TrainBatch(ptrs, targets);  // Warm-up step (untimed).
+  neo::util::Stopwatch watch;
+  for (int i = 0; i < steps; ++i) out.final_loss = net.TrainBatch(ptrs, targets);
+  const double total_s = watch.ElapsedSeconds();
+  out.samples_per_sec = static_cast<double>(steps) * 64.0 / total_s;
+  out.step_ms_mean = total_s * 1000.0 / steps;
+  return out;
+}
+
+void PrintTrainArm(std::FILE* out, const char* name, const TrainThroughput& r,
+                   const char* trailing_comma) {
+  std::fprintf(out,
+               "  \"%s\": {\"samples_per_sec\": %.1f, \"step_ms_mean\": %.3f,"
+               " \"final_loss\": %.6f}%s\n",
+               name, r.samples_per_sec, r.step_ms_mean,
+               static_cast<double>(r.final_loss), trailing_comma);
+}
+
+void WriteTrainJson(const std::string& path, int steps) {
+  const TrainThroughput per_sample = MeasureTrainThroughput(false, 1, steps);
+  const TrainThroughput packed_t1 = MeasureTrainThroughput(true, 1, steps);
+  const TrainThroughput packed_t8 = MeasureTrainThroughput(true, 8, steps);
+  const double speedup_packing = packed_t1.samples_per_sec / per_sample.samples_per_sec;
+  const double speedup_threads = packed_t8.samples_per_sec / packed_t1.samples_per_sec;
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "micro_nn: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"micro_nn_train\",\n"
+               "  \"batch_size\": 64,\n"
+               "  \"steps\": %d,\n"
+               "  \"hardware_threads\": %u,\n",
+               steps, std::thread::hardware_concurrency());
+  PrintTrainArm(out, "per_sample", per_sample, ",");
+  PrintTrainArm(out, "packed_threads1", packed_t1, ",");
+  PrintTrainArm(out, "packed_threads8", packed_t8, ",");
+  std::fprintf(out,
+               "  \"speedup_from_packing\": %.2f,\n"
+               "  \"speedup_from_threads\": %.2f\n"
+               "}\n",
+               speedup_packing, speedup_threads);
+  std::fclose(out);
+  std::printf("TrainBatch throughput (batch 64): per-sample %.0f, packed %.0f,"
+              " packed@8t %.0f samples/s (%.2fx packing, %.2fx threads) -> %s\n",
+              per_sample.samples_per_sec, packed_t1.samples_per_sec,
+              packed_t8.samples_per_sec, speedup_packing, speedup_threads,
+              path.c_str());
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_train.json";
+  bool filtered = false;
+  bool json_requested = false;
+  int steps = 60;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json-out=", 0) == 0) {
+      json_requested = true;
+      json_path = arg.substr(std::string("--json-out=").size());
+    } else if (arg == "--json-out") {
+      json_requested = true;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        json_path = argv[++i];
+      }
+    } else if (arg.rfind("--json-steps=", 0) == 0) {
+      steps = std::atoi(arg.substr(std::string("--json-steps=").size()).c_str());
+      if (steps < 1) steps = 1;
+    }
+    if (arg.rfind("--benchmark_filter", 0) == 0) filtered = true;
+  }
+  if (!filtered || json_requested) WriteTrainJson(json_path, steps);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,7 +8,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "src/core/neo.h"
 #include "src/datagen/imdb_gen.h"
@@ -165,13 +167,18 @@ struct ThroughputResult {
 /// construction untimed) and reports plans scored per second. With
 /// `reference_kernels`, GEMMs route through the naive triple loops — combined
 /// with `batched = false` this reconstructs the seed per-candidate path.
+/// `threads` row-partitions the scoring GEMMs over the pool; `speculation`
+/// expands that many heap states per scoring round.
 ThroughputResult MeasureSearchThroughput(bool batched, bool reference_kernels,
-                                         int reps) {
+                                         int reps, int threads = 1,
+                                         int speculation = 1) {
   Fixture& f = Fixture::Get();
   const query::Query& q = f.wl.query(60);
   core::SearchOptions opt;
   opt.max_expansions = 40;
   opt.batched = batched;
+  opt.threads = threads;
+  opt.speculation = speculation;
 
   // Default ValueNetConfig channel widths (the paper-shaped 64/32/16 conv
   // stack), not the narrower widths the google-benchmark fixture uses.
@@ -203,15 +210,23 @@ void PrintArm(std::FILE* out, const char* name, const ThroughputResult& r,
                trailing_comma);
 }
 
-void WriteSearchJson(const std::string& path) {
-  const int reps = 20;
-  // Three arms: the seed path (per-candidate scoring, naive GEMMs), the
-  // blocked kernels alone (per-candidate), and the full batched pipeline.
+void WriteSearchJson(const std::string& path, int reps) {
+  // Five arms: the seed path (per-candidate scoring, naive GEMMs), the
+  // blocked kernels alone (per-candidate), the full batched pipeline, and
+  // the speculative batched pipeline (8 states per round) at 1 and 8 kernel
+  // threads. The two speculative arms differ only in SearchOptions::threads
+  // (same kernels, same expansions), so their ratio is the pure thread-pool
+  // scaling of the scoring path on this machine.
   const ThroughputResult seed = MeasureSearchThroughput(false, true, reps);
   const ThroughputResult unbatched = MeasureSearchThroughput(false, false, reps);
   const ThroughputResult batched = MeasureSearchThroughput(true, false, reps);
+  const ThroughputResult spec_t1 =
+      MeasureSearchThroughput(true, false, reps, /*threads=*/1, /*speculation=*/8);
+  const ThroughputResult spec_t8 =
+      MeasureSearchThroughput(true, false, reps, /*threads=*/8, /*speculation=*/8);
   const double speedup_vs_seed = batched.plans_per_sec / seed.plans_per_sec;
   const double speedup_batching = batched.plans_per_sec / unbatched.plans_per_sec;
+  const double speedup_threads = spec_t8.plans_per_sec / spec_t1.plans_per_sec;
 
   Fixture& f = Fixture::Get();
   const query::Query& q = f.wl.query(60);
@@ -225,21 +240,27 @@ void WriteSearchJson(const std::string& path) {
                "  \"bench\": \"micro_search\",\n"
                "  \"query_relations\": %zu,\n"
                "  \"max_expansions\": 40,\n"
-               "  \"repetitions\": %d,\n",
-               q.num_relations(), reps);
+               "  \"repetitions\": %d,\n"
+               "  \"hardware_threads\": %u,\n",
+               q.num_relations(), reps, std::thread::hardware_concurrency());
   PrintArm(out, "seed_path", seed, ",");
   PrintArm(out, "unbatched", unbatched, ",");
   PrintArm(out, "batched", batched, ",");
+  PrintArm(out, "batched_spec8_threads1", spec_t1, ",");
+  PrintArm(out, "batched_spec8_threads8", spec_t8, ",");
   std::fprintf(out,
                "  \"speedup_vs_seed\": %.2f,\n"
-               "  \"speedup_from_batching\": %.2f\n"
+               "  \"speedup_from_batching\": %.2f,\n"
+               "  \"speedup_from_threads\": %.2f\n"
                "}\n",
-               speedup_vs_seed, speedup_batching);
+               speedup_vs_seed, speedup_batching, speedup_threads);
   std::fclose(out);
   std::printf("search scoring throughput: seed %.0f, unbatched %.0f, batched"
-              " %.0f plans/s (%.2fx vs seed) -> %s\n",
+              " %.0f plans/s (%.2fx vs seed); spec8 %0.f -> %.0f plans/s"
+              " (%.2fx from 8 threads) -> %s\n",
               seed.plans_per_sec, unbatched.plans_per_sec, batched.plans_per_sec,
-              speedup_vs_seed, path.c_str());
+              speedup_vs_seed, spec_t1.plans_per_sec, spec_t8.plans_per_sec,
+              speedup_threads, path.c_str());
 }
 
 }  // namespace
@@ -248,6 +269,7 @@ int main(int argc, char** argv) {
   std::string json_path = "BENCH_search.json";
   bool filtered = false;
   bool json_requested = false;
+  int reps = 20;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--json-out=", 0) == 0) {
@@ -258,12 +280,16 @@ int main(int argc, char** argv) {
       if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
         json_path = argv[++i];
       }
+    } else if (arg.rfind("--json-reps=", 0) == 0) {
+      reps = std::atoi(arg.substr(std::string("--json-reps=").size()).c_str());
+      if (reps < 1) reps = 1;
     }
     if (arg.rfind("--benchmark_filter", 0) == 0) filtered = true;
   }
-  // The three-arm JSON measurement takes a minute; skip it when the caller
-  // asked for specific micro-benchmarks, unless --json-out forces it.
-  if (!filtered || json_requested) WriteSearchJson(json_path);
+  // The multi-arm JSON measurement takes a minute at the default 20 reps
+  // (--json-reps trims it for smoke runs); skip it when the caller asked for
+  // specific micro-benchmarks, unless --json-out forces it.
+  if (!filtered || json_requested) WriteSearchJson(json_path, reps);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -1,8 +1,10 @@
 #include "src/core/neo.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "src/util/stopwatch.h"
+#include "src/util/thread_pool.h"
 
 namespace neo::core {
 
@@ -48,20 +50,22 @@ void Neo::Bootstrap(const std::vector<const query::Query*>& queries,
 
 float Neo::Retrain() {
   util::Stopwatch watch;
+  // Training GEMMs/updates row-partition this wide; loss curves are
+  // identical at any degree (see ValueNetwork::TrainBatch).
+  nn::ComputeThreadsScope compute_scope(config_.threads);
   float last_loss = 0.0f;
   for (int epoch = 0; epoch < config_.epochs_per_episode; ++epoch) {
     Experience::TrainingBatchView view =
         experience_.Sample(config_.max_train_samples, rng_);
     if (view.samples.empty()) break;
+    // Minibatches slice the sampled view by offset — no per-batch vector
+    // copies, and the final under-sized batch trains in place like any other.
     for (size_t start = 0; start < view.samples.size();
          start += static_cast<size_t>(config_.batch_size)) {
-      const size_t end = std::min(view.samples.size(),
-                                  start + static_cast<size_t>(config_.batch_size));
-      std::vector<const nn::PlanSample*> batch(view.samples.begin() + start,
-                                               view.samples.begin() + end);
-      std::vector<float> targets(view.targets.begin() + start,
-                                 view.targets.begin() + end);
-      last_loss = net_->TrainBatch(batch, targets);
+      const size_t len = std::min(view.samples.size() - start,
+                                  static_cast<size_t>(config_.batch_size));
+      last_loss =
+          net_->TrainBatch(view.samples.data() + start, view.targets.data() + start, len);
     }
   }
   total_nn_time_ms_ += watch.ElapsedMs();
@@ -81,13 +85,59 @@ EpisodeStats Neo::RunEpisode(const std::vector<const query::Query*>& queries) {
   rng_.Shuffle(order);
   util::Stopwatch search_watch;
   double search_ms = 0.0;
-  for (const query::Query* q : order) {
-    search_watch.Restart();
-    const SearchResult found = search_.FindPlan(*q, config_.search);
-    search_ms += search_watch.ElapsedMs();
-    const double latency = engine_->ExecutePlan(*q, found.plan);
-    stats.train_total_latency_ms += latency;
-    experience_.AddCompletePlan(*q, found.plan, CostOf(*q, latency));
+  // Reference-kernel mode (bench seed-path reconstruction) routes inference
+  // through the dense forward, which mutates shared layer caches and is
+  // single-thread only — force serial planning rather than race.
+  const int planners = nn::UseReferenceKernels()
+                           ? 1
+                           : std::min<int>(config_.threads,
+                                           static_cast<int>(order.size()));
+  if (planners <= 1) {
+    for (const query::Query* q : order) {
+      search_watch.Restart();
+      const SearchResult found = search_.FindPlan(*q, config_.search);
+      search_ms += search_watch.ElapsedMs();
+      const double latency = engine_->ExecutePlan(*q, found.plan);
+      stats.train_total_latency_ms += latency;
+      experience_.AddCompletePlan(*q, found.plan, CostOf(*q, latency));
+    }
+  } else {
+    // Concurrent planning phase: the network is frozen between Retrain and
+    // the next episode, and each worker checks out its own PlanSearch, so
+    // searches are independent and each query's plan is identical to the
+    // serial path's. Execution and experience updates then run serially in
+    // the shuffled order — stronger than a mutex: the episode outcome does
+    // not depend on thread scheduling at all.
+    while (episode_searches_.size() < static_cast<size_t>(planners)) {
+      episode_searches_.push_back(std::make_unique<PlanSearch>(featurizer_, net_.get()));
+    }
+    std::vector<PlanSearch*> free_searches;
+    for (int i = 0; i < planners; ++i) free_searches.push_back(episode_searches_[i].get());
+    std::mutex free_mu;
+    std::vector<SearchResult> found(order.size());
+    util::ThreadPool::Global().ParallelFor(
+        0, static_cast<int64_t>(order.size()), planners, /*grain=*/1,
+        [&](int64_t begin, int64_t end) {
+          PlanSearch* searcher = nullptr;
+          {
+            std::lock_guard<std::mutex> lock(free_mu);
+            searcher = free_searches.back();
+            free_searches.pop_back();
+          }
+          for (int64_t i = begin; i < end; ++i) {
+            found[static_cast<size_t>(i)] =
+                searcher->FindPlan(*order[static_cast<size_t>(i)], config_.search);
+          }
+          std::lock_guard<std::mutex> lock(free_mu);
+          free_searches.push_back(searcher);
+        });
+    search_ms = search_watch.ElapsedMs();  // Wall time of the planning phase.
+    for (size_t i = 0; i < order.size(); ++i) {
+      const query::Query& q = *order[i];
+      const double latency = engine_->ExecutePlan(q, found[i].plan);
+      stats.train_total_latency_ms += latency;
+      experience_.AddCompletePlan(q, found[i].plan, CostOf(q, latency));
+    }
   }
   stats.search_time_ms = search_ms;
   stats.experience_states = experience_.NumStates();

@@ -123,13 +123,41 @@ SearchResult PlanSearch::GreedyPlan(const query::Query& query) {
   return FindPlan(query, options);
 }
 
-void PlanSearch::SyncCache(const query::Query& query) {
+void PlanSearch::ScoreCache::Clear(size_t cap) {
+  order_.clear();
+  index_.clear();
+  cap_ = cap;
+}
+
+const float* PlanSearch::ScoreCache::Find(uint64_t key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  order_.splice(order_.begin(), order_, it->second);  // Touch: move to front.
+  return &it->second->second;
+}
+
+bool PlanSearch::ScoreCache::Insert(uint64_t key, float score) {
+  order_.emplace_front(key, score);
+  index_.emplace(key, order_.begin());
+  if (cap_ == 0 || index_.size() <= cap_) return false;
+  index_.erase(order_.back().first);
+  order_.pop_back();
+  return true;
+}
+
+void PlanSearch::SyncCache(const query::Query& query, const SearchOptions& options) {
+  const size_t cap = options.score_cache_cap > 0
+                         ? static_cast<size_t>(options.score_cache_cap)
+                         : 0;
   if (cache_valid_ && cache_query_fp_ == query.fingerprint &&
       cache_version_ == net_->version() &&
-      cache_reference_mode_ == nn::UseReferenceKernels()) {
+      cache_reference_mode_ == nn::UseReferenceKernels() && cache_cap_ == cap) {
     return;
   }
-  score_cache_.clear();
+  // A changed cap also rebuilds: re-capping a live LRU is not worth the
+  // complexity for an option that changes between searches, not within one.
+  score_cache_.Clear(cap);
+  cache_cap_ = cap;
   cache_query_fp_ = query.fingerprint;
   cache_version_ = net_->version();
   cache_reference_mode_ = nn::UseReferenceKernels();
@@ -144,19 +172,20 @@ float PlanSearch::ScoreUncached(const query::Query& query,
   nn::TreeStructure tree;
   nn::Matrix features;
   featurizer_->EncodePlan(query, plan, &tree, &features);
-  const float score = net_->PredictWithEmbedding(query_embedding, tree, features);
-  score_cache_.emplace(hash, score);
+  const float score =
+      net_->PredictWithEmbedding(query_embedding, tree, features, &net_ctx_);
+  if (score_cache_.Insert(hash, score)) ++result->cache_evictions;
   return score;
 }
 
 float PlanSearch::Score(const query::Query& query, const nn::Matrix& query_embedding,
-                        const plan::PartialPlan& plan, SearchResult* result) {
-  SyncCache(query);
+                        const plan::PartialPlan& plan, const SearchOptions& options,
+                        SearchResult* result) {
+  SyncCache(query, options);
   const uint64_t h = plan.Hash();
-  const auto it = score_cache_.find(h);
-  if (it != score_cache_.end()) {
+  if (const float* hit = score_cache_.Find(h)) {
     ++result->cache_hits;
-    return it->second;
+    return *hit;
   }
   return ScoreUncached(query, query_embedding, plan, h, result);
 }
@@ -165,8 +194,9 @@ std::vector<float> PlanSearch::ScoreAll(const query::Query& query,
                                         const nn::Matrix& query_embedding,
                                         const std::vector<plan::PartialPlan>& plans,
                                         const std::vector<uint64_t>* hashes,
-                                        bool batched, SearchResult* result) {
-  SyncCache(query);
+                                        const SearchOptions& options,
+                                        SearchResult* result) {
+  SyncCache(query, options);
   NEO_CHECK(hashes == nullptr || hashes->size() == plans.size());
   std::vector<float> scores(plans.size(), 0.0f);
   std::vector<const plan::PartialPlan*>& misses = miss_scratch_;
@@ -178,10 +208,9 @@ std::vector<float> PlanSearch::ScoreAll(const query::Query& query,
   misses.reserve(plans.size());
   for (size_t i = 0; i < plans.size(); ++i) {
     const uint64_t h = hashes != nullptr ? (*hashes)[i] : plans[i].Hash();
-    const auto it = score_cache_.find(h);
-    if (it != score_cache_.end()) {
+    if (const float* hit = score_cache_.Find(h)) {
       ++result->cache_hits;
-      scores[i] = it->second;
+      scores[i] = *hit;
     } else {
       misses.push_back(&plans[i]);
       miss_idx.push_back(i);
@@ -190,14 +219,14 @@ std::vector<float> PlanSearch::ScoreAll(const query::Query& query,
   }
   if (misses.empty()) return scores;
 
-  if (batched) {
+  if (options.batched) {
     result->evaluations += misses.size();
     featurizer_->EncodePlanBatch(query, misses, &batch_scratch_);
     const std::vector<float> predicted =
-        net_->PredictBatch(query_embedding, batch_scratch_);
+        net_->PredictBatch(query_embedding, batch_scratch_, &net_ctx_);
     for (size_t m = 0; m < misses.size(); ++m) {
       scores[miss_idx[m]] = predicted[m];
-      score_cache_.emplace(miss_hash[m], predicted[m]);
+      if (score_cache_.Insert(miss_hash[m], predicted[m])) ++result->cache_evictions;
     }
   } else {
     // Per-candidate fallback, reusing the hashes from the miss scan.
@@ -213,6 +242,10 @@ SearchResult PlanSearch::FindPlan(const query::Query& query,
                                   const SearchOptions& options) {
   util::Stopwatch watch;
   SearchResult result;
+  // Kernel-level parallelism for every forward pass issued below. Output
+  // rows are partitioned, never reductions, so any degree scores plans
+  // bit-identically (see the parallelism model in search.h).
+  nn::ComputeThreadsScope compute_scope(options.threads);
   const nn::Matrix query_vec = featurizer_->EncodeQuery(query);
   const nn::Matrix embed = net_->EmbedQuery(query_vec);
 
@@ -228,43 +261,63 @@ SearchResult PlanSearch::FindPlan(const query::Query& query,
   plan::PartialPlan initial = plan::PartialPlan::Initial(query);
   visited.insert(initial.Hash());
   arena.push_back(initial);
-  heap.push({Score(query, embed, initial, &result), 0});
+  heap.push({Score(query, embed, initial, options, &result), 0});
 
   bool have_complete = false;
   float best_complete_score = 0.0f;
   plan::PartialPlan best_complete;
-  plan::PartialPlan last_popped = initial;
+  size_t last_popped_idx = 0;
 
   auto out_of_time = [&] {
     return options.time_cutoff_ms > 0.0 && watch.ElapsedMs() >= options.time_cutoff_ms;
   };
 
-  while (!heap.empty()) {
-    if (options.max_expansions > 0 && result.expansions >= options.max_expansions) break;
+  // Speculative multi-expansion: each round pops up to `speculation` states
+  // and scores the merged, deduped child set in one batch. speculation == 1
+  // reproduces the classic one-pop-per-round best-first loop exactly.
+  const int speculation = std::max(1, options.speculation);
+  std::vector<size_t> round_states;
+  round_states.reserve(static_cast<size_t>(speculation));
+  bool stop = false;
+  while (!stop && !heap.empty()) {
     if (options.max_expansions == 0) break;  // Pure hurry-up mode.
-    if (out_of_time()) break;
-    const HeapEntry top = heap.top();
-    if (options.early_stop && have_complete && top.score >= best_complete_score) break;
-    heap.pop();
-    const plan::PartialPlan current = arena[top.idx];
-    last_popped = current;
-    ++result.expansions;
-
-    ChildrenInto(query, current, &child_scratch_);
-    // Drop already-visited children, then score the survivors in one batch.
-    // The hashes computed for dedup are reused for the score-cache probes.
-    child_hash_scratch_.clear();
-    size_t kept = 0;
-    for (size_t i = 0; i < child_scratch_.size(); ++i) {
-      const uint64_t h = child_scratch_[i].Hash();
-      if (!visited.insert(h).second) continue;
-      if (kept != i) child_scratch_[kept] = std::move(child_scratch_[i]);
-      child_hash_scratch_.push_back(h);
-      ++kept;
+    round_states.clear();
+    while (static_cast<int>(round_states.size()) < speculation && !heap.empty()) {
+      if (options.max_expansions > 0 && result.expansions >= options.max_expansions) {
+        stop = true;
+        break;
+      }
+      if (out_of_time()) {
+        stop = true;
+        break;
+      }
+      const HeapEntry top = heap.top();
+      if (options.early_stop && have_complete && top.score >= best_complete_score) {
+        stop = true;
+        break;
+      }
+      heap.pop();
+      round_states.push_back(top.idx);
+      last_popped_idx = top.idx;
+      ++result.expansions;
     }
-    child_scratch_.resize(kept);
+    if (round_states.empty()) break;
+
+    // Children of every popped state, merged and deduped against `visited`.
+    // The hashes computed for dedup are reused for the score-cache probes.
+    child_scratch_.clear();
+    child_hash_scratch_.clear();
+    for (const size_t state_idx : round_states) {
+      ChildrenInto(query, arena[state_idx], &round_child_scratch_);
+      for (plan::PartialPlan& child : round_child_scratch_) {
+        const uint64_t h = child.Hash();
+        if (!visited.insert(h).second) continue;
+        child_scratch_.push_back(std::move(child));
+        child_hash_scratch_.push_back(h);
+      }
+    }
     const std::vector<float> scores = ScoreAll(
-        query, embed, child_scratch_, &child_hash_scratch_, options.batched, &result);
+        query, embed, child_scratch_, &child_hash_scratch_, options, &result);
 
     for (size_t i = 0; i < child_scratch_.size(); ++i) {
       plan::PartialPlan& child = child_scratch_[i];
@@ -286,12 +339,12 @@ SearchResult PlanSearch::FindPlan(const query::Query& query,
     // Hurry-up mode (§4.2): greedily descend from the most promising state.
     // Children the best-first phase already scored come out of the cache.
     result.hurried = true;
-    plan::PartialPlan current = last_popped;
+    plan::PartialPlan current = arena[last_popped_idx];
     while (!current.IsComplete()) {
       ChildrenInto(query, current, &child_scratch_);
       NEO_CHECK_MSG(!child_scratch_.empty(), "search: dead-end state");
       const std::vector<float> scores = ScoreAll(
-          query, embed, child_scratch_, /*hashes=*/nullptr, options.batched, &result);
+          query, embed, child_scratch_, /*hashes=*/nullptr, options, &result);
       size_t best_idx = 0;
       for (size_t i = 1; i < scores.size(); ++i) {
         if (scores[i] < scores[best_idx]) best_idx = i;

@@ -11,13 +11,39 @@
 // §4.2 fallback, equivalent to Q-learning-style greedy action selection)
 // finishes the plan.
 //
-// Inference batching: all children of one expansion are scored in a single
-// value-network forward pass (Featurizer::EncodePlanBatch packs them into one
-// forest; ValueNetwork::PredictBatch runs each layer as one large GEMM). A
-// per-query score cache keyed by (plan hash, network version) ensures the
-// hurry-up descent and re-expansions never re-evaluate a plan already scored.
+// Inference batching: all children of one expansion round are scored in a
+// single value-network forward pass (Featurizer::EncodePlanBatch packs them
+// into one forest; ValueNetwork::PredictBatch runs each layer as one large
+// GEMM). A per-query LRU score cache keyed by (plan hash, network version)
+// ensures the hurry-up descent and re-expansions never re-evaluate a plan
+// already scored, while SearchOptions::score_cache_cap bounds its footprint
+// on very large joins.
+//
+// Parallelism model
+// -----------------
+// Three nested levels, all built on util::ThreadPool and all bit-
+// deterministic at any thread count:
+//   1. Speculative multi-expansion (SearchOptions::speculation = K): each
+//      round pops the top-K heap states, merges and dedups their children,
+//      and scores the merged set in ONE PredictBatch call; scored children
+//      re-enter the heap before the next round, preserving best-first
+//      semantics per round. K changes which frontier is explored (K = 1 is
+//      exactly the classic serial search); the thread count never does.
+//   2. Kernel row partitioning (SearchOptions::threads = N): the batched
+//      forward's per-layer GEMMs and elementwise loops split their OUTPUT
+//      rows across the pool (nn::ComputeThreads). Every output value is
+//      produced by the unchanged serial inner loop, so scores — and hence
+//      the chosen plan, expansion counts, and cache behavior — are
+//      bit-identical for any N. {threads = 1, speculation = 1} reproduces
+//      the PR-1 serial path exactly.
+//   3. Concurrent searches (Neo::RunEpisode): one PlanSearch per worker.
+//      PlanSearch holds all mutable state (score cache, scratch, the
+//      network inference context), so distinct instances may run FindPlan
+//      concurrently against one shared ValueNetwork/Featurizer as long as
+//      no training runs at the same time.
 #pragma once
 
+#include <list>
 #include <unordered_map>
 
 #include "src/featurize/featurizer.h"
@@ -30,7 +56,12 @@ struct SearchOptions {
   int max_expansions = 60;      ///< Heap pops before giving up (<=0: unlimited).
   double time_cutoff_ms = 0.0;  ///< Wall-clock cutoff (0 = disabled).
   bool early_stop = true;       ///< Stop when heap top >= best complete score.
-  bool batched = true;          ///< Score each expansion's children in one pass.
+  bool batched = true;          ///< Score each round's children in one pass.
+  int speculation = 1;          ///< Heap states expanded per scoring round.
+  int threads = 1;              ///< Kernel row-partitioning degree (pool).
+  /// Max entries in the per-query score cache (<= 0: unbounded). Evicted
+  /// plans are simply re-scored on the next encounter.
+  int score_cache_cap = 64 * 1024;
 };
 
 struct SearchResult {
@@ -39,6 +70,7 @@ struct SearchResult {
   int expansions = 0;
   size_t evaluations = 0;  ///< Real value-network forward passes (cache misses).
   size_t cache_hits = 0;   ///< Scores served from the per-query score cache.
+  size_t cache_evictions = 0;  ///< LRU evictions forced by score_cache_cap.
   double wall_ms = 0.0;
   bool hurried = false;  ///< Completed via hurry-up mode.
 };
@@ -47,6 +79,9 @@ class PlanSearch {
  public:
   PlanSearch(const featurize::Featurizer* featurizer, nn::ValueNetwork* net)
       : featurizer_(featurizer), net_(net) {}
+
+  PlanSearch(PlanSearch&&) = default;
+  PlanSearch& operator=(PlanSearch&&) = default;
 
   SearchResult FindPlan(const query::Query& query, const SearchOptions& options);
 
@@ -65,8 +100,32 @@ class PlanSearch {
   SearchResult GreedyPlan(const query::Query& query);
 
  private:
+  /// Exact-LRU bounded map: plan hash -> predicted cost. Find() touches;
+  /// Insert() evicts the least-recently-used entry past the cap. Move-only
+  /// (the index holds list iterators, which a copy would leave dangling).
+  class ScoreCache {
+   public:
+    ScoreCache() = default;
+    ScoreCache(ScoreCache&&) = default;
+    ScoreCache& operator=(ScoreCache&&) = default;
+    ScoreCache(const ScoreCache&) = delete;
+    ScoreCache& operator=(const ScoreCache&) = delete;
+
+    void Clear(size_t cap);  ///< Drops all entries; cap 0 = unbounded.
+    const float* Find(uint64_t key);
+    bool Insert(uint64_t key, float score);  ///< True if an entry was evicted.
+    size_t size() const { return index_.size(); }
+
+   private:
+    using Entry = std::pair<uint64_t, float>;
+    std::list<Entry> order_;  ///< Front = most recently used.
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+    size_t cap_ = 0;
+  };
+
   float Score(const query::Query& query, const nn::Matrix& query_embedding,
-              const plan::PartialPlan& plan, SearchResult* result);
+              const plan::PartialPlan& plan, const SearchOptions& options,
+              SearchResult* result);
 
   /// Forward pass + cache insert for a plan whose hash is already known to
   /// miss the cache. Shared by Score() and ScoreAll()'s per-candidate path.
@@ -75,37 +134,43 @@ class PlanSearch {
                       SearchResult* result);
 
   /// Scores `plans`, serving cached entries and batching the misses into one
-  /// PredictBatch call (or per-plan passes when `batched` is false).
+  /// PredictBatch call (or per-plan passes when `options.batched` is false).
   /// `hashes`, when non-null, supplies plans[i].Hash() values the caller
   /// already computed (Hash() allocates and sorts, so it is worth reusing).
   std::vector<float> ScoreAll(const query::Query& query,
                               const nn::Matrix& query_embedding,
                               const std::vector<plan::PartialPlan>& plans,
-                              const std::vector<uint64_t>* hashes, bool batched,
-                              SearchResult* result);
+                              const std::vector<uint64_t>* hashes,
+                              const SearchOptions& options, SearchResult* result);
 
   /// Drops the score cache unless it matches (query, network version).
-  void SyncCache(const query::Query& query);
+  void SyncCache(const query::Query& query, const SearchOptions& options);
 
   const featurize::Featurizer* featurizer_;
   nn::ValueNetwork* net_;
 
-  /// Per-query score cache: plan hash -> predicted cost. Valid only for
-  /// (cache_query_fp_, cache_version_, cache_reference_mode_); cleared on
-  /// any mismatch. Keyed by Query::fingerprint (content hash), not
-  /// Query::id, so distinct queries that share an id (or the -1 default)
-  /// never read each other's scores; the reference-kernel mode is part of
-  /// the key so bench arms on one instance never mix kernel paths.
-  std::unordered_map<uint64_t, float> score_cache_;
+  /// Per-query score cache; valid only for (cache_query_fp_, cache_version_,
+  /// cache_reference_mode_) and cleared on any mismatch. Keyed by
+  /// Query::fingerprint (content hash), not Query::id, so distinct queries
+  /// that share an id (or the -1 default) never read each other's scores;
+  /// the reference-kernel mode is part of the key so bench arms on one
+  /// instance never mix kernel paths.
+  ScoreCache score_cache_;
   uint64_t cache_version_ = 0;
   uint64_t cache_query_fp_ = 0;
+  size_t cache_cap_ = 0;
   bool cache_reference_mode_ = false;
   bool cache_valid_ = false;
+
+  /// Per-instance network scratch, so concurrent PlanSearch workers never
+  /// share inference buffers.
+  nn::ValueNetwork::InferenceContext net_ctx_;
 
   /// Scratch reused across expansions (children, batch encoding buffers, and
   /// the cache-miss bookkeeping of ScoreAll).
   std::vector<plan::PartialPlan> child_scratch_;
   std::vector<uint64_t> child_hash_scratch_;
+  std::vector<plan::PartialPlan> round_child_scratch_;
   nn::PlanBatch batch_scratch_;
   std::vector<const plan::PartialPlan*> miss_scratch_;
   std::vector<size_t> miss_idx_scratch_;

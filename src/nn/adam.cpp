@@ -14,7 +14,9 @@ Adam::Adam(std::vector<Param*> params, AdamOptions options)
 
 void Adam::Step() {
   ++t_;
-  // Optional global-norm gradient clipping.
+  // Optional global-norm gradient clipping. The reduction stays serial in
+  // ascending (param, element) order: it is cheap next to the GEMMs and a
+  // fixed summation order keeps the step bit-identical at any thread count.
   if (options_.grad_clip > 0.0f) {
     double norm_sq = 0.0;
     for (Param* p : params_) {
@@ -37,14 +39,19 @@ void Adam::Step() {
     float* g = p->grad.data();
     float* m = m_[k].data();
     float* v = v_[k].data();
-    for (size_t i = 0; i < p->value.Size(); ++i) {
-      float grad = g[i] + options_.weight_decay * w[i];
-      m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * grad;
-      v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * grad * grad;
-      const float m_hat = m[i] / bc1;
-      const float v_hat = v[i] / bc2;
-      w[i] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
-    }
+    // Element-partitioned over the pool: each (m, v, w) slot is owned by
+    // exactly one chunk, so the update is deterministic for any partition.
+    ParallelRows(static_cast<int64_t>(p->value.Size()), /*min_parallel=*/1 << 13,
+                 [&](int64_t i0, int64_t i1) {
+                   for (int64_t i = i0; i < i1; ++i) {
+                     const float grad = g[i] + options_.weight_decay * w[i];
+                     m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * grad;
+                     v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * grad * grad;
+                     const float m_hat = m[i] / bc1;
+                     const float v_hat = v[i] / bc2;
+                     w[i] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+                   }
+                 });
   }
   ZeroGrad();
 }

@@ -14,12 +14,18 @@ Linear::Linear(int in_dim, int out_dim, util::Rng& rng) {
 
 Matrix Linear::Forward(const Matrix& x) {
   last_input_ = x;
+  return ForwardInference(x);
+}
+
+Matrix Linear::ForwardInference(const Matrix& x) const {
   Matrix y = MatMul(x, weight_.value);
-  for (int r = 0; r < y.rows(); ++r) {
-    float* row = y.Row(r);
-    const float* b = bias_.value.Row(0);
-    for (int c = 0; c < y.cols(); ++c) row[c] += b[c];
-  }
+  const float* b = bias_.value.Row(0);
+  ParallelRows(y.rows(), /*min_parallel=*/256, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      float* row = y.Row(static_cast<int>(r));
+      for (int c = 0; c < y.cols(); ++c) row[c] += b[c];
+    }
+  });
   return y;
 }
 
@@ -36,6 +42,10 @@ Matrix Linear::Backward(const Matrix& grad_out) {
 
 Matrix LeakyReLU::Forward(const Matrix& x) {
   last_input_ = x;
+  return ForwardInference(x);
+}
+
+Matrix LeakyReLU::ForwardInference(const Matrix& x) const {
   Matrix y = x;
   for (size_t i = 0; i < y.Size(); ++i) {
     if (y.data()[i] < 0.0f) y.data()[i] *= alpha_;
@@ -59,31 +69,61 @@ LayerNorm::LayerNorm(int dim) {
   bias_.grad = Matrix(1, dim);
 }
 
+namespace {
+
+/// Normalizes one row and applies gain/bias. `norm_out` (the cached x-hat
+/// row) is optional so the inference path can skip the write entirely.
+inline void LayerNormRow(const float* row, int d, const float* gain,
+                         const float* bias, float eps, float* yrow,
+                         float* norm_out, float* inv_std_out) {
+  float mean = 0.0f;
+  for (int c = 0; c < d; ++c) mean += row[c];
+  mean /= static_cast<float>(d);
+  float var = 0.0f;
+  for (int c = 0; c < d; ++c) {
+    const float dv = row[c] - mean;
+    var += dv * dv;
+  }
+  var /= static_cast<float>(d);
+  const float inv_std = 1.0f / std::sqrt(var + eps);
+  if (inv_std_out != nullptr) *inv_std_out = inv_std;
+  for (int c = 0; c < d; ++c) {
+    const float norm = (row[c] - mean) * inv_std;
+    if (norm_out != nullptr) norm_out[c] = norm;
+    yrow[c] = norm * gain[c] + bias[c];
+  }
+}
+
+}  // namespace
+
 Matrix LayerNorm::Forward(const Matrix& x) {
   const int n = x.rows(), d = x.cols();
   last_norm_ = Matrix(n, d);
   last_inv_std_.assign(static_cast<size_t>(n), 0.0f);
   Matrix y(n, d);
-  for (int r = 0; r < n; ++r) {
-    const float* row = x.Row(r);
-    float mean = 0.0f;
-    for (int c = 0; c < d; ++c) mean += row[c];
-    mean /= static_cast<float>(d);
-    float var = 0.0f;
-    for (int c = 0; c < d; ++c) {
-      const float dv = row[c] - mean;
-      var += dv * dv;
+  const float* gain = gain_.value.Row(0);
+  const float* bias = bias_.value.Row(0);
+  ParallelRows(n, /*min_parallel=*/128, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int ri = static_cast<int>(r);
+      LayerNormRow(x.Row(ri), d, gain, bias, kEps, y.Row(ri), last_norm_.Row(ri),
+                   &last_inv_std_[static_cast<size_t>(r)]);
     }
-    var /= static_cast<float>(d);
-    const float inv_std = 1.0f / std::sqrt(var + kEps);
-    last_inv_std_[static_cast<size_t>(r)] = inv_std;
-    float* nrow = last_norm_.Row(r);
-    float* yrow = y.Row(r);
-    for (int c = 0; c < d; ++c) {
-      nrow[c] = (row[c] - mean) * inv_std;
-      yrow[c] = nrow[c] * gain_.value.At(0, c) + bias_.value.At(0, c);
+  });
+  return y;
+}
+
+Matrix LayerNorm::ForwardInference(const Matrix& x) const {
+  const int n = x.rows(), d = x.cols();
+  Matrix y(n, d);
+  const float* gain = gain_.value.Row(0);
+  const float* bias = bias_.value.Row(0);
+  ParallelRows(n, /*min_parallel=*/128, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int ri = static_cast<int>(r);
+      LayerNormRow(x.Row(ri), d, gain, bias, kEps, y.Row(ri), nullptr, nullptr);
     }
-  }
+  });
   return y;
 }
 
@@ -121,6 +161,12 @@ Matrix LayerNorm::Backward(const Matrix& grad_out) {
 Matrix Sequential::Forward(const Matrix& x) {
   Matrix cur = x;
   for (auto& layer : layers_) cur = layer->Forward(cur);
+  return cur;
+}
+
+Matrix Sequential::ForwardInference(const Matrix& x) const {
+  Matrix cur = x;
+  for (const auto& layer : layers_) cur = layer->ForwardInference(cur);
   return cur;
 }
 

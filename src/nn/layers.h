@@ -25,6 +25,11 @@ class Layer {
   /// x: (batch x in_dim) -> (batch x out_dim).
   virtual Matrix Forward(const Matrix& x) = 0;
 
+  /// Same math as Forward but caches nothing, so it is const and safe to
+  /// call concurrently from many threads (provided no concurrent training
+  /// mutates the parameters). Cannot be followed by Backward.
+  virtual Matrix ForwardInference(const Matrix& x) const = 0;
+
   /// grad_out: (batch x out_dim) -> grad_in (batch x in_dim); accumulates
   /// parameter gradients.
   virtual Matrix Backward(const Matrix& grad_out) = 0;
@@ -39,6 +44,7 @@ class Linear : public Layer {
   Linear(int in_dim, int out_dim, util::Rng& rng);
 
   Matrix Forward(const Matrix& x) override;
+  Matrix ForwardInference(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   void CollectParams(std::vector<Param*>* out) override {
     out->push_back(&weight_);
@@ -60,6 +66,7 @@ class LeakyReLU : public Layer {
   explicit LeakyReLU(float alpha = 0.01f) : alpha_(alpha) {}
 
   Matrix Forward(const Matrix& x) override;
+  Matrix ForwardInference(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
 
  private:
@@ -74,6 +81,7 @@ class LayerNorm : public Layer {
   explicit LayerNorm(int dim);
 
   Matrix Forward(const Matrix& x) override;
+  Matrix ForwardInference(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   void CollectParams(std::vector<Param*>* out) override {
     out->push_back(&gain_);
@@ -94,6 +102,7 @@ class Sequential : public Layer {
   void Add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
 
   Matrix Forward(const Matrix& x) override;
+  Matrix ForwardInference(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   void CollectParams(std::vector<Param*>* out) override;
 

@@ -1,5 +1,7 @@
 #include "src/nn/matrix.h"
 
+#include "src/util/thread_pool.h"
+
 namespace neo::nn {
 
 // Optimized GEMM kernels (this TU is compiled -O3; see CMakeLists.txt).
@@ -17,9 +19,19 @@ namespace neo::nn {
 // candidate search decisions in lockstep. Results may differ from the
 // reference kernels by accumulation-order ulps (tests allow 1e-5).
 //
-// The backward-only kernels (MatMulTransposeA/B) keep the reference
-// ascending-k order per output and gain their speed from loop blocking and
-// multi-accumulator ILP alone.
+// The backward-only kernels (MatMulTransposeA/B) are built on the same row
+// kernel where it wins: MatMulTransposeB always materializes b^T and uses
+// it (so its outputs sum in the row kernel's interleaved-chain order, not
+// the reference ascending-k order); MatMulTransposeA does the same for
+// narrow outputs and otherwise keeps a rank-1-update kernel whose outputs
+// sum in ascending input-row order. Both differ from the reference kernels
+// by accumulation-order ulps; both are deterministic for a given shape.
+//
+// Parallelism: when ComputeThreads() > 1 and the product is large enough,
+// each kernel partitions its *output rows* across the global thread pool.
+// Every output row is produced by the same serial routine regardless of the
+// partition, so parallel results are bit-identical to serial ones (and to
+// any other thread count); the numerical contract above is unaffected.
 
 namespace {
 
@@ -28,17 +40,33 @@ namespace {
 constexpr int kBlockI = 64;
 constexpr int kBlockJ = 128;
 
+// Minimum multiply-add count before a kernel fans out over the pool; below
+// this, the job-dispatch overhead exceeds the work.
+constexpr int64_t kMinParallelMadds = 1 << 16;
+
 inline int MinInt(int a, int b) { return a < b ? a : b; }
 
 bool g_use_reference_kernels = false;
+
+thread_local int g_compute_threads = 1;
 
 }  // namespace
 
 void SetUseReferenceKernels(bool use) { g_use_reference_kernels = use; }
 bool UseReferenceKernels() { return g_use_reference_kernels; }
 
+void SetComputeThreads(int n) { g_compute_threads = n < 1 ? 1 : n; }
+int ComputeThreads() { return g_compute_threads; }
 
-
+void ParallelRows(int64_t n, int64_t min_parallel,
+                  const std::function<void(int64_t, int64_t)>& fn) {
+  const int threads = ComputeThreads();
+  if (threads <= 1 || n < min_parallel) {
+    if (n > 0) fn(0, n);
+    return;
+  }
+  util::ThreadPool::Global().ParallelFor(0, n, threads, /*grain=*/0, fn);
+}
 
 namespace {
 
@@ -77,19 +105,12 @@ inline void MatMulRowChunk(const float* __restrict arow,
   }
 }
 
-}  // namespace
-
-Matrix MatMul(const Matrix& a, const Matrix& b) {
-  if (g_use_reference_kernels) return MatMulNaive(a, b);
-  NEO_CHECK(a.cols() == b.rows());
-  Matrix out(a.rows(), b.cols());
-  const int n = a.rows(), k = a.cols(), m = b.cols();
-  const float* __restrict adata = a.data();
-  const float* __restrict bdata = b.data();
-  float* __restrict odata = out.data();
-
+/// Output rows [r0, r1) of a * b. The per-row routine is shared verbatim by
+/// the serial and parallel paths, so row values never depend on the split.
+void MatMulRows(const float* __restrict adata, const float* __restrict bdata,
+                float* __restrict odata, int64_t r0, int64_t r1, int k, int m) {
   constexpr int kW = 16;
-  for (int i = 0; i < n; ++i) {
+  for (int64_t i = r0; i < r1; ++i) {
     const float* __restrict arow = adata + static_cast<size_t>(i) * k;
     float* __restrict orow = odata + static_cast<size_t>(i) * m;
     int jc = 0;
@@ -98,80 +119,30 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
     }
     if (jc < m) MatMulRowChunk<false>(arow, bdata, orow, k, m, jc, m - jc);
   }
-  return out;
 }
 
-Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
-  if (g_use_reference_kernels) return MatMulTransposeBNaive(a, b);
-  NEO_CHECK(a.cols() == b.cols());
-  Matrix out(a.rows(), b.rows());
-  const int n = a.rows(), k = a.cols(), m = b.rows();
-  const float* __restrict adata = a.data();
-  const float* __restrict bdata = b.data();
-  float* __restrict odata = out.data();
+// a * b^T has no dedicated row routine: at the backward's shapes (k of
+// 32-64, m of 100-160) dot-product traversal of b is L1-bandwidth bound and
+// an order of magnitude slower than the register-blocked row kernel, so
+// MatMulTransposeB materializes b^T once (a (m x k) copy, trivial next to
+// the product) and reuses MatMulRows.
 
-  // Both operands are traversed along contiguous k-rows; computing four dot
-  // products per pass gives four independent accumulator chains (ILP) while
-  // each output still sums in ascending-p order.
-  for (int ic = 0; ic < n; ic += kBlockI) {
-    const int iend = MinInt(ic + kBlockI, n);
-    for (int jc = 0; jc < m; jc += kBlockJ) {
-      const int jend = MinInt(jc + kBlockJ, m);
-      for (int i = ic; i < iend; ++i) {
-        const float* __restrict arow = adata + static_cast<size_t>(i) * k;
-        float* __restrict orow = odata + static_cast<size_t>(i) * m;
-        int j = jc;
-        for (; j + 3 < jend; j += 4) {
-          const float* __restrict b0 = bdata + static_cast<size_t>(j) * k;
-          const float* __restrict b1 = bdata + static_cast<size_t>(j + 1) * k;
-          const float* __restrict b2 = bdata + static_cast<size_t>(j + 2) * k;
-          const float* __restrict b3 = bdata + static_cast<size_t>(j + 3) * k;
-          float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-          for (int p = 0; p < k; ++p) {
-            const float av = arow[p];
-            acc0 += av * b0[p];
-            acc1 += av * b1[p];
-            acc2 += av * b2[p];
-            acc3 += av * b3[p];
-          }
-          orow[j] = acc0;
-          orow[j + 1] = acc1;
-          orow[j + 2] = acc2;
-          orow[j + 3] = acc3;
-        }
-        for (; j < jend; ++j) {
-          const float* __restrict brow = bdata + static_cast<size_t>(j) * k;
-          float acc = 0.0f;
-          for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-          orow[j] = acc;
-        }
-      }
-    }
-  }
-  return out;
-}
-
-Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
-  if (g_use_reference_kernels) return MatMulTransposeANaive(a, b);
-  NEO_CHECK(a.rows() == b.rows());
-  Matrix out(a.cols(), b.cols());
-  const int n = a.rows(), k = a.cols(), m = b.cols();
-  const float* __restrict adata = a.data();
-  const float* __restrict bdata = b.data();
-  float* __restrict odata = out.data();
-
-  // out (k x m) accumulates a rank-1 update per input row r; r stays the
-  // outermost accumulation dimension so each output sums in ascending-r
-  // order. Tiling i/j keeps the touched slice of `out` resident.
+/// Output rows [i0, i1) of a^T * b (a: n x k, out: k x m). Each output
+/// accumulates a rank-1 update per input row r; r stays the outermost
+/// accumulation dimension so every output sums in ascending-r order no
+/// matter how the i-range is partitioned.
+void MatMulTransposeARows(const float* __restrict adata,
+                          const float* __restrict bdata, float* __restrict odata,
+                          int64_t i0, int64_t i1, int n, int k, int m) {
   for (int jc = 0; jc < m; jc += kBlockJ) {
     const int jend = MinInt(jc + kBlockJ, m);
     const int jlen = jend - jc;
-    for (int icc = 0; icc < k; icc += kBlockI) {
-      const int icend = MinInt(icc + kBlockI, k);
+    for (int64_t icc = i0; icc < i1; icc += kBlockI) {
+      const int64_t icend = std::min<int64_t>(icc + kBlockI, i1);
       for (int r = 0; r < n; ++r) {
         const float* __restrict arow = adata + static_cast<size_t>(r) * k;
         const float* __restrict brow = bdata + static_cast<size_t>(r) * m + jc;
-        for (int i = icc; i < icend; ++i) {
+        for (int64_t i = icc; i < icend; ++i) {
           const float av = arow[i];
           if (av == 0.0f) continue;
           float* __restrict orow = odata + static_cast<size_t>(i) * m + jc;
@@ -180,6 +151,89 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
       }
     }
   }
+}
+
+/// Row-partitions [0, rows) across the pool when the product is big enough
+/// for the dispatch to pay off; otherwise runs the range inline.
+void DispatchRows(int64_t rows, int64_t madds,
+                  const std::function<void(int64_t, int64_t)>& fn) {
+  const int threads = ComputeThreads();
+  if (threads <= 1 || rows <= 1 || madds < kMinParallelMadds) {
+    fn(0, rows);
+    return;
+  }
+  util::ThreadPool::Global().ParallelFor(0, rows, threads, /*grain=*/0, fn);
+}
+
+}  // namespace
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  if (g_use_reference_kernels) return MatMulNaive(a, b);
+  NEO_CHECK(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  const float* adata = a.data();
+  const float* bdata = b.data();
+  float* odata = out.data();
+  DispatchRows(n, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
+    MatMulRows(adata, bdata, odata, r0, r1, k, m);
+  });
+  return out;
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  if (g_use_reference_kernels) return MatMulTransposeBNaive(a, b);
+  NEO_CHECK(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  const int n = a.rows(), k = a.cols(), m = b.rows();
+  Matrix bt(k, m);
+  for (int r = 0; r < m; ++r) {
+    const float* src = b.Row(r);
+    for (int c = 0; c < k; ++c) bt.At(c, r) = src[c];
+  }
+  const float* adata = a.data();
+  const float* btdata = bt.data();
+  float* odata = out.data();
+  DispatchRows(n, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
+    MatMulRows(adata, btdata, odata, r0, r1, k, m);
+  });
+  return out;
+}
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  if (g_use_reference_kernels) return MatMulTransposeANaive(a, b);
+  NEO_CHECK(a.rows() == b.rows());
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  // Narrow outputs starve the rank-1-update kernel (each input row touches
+  // only m accumulators); transposing a once and running the register-
+  // blocked row kernel is 2-4x faster there. Wide outputs and short inputs
+  // (the per-sample training path) keep the update kernel, which also skips
+  // the concat matrix's structural zeros. The branch is a fixed function of
+  // the shape, so results stay deterministic for any thread count.
+  if (n >= 64 && m <= 48) {
+    Matrix at(k, n);
+    for (int r = 0; r < n; ++r) {
+      const float* src = a.Row(r);
+      for (int c = 0; c < k; ++c) at.At(c, r) = src[c];
+    }
+    Matrix out(k, m);
+    const float* atdata = at.data();
+    const float* bdata = b.data();
+    float* odata = out.data();
+    DispatchRows(k, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
+      MatMulRows(atdata, bdata, odata, r0, r1, n, m);
+    });
+    return out;
+  }
+  Matrix out(k, m);
+  const float* adata = a.data();
+  const float* bdata = b.data();
+  float* odata = out.data();
+  // Partitioned over output rows (the k dimension of a^T); the reduction
+  // dimension r is never split, keeping ascending-r accumulation per output.
+  DispatchRows(k, static_cast<int64_t>(n) * k * m, [&](int64_t i0, int64_t i1) {
+    MatMulTransposeARows(adata, bdata, odata, i0, i1, n, k, m);
+  });
   return out;
 }
 

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/util/rng.h"
@@ -81,5 +83,33 @@ Matrix MatMulTransposeANaive(const Matrix& a, const Matrix& b);
 /// the pre-optimization ("seed") inference path at runtime.
 void SetUseReferenceKernels(bool use);
 bool UseReferenceKernels();
+
+/// Thread-LOCAL parallelism degree for the optimized kernels and the NN's
+/// elementwise hot loops (1 = serial, the default). Work is partitioned over
+/// *output* rows/elements only — every output value is still computed by the
+/// unchanged serial inner loop — so results are bit-identical at any setting.
+/// Being thread-local, concurrent searches can each carry their own degree
+/// without racing on a global. Reference kernels always run serial.
+void SetComputeThreads(int n);
+int ComputeThreads();
+
+/// RAII scope for SetComputeThreads (restores the previous degree).
+class ComputeThreadsScope {
+ public:
+  explicit ComputeThreadsScope(int n) : prev_(ComputeThreads()) { SetComputeThreads(n); }
+  ~ComputeThreadsScope() { SetComputeThreads(prev_); }
+  ComputeThreadsScope(const ComputeThreadsScope&) = delete;
+  ComputeThreadsScope& operator=(const ComputeThreadsScope&) = delete;
+
+ private:
+  int prev_;
+};
+
+/// Runs fn over disjoint chunks covering [0, n) on the global thread pool,
+/// using the ambient ComputeThreads() degree (inline serial when it is 1 or
+/// n < min_parallel). fn's output for index i must depend only on i, which
+/// makes the result independent of the thread count.
+void ParallelRows(int64_t n, int64_t min_parallel,
+                  const std::function<void(int64_t, int64_t)>& fn);
 
 }  // namespace neo::nn

@@ -19,29 +19,35 @@ Matrix TreeConv::Forward(const TreeStructure& tree, const Matrix& x) {
   NEO_CHECK(x.cols() == cin);
   NEO_CHECK(static_cast<size_t>(n) == tree.NumNodes());
 
-  // Build the concatenated (node, left, right) features.
+  // Build the concatenated (node, left, right) features. Each output row
+  // depends only on node i's own/child feature rows, so the build partitions
+  // over rows without changing any value.
   last_concat_ = Matrix(n, 3 * cin);
-  for (int i = 0; i < n; ++i) {
-    float* dst = last_concat_.Row(i);
-    const float* self = x.Row(i);
-    for (int c = 0; c < cin; ++c) dst[c] = self[c];
-    const int l = tree.left[static_cast<size_t>(i)];
-    if (l >= 0) {
-      const float* lv = x.Row(l);
-      for (int c = 0; c < cin; ++c) dst[cin + c] = lv[c];
+  ParallelRows(n, /*min_parallel=*/256, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      float* dst = last_concat_.Row(static_cast<int>(i));
+      const float* self = x.Row(static_cast<int>(i));
+      for (int c = 0; c < cin; ++c) dst[c] = self[c];
+      const int l = tree.left[static_cast<size_t>(i)];
+      if (l >= 0) {
+        const float* lv = x.Row(l);
+        for (int c = 0; c < cin; ++c) dst[cin + c] = lv[c];
+      }
+      const int r = tree.right[static_cast<size_t>(i)];
+      if (r >= 0) {
+        const float* rv = x.Row(r);
+        for (int c = 0; c < cin; ++c) dst[2 * cin + c] = rv[c];
+      }
     }
-    const int r = tree.right[static_cast<size_t>(i)];
-    if (r >= 0) {
-      const float* rv = x.Row(r);
-      for (int c = 0; c < cin; ++c) dst[2 * cin + c] = rv[c];
-    }
-  }
+  });
   Matrix y = MatMul(last_concat_, weight_.value);
-  for (int i = 0; i < n; ++i) {
-    float* row = y.Row(i);
-    const float* b = bias_.value.Row(0);
-    for (int c = 0; c < y.cols(); ++c) row[c] += b[c];
-  }
+  const float* b = bias_.value.Row(0);
+  ParallelRows(n, /*min_parallel=*/256, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      float* row = y.Row(static_cast<int>(i));
+      for (int c = 0; c < y.cols(); ++c) row[c] += b[c];
+    }
+  });
   return y;
 }
 
@@ -76,7 +82,8 @@ void TreeConv::RefreshInferenceWeights() {
 }
 
 Matrix TreeConv::ForwardInference(const TreeStructure& tree, const Matrix& x,
-                                  const Matrix* shared_suffix) {
+                                  const Matrix* shared_suffix,
+                                  Scratch* scratch) const {
   const int n = x.rows();
   const int s = shared_suffix_dim_;
   const int top = in_channels_ - s;
@@ -84,6 +91,8 @@ Matrix TreeConv::ForwardInference(const TreeStructure& tree, const Matrix& x,
   NEO_CHECK((s > 0) == (shared_suffix != nullptr));
   NEO_CHECK(static_cast<size_t>(n) == tree.NumNodes());
   NEO_CHECK(split_fresh_);
+  Scratch local;
+  if (scratch == nullptr) scratch = &local;
 
   // Per-call suffix projections: the shared channels contribute the same
   // (1 x out) vector to every node (per present block), computed once.
@@ -118,21 +127,21 @@ Matrix TreeConv::ForwardInference(const TreeStructure& tree, const Matrix& x,
       if (child[i] >= 0) ++present;
     }
     if (present == 0) return;
-    if (gather_scratch_.rows() != present || gather_scratch_.cols() != top) {
-      gather_scratch_ = Matrix(present, top);
+    if (scratch->gather.rows() != present || scratch->gather.cols() != top) {
+      scratch->gather = Matrix(present, top);
     }
-    parent_scratch_.assign(static_cast<size_t>(present), 0);
+    scratch->parent.assign(static_cast<size_t>(present), 0);
     int t = 0;
     for (size_t i = 0; i < child.size(); ++i) {
       if (child[i] < 0) continue;
-      std::copy(x.Row(child[i]), x.Row(child[i]) + top, gather_scratch_.Row(t));
-      parent_scratch_[static_cast<size_t>(t)] = static_cast<int>(i);
+      std::copy(x.Row(child[i]), x.Row(child[i]) + top, scratch->gather.Row(t));
+      scratch->parent[static_cast<size_t>(t)] = static_cast<int>(i);
       ++t;
     }
-    const Matrix contrib = MatMul(gather_scratch_, w);
+    const Matrix contrib = MatMul(scratch->gather, w);
     const float* proj = s > 0 ? suffix_proj.Row(0) : nullptr;
     for (int r = 0; r < present; ++r) {
-      float* dst = y.Row(parent_scratch_[static_cast<size_t>(r)]);
+      float* dst = y.Row(scratch->parent[static_cast<size_t>(r)]);
       const float* src = contrib.Row(r);
       for (int c = 0; c < cout; ++c) dst[c] += src[c];
       if (proj != nullptr) {
@@ -186,6 +195,32 @@ Matrix DynamicPooling::Forward(const Matrix& x) {
   return Forward(x, offsets);
 }
 
+namespace {
+
+/// Per-channel max over rows [begin, end) of x into yrow; `amax` (optional)
+/// records the winning row per channel for the backward pass.
+inline void PoolSegment(const Matrix& x, int begin, int end, float* yrow,
+                        int* amax) {
+  const int d = x.cols();
+  NEO_CHECK(end > begin);  // Every tree has at least one node.
+  const float* first = x.Row(begin);
+  for (int c = 0; c < d; ++c) {
+    yrow[c] = first[c];
+    if (amax != nullptr) amax[c] = begin;
+  }
+  for (int r = begin + 1; r < end; ++r) {
+    const float* row = x.Row(r);
+    for (int c = 0; c < d; ++c) {
+      if (row[c] > yrow[c]) {
+        yrow[c] = row[c];
+        if (amax != nullptr) amax[c] = r;
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Matrix DynamicPooling::Forward(const Matrix& x, const std::vector<int>& offsets) {
   const int d = x.cols();
   NEO_CHECK(offsets.size() >= 2);
@@ -195,27 +230,30 @@ Matrix DynamicPooling::Forward(const Matrix& x, const std::vector<int>& offsets)
   last_segments_ = segments;
   argmax_.assign(static_cast<size_t>(segments) * d, 0);
   Matrix y(segments, d);
-  for (int s = 0; s < segments; ++s) {
-    const int begin = offsets[static_cast<size_t>(s)];
-    const int end = offsets[static_cast<size_t>(s) + 1];
-    NEO_CHECK(end > begin);  // Every tree has at least one node.
-    float* yrow = y.Row(s);
-    int* amax = argmax_.data() + static_cast<size_t>(s) * d;
-    const float* first = x.Row(begin);
-    for (int c = 0; c < d; ++c) {
-      yrow[c] = first[c];
-      amax[c] = begin;
+  ParallelRows(segments, /*min_parallel=*/64, [&](int64_t s0, int64_t s1) {
+    for (int64_t s = s0; s < s1; ++s) {
+      PoolSegment(x, offsets[static_cast<size_t>(s)],
+                  offsets[static_cast<size_t>(s) + 1], y.Row(static_cast<int>(s)),
+                  argmax_.data() + static_cast<size_t>(s) * d);
     }
-    for (int r = begin + 1; r < end; ++r) {
-      const float* row = x.Row(r);
-      for (int c = 0; c < d; ++c) {
-        if (row[c] > yrow[c]) {
-          yrow[c] = row[c];
-          amax[c] = r;
-        }
-      }
+  });
+  return y;
+}
+
+Matrix DynamicPooling::ForwardInference(const Matrix& x,
+                                        const std::vector<int>& offsets) const {
+  const int d = x.cols();
+  NEO_CHECK(offsets.size() >= 2);
+  const int segments = static_cast<int>(offsets.size()) - 1;
+  NEO_CHECK(offsets.front() == 0 && offsets.back() == x.rows());
+  Matrix y(segments, d);
+  ParallelRows(segments, /*min_parallel=*/64, [&](int64_t s0, int64_t s1) {
+    for (int64_t s = s0; s < s1; ++s) {
+      PoolSegment(x, offsets[static_cast<size_t>(s)],
+                  offsets[static_cast<size_t>(s) + 1], y.Row(static_cast<int>(s)),
+                  nullptr);
     }
-  }
+  });
   return y;
 }
 

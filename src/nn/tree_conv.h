@@ -38,6 +38,14 @@ class TreeConv {
   TreeConv(int in_channels, int out_channels, util::Rng& rng,
            int shared_suffix_dim = 0);
 
+  /// Reusable gather buffers for ForwardInference. The layer itself holds no
+  /// inference scratch, so concurrent callers (parallel plan searches) stay
+  /// race-free by each owning one Scratch per layer.
+  struct Scratch {
+    Matrix gather;             ///< Child-feature gather buffer.
+    std::vector<int> parent;   ///< Gather-row -> node map.
+  };
+
   /// x: (nodes x in_channels) -> (nodes x out_channels). Training path:
   /// builds the dense concat matrix and caches it for Backward.
   Matrix Forward(const TreeStructure& tree, const Matrix& x);
@@ -50,9 +58,12 @@ class TreeConv {
   /// on that node's (self, left, right) features, so results are identical
   /// whether a tree is scored alone or in a batch. Caller must
   /// RefreshInferenceWeights() after any weight update; results may differ
-  /// from Forward by accumulation-order ulps.
+  /// from Forward by accumulation-order ulps. Const and safe to call from
+  /// many threads concurrently when each passes its own `scratch` (nullptr
+  /// allocates locally).
   Matrix ForwardInference(const TreeStructure& tree, const Matrix& x,
-                          const Matrix* shared_suffix = nullptr);
+                          const Matrix* shared_suffix = nullptr,
+                          Scratch* scratch = nullptr) const;
 
   /// Re-splits the stacked weight into the per-block copies ForwardInference
   /// multiplies with. Cheap (one memcpy of the weight matrix).
@@ -80,8 +91,6 @@ class TreeConv {
   /// (s x out) shared-suffix blocks (empty when shared_suffix_dim_ == 0).
   Matrix w_self_suffix_, w_left_suffix_, w_right_suffix_;
   bool split_fresh_ = false;
-  Matrix gather_scratch_;       ///< Reused child-feature gather buffer.
-  std::vector<int> parent_scratch_;  ///< Reused gather-row -> node map.
 };
 
 /// Per-channel max pool over all nodes: (nodes x C) -> (1 x C).
@@ -93,6 +102,11 @@ class DynamicPooling {
  public:
   Matrix Forward(const Matrix& x);
   Matrix Forward(const Matrix& x, const std::vector<int>& offsets);
+
+  /// Same pooling as the segmented Forward but records no argmax state, so
+  /// it is const, cannot feed Backward, and is safe to call concurrently.
+  Matrix ForwardInference(const Matrix& x, const std::vector<int>& offsets) const;
+
   Matrix Backward(const Matrix& grad_out);
 
  private:

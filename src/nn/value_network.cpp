@@ -122,19 +122,23 @@ bool ValueNetwork::LoadWeights(const std::string& path) {
 }
 
 PlanBatch PackPlanBatch(const std::vector<const PlanSample*>& samples) {
+  return PackPlanBatch(samples.data(), samples.size());
+}
+
+PlanBatch PackPlanBatch(const PlanSample* const* samples, size_t n) {
   PlanBatch batch;
-  batch.tree_offsets.reserve(samples.size() + 1);
+  batch.tree_offsets.reserve(n + 1);
   batch.tree_offsets.push_back(0);
   size_t total = 0;
-  for (const PlanSample* s : samples) {
-    total += s->tree.NumNodes();
+  for (size_t s = 0; s < n; ++s) {
+    total += samples[s]->tree.NumNodes();
     batch.tree_offsets.push_back(static_cast<int>(total));
   }
   if (total == 0) return batch;
   batch.forest.left.reserve(total);
   batch.forest.right.reserve(total);
   batch.node_features = Matrix(static_cast<int>(total), samples[0]->node_features.cols());
-  for (size_t s = 0; s < samples.size(); ++s) {
+  for (size_t s = 0; s < n; ++s) {
     const PlanSample& sample = *samples[s];
     NEO_CHECK(sample.node_features.cols() == batch.node_features.cols());
     NEO_CHECK(sample.node_features.rows() ==
@@ -153,8 +157,8 @@ PlanBatch PackPlanBatch(const std::vector<const PlanSample*>& samples) {
   return batch;
 }
 
-Matrix ValueNetwork::EmbedQuery(const Matrix& query_vec) {
-  return query_stack_.Forward(query_vec);
+Matrix ValueNetwork::EmbedQuery(const Matrix& query_vec) const {
+  return query_stack_.ForwardInference(query_vec);
 }
 
 Matrix ValueNetwork::AugmentNodes(const Matrix& query_embedding,
@@ -173,35 +177,52 @@ Matrix ValueNetwork::AugmentNodes(const Matrix& query_embedding,
 }
 
 void ValueNetwork::SyncInferenceWeights() {
-  if (inference_weights_version_ == version_) return;
+  // Double-checked: the version match is the overwhelmingly common case, and
+  // the mutex only serializes the first inference after a weight update.
+  // Training must still never run concurrently with inference (the refresh
+  // itself would read half-updated weights), which Neo's retrain-then-plan
+  // episode structure guarantees.
+  if (inference_weights_version_.load(std::memory_order_acquire) == version_) return;
+  std::lock_guard<std::mutex> lock(inference_sync_mu_);
+  if (inference_weights_version_.load(std::memory_order_relaxed) == version_) return;
   for (auto& conv : convs_) conv.RefreshInferenceWeights();
-  inference_weights_version_ = version_;
+  inference_weights_version_.store(version_, std::memory_order_release);
 }
 
 void ValueNetwork::ApplyLeakyReLU(Matrix* m) const {
-  for (size_t i = 0; i < m->Size(); ++i) {
-    if (m->data()[i] < 0.0f) m->data()[i] *= leaky_alpha_;
-  }
+  float* data = m->data();
+  ParallelRows(static_cast<int64_t>(m->Size()), /*min_parallel=*/1 << 14,
+               [&](int64_t i0, int64_t i1) {
+                 for (int64_t i = i0; i < i1; ++i) {
+                   if (data[i] < 0.0f) data[i] *= leaky_alpha_;
+                 }
+               });
 }
 
 Matrix ValueNetwork::InferencePooled(const TreeStructure& tree,
                                      const Matrix& node_features,
                                      const Matrix& query_embedding,
-                                     const std::vector<int>& offsets) {
+                                     const std::vector<int>& offsets,
+                                     InferenceContext* ctx) {
   SyncInferenceWeights();
+  if (ctx == nullptr) ctx = &default_ctx_;
+  if (ctx->conv_scratch.size() < convs_.size()) ctx->conv_scratch.resize(convs_.size());
   Matrix cur;
   for (size_t li = 0; li < convs_.size(); ++li) {
     Matrix z = li == 0 ? convs_[0].ForwardInference(tree, node_features,
-                                                    &query_embedding)
-                       : convs_[li].ForwardInference(tree, cur);
+                                                    &query_embedding,
+                                                    &ctx->conv_scratch[0])
+                       : convs_[li].ForwardInference(tree, cur, nullptr,
+                                                     &ctx->conv_scratch[li]);
     ApplyLeakyReLU(&z);
     cur = std::move(z);
   }
-  return pool_.Forward(cur, offsets);
+  return pool_.ForwardInference(cur, offsets);
 }
 
 std::vector<float> ValueNetwork::PredictBatch(const Matrix& query_embedding,
-                                              const PlanBatch& batch) {
+                                              const PlanBatch& batch,
+                                              InferenceContext* ctx) {
   const int n_plans = batch.size();
   if (n_plans == 0) return {};
   NEO_CHECK(batch.node_features.rows() ==
@@ -209,6 +230,7 @@ std::vector<float> ValueNetwork::PredictBatch(const Matrix& query_embedding,
   Matrix pooled;  // (N x C)
   if (UseReferenceKernels()) {
     // Seed-path reconstruction for benches: dense augment-and-concat stack.
+    // Mutates layer caches, so it is single-thread only.
     Matrix cur = AugmentNodes(query_embedding, batch.node_features);
     for (auto& conv : convs_) {
       Matrix z = conv.Forward(batch.forest, cur);
@@ -218,9 +240,9 @@ std::vector<float> ValueNetwork::PredictBatch(const Matrix& query_embedding,
     pooled = pool_.Forward(cur, batch.tree_offsets);
   } else {
     pooled = InferencePooled(batch.forest, batch.node_features, query_embedding,
-                             batch.tree_offsets);
+                             batch.tree_offsets, ctx);
   }
-  const Matrix scores = head_.Forward(pooled);  // (N x 1)
+  const Matrix scores = head_.ForwardInference(pooled);  // (N x 1)
   std::vector<float> out(static_cast<size_t>(n_plans));
   for (int i = 0; i < n_plans; ++i) out[static_cast<size_t>(i)] = scores.At(i, 0);
   return out;
@@ -232,7 +254,8 @@ std::vector<float> ValueNetwork::PredictBatch(
 }
 
 float ValueNetwork::ForwardPlan(const Matrix& query_embedding, const TreeStructure& tree,
-                                const Matrix& node_features, ForwardState* state) {
+                                const Matrix& node_features, ForwardState* state,
+                                InferenceContext* ctx) {
   const int n = node_features.rows();
   NEO_CHECK(n > 0);
 
@@ -242,8 +265,9 @@ float ValueNetwork::ForwardPlan(const Matrix& query_embedding, const TreeStructu
   // dense branch below even at inference.
   if (state == nullptr && !UseReferenceKernels()) {
     const std::vector<int> offsets = {0, n};
-    const Matrix pooled = InferencePooled(tree, node_features, query_embedding, offsets);
-    return head_.Forward(pooled).At(0, 0);
+    const Matrix pooled =
+        InferencePooled(tree, node_features, query_embedding, offsets, ctx);
+    return head_.ForwardInference(pooled).At(0, 0);
   }
 
   // Dense concat forward: training (caches activations for the backward) and
@@ -275,18 +299,130 @@ float ValueNetwork::Predict(const PlanSample& sample) {
 
 float ValueNetwork::PredictWithEmbedding(const Matrix& query_embedding,
                                          const TreeStructure& tree,
-                                         const Matrix& node_features) {
-  return ForwardPlan(query_embedding, tree, node_features, nullptr);
+                                         const Matrix& node_features,
+                                         InferenceContext* ctx) {
+  return ForwardPlan(query_embedding, tree, node_features, nullptr, ctx);
 }
 
 float ValueNetwork::TrainBatch(const std::vector<const PlanSample*>& samples,
                                const std::vector<float>& targets) {
   NEO_CHECK(samples.size() == targets.size());
-  NEO_CHECK(!samples.empty());
-  double total_loss = 0.0;
-  const float inv_batch = 1.0f / static_cast<float>(samples.size());
+  return TrainBatch(samples.data(), targets.data(), samples.size());
+}
 
-  for (size_t s = 0; s < samples.size(); ++s) {
+float ValueNetwork::TrainBatch(const PlanSample* const* samples, const float* targets,
+                               size_t n) {
+  NEO_CHECK(n > 0);
+  return batched_training_ ? TrainBatchPacked(samples, targets, n)
+                           : TrainBatchPerSample(samples, targets, n);
+}
+
+float ValueNetwork::TrainBatchPacked(const PlanSample* const* samples,
+                                     const float* targets, size_t n) {
+  // Pack the minibatch into one forest (the PR-1 batched-inference
+  // representation): every conv layer, the pooling, the head, and the query
+  // stack then run once over the whole batch as large GEMMs instead of n
+  // small per-sample passes. Forward values are bit-identical to the
+  // per-sample loop (all kernels are row-independent); gradient sums differ
+  // from it only by accumulation order.
+  const int batch = static_cast<int>(n);
+  const PlanBatch packed = PackPlanBatch(samples, n);
+  const int total_nodes = packed.node_features.rows();
+  NEO_CHECK(total_nodes > 0);
+
+  // Query stack forward over all query vectors at once.
+  Matrix query_vecs(batch, config_.query_dim);
+  for (int s = 0; s < batch; ++s) {
+    NEO_CHECK(samples[s]->query_vec.cols() == config_.query_dim);
+    std::copy(samples[s]->query_vec.Row(0),
+              samples[s]->query_vec.Row(0) + config_.query_dim, query_vecs.Row(s));
+  }
+  const Matrix embeds = query_stack_.Forward(query_vecs);  // (batch x E)
+
+  // Spatial replication: node r of sample s gets [features_r ; embed_s].
+  // Partitioned over samples; each node row is written exactly once.
+  Matrix augmented(total_nodes, config_.plan_dim + embed_dim_);
+  ParallelRows(batch, /*min_parallel=*/8, [&](int64_t s0, int64_t s1) {
+    for (int64_t s = s0; s < s1; ++s) {
+      const float* e = embeds.Row(static_cast<int>(s));
+      const int begin = packed.tree_offsets[static_cast<size_t>(s)];
+      const int end = packed.tree_offsets[static_cast<size_t>(s) + 1];
+      for (int i = begin; i < end; ++i) {
+        float* dst = augmented.Row(i);
+        const float* src = packed.node_features.Row(i);
+        for (int c = 0; c < config_.plan_dim; ++c) dst[c] = src[c];
+        for (int c = 0; c < embed_dim_; ++c) dst[config_.plan_dim + c] = e[c];
+      }
+    }
+  });
+
+  // Conv stack forward over the packed forest (dense concat path: Backward
+  // needs the cached concat matrices).
+  Matrix cur = augmented;
+  std::vector<Matrix> pre;
+  pre.reserve(convs_.size());
+  for (auto& conv : convs_) {
+    Matrix z = conv.Forward(packed.forest, cur);
+    pre.push_back(z);
+    ApplyLeakyReLU(&z);
+    cur = std::move(z);
+  }
+  const Matrix pooled = pool_.Forward(cur, packed.tree_offsets);  // (batch x C)
+  const Matrix out = head_.Forward(pooled);                       // (batch x 1)
+
+  // L2 loss and output gradient: dL/dpred_s = 2 * err_s / batch (paper §4).
+  double total_loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  Matrix grad_out(batch, 1);
+  for (int s = 0; s < batch; ++s) {
+    const float err = out.At(s, 0) - targets[s];
+    total_loss += static_cast<double>(err) * err;
+    grad_out.At(s, 0) = 2.0f * err * inv_batch;
+  }
+
+  Matrix grad_pooled = head_.Backward(grad_out);   // (batch x C)
+  Matrix grad_nodes = pool_.Backward(grad_pooled); // (total_nodes x C)
+  for (int li = static_cast<int>(convs_.size()) - 1; li >= 0; --li) {
+    // Leaky ReLU backward on pre-activation (elementwise, partitionable).
+    const float* z = pre[static_cast<size_t>(li)].data();
+    float* g = grad_nodes.data();
+    ParallelRows(static_cast<int64_t>(grad_nodes.Size()), /*min_parallel=*/1 << 14,
+                 [&](int64_t i0, int64_t i1) {
+                   for (int64_t i = i0; i < i1; ++i) {
+                     if (z[i] < 0.0f) g[i] *= leaky_alpha_;
+                   }
+                 });
+    grad_nodes = convs_[static_cast<size_t>(li)].Backward(packed.forest, grad_nodes);
+  }
+
+  // Split the augmented gradient: plan-feature columns are inputs (dropped);
+  // each sample's query-embedding columns sum over its own nodes, ascending,
+  // so the partition over samples never changes the result.
+  Matrix grad_embeds(batch, embed_dim_);
+  ParallelRows(batch, /*min_parallel=*/8, [&](int64_t s0, int64_t s1) {
+    for (int64_t s = s0; s < s1; ++s) {
+      float* ge = grad_embeds.Row(static_cast<int>(s));
+      const int begin = packed.tree_offsets[static_cast<size_t>(s)];
+      const int end = packed.tree_offsets[static_cast<size_t>(s) + 1];
+      for (int i = begin; i < end; ++i) {
+        const float* row = grad_nodes.Row(i);
+        for (int c = 0; c < embed_dim_; ++c) ge[c] += row[config_.plan_dim + c];
+      }
+    }
+  });
+  query_stack_.Backward(grad_embeds);
+
+  adam_->Step();
+  ++version_;
+  return static_cast<float>(total_loss / static_cast<double>(batch));
+}
+
+float ValueNetwork::TrainBatchPerSample(const PlanSample* const* samples,
+                                        const float* targets, size_t n) {
+  double total_loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(n);
+
+  for (size_t s = 0; s < n; ++s) {
     const PlanSample& sample = *samples[s];
     // Forward (query stack caches activations for this sample's backward).
     const Matrix embed = query_stack_.Forward(sample.query_vec);
@@ -325,7 +461,7 @@ float ValueNetwork::TrainBatch(const std::vector<const PlanSample*>& samples,
 
   adam_->Step();
   ++version_;
-  return static_cast<float>(total_loss / static_cast<double>(samples.size()));
+  return static_cast<float>(total_loss / static_cast<double>(n));
 }
 
 }  // namespace neo::nn

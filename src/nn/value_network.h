@@ -11,7 +11,9 @@
 // laptop-scale substrate (see NeoConfig; benches can widen via --full).
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -53,11 +55,23 @@ struct PlanBatch {
 };
 
 /// Packs per-sample (tree, node_features) pairs into one PlanBatch (query
-/// vectors are ignored; batched prediction shares one query embedding).
+/// vectors are ignored; batched prediction shares one query embedding, and
+/// batched training re-associates embeddings per tree via tree_offsets).
+PlanBatch PackPlanBatch(const PlanSample* const* samples, size_t n);
 PlanBatch PackPlanBatch(const std::vector<const PlanSample*>& samples);
 
 class ValueNetwork {
  public:
+  /// Per-caller scratch for the inference paths. The network's inference is
+  /// read-only after the weight split is synced, so N threads may run
+  /// Predict*/EmbedQuery concurrently provided (a) each passes its own
+  /// context and (b) no training runs at the same time (Neo's episode
+  /// structure — retrain, then plan — guarantees that). Passing nullptr uses
+  /// a network-owned default context, which is single-thread only.
+  struct InferenceContext {
+    std::vector<TreeConv::Scratch> conv_scratch;  ///< One per conv layer (lazy).
+  };
+
   explicit ValueNetwork(const ValueNetConfig& config);
 
   /// Predicted (normalized) cost of one sample.
@@ -66,25 +80,42 @@ class ValueNetwork {
   /// Predict with a precomputed query embedding (search fast path: the
   /// query-level FC stack runs once per query, not once per candidate plan).
   float PredictWithEmbedding(const Matrix& query_embedding, const TreeStructure& tree,
-                             const Matrix& node_features);
+                             const Matrix& node_features,
+                             InferenceContext* ctx = nullptr);
 
   /// Batched inference over a packed forest sharing one query embedding: one
   /// forward pass scores all plans (each conv layer and the head run as a
-  /// single large GEMM instead of N small ones). Per-plan results match
-  /// PredictWithEmbedding bit-for-bit.
-  std::vector<float> PredictBatch(const Matrix& query_embedding, const PlanBatch& batch);
+  /// single large GEMM instead of N small ones; the per-layer GEMMs row-
+  /// partition over the thread pool per nn::ComputeThreads()). Per-plan
+  /// results match PredictWithEmbedding bit-for-bit at any thread count.
+  std::vector<float> PredictBatch(const Matrix& query_embedding, const PlanBatch& batch,
+                                  InferenceContext* ctx = nullptr);
 
   /// Convenience overload packing per-sample trees/features on the fly.
   std::vector<float> PredictBatch(const Matrix& query_embedding,
                                   const std::vector<const PlanSample*>& samples);
 
-  /// Runs the query-level FC stack only.
-  Matrix EmbedQuery(const Matrix& query_vec);
+  /// Runs the query-level FC stack only (stateless; thread-safe).
+  Matrix EmbedQuery(const Matrix& query_vec) const;
 
   /// One SGD step over a minibatch; returns mean squared error before the
-  /// update.
+  /// update. Default path: the whole minibatch is packed into one forest
+  /// (PackPlanBatch) and the forward/backward run as a handful of large
+  /// GEMMs whose rows partition over the thread pool; predictions (and thus
+  /// the returned loss) are bit-identical to the per-sample path and to any
+  /// ComputeThreads() setting.
   float TrainBatch(const std::vector<const PlanSample*>& samples,
                    const std::vector<float>& targets);
+
+  /// Span overload: trains on samples[0..n) / targets[0..n) without the
+  /// caller materializing per-minibatch vector copies.
+  float TrainBatch(const PlanSample* const* samples, const float* targets, size_t n);
+
+  /// Reverts TrainBatch to the per-sample forward/backward loop (seed path;
+  /// bench baseline). Gradients match the packed path mathematically but
+  /// differ in summation order by accumulation ulps.
+  void SetBatchedTraining(bool batched) { batched_training_ = batched; }
+  bool batched_training() const { return batched_training_; }
 
   /// Increments on every optimizer step; lets caches detect staleness.
   uint64_t version() const { return version_; }
@@ -111,22 +142,34 @@ class ValueNetwork {
 
   /// Forward through tree conv + pooling + head. Fills `state` if training.
   float ForwardPlan(const Matrix& query_embedding, const TreeStructure& tree,
-                    const Matrix& node_features, ForwardState* state);
+                    const Matrix& node_features, ForwardState* state,
+                    InferenceContext* ctx = nullptr);
 
   /// Spatial replication: node features with the query embedding appended.
   Matrix AugmentNodes(const Matrix& query_embedding, const Matrix& node_features) const;
 
   /// Re-splits every conv layer's inference weights if training or weight
-  /// loading bumped version_ since the last inference call.
+  /// loading bumped version_ since the last inference call. Thread-safe
+  /// (double-checked mutex), so concurrent searches may race to the first
+  /// inference after a retrain.
   void SyncInferenceWeights();
 
   /// Fast-inference conv stack + segmented pooling shared by PredictBatch
   /// and the single-plan prediction path (offsets {0, n} for one tree).
   Matrix InferencePooled(const TreeStructure& tree, const Matrix& node_features,
                          const Matrix& query_embedding,
-                         const std::vector<int>& offsets);
+                         const std::vector<int>& offsets, InferenceContext* ctx);
 
-  /// In-place leaky ReLU (the inter-conv activation).
+  /// The legacy per-sample training loop (SetBatchedTraining(false)).
+  float TrainBatchPerSample(const PlanSample* const* samples, const float* targets,
+                            size_t n);
+
+  /// Packed-forest training step: one forward/backward over the whole batch.
+  float TrainBatchPacked(const PlanSample* const* samples, const float* targets,
+                         size_t n);
+
+  /// In-place leaky ReLU (the inter-conv activation), row-partitioned over
+  /// the pool when ComputeThreads() > 1.
   void ApplyLeakyReLU(Matrix* m) const;
 
   ValueNetConfig config_;
@@ -137,7 +180,10 @@ class ValueNetwork {
   Sequential head_;
   std::unique_ptr<Adam> adam_;
   uint64_t version_ = 0;
-  uint64_t inference_weights_version_ = ~0ULL;
+  std::atomic<uint64_t> inference_weights_version_{~0ULL};
+  std::mutex inference_sync_mu_;
+  InferenceContext default_ctx_;
+  bool batched_training_ = true;
   float leaky_alpha_;
   int embed_dim_ = 0;
 };

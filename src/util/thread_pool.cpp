@@ -1,0 +1,169 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+namespace neo::util {
+
+ThreadPool::ThreadPool(int workers) {
+  workers = std::max(0, workers);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(static_cast<int>(std::thread::hardware_concurrency()) - 1);
+  return pool;
+}
+
+void ThreadPool::Participate(Job& job, size_t home) {
+  const size_t n_shards = job.num_shards;
+  size_t target = home < n_shards ? home : 0;
+  for (;;) {
+    Shard& shard = job.shards[target];
+    const int64_t begin = shard.next.fetch_add(job.grain, std::memory_order_relaxed);
+    if (begin < shard.end) {
+      const int64_t end = std::min(begin + job.grain, shard.end);
+      (*job.fn)(begin, end);
+      if (job.remaining.fetch_sub(end - begin, std::memory_order_acq_rel) ==
+          end - begin) {
+        // Last chunk done: wake a caller blocked in ParallelFor. The lock
+        // pairs with the waiter's predicate check so the wake cannot be lost.
+        std::lock_guard<std::mutex> lock(job.done_mu);
+        job.done_cv.notify_all();
+      }
+      continue;
+    }
+    // Own shard drained: steal from the shard with the most work left.
+    size_t best = n_shards;
+    int64_t best_left = 0;
+    for (size_t i = 0; i < n_shards; ++i) {
+      const int64_t left =
+          job.shards[i].end - job.shards[i].next.load(std::memory_order_relaxed);
+      if (left > best_left) {
+        best_left = left;
+        best = i;
+      }
+    }
+    if (best == n_shards) return;  // Every shard fully claimed.
+    target = best;
+  }
+}
+
+// True while some shard still has unclaimed indices. Distinct from
+// `remaining` (claimed-but-running chunks): workers only join jobs they can
+// actually claim work from, so drained jobs never spin them awake.
+bool ThreadPool::JobHasUnclaimed(const Job& job) {
+  for (size_t i = 0; i < job.num_shards; ++i) {
+    const Shard& s = job.shards[i];
+    if (s.next.load(std::memory_order_relaxed) < s.end) return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    size_t home = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        if (stop_) return true;
+        for (const auto& j : active_) {
+          if (j->participants.load(std::memory_order_relaxed) < j->max_participants &&
+              JobHasUnclaimed(*j)) {
+            return true;
+          }
+        }
+        return false;
+      });
+      if (stop_) return;
+      for (const auto& j : active_) {
+        const int prev = j->participants.load(std::memory_order_relaxed);
+        if (prev < j->max_participants && JobHasUnclaimed(*j)) {
+          j->participants.fetch_add(1, std::memory_order_relaxed);
+          job = j;
+          home = static_cast<size_t>(prev) % j->num_shards;
+          break;
+        }
+      }
+    }
+    if (job != nullptr) Participate(*job, home);
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int max_participants,
+                             int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  const int parts =
+      static_cast<int>(std::max<int64_t>(1, std::min<int64_t>(max_participants, n)));
+  if (grain <= 0) grain = std::max<int64_t>(1, n / (static_cast<int64_t>(parts) * 4));
+  // With no workers the caller would drain every shard itself anyway; skip
+  // the job bookkeeping and run inline (same chunks would produce the same
+  // values — output partitioning is what makes results thread-count-proof).
+  if (parts <= 1 || n <= grain || workers_.empty()) {
+    fn(begin, end);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->shards = std::make_unique<Shard[]>(static_cast<size_t>(parts));
+  job->num_shards = static_cast<size_t>(parts);
+  const int64_t per = n / parts;
+  const int64_t extra = n % parts;
+  int64_t cursor = begin;
+  for (int s = 0; s < parts; ++s) {
+    const int64_t len = per + (s < extra ? 1 : 0);
+    job->shards[static_cast<size_t>(s)].next.store(cursor, std::memory_order_relaxed);
+    job->shards[static_cast<size_t>(s)].end = cursor + len;
+    cursor += len;
+  }
+  job->grain = grain;
+  job->fn = &fn;
+  job->remaining.store(n, std::memory_order_relaxed);
+  job->participants.store(1, std::memory_order_relaxed);  // The caller.
+  job->max_participants = parts;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.push_back(job);
+  }
+  cv_.notify_all();
+
+  Participate(*job, 0);
+  // Everything is claimed; briefly spin-yield for stragglers finishing their
+  // final chunk (the common case resolves in microseconds), then block on
+  // the job's condition variable so coarse-grained stragglers — e.g. a
+  // worker still inside a multi-millisecond chunk — do not cost a core.
+  // Waiting here cannot deadlock nested calls: the straggler owes no work to
+  // this thread, and it signals done_cv when the last chunk completes.
+  for (int spin = 0; spin < 256; ++spin) {
+    if (job->remaining.load(std::memory_order_acquire) == 0) break;
+    std::this_thread::yield();
+  }
+  if (job->remaining.load(std::memory_order_acquire) > 0) {
+    std::unique_lock<std::mutex> lock(job->done_mu);
+    job->done_cv.wait(lock, [&] {
+      return job->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.erase(std::find(active_.begin(), active_.end(), job));
+  }
+}
+
+}  // namespace neo::util

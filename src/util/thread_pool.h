@@ -1,0 +1,92 @@
+// Work-stealing thread pool shared by every parallel hot path (GEMM row
+// partitioning, batched training, concurrent episode planning).
+//
+// The only primitive is ParallelFor: the index range is split into
+// `max_participants` contiguous shards, each with an atomic cursor. Every
+// participant (the calling thread plus any idle workers) drains its own
+// shard in grain-sized chunks, then steals from whichever shard has the most
+// work left. Because each index is claimed exactly once and the callback's
+// output for index i may depend only on i (never on which thread ran it or
+// in what order), any computation expressed this way is bit-identical at any
+// thread count — the determinism contract the NN kernels and search rely on.
+//
+// Nesting is safe: a worker executing a chunk may issue its own ParallelFor
+// (the nested call's caller participates itself and never blocks a worker
+// slot waiting), so episode-level parallelism can wrap GEMM-level
+// parallelism without deadlock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace neo::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` background threads (clamped at >= 0). The pool's total
+  /// parallelism is workers + 1: the thread calling ParallelFor always
+  /// participates, so ThreadPool(0) degrades to serial inline execution.
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads + the calling thread.
+  int parallelism() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Process-wide pool, created on first use with hardware_concurrency() - 1
+  /// workers. All library-internal parallelism routes through it so the
+  /// process never oversubscribes cores, no matter how many layers nest.
+  static ThreadPool& Global();
+
+  /// Invokes fn(lo, hi) over disjoint subranges exactly covering
+  /// [begin, end). `max_participants` bounds how many threads may join (and
+  /// sets the shard count; <= 1 runs inline serially). `grain` is the max
+  /// chunk size per claim (<= 0 picks a default). Blocks until every index
+  /// has been processed. Safe to call from worker threads (nested jobs).
+  void ParallelFor(int64_t begin, int64_t end, int max_participants, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+ private:
+  struct Shard {
+    std::atomic<int64_t> next{0};
+    int64_t end = 0;
+    // Pad to a cache line so shard cursors never false-share.
+    char pad[64 - sizeof(std::atomic<int64_t>) - sizeof(int64_t)];
+  };
+
+  struct Job {
+    std::unique_ptr<Shard[]> shards;  ///< Atomics are not movable, so no vector.
+    size_t num_shards = 0;
+    int64_t grain = 1;
+    const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    std::atomic<int64_t> remaining{0};  ///< Items claimed-and-finished countdown.
+    std::atomic<int> participants{0};   ///< Threads that joined (cap enforced).
+    int max_participants = 1;
+    std::mutex done_mu;                 ///< Guards the completion wakeup.
+    std::condition_variable done_cv;    ///< Signaled when remaining hits 0.
+  };
+
+  void WorkerLoop();
+
+  /// Claims chunks for `job` until no shard has work left: own shard first
+  /// (`home`), then steal from the fullest shard.
+  static void Participate(Job& job, size_t home);
+
+  static bool JobHasUnclaimed(const Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::shared_ptr<Job>> active_;
+  bool stop_ = false;
+};
+
+}  // namespace neo::util

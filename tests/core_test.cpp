@@ -155,6 +155,122 @@ TEST_F(CoreFixture, BatchedSearchMatchesUnbatched) {
   EXPECT_EQ(rb.plan.ToString(ds_->schema), ru.plan.ToString(ds_->schema));
 }
 
+TEST_F(CoreFixture, SearchBitIdenticalAcrossThreadCounts) {
+  // The issue's search determinism contract: SearchOptions::threads only
+  // changes how GEMM rows are partitioned, never which plans are scored or
+  // what scores they get, so the whole SearchResult must be bit-identical
+  // for threads in {1, 2, 8} (with speculation both 1 and 4).
+  engine::ExecutionEngine engine(ds_->schema, *ds_->db, EngineKind::kPostgres);
+  const auto wl = query::MakeJobWorkload(ds_->schema, *ds_->db);
+  const Query& q = wl.query(60);  // A JOB query (5 relations).
+  for (int speculation : {1, 4}) {
+    SearchResult baseline;
+    bool have_baseline = false;
+    for (int threads : {1, 2, 8}) {
+      Neo neo(featurizer_, &engine, SmallConfig());
+      SearchOptions opt;
+      opt.max_expansions = 30;
+      opt.speculation = speculation;
+      opt.threads = threads;
+      const SearchResult r = neo.search().FindPlan(q, opt);
+      EXPECT_TRUE(r.plan.IsComplete());
+      if (!have_baseline) {
+        baseline = r;
+        have_baseline = true;
+        continue;
+      }
+      EXPECT_EQ(r.plan.Hash(), baseline.plan.Hash())
+          << "speculation " << speculation << " threads " << threads;
+      EXPECT_EQ(r.predicted_cost, baseline.predicted_cost);
+      EXPECT_EQ(r.expansions, baseline.expansions);
+      EXPECT_EQ(r.evaluations, baseline.evaluations);
+      EXPECT_EQ(r.cache_hits, baseline.cache_hits);
+    }
+  }
+}
+
+TEST_F(CoreFixture, SpeculativeSearchStillFindsCompletePlans) {
+  // speculation > 1 explores a wider frontier per round but must preserve
+  // search invariants: complete valid plans, and with speculation == 1 the
+  // restructured loop reproduces the classic serial search (covered by
+  // BatchedSearchMatchesUnbatched staying green).
+  engine::ExecutionEngine engine(ds_->schema, *ds_->db, EngineKind::kPostgres);
+  Neo neo(featurizer_, &engine, SmallConfig());
+  const Query q = ThreeWay(61);
+  SearchOptions opt;
+  opt.max_expansions = 40;
+  opt.speculation = 8;
+  const SearchResult r = neo.search().FindPlan(q, opt);
+  EXPECT_TRUE(r.plan.IsComplete());
+  EXPECT_EQ(r.plan.CoveredMask(), (1ULL << q.num_relations()) - 1);
+  EXPECT_GT(r.evaluations, 0u);
+}
+
+TEST_F(CoreFixture, ScoreCacheLruEvictsAndRecomputes) {
+  engine::ExecutionEngine engine(ds_->schema, *ds_->db, EngineKind::kPostgres);
+  const auto wl = query::MakeJobWorkload(ds_->schema, *ds_->db);
+  const Query& q = wl.query(60);
+  SearchOptions opt;
+  opt.max_expansions = 20;
+
+  // Uncapped run: the reference plan, and a repeat search that is served
+  // fully from cache.
+  Neo uncapped(featurizer_, &engine, SmallConfig());
+  const SearchResult ref = uncapped.search().FindPlan(q, opt);
+  EXPECT_EQ(ref.cache_evictions, 0u);
+
+  // Tiny cap: evictions must fire, the searched plan must not change (an
+  // evicted entry is simply re-scored, and scoring is deterministic), and a
+  // repeat search must recompute at least the evicted states.
+  Neo capped(featurizer_, &engine, SmallConfig());
+  SearchOptions small = opt;
+  small.score_cache_cap = 16;
+  const SearchResult first = capped.search().FindPlan(q, small);
+  EXPECT_GT(first.cache_evictions, 0u);
+  EXPECT_EQ(first.plan.Hash(), ref.plan.Hash());
+  EXPECT_EQ(first.predicted_cost, ref.predicted_cost);
+
+  const SearchResult second = capped.search().FindPlan(q, small);
+  EXPECT_EQ(second.plan.Hash(), ref.plan.Hash());
+  // With only 16 cache slots the repeat search cannot be served fully from
+  // cache (contrast ScoreCacheServesRepeatSearches): evicted states really
+  // are recomputed.
+  EXPECT_GT(second.evaluations, 0u);
+}
+
+TEST_F(CoreFixture, ParallelEpisodeMatchesSerialEpisode) {
+  // RunEpisode with threads > 1 plans concurrently but executes and learns
+  // serially in the shuffled order, so episode statistics that do not
+  // involve wall time must match the serial run exactly.
+  const auto wl = query::MakeJobWorkload(ds_->schema, *ds_->db);
+  std::vector<const Query*> train;
+  for (size_t i = 0; i < wl.size(); i += 17) train.push_back(&wl.query(i));
+  ASSERT_GE(train.size(), 6u);
+
+  auto run = [&](int threads) {
+    engine::ExecutionEngine engine(ds_->schema, *ds_->db, EngineKind::kPostgres);
+    auto native =
+        optim::MakeNativeOptimizer(EngineKind::kPostgres, ds_->schema, *ds_->db);
+    NeoConfig cfg = SmallConfig();
+    cfg.threads = threads;
+    cfg.search.max_expansions = 20;
+    Neo neo(featurizer_, &engine, cfg);
+    neo.Bootstrap(train, native.optimizer.get());
+    std::vector<EpisodeStats> stats;
+    for (int e = 0; e < 2; ++e) stats.push_back(neo.RunEpisode(train));
+    return stats;
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t e = 0; e < serial.size(); ++e) {
+    EXPECT_EQ(serial[e].train_total_latency_ms, parallel[e].train_total_latency_ms)
+        << "episode " << e;
+    EXPECT_EQ(serial[e].retrain_loss, parallel[e].retrain_loss) << "episode " << e;
+    EXPECT_EQ(serial[e].experience_states, parallel[e].experience_states);
+  }
+}
+
 TEST_F(CoreFixture, ScoreCacheServesRepeatSearches) {
   engine::ExecutionEngine engine(ds_->schema, *ds_->db, EngineKind::kPostgres);
   Neo neo(featurizer_, &engine, SmallConfig());
