@@ -324,8 +324,9 @@ void WriteTrainJson(const std::string& path, int steps) {
                "  \"bench\": \"micro_nn_train\",\n"
                "  \"batch_size\": 64,\n"
                "  \"steps\": %d,\n"
-               "  \"hardware_threads\": %u,\n",
-               steps, std::thread::hardware_concurrency());
+               "  \"hardware_threads\": %u,\n"
+               "  \"kernel_arch\": \"%s\",\n",
+               steps, std::thread::hardware_concurrency(), KernelArchString());
   PrintTrainArm(out, "per_sample", per_sample, ",");
   PrintTrainArm(out, "packed_threads1", packed_t1, ",");
   PrintTrainArm(out, "packed_threads8", packed_t8, ",");

@@ -7,6 +7,7 @@
 // benchmark flags (e.g. --benchmark_filter) as usual.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -161,6 +162,9 @@ struct ThroughputResult {
   double wall_ms_mean = 0.0;
   size_t evaluations = 0;
   size_t cache_hits = 0;
+  size_t activation_hits = 0;
+  size_t rows_recomputed = 0;
+  size_t rows_reused = 0;
 };
 
 /// Repeatedly runs a cold best-first search (fresh network => empty cache,
@@ -168,10 +172,12 @@ struct ThroughputResult {
 /// `reference_kernels`, GEMMs route through the naive triple loops — combined
 /// with `batched = false` this reconstructs the seed per-candidate path.
 /// `threads` row-partitions the scoring GEMMs over the pool; `speculation`
-/// expands that many heap states per scoring round.
+/// expands that many heap states per scoring round; `incremental` turns on
+/// the activation cache (reuse subtree conv rows across parent/child plans).
 ThroughputResult MeasureSearchThroughput(bool batched, bool reference_kernels,
                                          int reps, int threads = 1,
-                                         int speculation = 1) {
+                                         int speculation = 1,
+                                         bool incremental = false) {
   Fixture& f = Fixture::Get();
   const query::Query& q = f.wl.query(60);
   core::SearchOptions opt;
@@ -179,6 +185,7 @@ ThroughputResult MeasureSearchThroughput(bool batched, bool reference_kernels,
   opt.batched = batched;
   opt.threads = threads;
   opt.speculation = speculation;
+  opt.incremental = incremental;
 
   // Default ValueNetConfig channel widths (the paper-shaped 64/32/16 conv
   // stack), not the narrower widths the google-benchmark fixture uses.
@@ -194,6 +201,9 @@ ThroughputResult MeasureSearchThroughput(bool batched, bool reference_kernels,
     total_s += watch.ElapsedSeconds();
     out.evaluations += r.evaluations;
     out.cache_hits += r.cache_hits;
+    out.activation_hits += r.activation_hits;
+    out.rows_recomputed += r.rows_recomputed;
+    out.rows_reused += r.rows_reused;
   }
   nn::SetUseReferenceKernels(false);
   out.plans_per_sec = static_cast<double>(out.evaluations) / total_s;
@@ -211,21 +221,30 @@ void PrintArm(std::FILE* out, const char* name, const ThroughputResult& r,
 }
 
 void WriteSearchJson(const std::string& path, int reps) {
-  // Five arms: the seed path (per-candidate scoring, naive GEMMs), the
-  // blocked kernels alone (per-candidate), the full batched pipeline, and
-  // the speculative batched pipeline (8 states per round) at 1 and 8 kernel
-  // threads. The two speculative arms differ only in SearchOptions::threads
-  // (same kernels, same expansions), so their ratio is the pure thread-pool
-  // scaling of the scoring path on this machine.
+  // Seven arms: the seed path (per-candidate scoring, naive GEMMs), the
+  // blocked kernels alone (per-candidate), the full batched pipeline, the
+  // incremental pipeline (batched + activation cache, alone and with
+  // speculation 8), and the speculative batched pipeline (8 states per
+  // round) at 1 and 8 kernel threads. The two speculative arms differ only
+  // in SearchOptions::threads (same kernels, same expansions), so their
+  // ratio is the pure thread-pool scaling of the scoring path on this
+  // machine; batched vs. incremental differ only in
+  // SearchOptions::incremental, so their ratio is the pure win from reusing
+  // subtree conv activations across parent/child plans.
   const ThroughputResult seed = MeasureSearchThroughput(false, true, reps);
   const ThroughputResult unbatched = MeasureSearchThroughput(false, false, reps);
   const ThroughputResult batched = MeasureSearchThroughput(true, false, reps);
+  const ThroughputResult incremental = MeasureSearchThroughput(
+      true, false, reps, /*threads=*/1, /*speculation=*/1, /*incremental=*/true);
+  const ThroughputResult inc_spec8 = MeasureSearchThroughput(
+      true, false, reps, /*threads=*/1, /*speculation=*/8, /*incremental=*/true);
   const ThroughputResult spec_t1 =
       MeasureSearchThroughput(true, false, reps, /*threads=*/1, /*speculation=*/8);
   const ThroughputResult spec_t8 =
       MeasureSearchThroughput(true, false, reps, /*threads=*/8, /*speculation=*/8);
   const double speedup_vs_seed = batched.plans_per_sec / seed.plans_per_sec;
   const double speedup_batching = batched.plans_per_sec / unbatched.plans_per_sec;
+  const double speedup_incremental = incremental.plans_per_sec / batched.plans_per_sec;
   const double speedup_threads = spec_t8.plans_per_sec / spec_t1.plans_per_sec;
 
   Fixture& f = Fixture::Get();
@@ -241,26 +260,72 @@ void WriteSearchJson(const std::string& path, int reps) {
                "  \"query_relations\": %zu,\n"
                "  \"max_expansions\": 40,\n"
                "  \"repetitions\": %d,\n"
-               "  \"hardware_threads\": %u,\n",
-               q.num_relations(), reps, std::thread::hardware_concurrency());
+               "  \"hardware_threads\": %u,\n"
+               "  \"kernel_arch\": \"%s\",\n",
+               q.num_relations(), reps, std::thread::hardware_concurrency(),
+               nn::KernelArchString());
   PrintArm(out, "seed_path", seed, ",");
   PrintArm(out, "unbatched", unbatched, ",");
   PrintArm(out, "batched", batched, ",");
+  PrintArm(out, "incremental", incremental, ",");
+  PrintArm(out, "incremental_spec8", inc_spec8, ",");
   PrintArm(out, "batched_spec8_threads1", spec_t1, ",");
   PrintArm(out, "batched_spec8_threads8", spec_t8, ",");
+
+  // Conv-flop reuse of the incremental arm, per layer: a node hit saves its
+  // row in every conv layer, so per-layer row counts are the node totals.
+  // Flops per row ~ 2 * 3 blocks * cin * cout (upper bound; absent-child
+  // blocks are skipped either way). Channel widths follow the default
+  // ValueNetConfig the JSON arms run with.
+  {
+    const nn::ValueNetConfig net_cfg;
+    const int plan_dim = f.feat->plan_dim();
+    const int embed_dim = net_cfg.query_fc.back();
+    const size_t layers = net_cfg.tree_channels.size();
+    const size_t rows_computed = incremental.rows_recomputed / layers;
+    const size_t rows_reused = incremental.rows_reused / layers;
+    const double reuse_rate =
+        static_cast<double>(rows_reused) /
+        static_cast<double>(std::max<size_t>(1, rows_reused + rows_computed));
+    std::fprintf(out,
+                 "  \"incremental_reuse\": {\"activation_hits\": %zu,"
+                 " \"rows_recomputed\": %zu, \"rows_reused\": %zu,"
+                 " \"reuse_rate\": %.4f, \"per_layer\": [",
+                 incremental.activation_hits, incremental.rows_recomputed,
+                 incremental.rows_reused, reuse_rate);
+    int cin = plan_dim + embed_dim;
+    for (size_t li = 0; li < layers; ++li) {
+      const int cout = net_cfg.tree_channels[li];
+      const double flops_per_row = 2.0 * 3.0 * cin * cout;
+      std::fprintf(out,
+                   "%s{\"in_channels\": %d, \"out_channels\": %d,"
+                   " \"rows_computed\": %zu, \"rows_reused\": %zu,"
+                   " \"gflops_computed\": %.3f, \"gflops_saved\": %.3f}",
+                   li == 0 ? "" : ", ", cin, cout, rows_computed, rows_reused,
+                   flops_per_row * static_cast<double>(rows_computed) * 1e-9,
+                   flops_per_row * static_cast<double>(rows_reused) * 1e-9);
+      cin = cout;
+    }
+    std::fprintf(out, "]},\n");
+  }
+
   std::fprintf(out,
                "  \"speedup_vs_seed\": %.2f,\n"
                "  \"speedup_from_batching\": %.2f,\n"
+               "  \"speedup_from_incremental\": %.2f,\n"
                "  \"speedup_from_threads\": %.2f\n"
                "}\n",
-               speedup_vs_seed, speedup_batching, speedup_threads);
+               speedup_vs_seed, speedup_batching, speedup_incremental,
+               speedup_threads);
   std::fclose(out);
   std::printf("search scoring throughput: seed %.0f, unbatched %.0f, batched"
-              " %.0f plans/s (%.2fx vs seed); spec8 %0.f -> %.0f plans/s"
-              " (%.2fx from 8 threads) -> %s\n",
+              " %.0f, incremental %.0f plans/s (%.2fx vs seed, %.2fx from"
+              " activation reuse); spec8 %0.f -> %.0f plans/s (%.2fx from 8"
+              " threads) -> %s\n",
               seed.plans_per_sec, unbatched.plans_per_sec, batched.plans_per_sec,
-              speedup_vs_seed, spec_t1.plans_per_sec, spec_t8.plans_per_sec,
-              speedup_threads, path.c_str());
+              incremental.plans_per_sec, speedup_vs_seed, speedup_incremental,
+              spec_t1.plans_per_sec, spec_t8.plans_per_sec, speedup_threads,
+              path.c_str());
 }
 
 }  // namespace

@@ -123,41 +123,27 @@ SearchResult PlanSearch::GreedyPlan(const query::Query& query) {
   return FindPlan(query, options);
 }
 
-void PlanSearch::ScoreCache::Clear(size_t cap) {
-  order_.clear();
-  index_.clear();
-  cap_ = cap;
-}
-
-const float* PlanSearch::ScoreCache::Find(uint64_t key) {
-  const auto it = index_.find(key);
-  if (it == index_.end()) return nullptr;
-  order_.splice(order_.begin(), order_, it->second);  // Touch: move to front.
-  return &it->second->second;
-}
-
-bool PlanSearch::ScoreCache::Insert(uint64_t key, float score) {
-  order_.emplace_front(key, score);
-  index_.emplace(key, order_.begin());
-  if (cap_ == 0 || index_.size() <= cap_) return false;
-  index_.erase(order_.back().first);
-  order_.pop_back();
-  return true;
-}
-
 void PlanSearch::SyncCache(const query::Query& query, const SearchOptions& options) {
   const size_t cap = options.score_cache_cap > 0
                          ? static_cast<size_t>(options.score_cache_cap)
                          : 0;
+  const size_t act_cap = options.activation_cache_cap > 0
+                             ? static_cast<size_t>(options.activation_cache_cap)
+                             : 0;
   if (cache_valid_ && cache_query_fp_ == query.fingerprint &&
       cache_version_ == net_->version() &&
-      cache_reference_mode_ == nn::UseReferenceKernels() && cache_cap_ == cap) {
+      cache_reference_mode_ == nn::UseReferenceKernels() && cache_cap_ == cap &&
+      act_cache_cap_ == act_cap) {
     return;
   }
   // A changed cap also rebuilds: re-capping a live LRU is not worth the
   // complexity for an option that changes between searches, not within one.
+  // The activation cache shares the validity triple (its entries depend on
+  // the query embedding and the weights exactly like scores do).
   score_cache_.Clear(cap);
+  activation_cache_.Clear(act_cap);
   cache_cap_ = cap;
+  act_cache_cap_ = act_cap;
   cache_query_fp_ = query.fingerprint;
   cache_version_ = net_->version();
   cache_reference_mode_ = nn::UseReferenceKernels();
@@ -222,8 +208,57 @@ std::vector<float> PlanSearch::ScoreAll(const query::Query& query,
   if (options.batched) {
     result->evaluations += misses.size();
     featurizer_->EncodePlanBatch(query, misses, &batch_scratch_);
+
+    // Incremental tree-conv inference: probe the activation cache per packed
+    // node row, serve hits, and hand the network a store slab for the dirty
+    // rows. Probing only touches (Find splices, never reallocates), and all
+    // inserts happen after the forward pass, so the cached pointers the
+    // network reads stay valid throughout.
+    const bool use_act = options.incremental && !nn::UseReferenceKernels();
+    const nn::ActivationReuse* reuse = nullptr;
+    const size_t entry_floats = static_cast<size_t>(net_->TotalConvChannels());
+    if (use_act) {
+      const size_t n_rows = batch_scratch_.node_fp.size();
+      reuse_scratch_.cached.assign(n_rows, nullptr);
+      reuse_scratch_.store.assign(n_rows, nullptr);
+      size_t n_dirty = 0;
+      for (size_t i = 0; i < n_rows; ++i) {
+        if (std::vector<float>* hit = activation_cache_.Find(batch_scratch_.node_fp[i])) {
+          reuse_scratch_.cached[i] = hit->data();
+          ++result->activation_hits;
+        } else {
+          ++n_dirty;
+        }
+      }
+      act_slab_scratch_.resize(n_dirty * entry_floats);
+      size_t slot = 0;
+      for (size_t i = 0; i < n_rows; ++i) {
+        if (reuse_scratch_.cached[i] == nullptr) {
+          reuse_scratch_.store[i] = act_slab_scratch_.data() + (slot++) * entry_floats;
+        }
+      }
+      const size_t layers = net_->config().tree_channels.size();
+      result->rows_recomputed += n_dirty * layers;
+      result->rows_reused += (n_rows - n_dirty) * layers;
+      reuse = &reuse_scratch_;
+    }
+
     const std::vector<float> predicted =
-        net_->PredictBatch(query_embedding, batch_scratch_, &net_ctx_);
+        net_->PredictBatch(query_embedding, batch_scratch_, &net_ctx_, reuse);
+
+    if (use_act) {
+      // Populate the cache from the slab. Duplicate fingerprints within one
+      // batch (sibling candidates share almost every subtree) insert once.
+      act_seen_scratch_.clear();
+      for (size_t i = 0; i < batch_scratch_.node_fp.size(); ++i) {
+        const float* src = reuse_scratch_.store[i];
+        if (src == nullptr) continue;
+        const uint64_t fp = batch_scratch_.node_fp[i];
+        if (!act_seen_scratch_.insert(fp).second) continue;
+        activation_cache_.Insert(fp, std::vector<float>(src, src + entry_floats));
+      }
+    }
+
     for (size_t m = 0; m < misses.size(); ++m) {
       scores[miss_idx[m]] = predicted[m];
       if (score_cache_.Insert(miss_hash[m], predicted[m])) ++result->cache_evictions;

@@ -37,18 +37,42 @@
 //      bit-identical for any N. {threads = 1, speculation = 1} reproduces
 //      the PR-1 serial path exactly.
 //   3. Concurrent searches (Neo::RunEpisode): one PlanSearch per worker.
-//      PlanSearch holds all mutable state (score cache, scratch, the
-//      network inference context), so distinct instances may run FindPlan
-//      concurrently against one shared ValueNetwork/Featurizer as long as
-//      no training runs at the same time.
+//      PlanSearch holds all mutable state (score cache, activation cache,
+//      scratch, the network inference context), so distinct instances may run
+//      FindPlan concurrently against one shared ValueNetwork/Featurizer as
+//      long as no training runs at the same time.
+//
+// Activation cache (incremental tree-conv inference)
+// --------------------------------------------------
+// A child plan differs from its parent by one specified leaf or one appended
+// join; every other node's subtree — and therefore its per-layer conv
+// activation, which is a pure function of the subtree's features and the
+// (query embedding, weights) — is unchanged. PlanSearch keeps a second
+// exact-LRU map from PlanNode::subtree_fp (subtree shape + ops + tables +
+// rel_masks) to the node's concatenated post-activation rows of every conv
+// layer. Each batched scoring pass probes it per packed node row: hits are
+// copied in, misses ("dirty" rows — for a one-node delta, the root-to-leaf
+// spine plus the new node, O(depth) of O(nodes)) run a row-restricted
+// gather/GEMM/scatter and are inserted afterwards.
+//
+// Keying/invalidation model: entries are valid only for the (query
+// fingerprint, network version, reference-kernel mode) triple tracked by
+// SyncCache — the same discipline as the score cache — because activations
+// depend on the query embedding (layer 0's shared-suffix projection) and the
+// weights. Any mismatch drops the whole cache; SearchOptions::
+// activation_cache_cap bounds its footprint (one entry holds
+// ValueNetwork::TotalConvChannels() floats). Row values are bit-identical to
+// the full pass (MatMul rows are position-independent), so the incremental
+// path changes no search outcome at any thread count; SearchOptions::
+// incremental = false disables it (bench baseline arms).
 #pragma once
 
-#include <list>
-#include <unordered_map>
+#include <unordered_set>
 
 #include "src/featurize/featurizer.h"
 #include "src/nn/value_network.h"
 #include "src/plan/plan.h"
+#include "src/util/lru_map.h"
 
 namespace neo::core {
 
@@ -62,6 +86,14 @@ struct SearchOptions {
   /// Max entries in the per-query score cache (<= 0: unbounded). Evicted
   /// plans are simply re-scored on the next encounter.
   int score_cache_cap = 64 * 1024;
+  /// Incremental tree-conv inference: reuse per-node conv activations across
+  /// the parent/child plans of one search (see the activation-cache notes at
+  /// the top of this header). Bit-identical to the full pass; off reverts
+  /// batched scoring to recomputing every node row.
+  bool incremental = true;
+  /// Max node entries in the activation cache (<= 0: unbounded). An evicted
+  /// node's rows are simply recomputed on the next encounter.
+  int activation_cache_cap = 64 * 1024;
 };
 
 struct SearchResult {
@@ -71,6 +103,13 @@ struct SearchResult {
   size_t evaluations = 0;  ///< Real value-network forward passes (cache misses).
   size_t cache_hits = 0;   ///< Scores served from the per-query score cache.
   size_t cache_evictions = 0;  ///< LRU evictions forced by score_cache_cap.
+  size_t activation_hits = 0;  ///< Packed node rows served by the activation cache.
+  /// Conv rows computed vs. served from cache, summed over layers (a node hit
+  /// saves one row in EVERY conv layer, so these are activation-miss/hit node
+  /// counts x num conv layers). rows_reused / (rows_reused + rows_recomputed)
+  /// is the conv-flop reuse rate of the search.
+  size_t rows_recomputed = 0;
+  size_t rows_reused = 0;
   double wall_ms = 0.0;
   bool hurried = false;  ///< Completed via hurry-up mode.
 };
@@ -100,29 +139,6 @@ class PlanSearch {
   SearchResult GreedyPlan(const query::Query& query);
 
  private:
-  /// Exact-LRU bounded map: plan hash -> predicted cost. Find() touches;
-  /// Insert() evicts the least-recently-used entry past the cap. Move-only
-  /// (the index holds list iterators, which a copy would leave dangling).
-  class ScoreCache {
-   public:
-    ScoreCache() = default;
-    ScoreCache(ScoreCache&&) = default;
-    ScoreCache& operator=(ScoreCache&&) = default;
-    ScoreCache(const ScoreCache&) = delete;
-    ScoreCache& operator=(const ScoreCache&) = delete;
-
-    void Clear(size_t cap);  ///< Drops all entries; cap 0 = unbounded.
-    const float* Find(uint64_t key);
-    bool Insert(uint64_t key, float score);  ///< True if an entry was evicted.
-    size_t size() const { return index_.size(); }
-
-   private:
-    using Entry = std::pair<uint64_t, float>;
-    std::list<Entry> order_;  ///< Front = most recently used.
-    std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
-    size_t cap_ = 0;
-  };
-
   float Score(const query::Query& query, const nn::Matrix& query_embedding,
               const plan::PartialPlan& plan, const SearchOptions& options,
               SearchResult* result);
@@ -143,22 +159,28 @@ class PlanSearch {
                               const std::vector<uint64_t>* hashes,
                               const SearchOptions& options, SearchResult* result);
 
-  /// Drops the score cache unless it matches (query, network version).
+  /// Drops the score + activation caches unless they match (query, network
+  /// version).
   void SyncCache(const query::Query& query, const SearchOptions& options);
 
   const featurize::Featurizer* featurizer_;
   nn::ValueNetwork* net_;
 
-  /// Per-query score cache; valid only for (cache_query_fp_, cache_version_,
-  /// cache_reference_mode_) and cleared on any mismatch. Keyed by
-  /// Query::fingerprint (content hash), not Query::id, so distinct queries
-  /// that share an id (or the -1 default) never read each other's scores;
-  /// the reference-kernel mode is part of the key so bench arms on one
-  /// instance never mix kernel paths.
-  ScoreCache score_cache_;
+  /// Per-query score cache (plan hash -> predicted cost); valid only for
+  /// (cache_query_fp_, cache_version_, cache_reference_mode_) and cleared on
+  /// any mismatch. Keyed by Query::fingerprint (content hash), not
+  /// Query::id, so distinct queries that share an id (or the -1 default)
+  /// never read each other's scores; the reference-kernel mode is part of the
+  /// key so bench arms on one instance never mix kernel paths.
+  util::LruMap<uint64_t, float> score_cache_;
+  /// Per-query activation cache (PlanNode::subtree_fp -> concatenated
+  /// per-layer post-activation rows); same validity triple as score_cache_
+  /// (see the activation-cache notes at the top of this header).
+  util::LruMap<uint64_t, std::vector<float>> activation_cache_;
   uint64_t cache_version_ = 0;
   uint64_t cache_query_fp_ = 0;
   size_t cache_cap_ = 0;
+  size_t act_cache_cap_ = 0;
   bool cache_reference_mode_ = false;
   bool cache_valid_ = false;
 
@@ -175,6 +197,14 @@ class PlanSearch {
   std::vector<const plan::PartialPlan*> miss_scratch_;
   std::vector<size_t> miss_idx_scratch_;
   std::vector<uint64_t> miss_hash_scratch_;
+  /// Incremental-path scratch: the per-row cached/store pointer views handed
+  /// to PredictBatch, the slab the network writes dirty-row activations into
+  /// (inserted into activation_cache_ after the forward pass — never during
+  /// it, so eviction cannot invalidate in-use cached pointers), and the
+  /// per-batch fingerprint dedup for those inserts.
+  nn::ActivationReuse reuse_scratch_;
+  std::vector<float> act_slab_scratch_;
+  std::unordered_set<uint64_t> act_seen_scratch_;
 };
 
 }  // namespace neo::core

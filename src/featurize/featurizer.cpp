@@ -168,12 +168,13 @@ void Featurizer::EncodeNode(const query::Query& query, const plan::PlanNode& nod
 
 void Featurizer::AppendPlan(const query::Query& query, const plan::PartialPlan& plan,
                             int base, nn::TreeStructure* tree,
-                            nn::Matrix* features) const {
+                            nn::Matrix* features, std::vector<uint64_t>* fps) const {
   // Pre-order flattening over all roots of the forest, at offset `base`.
   int next = base;
   std::function<int(const plan::PlanNode&)> visit = [&](const plan::PlanNode& node) {
     const int idx = next++;
     EncodeNode(query, node, features->Row(idx));
+    if (fps != nullptr) (*fps)[static_cast<size_t>(idx)] = node.subtree_fp;
     if (node.is_join) {
       tree->left[static_cast<size_t>(idx)] = visit(*node.left);
       tree->right[static_cast<size_t>(idx)] = visit(*node.right);
@@ -206,10 +207,11 @@ void Featurizer::EncodePlanBatch(const query::Query& query,
   }
   batch->forest.left.assign(total_nodes, -1);
   batch->forest.right.assign(total_nodes, -1);
+  batch->node_fp.assign(total_nodes, 0);
   batch->node_features = nn::Matrix(static_cast<int>(total_nodes), plan_dim_);
   for (size_t i = 0; i < plans.size(); ++i) {
     AppendPlan(query, *plans[i], batch->tree_offsets[i], &batch->forest,
-               &batch->node_features);
+               &batch->node_features, &batch->node_fp);
   }
 }
 

@@ -63,7 +63,9 @@ class Featurizer {
   /// Encodes several plans of one query into a single packed forest (child
   /// indices offset per plan, features stacked into one matrix) for
   /// ValueNetwork::PredictBatch. All plans append into shared buffers sized
-  /// once up front.
+  /// once up front. Also emits batch->node_fp — each packed row's subtree
+  /// fingerprint — so the caller can decide which node rows are resident in
+  /// its activation cache and which must be computed.
   void EncodePlanBatch(const query::Query& query,
                        const std::vector<const plan::PartialPlan*>& plans,
                        nn::PlanBatch* batch) const;
@@ -75,8 +77,10 @@ class Featurizer {
   void EncodeNode(const query::Query& query, const plan::PlanNode& node,
                   float* out) const;
   /// Appends one plan's trees at node offset `base` into shared buffers.
+  /// `fps`, when non-null, receives each row's PlanNode::subtree_fp.
   void AppendPlan(const query::Query& query, const plan::PartialPlan& plan,
-                  int base, nn::TreeStructure* tree, nn::Matrix* features) const;
+                  int base, nn::TreeStructure* tree, nn::Matrix* features,
+                  std::vector<uint64_t>* fps = nullptr) const;
   double CardFeature(const query::Query& query, uint64_t rel_mask) const;
 
   const catalog::Schema& schema_;

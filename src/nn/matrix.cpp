@@ -55,6 +55,14 @@ thread_local int g_compute_threads = 1;
 void SetUseReferenceKernels(bool use) { g_use_reference_kernels = use; }
 bool UseReferenceKernels() { return g_use_reference_kernels; }
 
+const char* KernelArchString() {
+#ifdef NEO_NATIVE_ARCH
+  return "avx2+fma";
+#else
+  return "default";
+#endif
+}
+
 void SetComputeThreads(int n) { g_compute_threads = n < 1 ? 1 : n; }
 int ComputeThreads() { return g_compute_threads; }
 

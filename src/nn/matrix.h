@@ -77,6 +77,12 @@ Matrix MatMulNaive(const Matrix& a, const Matrix& b);
 Matrix MatMulTransposeBNaive(const Matrix& a, const Matrix& b);
 Matrix MatMulTransposeANaive(const Matrix& a, const Matrix& b);
 
+/// Instruction-set flags the optimized-kernel TU was compiled with: "avx2+fma"
+/// under -DNEO_NATIVE_ARCH=ON, else "default" (-march=native where the
+/// toolchain supports it). Recorded in the BENCH_*.json files so perf numbers
+/// are attributable to the build configuration.
+const char* KernelArchString();
+
 /// When true, MatMul / MatMulTransposeA / MatMulTransposeB route through the
 /// reference kernels, and ValueNetwork inference reverts to the dense
 /// augment-and-concat forward. Bench-only: lets perf comparisons reconstruct

@@ -154,6 +154,88 @@ Matrix TreeConv::ForwardInference(const TreeStructure& tree, const Matrix& x,
   return y;
 }
 
+void TreeConv::ForwardInferenceRows(const TreeStructure& tree, const Matrix& x,
+                                    const std::vector<int>& rows,
+                                    const Matrix* shared_suffix, Scratch* scratch,
+                                    Matrix* y) const {
+  const int s = shared_suffix_dim_;
+  const int top = in_channels_ - s;
+  const int cout = weight_.value.cols();
+  NEO_CHECK(x.cols() == top);
+  NEO_CHECK((s > 0) == (shared_suffix != nullptr));
+  NEO_CHECK(static_cast<size_t>(x.rows()) == tree.NumNodes());
+  NEO_CHECK(y->rows() == x.rows() && y->cols() == cout);
+  NEO_CHECK(split_fresh_);
+  if (rows.empty()) return;
+  Scratch local;
+  if (scratch == nullptr) scratch = &local;
+  const int d = static_cast<int>(rows.size());
+
+  Matrix suffix_self, suffix_left, suffix_right;
+  if (s > 0) {
+    NEO_CHECK(shared_suffix->cols() == s);
+    suffix_self = MatMul(*shared_suffix, w_self_suffix_);
+    suffix_left = MatMul(*shared_suffix, w_left_suffix_);
+    suffix_right = MatMul(*shared_suffix, w_right_suffix_);
+  }
+
+  auto regather = [&](int count) {
+    if (scratch->gather.rows() != count || scratch->gather.cols() != top) {
+      scratch->gather = Matrix(count, top);
+    }
+  };
+
+  // Self block + bias (+ self-suffix projection), gathered over dirty rows.
+  regather(d);
+  for (int r = 0; r < d; ++r) {
+    std::copy(x.Row(rows[static_cast<size_t>(r)]),
+              x.Row(rows[static_cast<size_t>(r)]) + top, scratch->gather.Row(r));
+  }
+  const Matrix self = MatMul(scratch->gather, w_self_);
+  const float* b = bias_.value.Row(0);
+  const float* sp = s > 0 ? suffix_self.Row(0) : nullptr;
+  for (int r = 0; r < d; ++r) {
+    float* dst = y->Row(rows[static_cast<size_t>(r)]);
+    const float* src = self.Row(r);
+    for (int c = 0; c < cout; ++c) dst[c] = src[c] + b[c];
+    if (sp != nullptr) {
+      for (int c = 0; c < cout; ++c) dst[c] += sp[c];
+    }
+  }
+
+  // Child blocks restricted to the dirty rows' present children.
+  auto add_side = [&](const std::vector<int>& child, const Matrix& w,
+                      const Matrix& suffix_proj) {
+    int present = 0;
+    for (const int r : rows) {
+      if (child[static_cast<size_t>(r)] >= 0) ++present;
+    }
+    if (present == 0) return;
+    regather(present);
+    scratch->parent.assign(static_cast<size_t>(present), 0);
+    int t = 0;
+    for (const int r : rows) {
+      const int c = child[static_cast<size_t>(r)];
+      if (c < 0) continue;
+      std::copy(x.Row(c), x.Row(c) + top, scratch->gather.Row(t));
+      scratch->parent[static_cast<size_t>(t)] = r;
+      ++t;
+    }
+    const Matrix contrib = MatMul(scratch->gather, w);
+    const float* proj = s > 0 ? suffix_proj.Row(0) : nullptr;
+    for (int r = 0; r < present; ++r) {
+      float* dst = y->Row(scratch->parent[static_cast<size_t>(r)]);
+      const float* src = contrib.Row(r);
+      for (int c = 0; c < cout; ++c) dst[c] += src[c];
+      if (proj != nullptr) {
+        for (int c = 0; c < cout; ++c) dst[c] += proj[c];
+      }
+    }
+  };
+  add_side(tree.left, w_left_, suffix_left);
+  add_side(tree.right, w_right_, suffix_right);
+}
+
 Matrix TreeConv::Backward(const TreeStructure& tree, const Matrix& grad_out) {
   // Training implies an imminent weight update: invalidate the inference
   // split so ForwardInference cannot silently use stale weights.

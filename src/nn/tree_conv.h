@@ -65,6 +65,20 @@ class TreeConv {
                           const Matrix* shared_suffix = nullptr,
                           Scratch* scratch = nullptr) const;
 
+  /// Incremental variant of ForwardInference: computes ONLY the output rows
+  /// listed in `rows` (ascending node indices), writing them into the
+  /// pre-sized (nodes x out_channels) `y`; all other rows of `y` must already
+  /// hold their values (the caller fills them from its activation cache).
+  /// `x` still spans every node — a dirty row may gather a clean child's
+  /// input. Each computed row runs the exact gather/GEMM/scatter arithmetic
+  /// of the full pass (MatMul rows are position-independent), so it is
+  /// bit-identical to the same row of ForwardInference. Same thread-safety
+  /// and RefreshInferenceWeights contract as ForwardInference.
+  void ForwardInferenceRows(const TreeStructure& tree, const Matrix& x,
+                            const std::vector<int>& rows,
+                            const Matrix* shared_suffix, Scratch* scratch,
+                            Matrix* y) const;
+
   /// Re-splits the stacked weight into the per-block copies ForwardInference
   /// multiplies with. Cheap (one memcpy of the weight matrix).
   void RefreshInferenceWeights();

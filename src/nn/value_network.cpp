@@ -30,6 +30,7 @@ ValueNetwork::ValueNetwork(const ValueNetConfig& config)
     const int out_channels = config.tree_channels[i];
     convs_.emplace_back(channels, out_channels, rng_, i == 0 ? embed_dim_ : 0);
     channels = out_channels;
+    total_conv_channels_ += out_channels;
   }
 
   // Head FC stack -> scalar.
@@ -203,18 +204,62 @@ Matrix ValueNetwork::InferencePooled(const TreeStructure& tree,
                                      const Matrix& node_features,
                                      const Matrix& query_embedding,
                                      const std::vector<int>& offsets,
-                                     InferenceContext* ctx) {
+                                     InferenceContext* ctx,
+                                     const ActivationReuse* reuse) {
   SyncInferenceWeights();
   if (ctx == nullptr) ctx = &default_ctx_;
   if (ctx->conv_scratch.size() < convs_.size()) ctx->conv_scratch.resize(convs_.size());
+
+  if (reuse == nullptr) {
+    Matrix cur;
+    for (size_t li = 0; li < convs_.size(); ++li) {
+      Matrix z = li == 0 ? convs_[0].ForwardInference(tree, node_features,
+                                                      &query_embedding,
+                                                      &ctx->conv_scratch[0])
+                         : convs_[li].ForwardInference(tree, cur, nullptr,
+                                                       &ctx->conv_scratch[li]);
+      ApplyLeakyReLU(&z);
+      cur = std::move(z);
+    }
+    return pool_.ForwardInference(cur, offsets);
+  }
+
+  // Incremental path: cached rows are copied in per layer, dirty rows run the
+  // row-restricted gather/GEMM/scatter. Every row of every layer matrix ends
+  // up filled (clean from cache, dirty computed), so a dirty node may sit
+  // anywhere — its children's input rows are always available. Dirty rows get
+  // the same per-row arithmetic (and then the same leaky ReLU) as the full
+  // pass, and cached rows were themselves computed that way in an earlier
+  // batch, so the pooled result is bit-identical to the non-incremental path.
+  const int n = node_features.rows();
+  NEO_CHECK(reuse->cached.size() == static_cast<size_t>(n));
+  NEO_CHECK(reuse->store.size() == static_cast<size_t>(n));
+  std::vector<int>& dirty = ctx->dirty_rows;
+  dirty.clear();
+  for (int i = 0; i < n; ++i) {
+    if (reuse->cached[static_cast<size_t>(i)] == nullptr) dirty.push_back(i);
+  }
   Matrix cur;
+  int layer_off = 0;
   for (size_t li = 0; li < convs_.size(); ++li) {
-    Matrix z = li == 0 ? convs_[0].ForwardInference(tree, node_features,
-                                                    &query_embedding,
-                                                    &ctx->conv_scratch[0])
-                       : convs_[li].ForwardInference(tree, cur, nullptr,
-                                                     &ctx->conv_scratch[li]);
-    ApplyLeakyReLU(&z);
+    const int cout = convs_[li].out_channels();
+    Matrix z(n, cout);
+    for (int i = 0; i < n; ++i) {
+      const float* hit = reuse->cached[static_cast<size_t>(i)];
+      if (hit != nullptr) std::copy(hit + layer_off, hit + layer_off + cout, z.Row(i));
+    }
+    convs_[li].ForwardInferenceRows(tree, li == 0 ? node_features : cur, dirty,
+                                    li == 0 ? &query_embedding : nullptr,
+                                    &ctx->conv_scratch[li], &z);
+    for (const int i : dirty) {
+      float* row = z.Row(i);
+      for (int c = 0; c < cout; ++c) {
+        if (row[c] < 0.0f) row[c] *= leaky_alpha_;
+      }
+      float* out = reuse->store[static_cast<size_t>(i)];
+      if (out != nullptr) std::copy(row, row + cout, out + layer_off);
+    }
+    layer_off += cout;
     cur = std::move(z);
   }
   return pool_.ForwardInference(cur, offsets);
@@ -222,7 +267,8 @@ Matrix ValueNetwork::InferencePooled(const TreeStructure& tree,
 
 std::vector<float> ValueNetwork::PredictBatch(const Matrix& query_embedding,
                                               const PlanBatch& batch,
-                                              InferenceContext* ctx) {
+                                              InferenceContext* ctx,
+                                              const ActivationReuse* reuse) {
   const int n_plans = batch.size();
   if (n_plans == 0) return {};
   NEO_CHECK(batch.node_features.rows() ==
@@ -230,7 +276,9 @@ std::vector<float> ValueNetwork::PredictBatch(const Matrix& query_embedding,
   Matrix pooled;  // (N x C)
   if (UseReferenceKernels()) {
     // Seed-path reconstruction for benches: dense augment-and-concat stack.
-    // Mutates layer caches, so it is single-thread only.
+    // Mutates layer caches, so it is single-thread only. Activation reuse is
+    // a fast-kernel feature; callers must not pass it in reference mode.
+    NEO_CHECK(reuse == nullptr);
     Matrix cur = AugmentNodes(query_embedding, batch.node_features);
     for (auto& conv : convs_) {
       Matrix z = conv.Forward(batch.forest, cur);
@@ -240,7 +288,7 @@ std::vector<float> ValueNetwork::PredictBatch(const Matrix& query_embedding,
     pooled = pool_.Forward(cur, batch.tree_offsets);
   } else {
     pooled = InferencePooled(batch.forest, batch.node_features, query_embedding,
-                             batch.tree_offsets, ctx);
+                             batch.tree_offsets, ctx, reuse);
   }
   const Matrix scores = head_.ForwardInference(pooled);  // (N x 1)
   std::vector<float> out(static_cast<size_t>(n_plans));

@@ -48,6 +48,11 @@ struct PlanBatch {
   TreeStructure forest;           ///< Concatenated trees, offset child indices.
   Matrix node_features;           ///< (total nodes x plan_dim)
   std::vector<int> tree_offsets;  ///< size() + 1 monotone row offsets.
+  /// Per node row: the plan node's subtree fingerprint (PlanNode::subtree_fp)
+  /// — the key of the search's activation cache. Filled by
+  /// Featurizer::EncodePlanBatch; empty when packed without plan identity
+  /// (PackPlanBatch for training).
+  std::vector<uint64_t> node_fp;
 
   int size() const {
     return tree_offsets.empty() ? 0 : static_cast<int>(tree_offsets.size()) - 1;
@@ -60,6 +65,25 @@ struct PlanBatch {
 PlanBatch PackPlanBatch(const PlanSample* const* samples, size_t n);
 PlanBatch PackPlanBatch(const std::vector<const PlanSample*>& samples);
 
+/// Per-node activation reuse for the incremental PredictBatch path. For node
+/// row i of a packed forest:
+///   cached[i] — non-null: every conv layer's post-activation row is served
+///               from this buffer instead of being computed (layer l occupies
+///               floats [sum of earlier out_channels, +out_channels_l) — the
+///               concatenated layout of ValueNetwork::TotalConvChannels()
+///               floats); null: the row is dirty and recomputed.
+///   store[i]  — non-null (dirty rows only): the network writes the row's
+///               computed post-activation values in the same concatenated
+///               layout, so the caller can populate its activation cache.
+/// Both vectors span all node rows. A cached row must have been produced by
+/// this network at the current weight version for the same (query embedding,
+/// subtree) — the caller's cache keying enforces that — and then the batch's
+/// scores are bit-identical to a non-incremental PredictBatch.
+struct ActivationReuse {
+  std::vector<const float*> cached;
+  std::vector<float*> store;
+};
+
 class ValueNetwork {
  public:
   /// Per-caller scratch for the inference paths. The network's inference is
@@ -70,6 +94,7 @@ class ValueNetwork {
   /// a network-owned default context, which is single-thread only.
   struct InferenceContext {
     std::vector<TreeConv::Scratch> conv_scratch;  ///< One per conv layer (lazy).
+    std::vector<int> dirty_rows;  ///< Incremental-path row-list scratch.
   };
 
   explicit ValueNetwork(const ValueNetConfig& config);
@@ -89,7 +114,12 @@ class ValueNetwork {
   /// partition over the thread pool per nn::ComputeThreads()). Per-plan
   /// results match PredictWithEmbedding bit-for-bit at any thread count.
   std::vector<float> PredictBatch(const Matrix& query_embedding, const PlanBatch& batch,
-                                  InferenceContext* ctx = nullptr);
+                                  InferenceContext* ctx = nullptr,
+                                  const ActivationReuse* reuse = nullptr);
+
+  /// Floats per node of a concatenated all-conv-layer activation entry (the
+  /// ActivationReuse buffer size): sum of the conv stack's out_channels.
+  int TotalConvChannels() const { return total_conv_channels_; }
 
   /// Convenience overload packing per-sample trees/features on the fly.
   std::vector<float> PredictBatch(const Matrix& query_embedding,
@@ -156,9 +186,12 @@ class ValueNetwork {
 
   /// Fast-inference conv stack + segmented pooling shared by PredictBatch
   /// and the single-plan prediction path (offsets {0, n} for one tree).
+  /// `reuse`, when non-null, serves cached rows and computes only dirty ones
+  /// (see ActivationReuse).
   Matrix InferencePooled(const TreeStructure& tree, const Matrix& node_features,
                          const Matrix& query_embedding,
-                         const std::vector<int>& offsets, InferenceContext* ctx);
+                         const std::vector<int>& offsets, InferenceContext* ctx,
+                         const ActivationReuse* reuse = nullptr);
 
   /// The legacy per-sample training loop (SetBatchedTraining(false)).
   float TrainBatchPerSample(const PlanSample* const* samples, const float* targets,
@@ -186,6 +219,7 @@ class ValueNetwork {
   bool batched_training_ = true;
   float leaky_alpha_;
   int embed_dim_ = 0;
+  int total_conv_channels_ = 0;
 };
 
 }  // namespace neo::nn

@@ -41,6 +41,7 @@ NodeRef MakeScan(ScanOp op, int table_id, uint64_t rel_mask) {
   node->hash = util::HashCombine(
       util::Mix64(0x5ca0ULL + static_cast<uint64_t>(op)),
       util::Mix64(static_cast<uint64_t>(table_id) + 0x11ULL));
+  node->subtree_fp = util::HashCombine(node->hash, util::Mix64(rel_mask));
   return node;
 }
 
@@ -55,6 +56,10 @@ NodeRef MakeJoin(JoinOp op, NodeRef left, NodeRef right) {
   node->hash = util::HashCombine(
       util::HashCombine(util::Mix64(0x701AULL + static_cast<uint64_t>(op)), left->hash),
       right->hash);
+  node->subtree_fp = util::HashCombine(
+      util::HashCombine(util::Mix64(0xac71ULL + static_cast<uint64_t>(op)),
+                        left->subtree_fp),
+      right->subtree_fp);
   node->left = std::move(left);
   node->right = std::move(right);
   return node;

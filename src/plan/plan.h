@@ -53,6 +53,14 @@ struct PlanNode {
   /// Structural hash (operators + shape + tables); cached at construction.
   uint64_t hash = 0;
 
+  /// Subtree fingerprint: like `hash` but additionally mixing in rel_mask at
+  /// every node, so it determines the *featurization* of the entire subtree
+  /// (scan/join bits depend on ops + tables; the optional cardinality channel
+  /// depends on rel_mask). Within one query, equal fingerprints imply
+  /// bit-identical feature rows for the node and all descendants — the key of
+  /// the search's per-node conv-activation cache. Cached at construction.
+  uint64_t subtree_fp = 0;
+
   size_t NumNodes() const;
 };
 

@@ -2,6 +2,8 @@
 // end-to-end learning loop (bootstrap -> episodes -> improvement).
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+
 #include "src/core/neo.h"
 #include "src/datagen/imdb_gen.h"
 #include "src/query/builder.h"
@@ -204,6 +206,109 @@ TEST_F(CoreFixture, SpeculativeSearchStillFindsCompletePlans) {
   EXPECT_TRUE(r.plan.IsComplete());
   EXPECT_EQ(r.plan.CoveredMask(), (1ULL << q.num_relations()) - 1);
   EXPECT_GT(r.evaluations, 0u);
+}
+
+TEST_F(CoreFixture, IncrementalSearchBitIdenticalAcrossToggleAndThreads) {
+  // The activation cache must change no search outcome: SearchResult is
+  // bit-identical with incremental on/off, at threads 1/2/8, and the
+  // incremental runs must actually reuse activations.
+  engine::ExecutionEngine engine(ds_->schema, *ds_->db, EngineKind::kPostgres);
+  const auto wl = query::MakeJobWorkload(ds_->schema, *ds_->db);
+  const Query& q = wl.query(60);  // A JOB query (5 relations).
+  SearchResult baseline;
+  bool have_baseline = false;
+  for (const bool incremental : {false, true}) {
+    for (const int threads : {1, 2, 8}) {
+      Neo neo(featurizer_, &engine, SmallConfig());
+      SearchOptions opt;
+      opt.max_expansions = 30;
+      opt.incremental = incremental;
+      opt.threads = threads;
+      const SearchResult r = neo.search().FindPlan(q, opt);
+      EXPECT_TRUE(r.plan.IsComplete());
+      if (incremental) {
+        EXPECT_GT(r.activation_hits, 0u);
+        // Children share all but a spine with their parent; after the first
+        // expansion the cache serves far more rows than are recomputed.
+        EXPECT_GT(r.rows_reused, r.rows_recomputed);
+      } else {
+        EXPECT_EQ(r.activation_hits, 0u);
+        EXPECT_EQ(r.rows_recomputed, 0u);
+        EXPECT_EQ(r.rows_reused, 0u);
+      }
+      if (!have_baseline) {
+        baseline = r;
+        have_baseline = true;
+        continue;
+      }
+      EXPECT_EQ(r.plan.Hash(), baseline.plan.Hash())
+          << "incremental " << incremental << " threads " << threads;
+      EXPECT_EQ(r.predicted_cost, baseline.predicted_cost);
+      EXPECT_EQ(r.expansions, baseline.expansions);
+      EXPECT_EQ(r.evaluations, baseline.evaluations);
+      EXPECT_EQ(r.cache_hits, baseline.cache_hits);
+      EXPECT_EQ(r.plan.ToString(ds_->schema), baseline.plan.ToString(ds_->schema));
+    }
+  }
+}
+
+TEST_F(CoreFixture, IncrementalScoresBitIdenticalAlongParentChildChains) {
+  // The tentpole's parity contract at the PredictBatch level: walk random
+  // parent -> child chains (each step a one-leaf or one-join delta), score
+  // every child set both plainly and through an activation cache carried
+  // across steps, and require bitwise-equal scores.
+  engine::ExecutionEngine engine(ds_->schema, *ds_->db, EngineKind::kPostgres);
+  const auto wl = query::MakeJobWorkload(ds_->schema, *ds_->db);
+  Neo neo(featurizer_, &engine, SmallConfig());
+  nn::ValueNetwork& net = neo.net();
+  const size_t entry = static_cast<size_t>(net.TotalConvChannels());
+
+  for (const uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Query& q = seed == 1 ? wl.query(60) : ThreeWay(70 + static_cast<int>(seed));
+    const nn::Matrix embed = net.EmbedQuery(featurizer_->EncodeQuery(q));
+    std::unordered_map<uint64_t, std::vector<float>> cache;
+    util::Rng rng(seed);
+    plan::PartialPlan state = plan::PartialPlan::Initial(q);
+    size_t steps = 0;
+    while (!state.IsComplete()) {
+      const auto children = neo.search().Children(q, state);
+      ASSERT_FALSE(children.empty());
+      std::vector<const plan::PartialPlan*> ptrs;
+      for (const auto& c : children) ptrs.push_back(&c);
+      nn::PlanBatch batch;
+      featurizer_->EncodePlanBatch(q, ptrs, &batch);
+      const std::vector<float> plain = net.PredictBatch(embed, batch);
+
+      const size_t n = batch.node_fp.size();
+      std::vector<float> slab(n * entry, 0.0f);
+      nn::ActivationReuse reuse;
+      reuse.cached.assign(n, nullptr);
+      reuse.store.assign(n, nullptr);
+      for (size_t i = 0; i < n; ++i) {
+        const auto it = cache.find(batch.node_fp[i]);
+        if (it != cache.end()) {
+          reuse.cached[i] = it->second.data();
+        } else {
+          reuse.store[i] = slab.data() + i * entry;
+        }
+      }
+      const std::vector<float> incremental = net.PredictBatch(embed, batch, nullptr, &reuse);
+      ASSERT_EQ(incremental.size(), plain.size());
+      for (size_t i = 0; i < plain.size(); ++i) {
+        ASSERT_EQ(plain[i], incremental[i])
+            << "seed " << seed << " step " << steps << " child " << i;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (reuse.store[i] != nullptr) {
+          cache.emplace(batch.node_fp[i],
+                        std::vector<float>(reuse.store[i], reuse.store[i] + entry));
+        }
+      }
+      state = children[rng.NextBounded(children.size())];
+      ++steps;
+    }
+    EXPECT_GT(steps, 0u);
+  }
 }
 
 TEST_F(CoreFixture, ScoreCacheLruEvictsAndRecomputes) {

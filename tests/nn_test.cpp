@@ -398,6 +398,52 @@ TEST(TreeConvTest, SharedSuffixInferenceMatchesDenseForward) {
   }
 }
 
+TEST(TreeConvTest, ForwardInferenceRowsBitIdenticalToFullPass) {
+  // The incremental path computes a subset of output rows; they must equal
+  // the full ForwardInference rows BITWISE (the activation cache mixes rows
+  // from both paths into one matrix).
+  util::Rng rng(11);
+  TreeConv conv(5, 8, rng);
+  conv.RefreshInferenceWeights();
+  TreeStructure t;
+  t.left = {1, 3, -1, -1, -1, -1};
+  t.right = {2, -1, -1, -1, 5, -1};
+  const Matrix x = RandomMatrix(6, 5, rng);
+  const Matrix full = conv.ForwardInference(t, x);
+  for (const std::vector<int>& rows :
+       {std::vector<int>{0}, std::vector<int>{0, 1, 4}, std::vector<int>{2, 3, 5},
+        std::vector<int>{0, 1, 2, 3, 4, 5}, std::vector<int>{}}) {
+    Matrix y(6, 8);
+    for (int i = 0; i < 6; ++i) {
+      std::copy(full.Row(i), full.Row(i) + 8, y.Row(i));  // "Cached" rows.
+    }
+    for (const int r : rows) std::fill(y.Row(r), y.Row(r) + 8, -123.0f);
+    conv.ForwardInferenceRows(t, x, rows, nullptr, nullptr, &y);
+    for (size_t i = 0; i < full.Size(); ++i) {
+      ASSERT_EQ(full.data()[i], y.data()[i]) << "rows subset size " << rows.size();
+    }
+  }
+}
+
+TEST(TreeConvTest, ForwardInferenceRowsSharedSuffixBitIdentical) {
+  util::Rng rng(12);
+  const int varying = 4, suffix_dim = 3;
+  TreeConv conv(varying + suffix_dim, 6, rng, suffix_dim);
+  conv.RefreshInferenceWeights();
+  TreeStructure t;
+  t.left = {1, 3, -1, -1, -1};
+  t.right = {2, -1, -1, 4, -1};
+  const Matrix x = RandomMatrix(5, varying, rng);
+  const Matrix suffix = RandomMatrix(1, suffix_dim, rng);
+  const Matrix full = conv.ForwardInference(t, x, &suffix);
+  Matrix y(5, 6);
+  for (int i = 0; i < 5; ++i) std::copy(full.Row(i), full.Row(i) + 6, y.Row(i));
+  const std::vector<int> rows = {0, 3};
+  for (const int r : rows) std::fill(y.Row(r), y.Row(r) + 6, -123.0f);
+  conv.ForwardInferenceRows(t, x, rows, &suffix, nullptr, &y);
+  for (size_t i = 0; i < full.Size(); ++i) ASSERT_EQ(full.data()[i], y.data()[i]);
+}
+
 TEST(DynamicPoolingTest, MaxAndGradRouting) {
   DynamicPooling pool;
   Matrix x(3, 2);
@@ -742,6 +788,91 @@ TEST(ValueNetworkTest, ConcurrentPredictionMatchesSerial) {
   for (auto& t : threads) t.join();
   for (size_t i = 0; i < samples.size(); ++i) {
     ASSERT_EQ(serial[i], parallel[i]) << "sample " << i;
+  }
+}
+
+TEST(ValueNetworkTest, IncrementalPredictBatchBitIdenticalToFullPass) {
+  // Activation reuse round trip: (1) a batch scored with every row dirty and
+  // stored must match the plain pass bitwise; (2) re-scoring the same trees
+  // with every row served from the stored activations must too; (3) a mixed
+  // batch (one tree cached, one new tree dirty) must as well — the search's
+  // parent/child scenario.
+  ValueNetwork net(SmallConfig());
+  util::Rng rng(23);
+  PlanSample a = MakeRandomTreeSample(rng, 10, 7, 9);
+  PlanSample b = MakeRandomTreeSample(rng, 10, 7, 5);
+  PlanSample c = MakeRandomTreeSample(rng, 10, 7, 13);
+  const Matrix embed = net.EmbedQuery(a.query_vec);
+  const size_t entry = static_cast<size_t>(net.TotalConvChannels());
+
+  const std::vector<float> ref_ab = net.PredictBatch(embed, {&a, &b});
+  const std::vector<float> ref_ac = net.PredictBatch(embed, {&a, &c});
+
+  // (1) All dirty, all stored.
+  const PlanBatch ab = PackPlanBatch({&a, &b});
+  const size_t n_ab = ab.forest.NumNodes();
+  std::vector<float> slab(n_ab * entry, 0.0f);
+  ActivationReuse reuse;
+  reuse.cached.assign(n_ab, nullptr);
+  reuse.store.assign(n_ab, nullptr);
+  for (size_t i = 0; i < n_ab; ++i) reuse.store[i] = slab.data() + i * entry;
+  const std::vector<float> dirty = net.PredictBatch(embed, ab, nullptr, &reuse);
+  ASSERT_EQ(dirty.size(), ref_ab.size());
+  for (size_t i = 0; i < ref_ab.size(); ++i) ASSERT_EQ(dirty[i], ref_ab[i]);
+
+  // (2) All served from cache.
+  reuse.store.assign(n_ab, nullptr);
+  for (size_t i = 0; i < n_ab; ++i) reuse.cached[i] = slab.data() + i * entry;
+  const std::vector<float> cached = net.PredictBatch(embed, ab, nullptr, &reuse);
+  for (size_t i = 0; i < ref_ab.size(); ++i) ASSERT_EQ(cached[i], ref_ab[i]);
+
+  // (3) Mixed: tree a's rows (the packed prefix) cached, tree c's dirty.
+  const PlanBatch ac = PackPlanBatch({&a, &c});
+  const size_t n_ac = ac.forest.NumNodes();
+  const size_t n_a = a.tree.NumNodes();
+  reuse.cached.assign(n_ac, nullptr);
+  reuse.store.assign(n_ac, nullptr);
+  for (size_t i = 0; i < n_a; ++i) reuse.cached[i] = slab.data() + i * entry;
+  const std::vector<float> mixed = net.PredictBatch(embed, ac, nullptr, &reuse);
+  ASSERT_EQ(mixed.size(), ref_ac.size());
+  for (size_t i = 0; i < ref_ac.size(); ++i) ASSERT_EQ(mixed[i], ref_ac[i]);
+}
+
+TEST(ValueNetworkTest, IncrementalPredictBatchBitIdenticalAcrossThreadCounts) {
+  // The dirty-row GEMMs partition over the pool like the full pass; scores
+  // must not depend on the degree.
+  ValueNetwork net(SmallConfig());
+  util::Rng rng(24);
+  PlanSample a = MakeRandomTreeSample(rng, 10, 7, 21);
+  PlanSample b = MakeRandomTreeSample(rng, 10, 7, 17);
+  const Matrix embed = net.EmbedQuery(a.query_vec);
+  const size_t entry = static_cast<size_t>(net.TotalConvChannels());
+  const PlanBatch batch = PackPlanBatch({&a, &b});
+  const size_t n = batch.forest.NumNodes();
+  std::vector<float> slab(n * entry, 0.0f);
+  auto run = [&](int threads, bool cached_pass) {
+    ComputeThreadsScope scope(threads);
+    ActivationReuse reuse;
+    reuse.cached.assign(n, nullptr);
+    reuse.store.assign(n, nullptr);
+    for (size_t i = 0; i < n; ++i) {
+      // Alternate cached/dirty rows on the cached pass (cached rows come from
+      // the serial all-dirty pass; parent trees always leave a mix).
+      if (cached_pass && i % 2 == 0) {
+        reuse.cached[i] = slab.data() + i * entry;
+      } else {
+        reuse.store[i] = slab.data() + i * entry;
+      }
+    }
+    return net.PredictBatch(embed, batch, nullptr, &reuse);
+  };
+  const std::vector<float> serial = run(1, false);  // Fills the slab.
+  for (int threads : {1, 2, 8}) {
+    const std::vector<float> mixed = run(threads, true);
+    ASSERT_EQ(mixed.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(serial[i], mixed[i]) << threads << " threads, plan " << i;
+    }
   }
 }
 

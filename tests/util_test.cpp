@@ -5,6 +5,7 @@
 #include <set>
 #include <thread>
 
+#include "src/util/lru_map.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 #include "src/util/string_util.h"
@@ -137,6 +138,88 @@ TEST(HashTest, MixAndCombineStable) {
   EXPECT_EQ(Mix64(123), Mix64(123));
   EXPECT_NE(Mix64(123), Mix64(124));
   EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(LruMapTest, FindMissesOnEmptyAndAfterClear) {
+  LruMap<uint64_t, float> m;
+  m.Clear(4);
+  EXPECT_EQ(m.Find(1), nullptr);
+  EXPECT_FALSE(m.Insert(1, 1.5f));
+  ASSERT_NE(m.Find(1), nullptr);
+  m.Clear(4);
+  EXPECT_EQ(m.Find(1), nullptr);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(LruMapTest, EvictsLeastRecentlyUsedPastCap) {
+  LruMap<int, int> m;
+  m.Clear(3);
+  EXPECT_FALSE(m.Insert(1, 10));
+  EXPECT_FALSE(m.Insert(2, 20));
+  EXPECT_FALSE(m.Insert(3, 30));
+  EXPECT_TRUE(m.Insert(4, 40));  // Evicts 1 (least recently used).
+  EXPECT_EQ(m.Find(1), nullptr);
+  EXPECT_EQ(m.size(), 3u);
+  ASSERT_NE(m.Find(2), nullptr);
+  EXPECT_EQ(*m.Find(2), 20);
+}
+
+TEST(LruMapTest, FindTouchesRecency) {
+  LruMap<int, int> m;
+  m.Clear(2);
+  m.Insert(1, 10);
+  m.Insert(2, 20);
+  ASSERT_NE(m.Find(1), nullptr);  // 1 becomes most recent; 2 is now LRU.
+  EXPECT_TRUE(m.Insert(3, 30));   // Evicts 2, not 1.
+  EXPECT_NE(m.Find(1), nullptr);
+  EXPECT_EQ(m.Find(2), nullptr);
+  EXPECT_NE(m.Find(3), nullptr);
+}
+
+TEST(LruMapTest, InsertOverwritesExistingKeyWithoutEviction) {
+  LruMap<int, int> m;
+  m.Clear(2);
+  m.Insert(1, 10);
+  m.Insert(2, 20);
+  EXPECT_FALSE(m.Insert(1, 11));  // Overwrite: no eviction, touches 1.
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(*m.Find(1), 11);
+  EXPECT_TRUE(m.Insert(3, 30));  // 2 is LRU now (1 was touched by overwrite).
+  EXPECT_EQ(m.Find(2), nullptr);
+  EXPECT_NE(m.Find(1), nullptr);
+}
+
+TEST(LruMapTest, CapZeroIsUnbounded) {
+  LruMap<int, int> m;
+  m.Clear(0);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(m.Insert(i, i));
+  EXPECT_EQ(m.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) ASSERT_NE(m.Find(i), nullptr);
+}
+
+TEST(LruMapTest, ValuePointersStableAcrossFindsAndInserts) {
+  // The activation cache holds Find() pointers across further Finds and
+  // non-evicting Inserts within one batch; they must stay valid.
+  LruMap<int, std::vector<float>> m;
+  m.Clear(0);
+  m.Insert(1, {1.0f, 2.0f});
+  const std::vector<float>* p = m.Find(1);
+  ASSERT_NE(p, nullptr);
+  const float* data = p->data();
+  for (int i = 2; i < 200; ++i) m.Insert(i, {static_cast<float>(i)});
+  for (int i = 2; i < 200; ++i) ASSERT_NE(m.Find(i), nullptr);
+  EXPECT_EQ(m.Find(1)->data(), data);
+  EXPECT_FLOAT_EQ((*m.Find(1))[1], 2.0f);
+}
+
+TEST(LruMapTest, MoveTransfersEntries) {
+  LruMap<int, int> a;
+  a.Clear(8);
+  a.Insert(1, 10);
+  LruMap<int, int> b = std::move(a);
+  ASSERT_NE(b.Find(1), nullptr);
+  EXPECT_EQ(*b.Find(1), 10);
+  EXPECT_EQ(b.capacity(), 8u);
 }
 
 TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
