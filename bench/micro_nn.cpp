@@ -308,11 +308,20 @@ void PrintTrainArm(std::FILE* out, const char* name, const TrainThroughput& r,
 }
 
 void WriteTrainJson(const std::string& path, int steps) {
+  // On a single-hardware-thread machine the pool degenerates to the caller
+  // running every chunk inline, so a "threads 8" arm would just re-measure
+  // the serial path and record a misleading ~1.0x thread speedup. Skip it
+  // and flag the skip instead (hardware_concurrency() can return 0 when
+  // unknown — treat that as single too).
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool thread_arms_skipped = hw <= 1;
   const TrainThroughput per_sample = MeasureTrainThroughput(false, 1, steps);
   const TrainThroughput packed_t1 = MeasureTrainThroughput(true, 1, steps);
-  const TrainThroughput packed_t8 = MeasureTrainThroughput(true, 8, steps);
+  const TrainThroughput packed_t8 =
+      thread_arms_skipped ? TrainThroughput{} : MeasureTrainThroughput(true, 8, steps);
   const double speedup_packing = packed_t1.samples_per_sec / per_sample.samples_per_sec;
-  const double speedup_threads = packed_t8.samples_per_sec / packed_t1.samples_per_sec;
+  const double speedup_threads =
+      thread_arms_skipped ? 0.0 : packed_t8.samples_per_sec / packed_t1.samples_per_sec;
 
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
@@ -325,22 +334,35 @@ void WriteTrainJson(const std::string& path, int steps) {
                "  \"batch_size\": 64,\n"
                "  \"steps\": %d,\n"
                "  \"hardware_threads\": %u,\n"
-               "  \"kernel_arch\": \"%s\",\n",
-               steps, std::thread::hardware_concurrency(), KernelArchString());
+               "  \"kernel_arch\": \"%s\",\n"
+               "  \"thread_arms_skipped\": %s,\n",
+               steps, hw, KernelArchString(),
+               thread_arms_skipped ? "true" : "false");
   PrintTrainArm(out, "per_sample", per_sample, ",");
   PrintTrainArm(out, "packed_threads1", packed_t1, ",");
-  PrintTrainArm(out, "packed_threads8", packed_t8, ",");
-  std::fprintf(out,
-               "  \"speedup_from_packing\": %.2f,\n"
-               "  \"speedup_from_threads\": %.2f\n"
-               "}\n",
-               speedup_packing, speedup_threads);
+  if (!thread_arms_skipped) {
+    PrintTrainArm(out, "packed_threads8", packed_t8, ",");
+  }
+  std::fprintf(out, "  \"speedup_from_packing\": %.2f", speedup_packing);
+  if (!thread_arms_skipped) {
+    std::fprintf(out, ",\n  \"speedup_from_threads\": %.2f\n}\n", speedup_threads);
+  } else {
+    std::fprintf(out, "\n}\n");
+  }
   std::fclose(out);
-  std::printf("TrainBatch throughput (batch 64): per-sample %.0f, packed %.0f,"
-              " packed@8t %.0f samples/s (%.2fx packing, %.2fx threads) -> %s\n",
-              per_sample.samples_per_sec, packed_t1.samples_per_sec,
-              packed_t8.samples_per_sec, speedup_packing, speedup_threads,
-              path.c_str());
+  if (thread_arms_skipped) {
+    std::printf("TrainBatch throughput (batch 64): per-sample %.0f, packed %.0f"
+                " samples/s (%.2fx packing; thread arms skipped,"
+                " hardware_threads=%u) -> %s\n",
+                per_sample.samples_per_sec, packed_t1.samples_per_sec,
+                speedup_packing, hw, path.c_str());
+  } else {
+    std::printf("TrainBatch throughput (batch 64): per-sample %.0f, packed %.0f,"
+                " packed@8t %.0f samples/s (%.2fx packing, %.2fx threads) -> %s\n",
+                per_sample.samples_per_sec, packed_t1.samples_per_sec,
+                packed_t8.samples_per_sec, speedup_packing, speedup_threads,
+                path.c_str());
+  }
 }
 
 }  // namespace

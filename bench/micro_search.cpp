@@ -240,12 +240,21 @@ void WriteSearchJson(const std::string& path, int reps) {
       true, false, reps, /*threads=*/1, /*speculation=*/8, /*incremental=*/true);
   const ThroughputResult spec_t1 =
       MeasureSearchThroughput(true, false, reps, /*threads=*/1, /*speculation=*/8);
+  // On a single-hardware-thread machine the "threads 8" arm would re-measure
+  // the serial path (the pool runs every chunk inline) and record a
+  // misleading ~1.0x thread speedup; skip it and flag the skip.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool thread_arms_skipped = hw <= 1;
   const ThroughputResult spec_t8 =
-      MeasureSearchThroughput(true, false, reps, /*threads=*/8, /*speculation=*/8);
+      thread_arms_skipped
+          ? ThroughputResult{}
+          : MeasureSearchThroughput(true, false, reps, /*threads=*/8,
+                                    /*speculation=*/8);
   const double speedup_vs_seed = batched.plans_per_sec / seed.plans_per_sec;
   const double speedup_batching = batched.plans_per_sec / unbatched.plans_per_sec;
   const double speedup_incremental = incremental.plans_per_sec / batched.plans_per_sec;
-  const double speedup_threads = spec_t8.plans_per_sec / spec_t1.plans_per_sec;
+  const double speedup_threads =
+      thread_arms_skipped ? 0.0 : spec_t8.plans_per_sec / spec_t1.plans_per_sec;
 
   Fixture& f = Fixture::Get();
   const query::Query& q = f.wl.query(60);
@@ -261,16 +270,19 @@ void WriteSearchJson(const std::string& path, int reps) {
                "  \"max_expansions\": 40,\n"
                "  \"repetitions\": %d,\n"
                "  \"hardware_threads\": %u,\n"
-               "  \"kernel_arch\": \"%s\",\n",
-               q.num_relations(), reps, std::thread::hardware_concurrency(),
-               nn::KernelArchString());
+               "  \"kernel_arch\": \"%s\",\n"
+               "  \"thread_arms_skipped\": %s,\n",
+               q.num_relations(), reps, hw, nn::KernelArchString(),
+               thread_arms_skipped ? "true" : "false");
   PrintArm(out, "seed_path", seed, ",");
   PrintArm(out, "unbatched", unbatched, ",");
   PrintArm(out, "batched", batched, ",");
   PrintArm(out, "incremental", incremental, ",");
   PrintArm(out, "incremental_spec8", inc_spec8, ",");
   PrintArm(out, "batched_spec8_threads1", spec_t1, ",");
-  PrintArm(out, "batched_spec8_threads8", spec_t8, ",");
+  if (!thread_arms_skipped) {
+    PrintArm(out, "batched_spec8_threads8", spec_t8, ",");
+  }
 
   // Conv-flop reuse of the incremental arm, per layer: a node hit saves its
   // row in every conv layer, so per-layer row counts are the node totals.
@@ -312,20 +324,32 @@ void WriteSearchJson(const std::string& path, int reps) {
   std::fprintf(out,
                "  \"speedup_vs_seed\": %.2f,\n"
                "  \"speedup_from_batching\": %.2f,\n"
-               "  \"speedup_from_incremental\": %.2f,\n"
-               "  \"speedup_from_threads\": %.2f\n"
-               "}\n",
-               speedup_vs_seed, speedup_batching, speedup_incremental,
-               speedup_threads);
+               "  \"speedup_from_incremental\": %.2f",
+               speedup_vs_seed, speedup_batching, speedup_incremental);
+  if (!thread_arms_skipped) {
+    std::fprintf(out, ",\n  \"speedup_from_threads\": %.2f\n}\n", speedup_threads);
+  } else {
+    std::fprintf(out, "\n}\n");
+  }
   std::fclose(out);
-  std::printf("search scoring throughput: seed %.0f, unbatched %.0f, batched"
-              " %.0f, incremental %.0f plans/s (%.2fx vs seed, %.2fx from"
-              " activation reuse); spec8 %0.f -> %.0f plans/s (%.2fx from 8"
-              " threads) -> %s\n",
-              seed.plans_per_sec, unbatched.plans_per_sec, batched.plans_per_sec,
-              incremental.plans_per_sec, speedup_vs_seed, speedup_incremental,
-              spec_t1.plans_per_sec, spec_t8.plans_per_sec, speedup_threads,
-              path.c_str());
+  if (thread_arms_skipped) {
+    std::printf("search scoring throughput: seed %.0f, unbatched %.0f, batched"
+                " %.0f, incremental %.0f plans/s (%.2fx vs seed, %.2fx from"
+                " activation reuse); thread arms skipped (hardware_threads=%u)"
+                " -> %s\n",
+                seed.plans_per_sec, unbatched.plans_per_sec,
+                batched.plans_per_sec, incremental.plans_per_sec,
+                speedup_vs_seed, speedup_incremental, hw, path.c_str());
+  } else {
+    std::printf("search scoring throughput: seed %.0f, unbatched %.0f, batched"
+                " %.0f, incremental %.0f plans/s (%.2fx vs seed, %.2fx from"
+                " activation reuse); spec8 %0.f -> %.0f plans/s (%.2fx from 8"
+                " threads) -> %s\n",
+                seed.plans_per_sec, unbatched.plans_per_sec, batched.plans_per_sec,
+                incremental.plans_per_sec, speedup_vs_seed, speedup_incremental,
+                spec_t1.plans_per_sec, spec_t8.plans_per_sec, speedup_threads,
+                path.c_str());
+  }
 }
 
 }  // namespace

@@ -132,7 +132,8 @@ void PlanSearch::SyncCache(const query::Query& query, const SearchOptions& optio
                              : 0;
   if (cache_valid_ && cache_query_fp_ == query.fingerprint &&
       cache_version_ == net_->version() &&
-      cache_reference_mode_ == nn::UseReferenceKernels() && cache_cap_ == cap &&
+      cache_reference_mode_ == nn::UseReferenceKernels() &&
+      cache_kernel_isa_ == nn::ActiveKernelIsa() && cache_cap_ == cap &&
       act_cache_cap_ == act_cap) {
     return;
   }
@@ -147,6 +148,7 @@ void PlanSearch::SyncCache(const query::Query& query, const SearchOptions& optio
   cache_query_fp_ = query.fingerprint;
   cache_version_ = net_->version();
   cache_reference_mode_ = nn::UseReferenceKernels();
+  cache_kernel_isa_ = nn::ActiveKernelIsa();
   cache_valid_ = true;
 }
 

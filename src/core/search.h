@@ -56,8 +56,8 @@
 // gather/GEMM/scatter and are inserted afterwards.
 //
 // Keying/invalidation model: entries are valid only for the (query
-// fingerprint, network version, reference-kernel mode) triple tracked by
-// SyncCache — the same discipline as the score cache — because activations
+// fingerprint, network version, reference-kernel mode, kernel dispatch arm)
+// tuple tracked by SyncCache — the same discipline as the score cache — because activations
 // depend on the query embedding (layer 0's shared-suffix projection) and the
 // weights. Any mismatch drops the whole cache; SearchOptions::
 // activation_cache_cap bounds its footprint (one entry holds
@@ -167,14 +167,16 @@ class PlanSearch {
   nn::ValueNetwork* net_;
 
   /// Per-query score cache (plan hash -> predicted cost); valid only for
-  /// (cache_query_fp_, cache_version_, cache_reference_mode_) and cleared on
-  /// any mismatch. Keyed by Query::fingerprint (content hash), not
-  /// Query::id, so distinct queries that share an id (or the -1 default)
-  /// never read each other's scores; the reference-kernel mode is part of the
-  /// key so bench arms on one instance never mix kernel paths.
+  /// (cache_query_fp_, cache_version_, cache_reference_mode_,
+  /// cache_kernel_isa_) and cleared on any mismatch. Keyed by
+  /// Query::fingerprint (content hash), not Query::id, so distinct queries
+  /// that share an id (or the -1 default) never read each other's scores; the
+  /// reference-kernel mode and the GEMM dispatch arm are part of the key so
+  /// bench/test arms on one instance never mix kernel paths (arms differ by
+  /// accumulation-order ulps, and within-arm bit-identity is the contract).
   util::LruMap<uint64_t, float> score_cache_;
   /// Per-query activation cache (PlanNode::subtree_fp -> concatenated
-  /// per-layer post-activation rows); same validity triple as score_cache_
+  /// per-layer post-activation rows); same validity tuple as score_cache_
   /// (see the activation-cache notes at the top of this header).
   util::LruMap<uint64_t, std::vector<float>> activation_cache_;
   uint64_t cache_version_ = 0;
@@ -182,6 +184,7 @@ class PlanSearch {
   size_t cache_cap_ = 0;
   size_t act_cache_cap_ = 0;
   bool cache_reference_mode_ = false;
+  nn::KernelIsa cache_kernel_isa_ = nn::KernelIsa::kPortable;
   bool cache_valid_ = false;
 
   /// Per-instance network scratch, so concurrent PlanSearch workers never

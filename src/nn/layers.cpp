@@ -14,11 +14,16 @@ Linear::Linear(int in_dim, int out_dim, util::Rng& rng) {
 
 Matrix Linear::Forward(const Matrix& x) {
   last_input_ = x;
-  return ForwardInference(x);
+  return Apply(x, /*use_packed=*/false);
 }
 
 Matrix Linear::ForwardInference(const Matrix& x) const {
-  Matrix y = MatMul(x, weight_.value);
+  return Apply(x, packed_fresh_);
+}
+
+Matrix Linear::Apply(const Matrix& x, bool use_packed) const {
+  Matrix y = use_packed ? MatMulPacked(x, packed_weight_)
+                        : MatMul(x, weight_.value);
   const float* b = bias_.value.Row(0);
   ParallelRows(y.rows(), /*min_parallel=*/256, [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
@@ -29,7 +34,16 @@ Matrix Linear::ForwardInference(const Matrix& x) const {
   return y;
 }
 
+void Linear::RefreshInferenceWeights() {
+  packed_weight_.Assign(weight_.value);
+  packed_fresh_ = true;
+}
+
 Matrix Linear::Backward(const Matrix& grad_out) {
+  // Training implies an imminent weight update: invalidate the packed copy so
+  // ForwardInference cannot silently multiply stale weights (same discipline
+  // as TreeConv::Backward and its split blocks).
+  packed_fresh_ = false;
   // dW += x^T g ; db += sum_rows(g) ; dx = g W^T.
   weight_.grad.Add(MatMulTransposeA(last_input_, grad_out));
   for (int r = 0; r < grad_out.rows(); ++r) {
@@ -180,6 +194,14 @@ Matrix Sequential::Backward(const Matrix& grad_out) {
 
 void Sequential::CollectParams(std::vector<Param*>* out) {
   for (auto& layer : layers_) layer->CollectParams(out);
+}
+
+void Sequential::RefreshInferenceWeights() {
+  for (auto& layer : layers_) layer->RefreshInferenceWeights();
+}
+
+void Sequential::InvalidateInferenceWeights() {
+  for (auto& layer : layers_) layer->InvalidateInferenceWeights();
 }
 
 }  // namespace neo::nn

@@ -36,6 +36,17 @@ class Layer {
 
   /// Appends this layer's trainable parameters.
   virtual void CollectParams(std::vector<Param*>* /*out*/) {}
+
+  /// Rebuilds any inference-only weight copies (e.g. Linear's dispatch-packed
+  /// weight) from the live parameters. ValueNetwork::SyncInferenceWeights
+  /// calls this once per weight version; layers without such copies no-op.
+  virtual void RefreshInferenceWeights() {}
+
+  /// Marks inference-only weight copies stale after the live parameters were
+  /// mutated outside Backward (weight loading). ForwardInference then falls
+  /// back to the live parameters until the next refresh — same results,
+  /// without the pre-packed fast path.
+  virtual void InvalidateInferenceWeights() {}
 };
 
 /// Fully connected: y = x W + b.
@@ -50,13 +61,24 @@ class Linear : public Layer {
     out->push_back(&weight_);
     out->push_back(&bias_);
   }
+  void RefreshInferenceWeights() override;
+  void InvalidateInferenceWeights() override { packed_fresh_ = false; }
 
   int in_dim() const { return weight_.value.rows(); }
   int out_dim() const { return weight_.value.cols(); }
 
  private:
+  /// y = x W + b. `use_packed` selects the pre-packed weight copy (bit-
+  /// identical to the live weight; see PackedB) — only valid while fresh.
+  Matrix Apply(const Matrix& x, bool use_packed) const;
+
   Param weight_;  ///< (in x out)
   Param bias_;    ///< (1 x out)
+  /// weight_.value pre-packed for the GEMM dispatch arms; stale (and unused)
+  /// whenever packed_fresh_ is false. Forward always uses the live weights so
+  /// direct parameter pokes (numeric gradient checks, Adam) stay visible.
+  PackedB packed_weight_;
+  bool packed_fresh_ = false;
   Matrix last_input_;
 };
 
@@ -105,6 +127,8 @@ class Sequential : public Layer {
   Matrix ForwardInference(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   void CollectParams(std::vector<Param*>* out) override;
+  void RefreshInferenceWeights() override;
+  void InvalidateInferenceWeights() override;
 
   size_t size() const { return layers_.size(); }
 

@@ -1,5 +1,11 @@
 #include "src/nn/matrix.h"
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "src/nn/matrix_simd.h"
 #include "src/util/thread_pool.h"
 
 namespace neo::nn {
@@ -35,11 +41,6 @@ namespace neo::nn {
 
 namespace {
 
-// Tile sizes (floats) for the backward kernels: a 64 x 128 block of outputs
-// or inputs stays well inside L2 while the k-dim rows stream through L1.
-constexpr int kBlockI = 64;
-constexpr int kBlockJ = 128;
-
 // Minimum multiply-add count before a kernel fans out over the pool; below
 // this, the job-dispatch overhead exceeds the work.
 constexpr int64_t kMinParallelMadds = 1 << 16;
@@ -50,16 +51,131 @@ bool g_use_reference_kernels = false;
 
 thread_local int g_compute_threads = 1;
 
+// ---- Kernel dispatch state -------------------------------------------------
+
+// -1 = not yet initialized; otherwise a KernelIsa value. Atomic (relaxed)
+// so concurrent searches can read it while a bench/test thread switches arms
+// without a data race; the arm itself is process-wide configuration like
+// g_use_reference_kernels.
+std::atomic<int> g_kernel_isa{-1};
+std::once_flag g_kernel_isa_once;
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports includes the OS XSAVE/ymm-state check.
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool CpuSupportsAvx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
+const detail::SimdGemmKernels* KernelsFor(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kAvx2:
+      return detail::Avx2Kernels();
+    case KernelIsa::kAvx512:
+      return detail::Avx512Kernels();
+    default:
+      return nullptr;
+  }
+}
+
+KernelIsa DetectStartupIsa() {
+  const char* force = std::getenv("NEO_FORCE_PORTABLE");
+  if (force != nullptr && force[0] != '\0' && std::strcmp(force, "0") != 0) {
+    return KernelIsa::kPortable;
+  }
+  if (const char* pick = std::getenv("NEO_KERNEL_ISA")) {
+    for (KernelIsa isa : {KernelIsa::kPortable, KernelIsa::kAvx2, KernelIsa::kAvx512}) {
+      if (std::strcmp(pick, KernelIsaName(isa)) == 0 && KernelIsaAvailable(isa)) {
+        return isa;
+      }
+    }
+    // Unknown or unavailable request: fall through to auto-detection rather
+    // than crash a startup path that never calls back into user code.
+  }
+  return BestKernelIsa();
+}
+
+void EnsureKernelIsaInit() {
+  std::call_once(g_kernel_isa_once, [] {
+    g_kernel_isa.store(static_cast<int>(DetectStartupIsa()),
+                       std::memory_order_relaxed);
+  });
+}
+
+/// The active arm's SIMD kernels, or nullptr when the portable arm is active.
+const detail::SimdGemmKernels* ActiveSimdKernels() {
+  return KernelsFor(ActiveKernelIsa());
+}
+
 }  // namespace
 
 void SetUseReferenceKernels(bool use) { g_use_reference_kernels = use; }
 bool UseReferenceKernels() { return g_use_reference_kernels; }
 
-const char* KernelArchString() {
+const char* KernelIsaName(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kAvx2:
+      return "avx2";
+    case KernelIsa::kAvx512:
+      return "avx512";
+    default:
+      return "portable";
+  }
+}
+
+bool KernelIsaAvailable(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kAvx2:
+      return detail::Avx2Kernels() != nullptr && CpuSupportsAvx2();
+    case KernelIsa::kAvx512:
+      return detail::Avx512Kernels() != nullptr && CpuSupportsAvx512();
+    default:
+      return true;
+  }
+}
+
+KernelIsa BestKernelIsa() {
+  if (KernelIsaAvailable(KernelIsa::kAvx512)) return KernelIsa::kAvx512;
+  if (KernelIsaAvailable(KernelIsa::kAvx2)) return KernelIsa::kAvx2;
+  return KernelIsa::kPortable;
+}
+
+std::vector<KernelIsa> AvailableKernelIsas() {
+  std::vector<KernelIsa> isas = {KernelIsa::kPortable};
+  for (KernelIsa isa : {KernelIsa::kAvx2, KernelIsa::kAvx512}) {
+    if (KernelIsaAvailable(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+KernelIsa ActiveKernelIsa() {
+  EnsureKernelIsaInit();
+  return static_cast<KernelIsa>(g_kernel_isa.load(std::memory_order_relaxed));
+}
+
+void SetKernelIsa(KernelIsa isa) {
+  NEO_CHECK(KernelIsaAvailable(isa));
+  EnsureKernelIsaInit();  // A later lazy init must not clobber the override.
+  g_kernel_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+const char* KernelArchString() { return KernelIsaName(ActiveKernelIsa()); }
+
+const char* PortableArmCodegen() {
 #ifdef NEO_NATIVE_ARCH
-  return "avx2+fma";
+  return "explicit avx2 autovec (NEO_NATIVE_ARCH)";
 #else
-  return "default";
+  return "march=native autovec where available";
 #endif
 }
 
@@ -142,11 +258,11 @@ void MatMulRows(const float* __restrict adata, const float* __restrict bdata,
 void MatMulTransposeARows(const float* __restrict adata,
                           const float* __restrict bdata, float* __restrict odata,
                           int64_t i0, int64_t i1, int n, int k, int m) {
-  for (int jc = 0; jc < m; jc += kBlockJ) {
-    const int jend = MinInt(jc + kBlockJ, m);
+  for (int jc = 0; jc < m; jc += detail::kTaBlockJ) {
+    const int jend = MinInt(jc + detail::kTaBlockJ, m);
     const int jlen = jend - jc;
-    for (int64_t icc = i0; icc < i1; icc += kBlockI) {
-      const int64_t icend = std::min<int64_t>(icc + kBlockI, i1);
+    for (int64_t icc = i0; icc < i1; icc += detail::kTaBlockI) {
+      const int64_t icend = std::min<int64_t>(icc + detail::kTaBlockI, i1);
       for (int r = 0; r < n; ++r) {
         const float* __restrict arow = adata + static_cast<size_t>(r) * k;
         const float* __restrict brow = bdata + static_cast<size_t>(r) * m + jc;
@@ -173,7 +289,63 @@ void DispatchRows(int64_t rows, int64_t madds,
   util::ThreadPool::Global().ParallelFor(0, rows, threads, /*grain=*/0, fn);
 }
 
+/// Per-call pack buffer for the SIMD arms. Local (not thread_local): the
+/// work-stealing pool lets a caller execute unrelated tasks while helping
+/// its own ParallelFor, so a thread-shared buffer could be repacked out from
+/// under a job; a fresh vector per GEMM is cheap next to the product.
+struct PackScratch {
+  std::vector<float> buf;
+  float* Prepare(int k, int m) {
+    buf.resize(detail::PackedBSize(k, m));
+    return buf.data();
+  }
+};
+
 }  // namespace
+
+namespace detail {
+
+void PackBPanels(const float* b, int k, int m, float* packed) {
+  const int panels = NumPanels(m);
+  for (int pj = 0; pj < panels; ++pj) {
+    const int jc = pj * kPanelWidth;
+    const int w = MinInt(kPanelWidth, m - jc);
+    float* dst = packed + static_cast<size_t>(pj) * k * kPanelWidth;
+    for (int p = 0; p < k; ++p, dst += kPanelWidth) {
+      const float* src = b + static_cast<size_t>(p) * m + jc;
+      for (int jj = 0; jj < w; ++jj) dst[jj] = src[jj];
+      for (int jj = w; jj < kPanelWidth; ++jj) dst[jj] = 0.0f;
+    }
+  }
+}
+
+void PackBTransposedPanels(const float* b, int k, int m, float* packed) {
+  // b is (m x k) row-major; pack its transpose's panels (column panel jc of
+  // b^T is rows [jc, jc+16) of b read column-wise).
+  const int panels = NumPanels(m);
+  for (int pj = 0; pj < panels; ++pj) {
+    const int jc = pj * kPanelWidth;
+    const int w = MinInt(kPanelWidth, m - jc);
+    float* dst = packed + static_cast<size_t>(pj) * k * kPanelWidth;
+    for (int p = 0; p < k; ++p, dst += kPanelWidth) {
+      for (int jj = 0; jj < w; ++jj) {
+        dst[jj] = b[static_cast<size_t>(jc + jj) * k + p];
+      }
+      for (int jj = w; jj < kPanelWidth; ++jj) dst[jj] = 0.0f;
+    }
+  }
+}
+
+}  // namespace detail
+
+void PackedB::Assign(const Matrix& b) { Assign(b.data(), b.rows(), b.cols()); }
+
+void PackedB::Assign(const float* b, int rows, int cols) {
+  if (b_.rows() != rows || b_.cols() != cols) b_ = Matrix(rows, cols);
+  std::copy(b, b + static_cast<size_t>(rows) * cols, b_.data());
+  panels_.resize(detail::PackedBSize(rows, cols));
+  detail::PackBPanels(b, rows, cols, panels_.data());
+}
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   if (g_use_reference_kernels) return MatMulNaive(a, b);
@@ -183,6 +355,36 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   const float* adata = a.data();
   const float* bdata = b.data();
   float* odata = out.data();
+  if (const detail::SimdGemmKernels* simd = ActiveSimdKernels()) {
+    PackScratch scratch;
+    const float* packed = scratch.Prepare(k, m);
+    detail::PackBPanels(bdata, k, m, scratch.buf.data());
+    DispatchRows(n, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
+      simd->gemm_rows(adata, packed, odata, r0, r1, k, m);
+    });
+    return out;
+  }
+  DispatchRows(n, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
+    MatMulRows(adata, bdata, odata, r0, r1, k, m);
+  });
+  return out;
+}
+
+Matrix MatMulPacked(const Matrix& a, const PackedB& b) {
+  if (g_use_reference_kernels) return MatMulNaive(a, b.unpacked());
+  NEO_CHECK(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  const float* adata = a.data();
+  float* odata = out.data();
+  if (const detail::SimdGemmKernels* simd = ActiveSimdKernels()) {
+    const float* packed = b.panels();
+    DispatchRows(n, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
+      simd->gemm_rows(adata, packed, odata, r0, r1, k, m);
+    });
+    return out;
+  }
+  const float* bdata = b.unpacked().data();
   DispatchRows(n, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
     MatMulRows(adata, bdata, odata, r0, r1, k, m);
   });
@@ -194,14 +396,24 @@ Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
   NEO_CHECK(a.cols() == b.cols());
   Matrix out(a.rows(), b.rows());
   const int n = a.rows(), k = a.cols(), m = b.rows();
+  const float* adata = a.data();
+  float* odata = out.data();
+  if (const detail::SimdGemmKernels* simd = ActiveSimdKernels()) {
+    // Pack b^T's panels straight from b — no intermediate transpose matrix.
+    PackScratch scratch;
+    const float* packed = scratch.Prepare(k, m);
+    detail::PackBTransposedPanels(b.data(), k, m, scratch.buf.data());
+    DispatchRows(n, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
+      simd->gemm_rows(adata, packed, odata, r0, r1, k, m);
+    });
+    return out;
+  }
   Matrix bt(k, m);
   for (int r = 0; r < m; ++r) {
     const float* src = b.Row(r);
     for (int c = 0; c < k; ++c) bt.At(c, r) = src[c];
   }
-  const float* adata = a.data();
   const float* btdata = bt.data();
-  float* odata = out.data();
   DispatchRows(n, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
     MatMulRows(adata, btdata, odata, r0, r1, k, m);
   });
@@ -213,12 +425,18 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
   NEO_CHECK(a.rows() == b.rows());
   const int n = a.rows(), k = a.cols(), m = b.cols();
   // Narrow outputs starve the rank-1-update kernel (each input row touches
-  // only m accumulators); transposing a once and running the register-
-  // blocked row kernel is 2-4x faster there. Wide outputs and short inputs
-  // (the per-sample training path) keep the update kernel, which also skips
-  // the concat matrix's structural zeros. The branch is a fixed function of
-  // the shape, so results stay deterministic for any thread count.
-  if (n >= 64 && m <= 48) {
+  // only m accumulators — and it moves an output cache line per vector FMA);
+  // transposing a once and running the register-blocked row kernel is 2-4x
+  // faster there. Under the SIMD arms the row kernel wins across the whole
+  // backward m range, so those arms transpose for any backward-sized m,
+  // while the portable arm keeps the m <= 48 condition it was tuned with
+  // (wide outputs + short inputs — the per-sample training path — keep the
+  // update kernel, which also skips the concat matrix's structural zeros).
+  // The branch is a fixed function of (shape, arm), so within-arm results
+  // stay deterministic for any thread count.
+  const detail::SimdGemmKernels* simd = ActiveSimdKernels();
+  const int m_transpose_max = simd != nullptr ? 160 : 48;
+  if (n >= 64 && m <= m_transpose_max) {
     Matrix at(k, n);
     for (int r = 0; r < n; ++r) {
       const float* src = a.Row(r);
@@ -228,6 +446,15 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
     const float* atdata = at.data();
     const float* bdata = b.data();
     float* odata = out.data();
+    if (simd != nullptr) {
+      PackScratch scratch;
+      const float* packed = scratch.Prepare(n, m);
+      detail::PackBPanels(bdata, n, m, scratch.buf.data());
+      DispatchRows(k, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
+        simd->gemm_rows(atdata, packed, odata, r0, r1, n, m);
+      });
+      return out;
+    }
     DispatchRows(k, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
       MatMulRows(atdata, bdata, odata, r0, r1, n, m);
     });
@@ -240,7 +467,11 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
   // Partitioned over output rows (the k dimension of a^T); the reduction
   // dimension r is never split, keeping ascending-r accumulation per output.
   DispatchRows(k, static_cast<int64_t>(n) * k * m, [&](int64_t i0, int64_t i1) {
-    MatMulTransposeARows(adata, bdata, odata, i0, i1, n, k, m);
+    if (simd != nullptr) {
+      simd->ta_update_rows(adata, bdata, odata, i0, i1, n, k, m);
+    } else {
+      MatMulTransposeARows(adata, bdata, odata, i0, i1, n, k, m);
+    }
   });
   return out;
 }

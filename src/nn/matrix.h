@@ -77,11 +77,129 @@ Matrix MatMulNaive(const Matrix& a, const Matrix& b);
 Matrix MatMulTransposeBNaive(const Matrix& a, const Matrix& b);
 Matrix MatMulTransposeANaive(const Matrix& a, const Matrix& b);
 
-/// Instruction-set flags the optimized-kernel TU was compiled with: "avx2+fma"
-/// under -DNEO_NATIVE_ARCH=ON, else "default" (-march=native where the
-/// toolchain supports it). Recorded in the BENCH_*.json files so perf numbers
-/// are attributable to the build configuration.
+// ---- Kernel dispatch -------------------------------------------------------
+//
+// One binary carries several GEMM kernel arms and picks the best one the CPU
+// supports at startup (cpuid). Design notes for the SIMD arms:
+//
+//  * Tiles. The AVX2+FMA arm computes 6x16 register tiles (6 output rows by
+//    one 16-float column panel, 12 ymm accumulators); the AVX-512F arm
+//    computes 6x32 tiles (two panels, 12 zmm accumulators). Row blocks sweep
+//    the full k extent before moving on (i-row blocking over a k panel), so
+//    the accumulators never leave registers and A rows stream through L1
+//    exactly once per panel.
+//
+//  * Packing. B is packed into 16-float column panels, k-major within each
+//    panel and zero-padded at the ragged edge (see matrix_simd.h). A panel
+//    row is 64 bytes — two ymm or one zmm load — so both SIMD arms read the
+//    same layout and a PackedB survives dispatch-arm changes. MatMul packs
+//    per call; PackedB pre-packs weight matrices so the inference hot path
+//    (TreeConv / Linear) multiplies without repacking.
+//
+//  * Determinism contract. Within one dispatch arm, every output element's
+//    summation order is a fixed function of the shape (k, m) alone: in the
+//    SIMD arms each element is a single FMA chain over ascending k, and in
+//    the portable arm four interleaved chains folded in a fixed order. The
+//    order never depends on the row's position, the number of rows in the
+//    call, the thread count, or tile boundaries — so batched, incremental,
+//    row-subset, and parallel evaluations are all bit-identical within an
+//    arm. Across arms (SIMD vs portable) results differ by accumulation-
+//    order/FMA-rounding ulps only; tests assert parity at 1e-5 relative.
+//
+//  * Adding an ISA. Provide a TU exposing a detail::SimdGemmKernels (see
+//    matrix_simd.h) whose kernels read the shared panel layout and keep the
+//    single-ascending-k-chain order, compile it with the ISA's flags in
+//    CMakeLists.txt (stub out when the toolchain lacks them), add an enum
+//    value plus cpuid check in matrix.cpp's KernelsFor/KernelIsaAvailable,
+//    and extend BestKernelIsa's preference order. The dispatch tests in
+//    nn_test.cpp pick up new arms automatically via AvailableKernelIsas().
+//
+// Startup override: NEO_FORCE_PORTABLE=1 in the environment pins the
+// portable arm (the CI fallback matrix arm uses this); NEO_KERNEL_ISA=
+// portable|avx2|avx512 picks a specific arm when available. SetKernelIsa
+// overrides at runtime (benches sweep arms with it).
+
+enum class KernelIsa { kPortable = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// "portable", "avx2", or "avx512".
+const char* KernelIsaName(KernelIsa isa);
+
+/// True when the arm is compiled into this binary AND the CPU supports it.
+/// kPortable is always available.
+bool KernelIsaAvailable(KernelIsa isa);
+
+/// The most capable available arm (avx512 > avx2 > portable).
+KernelIsa BestKernelIsa();
+
+/// Every available arm, portable first then ascending capability. Tests and
+/// benches sweep this so a new ISA added to the dispatch table is covered
+/// automatically.
+std::vector<KernelIsa> AvailableKernelIsas();
+
+/// The arm MatMul & friends currently dispatch to. Initialized on first use
+/// from the environment (NEO_FORCE_PORTABLE / NEO_KERNEL_ISA) or
+/// BestKernelIsa().
+KernelIsa ActiveKernelIsa();
+
+/// Switches the dispatch arm process-wide. NEO_CHECKs availability. Results
+/// computed under different arms differ by ulps; per-search caches key on the
+/// active arm, so switching mid-process is safe (benches and tests do).
+void SetKernelIsa(KernelIsa isa);
+
+/// RAII scope for SetKernelIsa (restores the previous arm).
+class KernelIsaScope {
+ public:
+  explicit KernelIsaScope(KernelIsa isa) : prev_(ActiveKernelIsa()) {
+    SetKernelIsa(isa);
+  }
+  ~KernelIsaScope() { SetKernelIsa(prev_); }
+  KernelIsaScope(const KernelIsaScope&) = delete;
+  KernelIsaScope& operator=(const KernelIsaScope&) = delete;
+
+ private:
+  KernelIsa prev_;
+};
+
+/// A right-hand-side matrix pre-packed into the SIMD arms' shared panel
+/// layout (plus a plain copy for the portable/reference paths). Pack once
+/// per weight update, multiply many times: MatMulPacked(a, pb) is bit-
+/// identical to MatMul(a, pb.unpacked()) under every dispatch arm, it just
+/// skips the per-call pack.
+class PackedB {
+ public:
+  PackedB() = default;
+  explicit PackedB(const Matrix& b) { Assign(b); }
+
+  void Assign(const Matrix& b);
+  /// Copies the (rows x cols) row-major block at `b` (need not be a Matrix;
+  /// TreeConv packs row ranges of its stacked weight directly).
+  void Assign(const float* b, int rows, int cols);
+
+  int rows() const { return b_.rows(); }
+  int cols() const { return b_.cols(); }
+  const Matrix& unpacked() const { return b_; }
+  const float* panels() const { return panels_.data(); }
+
+ private:
+  Matrix b_;
+  std::vector<float> panels_;
+};
+
+/// out = a (n x k) * b (k x m) with b pre-packed. Same kernels, contract,
+/// and bit-exact results as MatMul under the active dispatch arm.
+Matrix MatMulPacked(const Matrix& a, const PackedB& b);
+
+/// Name of the runtime-dispatched kernel arm (KernelIsaName(ActiveKernelIsa())).
+/// Recorded as "kernel_arch" in the BENCH_*.json files so perf numbers are
+/// attributable to the arm that actually ran, not just the compile flags.
 const char* KernelArchString();
+
+/// How the portable arm's TU was compiled — "explicit avx2 autovec
+/// (NEO_NATIVE_ARCH)" or "march=native autovec where available". Bench
+/// metadata: the portable baseline's throughput depends on this, so
+/// BENCH_gemm.json records it next to the per-arm ratios. Lives here because
+/// only the hot NN TUs see the NEO_NATIVE_ARCH define.
+const char* PortableArmCodegen();
 
 /// When true, MatMul / MatMulTransposeA / MatMulTransposeB route through the
 /// reference kernels, and ValueNetwork inference reverts to the dense

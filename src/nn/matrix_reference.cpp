@@ -2,6 +2,12 @@
 // the build's default -O2 (no vectorization override): benches use them to
 // reconstruct the seed inference path faithfully, and tests use them as the
 // ground truth for the blocked kernels.
+//
+// Not to be confused with the "portable" kernel dispatch arm
+// (NEO_FORCE_PORTABLE / KernelIsa::kPortable): that arm is the register-
+// blocked -O3 kernel in matrix.cpp — the fallback when no SIMD arm fits the
+// CPU — while these naive loops exist only for seed-path benches and
+// ground-truth tests (SetUseReferenceKernels).
 #include "src/nn/matrix.h"
 
 namespace neo::nn {

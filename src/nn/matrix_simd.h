@@ -1,0 +1,72 @@
+// Internal interface between the kernel dispatcher (matrix.cpp) and the
+// per-ISA SIMD micro-kernel translation units (matrix_simd_avx2.cpp,
+// matrix_simd_avx512.cpp). Nothing here is part of the public nn API —
+// callers go through MatMul / MatMulPacked and the KernelIsa dispatch in
+// matrix.h.
+//
+// Every SIMD arm shares one B layout: 16-float column panels (see
+// PackBPanels below). A 16-float panel row is 64 bytes — two AVX2 ymm loads
+// or exactly one AVX-512 zmm load — so the same packed buffer feeds both
+// arms and PackedB never has to be rebuilt when the dispatch arm changes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace neo::nn::detail {
+
+/// Width (floats) of one packed B column panel. Panel `j` carries columns
+/// [16j, 16j+16) of B for every k row, k-major: float 16*p + jj of panel j is
+/// B(p, 16j + jj). The last panel is zero-padded to the full width so the
+/// micro-kernels always compute 16 lanes and mask only the store.
+constexpr int kPanelWidth = 16;
+
+inline int NumPanels(int m) { return (m + kPanelWidth - 1) / kPanelWidth; }
+inline size_t PackedBSize(int k, int m) {
+  return static_cast<size_t>(NumPanels(m)) * static_cast<size_t>(k) * kPanelWidth;
+}
+
+/// Blocking (floats) for the rank-1-update transpose-A kernels, shared by the
+/// portable and SIMD arms so a retune cannot leave one arm behind: a
+/// kTaBlockI x kTaBlockJ block of outputs stays well inside L2 while the
+/// k-dim rows stream through L1.
+constexpr int kTaBlockI = 64;
+constexpr int kTaBlockJ = 128;
+
+/// Packs b (k x m, row-major) into the panel layout above. Defined in
+/// matrix.cpp (portable code; packing is pure data movement).
+void PackBPanels(const float* b, int k, int m, float* packed);
+
+/// Packs b^T where b is (m x k) row-major — i.e. the panel layout of the
+/// (k x m) transpose — without materializing the transpose first.
+void PackBTransposedPanels(const float* b, int k, int m, float* packed);
+
+/// One dispatch arm's micro-kernels. Both entries obey the matrix.h
+/// determinism contract: each output element's summation order is a fixed
+/// function of the shape alone, so any partition of the output rows (thread
+/// chunks, row subsets, tile boundaries) yields bit-identical values.
+struct SimdGemmKernels {
+  const char* name;
+
+  /// Output rows [r0, r1) of a (n x k) times b (k x m), with b pre-packed
+  /// into 16-float panels. Each output element is a single FMA chain over k
+  /// in ascending order.
+  void (*gemm_rows)(const float* a, const float* packed_b, float* o,
+                    int64_t r0, int64_t r1, int k, int m);
+
+  /// Rank-1-update accumulation for a^T (a: n x k) times b (n x m): adds
+  /// row r of a (x) row r of b into output rows [i0, i1) for r ascending, the
+  /// same traversal as the portable MatMulTransposeARows (including the
+  /// zero-skip on a's entries). Summation order per output element is
+  /// ascending input row r.
+  void (*ta_update_rows)(const float* a, const float* b, float* o,
+                         int64_t i0, int64_t i1, int n, int k, int m);
+};
+
+/// Arm accessors: non-null iff the TU was compiled with the ISA available to
+/// the compiler. Whether the *CPU* supports the ISA is the dispatcher's
+/// problem (KernelIsaAvailable checks cpuid as well).
+const SimdGemmKernels* Avx2Kernels();
+const SimdGemmKernels* Avx512Kernels();
+
+}  // namespace neo::nn::detail

@@ -1,0 +1,189 @@
+// AVX2+FMA GEMM micro-kernels (the "avx2" dispatch arm). This TU is always
+// compiled with -mavx2 -mfma (see CMakeLists.txt) regardless of the global
+// arch flags; the runtime dispatcher in matrix.cpp only routes here after
+// cpuid confirms AVX2 and FMA, so nothing outside this TU needs the flags.
+// When the toolchain itself cannot target AVX2 the TU degrades to a stub
+// that reports the arm unavailable.
+#include "src/nn/matrix_simd.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace neo::nn::detail {
+namespace {
+
+// 6x16 register tile: MR (<= 6) output rows by one 16-float B panel. Twelve
+// ymm accumulators at full MR — each a single FMA chain over k in ascending
+// order, so an output element's value never depends on which tile (or row
+// subset, or thread chunk) computed it; the twelve independent chains are
+// what keep the FMA pipeline full, not chain interleaving as in the portable
+// kernel. The accumulators are named variables behind `if constexpr` row
+// guards, NOT arrays: GCC keeps local arrays this large memory-backed (SRA
+// size limit), which turns every FMA into an FMA-plus-spill-store and halves
+// throughput.
+template <int MR>
+inline void GemmTileAvx2(const float* __restrict a, int64_t row, int k,
+                         const float* __restrict panel, float* __restrict o,
+                         int m, int jc) {
+  static_assert(MR >= 1 && MR <= 6, "tile is at most 6 rows");
+  // Row pointers are clamped to row 0 for the unused tail rows so the
+  // address computation itself stays in bounds.
+  const auto rptr = [&](int r) {
+    return a + static_cast<size_t>(row + (r < MR ? r : 0)) * k;
+  };
+  const float* __restrict a0 = rptr(0);
+  const float* __restrict a1 = rptr(1);
+  const float* __restrict a2 = rptr(2);
+  const float* __restrict a3 = rptr(3);
+  const float* __restrict a4 = rptr(4);
+  const float* __restrict a5 = rptr(5);
+  __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+  __m256 c10 = c00, c11 = c00, c20 = c00, c21 = c00;
+  __m256 c30 = c00, c31 = c00, c40 = c00, c41 = c00;
+  __m256 c50 = c00, c51 = c00;
+  // One k step: each accumulator chains exactly one FMA, ascending p.
+  const auto kstep = [&](int p) {
+    const float* brow = panel + static_cast<size_t>(p) * kPanelWidth;
+    const __m256 b0 = _mm256_loadu_ps(brow);
+    const __m256 b1 = _mm256_loadu_ps(brow + 8);
+    __m256 av = _mm256_broadcast_ss(a0 + p);
+    c00 = _mm256_fmadd_ps(av, b0, c00);
+    c01 = _mm256_fmadd_ps(av, b1, c01);
+    if constexpr (MR > 1) {
+      av = _mm256_broadcast_ss(a1 + p);
+      c10 = _mm256_fmadd_ps(av, b0, c10);
+      c11 = _mm256_fmadd_ps(av, b1, c11);
+    }
+    if constexpr (MR > 2) {
+      av = _mm256_broadcast_ss(a2 + p);
+      c20 = _mm256_fmadd_ps(av, b0, c20);
+      c21 = _mm256_fmadd_ps(av, b1, c21);
+    }
+    if constexpr (MR > 3) {
+      av = _mm256_broadcast_ss(a3 + p);
+      c30 = _mm256_fmadd_ps(av, b0, c30);
+      c31 = _mm256_fmadd_ps(av, b1, c31);
+    }
+    if constexpr (MR > 4) {
+      av = _mm256_broadcast_ss(a4 + p);
+      c40 = _mm256_fmadd_ps(av, b0, c40);
+      c41 = _mm256_fmadd_ps(av, b1, c41);
+    }
+    if constexpr (MR > 5) {
+      av = _mm256_broadcast_ss(a5 + p);
+      c50 = _mm256_fmadd_ps(av, b0, c50);
+      c51 = _mm256_fmadd_ps(av, b1, c51);
+    }
+  };
+  // Unrolled by two to halve loop-control overhead: the 24 FMA/load uops per
+  // step sit exactly at the FMA port bound, so any front-end overhead shows
+  // up as lost throughput. Both unrolled steps extend the SAME accumulator
+  // chains in ascending p, so the summation order (and every result bit) is
+  // unchanged from the rolled loop.
+  int p = 0;
+  for (; p + 2 <= k; p += 2) {
+    kstep(p);
+    kstep(p + 1);
+  }
+  if (p < k) kstep(p);
+  const int w = m - jc < kPanelWidth ? m - jc : kPanelWidth;
+  const auto store_row = [&](int r, __m256 lo, __m256 hi) {
+    float* orow = o + static_cast<size_t>(row + r) * m + jc;
+    if (w == kPanelWidth) {
+      _mm256_storeu_ps(orow, lo);
+      _mm256_storeu_ps(orow + 8, hi);
+    } else {
+      // Tail panel: the padded lanes were computed against zeros; spill to a
+      // stack buffer and copy only the valid columns out.
+      alignas(32) float tmp[kPanelWidth];
+      _mm256_store_ps(tmp, lo);
+      _mm256_store_ps(tmp + 8, hi);
+      for (int j = 0; j < w; ++j) orow[j] = tmp[j];
+    }
+  };
+  store_row(0, c00, c01);
+  if constexpr (MR > 1) store_row(1, c10, c11);
+  if constexpr (MR > 2) store_row(2, c20, c21);
+  if constexpr (MR > 3) store_row(3, c30, c31);
+  if constexpr (MR > 4) store_row(4, c40, c41);
+  if constexpr (MR > 5) store_row(5, c50, c51);
+}
+
+void GemmRowsAvx2(const float* a, const float* packed, float* o, int64_t r0,
+                  int64_t r1, int k, int m) {
+  const int panels = NumPanels(m);
+  const size_t panel_stride = static_cast<size_t>(k) * kPanelWidth;
+  int64_t i = r0;
+  for (; i + 6 <= r1; i += 6) {
+    for (int pj = 0; pj < panels; ++pj) {
+      GemmTileAvx2<6>(a, i, k, packed + pj * panel_stride, o, m,
+                      pj * kPanelWidth);
+    }
+  }
+  const int tail = static_cast<int>(r1 - i);
+  for (int pj = 0; pj < panels && tail > 0; ++pj) {
+    const float* panel = packed + pj * panel_stride;
+    const int jc = pj * kPanelWidth;
+    switch (tail) {
+      case 1: GemmTileAvx2<1>(a, i, k, panel, o, m, jc); break;
+      case 2: GemmTileAvx2<2>(a, i, k, panel, o, m, jc); break;
+      case 3: GemmTileAvx2<3>(a, i, k, panel, o, m, jc); break;
+      case 4: GemmTileAvx2<4>(a, i, k, panel, o, m, jc); break;
+      default: GemmTileAvx2<5>(a, i, k, panel, o, m, jc); break;
+    }
+  }
+}
+
+// Vectorized twin of the portable MatMulTransposeARows: same i/j blocking,
+// same ascending-input-row accumulation per output element, same zero-skip —
+// only the j (axpy) loop runs 8 lanes at a time. The vector/scalar split of
+// the j range is a fixed function of (jc, m), so which lanes round through
+// FMA vs mul+add never depends on the i partition. Blocking constants are
+// the shared kTaBlockI/kTaBlockJ from matrix_simd.h.
+void TaUpdateRowsAvx2(const float* __restrict a, const float* __restrict b,
+                      float* __restrict o, int64_t i0, int64_t i1, int n, int k,
+                      int m) {
+  for (int jc = 0; jc < m; jc += kTaBlockJ) {
+    const int jend = jc + kTaBlockJ < m ? jc + kTaBlockJ : m;
+    const int jlen = jend - jc;
+    const int jvec = jlen & ~7;
+    for (int64_t icc = i0; icc < i1; icc += kTaBlockI) {
+      const int64_t icend = icc + kTaBlockI < i1 ? icc + kTaBlockI : i1;
+      for (int r = 0; r < n; ++r) {
+        const float* __restrict arow = a + static_cast<size_t>(r) * k;
+        const float* __restrict brow = b + static_cast<size_t>(r) * m + jc;
+        for (int64_t i = icc; i < icend; ++i) {
+          const float av = arow[i];
+          if (av == 0.0f) continue;
+          float* __restrict orow = o + static_cast<size_t>(i) * m + jc;
+          const __m256 avv = _mm256_set1_ps(av);
+          int j = 0;
+          for (; j < jvec; j += 8) {
+            const __m256 acc = _mm256_loadu_ps(orow + j);
+            _mm256_storeu_ps(orow + j,
+                             _mm256_fmadd_ps(avv, _mm256_loadu_ps(brow + j), acc));
+          }
+          for (; j < jlen; ++j) orow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+constexpr SimdGemmKernels kAvx2Kernels = {"avx2", GemmRowsAvx2,
+                                          TaUpdateRowsAvx2};
+
+}  // namespace
+
+const SimdGemmKernels* Avx2Kernels() { return &kAvx2Kernels; }
+
+}  // namespace neo::nn::detail
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace neo::nn::detail {
+const SimdGemmKernels* Avx2Kernels() { return nullptr; }
+}  // namespace neo::nn::detail
+
+#endif

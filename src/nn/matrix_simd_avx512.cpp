@@ -1,0 +1,182 @@
+// AVX-512F GEMM micro-kernels (the "avx512" dispatch arm). Always compiled
+// with -mavx512f (see CMakeLists.txt); the runtime dispatcher only routes
+// here after cpuid confirms AVX-512 Foundation, and the TU degrades to an
+// unavailable-arm stub on toolchains that cannot target it.
+//
+// The tile is 6x32: six output rows by two 16-float B panels, one zmm per
+// (row, panel) accumulator — twelve independent FMA chains, mirroring the
+// AVX2 arm's 6x16 shape at twice the width. A 16-float panel row is exactly
+// one zmm load, so this arm reads the same packed-B layout as AVX2 (no
+// repacking when the dispatch arm changes). Odd trailing panels run the same
+// tile at single-panel width, and the zero-padded tail panel is handled with
+// a masked store, so every output element is still a single ascending-k FMA
+// chain regardless of tile placement.
+#include "src/nn/matrix_simd.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace neo::nn::detail {
+namespace {
+
+/// MR (<= 6) output rows by NP (1 or 2) 16-float panels starting at column
+/// jc. Panels are contiguous in the packed buffer (stride k*16 floats).
+/// Accumulators are named variables behind `if constexpr` guards, not
+/// arrays, for the same GCC SRA reason as the AVX2 tile (a [6][2] zmm array
+/// is memory-backed and every FMA grows a spill store).
+template <int MR, int NP>
+inline void GemmTileAvx512(const float* __restrict a, int64_t row, int k,
+                           const float* __restrict panel0, float* __restrict o,
+                           int m, int jc) {
+  static_assert(MR >= 1 && MR <= 6 && (NP == 1 || NP == 2));
+  const auto rptr = [&](int r) {
+    return a + static_cast<size_t>(row + (r < MR ? r : 0)) * k;
+  };
+  const float* __restrict a0 = rptr(0);
+  const float* __restrict a1 = rptr(1);
+  const float* __restrict a2 = rptr(2);
+  const float* __restrict a3 = rptr(3);
+  const float* __restrict a4 = rptr(4);
+  const float* __restrict a5 = rptr(5);
+  __m512 c00 = _mm512_setzero_ps(), c01 = _mm512_setzero_ps();
+  __m512 c10 = c00, c11 = c00, c20 = c00, c21 = c00;
+  __m512 c30 = c00, c31 = c00, c40 = c00, c41 = c00;
+  __m512 c50 = c00, c51 = c00;
+  const float* __restrict panel1 =
+      panel0 + (NP > 1 ? static_cast<size_t>(k) * kPanelWidth : 0);
+  for (int p = 0; p < k; ++p) {
+    const __m512 b0 = _mm512_loadu_ps(panel0 + static_cast<size_t>(p) * kPanelWidth);
+    __m512 b1 = b0;
+    if constexpr (NP > 1) {
+      b1 = _mm512_loadu_ps(panel1 + static_cast<size_t>(p) * kPanelWidth);
+    }
+    __m512 av = _mm512_set1_ps(a0[p]);
+    c00 = _mm512_fmadd_ps(av, b0, c00);
+    if constexpr (NP > 1) c01 = _mm512_fmadd_ps(av, b1, c01);
+    if constexpr (MR > 1) {
+      av = _mm512_set1_ps(a1[p]);
+      c10 = _mm512_fmadd_ps(av, b0, c10);
+      if constexpr (NP > 1) c11 = _mm512_fmadd_ps(av, b1, c11);
+    }
+    if constexpr (MR > 2) {
+      av = _mm512_set1_ps(a2[p]);
+      c20 = _mm512_fmadd_ps(av, b0, c20);
+      if constexpr (NP > 1) c21 = _mm512_fmadd_ps(av, b1, c21);
+    }
+    if constexpr (MR > 3) {
+      av = _mm512_set1_ps(a3[p]);
+      c30 = _mm512_fmadd_ps(av, b0, c30);
+      if constexpr (NP > 1) c31 = _mm512_fmadd_ps(av, b1, c31);
+    }
+    if constexpr (MR > 4) {
+      av = _mm512_set1_ps(a4[p]);
+      c40 = _mm512_fmadd_ps(av, b0, c40);
+      if constexpr (NP > 1) c41 = _mm512_fmadd_ps(av, b1, c41);
+    }
+    if constexpr (MR > 5) {
+      av = _mm512_set1_ps(a5[p]);
+      c50 = _mm512_fmadd_ps(av, b0, c50);
+      if constexpr (NP > 1) c51 = _mm512_fmadd_ps(av, b1, c51);
+    }
+  }
+  const auto panel_mask = [&](int np) {
+    const int w = m - (jc + np * kPanelWidth);
+    return w >= kPanelWidth ? static_cast<__mmask16>(0xffff)
+                            : static_cast<__mmask16>((1u << w) - 1u);
+  };
+  const __mmask16 mask0 = panel_mask(0);
+  const __mmask16 mask1 = NP > 1 ? panel_mask(1) : mask0;
+  const auto store_row = [&](int r, __m512 v0, __m512 v1) {
+    float* orow = o + static_cast<size_t>(row + r) * m + jc;
+    _mm512_mask_storeu_ps(orow, mask0, v0);
+    if constexpr (NP > 1) {
+      _mm512_mask_storeu_ps(orow + kPanelWidth, mask1, v1);
+    }
+  };
+  store_row(0, c00, c01);
+  if constexpr (MR > 1) store_row(1, c10, c11);
+  if constexpr (MR > 2) store_row(2, c20, c21);
+  if constexpr (MR > 3) store_row(3, c30, c31);
+  if constexpr (MR > 4) store_row(4, c40, c41);
+  if constexpr (MR > 5) store_row(5, c50, c51);
+}
+
+template <int MR>
+inline void GemmRowBlockAvx512(const float* a, const float* packed, float* o,
+                               int64_t row, int k, int m) {
+  const int panels = NumPanels(m);
+  const size_t panel_stride = static_cast<size_t>(k) * kPanelWidth;
+  int pj = 0;
+  for (; pj + 2 <= panels; pj += 2) {
+    GemmTileAvx512<MR, 2>(a, row, k, packed + pj * panel_stride, o, m,
+                          pj * kPanelWidth);
+  }
+  if (pj < panels) {
+    GemmTileAvx512<MR, 1>(a, row, k, packed + pj * panel_stride, o, m,
+                          pj * kPanelWidth);
+  }
+}
+
+void GemmRowsAvx512(const float* a, const float* packed, float* o, int64_t r0,
+                    int64_t r1, int k, int m) {
+  int64_t i = r0;
+  for (; i + 6 <= r1; i += 6) GemmRowBlockAvx512<6>(a, packed, o, i, k, m);
+  switch (static_cast<int>(r1 - i)) {
+    case 1: GemmRowBlockAvx512<1>(a, packed, o, i, k, m); break;
+    case 2: GemmRowBlockAvx512<2>(a, packed, o, i, k, m); break;
+    case 3: GemmRowBlockAvx512<3>(a, packed, o, i, k, m); break;
+    case 4: GemmRowBlockAvx512<4>(a, packed, o, i, k, m); break;
+    case 5: GemmRowBlockAvx512<5>(a, packed, o, i, k, m); break;
+    default: break;
+  }
+}
+
+// Same structure as the AVX2 arm's TaUpdateRowsAvx2 at 16 lanes; see the
+// determinism notes there.
+void TaUpdateRowsAvx512(const float* __restrict a, const float* __restrict b,
+                        float* __restrict o, int64_t i0, int64_t i1, int n,
+                        int k, int m) {
+  for (int jc = 0; jc < m; jc += kTaBlockJ) {
+    const int jend = jc + kTaBlockJ < m ? jc + kTaBlockJ : m;
+    const int jlen = jend - jc;
+    const int jvec = jlen & ~15;
+    for (int64_t icc = i0; icc < i1; icc += kTaBlockI) {
+      const int64_t icend = icc + kTaBlockI < i1 ? icc + kTaBlockI : i1;
+      for (int r = 0; r < n; ++r) {
+        const float* __restrict arow = a + static_cast<size_t>(r) * k;
+        const float* __restrict brow = b + static_cast<size_t>(r) * m + jc;
+        for (int64_t i = icc; i < icend; ++i) {
+          const float av = arow[i];
+          if (av == 0.0f) continue;
+          float* __restrict orow = o + static_cast<size_t>(i) * m + jc;
+          const __m512 avv = _mm512_set1_ps(av);
+          int j = 0;
+          for (; j < jvec; j += 16) {
+            const __m512 acc = _mm512_loadu_ps(orow + j);
+            _mm512_storeu_ps(orow + j,
+                             _mm512_fmadd_ps(avv, _mm512_loadu_ps(brow + j), acc));
+          }
+          for (; j < jlen; ++j) orow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+constexpr SimdGemmKernels kAvx512Kernels = {"avx512", GemmRowsAvx512,
+                                            TaUpdateRowsAvx512};
+
+}  // namespace
+
+const SimdGemmKernels* Avx512Kernels() { return &kAvx512Kernels; }
+
+}  // namespace neo::nn::detail
+
+#else  // !__AVX512F__
+
+namespace neo::nn::detail {
+const SimdGemmKernels* Avx512Kernels() { return nullptr; }
+}  // namespace neo::nn::detail
+
+#endif

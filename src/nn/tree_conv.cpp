@@ -56,26 +56,18 @@ void TreeConv::RefreshInferenceWeights() {
   const int s = shared_suffix_dim_;
   const int top = cin - s;
   const int cout = weight_.value.cols();
-  if (w_self_.rows() != top) {
-    w_self_ = Matrix(top, cout);
-    w_left_ = Matrix(top, cout);
-    w_right_ = Matrix(top, cout);
-    if (s > 0) {
-      w_self_suffix_ = Matrix(s, cout);
-      w_left_suffix_ = Matrix(s, cout);
-      w_right_suffix_ = Matrix(s, cout);
-    }
-  }
   // Block b of the stacked weight occupies rows [b*cin, (b+1)*cin): the first
   // `top` rows multiply the varying channels, the last `s` the shared suffix.
-  Matrix* tops[3] = {&w_self_, &w_left_, &w_right_};
-  Matrix* suffixes[3] = {&w_self_suffix_, &w_left_suffix_, &w_right_suffix_};
+  // Each block is a contiguous row range, so it packs straight from weight_
+  // (copy + panel build — the pre-pack is what lets every ForwardInference
+  // GEMM skip the per-call B pack under the SIMD dispatch arms).
+  PackedB* tops[3] = {&w_self_, &w_left_, &w_right_};
+  PackedB* suffixes[3] = {&w_self_suffix_, &w_left_suffix_, &w_right_suffix_};
   for (int blk = 0; blk < 3; ++blk) {
     const float* src = weight_.value.Row(blk * cin);
-    std::copy(src, src + static_cast<size_t>(top) * cout, tops[blk]->data());
+    tops[blk]->Assign(src, top, cout);
     if (s > 0) {
-      std::copy(src + static_cast<size_t>(top) * cout,
-                src + static_cast<size_t>(cin) * cout, suffixes[blk]->data());
+      suffixes[blk]->Assign(src + static_cast<size_t>(top) * cout, s, cout);
     }
   }
   split_fresh_ = true;
@@ -99,13 +91,13 @@ Matrix TreeConv::ForwardInference(const TreeStructure& tree, const Matrix& x,
   Matrix suffix_self, suffix_left, suffix_right;
   if (s > 0) {
     NEO_CHECK(shared_suffix->cols() == s);
-    suffix_self = MatMul(*shared_suffix, w_self_suffix_);
-    suffix_left = MatMul(*shared_suffix, w_left_suffix_);
-    suffix_right = MatMul(*shared_suffix, w_right_suffix_);
+    suffix_self = MatMulPacked(*shared_suffix, w_self_suffix_);
+    suffix_left = MatMulPacked(*shared_suffix, w_left_suffix_);
+    suffix_right = MatMulPacked(*shared_suffix, w_right_suffix_);
   }
 
   // Self block + bias (+ self-suffix projection) for every node.
-  Matrix y = MatMul(x, w_self_);
+  Matrix y = MatMulPacked(x, w_self_);
   const int cout = y.cols();
   const float* b = bias_.value.Row(0);
   const float* sp = s > 0 ? suffix_self.Row(0) : nullptr;
@@ -120,7 +112,7 @@ Matrix TreeConv::ForwardInference(const TreeStructure& tree, const Matrix& x,
   // Child blocks: gather present children, one GEMM per side, scatter-add.
   // MatMul rows are independent, so each node's contribution is the same
   // regardless of which other nodes share the gather.
-  auto add_side = [&](const std::vector<int>& child, const Matrix& w,
+  auto add_side = [&](const std::vector<int>& child, const PackedB& w,
                       const Matrix& suffix_proj) {
     int present = 0;
     for (size_t i = 0; i < child.size(); ++i) {
@@ -138,7 +130,7 @@ Matrix TreeConv::ForwardInference(const TreeStructure& tree, const Matrix& x,
       scratch->parent[static_cast<size_t>(t)] = static_cast<int>(i);
       ++t;
     }
-    const Matrix contrib = MatMul(scratch->gather, w);
+    const Matrix contrib = MatMulPacked(scratch->gather, w);
     const float* proj = s > 0 ? suffix_proj.Row(0) : nullptr;
     for (int r = 0; r < present; ++r) {
       float* dst = y.Row(scratch->parent[static_cast<size_t>(r)]);
@@ -174,9 +166,9 @@ void TreeConv::ForwardInferenceRows(const TreeStructure& tree, const Matrix& x,
   Matrix suffix_self, suffix_left, suffix_right;
   if (s > 0) {
     NEO_CHECK(shared_suffix->cols() == s);
-    suffix_self = MatMul(*shared_suffix, w_self_suffix_);
-    suffix_left = MatMul(*shared_suffix, w_left_suffix_);
-    suffix_right = MatMul(*shared_suffix, w_right_suffix_);
+    suffix_self = MatMulPacked(*shared_suffix, w_self_suffix_);
+    suffix_left = MatMulPacked(*shared_suffix, w_left_suffix_);
+    suffix_right = MatMulPacked(*shared_suffix, w_right_suffix_);
   }
 
   auto regather = [&](int count) {
@@ -191,7 +183,7 @@ void TreeConv::ForwardInferenceRows(const TreeStructure& tree, const Matrix& x,
     std::copy(x.Row(rows[static_cast<size_t>(r)]),
               x.Row(rows[static_cast<size_t>(r)]) + top, scratch->gather.Row(r));
   }
-  const Matrix self = MatMul(scratch->gather, w_self_);
+  const Matrix self = MatMulPacked(scratch->gather, w_self_);
   const float* b = bias_.value.Row(0);
   const float* sp = s > 0 ? suffix_self.Row(0) : nullptr;
   for (int r = 0; r < d; ++r) {
@@ -204,7 +196,7 @@ void TreeConv::ForwardInferenceRows(const TreeStructure& tree, const Matrix& x,
   }
 
   // Child blocks restricted to the dirty rows' present children.
-  auto add_side = [&](const std::vector<int>& child, const Matrix& w,
+  auto add_side = [&](const std::vector<int>& child, const PackedB& w,
                       const Matrix& suffix_proj) {
     int present = 0;
     for (const int r : rows) {
@@ -221,7 +213,7 @@ void TreeConv::ForwardInferenceRows(const TreeStructure& tree, const Matrix& x,
       scratch->parent[static_cast<size_t>(t)] = r;
       ++t;
     }
-    const Matrix contrib = MatMul(scratch->gather, w);
+    const Matrix contrib = MatMulPacked(scratch->gather, w);
     const float* proj = s > 0 ? suffix_proj.Row(0) : nullptr;
     for (int r = 0; r < present; ++r) {
       float* dst = y->Row(scratch->parent[static_cast<size_t>(r)]);

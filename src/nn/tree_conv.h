@@ -80,7 +80,8 @@ class TreeConv {
                             Matrix* y) const;
 
   /// Re-splits the stacked weight into the per-block copies ForwardInference
-  /// multiplies with. Cheap (one memcpy of the weight matrix).
+  /// multiplies with, pre-packed into the kernel dispatch panel layout so the
+  /// hot gather/GEMM/scatter never repacks. Cheap (one copy of the weights).
   void RefreshInferenceWeights();
 
   /// Backward for the most recent Forward (same tree).
@@ -100,10 +101,11 @@ class TreeConv {
   Param weight_;  ///< (3*in x out): [e_p; e_l; e_r] stacked.
   Param bias_;    ///< (1 x out)
   Matrix last_concat_;  ///< (nodes x 3*in) cached for backward.
-  /// ((in - s) x out) varying-channel blocks of weight_.
-  Matrix w_self_, w_left_, w_right_;
+  /// ((in - s) x out) varying-channel blocks of weight_, pre-packed for the
+  /// active GEMM dispatch arm (MatMulPacked).
+  PackedB w_self_, w_left_, w_right_;
   /// (s x out) shared-suffix blocks (empty when shared_suffix_dim_ == 0).
-  Matrix w_self_suffix_, w_left_suffix_, w_right_suffix_;
+  PackedB w_self_suffix_, w_left_suffix_, w_right_suffix_;
   bool split_fresh_ = false;
 };
 

@@ -117,7 +117,12 @@ bool ValueNetwork::LoadWeights(const std::string& path) {
   std::fclose(f);
   // Bump even on failure: a truncated file may have partially overwritten
   // parameters, and every weight-derived cache (score cache, inference
-  // weight splits) keys off version_ — stale serves would be silent.
+  // weight splits) keys off version_ — stale serves would be silent. The
+  // head's packed weight copy is invalidated eagerly so the window between
+  // this load and the next SyncInferenceWeights cannot multiply stale packed
+  // values (the conv splits are lazy-refreshed behind the version check; the
+  // query stack never packs — see SyncInferenceWeights).
+  head_.InvalidateInferenceWeights();
   ++version_;
   return ok;
 }
@@ -187,6 +192,15 @@ void ValueNetwork::SyncInferenceWeights() {
   std::lock_guard<std::mutex> lock(inference_sync_mu_);
   if (inference_weights_version_.load(std::memory_order_relaxed) == version_) return;
   for (auto& conv : convs_) conv.RefreshInferenceWeights();
+  // Re-pack the head stack's weights for the kernel dispatch arms alongside
+  // the conv splits: every head read happens after a SyncInferenceWeights on
+  // the reading thread (PredictBatch / ForwardPlan call it first), so the
+  // version acquire/release pair orders these writes before them. The QUERY
+  // stack is deliberately NOT packed: EmbedQuery runs without a sync (it may
+  // race with another search's first-inference refresh), and its per-query
+  // (1 x dim) GEMMs gain nothing from pre-packing — it always multiplies the
+  // live weights instead.
+  head_.RefreshInferenceWeights();
   inference_weights_version_.store(version_, std::memory_order_release);
 }
 

@@ -57,6 +57,19 @@ class CoreFixture : public ::testing::Test {
 datagen::Dataset* CoreFixture::ds_ = nullptr;
 featurize::Featurizer* CoreFixture::featurizer_ = nullptr;
 
+/// The kernel dispatch arms the parity suites run under: the forced-portable
+/// fallback plus the dispatched (best) SIMD arm when the machine has one.
+/// Within an arm results must be bit-identical; across arms they differ by
+/// FMA/accumulation-order ulps (SearchPlansIdenticalAcrossKernelArms covers
+/// that comparison).
+std::vector<nn::KernelIsa> KernelArmsToTest() {
+  std::vector<nn::KernelIsa> arms = {nn::KernelIsa::kPortable};
+  if (nn::BestKernelIsa() != nn::KernelIsa::kPortable) {
+    arms.push_back(nn::BestKernelIsa());
+  }
+  return arms;
+}
+
 TEST_F(CoreFixture, ExperienceLabelsAreMinOverContainingPlans) {
   Experience exp(featurizer_);
   const Query q = ThreeWay(50);
@@ -211,54 +224,95 @@ TEST_F(CoreFixture, SpeculativeSearchStillFindsCompletePlans) {
 TEST_F(CoreFixture, IncrementalSearchBitIdenticalAcrossToggleAndThreads) {
   // The activation cache must change no search outcome: SearchResult is
   // bit-identical with incremental on/off, at threads 1/2/8, and the
-  // incremental runs must actually reuse activations.
+  // incremental runs must actually reuse activations. The whole suite runs
+  // once per kernel dispatch arm (forced-portable and dispatched SIMD), with
+  // a separate baseline per arm — bit-identity is a within-arm contract.
   engine::ExecutionEngine engine(ds_->schema, *ds_->db, EngineKind::kPostgres);
   const auto wl = query::MakeJobWorkload(ds_->schema, *ds_->db);
   const Query& q = wl.query(60);  // A JOB query (5 relations).
-  SearchResult baseline;
-  bool have_baseline = false;
-  for (const bool incremental : {false, true}) {
-    for (const int threads : {1, 2, 8}) {
-      Neo neo(featurizer_, &engine, SmallConfig());
-      SearchOptions opt;
-      opt.max_expansions = 30;
-      opt.incremental = incremental;
-      opt.threads = threads;
-      const SearchResult r = neo.search().FindPlan(q, opt);
-      EXPECT_TRUE(r.plan.IsComplete());
-      if (incremental) {
-        EXPECT_GT(r.activation_hits, 0u);
-        // Children share all but a spine with their parent; after the first
-        // expansion the cache serves far more rows than are recomputed.
-        EXPECT_GT(r.rows_reused, r.rows_recomputed);
-      } else {
-        EXPECT_EQ(r.activation_hits, 0u);
-        EXPECT_EQ(r.rows_recomputed, 0u);
-        EXPECT_EQ(r.rows_reused, 0u);
+  for (const nn::KernelIsa arm : KernelArmsToTest()) {
+    nn::KernelIsaScope isa_scope(arm);
+    SearchResult baseline;
+    bool have_baseline = false;
+    for (const bool incremental : {false, true}) {
+      for (const int threads : {1, 2, 8}) {
+        Neo neo(featurizer_, &engine, SmallConfig());
+        SearchOptions opt;
+        opt.max_expansions = 30;
+        opt.incremental = incremental;
+        opt.threads = threads;
+        const SearchResult r = neo.search().FindPlan(q, opt);
+        EXPECT_TRUE(r.plan.IsComplete());
+        if (incremental) {
+          EXPECT_GT(r.activation_hits, 0u);
+          // Children share all but a spine with their parent; after the first
+          // expansion the cache serves far more rows than are recomputed.
+          EXPECT_GT(r.rows_reused, r.rows_recomputed);
+        } else {
+          EXPECT_EQ(r.activation_hits, 0u);
+          EXPECT_EQ(r.rows_recomputed, 0u);
+          EXPECT_EQ(r.rows_reused, 0u);
+        }
+        if (!have_baseline) {
+          baseline = r;
+          have_baseline = true;
+          continue;
+        }
+        EXPECT_EQ(r.plan.Hash(), baseline.plan.Hash())
+            << nn::KernelIsaName(arm) << " incremental " << incremental
+            << " threads " << threads;
+        EXPECT_EQ(r.predicted_cost, baseline.predicted_cost);
+        EXPECT_EQ(r.expansions, baseline.expansions);
+        EXPECT_EQ(r.evaluations, baseline.evaluations);
+        EXPECT_EQ(r.cache_hits, baseline.cache_hits);
+        EXPECT_EQ(r.plan.ToString(ds_->schema), baseline.plan.ToString(ds_->schema));
       }
-      if (!have_baseline) {
-        baseline = r;
-        have_baseline = true;
-        continue;
-      }
-      EXPECT_EQ(r.plan.Hash(), baseline.plan.Hash())
-          << "incremental " << incremental << " threads " << threads;
-      EXPECT_EQ(r.predicted_cost, baseline.predicted_cost);
-      EXPECT_EQ(r.expansions, baseline.expansions);
-      EXPECT_EQ(r.evaluations, baseline.evaluations);
-      EXPECT_EQ(r.cache_hits, baseline.cache_hits);
-      EXPECT_EQ(r.plan.ToString(ds_->schema), baseline.plan.ToString(ds_->schema));
     }
   }
 }
 
-TEST_F(CoreFixture, IncrementalScoresBitIdenticalAlongParentChildChains) {
-  // The tentpole's parity contract at the PredictBatch level: walk random
-  // parent -> child chains (each step a one-leaf or one-join delta), score
-  // every child set both plainly and through an activation cache carried
-  // across steps, and require bitwise-equal scores.
+TEST_F(CoreFixture, SearchPlansIdenticalAcrossKernelArms) {
+  // SIMD-vs-portable acceptance: the arms differ by FMA/accumulation-order
+  // ulps, so scores must agree within tolerance and the searched plan (and
+  // the whole search trajectory) must come out identical on JOB queries.
+  if (nn::BestKernelIsa() == nn::KernelIsa::kPortable) {
+    GTEST_SKIP() << "no SIMD arm available on this machine";
+  }
   engine::ExecutionEngine engine(ds_->schema, *ds_->db, EngineKind::kPostgres);
   const auto wl = query::MakeJobWorkload(ds_->schema, *ds_->db);
+  for (const size_t qi : {size_t{0}, size_t{30}, size_t{60}}) {
+    const Query& q = wl.query(qi);
+    auto run = [&](nn::KernelIsa arm) {
+      nn::KernelIsaScope scope(arm);
+      Neo neo(featurizer_, &engine, SmallConfig());
+      SearchOptions opt;
+      opt.max_expansions = 30;
+      opt.incremental = true;
+      return neo.search().FindPlan(q, opt);
+    };
+    const SearchResult portable = run(nn::KernelIsa::kPortable);
+    const SearchResult simd = run(nn::BestKernelIsa());
+    EXPECT_EQ(portable.plan.Hash(), simd.plan.Hash()) << "query " << qi;
+    EXPECT_EQ(portable.plan.ToString(ds_->schema), simd.plan.ToString(ds_->schema));
+    EXPECT_EQ(portable.expansions, simd.expansions);
+    EXPECT_EQ(portable.evaluations, simd.evaluations);
+    const double tol =
+        1e-4 * std::max(1.0, std::fabs(static_cast<double>(portable.predicted_cost)));
+    EXPECT_NEAR(portable.predicted_cost, simd.predicted_cost, tol) << "query " << qi;
+  }
+}
+
+TEST_F(CoreFixture, IncrementalScoresBitIdenticalAlongParentChildChains) {
+  // The PR-3 parity contract at the PredictBatch level: walk random
+  // parent -> child chains (each step a one-leaf or one-join delta), score
+  // every child set both plainly and through an activation cache carried
+  // across steps, and require bitwise-equal scores — under every kernel
+  // dispatch arm (the carried cache must not mix arms, so the Neo instance
+  // and cache live inside the arm loop).
+  engine::ExecutionEngine engine(ds_->schema, *ds_->db, EngineKind::kPostgres);
+  const auto wl = query::MakeJobWorkload(ds_->schema, *ds_->db);
+  for (const nn::KernelIsa arm : KernelArmsToTest()) {
+  nn::KernelIsaScope isa_scope(arm);
   Neo neo(featurizer_, &engine, SmallConfig());
   nn::ValueNetwork& net = neo.net();
   const size_t entry = static_cast<size_t>(net.TotalConvChannels());
@@ -309,6 +363,7 @@ TEST_F(CoreFixture, IncrementalScoresBitIdenticalAlongParentChildChains) {
     }
     EXPECT_GT(steps, 0u);
   }
+  }  // arm loop
 }
 
 TEST_F(CoreFixture, ScoreCacheLruEvictsAndRecomputes) {

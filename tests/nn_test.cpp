@@ -207,6 +207,170 @@ TEST(MatrixTest, ParallelKernelsBitIdenticalToSerial) {
   }
 }
 
+TEST(MatrixSimdTest, DispatchReportsValidArm) {
+  EXPECT_TRUE(KernelIsaAvailable(KernelIsa::kPortable));
+  EXPECT_TRUE(KernelIsaAvailable(ActiveKernelIsa()));
+  EXPECT_TRUE(KernelIsaAvailable(BestKernelIsa()));
+  EXPECT_STREQ(KernelArchString(), KernelIsaName(ActiveKernelIsa()));
+  const KernelIsa before = ActiveKernelIsa();
+  {
+    KernelIsaScope scope(KernelIsa::kPortable);
+    EXPECT_EQ(ActiveKernelIsa(), KernelIsa::kPortable);
+    EXPECT_STREQ(KernelArchString(), "portable");
+  }
+  EXPECT_EQ(ActiveKernelIsa(), before);
+}
+
+TEST(MatrixSimdTest, SimdKernelsMatchPortableOnOddShapes) {
+  // SIMD arms use fused multiply-add and a different (single-chain) summation
+  // order than the portable kernel, so cross-arm parity is at relative
+  // tolerance, not bitwise. Shapes cover every panel-tail width class
+  // (m % 16 in {0,1,15}), row-tile tails (n % 6), tiny and degenerate dims,
+  // and the conv/backward shapes the network actually runs.
+  const int shapes[][3] = {{1, 1, 1},     {5, 3, 15},    {6, 53, 64},
+                           {7, 21, 64},   {13, 64, 32},  {19, 32, 16},
+                           {37, 159, 64}, {64, 64, 33},  {65, 31, 17},
+                           {127, 2, 16},  {130, 131, 129}, {2, 200, 47}};
+  util::Rng rng(47);
+  const auto expect_close = [](const Matrix& ref, const Matrix& got,
+                               const char* what, int n, int k, int m) {
+    ASSERT_EQ(ref.rows(), got.rows());
+    ASSERT_EQ(ref.cols(), got.cols());
+    for (size_t i = 0; i < ref.Size(); ++i) {
+      const double tol =
+          1e-5 * std::max(1.0, static_cast<double>(std::fabs(ref.data()[i])));
+      ASSERT_NEAR(ref.data()[i], got.data()[i], tol)
+          << what << " " << n << "x" << k << "x" << m;
+    }
+  };
+  for (const auto& s : shapes) {
+    const int n = s[0], k = s[1], m = s[2];
+    const Matrix a = RandomMatrix(n, k, rng);
+    const Matrix b = RandomMatrix(k, m, rng);
+    const Matrix bt = RandomMatrix(m, k, rng);
+    const Matrix at = RandomMatrix(k, n, rng);
+    const Matrix bA = RandomMatrix(k, m, rng);
+    Matrix ref, ref_tb, ref_ta;
+    {
+      KernelIsaScope scope(KernelIsa::kPortable);
+      ref = MatMul(a, b);
+      ref_tb = MatMulTransposeB(a, bt);
+      ref_ta = MatMulTransposeA(at, bA);
+    }
+    for (KernelIsa isa : AvailableKernelIsas()) {
+      if (isa == KernelIsa::kPortable) continue;
+      KernelIsaScope scope(isa);
+      expect_close(ref, MatMul(a, b), KernelIsaName(isa), n, k, m);
+      expect_close(ref_tb, MatMulTransposeB(a, bt), KernelIsaName(isa), n, k, m);
+      expect_close(ref_ta, MatMulTransposeA(at, bA), KernelIsaName(isa), n, k, m);
+    }
+  }
+}
+
+TEST(MatrixSimdTest, KernelsBitIdenticalAcrossThreadsPerArm) {
+  // Within one dispatch arm, the summation order is a fixed function of the
+  // shape, so every thread count must reproduce the serial result bitwise —
+  // for every arm, not just the portable one the pre-dispatch test covers.
+  util::Rng rng(48);
+  const int shapes[][3] = {{5, 3, 15}, {45, 53, 64}, {130, 131, 129}, {64, 200, 2}};
+  for (KernelIsa isa : AvailableKernelIsas()) {
+    KernelIsaScope isa_scope(isa);
+    for (const auto& s : shapes) {
+      const int n = s[0], k = s[1], m = s[2];
+      const Matrix a = RandomMatrix(n, k, rng);
+      const Matrix b = RandomMatrix(k, m, rng);
+      const Matrix bt = RandomMatrix(m, k, rng);
+      const Matrix at = RandomMatrix(k, n, rng);
+      const Matrix bA = RandomMatrix(k, m, rng);
+      const Matrix serial = MatMul(a, b);
+      const Matrix serial_tb = MatMulTransposeB(a, bt);
+      const Matrix serial_ta = MatMulTransposeA(at, bA);
+      for (int threads : {2, 8}) {
+        ComputeThreadsScope scope(threads);
+        const Matrix par = MatMul(a, b);
+        const Matrix par_tb = MatMulTransposeB(a, bt);
+        const Matrix par_ta = MatMulTransposeA(at, bA);
+        for (size_t i = 0; i < serial.Size(); ++i) {
+          ASSERT_EQ(serial.data()[i], par.data()[i])
+              << KernelIsaName(isa) << " " << threads << " threads";
+        }
+        for (size_t i = 0; i < serial_tb.Size(); ++i) {
+          ASSERT_EQ(serial_tb.data()[i], par_tb.data()[i])
+              << KernelIsaName(isa) << " " << threads << " threads";
+        }
+        for (size_t i = 0; i < serial_ta.Size(); ++i) {
+          ASSERT_EQ(serial_ta.data()[i], par_ta.data()[i])
+              << KernelIsaName(isa) << " " << threads << " threads";
+        }
+      }
+    }
+  }
+}
+
+TEST(MatrixSimdTest, RowSubsetsBitIdenticalPerArm) {
+  // Arbitrary row subsets must reproduce the full product's rows bitwise in
+  // every arm: the incremental search path multiplies gathered row subsets
+  // (dirty spines) and relies on position-independence regardless of where a
+  // row lands relative to the 6-row register tiles.
+  util::Rng rng(49);
+  const int n = 45, k = 53, m = 64;
+  const Matrix a = RandomMatrix(n, k, rng);
+  const Matrix b = RandomMatrix(k, m, rng);
+  const std::vector<std::vector<int>> subsets = {
+      {0}, {44}, {3, 7, 11}, {0, 1, 2, 3, 4, 5, 6}, {5, 12, 19, 26, 33, 40},
+      {44, 43, 42, 41, 40, 39, 38, 37, 36, 35, 34}};
+  for (KernelIsa isa : AvailableKernelIsas()) {
+    KernelIsaScope scope(isa);
+    const Matrix full = MatMul(a, b);
+    for (const auto& subset : subsets) {
+      Matrix gathered(static_cast<int>(subset.size()), k);
+      for (size_t r = 0; r < subset.size(); ++r) {
+        std::copy(a.Row(subset[r]), a.Row(subset[r]) + k,
+                  gathered.Row(static_cast<int>(r)));
+      }
+      const Matrix partial = MatMul(gathered, b);
+      for (size_t r = 0; r < subset.size(); ++r) {
+        for (int c = 0; c < m; ++c) {
+          ASSERT_EQ(full.At(subset[r], c), partial.At(static_cast<int>(r), c))
+              << KernelIsaName(isa) << " row " << subset[r];
+        }
+      }
+    }
+  }
+}
+
+TEST(MatrixSimdTest, PackedMatMulBitIdenticalToUnpacked) {
+  // PackedB only pre-computes the panel layout MatMul builds per call, so
+  // MatMulPacked must be bit-identical to MatMul under every arm (TreeConv
+  // and Linear inference weights depend on this being a pure perf change).
+  util::Rng rng(50);
+  const int shapes[][3] = {{1, 32, 64}, {9, 21, 64}, {45, 53, 64}, {33, 64, 17}};
+  for (const auto& s : shapes) {
+    const int n = s[0], k = s[1], m = s[2];
+    const Matrix a = RandomMatrix(n, k, rng);
+    const Matrix b = RandomMatrix(k, m, rng);
+    const PackedB packed(b);
+    EXPECT_EQ(packed.rows(), k);
+    EXPECT_EQ(packed.cols(), m);
+    for (KernelIsa isa : AvailableKernelIsas()) {
+      KernelIsaScope scope(isa);
+      const Matrix plain = MatMul(a, b);
+      const Matrix via_packed = MatMulPacked(a, packed);
+      for (size_t i = 0; i < plain.Size(); ++i) {
+        ASSERT_EQ(plain.data()[i], via_packed.data()[i]) << KernelIsaName(isa);
+      }
+    }
+    // Reference mode routes MatMulPacked through the naive kernel too.
+    SetUseReferenceKernels(true);
+    const Matrix ref = MatMul(a, b);
+    const Matrix ref_packed = MatMulPacked(a, packed);
+    SetUseReferenceKernels(false);
+    for (size_t i = 0; i < ref.Size(); ++i) {
+      ASSERT_EQ(ref.data()[i], ref_packed.data()[i]);
+    }
+  }
+}
+
 TEST(LinearTest, GradientsMatchNumeric) {
   util::Rng rng(2);
   Linear layer(6, 4, rng);
