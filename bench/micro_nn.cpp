@@ -7,8 +7,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/nn/value_network.h"
 #include "src/util/stopwatch.h"
@@ -256,18 +258,27 @@ BENCHMARK(BM_ValueNetTrainBatchPerSample);
 struct TrainThroughput {
   double samples_per_sec = 0.0;
   double step_ms_mean = 0.0;
+  float first_loss = 0.0f;
   float final_loss = 0.0f;
+  size_t peak_scratch_bytes = 0;
+  std::vector<TreeConv::TrainStats> conv_stats;  ///< Per layer, per step.
+  std::vector<int> conv_in, conv_out;
 };
 
 /// Steps a fresh default-width network (paper-shaped 64/32/16 conv stack)
 /// `steps` times on a batch-64 set and reports samples/sec. All arms train
-/// on identical data from identical initial weights.
-TrainThroughput MeasureTrainThroughput(bool packed, int threads, int steps) {
+/// on identical data from identical initial weights. `sparse` selects the
+/// sparse (skip absent children) vs dense (zero-padded) training conv;
+/// `packed` the packed-forest vs per-sample path.
+TrainThroughput MeasureTrainThroughput(bool packed, bool sparse, int threads,
+                                       int steps) {
   ValueNetConfig cfg;
   cfg.query_dim = 66;
   cfg.plan_dim = 21;  // Default channel widths (64/32/16) from ValueNetConfig.
   ValueNetwork net(cfg);
   net.SetBatchedTraining(packed);
+  const bool prev_sparse = SparseTrainingConv();
+  SetSparseTrainingConv(sparse);
   ComputeThreadsScope scope(threads);
 
   neo::util::Rng rng(5);
@@ -289,12 +300,29 @@ TrainThroughput MeasureTrainThroughput(bool packed, int threads, int steps) {
   }
 
   TrainThroughput out;
-  out.final_loss = net.TrainBatch(ptrs, targets);  // Warm-up step (untimed).
+  out.first_loss = net.TrainBatch(ptrs, targets);  // Warm-up step (untimed).
+  out.final_loss = out.first_loss;
+  net.ResetConvTrainStats();
   neo::util::Stopwatch watch;
   for (int i = 0; i < steps; ++i) out.final_loss = net.TrainBatch(ptrs, targets);
   const double total_s = watch.ElapsedSeconds();
   out.samples_per_sec = static_cast<double>(steps) * 64.0 / total_s;
   out.step_ms_mean = total_s * 1000.0 / steps;
+  out.peak_scratch_bytes = net.peak_training_scratch_bytes();
+  out.conv_stats = net.ConvTrainStats();
+  for (auto& s : out.conv_stats) {
+    // Per-step averages keep the counters comparable across step counts.
+    s.forward_madds /= static_cast<uint64_t>(steps);
+    s.backward_madds /= static_cast<uint64_t>(steps);
+    s.gather_bytes /= static_cast<uint64_t>(steps);
+    s.rows_skipped /= static_cast<uint64_t>(steps);
+  }
+  for (size_t li = 0; li < out.conv_stats.size(); ++li) {
+    out.conv_in.push_back(li == 0 ? cfg.plan_dim + cfg.query_fc.back()
+                                  : cfg.tree_channels[li - 1]);
+    out.conv_out.push_back(cfg.tree_channels[li]);
+  }
+  SetSparseTrainingConv(prev_sparse);
   return out;
 }
 
@@ -302,9 +330,32 @@ void PrintTrainArm(std::FILE* out, const char* name, const TrainThroughput& r,
                    const char* trailing_comma) {
   std::fprintf(out,
                "  \"%s\": {\"samples_per_sec\": %.1f, \"step_ms_mean\": %.3f,"
-               " \"final_loss\": %.6f}%s\n",
+               " \"first_loss\": %.6f, \"final_loss\": %.6f,"
+               " \"peak_train_scratch_bytes\": %zu}%s\n",
                name, r.samples_per_sec, r.step_ms_mean,
-               static_cast<double>(r.final_loss), trailing_comma);
+               static_cast<double>(r.first_loss),
+               static_cast<double>(r.final_loss), r.peak_scratch_bytes,
+               trailing_comma);
+}
+
+/// Per-layer conv flop + gather-byte counters for one arm (per training step).
+void PrintConvLayers(std::FILE* out, const char* name, const TrainThroughput& r,
+                     const char* trailing_comma) {
+  std::fprintf(out, "  \"%s\": [", name);
+  for (size_t li = 0; li < r.conv_stats.size(); ++li) {
+    const auto& s = r.conv_stats[li];
+    std::fprintf(out,
+                 "%s\n    {\"layer\": %zu, \"in_channels\": %d,"
+                 " \"out_channels\": %d, \"fwd_madds_per_step\": %llu,"
+                 " \"bwd_madds_per_step\": %llu, \"gather_bytes_per_step\": %llu,"
+                 " \"rows_skipped_per_step\": %llu}",
+                 li == 0 ? "" : ",", li, r.conv_in[li], r.conv_out[li],
+                 static_cast<unsigned long long>(s.forward_madds),
+                 static_cast<unsigned long long>(s.backward_madds),
+                 static_cast<unsigned long long>(s.gather_bytes),
+                 static_cast<unsigned long long>(s.rows_skipped));
+  }
+  std::fprintf(out, "\n  ]%s\n", trailing_comma);
 }
 
 void WriteTrainJson(const std::string& path, int steps) {
@@ -315,13 +366,29 @@ void WriteTrainJson(const std::string& path, int steps) {
   // unknown — treat that as single too).
   const unsigned hw = std::thread::hardware_concurrency();
   const bool thread_arms_skipped = hw <= 1;
-  const TrainThroughput per_sample = MeasureTrainThroughput(false, 1, steps);
-  const TrainThroughput packed_t1 = MeasureTrainThroughput(true, 1, steps);
-  const TrainThroughput packed_t8 =
-      thread_arms_skipped ? TrainThroughput{} : MeasureTrainThroughput(true, 8, steps);
-  const double speedup_packing = packed_t1.samples_per_sec / per_sample.samples_per_sec;
+  const TrainThroughput per_sample =
+      MeasureTrainThroughput(false, true, 1, steps);
+  const TrainThroughput dense_train =
+      MeasureTrainThroughput(true, false, 1, steps);
+  const TrainThroughput sparse_train =
+      MeasureTrainThroughput(true, true, 1, steps);
+  const TrainThroughput sparse_t8 = thread_arms_skipped
+                                        ? TrainThroughput{}
+                                        : MeasureTrainThroughput(true, true, 8, steps);
+  const double speedup_packing =
+      sparse_train.samples_per_sec / per_sample.samples_per_sec;
+  const double speedup_sparse =
+      sparse_train.samples_per_sec / dense_train.samples_per_sec;
   const double speedup_threads =
-      thread_arms_skipped ? 0.0 : packed_t8.samples_per_sec / packed_t1.samples_per_sec;
+      thread_arms_skipped ? 0.0 : sparse_t8.samples_per_sec / sparse_train.samples_per_sec;
+  // The two packed arms must see the same loss trajectory bitwise (the
+  // sparse skip is an exact no-op); nn_test asserts it, the bench records it.
+  const bool first_loss_bit_identical =
+      std::memcmp(&dense_train.first_loss, &sparse_train.first_loss,
+                  sizeof(float)) == 0;
+  const bool final_loss_bit_identical =
+      std::memcmp(&dense_train.final_loss, &sparse_train.final_loss,
+                  sizeof(float)) == 0;
 
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
@@ -339,29 +406,37 @@ void WriteTrainJson(const std::string& path, int steps) {
                steps, hw, KernelArchString(),
                thread_arms_skipped ? "true" : "false");
   PrintTrainArm(out, "per_sample", per_sample, ",");
-  PrintTrainArm(out, "packed_threads1", packed_t1, ",");
+  PrintTrainArm(out, "dense_train", dense_train, ",");
+  PrintTrainArm(out, "sparse_train", sparse_train, ",");
   if (!thread_arms_skipped) {
-    PrintTrainArm(out, "packed_threads8", packed_t8, ",");
+    PrintTrainArm(out, "sparse_train_threads8", sparse_t8, ",");
   }
-  std::fprintf(out, "  \"speedup_from_packing\": %.2f", speedup_packing);
+  PrintConvLayers(out, "conv_layers_dense", dense_train, ",");
+  PrintConvLayers(out, "conv_layers", sparse_train, ",");
+  std::fprintf(out, "  \"first_loss_bit_identical\": %s,\n",
+               first_loss_bit_identical ? "true" : "false");
+  std::fprintf(out, "  \"final_loss_bit_identical\": %s,\n",
+               final_loss_bit_identical ? "true" : "false");
+  std::fprintf(out, "  \"speedup_from_packing\": %.2f,\n", speedup_packing);
+  std::fprintf(out, "  \"speedup_sparse_vs_dense\": %.2f", speedup_sparse);
   if (!thread_arms_skipped) {
     std::fprintf(out, ",\n  \"speedup_from_threads\": %.2f\n}\n", speedup_threads);
   } else {
     std::fprintf(out, "\n}\n");
   }
   std::fclose(out);
+  std::printf("TrainBatch throughput (batch 64): per-sample %.0f, dense %.0f,"
+              " sparse %.0f samples/s (%.2fx sparse-vs-dense, %.2fx packing;"
+              " loss bit-identical first=%d final=%d",
+              per_sample.samples_per_sec, dense_train.samples_per_sec,
+              sparse_train.samples_per_sec, speedup_sparse, speedup_packing,
+              first_loss_bit_identical ? 1 : 0, final_loss_bit_identical ? 1 : 0);
   if (thread_arms_skipped) {
-    std::printf("TrainBatch throughput (batch 64): per-sample %.0f, packed %.0f"
-                " samples/s (%.2fx packing; thread arms skipped,"
-                " hardware_threads=%u) -> %s\n",
-                per_sample.samples_per_sec, packed_t1.samples_per_sec,
-                speedup_packing, hw, path.c_str());
-  } else {
-    std::printf("TrainBatch throughput (batch 64): per-sample %.0f, packed %.0f,"
-                " packed@8t %.0f samples/s (%.2fx packing, %.2fx threads) -> %s\n",
-                per_sample.samples_per_sec, packed_t1.samples_per_sec,
-                packed_t8.samples_per_sec, speedup_packing, speedup_threads,
+    std::printf("; thread arms skipped, hardware_threads=%u) -> %s\n", hw,
                 path.c_str());
+  } else {
+    std::printf("; sparse@8t %.0f, %.2fx threads) -> %s\n",
+                sparse_t8.samples_per_sec, speedup_threads, path.c_str());
   }
 }
 

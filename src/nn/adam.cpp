@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/nn/matrix_simd.h"
+
 namespace neo::nn {
 
 Adam::Adam(std::vector<Param*> params, AdamOptions options)
@@ -31,27 +33,23 @@ void Adam::Step() {
     }
   }
 
-  const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(t_));
-  const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(t_));
+  // Fused m/v/w sweep per parameter matrix, routed through the kernel
+  // dispatch table (SIMD-vectorized div/sqrt under the AVX arms). The
+  // per-element op sequence is identical in every arm and scalar tail, so
+  // the update is bit-identical across dispatch arms, thread counts, and
+  // element partitions (see AdamFusedUpdate in matrix.h).
+  detail::AdamScalars scalars;
+  scalars.lr = options_.lr;
+  scalars.beta1 = options_.beta1;
+  scalars.beta2 = options_.beta2;
+  scalars.eps = options_.eps;
+  scalars.weight_decay = options_.weight_decay;
+  scalars.bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(t_));
+  scalars.bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(t_));
   for (size_t k = 0; k < params_.size(); ++k) {
     Param* p = params_[k];
-    float* w = p->value.data();
-    float* g = p->grad.data();
-    float* m = m_[k].data();
-    float* v = v_[k].data();
-    // Element-partitioned over the pool: each (m, v, w) slot is owned by
-    // exactly one chunk, so the update is deterministic for any partition.
-    ParallelRows(static_cast<int64_t>(p->value.Size()), /*min_parallel=*/1 << 13,
-                 [&](int64_t i0, int64_t i1) {
-                   for (int64_t i = i0; i < i1; ++i) {
-                     const float grad = g[i] + options_.weight_decay * w[i];
-                     m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * grad;
-                     v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * grad * grad;
-                     const float m_hat = m[i] / bc1;
-                     const float v_hat = v[i] / bc2;
-                     w[i] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
-                   }
-                 });
+    AdamFusedUpdate(p->value.data(), m_[k].data(), v_[k].data(), p->grad.data(),
+                    static_cast<int64_t>(p->value.Size()), scalars);
   }
   ZeroGrad();
 }

@@ -44,8 +44,9 @@ Matrix Linear::Backward(const Matrix& grad_out) {
   // ForwardInference cannot silently multiply stale weights (same discipline
   // as TreeConv::Backward and its split blocks).
   packed_fresh_ = false;
-  // dW += x^T g ; db += sum_rows(g) ; dx = g W^T.
-  weight_.grad.Add(MatMulTransposeA(last_input_, grad_out));
+  // dW += x^T g (scatter-added in place — no product temporary); db +=
+  // sum_rows(g) ; dx = g W^T.
+  MatMulTransposeAInto(last_input_, grad_out, weight_.grad.data());
   for (int r = 0; r < grad_out.rows(); ++r) {
     const float* g = grad_out.Row(r);
     float* b = bias_.grad.Row(0);
@@ -144,6 +145,8 @@ Matrix LayerNorm::ForwardInference(const Matrix& x) const {
 Matrix LayerNorm::Backward(const Matrix& grad_out) {
   const int n = grad_out.rows(), d = grad_out.cols();
   Matrix grad_in(n, d);
+  dxhat_scratch_.resize(static_cast<size_t>(d));  // One buffer for all rows.
+  float* dxhat = dxhat_scratch_.data();
   for (int r = 0; r < n; ++r) {
     const float* g = grad_out.Row(r);
     const float* x_hat = last_norm_.Row(r);
@@ -155,18 +158,16 @@ Matrix LayerNorm::Backward(const Matrix& grad_out) {
     }
     // dx = (1/std) * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat))
     float mean_dxhat = 0.0f, mean_dxhat_xhat = 0.0f;
-    std::vector<float> dxhat(static_cast<size_t>(d));
     for (int c = 0; c < d; ++c) {
-      dxhat[static_cast<size_t>(c)] = g[c] * gain_.value.At(0, c);
-      mean_dxhat += dxhat[static_cast<size_t>(c)];
-      mean_dxhat_xhat += dxhat[static_cast<size_t>(c)] * x_hat[c];
+      dxhat[c] = g[c] * gain_.value.At(0, c);
+      mean_dxhat += dxhat[c];
+      mean_dxhat_xhat += dxhat[c] * x_hat[c];
     }
     mean_dxhat /= static_cast<float>(d);
     mean_dxhat_xhat /= static_cast<float>(d);
     float* out = grad_in.Row(r);
     for (int c = 0; c < d; ++c) {
-      out[c] = inv_std *
-               (dxhat[static_cast<size_t>(c)] - mean_dxhat - x_hat[c] * mean_dxhat_xhat);
+      out[c] = inv_std * (dxhat[c] - mean_dxhat - x_hat[c] * mean_dxhat_xhat);
     }
   }
   return grad_in;
@@ -202,6 +203,16 @@ void Sequential::RefreshInferenceWeights() {
 
 void Sequential::InvalidateInferenceWeights() {
   for (auto& layer : layers_) layer->InvalidateInferenceWeights();
+}
+
+void Sequential::ReleaseTrainingScratch() {
+  for (auto& layer : layers_) layer->ReleaseTrainingScratch();
+}
+
+size_t Sequential::TrainingScratchBytes() const {
+  size_t total = 0;
+  for (const auto& layer : layers_) total += layer->TrainingScratchBytes();
+  return total;
 }
 
 }  // namespace neo::nn

@@ -47,6 +47,17 @@ class Layer {
   /// back to the live parameters until the next refresh — same results,
   /// without the pre-packed fast path.
   virtual void InvalidateInferenceWeights() {}
+
+  /// Drops batch-sized activations cached by Forward for Backward (e.g.
+  /// Linear's last input). ValueNetwork calls this after every optimizer
+  /// step so training scratch never outlives the minibatch that produced
+  /// it; the next Forward simply re-caches. Layers without such caches
+  /// no-op.
+  virtual void ReleaseTrainingScratch() {}
+
+  /// Bytes of training scratch currently held (for the peak-scratch
+  /// accounting ValueNetwork reports).
+  virtual size_t TrainingScratchBytes() const { return 0; }
 };
 
 /// Fully connected: y = x W + b.
@@ -63,6 +74,10 @@ class Linear : public Layer {
   }
   void RefreshInferenceWeights() override;
   void InvalidateInferenceWeights() override { packed_fresh_ = false; }
+  void ReleaseTrainingScratch() override { last_input_ = Matrix(); }
+  size_t TrainingScratchBytes() const override {
+    return last_input_.Size() * sizeof(float);
+  }
 
   int in_dim() const { return weight_.value.rows(); }
   int out_dim() const { return weight_.value.cols(); }
@@ -90,6 +105,10 @@ class LeakyReLU : public Layer {
   Matrix Forward(const Matrix& x) override;
   Matrix ForwardInference(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
+  void ReleaseTrainingScratch() override { last_input_ = Matrix(); }
+  size_t TrainingScratchBytes() const override {
+    return last_input_.Size() * sizeof(float);
+  }
 
  private:
   float alpha_;
@@ -109,6 +128,17 @@ class LayerNorm : public Layer {
     out->push_back(&gain_);
     out->push_back(&bias_);
   }
+  void ReleaseTrainingScratch() override {
+    last_norm_ = Matrix();
+    last_inv_std_.clear();
+    last_inv_std_.shrink_to_fit();
+    dxhat_scratch_.clear();
+    dxhat_scratch_.shrink_to_fit();
+  }
+  size_t TrainingScratchBytes() const override {
+    return last_norm_.Size() * sizeof(float) +
+           (last_inv_std_.size() + dxhat_scratch_.size()) * sizeof(float);
+  }
 
  private:
   static constexpr float kEps = 1e-5f;
@@ -116,6 +146,7 @@ class LayerNorm : public Layer {
   Param bias_;
   Matrix last_norm_;  ///< Normalized activations.
   std::vector<float> last_inv_std_;
+  std::vector<float> dxhat_scratch_;  ///< Backward row buffer (hoisted alloc).
 };
 
 /// Layer pipeline.
@@ -129,6 +160,8 @@ class Sequential : public Layer {
   void CollectParams(std::vector<Param*>* out) override;
   void RefreshInferenceWeights() override;
   void InvalidateInferenceWeights() override;
+  void ReleaseTrainingScratch() override;
+  size_t TrainingScratchBytes() const override;
 
   size_t size() const { return layers_.size(); }
 

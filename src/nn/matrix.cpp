@@ -1,6 +1,7 @@
 #include "src/nn/matrix.h"
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
@@ -231,17 +232,64 @@ inline void MatMulRowChunk(const float* __restrict arow,
 
 /// Output rows [r0, r1) of a * b. The per-row routine is shared verbatim by
 /// the serial and parallel paths, so row values never depend on the split.
-void MatMulRows(const float* __restrict adata, const float* __restrict bdata,
-                float* __restrict odata, int64_t r0, int64_t r1, int k, int m) {
+/// `arows` optionally remaps A rows (zero-copy gather; output rows keep
+/// their positions) — the values, and hence the bits, match multiplying the
+/// materialized gather.
+void MatMulRows(const float* __restrict adata, const int* __restrict arows,
+                const float* __restrict bdata, float* __restrict odata,
+                int64_t r0, int64_t r1, int k, int m) {
   constexpr int kW = 16;
   for (int64_t i = r0; i < r1; ++i) {
-    const float* __restrict arow = adata + static_cast<size_t>(i) * k;
+    const float* __restrict arow =
+        adata + static_cast<size_t>(arows != nullptr ? arows[i] : i) * k;
     float* __restrict orow = odata + static_cast<size_t>(i) * m;
     int jc = 0;
     for (; jc + kW <= m; jc += kW) {
       MatMulRowChunk<true>(arow, bdata, orow, k, m, jc, kW);
     }
     if (jc < m) MatMulRowChunk<false>(arow, bdata, orow, k, m, jc, m - jc);
+  }
+}
+
+/// Accumulating portable row chunk for MatMulTransposeAInto's transposed-GEMM
+/// strategy: orow[j] becomes a SINGLE ascending-k chain seeded from the
+/// existing orow[j] — deliberately not the 4-interleaved-chain structure of
+/// MatMulRowChunk. With one chain, a zero a entry contributes an exact no-op
+/// at its own position, so inserting zero rows into the reduction (the dense
+/// training fallback's padding) cannot move any product between chains or
+/// change any output bit. The jj lanes stay independent, so the loop still
+/// vectorizes across the chunk width.
+template <bool kFullWidth>
+inline void MatMulAccRowChunk(const float* __restrict arow,
+                              const float* __restrict bdata,
+                              float* __restrict orow, int k, int m, int jc,
+                              int w) {
+  constexpr int kW = 16;
+  float acc[kW];
+  const int width = kFullWidth ? kW : w;
+  for (int jj = 0; jj < width; ++jj) acc[jj] = orow[jc + jj];
+  for (int p = 0; p < k; ++p) {
+    const float av = arow[p];
+    const float* __restrict bp = bdata + static_cast<size_t>(p) * m + jc;
+    for (int jj = 0; jj < width; ++jj) acc[jj] += av * bp[jj];
+  }
+  for (int jj = 0; jj < width; ++jj) orow[jc + jj] = acc[jj];
+}
+
+/// Accumulating twin of MatMulRows (o += a * b); see MatMulAccRowChunk.
+void MatMulAccRows(const float* __restrict adata, const int* __restrict arows,
+                   const float* __restrict bdata, float* __restrict odata,
+                   int64_t r0, int64_t r1, int k, int m) {
+  constexpr int kW = 16;
+  for (int64_t i = r0; i < r1; ++i) {
+    const float* __restrict arow =
+        adata + static_cast<size_t>(arows != nullptr ? arows[i] : i) * k;
+    float* __restrict orow = odata + static_cast<size_t>(i) * m;
+    int jc = 0;
+    for (; jc + kW <= m; jc += kW) {
+      MatMulAccRowChunk<true>(arow, bdata, orow, k, m, jc, kW);
+    }
+    if (jc < m) MatMulAccRowChunk<false>(arow, bdata, orow, k, m, jc, m - jc);
   }
 }
 
@@ -256,7 +304,9 @@ void MatMulRows(const float* __restrict adata, const float* __restrict bdata,
 /// accumulation dimension so every output sums in ascending-r order no
 /// matter how the i-range is partitioned.
 void MatMulTransposeARows(const float* __restrict adata,
-                          const float* __restrict bdata, float* __restrict odata,
+                          const int* __restrict arows,
+                          const float* __restrict bdata,
+                          const int* __restrict brows, float* __restrict odata,
                           int64_t i0, int64_t i1, int n, int k, int m) {
   for (int jc = 0; jc < m; jc += detail::kTaBlockJ) {
     const int jend = MinInt(jc + detail::kTaBlockJ, m);
@@ -264,8 +314,10 @@ void MatMulTransposeARows(const float* __restrict adata,
     for (int64_t icc = i0; icc < i1; icc += detail::kTaBlockI) {
       const int64_t icend = std::min<int64_t>(icc + detail::kTaBlockI, i1);
       for (int r = 0; r < n; ++r) {
-        const float* __restrict arow = adata + static_cast<size_t>(r) * k;
-        const float* __restrict brow = bdata + static_cast<size_t>(r) * m + jc;
+        const float* __restrict arow =
+            adata + static_cast<size_t>(arows != nullptr ? arows[r] : r) * k;
+        const float* __restrict brow =
+            bdata + static_cast<size_t>(brows != nullptr ? brows[r] : r) * m + jc;
         for (int64_t i = icc; i < icend; ++i) {
           const float av = arow[i];
           if (av == 0.0f) continue;
@@ -289,18 +341,6 @@ void DispatchRows(int64_t rows, int64_t madds,
   util::ThreadPool::Global().ParallelFor(0, rows, threads, /*grain=*/0, fn);
 }
 
-/// Per-call pack buffer for the SIMD arms. Local (not thread_local): the
-/// work-stealing pool lets a caller execute unrelated tasks while helping
-/// its own ParallelFor, so a thread-shared buffer could be repacked out from
-/// under a job; a fresh vector per GEMM is cheap next to the product.
-struct PackScratch {
-  std::vector<float> buf;
-  float* Prepare(int k, int m) {
-    buf.resize(detail::PackedBSize(k, m));
-    return buf.data();
-  }
-};
-
 }  // namespace
 
 namespace detail {
@@ -313,6 +353,22 @@ void PackBPanels(const float* b, int k, int m, float* packed) {
     float* dst = packed + static_cast<size_t>(pj) * k * kPanelWidth;
     for (int p = 0; p < k; ++p, dst += kPanelWidth) {
       const float* src = b + static_cast<size_t>(p) * m + jc;
+      for (int jj = 0; jj < w; ++jj) dst[jj] = src[jj];
+      for (int jj = w; jj < kPanelWidth; ++jj) dst[jj] = 0.0f;
+    }
+  }
+}
+
+void PackBPanelsGathered(const float* b, const int* brows, int k, int m,
+                         float* packed) {
+  const int panels = NumPanels(m);
+  for (int pj = 0; pj < panels; ++pj) {
+    const int jc = pj * kPanelWidth;
+    const int w = MinInt(kPanelWidth, m - jc);
+    float* dst = packed + static_cast<size_t>(pj) * k * kPanelWidth;
+    for (int p = 0; p < k; ++p, dst += kPanelWidth) {
+      const float* src =
+          b + static_cast<size_t>(brows != nullptr ? brows[p] : p) * m + jc;
       for (int jj = 0; jj < w; ++jj) dst[jj] = src[jj];
       for (int jj = w; jj < kPanelWidth; ++jj) dst[jj] = 0.0f;
     }
@@ -347,27 +403,104 @@ void PackedB::Assign(const float* b, int rows, int cols) {
   detail::PackBPanels(b, rows, cols, panels_.data());
 }
 
+namespace {
+
+/// Prepares a B-panel pack buffer: the caller's reusable GemmScratch when
+/// provided (growth-only resize — no per-call realloc or re-zero), a local
+/// otherwise.
+float* PreparePack(GemmScratch* scratch, std::vector<float>* local, int k,
+                   int m) {
+  std::vector<float>* buf = scratch != nullptr ? &scratch->pack : local;
+  if (buf->size() < detail::PackedBSize(k, m)) {
+    buf->resize(detail::PackedBSize(k, m));
+  }
+  return buf->data();
+}
+
+/// Shared body of MatMul and MatMulBlock: out = a * b for a raw row-major
+/// (k x m) right-hand side, written into the Reshape'd `out`. Reference-
+/// kernel routing happens in the callers (the naive kernels take Matrix
+/// operands).
+void MatMulImplInto(const Matrix& a, const int* arows, int nrows,
+                    const float* bdata, int k, int m, Matrix* out,
+                    GemmScratch* scratch) {
+  NEO_CHECK(a.cols() == k);
+  const int n = arows != nullptr ? nrows : a.rows();
+  out->Reshape(n, m);
+  const float* adata = a.data();
+  float* odata = out->data();
+  if (const detail::SimdGemmKernels* simd = ActiveSimdKernels()) {
+    std::vector<float> local;
+    const float* packed = PreparePack(scratch, &local, k, m);
+    detail::PackBPanels(bdata, k, m, const_cast<float*>(packed));
+    DispatchRows(n, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
+      simd->gemm_rows(adata, arows, packed, odata, r0, r1, k, m);
+    });
+    return;
+  }
+  DispatchRows(n, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
+    MatMulRows(adata, arows, bdata, odata, r0, r1, k, m);
+  });
+}
+
+/// Wraps a raw (rows x cols) block in a Matrix for the reference kernels
+/// (bench/test-only path; the copy is irrelevant there).
+Matrix BlockToMatrix(const float* b, int rows, int cols) {
+  Matrix m(rows, cols);
+  std::copy(b, b + static_cast<size_t>(rows) * cols, m.data());
+  return m;
+}
+
+}  // namespace
+
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   if (g_use_reference_kernels) return MatMulNaive(a, b);
   NEO_CHECK(a.cols() == b.rows());
-  Matrix out(a.rows(), b.cols());
-  const int n = a.rows(), k = a.cols(), m = b.cols();
-  const float* adata = a.data();
-  const float* bdata = b.data();
-  float* odata = out.data();
-  if (const detail::SimdGemmKernels* simd = ActiveSimdKernels()) {
-    PackScratch scratch;
-    const float* packed = scratch.Prepare(k, m);
-    detail::PackBPanels(bdata, k, m, scratch.buf.data());
-    DispatchRows(n, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
-      simd->gemm_rows(adata, packed, odata, r0, r1, k, m);
-    });
-    return out;
-  }
-  DispatchRows(n, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
-    MatMulRows(adata, bdata, odata, r0, r1, k, m);
-  });
+  Matrix out;
+  MatMulImplInto(a, nullptr, 0, b.data(), b.rows(), b.cols(), &out, nullptr);
   return out;
+}
+
+Matrix MatMulBlock(const Matrix& a, const float* b, int k, int m) {
+  if (g_use_reference_kernels) {
+    return MatMulNaive(a, BlockToMatrix(b, k, m));
+  }
+  Matrix out;
+  MatMulImplInto(a, nullptr, 0, b, k, m, &out, nullptr);
+  return out;
+}
+
+void MatMulBlockInto(const Matrix& a, const float* b, int k, int m,
+                     Matrix* out, GemmScratch* scratch) {
+  if (g_use_reference_kernels) {
+    *out = MatMulNaive(a, BlockToMatrix(b, k, m));
+    return;
+  }
+  MatMulImplInto(a, nullptr, 0, b, k, m, out, scratch);
+}
+
+namespace {
+
+/// Materializes a row gather for the reference/naive fallbacks (bench/test
+/// paths; values — and hence results — match the zero-copy kernels).
+Matrix GatherRows(const Matrix& a, const int* rows, int nrows) {
+  Matrix g(nrows, a.cols());
+  for (int r = 0; r < nrows; ++r) {
+    std::copy(a.Row(rows[r]), a.Row(rows[r]) + a.cols(), g.Row(r));
+  }
+  return g;
+}
+
+}  // namespace
+
+void MatMulGatherBlockInto(const Matrix& a, const int* rows, int nrows,
+                           const float* b, int k, int m, Matrix* out,
+                           GemmScratch* scratch) {
+  if (g_use_reference_kernels) {
+    *out = MatMulNaive(GatherRows(a, rows, nrows), BlockToMatrix(b, k, m));
+    return;
+  }
+  MatMulImplInto(a, rows, nrows, b, k, m, out, scratch);
 }
 
 Matrix MatMulPacked(const Matrix& a, const PackedB& b) {
@@ -380,44 +513,87 @@ Matrix MatMulPacked(const Matrix& a, const PackedB& b) {
   if (const detail::SimdGemmKernels* simd = ActiveSimdKernels()) {
     const float* packed = b.panels();
     DispatchRows(n, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
-      simd->gemm_rows(adata, packed, odata, r0, r1, k, m);
+      simd->gemm_rows(adata, nullptr, packed, odata, r0, r1, k, m);
     });
     return out;
   }
   const float* bdata = b.unpacked().data();
   DispatchRows(n, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
-    MatMulRows(adata, bdata, odata, r0, r1, k, m);
+    MatMulRows(adata, nullptr, bdata, odata, r0, r1, k, m);
   });
   return out;
 }
 
-Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
-  if (g_use_reference_kernels) return MatMulTransposeBNaive(a, b);
-  NEO_CHECK(a.cols() == b.cols());
-  Matrix out(a.rows(), b.rows());
-  const int n = a.rows(), k = a.cols(), m = b.rows();
+namespace {
+
+/// Shared body of MatMulTransposeB and MatMulTransposeBBlock: out = a * b^T
+/// for a raw row-major (m x k) right-hand side, into the Reshape'd `out`.
+void MatMulTransposeBImplInto(const Matrix& a, const int* arows, int nrows,
+                              const float* bdata, int m, Matrix* out,
+                              GemmScratch* scratch) {
+  const int n = arows != nullptr ? nrows : a.rows();
+  const int k = a.cols();
+  out->Reshape(n, m);
   const float* adata = a.data();
-  float* odata = out.data();
+  float* odata = out->data();
   if (const detail::SimdGemmKernels* simd = ActiveSimdKernels()) {
     // Pack b^T's panels straight from b — no intermediate transpose matrix.
-    PackScratch scratch;
-    const float* packed = scratch.Prepare(k, m);
-    detail::PackBTransposedPanels(b.data(), k, m, scratch.buf.data());
+    std::vector<float> local;
+    const float* packed = PreparePack(scratch, &local, k, m);
+    detail::PackBTransposedPanels(bdata, k, m, const_cast<float*>(packed));
     DispatchRows(n, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
-      simd->gemm_rows(adata, packed, odata, r0, r1, k, m);
+      simd->gemm_rows(adata, arows, packed, odata, r0, r1, k, m);
     });
-    return out;
+    return;
   }
   Matrix bt(k, m);
   for (int r = 0; r < m; ++r) {
-    const float* src = b.Row(r);
+    const float* src = bdata + static_cast<size_t>(r) * k;
     for (int c = 0; c < k; ++c) bt.At(c, r) = src[c];
   }
   const float* btdata = bt.data();
   DispatchRows(n, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
-    MatMulRows(adata, btdata, odata, r0, r1, k, m);
+    MatMulRows(adata, arows, btdata, odata, r0, r1, k, m);
   });
+}
+
+}  // namespace
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  if (g_use_reference_kernels) return MatMulTransposeBNaive(a, b);
+  NEO_CHECK(a.cols() == b.cols());
+  Matrix out;
+  MatMulTransposeBImplInto(a, nullptr, 0, b.data(), b.rows(), &out, nullptr);
   return out;
+}
+
+Matrix MatMulTransposeBBlock(const Matrix& a, const float* b, int m) {
+  if (g_use_reference_kernels) {
+    return MatMulTransposeBNaive(a, BlockToMatrix(b, m, a.cols()));
+  }
+  Matrix out;
+  MatMulTransposeBImplInto(a, nullptr, 0, b, m, &out, nullptr);
+  return out;
+}
+
+void MatMulTransposeBBlockInto(const Matrix& a, const float* b, int m,
+                               Matrix* out, GemmScratch* scratch) {
+  if (g_use_reference_kernels) {
+    *out = MatMulTransposeBNaive(a, BlockToMatrix(b, m, a.cols()));
+    return;
+  }
+  MatMulTransposeBImplInto(a, nullptr, 0, b, m, out, scratch);
+}
+
+void MatMulGatherTransposeBBlockInto(const Matrix& a, const int* rows,
+                                     int nrows, const float* b, int m,
+                                     Matrix* out, GemmScratch* scratch) {
+  if (g_use_reference_kernels) {
+    *out = MatMulTransposeBNaive(GatherRows(a, rows, nrows),
+                                 BlockToMatrix(b, m, a.cols()));
+    return;
+  }
+  MatMulTransposeBImplInto(a, rows, nrows, b, m, out, scratch);
 }
 
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
@@ -447,16 +623,16 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
     const float* bdata = b.data();
     float* odata = out.data();
     if (simd != nullptr) {
-      PackScratch scratch;
-      const float* packed = scratch.Prepare(n, m);
-      detail::PackBPanels(bdata, n, m, scratch.buf.data());
+      std::vector<float> local;
+      const float* packed = PreparePack(nullptr, &local, n, m);
+      detail::PackBPanels(bdata, n, m, const_cast<float*>(packed));
       DispatchRows(k, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
-        simd->gemm_rows(atdata, packed, odata, r0, r1, n, m);
+        simd->gemm_rows(atdata, nullptr, packed, odata, r0, r1, n, m);
       });
       return out;
     }
     DispatchRows(k, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
-      MatMulRows(atdata, bdata, odata, r0, r1, n, m);
+      MatMulRows(atdata, nullptr, bdata, odata, r0, r1, n, m);
     });
     return out;
   }
@@ -468,12 +644,144 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
   // dimension r is never split, keeping ascending-r accumulation per output.
   DispatchRows(k, static_cast<int64_t>(n) * k * m, [&](int64_t i0, int64_t i1) {
     if (simd != nullptr) {
-      simd->ta_update_rows(adata, bdata, odata, i0, i1, n, k, m);
+      simd->ta_update_rows(adata, nullptr, bdata, nullptr, odata, i0, i1, n, k, m);
     } else {
-      MatMulTransposeARows(adata, bdata, odata, i0, i1, n, k, m);
+      MatMulTransposeARows(adata, nullptr, bdata, nullptr, odata, i0, i1, n, k, m);
     }
   });
   return out;
+}
+
+namespace {
+
+/// Shared body of MatMulTransposeAInto and its zero-copy-gather variant:
+/// out += a[arows]^T b[brows] over `n` (possibly remapped) input rows.
+void MatMulTransposeAIntoImpl(const Matrix& a, const int* arows,
+                              const Matrix& b, const int* brows, int n,
+                              float* out, GemmScratch* scratch) {
+  const int k = a.cols(), m = b.cols();
+  const float* adata = a.data();
+  const float* bdata = b.data();
+  // Strategy choice is a function of (k, m, arm) ONLY — unlike
+  // MatMulTransposeA, n (the reduction length) must not participate, because
+  // the sparse and dense training conv call this with different n for the
+  // same logical gradient and both must take the same summation path (see
+  // matrix.h). Both strategies sum ascending input rows with exact-no-op
+  // zero rows: the transposed-GEMM path seeds a single per-element chain
+  // from `out` (gemm_acc_rows / MatMulAccRows), the rank-1 path accumulates
+  // row-by-row with an explicit zero skip / no-op fma.
+  //
+  // Under the SIMD arms a SMALL output block (k*m floats within easy L1
+  // reach — every tree-conv weight-gradient block qualifies) skips the
+  // transpose + pack entirely: the 4-row-unrolled rank-1 kernel streams a
+  // and b exactly once while the whole output stays L1-resident, which beats
+  // the transposed GEMM's extra two passes at these shapes.
+  const detail::SimdGemmKernels* simd = ActiveSimdKernels();
+  const bool small_block =
+      simd != nullptr && static_cast<int64_t>(k) * m <= 4096;
+  const int m_transpose_max =
+      small_block ? 0 : (simd != nullptr ? 160 : 48);
+  if (m <= m_transpose_max) {
+    Matrix local_at;
+    Matrix* at = scratch != nullptr ? &scratch->staging : &local_at;
+    at->Reshape(k, n);
+    for (int r = 0; r < n; ++r) {
+      const float* src = a.Row(arows != nullptr ? arows[r] : r);
+      for (int c = 0; c < k; ++c) at->At(c, r) = src[c];
+    }
+    const float* atdata = at->data();
+    if (simd != nullptr) {
+      std::vector<float> local;
+      const float* packed = PreparePack(scratch, &local, n, m);
+      detail::PackBPanelsGathered(bdata, brows, n, m, const_cast<float*>(packed));
+      DispatchRows(k, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
+        simd->gemm_acc_rows(atdata, nullptr, packed, out, r0, r1, n, m);
+      });
+      return;
+    }
+    Matrix local_bt;
+    const float* b_rows_data = bdata;
+    if (brows != nullptr) {
+      local_bt.Reshape(n, m);
+      for (int r = 0; r < n; ++r) {
+        std::copy(b.Row(brows[r]), b.Row(brows[r]) + m, local_bt.Row(r));
+      }
+      b_rows_data = local_bt.data();
+    }
+    DispatchRows(k, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
+      MatMulAccRows(atdata, nullptr, b_rows_data, out, r0, r1, n, m);
+    });
+    return;
+  }
+  DispatchRows(k, static_cast<int64_t>(n) * k * m, [&](int64_t i0, int64_t i1) {
+    if (simd != nullptr) {
+      simd->ta_update_rows(adata, arows, bdata, brows, out, i0, i1, n, k, m);
+    } else {
+      MatMulTransposeARows(adata, arows, bdata, brows, out, i0, i1, n, k, m);
+    }
+  });
+}
+
+}  // namespace
+
+void MatMulTransposeAInto(const Matrix& a, const Matrix& b, float* out,
+                          GemmScratch* scratch) {
+  if (g_use_reference_kernels) {
+    MatMulTransposeAIntoNaive(a, b, out);
+    return;
+  }
+  NEO_CHECK(a.rows() == b.rows());
+  MatMulTransposeAIntoImpl(a, nullptr, b, nullptr, a.rows(), out, scratch);
+}
+
+void MatMulGatherTransposeAInto(const Matrix& a, const int* arows,
+                                const Matrix& b, const int* brows, int nrows,
+                                float* out, GemmScratch* scratch) {
+  if (g_use_reference_kernels) {
+    MatMulTransposeAIntoNaive(GatherRows(a, arows, nrows),
+                              GatherRows(b, brows, nrows), out);
+    return;
+  }
+  MatMulTransposeAIntoImpl(a, arows, b, brows, nrows, out, scratch);
+}
+
+// ---- Fused Adam update -----------------------------------------------------
+
+namespace detail {
+
+void AdamUpdateScalarRange(float* w, float* m, float* v, const float* g,
+                           int64_t i0, int64_t i1, const AdamScalars& s) {
+  const float one_minus_b1 = 1.0f - s.beta1;
+  const float one_minus_b2 = 1.0f - s.beta2;
+  for (int64_t i = i0; i < i1; ++i) {
+    // Every step is an explicit single-rounding op (fmaf / * / / / sqrt) so
+    // the vector arms can mirror it lane-for-lane; no adjacent mul+add pairs
+    // are left for the compiler to contract differently per build.
+    const float grad = std::fmaf(s.weight_decay, w[i], g[i]);
+    m[i] = std::fmaf(s.beta1, m[i], one_minus_b1 * grad);
+    v[i] = std::fmaf(s.beta2, v[i], one_minus_b2 * (grad * grad));
+    const float m_hat = m[i] / s.bc1;
+    const float v_hat = v[i] / s.bc2;
+    const float denom = std::sqrt(v_hat) + s.eps;
+    w[i] = w[i] - (s.lr * m_hat) / denom;
+  }
+}
+
+}  // namespace detail
+
+void AdamFusedUpdate(float* w, float* m, float* v, const float* g,
+                     int64_t count, const detail::AdamScalars& s) {
+  const detail::SimdGemmKernels* simd = ActiveSimdKernels();
+  // Element-partitioned over the pool: each (m, v, w) slot is owned by
+  // exactly one chunk, and the per-element arithmetic is identical in every
+  // arm and tail, so the update is bit-identical for any partition and arm.
+  ParallelRows(count, /*min_parallel=*/1 << 13, [&](int64_t i0, int64_t i1) {
+    if (simd != nullptr) {
+      simd->adam_update(w, m, v, g, i0, i1, s);
+    } else {
+      detail::AdamUpdateScalarRange(w, m, v, g, i0, i1, s);
+    }
+  });
 }
 
 }  // namespace neo::nn

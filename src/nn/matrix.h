@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/util/rng.h"
@@ -17,7 +18,40 @@ namespace neo::nn {
 class Matrix {
  public:
   Matrix() = default;
-  Matrix(int rows, int cols) : rows_(rows), cols_(cols), data_(Size(), 0.0f) {}
+  /// Constructs zero-initialized (many callers accumulate into fresh
+  /// matrices); use Reshape on a default-constructed Matrix to get
+  /// uninitialized storage for fully-overwritten outputs.
+  Matrix(int rows, int cols) : rows_(rows), cols_(cols) {
+    capacity_ = Size();
+    data_.reset(new float[capacity_]());  // ()-init: zeroed.
+  }
+  Matrix(const Matrix& other) : rows_(other.rows_), cols_(other.cols_) {
+    capacity_ = Size();
+    data_.reset(new float[capacity_]);
+    std::copy(other.data(), other.data() + Size(), data_.get());
+  }
+  Matrix& operator=(const Matrix& other) {
+    if (this == &other) return *this;
+    if (capacity_ < other.Size()) {
+      capacity_ = other.Size();
+      data_.reset(new float[capacity_]);
+    }
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    std::copy(other.data(), other.data() + Size(), data_.get());
+    return *this;
+  }
+  Matrix(Matrix&& other) noexcept { *this = std::move(other); }
+  Matrix& operator=(Matrix&& other) noexcept {
+    if (this == &other) return *this;
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    capacity_ = other.capacity_;
+    data_ = std::move(other.data_);
+    other.rows_ = other.cols_ = 0;
+    other.capacity_ = 0;
+    return *this;
+  }
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
@@ -26,35 +60,52 @@ class Matrix {
   float& At(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
   float At(int r, int c) const { return data_[static_cast<size_t>(r) * cols_ + c]; }
 
-  float* Row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
-  const float* Row(int r) const { return data_.data() + static_cast<size_t>(r) * cols_; }
+  float* Row(int r) { return data_.get() + static_cast<size_t>(r) * cols_; }
+  const float* Row(int r) const { return data_.get() + static_cast<size_t>(r) * cols_; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return data_.get(); }
+  const float* data() const { return data_.get(); }
 
-  void Zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+  void Zero() { std::fill(data_.get(), data_.get() + Size(), 0.0f); }
 
   /// Kaiming-uniform initialization for a layer with `fan_in` inputs.
   void InitKaiming(util::Rng& rng, int fan_in) {
     const double bound = std::sqrt(6.0 / static_cast<double>(fan_in > 0 ? fan_in : 1));
-    for (auto& v : data_) v = static_cast<float>(rng.NextUniform(-bound, bound));
+    for (size_t i = 0; i < Size(); ++i) {
+      data_[i] = static_cast<float>(rng.NextUniform(-bound, bound));
+    }
   }
 
   /// this += other (same shape).
   void Add(const Matrix& other) {
     NEO_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-    for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+    for (size_t i = 0; i < Size(); ++i) data_[i] += other.data_[i];
   }
 
   /// this *= s.
   void Scale(float s) {
-    for (auto& v : data_) v *= s;
+    for (size_t i = 0; i < Size(); ++i) data_[i] *= s;
+  }
+
+  /// Reshapes to (rows x cols) WITHOUT initializing: existing storage is
+  /// reused when its capacity suffices (the fast path for per-step scratch
+  /// and GEMM outputs that the caller fully overwrites — no malloc, no
+  /// memset); on growth the new storage is left uninitialized. Callers that
+  /// need zeros must call Zero() afterwards.
+  void Reshape(int rows, int cols) {
+    rows_ = rows;
+    cols_ = cols;
+    if (capacity_ < Size()) {
+      capacity_ = Size();
+      data_.reset(new float[capacity_]);
+    }
   }
 
  private:
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<float> data_;
+  size_t capacity_ = 0;
+  std::unique_ptr<float[]> data_;
 };
 
 /// out = a (n x k) * b (k x m). Register-blocked kernel. Each output's
@@ -71,11 +122,100 @@ Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
 /// Blocked kernel.
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
 
+// ---- Raw-block variants (sparse training conv) -----------------------------
+//
+// TreeConv's training path multiplies against the three cin x cout blocks of
+// its stacked (3*cin x cout) weight. Each block is a contiguous row range, so
+// these overloads take a raw row-major pointer into the live parameter and
+// never copy or cache weights — direct parameter pokes (numeric-gradient
+// tests, Adam) are always visible. Same kernels, dispatch, and determinism
+// contract as the Matrix-typed entry points.
+
+/// Reusable cross-call scratch for the block/Into GEMM variants: the
+/// per-call B-panel pack buffer and the transpose staging matrix. Passing
+/// one (TreeConv's training scratch does) avoids re-allocating and
+/// re-zeroing them for every block GEMM of a training step; results are
+/// bit-identical with or without it. Not thread-safe — one per caller.
+struct GemmScratch {
+  std::vector<float> pack;
+  Matrix staging;
+};
+
+/// out = a (n x k) * b where b is a raw row-major (k x m) block.
+Matrix MatMulBlock(const Matrix& a, const float* b, int k, int m);
+
+/// MatMulBlock into a caller-owned output (Reshape'd, fully overwritten).
+void MatMulBlockInto(const Matrix& a, const float* b, int k, int m,
+                     Matrix* out, GemmScratch* scratch = nullptr);
+
+/// out = a (n x k) * b^T where b is a raw row-major (m x k) block
+/// (k = a.cols()).
+Matrix MatMulTransposeBBlock(const Matrix& a, const float* b, int m);
+
+/// MatMulTransposeBBlock into a caller-owned output.
+void MatMulTransposeBBlockInto(const Matrix& a, const float* b, int m,
+                               Matrix* out, GemmScratch* scratch = nullptr);
+
+/// Scatter-add transpose-A: out (k x m raw row-major, e.g. one block of a
+/// weight gradient) += a^T * b (a: n x k, b: n x m). Accumulates directly
+/// into `out` — no temporary product matrix.
+///
+/// Contract beyond MatMulTransposeA's: the summation strategy is chosen from
+/// (k, m) ALONE — never from n — and every strategy sums ascending input
+/// rows with exact-no-op zero rows (single fma chains / explicit zero skip).
+/// Appending or interleaving all-zero rows of `a` (with arbitrary matching
+/// `b` rows) therefore cannot change a single output bit, which is what
+/// keeps the sparse (present-children-only) and dense (zero-padded) training
+/// conv gradients bit-identical under every dispatch arm and thread count.
+void MatMulTransposeAInto(const Matrix& a, const Matrix& b, float* out,
+                          GemmScratch* scratch = nullptr);
+
+// ---- Zero-copy gather variants ---------------------------------------------
+//
+// The sparse training conv multiplies GATHERED row subsets (present children
+// / their parents). These variants read A rows through an index list inside
+// the kernels instead of materializing the gather — same values in the same
+// order, so results are bit-identical to gathering first, with no copy, no
+// scratch matrix, and no extra memory pass.
+
+/// out = a[rows[0..nrows)] * b where b is a raw row-major (k x m) block.
+void MatMulGatherBlockInto(const Matrix& a, const int* rows, int nrows,
+                           const float* b, int k, int m, Matrix* out,
+                           GemmScratch* scratch = nullptr);
+
+/// out = a[rows[0..nrows)] * b^T where b is a raw row-major (m x k) block.
+void MatMulGatherTransposeBBlockInto(const Matrix& a, const int* rows,
+                                     int nrows, const float* b, int m,
+                                     Matrix* out, GemmScratch* scratch = nullptr);
+
+/// out (k x m raw) += a[arows]^T * b[brows] over nrows gathered row pairs.
+/// Same strategy/summation contract as MatMulTransposeAInto.
+void MatMulGatherTransposeAInto(const Matrix& a, const int* arows,
+                                const Matrix& b, const int* brows, int nrows,
+                                float* out, GemmScratch* scratch = nullptr);
+
 /// Reference triple-loop kernels. Used by tests to validate the blocked
 /// kernels on non-tile-multiple shapes and by benches as the baseline.
 Matrix MatMulNaive(const Matrix& a, const Matrix& b);
 Matrix MatMulTransposeBNaive(const Matrix& a, const Matrix& b);
 Matrix MatMulTransposeANaive(const Matrix& a, const Matrix& b);
+/// Reference for MatMulTransposeAInto: out += a^T b via the naive loop.
+void MatMulTransposeAIntoNaive(const Matrix& a, const Matrix& b, float* out);
+
+// ---- Fused Adam update -----------------------------------------------------
+
+namespace detail {
+struct AdamScalars;  // Per-step scalars; defined in matrix_simd.h.
+}  // namespace detail
+
+/// One fused Adam sweep over a parameter's `count` elements: m, v, and w are
+/// each read and written exactly once, no temporaries, vectorized by the
+/// active kernel dispatch arm and partitioned over the thread pool. Every
+/// element's update is the identical correctly-rounded op sequence in every
+/// arm (and in the scalar tails), so the result is bit-identical across
+/// dispatch arms AND thread counts.
+void AdamFusedUpdate(float* w, float* m, float* v, const float* g,
+                     int64_t count, const detail::AdamScalars& s);
 
 // ---- Kernel dispatch -------------------------------------------------------
 //

@@ -63,4 +63,19 @@ Matrix MatMulTransposeANaive(const Matrix& a, const Matrix& b) {
   return out;
 }
 
+void MatMulTransposeAIntoNaive(const Matrix& a, const Matrix& b, float* out) {
+  NEO_CHECK(a.rows() == b.rows());
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  for (int r = 0; r < n; ++r) {
+    const float* arow = a.Row(r);
+    const float* brow = b.Row(r);
+    for (int i = 0; i < k; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;  // Zero rows contribute nothing.
+      float* orow = out + static_cast<size_t>(i) * m;
+      for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
 }  // namespace neo::nn

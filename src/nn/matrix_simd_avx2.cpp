@@ -22,15 +22,17 @@ namespace {
 // guards, NOT arrays: GCC keeps local arrays this large memory-backed (SRA
 // size limit), which turns every FMA into an FMA-plus-spill-store and halves
 // throughput.
-template <int MR>
-inline void GemmTileAvx2(const float* __restrict a, int64_t row, int k,
-                         const float* __restrict panel, float* __restrict o,
-                         int m, int jc) {
+template <int MR, bool Acc = false>
+inline void GemmTileAvx2(const float* __restrict a, const int* __restrict arows,
+                         int64_t row, int k, const float* __restrict panel,
+                         float* __restrict o, int m, int jc) {
   static_assert(MR >= 1 && MR <= 6, "tile is at most 6 rows");
   // Row pointers are clamped to row 0 for the unused tail rows so the
-  // address computation itself stays in bounds.
+  // address computation itself stays in bounds. `arows` remaps A rows only
+  // (zero-copy gather); output rows keep their positions.
   const auto rptr = [&](int r) {
-    return a + static_cast<size_t>(row + (r < MR ? r : 0)) * k;
+    const int64_t gr = row + (r < MR ? r : 0);
+    return a + static_cast<size_t>(arows != nullptr ? arows[gr] : gr) * k;
   };
   const float* __restrict a0 = rptr(0);
   const float* __restrict a1 = rptr(1);
@@ -42,6 +44,31 @@ inline void GemmTileAvx2(const float* __restrict a, int64_t row, int k,
   __m256 c10 = c00, c11 = c00, c20 = c00, c21 = c00;
   __m256 c30 = c00, c31 = c00, c40 = c00, c41 = c00;
   __m256 c50 = c00, c51 = c00;
+  const int tile_w = m - jc < kPanelWidth ? m - jc : kPanelWidth;
+  if constexpr (Acc) {
+    // Accumulate mode: seed each chain from the existing output so the whole
+    // FMA chain continues from o's value (gemm_acc_rows contract). Tail-panel
+    // lanes seed zero; their products hit zero-padded B and the masked copy
+    // out never stores them.
+    const auto load_row = [&](int r, __m256& lo, __m256& hi) {
+      const float* orow = o + static_cast<size_t>(row + (r < MR ? r : 0)) * m + jc;
+      if (tile_w == kPanelWidth) {
+        lo = _mm256_loadu_ps(orow);
+        hi = _mm256_loadu_ps(orow + 8);
+      } else {
+        alignas(32) float tmp[kPanelWidth] = {0};
+        for (int j = 0; j < tile_w; ++j) tmp[j] = orow[j];
+        lo = _mm256_load_ps(tmp);
+        hi = _mm256_load_ps(tmp + 8);
+      }
+    };
+    load_row(0, c00, c01);
+    if constexpr (MR > 1) load_row(1, c10, c11);
+    if constexpr (MR > 2) load_row(2, c20, c21);
+    if constexpr (MR > 3) load_row(3, c30, c31);
+    if constexpr (MR > 4) load_row(4, c40, c41);
+    if constexpr (MR > 5) load_row(5, c50, c51);
+  }
   // One k step: each accumulator chains exactly one FMA, ascending p.
   const auto kstep = [&](int p) {
     const float* brow = panel + static_cast<size_t>(p) * kPanelWidth;
@@ -87,10 +114,9 @@ inline void GemmTileAvx2(const float* __restrict a, int64_t row, int k,
     kstep(p + 1);
   }
   if (p < k) kstep(p);
-  const int w = m - jc < kPanelWidth ? m - jc : kPanelWidth;
   const auto store_row = [&](int r, __m256 lo, __m256 hi) {
     float* orow = o + static_cast<size_t>(row + r) * m + jc;
-    if (w == kPanelWidth) {
+    if (tile_w == kPanelWidth) {
       _mm256_storeu_ps(orow, lo);
       _mm256_storeu_ps(orow + 8, hi);
     } else {
@@ -99,7 +125,7 @@ inline void GemmTileAvx2(const float* __restrict a, int64_t row, int k,
       alignas(32) float tmp[kPanelWidth];
       _mm256_store_ps(tmp, lo);
       _mm256_store_ps(tmp + 8, hi);
-      for (int j = 0; j < w; ++j) orow[j] = tmp[j];
+      for (int j = 0; j < tile_w; ++j) orow[j] = tmp[j];
     }
   };
   store_row(0, c00, c01);
@@ -110,15 +136,16 @@ inline void GemmTileAvx2(const float* __restrict a, int64_t row, int k,
   if constexpr (MR > 5) store_row(5, c50, c51);
 }
 
-void GemmRowsAvx2(const float* a, const float* packed, float* o, int64_t r0,
-                  int64_t r1, int k, int m) {
+template <bool Acc>
+void GemmRowsAvx2Impl(const float* a, const int* arows, const float* packed,
+                      float* o, int64_t r0, int64_t r1, int k, int m) {
   const int panels = NumPanels(m);
   const size_t panel_stride = static_cast<size_t>(k) * kPanelWidth;
   int64_t i = r0;
   for (; i + 6 <= r1; i += 6) {
     for (int pj = 0; pj < panels; ++pj) {
-      GemmTileAvx2<6>(a, i, k, packed + pj * panel_stride, o, m,
-                      pj * kPanelWidth);
+      GemmTileAvx2<6, Acc>(a, arows, i, k, packed + pj * panel_stride, o, m,
+                           pj * kPanelWidth);
     }
   }
   const int tail = static_cast<int>(r1 - i);
@@ -126,13 +153,57 @@ void GemmRowsAvx2(const float* a, const float* packed, float* o, int64_t r0,
     const float* panel = packed + pj * panel_stride;
     const int jc = pj * kPanelWidth;
     switch (tail) {
-      case 1: GemmTileAvx2<1>(a, i, k, panel, o, m, jc); break;
-      case 2: GemmTileAvx2<2>(a, i, k, panel, o, m, jc); break;
-      case 3: GemmTileAvx2<3>(a, i, k, panel, o, m, jc); break;
-      case 4: GemmTileAvx2<4>(a, i, k, panel, o, m, jc); break;
-      default: GemmTileAvx2<5>(a, i, k, panel, o, m, jc); break;
+      case 1: GemmTileAvx2<1, Acc>(a, arows, i, k, panel, o, m, jc); break;
+      case 2: GemmTileAvx2<2, Acc>(a, arows, i, k, panel, o, m, jc); break;
+      case 3: GemmTileAvx2<3, Acc>(a, arows, i, k, panel, o, m, jc); break;
+      case 4: GemmTileAvx2<4, Acc>(a, arows, i, k, panel, o, m, jc); break;
+      default: GemmTileAvx2<5, Acc>(a, arows, i, k, panel, o, m, jc); break;
     }
   }
+}
+
+void GemmRowsAvx2(const float* a, const int* arows, const float* packed,
+                  float* o, int64_t r0, int64_t r1, int k, int m) {
+  GemmRowsAvx2Impl<false>(a, arows, packed, o, r0, r1, k, m);
+}
+
+void GemmAccRowsAvx2(const float* a, const int* arows, const float* packed,
+                     float* o, int64_t r0, int64_t r1, int k, int m) {
+  GemmRowsAvx2Impl<true>(a, arows, packed, o, r0, r1, k, m);
+}
+
+/// Fused Adam sweep, 8 lanes at a time. Each lane runs exactly the op
+/// sequence of detail::AdamUpdateScalarRange (fma / mul / div / sqrt / sub,
+/// all correctly rounded), and the sub-8 tail calls that scalar routine, so
+/// any element partition and any arm yield bit-identical parameters.
+void AdamUpdateAvx2(float* w, float* m, float* v, const float* g, int64_t i0,
+                    int64_t i1, const AdamScalars& s) {
+  const __m256 lr = _mm256_set1_ps(s.lr);
+  const __m256 b1 = _mm256_set1_ps(s.beta1);
+  const __m256 b2 = _mm256_set1_ps(s.beta2);
+  const __m256 one_minus_b1 = _mm256_set1_ps(1.0f - s.beta1);
+  const __m256 one_minus_b2 = _mm256_set1_ps(1.0f - s.beta2);
+  const __m256 eps = _mm256_set1_ps(s.eps);
+  const __m256 wd = _mm256_set1_ps(s.weight_decay);
+  const __m256 bc1 = _mm256_set1_ps(s.bc1);  // Divisors, not reciprocals:
+  const __m256 bc2 = _mm256_set1_ps(s.bc2);  // division matches the scalar path.
+  int64_t i = i0;
+  for (; i + 8 <= i1; i += 8) {
+    const __m256 wv = _mm256_loadu_ps(w + i);
+    const __m256 gv = _mm256_fmadd_ps(wd, wv, _mm256_loadu_ps(g + i));
+    const __m256 mv =
+        _mm256_fmadd_ps(b1, _mm256_loadu_ps(m + i), _mm256_mul_ps(one_minus_b1, gv));
+    const __m256 vv = _mm256_fmadd_ps(
+        b2, _mm256_loadu_ps(v + i), _mm256_mul_ps(one_minus_b2, _mm256_mul_ps(gv, gv)));
+    _mm256_storeu_ps(m + i, mv);
+    _mm256_storeu_ps(v + i, vv);
+    const __m256 m_hat = _mm256_div_ps(mv, bc1);
+    const __m256 v_hat = _mm256_div_ps(vv, bc2);
+    const __m256 denom = _mm256_add_ps(_mm256_sqrt_ps(v_hat), eps);
+    _mm256_storeu_ps(
+        w + i, _mm256_sub_ps(wv, _mm256_div_ps(_mm256_mul_ps(lr, m_hat), denom)));
+  }
+  if (i < i1) AdamUpdateScalarRange(w, m, v, g, i, i1, s);
 }
 
 // Vectorized twin of the portable MatMulTransposeARows: same i/j blocking,
@@ -141,18 +212,66 @@ void GemmRowsAvx2(const float* a, const float* packed, float* o, int64_t r0,
 // the j range is a fixed function of (jc, m), so which lanes round through
 // FMA vs mul+add never depends on the i partition. Blocking constants are
 // the shared kTaBlockI/kTaBlockJ from matrix_simd.h.
-void TaUpdateRowsAvx2(const float* __restrict a, const float* __restrict b,
+void TaUpdateRowsAvx2(const float* __restrict a, const int* __restrict arows,
+                      const float* __restrict b, const int* __restrict brows,
                       float* __restrict o, int64_t i0, int64_t i1, int n, int k,
                       int m) {
+  // Four input rows per sweep with the FMAs CHAINED in ascending r — the
+  // exact summation order of the one-row loop (zero av is an exact fma
+  // no-op), at a quarter of the output load/store traffic. See the AVX-512
+  // twin for the full notes.
   for (int jc = 0; jc < m; jc += kTaBlockJ) {
     const int jend = jc + kTaBlockJ < m ? jc + kTaBlockJ : m;
     const int jlen = jend - jc;
     const int jvec = jlen & ~7;
     for (int64_t icc = i0; icc < i1; icc += kTaBlockI) {
       const int64_t icend = icc + kTaBlockI < i1 ? icc + kTaBlockI : i1;
-      for (int r = 0; r < n; ++r) {
-        const float* __restrict arow = a + static_cast<size_t>(r) * k;
-        const float* __restrict brow = b + static_cast<size_t>(r) * m + jc;
+      const auto aptr = [&](int r) {
+        return a + static_cast<size_t>(arows != nullptr ? arows[r] : r) * k;
+      };
+      const auto bptr = [&](int r) {
+        return b + static_cast<size_t>(brows != nullptr ? brows[r] : r) * m + jc;
+      };
+      int r = 0;
+      for (; r + 4 <= n; r += 4) {
+        const float* __restrict a0 = aptr(r);
+        const float* __restrict a1 = aptr(r + 1);
+        const float* __restrict a2 = aptr(r + 2);
+        const float* __restrict a3 = aptr(r + 3);
+        const float* __restrict b0 = bptr(r);
+        const float* __restrict b1 = bptr(r + 1);
+        const float* __restrict b2 = bptr(r + 2);
+        const float* __restrict b3 = bptr(r + 3);
+        for (int64_t i = icc; i < icend; ++i) {
+          const float av0 = a0[i], av1 = a1[i], av2 = a2[i], av3 = a3[i];
+          if (av0 == 0.0f && av1 == 0.0f && av2 == 0.0f && av3 == 0.0f) continue;
+          float* __restrict orow = o + static_cast<size_t>(i) * m + jc;
+          const __m256 avv0 = _mm256_set1_ps(av0);
+          const __m256 avv1 = _mm256_set1_ps(av1);
+          const __m256 avv2 = _mm256_set1_ps(av2);
+          const __m256 avv3 = _mm256_set1_ps(av3);
+          int j = 0;
+          for (; j < jvec; j += 8) {
+            __m256 acc = _mm256_loadu_ps(orow + j);
+            acc = _mm256_fmadd_ps(avv0, _mm256_loadu_ps(b0 + j), acc);
+            acc = _mm256_fmadd_ps(avv1, _mm256_loadu_ps(b1 + j), acc);
+            acc = _mm256_fmadd_ps(avv2, _mm256_loadu_ps(b2 + j), acc);
+            acc = _mm256_fmadd_ps(avv3, _mm256_loadu_ps(b3 + j), acc);
+            _mm256_storeu_ps(orow + j, acc);
+          }
+          for (; j < jlen; ++j) {
+            float acc = orow[j];
+            acc = __builtin_fmaf(av0, b0[j], acc);
+            acc = __builtin_fmaf(av1, b1[j], acc);
+            acc = __builtin_fmaf(av2, b2[j], acc);
+            acc = __builtin_fmaf(av3, b3[j], acc);
+            orow[j] = acc;
+          }
+        }
+      }
+      for (; r < n; ++r) {
+        const float* __restrict arow = aptr(r);
+        const float* __restrict brow = bptr(r);
         for (int64_t i = icc; i < icend; ++i) {
           const float av = arow[i];
           if (av == 0.0f) continue;
@@ -164,15 +283,15 @@ void TaUpdateRowsAvx2(const float* __restrict a, const float* __restrict b,
             _mm256_storeu_ps(orow + j,
                              _mm256_fmadd_ps(avv, _mm256_loadu_ps(brow + j), acc));
           }
-          for (; j < jlen; ++j) orow[j] += av * brow[j];
+          for (; j < jlen; ++j) orow[j] = __builtin_fmaf(av, brow[j], orow[j]);
         }
       }
     }
   }
 }
 
-constexpr SimdGemmKernels kAvx2Kernels = {"avx2", GemmRowsAvx2,
-                                          TaUpdateRowsAvx2};
+constexpr SimdGemmKernels kAvx2Kernels = {"avx2", GemmRowsAvx2, GemmAccRowsAvx2,
+                                          TaUpdateRowsAvx2, AdamUpdateAvx2};
 
 }  // namespace
 

@@ -25,13 +25,16 @@ namespace {
 /// Accumulators are named variables behind `if constexpr` guards, not
 /// arrays, for the same GCC SRA reason as the AVX2 tile (a [6][2] zmm array
 /// is memory-backed and every FMA grows a spill store).
-template <int MR, int NP>
-inline void GemmTileAvx512(const float* __restrict a, int64_t row, int k,
-                           const float* __restrict panel0, float* __restrict o,
-                           int m, int jc) {
+template <int MR, int NP, bool Acc = false>
+inline void GemmTileAvx512(const float* __restrict a, const int* __restrict arows,
+                           int64_t row, int k, const float* __restrict panel0,
+                           float* __restrict o, int m, int jc) {
   static_assert(MR >= 1 && MR <= 6 && (NP == 1 || NP == 2));
+  // `arows` remaps A rows only (zero-copy gather); output rows keep their
+  // positions.
   const auto rptr = [&](int r) {
-    return a + static_cast<size_t>(row + (r < MR ? r : 0)) * k;
+    const int64_t gr = row + (r < MR ? r : 0);
+    return a + static_cast<size_t>(arows != nullptr ? arows[gr] : gr) * k;
   };
   const float* __restrict a0 = rptr(0);
   const float* __restrict a1 = rptr(1);
@@ -45,6 +48,29 @@ inline void GemmTileAvx512(const float* __restrict a, int64_t row, int k,
   __m512 c50 = c00, c51 = c00;
   const float* __restrict panel1 =
       panel0 + (NP > 1 ? static_cast<size_t>(k) * kPanelWidth : 0);
+  const auto load_mask = [&](int np) {
+    const int w = m - (jc + np * kPanelWidth);
+    return w >= kPanelWidth ? static_cast<__mmask16>(0xffff)
+                            : static_cast<__mmask16>((1u << (w > 0 ? w : 0)) - 1u);
+  };
+  if constexpr (Acc) {
+    // Accumulate mode: seed each chain from the existing output
+    // (gemm_acc_rows contract); masked-off tail lanes seed zero and are
+    // never stored.
+    const auto load_row = [&](int r, __m512& v0, __m512& v1) {
+      const float* orow = o + static_cast<size_t>(row + (r < MR ? r : 0)) * m + jc;
+      v0 = _mm512_maskz_loadu_ps(load_mask(0), orow);
+      if constexpr (NP > 1) {
+        v1 = _mm512_maskz_loadu_ps(load_mask(1), orow + kPanelWidth);
+      }
+    };
+    load_row(0, c00, c01);
+    if constexpr (MR > 1) load_row(1, c10, c11);
+    if constexpr (MR > 2) load_row(2, c20, c21);
+    if constexpr (MR > 3) load_row(3, c30, c31);
+    if constexpr (MR > 4) load_row(4, c40, c41);
+    if constexpr (MR > 5) load_row(5, c50, c51);
+  }
   for (int p = 0; p < k; ++p) {
     const __m512 b0 = _mm512_loadu_ps(panel0 + static_cast<size_t>(p) * kPanelWidth);
     __m512 b1 = b0;
@@ -80,13 +106,8 @@ inline void GemmTileAvx512(const float* __restrict a, int64_t row, int k,
       if constexpr (NP > 1) c51 = _mm512_fmadd_ps(av, b1, c51);
     }
   }
-  const auto panel_mask = [&](int np) {
-    const int w = m - (jc + np * kPanelWidth);
-    return w >= kPanelWidth ? static_cast<__mmask16>(0xffff)
-                            : static_cast<__mmask16>((1u << w) - 1u);
-  };
-  const __mmask16 mask0 = panel_mask(0);
-  const __mmask16 mask1 = NP > 1 ? panel_mask(1) : mask0;
+  const __mmask16 mask0 = load_mask(0);
+  const __mmask16 mask1 = NP > 1 ? load_mask(1) : mask0;
   const auto store_row = [&](int r, __m512 v0, __m512 v1) {
     float* orow = o + static_cast<size_t>(row + r) * m + jc;
     _mm512_mask_storeu_ps(orow, mask0, v0);
@@ -102,39 +123,92 @@ inline void GemmTileAvx512(const float* __restrict a, int64_t row, int k,
   if constexpr (MR > 5) store_row(5, c50, c51);
 }
 
-template <int MR>
-inline void GemmRowBlockAvx512(const float* a, const float* packed, float* o,
-                               int64_t row, int k, int m) {
+template <int MR, bool Acc>
+inline void GemmRowBlockAvx512(const float* a, const int* arows,
+                               const float* packed, float* o, int64_t row,
+                               int k, int m) {
   const int panels = NumPanels(m);
   const size_t panel_stride = static_cast<size_t>(k) * kPanelWidth;
   int pj = 0;
   for (; pj + 2 <= panels; pj += 2) {
-    GemmTileAvx512<MR, 2>(a, row, k, packed + pj * panel_stride, o, m,
-                          pj * kPanelWidth);
+    GemmTileAvx512<MR, 2, Acc>(a, arows, row, k, packed + pj * panel_stride, o,
+                               m, pj * kPanelWidth);
   }
   if (pj < panels) {
-    GemmTileAvx512<MR, 1>(a, row, k, packed + pj * panel_stride, o, m,
-                          pj * kPanelWidth);
+    GemmTileAvx512<MR, 1, Acc>(a, arows, row, k, packed + pj * panel_stride, o,
+                               m, pj * kPanelWidth);
   }
 }
 
-void GemmRowsAvx512(const float* a, const float* packed, float* o, int64_t r0,
-                    int64_t r1, int k, int m) {
+template <bool Acc>
+void GemmRowsAvx512Impl(const float* a, const int* arows, const float* packed,
+                        float* o, int64_t r0, int64_t r1, int k, int m) {
   int64_t i = r0;
-  for (; i + 6 <= r1; i += 6) GemmRowBlockAvx512<6>(a, packed, o, i, k, m);
+  for (; i + 6 <= r1; i += 6) {
+    GemmRowBlockAvx512<6, Acc>(a, arows, packed, o, i, k, m);
+  }
   switch (static_cast<int>(r1 - i)) {
-    case 1: GemmRowBlockAvx512<1>(a, packed, o, i, k, m); break;
-    case 2: GemmRowBlockAvx512<2>(a, packed, o, i, k, m); break;
-    case 3: GemmRowBlockAvx512<3>(a, packed, o, i, k, m); break;
-    case 4: GemmRowBlockAvx512<4>(a, packed, o, i, k, m); break;
-    case 5: GemmRowBlockAvx512<5>(a, packed, o, i, k, m); break;
+    case 1: GemmRowBlockAvx512<1, Acc>(a, arows, packed, o, i, k, m); break;
+    case 2: GemmRowBlockAvx512<2, Acc>(a, arows, packed, o, i, k, m); break;
+    case 3: GemmRowBlockAvx512<3, Acc>(a, arows, packed, o, i, k, m); break;
+    case 4: GemmRowBlockAvx512<4, Acc>(a, arows, packed, o, i, k, m); break;
+    case 5: GemmRowBlockAvx512<5, Acc>(a, arows, packed, o, i, k, m); break;
     default: break;
   }
 }
 
+void GemmRowsAvx512(const float* a, const int* arows, const float* packed,
+                    float* o, int64_t r0, int64_t r1, int k, int m) {
+  GemmRowsAvx512Impl<false>(a, arows, packed, o, r0, r1, k, m);
+}
+
+void GemmAccRowsAvx512(const float* a, const int* arows, const float* packed,
+                       float* o, int64_t r0, int64_t r1, int k, int m) {
+  GemmRowsAvx512Impl<true>(a, arows, packed, o, r0, r1, k, m);
+}
+
+/// Fused Adam sweep at 16 lanes; op-sequence-identical to
+/// detail::AdamUpdateScalarRange (see the AVX2 twin for the determinism
+/// notes — the tail routes through that scalar routine).
+void AdamUpdateAvx512(float* w, float* m, float* v, const float* g, int64_t i0,
+                      int64_t i1, const AdamScalars& s) {
+  const __m512 lr = _mm512_set1_ps(s.lr);
+  const __m512 b1 = _mm512_set1_ps(s.beta1);
+  const __m512 b2 = _mm512_set1_ps(s.beta2);
+  const __m512 one_minus_b1 = _mm512_set1_ps(1.0f - s.beta1);
+  const __m512 one_minus_b2 = _mm512_set1_ps(1.0f - s.beta2);
+  const __m512 eps = _mm512_set1_ps(s.eps);
+  const __m512 wd = _mm512_set1_ps(s.weight_decay);
+  const __m512 bc1 = _mm512_set1_ps(s.bc1);
+  const __m512 bc2 = _mm512_set1_ps(s.bc2);
+  int64_t i = i0;
+  for (; i + 16 <= i1; i += 16) {
+    const __m512 wv = _mm512_loadu_ps(w + i);
+    const __m512 gv = _mm512_fmadd_ps(wd, wv, _mm512_loadu_ps(g + i));
+    const __m512 mv =
+        _mm512_fmadd_ps(b1, _mm512_loadu_ps(m + i), _mm512_mul_ps(one_minus_b1, gv));
+    const __m512 vv = _mm512_fmadd_ps(
+        b2, _mm512_loadu_ps(v + i), _mm512_mul_ps(one_minus_b2, _mm512_mul_ps(gv, gv)));
+    _mm512_storeu_ps(m + i, mv);
+    _mm512_storeu_ps(v + i, vv);
+    const __m512 m_hat = _mm512_div_ps(mv, bc1);
+    const __m512 v_hat = _mm512_div_ps(vv, bc2);
+    const __m512 denom = _mm512_add_ps(_mm512_sqrt_ps(v_hat), eps);
+    _mm512_storeu_ps(
+        w + i, _mm512_sub_ps(wv, _mm512_div_ps(_mm512_mul_ps(lr, m_hat), denom)));
+  }
+  if (i < i1) AdamUpdateScalarRange(w, m, v, g, i, i1, s);
+}
+
 // Same structure as the AVX2 arm's TaUpdateRowsAvx2 at 16 lanes; see the
-// determinism notes there.
-void TaUpdateRowsAvx512(const float* __restrict a, const float* __restrict b,
+// determinism notes there. Input rows are processed four at a time with the
+// four FMAs CHAINED in ascending r per output vector — a single rounding per
+// step, exactly the order of the one-row-at-a-time loop (fma with av == 0 is
+// an exact no-op, so the zero-skip may drop to per-quad granularity without
+// changing a bit) — while quartering the output load/store traffic that
+// bounds this kernel.
+void TaUpdateRowsAvx512(const float* __restrict a, const int* __restrict arows,
+                        const float* __restrict b, const int* __restrict brows,
                         float* __restrict o, int64_t i0, int64_t i1, int n,
                         int k, int m) {
   for (int jc = 0; jc < m; jc += kTaBlockJ) {
@@ -143,9 +217,54 @@ void TaUpdateRowsAvx512(const float* __restrict a, const float* __restrict b,
     const int jvec = jlen & ~15;
     for (int64_t icc = i0; icc < i1; icc += kTaBlockI) {
       const int64_t icend = icc + kTaBlockI < i1 ? icc + kTaBlockI : i1;
-      for (int r = 0; r < n; ++r) {
-        const float* __restrict arow = a + static_cast<size_t>(r) * k;
-        const float* __restrict brow = b + static_cast<size_t>(r) * m + jc;
+      const auto aptr = [&](int r) {
+        return a + static_cast<size_t>(arows != nullptr ? arows[r] : r) * k;
+      };
+      const auto bptr = [&](int r) {
+        return b + static_cast<size_t>(brows != nullptr ? brows[r] : r) * m + jc;
+      };
+      int r = 0;
+      for (; r + 4 <= n; r += 4) {
+        const float* __restrict a0 = aptr(r);
+        const float* __restrict a1 = aptr(r + 1);
+        const float* __restrict a2 = aptr(r + 2);
+        const float* __restrict a3 = aptr(r + 3);
+        const float* __restrict b0 = bptr(r);
+        const float* __restrict b1 = bptr(r + 1);
+        const float* __restrict b2 = bptr(r + 2);
+        const float* __restrict b3 = bptr(r + 3);
+        for (int64_t i = icc; i < icend; ++i) {
+          const float av0 = a0[i], av1 = a1[i], av2 = a2[i], av3 = a3[i];
+          if (av0 == 0.0f && av1 == 0.0f && av2 == 0.0f && av3 == 0.0f) continue;
+          float* __restrict orow = o + static_cast<size_t>(i) * m + jc;
+          const __m512 avv0 = _mm512_set1_ps(av0);
+          const __m512 avv1 = _mm512_set1_ps(av1);
+          const __m512 avv2 = _mm512_set1_ps(av2);
+          const __m512 avv3 = _mm512_set1_ps(av3);
+          int j = 0;
+          for (; j < jvec; j += 16) {
+            __m512 acc = _mm512_loadu_ps(orow + j);
+            acc = _mm512_fmadd_ps(avv0, _mm512_loadu_ps(b0 + j), acc);
+            acc = _mm512_fmadd_ps(avv1, _mm512_loadu_ps(b1 + j), acc);
+            acc = _mm512_fmadd_ps(avv2, _mm512_loadu_ps(b2 + j), acc);
+            acc = _mm512_fmadd_ps(avv3, _mm512_loadu_ps(b3 + j), acc);
+            _mm512_storeu_ps(orow + j, acc);
+          }
+          for (; j < jlen; ++j) {
+            // Scalar tail mirrors the vector chain: four single-rounding fmas
+            // in ascending r (std::fmaf == vector fma lane).
+            float acc = orow[j];
+            acc = __builtin_fmaf(av0, b0[j], acc);
+            acc = __builtin_fmaf(av1, b1[j], acc);
+            acc = __builtin_fmaf(av2, b2[j], acc);
+            acc = __builtin_fmaf(av3, b3[j], acc);
+            orow[j] = acc;
+          }
+        }
+      }
+      for (; r < n; ++r) {
+        const float* __restrict arow = aptr(r);
+        const float* __restrict brow = bptr(r);
         for (int64_t i = icc; i < icend; ++i) {
           const float av = arow[i];
           if (av == 0.0f) continue;
@@ -157,7 +276,7 @@ void TaUpdateRowsAvx512(const float* __restrict a, const float* __restrict b,
             _mm512_storeu_ps(orow + j,
                              _mm512_fmadd_ps(avv, _mm512_loadu_ps(brow + j), acc));
           }
-          for (; j < jlen; ++j) orow[j] += av * brow[j];
+          for (; j < jlen; ++j) orow[j] = __builtin_fmaf(av, brow[j], orow[j]);
         }
       }
     }
@@ -165,7 +284,9 @@ void TaUpdateRowsAvx512(const float* __restrict a, const float* __restrict b,
 }
 
 constexpr SimdGemmKernels kAvx512Kernels = {"avx512", GemmRowsAvx512,
-                                            TaUpdateRowsAvx512};
+                                            GemmAccRowsAvx512,
+                                            TaUpdateRowsAvx512,
+                                            AdamUpdateAvx512};
 
 }  // namespace
 

@@ -1,6 +1,44 @@
 #include "src/nn/tree_conv.h"
 
+#include <cstdlib>
+#include <cstring>
+
+
+
 namespace neo::nn {
+
+namespace {
+
+bool DefaultSparseTraining() {
+  const char* e = std::getenv("NEO_DENSE_TRAINING");
+  return !(e != nullptr && e[0] != '\0' && std::strcmp(e, "0") != 0);
+}
+
+bool& SparseTrainingFlag() {
+  static bool sparse = DefaultSparseTraining();
+  return sparse;
+}
+
+}  // namespace
+
+void SetSparseTrainingConv(bool sparse) { SparseTrainingFlag() = sparse; }
+bool SparseTrainingConv() { return SparseTrainingFlag(); }
+
+TreeGather TreeGather::Build(const TreeStructure& tree) {
+  TreeGather g;
+  const size_t n = tree.NumNodes();
+  for (size_t i = 0; i < n; ++i) {
+    if (tree.left[i] >= 0) {
+      g.left.parent.push_back(static_cast<int>(i));
+      g.left.child.push_back(tree.left[i]);
+    }
+    if (tree.right[i] >= 0) {
+      g.right.parent.push_back(static_cast<int>(i));
+      g.right.child.push_back(tree.right[i]);
+    }
+  }
+  return g;
+}
 
 TreeConv::TreeConv(int in_channels, int out_channels, util::Rng& rng,
                    int shared_suffix_dim)
@@ -13,41 +51,115 @@ TreeConv::TreeConv(int in_channels, int out_channels, util::Rng& rng,
   bias_.grad = Matrix(1, out_channels);
 }
 
-Matrix TreeConv::Forward(const TreeStructure& tree, const Matrix& x) {
+Matrix TreeConv::Forward(const TreeStructure& tree, const Matrix& x,
+                         const TreeGather* gather, TrainScratch* scratch) {
   const int n = x.rows();
   const int cin = in_channels_;
+  const int cout = weight_.value.cols();
   NEO_CHECK(x.cols() == cin);
   NEO_CHECK(static_cast<size_t>(n) == tree.NumNodes());
 
-  // Build the concatenated (node, left, right) features. Each output row
-  // depends only on node i's own/child feature rows, so the build partitions
-  // over rows without changing any value.
-  last_concat_ = Matrix(n, 3 * cin);
-  ParallelRows(n, /*min_parallel=*/256, [&](int64_t r0, int64_t r1) {
-    for (int64_t i = r0; i < r1; ++i) {
-      float* dst = last_concat_.Row(static_cast<int>(i));
-      const float* self = x.Row(static_cast<int>(i));
-      for (int c = 0; c < cin; ++c) dst[c] = self[c];
-      const int l = tree.left[static_cast<size_t>(i)];
-      if (l >= 0) {
-        const float* lv = x.Row(l);
-        for (int c = 0; c < cin; ++c) dst[cin + c] = lv[c];
+  if (UseReferenceKernels()) {
+    // Seed-path reconstruction (benches): dense (node, left, right) concat
+    // through one big GEMM, cached for the matching reference Backward.
+    last_concat_ = Matrix(n, 3 * cin);
+    ParallelRows(n, /*min_parallel=*/256, [&](int64_t r0, int64_t r1) {
+      for (int64_t i = r0; i < r1; ++i) {
+        float* dst = last_concat_.Row(static_cast<int>(i));
+        const float* self = x.Row(static_cast<int>(i));
+        for (int c = 0; c < cin; ++c) dst[c] = self[c];
+        const int l = tree.left[static_cast<size_t>(i)];
+        if (l >= 0) {
+          const float* lv = x.Row(l);
+          for (int c = 0; c < cin; ++c) dst[cin + c] = lv[c];
+        }
+        const int r = tree.right[static_cast<size_t>(i)];
+        if (r >= 0) {
+          const float* rv = x.Row(r);
+          for (int c = 0; c < cin; ++c) dst[2 * cin + c] = rv[c];
+        }
       }
-      const int r = tree.right[static_cast<size_t>(i)];
-      if (r >= 0) {
-        const float* rv = x.Row(r);
-        for (int c = 0; c < cin; ++c) dst[2 * cin + c] = rv[c];
+    });
+    Matrix y = MatMul(last_concat_, weight_.value);
+    const float* b = bias_.value.Row(0);
+    ParallelRows(n, /*min_parallel=*/256, [&](int64_t r0, int64_t r1) {
+      for (int64_t i = r0; i < r1; ++i) {
+        float* row = y.Row(static_cast<int>(i));
+        for (int c = 0; c < y.cols(); ++c) row[c] += b[c];
       }
-    }
-  });
-  Matrix y = MatMul(last_concat_, weight_.value);
+    });
+    return y;
+  }
+
+  TreeGather local;
+  if (gather == nullptr) {
+    local = TreeGather::Build(tree);
+    gather = &local;
+  }
+  TrainScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
+  const bool sparse = SparseTrainingConv();
+
+  // Self block + bias. The bias is added here — before the child scatters —
+  // in both modes, so the per-element op sequence is mode-independent.
+  Matrix y = MatMulBlock(x, weight_.value.Row(0), cin, cout);
   const float* b = bias_.value.Row(0);
   ParallelRows(n, /*min_parallel=*/256, [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       float* row = y.Row(static_cast<int>(i));
-      for (int c = 0; c < y.cols(); ++c) row[c] += b[c];
+      for (int c = 0; c < cout; ++c) row[c] += b[c];
     }
   });
+  train_stats_.forward_madds +=
+      static_cast<uint64_t>(n) * static_cast<uint64_t>(cin) * cout;
+
+  // Child blocks: gather, one block GEMM, scatter-add. Each parent appears
+  // once per side, so the scatter partitions race-free over gather rows.
+  // Sparse mode never materializes the gather: the GEMM reads the present
+  // children's rows through the index list (bit-identical to gathering
+  // first). The dense fallback builds the zero-padded gather explicitly —
+  // that padding IS its cost model.
+  auto add_side = [&](const SideGather& side, int blk) {
+    const int present = static_cast<int>(side.parent.size());
+    const int rows = sparse ? present : n;
+    if (rows == 0) return;
+    Matrix& contrib = scratch->contrib;
+    if (sparse) {
+      MatMulGatherBlockInto(x, side.child.data(), present,
+                            weight_.value.Row(blk * cin), cin, cout, &contrib,
+                            &scratch->gemm);
+    } else {
+      Matrix& g = scratch->gather;
+      g.Reshape(n, cin);
+      // Row i is node i's child features or stays zero (the reshape may
+      // retain junk, so zero explicitly before the copies).
+      g.Zero();
+      ParallelRows(present, /*min_parallel=*/256, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          std::copy(x.Row(side.child[static_cast<size_t>(r)]),
+                    x.Row(side.child[static_cast<size_t>(r)]) + cin,
+                    g.Row(side.parent[static_cast<size_t>(r)]));
+        }
+      });
+      MatMulBlockInto(g, weight_.value.Row(blk * cin), cin, cout, &contrib,
+                      &scratch->gemm);
+    }
+    ParallelRows(rows, /*min_parallel=*/256, [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        float* dst = y.Row(sparse ? side.parent[static_cast<size_t>(r)]
+                                  : static_cast<int>(r));
+        const float* src = contrib.Row(static_cast<int>(r));
+        for (int c = 0; c < cout; ++c) dst[c] += src[c];
+      }
+    });
+    train_stats_.forward_madds +=
+        static_cast<uint64_t>(rows) * static_cast<uint64_t>(cin) * cout;
+    train_stats_.gather_bytes +=
+        static_cast<uint64_t>(rows) * (cin + cout) * sizeof(float);
+    if (sparse) train_stats_.rows_skipped += static_cast<uint64_t>(n - present);
+  };
+  add_side(gather->left, 1);
+  add_side(gather->right, 2);
   return y;
 }
 
@@ -228,38 +340,127 @@ void TreeConv::ForwardInferenceRows(const TreeStructure& tree, const Matrix& x,
   add_side(tree.right, w_right_, suffix_right);
 }
 
-Matrix TreeConv::Backward(const TreeStructure& tree, const Matrix& grad_out) {
+Matrix TreeConv::Backward(const TreeStructure& tree, const Matrix& x,
+                          const Matrix& grad_out, const TreeGather* gather,
+                          TrainScratch* scratch) {
   // Training implies an imminent weight update: invalidate the inference
   // split so ForwardInference cannot silently use stale weights.
   split_fresh_ = false;
   const int n = grad_out.rows();
   const int cin = in_channels_;
+  const int cout = grad_out.cols();
+  NEO_CHECK(cout == weight_.value.cols());
+  NEO_CHECK(x.rows() == n && x.cols() == cin);
 
-  weight_.grad.Add(MatMulTransposeA(last_concat_, grad_out));
+  // Bias gradient: serial ascending-row reduction (fixed order, cheap).
   for (int i = 0; i < n; ++i) {
     const float* g = grad_out.Row(i);
     float* b = bias_.grad.Row(0);
-    for (int c = 0; c < grad_out.cols(); ++c) b[c] += g[c];
+    for (int c = 0; c < cout; ++c) b[c] += g[c];
   }
 
-  // Gradient w.r.t. the concatenated input, then scatter to node / children.
-  const Matrix grad_concat = MatMulTransposeB(grad_out, weight_.value);
-  Matrix grad_in(n, cin);
-  for (int i = 0; i < n; ++i) {
-    const float* g = grad_concat.Row(i);
-    float* self = grad_in.Row(i);
-    for (int c = 0; c < cin; ++c) self[c] += g[c];
-    const int l = tree.left[static_cast<size_t>(i)];
-    if (l >= 0) {
-      float* lv = grad_in.Row(l);
-      for (int c = 0; c < cin; ++c) lv[c] += g[cin + c];
+  if (UseReferenceKernels()) {
+    // Seed-path reconstruction: dense concat round-trip (uses the concat
+    // cached by the matching reference Forward).
+    NEO_CHECK(last_concat_.rows() == n);
+    weight_.grad.Add(MatMulTransposeA(last_concat_, grad_out));
+    const Matrix grad_concat = MatMulTransposeB(grad_out, weight_.value);
+    Matrix grad_in(n, cin);
+    for (int i = 0; i < n; ++i) {
+      const float* g = grad_concat.Row(i);
+      float* self = grad_in.Row(i);
+      for (int c = 0; c < cin; ++c) self[c] += g[c];
+      const int l = tree.left[static_cast<size_t>(i)];
+      if (l >= 0) {
+        float* lv = grad_in.Row(l);
+        for (int c = 0; c < cin; ++c) lv[c] += g[cin + c];
+      }
+      const int r = tree.right[static_cast<size_t>(i)];
+      if (r >= 0) {
+        float* rv = grad_in.Row(r);
+        for (int c = 0; c < cin; ++c) rv[c] += g[2 * cin + c];
+      }
     }
-    const int r = tree.right[static_cast<size_t>(i)];
-    if (r >= 0) {
-      float* rv = grad_in.Row(r);
-      for (int c = 0; c < cin; ++c) rv[c] += g[2 * cin + c];
-    }
+    return grad_in;
   }
+
+  TreeGather local;
+  if (gather == nullptr) {
+    local = TreeGather::Build(tree);
+    gather = &local;
+  }
+  TrainScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
+  const bool sparse = SparseTrainingConv();
+
+  // Self block: dW_p += x^T g, scatter-added straight into the gradient's
+  // first cin rows; dx = g W_p^T seeds grad_in (every node has a self term).
+  MatMulTransposeAInto(x, grad_out, weight_.grad.Row(0), &scratch->gemm);
+  Matrix grad_in;
+  MatMulTransposeBBlockInto(grad_out, weight_.value.Row(0), cin, &grad_in,
+                            &scratch->gemm);
+  train_stats_.backward_madds +=
+      2ULL * static_cast<uint64_t>(n) * static_cast<uint64_t>(cin) * cout;
+
+  // Child blocks. Per side: accumulate dW_blk += x[children]^T g[parents] in
+  // place, then scatter g[parents] W_blk^T to the child rows of grad_in.
+  // Sparse mode reads both gathers through index lists (zero-copy); the
+  // dense fallback materializes the zero-padded child gather and spans all
+  // rows. Each node is at most one parent's child, so no grad_in row is
+  // touched twice per side and the scatter partitions race-free.
+  auto side_backward = [&](const SideGather& side, int blk) {
+    const int present = static_cast<int>(side.parent.size());
+    const int rows = sparse ? present : n;
+    if (rows == 0) return;
+    Matrix& contrib = scratch->contrib;
+    if (sparse) {
+      // dW_blk += x[child]^T grad_out[parent]; zero rows the dense mode
+      // carries are exact no-ops in every MatMulTransposeAInto strategy, so
+      // both modes produce identical bits.
+      MatMulGatherTransposeAInto(x, side.child.data(), grad_out,
+                                 side.parent.data(), present,
+                                 weight_.grad.Row(blk * cin), &scratch->gemm);
+      MatMulGatherTransposeBBlockInto(grad_out, side.parent.data(), present,
+                                      weight_.value.Row(blk * cin), cin,
+                                      &contrib, &scratch->gemm);
+    } else {
+      Matrix& gx = scratch->gather;
+      gx.Reshape(n, cin);
+      gx.Zero();  // Reshape may retain junk; absent rows must be 0.
+      ParallelRows(present, /*min_parallel=*/256, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          std::copy(x.Row(side.child[static_cast<size_t>(r)]),
+                    x.Row(side.child[static_cast<size_t>(r)]) + cin,
+                    gx.Row(side.parent[static_cast<size_t>(r)]));
+        }
+      });
+      MatMulTransposeAInto(gx, grad_out, weight_.grad.Row(blk * cin),
+                           &scratch->gemm);
+      MatMulTransposeBBlockInto(grad_out, weight_.value.Row(blk * cin), cin,
+                                &contrib, &scratch->gemm);
+    }
+
+    // dx_child += contrib, scattered to the child rows. Dense mode computes
+    // contrib for every node but scatters only present children — the same
+    // rows, values, and order as sparse mode.
+    ParallelRows(present, /*min_parallel=*/256, [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const int src_row = sparse ? static_cast<int>(r)
+                                   : side.parent[static_cast<size_t>(r)];
+        float* dst = grad_in.Row(side.child[static_cast<size_t>(r)]);
+        const float* src = contrib.Row(src_row);
+        for (int c = 0; c < cin; ++c) dst[c] += src[c];
+      }
+    });
+    train_stats_.backward_madds +=
+        2ULL * static_cast<uint64_t>(rows) * static_cast<uint64_t>(cin) * cout;
+    train_stats_.gather_bytes +=
+        static_cast<uint64_t>(rows) * (cin + cout) * sizeof(float) +
+        static_cast<uint64_t>(present) * cin * sizeof(float);
+    if (sparse) train_stats_.rows_skipped += static_cast<uint64_t>(n - present);
+  };
+  side_backward(gather->left, 1);
+  side_backward(gather->right, 2);
   return grad_in;
 }
 

@@ -8,8 +8,53 @@
 //
 // DynamicPooling flattens a tree into a single vector via per-channel max
 // (paper §4 / Appendix A).
+//
+// ---- Training-path design (sparse split-weight conv) -----------------------
+//
+// Block layout. The stacked (3*cin x cout) weight is three contiguous
+// (cin x cout) blocks — W_p (self), W_l (left), W_r (right), rows
+// [b*cin, (b+1)*cin). Both the training Forward/Backward and the inference
+// fast path compute per block:
+//
+//   y = x W_p + bias + gather_l(x) W_l + gather_r(x) W_r
+//
+// where gather_s(x) collects the side-s child feature rows. Nothing ever
+// materializes the (n x 3*cin) [self ; left ; right] concatenation, and in
+// sparse mode (the default) the gathers carry ONLY rows whose child exists —
+// and are never even copied: the GEMM/gradient kernels read the rows through
+// the per-forest index lists (MatMulGather* in matrix.h), so a training step
+// does one pass over the child features per block with zero gather
+// materialization. The dense fallback materializes its zero-padded gathers
+// explicitly; that padding is exactly the cost the sparse path deletes.
+//
+// Why absent-child blocks are skippable. An absent child contributes a zero
+// feature row; a zero row's products are exact no-ops in every kernel's
+// summation (single-fma-chain / explicit-zero-skip — see matrix.h's
+// MatMulTransposeAInto contract and the gemm_acc_rows notes in
+// matrix_simd.h). Leaves dominate plan forests, so skipping them cuts the
+// training conv's flops by ~1/3 and halves the gather traffic.
+//
+// Summation-order contract. Every output element of the forward and of each
+// gradient is computed in an order that is a fixed function of (k, m) within
+// its block — never of the gather-row count or of row positions. Hence
+//  (a) sparse (skip) and dense (zero-row-padded) training are BIT-IDENTICAL
+//      under every kernel dispatch arm and every thread count — the dense
+//      fallback (NEO_DENSE_TRAINING=1 / SetSparseTrainingConv(false)) is the
+//      same code minus the skip, kept as a belt-and-braces escape hatch;
+//  (b) the packed-forest and per-sample training paths share this one
+//      forward/backward, so their forward values agree bitwise too (rows are
+//      position-independent).
+// Backward accumulates each weight-gradient block in place via the
+// scatter-add MatMulTransposeAInto (no (3*cin x cout) temporary, no
+// grad_concat): input gradients come from one MatMulTransposeBBlock per
+// block, scattered to child rows (each node has at most one parent, so the
+// scatter is race- and order-free).
+//
+// The dense concat path survives only under SetUseReferenceKernels(true),
+// where benches reconstruct the seed training/inference path faithfully.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "src/nn/layers.h"
@@ -26,7 +71,32 @@ struct TreeStructure {
   size_t NumNodes() const { return left.size(); }
 };
 
-/// One tree convolution layer: out[i] = [x_i ; x_l ; x_r] * W + b.
+/// Present-child gather list for one side of a forest: child[i] is the
+/// side-child row of node parent[i]; parent indices ascend. Built once per
+/// forest (PackPlanBatch / per-sample forward) and shared by every conv
+/// layer's forward AND backward — the structure never changes across layers.
+struct SideGather {
+  std::vector<int> parent;
+  std::vector<int> child;
+};
+
+/// Both sides' gather lists.
+struct TreeGather {
+  SideGather left;
+  SideGather right;
+
+  static TreeGather Build(const TreeStructure& tree);
+};
+
+/// When true (default), the training conv gathers only present-child rows and
+/// skips absent-child work entirely; when false, it gathers a zero row per
+/// absent child (same code, same bits, dense flops). Initialized from the
+/// environment: NEO_DENSE_TRAINING=1 forces the dense fallback. Process-wide;
+/// intended for benches, the CI fallback matrix arm, and parity tests.
+void SetSparseTrainingConv(bool sparse);
+bool SparseTrainingConv();
+
+/// One tree convolution layer: out[i] = x_i W_p + x_l W_l + x_r W_r + b.
 ///
 /// `shared_suffix_dim` (s) declares that at inference time the last s input
 /// channels of every node carry the same vector (Neo's spatially-replicated
@@ -46,9 +116,46 @@ class TreeConv {
     std::vector<int> parent;   ///< Gather-row -> node map.
   };
 
-  /// x: (nodes x in_channels) -> (nodes x out_channels). Training path:
-  /// builds the dense concat matrix and caches it for Backward.
-  Matrix Forward(const TreeStructure& tree, const Matrix& x);
+  /// Reusable training-path scratch, shared across all conv layers of one
+  /// step (buffers Reshape to each layer's dims without reallocating).
+  /// ValueNetwork owns one, passes it to every Forward/Backward, and
+  /// releases it after the optimizer step — so nothing batch-sized survives
+  /// between minibatches, while within a step no gather/GEMM temporary is
+  /// ever re-malloc'd or re-zeroed. Results are bit-identical with or
+  /// without a scratch (every reused element is fully overwritten).
+  struct TrainScratch {
+    Matrix gather;    ///< Dense-fallback zero-padded child gather.
+    Matrix contrib;   ///< Per-side GEMM outputs.
+    GemmScratch gemm; ///< Pack + transpose staging for the block GEMMs.
+
+    void Release() { *this = TrainScratch(); }
+    size_t Bytes() const {
+      return (gather.Size() + contrib.Size() + gemm.staging.Size() +
+              gemm.pack.size()) * sizeof(float);
+    }
+  };
+
+  /// Per-layer training-path counters, accumulated across Forward/Backward
+  /// calls (training is single-threaded per network). `madds` count GEMM
+  /// multiply-adds; `gather_bytes` counts gather/scatter row traffic;
+  /// `rows_skipped` counts absent-child gather rows sparse mode avoided.
+  struct TrainStats {
+    uint64_t forward_madds = 0;
+    uint64_t backward_madds = 0;
+    uint64_t gather_bytes = 0;
+    uint64_t rows_skipped = 0;
+  };
+
+  /// Training forward: x (nodes x in_channels) -> (nodes x out_channels) via
+  /// the per-block gather/GEMM/scatter above. Always multiplies the LIVE
+  /// weights (no packed copy), so direct parameter pokes stay visible.
+  /// `gather`, when provided, must describe `tree` (PackPlanBatch builds it
+  /// once per forest); nullptr builds one locally. Under
+  /// SetUseReferenceKernels(true) this runs the seed dense-concat path
+  /// instead (and caches the concat for the matching Backward).
+  Matrix Forward(const TreeStructure& tree, const Matrix& x,
+                 const TreeGather* gather = nullptr,
+                 TrainScratch* scratch = nullptr);
 
   /// Inference-only forward that skips absent-child weight blocks:
   /// y = x*W_p + gather(x_left)*W_l + gather(x_right)*W_r + b. Most forest
@@ -84,13 +191,30 @@ class TreeConv {
   /// hot gather/GEMM/scatter never repacks. Cheap (one copy of the weights).
   void RefreshInferenceWeights();
 
-  /// Backward for the most recent Forward (same tree).
-  Matrix Backward(const TreeStructure& tree, const Matrix& grad_out);
+  /// Backward for a Forward over the same (tree, x, gather). Accumulates
+  /// weight/bias gradients and returns grad_in (nodes x in_channels). Holds
+  /// no cached state of its own outside reference mode — the caller passes
+  /// the forward input back in (ValueNetwork keeps the per-layer
+  /// post-activations it needs anyway, which is what dropped the per-layer
+  /// (n x 3*cin) concat cache from training's footprint).
+  Matrix Backward(const TreeStructure& tree, const Matrix& x,
+                  const Matrix& grad_out, const TreeGather* gather = nullptr,
+                  TrainScratch* scratch = nullptr);
 
   void CollectParams(std::vector<Param*>* out) {
     out->push_back(&weight_);
     out->push_back(&bias_);
   }
+
+  /// Drops any batch-sized training scratch (the reference path's cached
+  /// concat); a no-op for the block path, which holds none.
+  void ReleaseTrainingScratch() { last_concat_ = Matrix(); }
+  size_t TrainingScratchBytes() const {
+    return last_concat_.Size() * sizeof(float);
+  }
+
+  const TrainStats& train_stats() const { return train_stats_; }
+  void ResetTrainStats() { train_stats_ = TrainStats(); }
 
   int in_channels() const { return in_channels_; }
   int out_channels() const { return weight_.value.cols(); }
@@ -100,7 +224,8 @@ class TreeConv {
   int shared_suffix_dim_;
   Param weight_;  ///< (3*in x out): [e_p; e_l; e_r] stacked.
   Param bias_;    ///< (1 x out)
-  Matrix last_concat_;  ///< (nodes x 3*in) cached for backward.
+  Matrix last_concat_;  ///< (nodes x 3*in); reference (seed) path only.
+  TrainStats train_stats_;
   /// ((in - s) x out) varying-channel blocks of weight_, pre-packed for the
   /// active GEMM dispatch arm (MatMulPacked).
   PackedB w_self_, w_left_, w_right_;
@@ -124,6 +249,13 @@ class DynamicPooling {
   Matrix ForwardInference(const Matrix& x, const std::vector<int>& offsets) const;
 
   Matrix Backward(const Matrix& grad_out);
+
+  /// Drops the batch-sized argmax state after a training step.
+  void ReleaseTrainingScratch() {
+    argmax_.clear();
+    argmax_.shrink_to_fit();
+  }
+  size_t TrainingScratchBytes() const { return argmax_.size() * sizeof(int); }
 
  private:
   std::vector<int> argmax_;  ///< (segments x C) winning row per (segment, channel).

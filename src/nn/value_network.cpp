@@ -1,7 +1,14 @@
 #include "src/nn/value_network.h"
 
+#include <cstdlib>
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include <cmath>
 #include <cstdio>
+
+
 
 namespace neo::nn {
 
@@ -160,6 +167,9 @@ PlanBatch PackPlanBatch(const PlanSample* const* samples, size_t n) {
                 batch.node_features.Row(base + static_cast<int>(i)));
     }
   }
+  // Gather lists once per forest: every conv layer's training forward AND
+  // backward reuses them instead of re-scanning child indices per layer.
+  batch.gather = TreeGather::Build(batch.forest);
   return batch;
 }
 
@@ -332,14 +342,16 @@ float ValueNetwork::ForwardPlan(const Matrix& query_embedding, const TreeStructu
     return head_.ForwardInference(pooled).At(0, 0);
   }
 
-  // Dense concat forward: training (caches activations for the backward) and
-  // reference mode.
+  // Training forward (caches activations for the backward) and reference
+  // mode. TreeConv::Forward runs the sparse block path under normal kernels
+  // and the seed dense-concat path under reference kernels.
+  if (state != nullptr) state->gather = TreeGather::Build(tree);
   Matrix augmented = AugmentNodes(query_embedding, node_features);
   Matrix cur = augmented;
-  std::vector<Matrix> pre, post;
+  std::vector<Matrix> post;
   for (auto& conv : convs_) {
-    Matrix z = conv.Forward(tree, cur);
-    if (state != nullptr) pre.push_back(z);
+    Matrix z = conv.Forward(tree, cur, state != nullptr ? &state->gather : nullptr,
+                            &train_scratch_);
     ApplyLeakyReLU(&z);  // Leaky ReLU between conv layers.
     if (state != nullptr) post.push_back(z);
     cur = std::move(z);
@@ -348,7 +360,6 @@ float ValueNetwork::ForwardPlan(const Matrix& query_embedding, const TreeStructu
   const Matrix out = head_.Forward(pooled);
   if (state != nullptr) {
     state->augmented = std::move(augmented);
-    state->conv_pre = std::move(pre);
     state->conv_post = std::move(post);
   }
   return out.At(0, 0);
@@ -372,9 +383,33 @@ float ValueNetwork::TrainBatch(const std::vector<const PlanSample*>& samples,
   return TrainBatch(samples.data(), targets.data(), samples.size());
 }
 
+namespace {
+
+/// One-time allocator tuning for the training loop. A training step frees a
+/// few MB of batch-sized buffers at the top of the heap (activations, grads,
+/// released scratch); glibc's default 128KB trim threshold returns those
+/// pages to the kernel every step, and the next step pays the page faults to
+/// get them back — measured at ~0.5ms/step (~15%) at batch 64. Raising the
+/// trim threshold keeps the pages on malloc's freelists across steps; idle
+/// retention is bounded by the threshold. NEO_NO_MALLOC_TUNING=1 opts out.
+void TuneAllocatorForTraining() {
+#if defined(__GLIBC__)
+  static const bool done = [] {
+    const char* off = std::getenv("NEO_NO_MALLOC_TUNING");
+    if (off != nullptr && off[0] != '\0' && off[0] != '0') return true;
+    mallopt(M_TRIM_THRESHOLD, 16 << 20);
+    return true;
+  }();
+  (void)done;
+#endif
+}
+
+}  // namespace
+
 float ValueNetwork::TrainBatch(const PlanSample* const* samples, const float* targets,
                                size_t n) {
   NEO_CHECK(n > 0);
+  TuneAllocatorForTraining();
   return batched_training_ ? TrainBatchPacked(samples, targets, n)
                            : TrainBatchPerSample(samples, targets, n);
 }
@@ -418,19 +453,22 @@ float ValueNetwork::TrainBatchPacked(const PlanSample* const* samples,
     }
   });
 
-  // Conv stack forward over the packed forest (dense concat path: Backward
-  // needs the cached concat matrices).
-  Matrix cur = augmented;
-  std::vector<Matrix> pre;
-  pre.reserve(convs_.size());
-  for (auto& conv : convs_) {
-    Matrix z = conv.Forward(packed.forest, cur);
-    pre.push_back(z);
+  // Conv stack forward over the packed forest: sparse block path (gathers
+  // reuse packed.gather). Post-activations are kept — they are the layers'
+  // backward inputs, replacing the per-layer (n x 3*cin) concat caches.
+  // Post-activations only: leaky ReLU preserves sign, so the backward's relu
+  // mask reads post < 0 and no pre-activation copy is ever made.
+  std::vector<Matrix> post;
+  post.reserve(convs_.size());
+  for (size_t li = 0; li < convs_.size(); ++li) {
+    Matrix z = convs_[li].Forward(packed.forest,
+                                  li == 0 ? augmented : post[li - 1],
+                                  &packed.gather, &train_scratch_);
     ApplyLeakyReLU(&z);
-    cur = std::move(z);
+    post.push_back(std::move(z));
   }
-  const Matrix pooled = pool_.Forward(cur, packed.tree_offsets);  // (batch x C)
-  const Matrix out = head_.Forward(pooled);                       // (batch x 1)
+  const Matrix pooled = pool_.Forward(post.back(), packed.tree_offsets);  // (batch x C)
+  const Matrix out = head_.Forward(pooled);                               // (batch x 1)
 
   // L2 loss and output gradient: dL/dpred_s = 2 * err_s / batch (paper §4).
   double total_loss = 0.0;
@@ -444,9 +482,16 @@ float ValueNetwork::TrainBatchPacked(const PlanSample* const* samples,
 
   Matrix grad_pooled = head_.Backward(grad_out);   // (batch x C)
   Matrix grad_nodes = pool_.Backward(grad_pooled); // (total_nodes x C)
+  // Peak-scratch high-water mark, sampled at maximal liveness: every conv
+  // pre/post activation, the augmented input, the packed features, and the
+  // layers' backward caches are all alive here.
+  size_t live_bytes = (augmented.Size() + packed.node_features.Size() +
+                       grad_nodes.Size()) * sizeof(float);
+  for (const Matrix& z : post) live_bytes += z.Size() * sizeof(float);
   for (int li = static_cast<int>(convs_.size()) - 1; li >= 0; --li) {
-    // Leaky ReLU backward on pre-activation (elementwise, partitionable).
-    const float* z = pre[static_cast<size_t>(li)].data();
+    // Leaky ReLU backward mask (elementwise, partitionable): post < 0 iff
+    // pre < 0 since alpha > 0, so the kept post-activations suffice.
+    const float* z = post[static_cast<size_t>(li)].data();
     float* g = grad_nodes.data();
     ParallelRows(static_cast<int64_t>(grad_nodes.Size()), /*min_parallel=*/1 << 14,
                  [&](int64_t i0, int64_t i1) {
@@ -454,7 +499,9 @@ float ValueNetwork::TrainBatchPacked(const PlanSample* const* samples,
                      if (z[i] < 0.0f) g[i] *= leaky_alpha_;
                    }
                  });
-    grad_nodes = convs_[static_cast<size_t>(li)].Backward(packed.forest, grad_nodes);
+    grad_nodes = convs_[static_cast<size_t>(li)].Backward(
+        packed.forest, li == 0 ? augmented : post[static_cast<size_t>(li) - 1],
+        grad_nodes, &packed.gather, &train_scratch_);
   }
 
   // Split the augmented gradient: plan-feature columns are inputs (dropped);
@@ -476,6 +523,7 @@ float ValueNetwork::TrainBatchPacked(const PlanSample* const* samples,
 
   adam_->Step();
   ++version_;
+  NoteScratchPeakAndRelease(live_bytes);
   return static_cast<float>(total_loss / static_cast<double>(batch));
 }
 
@@ -500,14 +548,25 @@ float ValueNetwork::TrainBatchPerSample(const PlanSample* const* samples,
     Matrix grad_pooled = head_.Backward(grad_out);
     Matrix grad_nodes = pool_.Backward(grad_pooled);
 
+    // Peak-scratch sample at maximal liveness (mirrors the packed path).
+    size_t live_bytes = (state.augmented.Size() + grad_nodes.Size()) * sizeof(float);
+    for (const Matrix& z : state.conv_post) live_bytes += z.Size() * sizeof(float);
+    const size_t layer_bytes = current_training_scratch_bytes();
+    if (live_bytes + layer_bytes > peak_train_scratch_) {
+      peak_train_scratch_ = live_bytes + layer_bytes;
+    }
+
     // Back through the conv stack (activation then conv, reversed).
     for (int li = static_cast<int>(convs_.size()) - 1; li >= 0; --li) {
-      // Leaky ReLU backward on pre-activation.
-      const Matrix& z = state.conv_pre[static_cast<size_t>(li)];
+      // Leaky ReLU backward mask from the post-activation (sign-preserving).
+      const Matrix& z = state.conv_post[static_cast<size_t>(li)];
       for (size_t i = 0; i < grad_nodes.Size(); ++i) {
         if (z.data()[i] < 0.0f) grad_nodes.data()[i] *= leaky_alpha_;
       }
-      grad_nodes = convs_[static_cast<size_t>(li)].Backward(sample.tree, grad_nodes);
+      grad_nodes = convs_[static_cast<size_t>(li)].Backward(
+          sample.tree,
+          li == 0 ? state.augmented : state.conv_post[static_cast<size_t>(li) - 1],
+          grad_nodes, &state.gather, &train_scratch_);
     }
 
     // Split: plan-feature gradients are dropped (inputs); query-embedding
@@ -523,7 +582,37 @@ float ValueNetwork::TrainBatchPerSample(const PlanSample* const* samples,
 
   adam_->Step();
   ++version_;
+  NoteScratchPeakAndRelease(0);
   return static_cast<float>(total_loss / static_cast<double>(n));
+}
+
+size_t ValueNetwork::current_training_scratch_bytes() const {
+  size_t total = query_stack_.TrainingScratchBytes() +
+                 head_.TrainingScratchBytes() + pool_.TrainingScratchBytes() +
+                 train_scratch_.Bytes();
+  for (const auto& conv : convs_) total += conv.TrainingScratchBytes();
+  return total;
+}
+
+void ValueNetwork::NoteScratchPeakAndRelease(size_t live_bytes) {
+  const size_t total = live_bytes + current_training_scratch_bytes();
+  if (total > peak_train_scratch_) peak_train_scratch_ = total;
+  query_stack_.ReleaseTrainingScratch();
+  head_.ReleaseTrainingScratch();
+  pool_.ReleaseTrainingScratch();
+  for (auto& conv : convs_) conv.ReleaseTrainingScratch();
+  train_scratch_.Release();
+}
+
+std::vector<TreeConv::TrainStats> ValueNetwork::ConvTrainStats() const {
+  std::vector<TreeConv::TrainStats> stats;
+  stats.reserve(convs_.size());
+  for (const auto& conv : convs_) stats.push_back(conv.train_stats());
+  return stats;
+}
+
+void ValueNetwork::ResetConvTrainStats() {
+  for (auto& conv : convs_) conv.ResetTrainStats();
 }
 
 }  // namespace neo::nn

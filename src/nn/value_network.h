@@ -53,6 +53,11 @@ struct PlanBatch {
   /// Featurizer::EncodePlanBatch; empty when packed without plan identity
   /// (PackPlanBatch for training).
   std::vector<uint64_t> node_fp;
+  /// Present-child gather lists for `forest`, built once by PackPlanBatch and
+  /// shared by every training conv layer's forward AND backward (the forest
+  /// structure is layer-invariant). Empty when the batch was packed by a
+  /// producer that never trains on it (Featurizer::EncodePlanBatch).
+  TreeGather gather;
 
   int size() const {
     return tree_offsets.empty() ? 0 : static_cast<int>(tree_offsets.size()) - 1;
@@ -150,6 +155,22 @@ class ValueNetwork {
   /// Increments on every optimizer step; lets caches detect staleness.
   uint64_t version() const { return version_; }
 
+  /// Peak bytes of batch-sized training scratch observed across TrainBatch
+  /// calls: per-layer pre/post activations, the packed forest features, and
+  /// every layer's Backward caches, sampled at the backward's point of
+  /// maximal liveness. All of it is released after each optimizer step
+  /// (ReleaseTrainingScratch), so nothing batch-sized survives between
+  /// minibatches; current_training_scratch_bytes() is 0 between steps.
+  size_t peak_training_scratch_bytes() const { return peak_train_scratch_; }
+  void ResetPeakTrainingScratch() { peak_train_scratch_ = 0; }
+  /// Layer-cache scratch currently held (0 after a completed TrainBatch).
+  size_t current_training_scratch_bytes() const;
+
+  /// Per-conv-layer training counters (flops, gather bytes, skipped rows)
+  /// accumulated since the last reset; index = conv stack position.
+  std::vector<TreeConv::TrainStats> ConvTrainStats() const;
+  void ResetConvTrainStats();
+
   const ValueNetConfig& config() const { return config_; }
   size_t NumParameters() const;
 
@@ -166,8 +187,11 @@ class ValueNetwork {
  private:
   struct ForwardState {
     Matrix augmented;                ///< (nodes x aug_dim)
-    std::vector<Matrix> conv_pre;    ///< Pre-activation outputs per conv layer.
-    std::vector<Matrix> conv_post;   ///< Post-activation outputs.
+    /// Post-activation outputs per conv layer. Pre-activations are NOT kept:
+    /// leaky ReLU preserves sign (alpha > 0), so the backward's relu mask
+    /// tests post < 0 — one fewer batch-sized copy per layer.
+    std::vector<Matrix> conv_post;
+    TreeGather gather;               ///< Child gather lists for the tree.
   };
 
   /// Forward through tree conv + pooling + head. Fills `state` if training.
@@ -205,6 +229,10 @@ class ValueNetwork {
   /// the pool when ComputeThreads() > 1.
   void ApplyLeakyReLU(Matrix* m) const;
 
+  /// Records `live_bytes` (+ the layers' own caches) into the peak-scratch
+  /// high-water mark, then releases every layer's training scratch.
+  void NoteScratchPeakAndRelease(size_t live_bytes);
+
   ValueNetConfig config_;
   util::Rng rng_;
   Sequential query_stack_;
@@ -216,10 +244,14 @@ class ValueNetwork {
   std::atomic<uint64_t> inference_weights_version_{~0ULL};
   std::mutex inference_sync_mu_;
   InferenceContext default_ctx_;
+  /// Shared gather/GEMM scratch for the training conv stack, reused across
+  /// layers and steps; released after each optimizer step.
+  TreeConv::TrainScratch train_scratch_;
   bool batched_training_ = true;
   float leaky_alpha_;
   int embed_dim_ = 0;
   int total_conv_channels_ = 0;
+  size_t peak_train_scratch_ = 0;
 };
 
 }  // namespace neo::nn

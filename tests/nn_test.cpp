@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <functional>
 #include <thread>
 
@@ -371,6 +373,161 @@ TEST(MatrixSimdTest, PackedMatMulBitIdenticalToUnpacked) {
   }
 }
 
+TEST(MatrixSimdTest, TransposeAIntoMatchesNaiveOnOddShapes) {
+  // The scatter-add transpose-A variant accumulates into a pre-filled raw
+  // block; out must equal init + a^T b within accumulation-order ulps under
+  // every arm. Shapes straddle both internal strategies (m below/above the
+  // per-arm transpose thresholds of 48 and 160) plus ragged/degenerate dims.
+  const int shapes[][3] = {{1, 1, 1},    {7, 3, 5},     {40, 5, 33},
+                           {70, 53, 64}, {100, 31, 17}, {65, 7, 200},
+                           {33, 129, 48}, {13, 64, 161}};
+  util::Rng rng(51);
+  for (const auto& s : shapes) {
+    const int n = s[0], k = s[1], m = s[2];
+    const Matrix a = RandomMatrix(n, k, rng);
+    const Matrix b = RandomMatrix(n, m, rng);
+    const Matrix init = RandomMatrix(k, m, rng);
+    Matrix expect = init;
+    MatMulTransposeAIntoNaive(a, b, expect.data());
+    for (KernelIsa isa : AvailableKernelIsas()) {
+      KernelIsaScope scope(isa);
+      Matrix out = init;
+      MatMulTransposeAInto(a, b, out.data());
+      for (size_t i = 0; i < expect.Size(); ++i) {
+        const double tol = 1e-4 * std::max(1.0, static_cast<double>(
+                                                    std::fabs(expect.data()[i])));
+        ASSERT_NEAR(expect.data()[i], out.data()[i], tol)
+            << KernelIsaName(isa) << " " << n << "x" << k << "x" << m;
+      }
+    }
+  }
+}
+
+TEST(MatrixSimdTest, TransposeAIntoZeroRowsAreExactNoOps) {
+  // The contract the sparse training conv is built on: interleaving all-zero
+  // `a` rows (with arbitrary matching `b` rows) into the reduction must not
+  // change a single output bit, in any arm, for either internal strategy.
+  // This is why the strategy choice ignores n and why the portable
+  // accumulate path uses a single summation chain.
+  util::Rng rng(52);
+  for (const int m : {5, 17, 48, 64, 160, 200}) {
+    const int k = 21, n = 47;
+    std::vector<int> keep;
+    for (int r = 0; r < n; ++r) {
+      // Rows 0, 5, 10, ... and the last few stay zero.
+      const bool zero_row = (r % 5 == 0) || r >= n - 3;
+      if (!zero_row) keep.push_back(r);
+    }
+    const int present = static_cast<int>(keep.size());
+    // Dense operands with zero a-rows scattered at the front/middle/end.
+    Matrix a_dense(n, k), b_dense = RandomMatrix(n, m, rng);
+    Matrix a_sparse(present, k), b_sparse(present, m);
+    for (size_t t = 0; t < keep.size(); ++t) {
+      const Matrix row = RandomMatrix(1, k, rng);
+      std::copy(row.data(), row.data() + k, a_dense.Row(keep[t]));
+      std::copy(row.data(), row.data() + k, a_sparse.Row(static_cast<int>(t)));
+      std::copy(b_dense.Row(keep[t]), b_dense.Row(keep[t]) + m,
+                b_sparse.Row(static_cast<int>(t)));
+    }
+    const Matrix init = RandomMatrix(k, m, rng);
+    for (KernelIsa isa : AvailableKernelIsas()) {
+      KernelIsaScope scope(isa);
+      Matrix dense = init, sparse = init;
+      MatMulTransposeAInto(a_dense, b_dense, dense.data());
+      MatMulTransposeAInto(a_sparse, b_sparse, sparse.data());
+      for (size_t i = 0; i < dense.Size(); ++i) {
+        ASSERT_EQ(dense.data()[i], sparse.data()[i])
+            << KernelIsaName(isa) << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(MatrixSimdTest, GatherVariantsBitIdenticalToMaterialized) {
+  // The zero-copy gather GEMMs read A (and the TA variant's B) rows through
+  // an index list inside the kernels; they must match multiplying the
+  // materialized gather BITWISE under every arm (the sparse training conv's
+  // results may not depend on which mechanism gathered the rows).
+  util::Rng rng(54);
+  const int n = 61, k = 21, m = 34;
+  const Matrix a = RandomMatrix(n, k, rng);
+  const Matrix b = RandomMatrix(n, m, rng);
+  const Matrix w = RandomMatrix(k, m, rng);
+  const Matrix wt = RandomMatrix(17, m, rng);  // (17 x m) block for b^T.
+  // Index lists with repeats, out-of-order entries, and a singleton.
+  const std::vector<std::vector<int>> row_sets = {
+      {0}, {5, 3, 3, 60, 17}, {7, 7, 7, 7, 7, 7, 7},
+      {60, 59, 58, 0, 1, 2, 30, 31, 32, 33, 34, 35, 36}};
+  for (KernelIsa isa : AvailableKernelIsas()) {
+    KernelIsaScope scope(isa);
+    for (const auto& rows : row_sets) {
+      const int nr = static_cast<int>(rows.size());
+      Matrix ga(nr, k), gb(nr, m);
+      for (int r = 0; r < nr; ++r) {
+        std::copy(a.Row(rows[r]), a.Row(rows[r]) + k, ga.Row(r));
+        std::copy(b.Row(rows[r]), b.Row(rows[r]) + m, gb.Row(r));
+      }
+      Matrix want, got;
+      MatMulBlockInto(ga, w.data(), k, m, &want);
+      MatMulGatherBlockInto(a, rows.data(), nr, w.data(), k, m, &got);
+      ASSERT_EQ(want.rows(), got.rows());
+      for (size_t i = 0; i < want.Size(); ++i) {
+        ASSERT_EQ(want.data()[i], got.data()[i]) << KernelIsaName(isa);
+      }
+      // a = gathered b rows (nr x m); wt is a (17 x m) block -> out (nr x 17).
+      Matrix want_tb, got_tb;
+      MatMulTransposeBBlockInto(gb, wt.data(), 17, &want_tb);
+      ASSERT_EQ(want_tb.rows(), nr);
+      MatMulGatherTransposeBBlockInto(b, rows.data(), nr, wt.data(), 17, &got_tb);
+      for (size_t i = 0; i < want_tb.Size(); ++i) {
+        ASSERT_EQ(want_tb.data()[i], got_tb.data()[i]) << KernelIsaName(isa);
+      }
+      const Matrix init = RandomMatrix(k, m, rng);
+      Matrix want_ta = init, got_ta = init;
+      MatMulTransposeAInto(ga, gb, want_ta.data());
+      MatMulGatherTransposeAInto(a, rows.data(), b, rows.data(), nr,
+                                 got_ta.data());
+      for (size_t i = 0; i < want_ta.Size(); ++i) {
+        ASSERT_EQ(want_ta.data()[i], got_ta.data()[i]) << KernelIsaName(isa);
+      }
+    }
+  }
+}
+
+TEST(MatrixSimdTest, BlockVariantsBitIdenticalToMatrixEntryPoints) {
+  // MatMulBlock / MatMulTransposeBBlock take raw pointers into a larger
+  // stacked weight; multiplying a row range through them must equal the
+  // Matrix-typed entry points bitwise (same kernels, same packing).
+  util::Rng rng(53);
+  const int n = 23, k = 19, m = 34;
+  const Matrix a = RandomMatrix(n, k, rng);
+  const Matrix stacked = RandomMatrix(3 * k, m, rng);  // Three (k x m) blocks.
+  const Matrix at = RandomMatrix(n, m, rng);           // For the b^T variant.
+  const Matrix stacked_t = RandomMatrix(3 * k, m, rng);
+  for (KernelIsa isa : AvailableKernelIsas()) {
+    KernelIsaScope scope(isa);
+    for (int blk = 0; blk < 3; ++blk) {
+      Matrix block(k, m), block_t(k, m);
+      for (int r = 0; r < k; ++r) {
+        std::copy(stacked.Row(blk * k + r), stacked.Row(blk * k + r) + m, block.Row(r));
+        std::copy(stacked_t.Row(blk * k + r), stacked_t.Row(blk * k + r) + m,
+                  block_t.Row(r));
+      }
+      const Matrix want = MatMul(a, block);
+      const Matrix got = MatMulBlock(a, stacked.Row(blk * k), k, m);
+      ASSERT_EQ(want.rows(), got.rows());
+      for (size_t i = 0; i < want.Size(); ++i) {
+        ASSERT_EQ(want.data()[i], got.data()[i]) << KernelIsaName(isa);
+      }
+      const Matrix want_tb = MatMulTransposeB(at, block_t);
+      const Matrix got_tb = MatMulTransposeBBlock(at, stacked_t.Row(blk * k), k);
+      for (size_t i = 0; i < want_tb.Size(); ++i) {
+        ASSERT_EQ(want_tb.data()[i], got_tb.data()[i]) << KernelIsaName(isa);
+      }
+    }
+  }
+}
+
 TEST(LinearTest, GradientsMatchNumeric) {
   util::Rng rng(2);
   Linear layer(6, 4, rng);
@@ -490,7 +647,7 @@ TEST(TreeConvTest, GradientsMatchNumeric) {
   conv.CollectParams(&params);
   for (Param* p : params) p->ZeroGrad();
   conv.Forward(t, x);
-  const Matrix grad_in = conv.Backward(t, loss_w);
+  const Matrix grad_in = conv.Backward(t, x, loss_w);
 
   const float eps = 1e-3f;
   // Parameter gradients.
@@ -606,6 +763,132 @@ TEST(TreeConvTest, ForwardInferenceRowsSharedSuffixBitIdentical) {
   for (const int r : rows) std::fill(y.Row(r), y.Row(r) + 6, -123.0f);
   conv.ForwardInferenceRows(t, x, rows, &suffix, nullptr, &y);
   for (size_t i = 0; i < full.Size(); ++i) ASSERT_EQ(full.data()[i], y.data()[i]);
+}
+
+/// RAII restore for the process-wide sparse-training-conv flag.
+class SparseTrainingScope {
+ public:
+  explicit SparseTrainingScope(bool sparse) : prev_(SparseTrainingConv()) {
+    SetSparseTrainingConv(sparse);
+  }
+  ~SparseTrainingScope() { SetSparseTrainingConv(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(TreeConvTest, SparseBackwardGradientsMatchNumeric) {
+  // Numeric-gradient check through the sparse block backward on a forest
+  // covering every child shape: both-children, left-only, right-only,
+  // leaves, and a lone single-node tree.
+  SparseTrainingScope sparse_scope(true);
+  util::Rng rng(13);
+  TreeConv conv(3, 4, rng);
+  TreeStructure t;
+  t.left = {1, 3, -1, -1, -1, 6, -1};
+  t.right = {2, -1, -1, 4, -1, -1, -1};
+  Matrix x = RandomMatrix(7, 3, rng);
+  Matrix loss_w = RandomMatrix(7, 4, rng);
+
+  std::vector<Param*> params;
+  conv.CollectParams(&params);
+  for (Param* p : params) p->ZeroGrad();
+  conv.Forward(t, x);
+  const Matrix grad_in = conv.Backward(t, x, loss_w);
+
+  const float eps = 1e-3f;
+  for (Param* p : params) {
+    for (size_t i = 0; i < p->value.Size(); ++i) {
+      const float orig = p->value.data()[i];
+      p->value.data()[i] = orig + eps;
+      const double lp = WeightedLoss(conv.Forward(t, x), loss_w);
+      p->value.data()[i] = orig - eps;
+      const double lm = WeightedLoss(conv.Forward(t, x), loss_w);
+      p->value.data()[i] = orig;
+      EXPECT_NEAR(p->grad.data()[i], (lp - lm) / (2 * eps), 2e-2)
+          << "param index " << i;
+    }
+  }
+  for (size_t i = 0; i < x.Size(); ++i) {
+    const float orig = x.data()[i];
+    x.data()[i] = orig + eps;
+    const double lp = WeightedLoss(conv.Forward(t, x), loss_w);
+    x.data()[i] = orig - eps;
+    const double lm = WeightedLoss(conv.Forward(t, x), loss_w);
+    x.data()[i] = orig;
+    EXPECT_NEAR(grad_in.data()[i], (lp - lm) / (2 * eps), 2e-2) << "input " << i;
+  }
+}
+
+TEST(TreeConvTest, SparseAndDenseTrainingBitIdentical) {
+  // The dense fallback is the same block code gathering zero rows for absent
+  // children; zero rows are exact no-ops in every kernel, so forward output,
+  // weight/bias gradients, and input gradients must agree BITWISE with the
+  // sparse path under every dispatch arm.
+  util::Rng rng_tree(14);
+  TreeStructure t;
+  t.left = {1, 3, -1, -1, -1, 6, -1, -1};
+  t.right = {2, -1, -1, 4, -1, -1, -1, 7};
+  const Matrix x = RandomMatrix(8, 5, rng_tree);
+  const Matrix loss_w = RandomMatrix(8, 6, rng_tree);
+  for (KernelIsa isa : AvailableKernelIsas()) {
+    KernelIsaScope isa_scope(isa);
+    util::Rng rng_a(15), rng_b(15);
+    TreeConv sparse_conv(5, 6, rng_a), dense_conv(5, 6, rng_b);
+    Matrix y_sparse, y_dense, gin_sparse, gin_dense;
+    {
+      SparseTrainingScope scope(true);
+      y_sparse = sparse_conv.Forward(t, x);
+      gin_sparse = sparse_conv.Backward(t, x, loss_w);
+    }
+    {
+      SparseTrainingScope scope(false);
+      y_dense = dense_conv.Forward(t, x);
+      gin_dense = dense_conv.Backward(t, x, loss_w);
+    }
+    for (size_t i = 0; i < y_sparse.Size(); ++i) {
+      ASSERT_EQ(y_sparse.data()[i], y_dense.data()[i])
+          << KernelIsaName(isa) << " forward " << i;
+    }
+    for (size_t i = 0; i < gin_sparse.Size(); ++i) {
+      ASSERT_EQ(gin_sparse.data()[i], gin_dense.data()[i])
+          << KernelIsaName(isa) << " grad_in " << i;
+    }
+    std::vector<Param*> ps, pd;
+    sparse_conv.CollectParams(&ps);
+    dense_conv.CollectParams(&pd);
+    for (size_t p = 0; p < ps.size(); ++p) {
+      for (size_t i = 0; i < ps[p]->grad.Size(); ++i) {
+        ASSERT_EQ(ps[p]->grad.data()[i], pd[p]->grad.data()[i])
+            << KernelIsaName(isa) << " param " << p << " grad " << i;
+      }
+    }
+    // Sparse mode must actually have skipped the absent-child rows.
+    EXPECT_GT(sparse_conv.train_stats().rows_skipped, 0u);
+    EXPECT_EQ(dense_conv.train_stats().rows_skipped, 0u);
+    EXPECT_LT(sparse_conv.train_stats().forward_madds,
+              dense_conv.train_stats().forward_madds);
+  }
+}
+
+TEST(TreeConvTest, TrainingForwardMatchesInferenceForward) {
+  // The block training forward and ForwardInference compute the same math
+  // over the same blocks (training from live weights, inference from the
+  // packed split); they may differ only by packing-free vs packed GEMM,
+  // which is bit-identical, so outputs should agree to ulps.
+  util::Rng rng(16);
+  TreeConv conv(5, 8, rng);
+  conv.RefreshInferenceWeights();
+  TreeStructure t;
+  t.left = {1, 3, -1, -1, -1, -1};
+  t.right = {2, -1, -1, -1, 5, -1};
+  const Matrix x = RandomMatrix(6, 5, rng);
+  SparseTrainingScope scope(true);
+  const Matrix train = conv.Forward(t, x);
+  const Matrix infer = conv.ForwardInference(t, x);
+  for (size_t i = 0; i < train.Size(); ++i) {
+    ASSERT_EQ(train.data()[i], infer.data()[i]) << i;
+  }
 }
 
 TEST(DynamicPoolingTest, MaxAndGradRouting) {
@@ -882,6 +1165,136 @@ TEST(ValueNetworkTest, TrainBatchLossBitIdenticalAcrossThreadCounts) {
   for (size_t t = 1; t < curves.size(); ++t) {
     for (size_t s = 0; s < curves[0].size(); ++s) {
       ASSERT_EQ(curves[0][s], curves[t][s]) << "thread arm " << t << " step " << s;
+    }
+  }
+}
+
+TEST(ValueNetworkTest, SparseVsDenseTrainingLossCurvesBitIdentical) {
+  // The acceptance contract of the sparse training conv: loss curves from
+  // the sparse (skip absent children) and dense (zero-padded) paths are
+  // bit-identical — first step and every later step — across thread counts
+  // 1/2/8 and under both the forced-portable and the dispatched arm.
+  util::Rng rng(23);
+  std::vector<PlanSample> samples;
+  std::vector<float> targets;
+  for (int i = 0; i < 16; ++i) {
+    samples.push_back(MakeRandomTreeSample(rng, 10, 7, 1 + i % 8));
+    targets.push_back(static_cast<float>(rng.NextUniform(-1, 1)));
+  }
+  std::vector<const PlanSample*> ptrs;
+  for (const auto& s : samples) ptrs.push_back(&s);
+
+  const auto curve = [&](bool sparse, int threads) {
+    SparseTrainingScope mode(sparse);
+    ComputeThreadsScope scope(threads);
+    ValueNetwork net(SmallConfig());
+    std::vector<float> losses;
+    for (int step = 0; step < 6; ++step) {
+      losses.push_back(net.TrainBatch(ptrs, targets));
+    }
+    return losses;
+  };
+  for (KernelIsa isa : AvailableKernelIsas()) {
+    KernelIsaScope isa_scope(isa);
+    for (int threads : {1, 2, 8}) {
+      const std::vector<float> sparse = curve(true, threads);
+      const std::vector<float> dense = curve(false, threads);
+      ASSERT_EQ(sparse.size(), dense.size());
+      for (size_t s = 0; s < sparse.size(); ++s) {
+        ASSERT_EQ(sparse[s], dense[s])
+            << KernelIsaName(isa) << " threads " << threads << " step " << s;
+      }
+      EXPECT_LT(sparse.back(), sparse.front());  // Still learning.
+    }
+  }
+}
+
+TEST(ValueNetworkTest, PerSampleTrainingBitIdenticalSparseVsDense) {
+  // The per-sample fallback routes through the same block kernels, so its
+  // loss curve obeys the same sparse/dense bit-identity.
+  util::Rng rng(24);
+  std::vector<PlanSample> samples;
+  std::vector<float> targets;
+  for (int i = 0; i < 8; ++i) {
+    samples.push_back(MakeRandomTreeSample(rng, 10, 7, 1 + i % 6));
+    targets.push_back(static_cast<float>(rng.NextUniform(-1, 1)));
+  }
+  std::vector<const PlanSample*> ptrs;
+  for (const auto& s : samples) ptrs.push_back(&s);
+  const auto curve = [&](bool sparse) {
+    SparseTrainingScope mode(sparse);
+    ValueNetwork net(SmallConfig());
+    net.SetBatchedTraining(false);
+    std::vector<float> losses;
+    for (int step = 0; step < 4; ++step) losses.push_back(net.TrainBatch(ptrs, targets));
+    return losses;
+  };
+  const std::vector<float> sparse = curve(true);
+  const std::vector<float> dense = curve(false);
+  for (size_t s = 0; s < sparse.size(); ++s) ASSERT_EQ(sparse[s], dense[s]);
+}
+
+TEST(ValueNetworkTest, TrainingReleasesScratchAndTracksPeak) {
+  // Batch-sized training scratch must not survive the step: layer caches are
+  // dropped after Adam runs, and the peak accounting observed the forward's
+  // activations.
+  ValueNetwork net(SmallConfig());
+  util::Rng rng(25);
+  std::vector<PlanSample> samples;
+  std::vector<float> targets;
+  for (int i = 0; i < 8; ++i) {
+    samples.push_back(MakeRandomTreeSample(rng, 10, 7, 3 + i % 5));
+    targets.push_back(0.25f);
+  }
+  std::vector<const PlanSample*> ptrs;
+  for (const auto& s : samples) ptrs.push_back(&s);
+  EXPECT_EQ(net.peak_training_scratch_bytes(), 0u);
+  net.TrainBatch(ptrs, targets);
+  EXPECT_EQ(net.current_training_scratch_bytes(), 0u);
+  EXPECT_GT(net.peak_training_scratch_bytes(), 0u);
+  // Conv train stats accumulated and reset cleanly.
+  const auto stats = net.ConvTrainStats();
+  ASSERT_EQ(stats.size(), SmallConfig().tree_channels.size());
+  EXPECT_GT(stats[0].forward_madds, 0u);
+  EXPECT_GT(stats[0].backward_madds, 0u);
+  net.ResetConvTrainStats();
+  EXPECT_EQ(net.ConvTrainStats()[0].forward_madds, 0u);
+}
+
+TEST(AdamTest, FusedUpdateBitIdenticalAcrossArmsAndThreads) {
+  // The fused kernel's per-element op sequence is the same correctly-rounded
+  // fma/mul/div/sqrt chain in every arm and in the scalar tails, so the
+  // updated parameters must match bitwise across dispatch arms, thread
+  // counts, and (via odd sizes) vector/tail splits.
+  util::Rng rng(26);
+  const int count = 10007;  // Odd: exercises every tail path.
+  const Matrix w0 = RandomMatrix(1, count, rng);
+  const Matrix g0 = RandomMatrix(1, count, rng);
+  AdamOptions opt;
+  opt.weight_decay = 0.01f;
+  opt.grad_clip = 0.0f;  // Isolate the fused update from the clip reduction.
+
+  const auto run = [&](KernelIsa isa, int threads) {
+    KernelIsaScope isa_scope(isa);
+    ComputeThreadsScope scope(threads);
+    Param p;
+    p.value = w0;
+    p.grad = g0;
+    Adam adam({&p}, opt);
+    adam.Step();
+    // Second step exercises nonzero m/v state.
+    p.grad = g0;
+    adam.Step();
+    return p.value;
+  };
+  const Matrix ref = run(KernelIsa::kPortable, 1);
+  for (KernelIsa isa : AvailableKernelIsas()) {
+    for (int threads : {1, 2, 8}) {
+      const Matrix got = run(isa, threads);
+      for (size_t i = 0; i < ref.Size(); ++i) {
+        ASSERT_EQ(ref.data()[i], got.data()[i])
+            << KernelIsaName(isa) << " threads " << threads << " elem " << i;
+      }
     }
   }
 }
