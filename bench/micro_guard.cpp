@@ -1,0 +1,387 @@
+// Guardrail micro-benchmarks + the BENCH_guard.json fault-injection report.
+//
+// The JSON measurement runs three serving arms over a JOB subset:
+//   expert    - the expert optimizer's plans, fault-free (the baseline).
+//   unguarded - Neo with every guardrail off, under deterministic injected
+//               latency spikes, execution failures, and retrain weight
+//               corruption: the workload total regresses badly.
+//   guarded   - the same faults with watchdog + circuit breaker + model
+//               health armed: the total is structurally bounded by
+//               watchdog_factor x the expert baseline (every serve, learned
+//               or fallback, is clipped at watchdog_factor x its query's
+//               baseline), and after the faults stop the breaker's half-open
+//               probes re-admit the learned plans.
+// It also measures happy-path overhead: the guarded serve path (inert
+// thresholds, no faults) vs the guards-off fast path on a hot serving loop.
+//
+// The google-benchmark suite runs after the JSON measurement; pass
+// --benchmark_filter etc. as usual.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/core/neo.h"
+#include "src/datagen/imdb_gen.h"
+#include "src/query/job_workload.h"
+#include "src/util/stopwatch.h"
+
+namespace {
+
+using namespace neo;
+
+struct Fixture {
+  datagen::Dataset ds;
+  query::Workload wl{"none"};
+  std::unique_ptr<featurize::Featurizer> feat;
+  std::vector<const query::Query*> train;
+
+  Fixture() {
+    datagen::GenOptions opt;
+    opt.scale = 0.05;
+    ds = datagen::GenerateImdb(opt);
+    wl = query::MakeJobWorkload(ds.schema, *ds.db);
+    feat = std::make_unique<featurize::Featurizer>(ds.schema, *ds.db,
+                                                   featurize::FeaturizerConfig{});
+    for (size_t i = 0; i < wl.size(); i += 7) train.push_back(&wl.query(i));
+  }
+  static core::NeoConfig Config() {
+    core::NeoConfig cfg;
+    cfg.net.query_fc = {64, 32};
+    cfg.net.tree_channels = {32, 16};
+    cfg.net.head_fc = {16};
+    cfg.search.max_expansions = 40;
+    return cfg;
+  }
+  static core::GuardrailConfig Guards(double watchdog_factor) {
+    core::GuardrailConfig g;
+    g.watchdog.baseline_factor = watchdog_factor;
+    g.breaker.enabled = true;
+    g.breaker.trip_after = 2;
+    g.breaker.regression_factor = 1.5;
+    g.breaker.initial_cooldown = 1;
+    g.breaker.max_cooldown = 8;
+    g.health.enabled = true;
+    return g;
+  }
+  static Fixture& Get() {
+    static Fixture f;
+    return f;
+  }
+};
+
+// ---- google-benchmark micro measurements ----------------------------------
+
+void BM_BreakerDecision(benchmark::State& state) {
+  core::CircuitBreakerOptions opt;
+  opt.enabled = true;
+  opt.trip_after = 3;
+  core::CircuitBreaker breaker(opt);
+  uint64_t fp = 0;
+  for (auto _ : state) {
+    const bool learned = breaker.AllowLearned(fp & 63);
+    breaker.RecordLearnedOutcome(fp & 63, (fp & 7) == 0);
+    benchmark::DoNotOptimize(learned);
+    ++fp;
+  }
+}
+BENCHMARK(BM_BreakerDecision);
+
+void BM_InjectorDraw(benchmark::State& state) {
+  util::FaultInjectorConfig cfg;
+  cfg.enabled = true;
+  cfg.latency_spike_p = 0.25;
+  cfg.latency_spike_factor = 40.0;
+  util::FaultInjector injector(cfg);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(injector.PerturbLatency(key & 255, 10.0));
+    ++key;
+  }
+}
+BENCHMARK(BM_InjectorDraw);
+
+void BM_HealthSnapshot(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  engine::ExecutionEngine eng(f.ds.schema, *f.ds.db, engine::EngineKind::kPostgres);
+  core::Neo neo(f.feat.get(), &eng, Fixture::Config());
+  nn::ValueNetwork::WeightSnapshot snap;
+  for (auto _ : state) {
+    neo.net().CaptureSnapshot(&snap);
+    benchmark::DoNotOptimize(snap);
+  }
+  state.SetLabel(std::to_string(neo.net().NumParameters()) + " params");
+}
+BENCHMARK(BM_HealthSnapshot);
+
+/// Hot serving loop (cached search + memoized execution): guards off vs the
+/// guarded path with inert thresholds. The delta is the guard bookkeeping.
+void BM_HotServe(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  const bool guarded = state.range(0) != 0;
+  engine::ExecutionEngine eng(f.ds.schema, *f.ds.db, engine::EngineKind::kPostgres);
+  auto expert = optim::MakeNativeOptimizer(engine::EngineKind::kPostgres, f.ds.schema,
+                                           *f.ds.db);
+  core::NeoConfig cfg = Fixture::Config();
+  if (guarded) cfg.guards = Fixture::Guards(/*watchdog_factor=*/1e9);
+  core::Neo neo(f.feat.get(), &eng, cfg);
+  neo.Bootstrap(f.train, expert.optimizer.get());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(neo.PlanAndExecute(*f.train[i % f.train.size()]));
+    ++i;
+  }
+  state.SetLabel(guarded ? "guarded(inert)" : "guards-off");
+}
+BENCHMARK(BM_HotServe)->Arg(0)->Arg(1);
+
+// ---- BENCH_guard.json ------------------------------------------------------
+
+struct ArmResult {
+  double total_ms = 0.0;
+  double worst_regression = 0.0;  ///< max over serves of latency / baseline.
+  core::GuardStats guards;
+  size_t injected_spikes = 0;
+  size_t injected_failures = 0;
+  size_t weight_corruptions = 0;
+  // Post-fault recovery phase (guarded arm only).
+  int64_t recovery_recoveries = 0;
+  double recovery_learned_fraction = 0.0;
+};
+
+/// One serving round: retrain, then serve every training query (the
+/// RunEpisode shape, unrolled so per-serve regressions are observable).
+void ServeRound(core::Neo& neo, const std::vector<const query::Query*>& queries,
+                double* total_ms, double* worst_regression) {
+  neo.Retrain();
+  for (const query::Query* q : queries) {
+    const double latency = neo.ExecuteAndLearn(*q);
+    *total_ms += latency;
+    const double regression = latency / neo.Baseline(q->id);
+    if (regression > *worst_regression) *worst_regression = regression;
+  }
+}
+
+ArmResult RunArm(bool guarded, double watchdog_factor, int fault_rounds,
+                 int recovery_rounds, const util::FaultInjectorConfig& fcfg) {
+  Fixture& f = Fixture::Get();
+  engine::ExecutionEngine eng(f.ds.schema, *f.ds.db, engine::EngineKind::kPostgres);
+  auto expert = optim::MakeNativeOptimizer(engine::EngineKind::kPostgres, f.ds.schema,
+                                           *f.ds.db);
+  core::NeoConfig cfg = Fixture::Config();
+  if (guarded) cfg.guards = Fixture::Guards(watchdog_factor);
+  core::Neo neo(f.feat.get(), &eng, cfg);
+  // Bootstrap is fault-free: baselines must be honest expert latencies.
+  neo.Bootstrap(f.train, expert.optimizer.get());
+
+  util::FaultInjector injector(fcfg);
+  eng.SetFaultInjector(&injector);
+  neo.SetFaultInjector(&injector);
+  ArmResult r;
+  for (int round = 0; round < fault_rounds; ++round) {
+    ServeRound(neo, f.train, &r.total_ms, &r.worst_regression);
+  }
+  eng.SetFaultInjector(nullptr);
+  neo.SetFaultInjector(nullptr);
+  r.injected_spikes = injector.latency_spikes();
+  r.injected_failures = injector.execution_failures();
+  r.weight_corruptions = injector.weight_corruptions();
+
+  // Recovery: faults stop; the breaker's half-open probes should re-admit
+  // the learned plans (recoveries move, learned serves dominate again).
+  const core::GuardStats at_fault_end = neo.guard_stats();
+  double recovery_total = 0.0, recovery_worst = 0.0;
+  for (int round = 0; round < recovery_rounds; ++round) {
+    ServeRound(neo, f.train, &recovery_total, &recovery_worst);
+  }
+  r.guards = neo.guard_stats();
+  r.recovery_recoveries = r.guards.breaker_recoveries - at_fault_end.breaker_recoveries;
+  const int64_t recovery_serves =
+      (r.guards.learned_serves + r.guards.fallback_serves) -
+      (at_fault_end.learned_serves + at_fault_end.fallback_serves);
+  if (recovery_serves > 0) {
+    r.recovery_learned_fraction =
+        static_cast<double>(r.guards.learned_serves - at_fault_end.learned_serves) /
+        static_cast<double>(recovery_serves);
+  }
+  return r;
+}
+
+/// Wall seconds for `rounds` hot serving passes (no faults, no retraining:
+/// cached search + memoized execution — the tightest happy path, i.e. the
+/// worst case for relative guard overhead).
+double MeasureHotServeSeconds(bool inert_guards, int rounds) {
+  Fixture& f = Fixture::Get();
+  engine::ExecutionEngine eng(f.ds.schema, *f.ds.db, engine::EngineKind::kPostgres);
+  auto expert = optim::MakeNativeOptimizer(engine::EngineKind::kPostgres, f.ds.schema,
+                                           *f.ds.db);
+  core::NeoConfig cfg = Fixture::Config();
+  if (inert_guards) cfg.guards = Fixture::Guards(/*watchdog_factor=*/1e9);
+  core::Neo neo(f.feat.get(), &eng, cfg);
+  neo.Bootstrap(f.train, expert.optimizer.get());
+  // Warm pass: populate score/latency caches.
+  for (const query::Query* q : f.train) neo.PlanAndExecute(*q);
+  util::Stopwatch watch;
+  for (int round = 0; round < rounds; ++round) {
+    for (const query::Query* q : f.train) {
+      const double latency = neo.PlanAndExecute(*q);
+      benchmark::DoNotOptimize(latency);
+    }
+  }
+  return watch.ElapsedSeconds();
+}
+
+void WriteGuardJson(const std::string& path, int reps) {
+  Fixture& f = Fixture::Get();
+  constexpr int kFaultRounds = 6;
+  constexpr int kRecoveryRounds = 4;
+  constexpr double kWatchdogFactor = 2.0;
+
+  util::FaultInjectorConfig fcfg;
+  fcfg.enabled = true;
+  fcfg.seed = 42;
+  if (const char* env_seed = std::getenv("NEO_FAULT_SEED")) {
+    fcfg.seed = static_cast<uint64_t>(std::strtoull(env_seed, nullptr, 10));
+  }
+  fcfg.latency_spike_p = 0.25;
+  fcfg.latency_spike_factor = 40.0;
+  fcfg.exec_failure_p = 0.05;
+  // High enough that some retrains corrupt at any plausible seed (the draws
+  // are per-retrain-index Bernoulli), so the rollback path gets exercised.
+  fcfg.weight_corruption_p = 0.5;
+
+  // Expert baseline: one fault-free pass, scaled to the fault-phase rounds.
+  double expert_pass = 0.0;
+  {
+    engine::ExecutionEngine eng(f.ds.schema, *f.ds.db, engine::EngineKind::kPostgres);
+    auto expert = optim::MakeNativeOptimizer(engine::EngineKind::kPostgres,
+                                             f.ds.schema, *f.ds.db);
+    for (const query::Query* q : f.train) {
+      expert_pass += eng.ExecutePlan(*q, expert.optimizer->Optimize(*q));
+    }
+  }
+  const double expert_total = expert_pass * kFaultRounds;
+
+  const ArmResult unguarded =
+      RunArm(false, kWatchdogFactor, kFaultRounds, /*recovery_rounds=*/0, fcfg);
+  const ArmResult guarded =
+      RunArm(true, kWatchdogFactor, kFaultRounds, kRecoveryRounds, fcfg);
+
+  // Happy-path overhead: median hot-serve wall time, guards off vs inert.
+  std::vector<double> off_s, on_s;
+  for (int rep = 0; rep < reps; ++rep) {
+    off_s.push_back(MeasureHotServeSeconds(false, /*rounds=*/30));
+    on_s.push_back(MeasureHotServeSeconds(true, /*rounds=*/30));
+  }
+  std::sort(off_s.begin(), off_s.end());
+  std::sort(on_s.begin(), on_s.end());
+  const double off_med = off_s[off_s.size() / 2];
+  const double on_med = on_s[on_s.size() / 2];
+  const double overhead_pct = 100.0 * (on_med - off_med) / off_med;
+
+  const double guarded_vs_expert = guarded.total_ms / expert_total;
+  const double unguarded_vs_expert = unguarded.total_ms / expert_total;
+  const bool bound_satisfied = guarded.total_ms <= kWatchdogFactor * expert_total * (1 + 1e-9);
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "micro_guard: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"micro_guard\",\n"
+               "  \"kernel_arch\": \"%s\",\n"
+               "  \"queries\": %zu,\n"
+               "  \"fault_rounds\": %d,\n"
+               "  \"recovery_rounds\": %d,\n"
+               "  \"watchdog_factor\": %.2f,\n"
+               "  \"fault_seed\": %llu,\n"
+               "  \"fault_config\": {\"spike_p\": %.3f, \"spike_factor\": %.1f,"
+               " \"fail_p\": %.3f, \"corrupt_p\": %.3f},\n"
+               "  \"expert_total_ms\": %.3f,\n",
+               nn::KernelArchString(), f.train.size(), kFaultRounds, kRecoveryRounds,
+               kWatchdogFactor, static_cast<unsigned long long>(fcfg.seed),
+               fcfg.latency_spike_p, fcfg.latency_spike_factor, fcfg.exec_failure_p,
+               fcfg.weight_corruption_p, expert_total);
+  std::fprintf(out,
+               "  \"unguarded\": {\"total_ms\": %.3f, \"worst_regression\": %.2f,"
+               " \"injected_spikes\": %zu, \"injected_failures\": %zu,"
+               " \"weight_corruptions\": %zu},\n",
+               unguarded.total_ms, unguarded.worst_regression,
+               unguarded.injected_spikes, unguarded.injected_failures,
+               unguarded.weight_corruptions);
+  std::fprintf(out,
+               "  \"guarded\": {\"total_ms\": %.3f, \"worst_regression\": %.2f,"
+               " \"timeouts\": %lld, \"breaker_trips\": %lld,"
+               " \"breaker_reopens\": %lld, \"breaker_recoveries\": %lld,"
+               " \"fallback_serves\": %lld, \"learned_serves\": %lld,"
+               " \"health_rollbacks\": %lld, \"recovery_recoveries\": %lld,"
+               " \"recovery_learned_fraction\": %.3f},\n",
+               guarded.total_ms, guarded.worst_regression,
+               static_cast<long long>(guarded.guards.timeouts),
+               static_cast<long long>(guarded.guards.breaker_trips),
+               static_cast<long long>(guarded.guards.breaker_reopens),
+               static_cast<long long>(guarded.guards.breaker_recoveries),
+               static_cast<long long>(guarded.guards.fallback_serves),
+               static_cast<long long>(guarded.guards.learned_serves),
+               static_cast<long long>(guarded.guards.health_rollbacks),
+               static_cast<long long>(guarded.recovery_recoveries),
+               guarded.recovery_learned_fraction);
+  std::fprintf(out,
+               "  \"unguarded_vs_expert\": %.2f,\n"
+               "  \"guarded_vs_expert\": %.2f,\n"
+               "  \"bound_satisfied\": %s,\n"
+               "  \"happy_path_overhead_pct\": %.2f\n"
+               "}\n",
+               unguarded_vs_expert, guarded_vs_expert,
+               bound_satisfied ? "true" : "false", overhead_pct);
+  std::fclose(out);
+
+  std::printf(
+      "guardrails: expert %.0f ms; unguarded %.0f ms (%.1fx, worst %.0fx);"
+      " guarded %.0f ms (%.2fx <= %.1fx bound: %s; %lld timeouts, %lld trips,"
+      " %lld fallback serves, %lld rollbacks; recovery learned fraction %.2f);"
+      " happy-path overhead %.2f%% -> %s\n",
+      expert_total, unguarded.total_ms, unguarded_vs_expert,
+      unguarded.worst_regression, guarded.total_ms, guarded_vs_expert,
+      kWatchdogFactor, bound_satisfied ? "yes" : "NO",
+      static_cast<long long>(guarded.guards.timeouts),
+      static_cast<long long>(guarded.guards.breaker_trips),
+      static_cast<long long>(guarded.guards.fallback_serves),
+      static_cast<long long>(guarded.guards.health_rollbacks),
+      guarded.recovery_learned_fraction, overhead_pct, path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_guard.json";
+  bool filtered = false;
+  bool json_requested = false;
+  int reps = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json-out=", 0) == 0) {
+      json_requested = true;
+      json_path = arg.substr(std::string("--json-out=").size());
+    } else if (arg == "--json-out") {
+      json_requested = true;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        json_path = argv[++i];
+      }
+    } else if (arg.rfind("--json-reps=", 0) == 0) {
+      reps = std::atoi(arg.substr(std::string("--json-reps=").size()).c_str());
+      if (reps < 1) reps = 1;
+    }
+    if (arg.rfind("--benchmark_filter", 0) == 0) filtered = true;
+  }
+  if (!filtered || json_requested) WriteGuardJson(json_path, reps);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

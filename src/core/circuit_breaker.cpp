@@ -1,0 +1,70 @@
+#include "src/core/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace neo::core {
+
+bool CircuitBreaker::AllowLearned(uint64_t fp) {
+  if (!options_.enabled) return true;
+  Entry& e = entries_[fp];
+  switch (e.state) {
+    case State::kClosed:
+    case State::kHalfOpen:
+      return true;
+    case State::kOpen:
+      if (e.remaining > 0) {
+        --e.remaining;
+        ++stats_.fallback_serves;
+        return false;
+      }
+      // Cooldown exhausted: this request is the half-open probe.
+      e.state = State::kHalfOpen;
+      ++stats_.probes;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordLearnedOutcome(uint64_t fp, bool regressed) {
+  if (!options_.enabled) return;
+  Entry& e = entries_[fp];
+  switch (e.state) {
+    case State::kClosed:
+      if (!regressed) {
+        e.consecutive_regressions = 0;
+        return;
+      }
+      if (++e.consecutive_regressions >= options_.trip_after) {
+        e.state = State::kOpen;
+        e.consecutive_regressions = 0;
+        e.cooldown = std::max(1, options_.initial_cooldown);
+        e.remaining = e.cooldown;
+        ++stats_.trips;
+      }
+      return;
+    case State::kHalfOpen:
+      if (regressed) {
+        // Probe lost: back off exponentially before probing again.
+        e.state = State::kOpen;
+        e.cooldown = std::min(options_.max_cooldown, std::max(1, e.cooldown * 2));
+        e.remaining = e.cooldown;
+        ++stats_.reopens;
+      } else {
+        e.state = State::kClosed;
+        e.consecutive_regressions = 0;
+        e.cooldown = 0;
+        ++stats_.recoveries;
+      }
+      return;
+    case State::kOpen:
+      // No learned serve should have been admitted while open; ignore.
+      return;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::StateOf(uint64_t fp) const {
+  const auto it = entries_.find(fp);
+  return it == entries_.end() ? State::kClosed : it->second.state;
+}
+
+}  // namespace neo::core

@@ -1,0 +1,89 @@
+// Per-query circuit breaker: the serving-side guardrail that guarantees a
+// regression is never served indefinitely (paper §6.3.3's safety argument —
+// a learned optimizer must survive its own mistakes; "Query Optimization in
+// the Wild" makes the production case).
+//
+// One deterministic state machine per Query::fingerprint:
+//
+//             N consecutive regressions
+//   CLOSED ------------------------------> OPEN
+//     ^  \___ non-regression resets the      |  cooldown fallback serves
+//     |       consecutive counter            v  (exponential backoff)
+//     |                                   HALF-OPEN
+//     |   probe wins                         |   probe regresses: cooldown
+//     +--------------------------------------+   doubles (capped), re-OPEN
+//
+// CLOSED serves the learned plan and counts consecutive regressions (learned
+// latency beyond `regression_factor` x the per-query expert baseline, or a
+// failed/timed-out execution). After `trip_after` consecutive regressions
+// the breaker trips OPEN: the expert/fallback plan is served for `cooldown`
+// requests, then one HALF-OPEN probe re-admits the learned plan. A winning
+// probe closes the breaker (and resets the backoff); a losing probe re-opens
+// it with the cooldown doubled up to `max_cooldown`. All transitions are
+// pure functions of the observed outcome sequence — no clocks, no
+// randomness — so the machine is unit-testable and replayable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace neo::core {
+
+struct CircuitBreakerOptions {
+  bool enabled = false;
+  /// Consecutive regressions (beyond regression_factor) that trip the
+  /// breaker open.
+  int trip_after = 3;
+  /// A learned serve regresses when its incurred latency exceeds
+  /// regression_factor * Baseline(query), or when the execution failed.
+  double regression_factor = 1.5;
+  /// Fallback serves before the first half-open probe after a trip.
+  int initial_cooldown = 1;
+  /// Exponential-backoff cap on the cooldown (doubles per failed probe).
+  int max_cooldown = 16;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Stats {
+    size_t trips = 0;            ///< Closed -> open transitions.
+    size_t reopens = 0;          ///< Half-open probe lost; backoff doubled.
+    size_t recoveries = 0;       ///< Half-open probe won; breaker closed.
+    size_t fallback_serves = 0;  ///< Requests answered with the expert plan.
+    size_t probes = 0;           ///< Half-open learned-plan probes issued.
+  };
+
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(CircuitBreakerOptions options) : options_(options) {}
+
+  /// Serving decision for one request of `fp`. True: serve the learned plan
+  /// (closed, or a half-open probe). False: serve the fallback plan (open;
+  /// advances the cooldown countdown toward the next probe).
+  bool AllowLearned(uint64_t fp);
+
+  /// Reports the outcome of a learned serve that AllowLearned admitted.
+  void RecordLearnedOutcome(uint64_t fp, bool regressed);
+
+  State StateOf(uint64_t fp) const;
+  const Stats& stats() const { return stats_; }
+  const CircuitBreakerOptions& options() const { return options_; }
+  size_t num_tracked() const { return entries_.size(); }
+  void Reset() { entries_.clear(); stats_ = Stats(); }
+
+ private:
+  struct Entry {
+    State state = State::kClosed;
+    int consecutive_regressions = 0;
+    int cooldown = 0;   ///< Current backoff length (fallback serves per cycle).
+    int remaining = 0;  ///< Fallback serves left before the next probe.
+  };
+
+  CircuitBreakerOptions options_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace neo::core

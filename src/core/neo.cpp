@@ -21,6 +21,86 @@ Neo::Neo(const featurize::Featurizer* featurizer, engine::ExecutionEngine* engin
   config_.net.seed = util::HashCombine(config_.seed, 0x4e7ULL);
   net_ = std::make_unique<nn::ValueNetwork>(config_.net);
   search_ = PlanSearch(featurizer_, net_.get());
+  breaker_ = CircuitBreaker(config_.guards.breaker);
+  health_ = nn::ModelHealthMonitor(config_.guards.health);
+}
+
+bool Neo::GuardsActive() const {
+  const GuardrailConfig& g = config_.guards;
+  return g.watchdog.deadline_ms > 0.0 || g.watchdog.baseline_factor > 0.0 ||
+         g.breaker.enabled || g.health.enabled;
+}
+
+double Neo::EffectiveDeadline(const query::Query& query) const {
+  const WatchdogOptions& w = config_.guards.watchdog;
+  double deadline = w.deadline_ms > 0.0 ? w.deadline_ms : 0.0;
+  if (w.baseline_factor > 0.0) {
+    // Baseline() defaults to 1.0 for unknown ids — gate on actual presence
+    // so un-bootstrapped queries don't get a meaningless 1ms-scale deadline.
+    const auto it = baselines_.find(query.id);
+    if (it != baselines_.end()) {
+      const double relative = w.baseline_factor * std::max(1e-6, it->second);
+      deadline = deadline > 0.0 ? std::min(deadline, relative) : relative;
+    }
+  }
+  return deadline;
+}
+
+double Neo::ServeAndMaybeLearn(const query::Query& query,
+                               const plan::PartialPlan& learned_plan, bool learn) {
+  if (!GuardsActive()) {
+    // Parity fast path: the exact pre-guardrail serve (see the guardrail
+    // notes in neo.h — guards off must stay bit-identical).
+    const double latency = engine_->ExecutePlan(query, learned_plan);
+    if (learn) experience_.AddCompletePlan(query, learned_plan, CostOf(query, latency));
+    return latency;
+  }
+
+  // The breaker engages only for fingerprints with a recorded expert
+  // fallback; otherwise there is nothing safe to serve instead.
+  const auto fb = fallback_plans_.find(query.fingerprint);
+  const bool has_fallback = fb != fallback_plans_.end();
+  const bool serve_learned = !has_fallback || breaker_.AllowLearned(query.fingerprint);
+  const plan::PartialPlan& plan = serve_learned ? learned_plan : fb->second;
+
+  // The watchdog covers learned AND fallback serves: a fallback execution
+  // can also hit an injected spike, and bounding both is what makes guarded
+  // workload latency <= baseline_factor x expert latency structural.
+  const engine::ExecutionResult result =
+      engine_->ExecutePlanGuarded(query, plan, EffectiveDeadline(query));
+  if (serve_learned) ++learned_serves_;
+  if (result.timed_out) ++timeouts_;
+  if (result.injected_failure) ++injected_failures_;
+
+  if (serve_learned && has_fallback) {
+    const bool regressed =
+        !result.status.ok() ||
+        result.latency_ms >
+            breaker_.options().regression_factor * Baseline(query.id);
+    breaker_.RecordLearnedOutcome(query.fingerprint, regressed);
+  }
+  if (learn) {
+    // The incurred (deadline-clipped) latency of the plan that actually ran
+    // is the honest observation — the same clipped-reward semantics as
+    // NeoConfig::latency_clip_ms, applied at execution time.
+    experience_.AddCompletePlan(query, plan, CostOf(query, result.latency_ms));
+  }
+  return result.latency_ms;
+}
+
+GuardStats Neo::guard_stats() const {
+  GuardStats s;
+  s.learned_serves = learned_serves_;
+  s.timeouts = timeouts_;
+  s.injected_failures = injected_failures_;
+  const CircuitBreaker::Stats& b = breaker_.stats();
+  s.fallback_serves = static_cast<int64_t>(b.fallback_serves);
+  s.breaker_trips = static_cast<int64_t>(b.trips);
+  s.breaker_reopens = static_cast<int64_t>(b.reopens);
+  s.breaker_recoveries = static_cast<int64_t>(b.recoveries);
+  s.breaker_probes = static_cast<int64_t>(b.probes);
+  s.health_rollbacks = health_.rollbacks();
+  return s;
 }
 
 double Neo::Baseline(int query_id) const {
@@ -44,6 +124,10 @@ void Neo::Bootstrap(const std::vector<const query::Query*>& queries,
     const plan::PartialPlan plan = expert->Optimize(*q);
     const double latency = engine_->ExecutePlan(*q, plan);
     SetBaseline(q->id, latency);
+    // Remember the expert plan: it is what the circuit breaker serves for
+    // this fingerprint while open (cheap — PartialPlan is a shared_ptr
+    // forest). insert_or_assign so a re-bootstrap refreshes it.
+    fallback_plans_.insert_or_assign(q->fingerprint, plan);
     experience_.AddCompletePlan(*q, plan, CostOf(*q, latency));
   }
 }
@@ -69,6 +153,19 @@ float Neo::Retrain() {
     }
   }
   total_nn_time_ms_ += watch.ElapsedMs();
+
+  // Fault-injection site: a corrupting optimizer step, keyed by retrain
+  // index. Deliberately independent of whether the health monitor is enabled
+  // — the unguarded arm must demonstrate the divergence the guarded arm
+  // recovers from.
+  const uint64_t retrain_index = static_cast<uint64_t>(retrains_run_++);
+  if (fault_injector_ != nullptr &&
+      fault_injector_->DrawWeightCorruption(retrain_index)) {
+    net_->DebugPoisonWeights(util::HashCombine(config_.seed, retrain_index));
+  }
+  // Post-retrain health screen: snapshot if healthy, roll back if not.
+  // No-op when config_.guards.health.enabled is false.
+  health_.Observe(net_.get(), last_loss);
   return last_loss;
 }
 
@@ -97,9 +194,7 @@ EpisodeStats Neo::RunEpisode(const std::vector<const query::Query*>& queries) {
       search_watch.Restart();
       const SearchResult found = search_.FindPlan(*q, config_.search);
       search_ms += search_watch.ElapsedMs();
-      const double latency = engine_->ExecutePlan(*q, found.plan);
-      stats.train_total_latency_ms += latency;
-      experience_.AddCompletePlan(*q, found.plan, CostOf(*q, latency));
+      stats.train_total_latency_ms += ServeAndMaybeLearn(*q, found.plan, /*learn=*/true);
     }
   } else {
     // Concurrent planning phase: the network is frozen between Retrain and
@@ -132,11 +227,12 @@ EpisodeStats Neo::RunEpisode(const std::vector<const query::Query*>& queries) {
           free_searches.push_back(searcher);
         });
     search_ms = search_watch.ElapsedMs();  // Wall time of the planning phase.
+    // Guarded or not, serving decisions happen here in the serial phase —
+    // the breaker state machine advances in shuffled query order, identical
+    // to the serial path, so guardrails never break thread-count invariance.
     for (size_t i = 0; i < order.size(); ++i) {
-      const query::Query& q = *order[i];
-      const double latency = engine_->ExecutePlan(q, found[i].plan);
-      stats.train_total_latency_ms += latency;
-      experience_.AddCompletePlan(q, found[i].plan, CostOf(q, latency));
+      stats.train_total_latency_ms +=
+          ServeAndMaybeLearn(*order[i], found[i].plan, /*learn=*/true);
     }
   }
   stats.search_time_ms = search_ms;
@@ -150,7 +246,7 @@ SearchResult Neo::Plan(const query::Query& query) {
 
 double Neo::PlanAndExecute(const query::Query& query) {
   const SearchResult found = search_.FindPlan(query, config_.search);
-  return engine_->ExecutePlan(query, found.plan);
+  return ServeAndMaybeLearn(query, found.plan, /*learn=*/false);
 }
 
 double Neo::EvaluateTotalLatency(const std::vector<const query::Query*>& queries) {
@@ -161,9 +257,7 @@ double Neo::EvaluateTotalLatency(const std::vector<const query::Query*>& queries
 
 double Neo::ExecuteAndLearn(const query::Query& query) {
   const SearchResult found = search_.FindPlan(query, config_.search);
-  const double latency = engine_->ExecutePlan(query, found.plan);
-  experience_.AddCompletePlan(query, found.plan, CostOf(query, latency));
-  return latency;
+  return ServeAndMaybeLearn(query, found.plan, /*learn=*/true);
 }
 
 }  // namespace neo::core

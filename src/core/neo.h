@@ -11,16 +11,84 @@
 //      training query search a plan, execute it, and add the observed
 //      latency back to experience (value iteration).
 //   3. Plan / PlanAndExecute       - inference on arbitrary queries.
+//
+// Guardrails (serving robustness; see also circuit_breaker.h, model_health.h,
+// util/fault_injector.h). A learned optimizer in the serving path needs a
+// bounded worst case, not just a good average — one bad retrain or one
+// mispredicted plan must not dominate workload latency. Three independent,
+// individually-toggleable layers provide that bound:
+//
+//   1. Execution watchdog (GuardrailConfig::watchdog): every guarded serve
+//      carries a deadline — an absolute ms budget and/or a multiple of the
+//      query's recorded expert baseline, whichever is tighter. An execution
+//      that exceeds it is reported as DEADLINE_EXCEEDED and incurs only the
+//      deadline latency; the clipped observation still feeds experience (the
+//      same semantics as NeoConfig::latency_clip_ms, applied at execution
+//      time). The deadline applies to learned AND fallback serves, so total
+//      guarded latency is structurally bounded by
+//      baseline_factor x (expert workload latency), whatever faults occur.
+//   2. Per-query circuit breaker (GuardrailConfig::breaker): after
+//      `trip_after` consecutive regressed learned serves of one fingerprint,
+//      the expert's bootstrap plan is served instead, with exponential-
+//      backoff half-open probes to re-admit the learned plan once it
+//      recovers. Deterministic state machine — see circuit_breaker.h.
+//   3. Model-health monitor (GuardrailConfig::health): after each Retrain,
+//      the network is screened for non-finite loss/weights and loss
+//      divergence; unhealthy retrains roll back to the last-good snapshot
+//      (weights + Adam moments), bumping the weight version so every
+//      score/activation cache invalidates — see model_health.h.
+//
+// Determinism: guards change only *which* plan executes and *how* its
+// latency is accounted, decided serially at execution time; the planning
+// phase always searches the learned plan (even when a breaker is open), so
+// episode results remain bit-identical at any thread count. With every
+// guard disabled (the default) the serve path is the exact pre-guardrail
+// code path — parity by construction.
 #pragma once
 
 #include <memory>
 
+#include "src/core/circuit_breaker.h"
 #include "src/core/experience.h"
 #include "src/core/search.h"
 #include "src/engine/execution_engine.h"
+#include "src/nn/model_health.h"
 #include "src/optim/optimizer.h"
+#include "src/util/fault_injector.h"
 
 namespace neo::core {
+
+/// Execution-watchdog deadlines (0 = that bound disabled).
+struct WatchdogOptions {
+  /// Absolute per-execution deadline in ms.
+  double deadline_ms = 0.0;
+  /// Deadline as a multiple of the query's recorded expert baseline; only
+  /// applies to queries with a baseline (Bootstrap records one per query).
+  /// When both bounds are set the tighter one wins.
+  double baseline_factor = 0.0;
+};
+
+/// The three guardrail layers. All disabled by default; see the file-level
+/// guardrail notes above.
+struct GuardrailConfig {
+  WatchdogOptions watchdog;
+  CircuitBreakerOptions breaker;
+  nn::ModelHealthOptions health;
+};
+
+/// Aggregate guardrail counters (local serve counters + breaker stats +
+/// health-monitor rollbacks), for tests and the micro_guard bench.
+struct GuardStats {
+  int64_t learned_serves = 0;     ///< Guarded serves that ran the learned plan.
+  int64_t fallback_serves = 0;    ///< Serves answered with the expert plan.
+  int64_t timeouts = 0;           ///< Serves cut off by the watchdog.
+  int64_t injected_failures = 0;  ///< Serves that died to an injected fault.
+  int64_t breaker_trips = 0;
+  int64_t breaker_reopens = 0;
+  int64_t breaker_recoveries = 0;
+  int64_t breaker_probes = 0;
+  int64_t health_rollbacks = 0;
+};
 
 struct NeoConfig {
   CostFunction cost_function = CostFunction::kLatency;
@@ -39,6 +107,9 @@ struct NeoConfig {
   /// no-demonstration experiment (§6.3.3): clipping destroys the reward
   /// signal beyond the timeout.
   double latency_clip_ms = 0.0;
+  /// Serving guardrails (watchdog / breaker / health). All off by default;
+  /// see the guardrail notes at the top of this file.
+  GuardrailConfig guards;
   nn::ValueNetConfig net;  ///< query_dim / plan_dim are filled from the featurizer.
   uint64_t seed = 17;
 };
@@ -97,8 +168,36 @@ class Neo {
   double total_nn_time_ms() const { return total_nn_time_ms_; }
   int episodes_run() const { return episodes_run_; }
 
+  /// Attaches a fault injector driving Retrain's weight-corruption site
+  /// (latency spikes / execution failures attach to the engine instead, via
+  /// ExecutionEngine::SetFaultInjector). nullptr detaches. Not owned; must
+  /// outlive this object or be detached first.
+  void SetFaultInjector(util::FaultInjector* injector) { fault_injector_ = injector; }
+
+  GuardStats guard_stats() const;
+  CircuitBreaker& breaker() { return breaker_; }
+  nn::ModelHealthMonitor& health() { return health_; }
+  /// True when any guardrail layer is enabled (the guarded serve path runs);
+  /// false = the exact pre-guardrail serve code path.
+  bool GuardsActive() const;
+
  private:
   double CostOf(const query::Query& query, double latency_ms) const;
+
+  /// The watchdog deadline for one serve of `query` (0 = none): the tighter
+  /// of the absolute deadline and baseline_factor x recorded baseline.
+  double EffectiveDeadline(const query::Query& query) const;
+
+  /// The single serve choke point: every execution of a searched plan
+  /// (RunEpisode, PlanAndExecute, ExecuteAndLearn) funnels through here.
+  /// Guards inactive: executes `learned_plan` exactly as the pre-guardrail
+  /// code did. Guards active: consults the breaker for the plan to serve
+  /// (learned vs the query's bootstrap fallback), executes it under the
+  /// watchdog deadline, reports the outcome back to the breaker, and — when
+  /// `learn` — feeds the (possibly deadline-clipped) observation of the plan
+  /// that actually ran into experience. Returns the incurred latency.
+  double ServeAndMaybeLearn(const query::Query& query,
+                            const plan::PartialPlan& learned_plan, bool learn);
 
   const featurize::Featurizer* featurizer_;
   engine::ExecutionEngine* engine_;
@@ -112,8 +211,20 @@ class Neo {
   std::vector<std::unique_ptr<PlanSearch>> episode_searches_;
   util::Rng rng_;
   std::unordered_map<int, double> baselines_;
+  /// Expert bootstrap plan per Query::fingerprint — what the breaker serves
+  /// while open. The breaker only engages for fingerprints present here.
+  std::unordered_map<uint64_t, plan::PartialPlan> fallback_plans_;
+  CircuitBreaker breaker_;
+  nn::ModelHealthMonitor health_;
+  util::FaultInjector* fault_injector_ = nullptr;  ///< Not owned; may be null.
   double total_nn_time_ms_ = 0.0;
   int episodes_run_ = 0;
+  int64_t retrains_run_ = 0;
+  // Local guard counters (breaker/health keep their own; composed by
+  // guard_stats()).
+  int64_t learned_serves_ = 0;
+  int64_t timeouts_ = 0;
+  int64_t injected_failures_ = 0;
 };
 
 }  // namespace neo::core

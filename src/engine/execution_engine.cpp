@@ -6,17 +6,50 @@ namespace neo::engine {
 
 double ExecutionEngine::ExecutePlan(const query::Query& query,
                                     const plan::PartialPlan& plan) {
+  return ExecutePlanGuarded(query, plan, /*deadline_ms=*/0.0).latency_ms;
+}
+
+ExecutionResult ExecutionEngine::ExecutePlanGuarded(const query::Query& query,
+                                                    const plan::PartialPlan& plan,
+                                                    double deadline_ms) {
+  ExecutionResult result;
   const uint64_t key = util::HashCombine(plan.Hash(), query.fingerprint);
   ++num_executions_;
-  auto it = latency_cache_.find(key);
-  if (it != latency_cache_.end()) {
-    simulated_execution_ms_ += it->second;
-    return it->second;
+
+  double base;
+  if (const double* hit = latency_cache_.Find(key)) {
+    base = *hit;
+    ++cache_hits_;
+  } else {
+    base = model_.Execute(query, plan).latency_ms;
+    ++cache_misses_;
+    if (latency_cache_.Insert(key, base)) ++cache_evictions_;
   }
-  const double ms = model_.Execute(query, plan).latency_ms;
-  latency_cache_.emplace(key, ms);
-  simulated_execution_ms_ += ms;
-  return ms;
+
+  double ms = base;
+  if (injector_ != nullptr && injector_->enabled()) {
+    ms = injector_->PerturbLatency(key, ms);
+    if (injector_->DrawExecutionFailure(key)) {
+      result.injected_failure = true;
+      ++num_injected_failures_;
+      result.status = util::Status::Aborted("injected execution failure");
+    }
+  }
+  result.model_latency_ms = ms;
+
+  if (deadline_ms > 0.0 && ms > deadline_ms) {
+    // Watchdog: the execution is killed at the deadline; only the deadline's
+    // worth of work was incurred, and the true latency is unobserved.
+    result.timed_out = true;
+    ++num_timeouts_;
+    result.latency_ms = deadline_ms;
+    result.status = util::Status::DeadlineExceeded("plan exceeded watchdog deadline");
+  } else {
+    result.latency_ms = ms;
+  }
+
+  simulated_execution_ms_ += result.latency_ms;
+  return result;
 }
 
 }  // namespace neo::engine

@@ -58,4 +58,21 @@ void Adam::ZeroGrad() {
   for (Param* p : params_) p->ZeroGrad();
 }
 
+void Adam::CaptureState(std::vector<Matrix>* m, std::vector<Matrix>* v,
+                        int64_t* steps) const {
+  m->assign(m_.begin(), m_.end());
+  v->assign(v_.begin(), v_.end());
+  *steps = t_;
+}
+
+void Adam::RestoreState(const std::vector<Matrix>& m, const std::vector<Matrix>& v,
+                        int64_t steps) {
+  NEO_CHECK(m.size() == m_.size() && v.size() == v_.size());
+  for (size_t k = 0; k < m_.size(); ++k) {
+    m_[k] = m[k];
+    v_[k] = v[k];
+  }
+  t_ = steps;
+}
+
 }  // namespace neo::nn

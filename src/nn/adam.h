@@ -27,6 +27,15 @@ class Adam {
 
   int64_t steps() const { return t_; }
 
+  /// Copies the optimizer state (first/second moments + step count) out /
+  /// back in. Used by the model-health snapshot ring: rolling weights back
+  /// without their moments would let diverged moments re-corrupt the next
+  /// step. Restore requires shapes captured from this same optimizer.
+  void CaptureState(std::vector<Matrix>* m, std::vector<Matrix>* v,
+                    int64_t* steps) const;
+  void RestoreState(const std::vector<Matrix>& m, const std::vector<Matrix>& v,
+                    int64_t steps);
+
  private:
   std::vector<Param*> params_;
   AdamOptions options_;

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 
 
@@ -57,34 +58,52 @@ ValueNetwork::ValueNetwork(const ValueNetConfig& config)
   adam_ = std::make_unique<Adam>(std::move(params), config.adam);
 }
 
-size_t ValueNetwork::NumParameters() const {
-  std::vector<Param*> params;
-  const_cast<ValueNetwork*>(this)->query_stack_.CollectParams(&params);
-  for (auto& conv : const_cast<ValueNetwork*>(this)->convs_) conv.CollectParams(&params);
-  const_cast<ValueNetwork*>(this)->head_.CollectParams(&params);
-  size_t total = 0;
-  for (const Param* p : params) total += p->value.Size();
-  return total;
-}
-
-namespace {
-constexpr uint32_t kWeightsMagic = 0x4e454f57;  // "NEOW"
-}  // namespace
-
-bool ValueNetwork::SaveWeights(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
+std::vector<Param*> ValueNetwork::AllParams() const {
   std::vector<Param*> params;
   auto* self = const_cast<ValueNetwork*>(this);
   self->query_stack_.CollectParams(&params);
   for (auto& conv : self->convs_) conv.CollectParams(&params);
   self->head_.CollectParams(&params);
+  return params;
+}
+
+size_t ValueNetwork::NumParameters() const {
+  size_t total = 0;
+  for (const Param* p : AllParams()) total += p->value.Size();
+  return total;
+}
+
+namespace {
+constexpr uint32_t kWeightsMagic = 0x4e454f57;  // "NEOW"
+constexpr uint32_t kWeightsFormatVersion = 2;   // v2: +format version, +checksum.
+
+/// FNV-1a 64 over a byte range, chainable via `h`.
+uint64_t Fnv1a(const void* data, size_t n, uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ULL;
+}  // namespace
+
+util::Status ValueNetwork::SaveWeights(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::Internal("cannot open for write: " + path);
+  }
+  const std::vector<Param*> params = AllParams();
 
   bool ok = true;
   const uint32_t magic = kWeightsMagic;
+  const uint32_t format = kWeightsFormatVersion;
   const uint32_t n_params = static_cast<uint32_t>(params.size());
   ok &= std::fwrite(&magic, sizeof(magic), 1, f) == 1;
+  ok &= std::fwrite(&format, sizeof(format), 1, f) == 1;
   ok &= std::fwrite(&n_params, sizeof(n_params), 1, f) == 1;
+  uint64_t checksum = Fnv1a(&n_params, sizeof(n_params), kFnvOffsetBasis);
   for (const Param* p : params) {
     const int32_t rows = p->value.rows();
     const int32_t cols = p->value.cols();
@@ -92,46 +111,128 @@ bool ValueNetwork::SaveWeights(const std::string& path) const {
     ok &= std::fwrite(&cols, sizeof(cols), 1, f) == 1;
     ok &= std::fwrite(p->value.data(), sizeof(float), p->value.Size(), f) ==
           p->value.Size();
+    checksum = Fnv1a(&rows, sizeof(rows), checksum);
+    checksum = Fnv1a(&cols, sizeof(cols), checksum);
+    checksum = Fnv1a(p->value.data(), sizeof(float) * p->value.Size(), checksum);
   }
-  std::fclose(f);
-  return ok;
+  ok &= std::fwrite(&checksum, sizeof(checksum), 1, f) == 1;
+  ok &= std::fclose(f) == 0;
+  if (!ok) return util::Status::Internal("short write: " + path);
+  return util::Status::Ok();
 }
 
-bool ValueNetwork::LoadWeights(const std::string& path) {
+util::Status ValueNetwork::LoadWeights(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return false;
-  std::vector<Param*> params;
-  query_stack_.CollectParams(&params);
-  for (auto& conv : convs_) conv.CollectParams(&params);
-  head_.CollectParams(&params);
+  if (f == nullptr) return util::Status::NotFound("no such checkpoint: " + path);
+  const std::vector<Param*> params = AllParams();
 
-  bool ok = true;
-  uint32_t magic = 0, n_params = 0;
-  ok &= std::fread(&magic, sizeof(magic), 1, f) == 1 && magic == kWeightsMagic;
-  ok &= std::fread(&n_params, sizeof(n_params), 1, f) == 1 &&
-        n_params == params.size();
+  // Bump-on-exit, even on failure: a truncated file may have partially
+  // overwritten parameters, and every weight-derived cache (score cache,
+  // inference weight splits) keys off version_ — stale serves would be
+  // silent. The head's packed weight copy is invalidated eagerly so the
+  // window between this load and the next SyncInferenceWeights cannot
+  // multiply stale packed values (the conv splits are lazy-refreshed behind
+  // the version check; the query stack never packs).
+  struct VersionBump {
+    ValueNetwork* net;
+    ~VersionBump() {
+      net->head_.InvalidateInferenceWeights();
+      ++net->version_;
+    }
+  } bump{this};
+
+  util::Status status = util::Status::Ok();
+  uint32_t magic = 0, format = 0, n_params = 0;
+  if (std::fread(&magic, sizeof(magic), 1, f) != 1 ||
+      std::fread(&format, sizeof(format), 1, f) != 1 ||
+      std::fread(&n_params, sizeof(n_params), 1, f) != 1 ||
+      magic != kWeightsMagic || format != kWeightsFormatVersion) {
+    status = util::Status::DataLoss("bad magic/format header: " + path);
+  } else if (n_params != params.size()) {
+    status = util::Status::FailedPrecondition("parameter count mismatch: " + path);
+  }
+  uint64_t checksum = Fnv1a(&n_params, sizeof(n_params), kFnvOffsetBasis);
   for (Param* p : params) {
-    if (!ok) break;
+    if (!status.ok()) break;
     int32_t rows = 0, cols = 0;
-    ok &= std::fread(&rows, sizeof(rows), 1, f) == 1;
-    ok &= std::fread(&cols, sizeof(cols), 1, f) == 1;
-    ok &= rows == p->value.rows() && cols == p->value.cols();
-    if (ok) {
-      ok &= std::fread(p->value.data(), sizeof(float), p->value.Size(), f) ==
-            p->value.Size();
+    if (std::fread(&rows, sizeof(rows), 1, f) != 1 ||
+        std::fread(&cols, sizeof(cols), 1, f) != 1) {
+      status = util::Status::DataLoss("truncated checkpoint: " + path);
+      break;
+    }
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      status = util::Status::FailedPrecondition("architecture mismatch: " + path);
+      break;
+    }
+    if (std::fread(p->value.data(), sizeof(float), p->value.Size(), f) !=
+        p->value.Size()) {
+      status = util::Status::DataLoss("truncated checkpoint: " + path);
+      break;
+    }
+    checksum = Fnv1a(&rows, sizeof(rows), checksum);
+    checksum = Fnv1a(&cols, sizeof(cols), checksum);
+    checksum = Fnv1a(p->value.data(), sizeof(float) * p->value.Size(), checksum);
+  }
+  if (status.ok()) {
+    uint64_t stored = 0;
+    if (std::fread(&stored, sizeof(stored), 1, f) != 1) {
+      status = util::Status::DataLoss("missing checksum: " + path);
+    } else if (stored != checksum) {
+      status = util::Status::DataLoss("checksum mismatch (corrupted checkpoint): " +
+                                      path);
     }
   }
   std::fclose(f);
-  // Bump even on failure: a truncated file may have partially overwritten
-  // parameters, and every weight-derived cache (score cache, inference
-  // weight splits) keys off version_ — stale serves would be silent. The
-  // head's packed weight copy is invalidated eagerly so the window between
-  // this load and the next SyncInferenceWeights cannot multiply stale packed
-  // values (the conv splits are lazy-refreshed behind the version check; the
-  // query stack never packs — see SyncInferenceWeights).
+  return status;
+}
+
+void ValueNetwork::CaptureSnapshot(WeightSnapshot* snap) const {
+  const std::vector<Param*> params = AllParams();
+  snap->params.assign(params.size(), Matrix());
+  for (size_t i = 0; i < params.size(); ++i) snap->params[i] = params[i]->value;
+  adam_->CaptureState(&snap->adam_m, &snap->adam_v, &snap->adam_steps);
+  snap->version = version_;
+}
+
+void ValueNetwork::RestoreSnapshot(const WeightSnapshot& snap) {
+  const std::vector<Param*> params = AllParams();
+  NEO_CHECK(snap.params.size() == params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    NEO_CHECK(snap.params[i].rows() == params[i]->value.rows() &&
+              snap.params[i].cols() == params[i]->value.cols());
+    params[i]->value = snap.params[i];
+    params[i]->ZeroGrad();
+  }
+  adam_->RestoreState(snap.adam_m, snap.adam_v, snap.adam_steps);
+  // Same discipline as LoadWeights: any weight mutation bumps the version so
+  // score/activation caches keyed on it invalidate, and the head's packed
+  // copy is dropped eagerly.
   head_.InvalidateInferenceWeights();
   ++version_;
-  return ok;
+}
+
+bool ValueNetwork::HasNonFiniteParams() const {
+  for (const Param* p : AllParams()) {
+    const float* data = p->value.data();
+    for (size_t i = 0; i < p->value.Size(); ++i) {
+      if (!std::isfinite(data[i])) return true;
+    }
+  }
+  return false;
+}
+
+void ValueNetwork::DebugPoisonWeights(uint64_t key) {
+  const std::vector<Param*> params = AllParams();
+  // Poison a few elements spread across parameter matrices, deterministically
+  // keyed: the same (key, architecture) always corrupts the same weights.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (int k = 0; k < 3; ++k) {
+    const uint64_t h = util::Mix64(util::HashCombine(key, static_cast<uint64_t>(k)));
+    Param* p = params[h % params.size()];
+    p->value.data()[util::Mix64(h) % p->value.Size()] = nan;
+  }
+  head_.InvalidateInferenceWeights();
+  ++version_;
 }
 
 PlanBatch PackPlanBatch(const std::vector<const PlanSample*>& samples) {

@@ -19,6 +19,7 @@
 
 #include "src/nn/adam.h"
 #include "src/nn/tree_conv.h"
+#include "src/util/status.h"
 
 namespace neo::nn {
 
@@ -174,15 +175,52 @@ class ValueNetwork {
   const ValueNetConfig& config() const { return config_; }
   size_t NumParameters() const;
 
-  /// Serializes all weights to a binary file (architecture dims + parameter
-  /// blobs). Returns false on I/O failure. A trained optimizer can thus be
-  /// shipped and reloaded without re-running the RL loop.
-  bool SaveWeights(const std::string& path) const;
+  /// Serializes all weights to a binary file: magic + format version +
+  /// parameter dims/blobs + a trailing FNV-1a checksum over the payload, so
+  /// a truncated or bit-flipped checkpoint is detected at load time instead
+  /// of silently loading garbage. A trained optimizer can thus be shipped
+  /// and reloaded without re-running the RL loop.
+  util::Status SaveWeights(const std::string& path) const;
 
   /// Loads weights saved by SaveWeights. The network must have been
-  /// constructed with the same architecture; returns false on mismatch or
-  /// I/O failure.
-  bool LoadWeights(const std::string& path);
+  /// constructed with the same architecture. Errors: kNotFound (no such
+  /// file), kDataLoss (bad magic / truncation / checksum mismatch),
+  /// kFailedPrecondition (architecture mismatch). The weight version is
+  /// bumped even on failure — a partial read may have overwritten
+  /// parameters, and every weight-derived cache keys off version().
+  util::Status LoadWeights(const std::string& path);
+
+  /// In-memory copy of every parameter plus the Adam moments — the unit the
+  /// model-health monitor's snapshot ring stores and rolls back to. Cheap
+  /// relative to training (one memcpy of ~NumParameters() floats x3).
+  struct WeightSnapshot {
+    std::vector<Matrix> params;
+    std::vector<Matrix> adam_m;
+    std::vector<Matrix> adam_v;
+    int64_t adam_steps = 0;
+    uint64_t version = 0;  ///< Weight version the snapshot was taken at.
+    bool empty() const { return params.empty(); }
+  };
+
+  void CaptureSnapshot(WeightSnapshot* snap) const;
+
+  /// Restores a snapshot captured from this network. Bumps version() and
+  /// invalidates the packed inference weights (same discipline as
+  /// LoadWeights), so every score/activation cache keyed on the net version
+  /// drops its entries instead of serving values from the rolled-back-over
+  /// weights.
+  void RestoreSnapshot(const WeightSnapshot& snap);
+
+  /// True if any parameter holds a NaN or Inf (a diverged or corrupted
+  /// optimizer step). Scans all weights; intended for per-retrain health
+  /// checks, not per-minibatch hot loops.
+  bool HasNonFiniteParams() const;
+
+  /// Deterministically poisons a few weight elements with NaN (keyed by
+  /// `key`), bumping version() like any other weight mutation. Fault-
+  /// injection hook for the guardrail harness — simulates a corrupting
+  /// optimizer step so the health monitor's detection/rollback is testable.
+  void DebugPoisonWeights(uint64_t key);
 
  private:
   struct ForwardState {
@@ -232,6 +270,11 @@ class ValueNetwork {
   /// Records `live_bytes` (+ the layers' own caches) into the peak-scratch
   /// high-water mark, then releases every layer's training scratch.
   void NoteScratchPeakAndRelease(size_t live_bytes);
+
+  /// All trainable parameters in CollectParams order (query stack, conv
+  /// stack, head) — the canonical ordering shared by Save/LoadWeights, the
+  /// Adam constructor, and the snapshot ring.
+  std::vector<Param*> AllParams() const;
 
   ValueNetConfig config_;
   util::Rng rng_;

@@ -1,0 +1,58 @@
+#include "src/util/fault_injector.h"
+
+#include <cstdlib>
+
+namespace neo::util {
+
+namespace {
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
+}  // namespace
+
+FaultInjectorConfig FaultInjectorConfig::FromEnv() {
+  FaultInjectorConfig cfg;
+  const char* inject = std::getenv("NEO_FAULT_INJECT");
+  cfg.enabled = inject != nullptr && inject[0] != '\0' && inject[0] != '0';
+  cfg.seed = static_cast<uint64_t>(EnvDouble("NEO_FAULT_SEED", 42));
+  cfg.latency_spike_p = EnvDouble("NEO_FAULT_SPIKE_P", 0.25);
+  cfg.latency_spike_factor = EnvDouble("NEO_FAULT_SPIKE_FACTOR", 40.0);
+  cfg.exec_failure_p = EnvDouble("NEO_FAULT_FAIL_P", 0.05);
+  cfg.weight_corruption_p = EnvDouble("NEO_FAULT_CORRUPT_P", 0.25);
+  return cfg;
+}
+
+bool FaultInjector::Draw(Site site, uint64_t key, double p) {
+  if (!config_.enabled || p <= 0.0) return false;
+  const uint64_t site_key = HashCombine(static_cast<uint64_t>(site), key);
+  const uint32_t occurrence = occurrence_[site_key]++;
+  const uint64_t h =
+      Mix64(HashCombine(HashCombine(config_.seed, site_key), occurrence));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+double FaultInjector::PerturbLatency(uint64_t plan_key, double latency_ms) {
+  if (!Draw(Site::kLatencySpike, plan_key, config_.latency_spike_p)) {
+    return latency_ms;
+  }
+  ++spikes_;
+  return latency_ms * config_.latency_spike_factor;
+}
+
+bool FaultInjector::DrawExecutionFailure(uint64_t plan_key) {
+  if (!Draw(Site::kExecFailure, plan_key, config_.exec_failure_p)) return false;
+  ++failures_;
+  return true;
+}
+
+bool FaultInjector::DrawWeightCorruption(uint64_t step_key) {
+  if (!Draw(Site::kWeightCorruption, step_key, config_.weight_corruption_p)) {
+    return false;
+  }
+  ++corruptions_;
+  return true;
+}
+
+}  // namespace neo::util

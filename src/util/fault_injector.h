@@ -1,0 +1,91 @@
+// Deterministic fault injection for the guardrail subsystem (watchdog,
+// circuit breaker, model-health rollback). The injector simulates the
+// production failure modes a learned optimizer must survive — runaway plan
+// executions (latency spikes), executions that die mid-flight, and training
+// steps that corrupt the value network — without any real nondeterminism:
+// every draw is a pure function of (seed, fault site, caller key, per-key
+// occurrence index), so a run with a fixed seed replays the exact same fault
+// schedule regardless of wall-clock, machine, or build. That makes guardrail
+// behavior unit-testable and lets CI run the whole suite under injection at
+// fixed seeds.
+//
+// Wiring: `ExecutionEngine::SetFaultInjector` arms latency spikes and
+// execution failures; `Neo::SetFaultInjector` arms per-retrain weight
+// corruption. Nothing injects by default — an injector must be constructed
+// (explicitly, or from the NEO_FAULT_* environment via `FromEnv`) and
+// attached. Not thread-safe: callers inject only from serial phases (engine
+// execution and retraining are serial even in parallel episodes).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/util/rng.h"
+
+namespace neo::util {
+
+struct FaultInjectorConfig {
+  bool enabled = false;
+  uint64_t seed = 42;
+  /// Per-execution probability that the plan's latency is multiplied by
+  /// `latency_spike_factor` (a runaway execution / interference spike).
+  double latency_spike_p = 0.0;
+  double latency_spike_factor = 1.0;
+  /// Per-execution probability that the execution aborts mid-flight.
+  double exec_failure_p = 0.0;
+  /// Per-retrain probability that the optimizer step corrupts weights.
+  double weight_corruption_p = 0.0;
+
+  /// Parses the NEO_FAULT_* environment: NEO_FAULT_INJECT (enable, "0" off),
+  /// NEO_FAULT_SEED, NEO_FAULT_SPIKE_P, NEO_FAULT_SPIKE_FACTOR,
+  /// NEO_FAULT_FAIL_P, NEO_FAULT_CORRUPT_P. Unset numeric vars keep the
+  /// defaults below (a moderate all-faults mix), so CI arms can toggle the
+  /// whole harness with NEO_FAULT_INJECT=1 NEO_FAULT_SEED=<k> alone.
+  static FaultInjectorConfig FromEnv();
+};
+
+class FaultInjector {
+ public:
+  /// Fault sites; part of every draw's hash key so the three fault streams
+  /// are independent of each other.
+  enum class Site : uint64_t {
+    kLatencySpike = 0x11,
+    kExecFailure = 0x22,
+    kWeightCorruption = 0x33,
+  };
+
+  FaultInjector() = default;
+  explicit FaultInjector(FaultInjectorConfig config) : config_(config) {}
+
+  bool enabled() const { return config_.enabled; }
+  const FaultInjectorConfig& config() const { return config_; }
+
+  /// Returns the (possibly spiked) latency for one execution of the plan
+  /// identified by `plan_key`. Repeat executions of the same key draw
+  /// independently (occurrence-indexed), so spikes are transient.
+  double PerturbLatency(uint64_t plan_key, double latency_ms);
+
+  /// True if this execution of `plan_key` should abort.
+  bool DrawExecutionFailure(uint64_t plan_key);
+
+  /// True if the retrain identified by `step_key` should corrupt weights.
+  bool DrawWeightCorruption(uint64_t step_key);
+
+  size_t latency_spikes() const { return spikes_; }
+  size_t execution_failures() const { return failures_; }
+  size_t weight_corruptions() const { return corruptions_; }
+
+ private:
+  /// One deterministic Bernoulli draw: hash(seed, site, key, occurrence).
+  bool Draw(Site site, uint64_t key, double p);
+
+  FaultInjectorConfig config_;
+  /// Per-(site, key) occurrence counters; draws depend on per-key call
+  /// sequence only, never on interleaving across keys.
+  std::unordered_map<uint64_t, uint32_t> occurrence_;
+  size_t spikes_ = 0;
+  size_t failures_ = 0;
+  size_t corruptions_ = 0;
+};
+
+}  // namespace neo::util

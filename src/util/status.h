@@ -12,7 +12,16 @@ namespace neo::util {
 /// Result of a fallible operation. Cheap to copy when OK.
 class Status {
  public:
-  enum class Code { kOk = 0, kInvalidArgument, kNotFound, kFailedPrecondition, kInternal };
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kFailedPrecondition,
+    kInternal,
+    kDeadlineExceeded,  ///< Execution watchdog cut the operation off.
+    kAborted,           ///< Execution died mid-flight (e.g. injected failure).
+    kDataLoss,          ///< Persistent data is truncated or corrupted.
+  };
 
   Status() : code_(Code::kOk) {}
 
@@ -25,6 +34,11 @@ class Status {
     return Status(Code::kFailedPrecondition, std::move(msg));
   }
   static Status Internal(std::string msg) { return Status(Code::kInternal, std::move(msg)); }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Aborted(std::string msg) { return Status(Code::kAborted, std::move(msg)); }
+  static Status DataLoss(std::string msg) { return Status(Code::kDataLoss, std::move(msg)); }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -39,6 +53,9 @@ class Status {
       case Code::kNotFound: name = "NOT_FOUND"; break;
       case Code::kFailedPrecondition: name = "FAILED_PRECONDITION"; break;
       case Code::kInternal: name = "INTERNAL"; break;
+      case Code::kDeadlineExceeded: name = "DEADLINE_EXCEEDED"; break;
+      case Code::kAborted: name = "ABORTED"; break;
+      case Code::kDataLoss: name = "DATA_LOSS"; break;
     }
     return std::string(name) + ": " + message_;
   }

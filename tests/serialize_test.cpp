@@ -1,5 +1,6 @@
 // Tests for value-network weight persistence and EXPLAIN plan rendering.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 
@@ -47,14 +48,14 @@ TEST(SerializeTest, RoundTripPreservesPredictions) {
   for (int i = 0; i < 20; ++i) net.TrainBatch({&s}, {0.7f});
 
   const std::string path = ::testing::TempDir() + "/neo_weights.bin";
-  ASSERT_TRUE(net.SaveWeights(path));
+  ASSERT_TRUE(net.SaveWeights(path).ok());
 
   // Fresh network with different init seed: predictions differ before load,
   // match exactly after.
   nn::ValueNetwork other(SmallConfig(99));
   const float before = other.Predict(s);
   const uint64_t version_before = other.version();
-  ASSERT_TRUE(other.LoadWeights(path));
+  ASSERT_TRUE(other.LoadWeights(path).ok());
   EXPECT_GT(other.version(), version_before);
   const float after = other.Predict(s);
   EXPECT_NE(before, net.Predict(s));
@@ -65,18 +66,87 @@ TEST(SerializeTest, RoundTripPreservesPredictions) {
 TEST(SerializeTest, LoadRejectsArchitectureMismatch) {
   nn::ValueNetwork net(SmallConfig(5));
   const std::string path = ::testing::TempDir() + "/neo_weights2.bin";
-  ASSERT_TRUE(net.SaveWeights(path));
+  ASSERT_TRUE(net.SaveWeights(path).ok());
 
   nn::ValueNetConfig wide = SmallConfig(5);
   wide.tree_channels = {16, 8};  // Different width.
   nn::ValueNetwork other(wide);
-  EXPECT_FALSE(other.LoadWeights(path));
+  const util::Status status = other.LoadWeights(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::Status::Code::kFailedPrecondition);
   std::remove(path.c_str());
 }
 
 TEST(SerializeTest, LoadRejectsMissingFile) {
   nn::ValueNetwork net(SmallConfig(5));
-  EXPECT_FALSE(net.LoadWeights("/nonexistent/path/weights.bin"));
+  const util::Status status = net.LoadWeights("/nonexistent/path/weights.bin");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::Status::Code::kNotFound);
+}
+
+TEST(SerializeTest, LoadDetectsTruncation) {
+  nn::ValueNetwork net(SmallConfig(5));
+  const std::string path = ::testing::TempDir() + "/neo_weights_trunc.bin";
+  ASSERT_TRUE(net.SaveWeights(path).ok());
+
+  // Chop the checkpoint short (drop the checksum plus some payload).
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_GT(size, 64);
+  ASSERT_EQ(truncate(path.c_str(), size - 32), 0);
+
+  nn::ValueNetwork other(SmallConfig(5));
+  const uint64_t version_before = other.version();
+  const util::Status status = other.LoadWeights(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::Status::Code::kDataLoss);
+  // A partial read may have overwritten parameters: the version must bump
+  // even on failure so weight-derived caches invalidate.
+  EXPECT_GT(other.version(), version_before);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadDetectsBitFlip) {
+  nn::ValueNetwork net(SmallConfig(5));
+  const std::string path = ::testing::TempDir() + "/neo_weights_flip.bin";
+  ASSERT_TRUE(net.SaveWeights(path).ok());
+
+  // Flip one bit in the middle of the payload; the trailing FNV-1a checksum
+  // must catch it.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  std::fseek(f, size / 2, SEEK_SET);
+  std::fputc(byte ^ 0x10, f);
+  std::fclose(f);
+
+  nn::ValueNetwork other(SmallConfig(5));
+  const util::Status status = other.LoadWeights(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::Status::Code::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadRejectsBadMagic) {
+  const std::string path = ::testing::TempDir() + "/neo_weights_magic.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[] = "not a neo checkpoint, definitely";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+
+  nn::ValueNetwork net(SmallConfig(5));
+  const util::Status status = net.LoadWeights(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::Status::Code::kDataLoss);
+  std::remove(path.c_str());
 }
 
 TEST(ExplainTest, RendersTreeWithCardinalities) {
