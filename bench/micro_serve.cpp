@@ -1,0 +1,414 @@
+// Serving-core micro-benchmarks + the BENCH_serve.json concurrency report.
+//
+// The JSON measurement drives a ServingCore over a JOB subset with closed-loop
+// clients and reports, per arm (clients x coalescing):
+//   qps, p50/p95/p99 request latency (from the serving histograms), and the
+//   coalescer / shared-cache counters — so the scaling curve and the batch-
+//   merge rate are both visible. Two acceptance probes ride along:
+//   single_client_bit_identical - a one-worker serving loop replays the exact
+//               latencies of the inline plan+execute+learn loop on a twin Neo
+//               (the RCU snapshot, shared caches, and coalescer must all be
+//               bit-transparent), and
+//   retrain_overlap - background RetrainAndPublish cycles run while a client
+//               hammers the core; serving must keep completing during them.
+// qps scaling is reported honestly against hardware_threads: on a single-
+// hardware-thread host the multi-client curve is flat by construction, and
+// qps_scaling_ok accounts for that instead of faking a speedup.
+//
+// The google-benchmark suite runs after the JSON measurement; pass
+// --benchmark_filter etc. as usual.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/neo.h"
+#include "src/datagen/imdb_gen.h"
+#include "src/query/job_workload.h"
+#include "src/serve/serving_core.h"
+#include "src/util/stopwatch.h"
+
+namespace {
+
+using namespace neo;
+
+struct Fixture {
+  datagen::Dataset ds;
+  query::Workload wl{"none"};
+  std::unique_ptr<featurize::Featurizer> feat;
+  std::vector<const query::Query*> train;
+
+  Fixture() {
+    datagen::GenOptions opt;
+    opt.scale = 0.05;
+    ds = datagen::GenerateImdb(opt);
+    wl = query::MakeJobWorkload(ds.schema, *ds.db);
+    feat = std::make_unique<featurize::Featurizer>(ds.schema, *ds.db,
+                                                   featurize::FeaturizerConfig{});
+    for (size_t i = 0; i < wl.size(); i += 7) train.push_back(&wl.query(i));
+  }
+  static core::NeoConfig Config() {
+    core::NeoConfig cfg;
+    cfg.net.query_fc = {64, 32};
+    cfg.net.tree_channels = {32, 16};
+    cfg.net.head_fc = {16};
+    cfg.search.max_expansions = 40;
+    return cfg;
+  }
+  static Fixture& Get() {
+    static Fixture f;
+    return f;
+  }
+};
+
+/// A bootstrapped Neo + its engine, ready to put behind a ServingCore.
+struct Rig {
+  std::unique_ptr<engine::ExecutionEngine> engine;
+  std::unique_ptr<core::Neo> neo;
+};
+
+Rig MakeRig(const core::NeoConfig& cfg) {
+  Fixture& f = Fixture::Get();
+  Rig r;
+  r.engine = std::make_unique<engine::ExecutionEngine>(f.ds.schema, *f.ds.db,
+                                                       engine::EngineKind::kPostgres);
+  r.neo = std::make_unique<core::Neo>(f.feat.get(), r.engine.get(), cfg);
+  auto expert = optim::MakeNativeOptimizer(engine::EngineKind::kPostgres, f.ds.schema,
+                                           *f.ds.db);
+  r.neo->Bootstrap(f.train, expert.optimizer.get());
+  return r;
+}
+
+// ---- google-benchmark micro measurements ----------------------------------
+
+void BM_HistogramRecord(benchmark::State& state) {
+  util::LatencyHistogram h;
+  double v = 0.001;
+  for (auto _ : state) {
+    h.Record(v);
+    v = v * 1.1;
+    if (v > 1e4) v = 0.001;
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_ShardedLruLookup(benchmark::State& state) {
+  util::ShardedLruMap<uint64_t, float> map(1 << 16, /*shards=*/16);
+  for (uint64_t k = 0; k < 4096; ++k) map.Insert(k, static_cast<float>(k));
+  uint64_t k = 0;
+  float out = 0.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Lookup(k & 4095, &out));
+    ++k;
+  }
+}
+BENCHMARK(BM_ShardedLruLookup);
+
+/// Hot single-worker serve (cached search + memoized execution): the serving
+/// stack's per-request overhead over the inline loop of micro_guard.
+void BM_ServeSyncHot(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  Rig rig = MakeRig(Fixture::Config());
+  serve::ServingOptions sopt;
+  sopt.workers = 1;
+  sopt.search = Fixture::Config().search;
+  serve::ServingCore core(rig.neo.get(), sopt);
+  for (const query::Query* q : f.train) core.ServeSync(*q, /*learn=*/false);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core.ServeSync(*f.train[i % f.train.size()], /*learn=*/false));
+    ++i;
+  }
+}
+BENCHMARK(BM_ServeSyncHot);
+
+// ---- BENCH_serve.json ------------------------------------------------------
+
+struct ArmResult {
+  int clients = 0;
+  bool coalesced = false;
+  int workers = 0;
+  uint64_t requests = 0;
+  double qps = 0.0;  ///< Median over reps of the measured serving phase.
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  serve::BatchCoalescer::Stats coalescer;
+  util::ShardedLruStats score_cache;
+  util::ShardedLruStats activation_cache;
+};
+
+/// One serving arm: `clients` closed-loop threads issue `requests` total
+/// requests per rep against a fresh core; qps is the median rep.
+ArmResult RunArm(int clients, bool coalesced, int requests, int reps) {
+  Fixture& f = Fixture::Get();
+  const core::NeoConfig cfg = Fixture::Config();
+  Rig rig = MakeRig(cfg);
+  rig.neo->Retrain();  // Score on trained-ish weights, as serving would.
+
+  serve::ServingOptions sopt;
+  sopt.workers = std::min(clients, 8);
+  sopt.coalesce = coalesced;
+  sopt.search = cfg.search;
+  serve::ServingCore core(rig.neo.get(), sopt);
+  core.PublishWeights();
+  // Warm pass: engine memo + shared caches, so arms compare steady state.
+  for (const query::Query* q : f.train) core.ServeSync(*q, /*learn=*/false);
+
+  std::vector<double> rep_qps;
+  for (int rep = 0; rep < reps; ++rep) {
+    util::Stopwatch watch;
+    std::vector<std::thread> threads;
+    const int per_client = std::max(1, requests / clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int i = 0; i < per_client; ++i) {
+          const size_t qi = (static_cast<size_t>(c) * 31 + static_cast<size_t>(i)) %
+                            f.train.size();
+          core.ServeSync(*f.train[qi], /*learn=*/false);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double secs = watch.ElapsedSeconds();
+    rep_qps.push_back(static_cast<double>(per_client) * clients / secs);
+  }
+  std::sort(rep_qps.begin(), rep_qps.end());
+
+  const serve::ServingStats stats = core.stats();
+  ArmResult r;
+  r.clients = clients;
+  r.coalesced = coalesced;
+  r.workers = sopt.workers;
+  r.requests = stats.requests;
+  r.qps = rep_qps[rep_qps.size() / 2];
+  r.p50_ms = stats.total_latency.Percentile(50);
+  r.p95_ms = stats.total_latency.Percentile(95);
+  r.p99_ms = stats.total_latency.Percentile(99);
+  r.coalescer = stats.coalescer;
+  r.score_cache = stats.score_cache;
+  r.activation_cache = stats.activation_cache;
+  return r;
+}
+
+/// Acceptance probe: a one-worker serving loop must replay the inline
+/// guarded plan+execute+learn loop bit-for-bit on a twin Neo.
+bool SingleClientBitIdentical() {
+  Fixture& f = Fixture::Get();
+  core::NeoConfig cfg = Fixture::Config();
+  cfg.guards.watchdog.baseline_factor = 4.0;
+  cfg.guards.breaker.enabled = true;
+  cfg.guards.health.enabled = true;
+
+  Rig inline_rig = MakeRig(cfg);
+  std::vector<double> inline_lat;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const query::Query* q : f.train) {
+      inline_lat.push_back(inline_rig.neo->ExecuteAndLearn(*q));
+    }
+  }
+
+  Rig served_rig = MakeRig(cfg);
+  std::vector<double> served_lat;
+  {
+    serve::ServingOptions sopt;
+    sopt.workers = 1;
+    sopt.search = cfg.search;
+    serve::ServingCore core(served_rig.neo.get(), sopt);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const query::Query* q : f.train) {
+        served_lat.push_back(core.ServeSync(*q, /*learn=*/true).latency_ms);
+      }
+    }
+  }
+  return inline_lat == served_lat;
+}
+
+struct RetrainOverlap {
+  int retrains = 0;
+  uint64_t serves_during_retrain = 0;
+  uint64_t final_generation = 0;
+  double qps = 0.0;
+};
+
+/// Clients hammer the core while the main thread runs retrain+publish
+/// cycles; counts how many serves complete inside the retrain window.
+RetrainOverlap MeasureRetrainOverlap() {
+  Fixture& f = Fixture::Get();
+  const core::NeoConfig cfg = Fixture::Config();
+  Rig rig = MakeRig(cfg);
+  serve::ServingOptions sopt;
+  sopt.workers = 2;
+  sopt.search = cfg.search;
+  serve::ServingCore core(rig.neo.get(), sopt);
+  for (const query::Query* q : f.train) core.ServeSync(*q, /*learn=*/false);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> served{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      size_t i = static_cast<size_t>(c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        core.ServeSync(*f.train[i % f.train.size()], /*learn=*/true);
+        served.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+    });
+  }
+
+  RetrainOverlap r;
+  r.retrains = 2;
+  util::Stopwatch watch;
+  const uint64_t before = served.load();
+  for (int i = 0; i < r.retrains; ++i) core.RetrainAndPublish();
+  r.serves_during_retrain = served.load() - before;
+  const double retrain_secs = watch.ElapsedSeconds();
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  core.Drain();
+  r.final_generation = core.stats().generation;
+  r.qps = retrain_secs > 0 ? static_cast<double>(r.serves_during_retrain) / retrain_secs
+                           : 0.0;
+  return r;
+}
+
+void AppendArmJson(std::FILE* out, const ArmResult& r, bool last) {
+  std::fprintf(out,
+               "    {\"clients\": %d, \"coalesced\": %s, \"workers\": %d,"
+               " \"requests\": %llu, \"qps\": %.2f,"
+               " \"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f,"
+               " \"merged_groups\": %llu, \"merged_requests\": %llu,"
+               " \"direct_calls\": %llu,"
+               " \"score_cache_hits\": %llu, \"score_cache_misses\": %llu,"
+               " \"activation_cache_hits\": %llu}%s\n",
+               r.clients, r.coalesced ? "true" : "false", r.workers,
+               static_cast<unsigned long long>(r.requests), r.qps, r.p50_ms,
+               r.p95_ms, r.p99_ms,
+               static_cast<unsigned long long>(r.coalescer.merged_groups),
+               static_cast<unsigned long long>(r.coalescer.merged_requests),
+               static_cast<unsigned long long>(r.coalescer.direct_calls),
+               static_cast<unsigned long long>(r.score_cache.hits),
+               static_cast<unsigned long long>(r.score_cache.misses),
+               static_cast<unsigned long long>(r.activation_cache.hits),
+               last ? "" : ",");
+}
+
+void WriteServeJson(const std::string& path, int reps) {
+  if (nn::UseReferenceKernels()) {
+    std::fprintf(stderr,
+                 "micro_serve: reference kernels active; serving requires fast"
+                 " kernels, skipping %s\n",
+                 path.c_str());
+    return;
+  }
+  Fixture& f = Fixture::Get();
+  constexpr int kRequestsPerArm = 256;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  std::vector<ArmResult> arms;
+  for (const int clients : {1, 2, 4, 8, 16, 32, 64}) {
+    arms.push_back(RunArm(clients, /*coalesced=*/true, kRequestsPerArm, reps));
+  }
+  for (const int clients : {1, 8, 32}) {
+    arms.push_back(RunArm(clients, /*coalesced=*/false, kRequestsPerArm, reps));
+  }
+
+  double qps_1 = 0.0, qps_multi_best = 0.0;
+  double qps_coal8 = 0.0, qps_uncoal8 = 0.0;
+  for (const ArmResult& a : arms) {
+    if (a.coalesced && a.clients == 1) qps_1 = a.qps;
+    if (a.coalesced && a.clients > 1) qps_multi_best = std::max(qps_multi_best, a.qps);
+    if (a.clients == 8) (a.coalesced ? qps_coal8 : qps_uncoal8) = a.qps;
+  }
+  // On a multi-core host concurrent clients must not lose throughput vs one
+  // client (10% noise floor); a single hardware thread cannot scale and is
+  // reported as such rather than failed.
+  const bool qps_scaling_ok = hw <= 1 || qps_multi_best >= qps_1 * 0.9;
+  const double coalesce_speedup =
+      qps_uncoal8 > 0.0 ? qps_coal8 / qps_uncoal8 : 0.0;
+
+  const bool bit_identical = SingleClientBitIdentical();
+  const RetrainOverlap overlap = MeasureRetrainOverlap();
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "micro_serve: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"micro_serve\",\n"
+               "  \"kernel_arch\": \"%s\",\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"queries\": %zu,\n"
+               "  \"requests_per_arm\": %d,\n"
+               "  \"reps\": %d,\n"
+               "  \"arms\": [\n",
+               nn::KernelArchString(), hw, f.train.size(), kRequestsPerArm, reps);
+  for (size_t i = 0; i < arms.size(); ++i) {
+    AppendArmJson(out, arms[i], i + 1 == arms.size());
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"single_client_bit_identical\": %s,\n"
+               "  \"qps_scaling_ok\": %s,\n"
+               "  \"coalesce_speedup_8clients\": %.3f,\n"
+               "  \"retrain_overlap\": {\"retrains\": %d,"
+               " \"serves_during_retrain\": %llu, \"final_generation\": %llu,"
+               " \"qps\": %.2f}\n"
+               "}\n",
+               bit_identical ? "true" : "false", qps_scaling_ok ? "true" : "false",
+               coalesce_speedup, overlap.retrains,
+               static_cast<unsigned long long>(overlap.serves_during_retrain),
+               static_cast<unsigned long long>(overlap.final_generation),
+               overlap.qps);
+  std::fclose(out);
+
+  std::printf(
+      "serving: 1-client %.0f qps; best multi-client %.0f qps (%u hw threads,"
+      " scaling ok: %s); coalesce speedup @8 clients %.2fx;"
+      " single-client bit-identical: %s; %llu serves overlapped %d retrains"
+      " (generation %llu) -> %s\n",
+      qps_1, qps_multi_best, hw, qps_scaling_ok ? "yes" : "NO", coalesce_speedup,
+      bit_identical ? "yes" : "NO",
+      static_cast<unsigned long long>(overlap.serves_during_retrain),
+      overlap.retrains, static_cast<unsigned long long>(overlap.final_generation),
+      path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_serve.json";
+  bool filtered = false;
+  bool json_requested = false;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json-out=", 0) == 0) {
+      json_requested = true;
+      json_path = arg.substr(std::string("--json-out=").size());
+    } else if (arg == "--json-out") {
+      json_requested = true;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        json_path = argv[++i];
+      }
+    } else if (arg.rfind("--json-reps=", 0) == 0) {
+      reps = std::atoi(arg.substr(std::string("--json-reps=").size()).c_str());
+      if (reps < 1) reps = 1;
+    }
+    if (arg.rfind("--benchmark_filter", 0) == 0) filtered = true;
+  }
+  if (!filtered || json_requested) WriteServeJson(json_path, reps);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -46,13 +46,22 @@ double Neo::EffectiveDeadline(const query::Query& query) const {
   return deadline;
 }
 
+double Neo::Serve(const query::Query& query, const plan::PartialPlan& learned_plan,
+                  bool learn) {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  return ServeAndMaybeLearn(query, learned_plan, learn);
+}
+
 double Neo::ServeAndMaybeLearn(const query::Query& query,
                                const plan::PartialPlan& learned_plan, bool learn) {
   if (!GuardsActive()) {
     // Parity fast path: the exact pre-guardrail serve (see the guardrail
     // notes in neo.h — guards off must stay bit-identical).
     const double latency = engine_->ExecutePlan(query, learned_plan);
-    if (learn) experience_.AddCompletePlan(query, learned_plan, CostOf(query, latency));
+    if (learn) {
+      std::lock_guard<std::mutex> lock(experience_mu_);
+      experience_.AddCompletePlan(query, learned_plan, CostOf(query, latency));
+    }
     return latency;
   }
 
@@ -83,12 +92,14 @@ double Neo::ServeAndMaybeLearn(const query::Query& query,
     // The incurred (deadline-clipped) latency of the plan that actually ran
     // is the honest observation — the same clipped-reward semantics as
     // NeoConfig::latency_clip_ms, applied at execution time.
+    std::lock_guard<std::mutex> lock(experience_mu_);
     experience_.AddCompletePlan(query, plan, CostOf(query, result.latency_ms));
   }
   return result.latency_ms;
 }
 
 GuardStats Neo::guard_stats() const {
+  std::lock_guard<std::mutex> lock(serve_mu_);
   GuardStats s;
   s.learned_serves = learned_serves_;
   s.timeouts = timeouts_;
@@ -128,6 +139,7 @@ void Neo::Bootstrap(const std::vector<const query::Query*>& queries,
     // this fingerprint while open (cheap — PartialPlan is a shared_ptr
     // forest). insert_or_assign so a re-bootstrap refreshes it.
     fallback_plans_.insert_or_assign(q->fingerprint, plan);
+    std::lock_guard<std::mutex> lock(experience_mu_);
     experience_.AddCompletePlan(*q, plan, CostOf(*q, latency));
   }
 }
@@ -139,8 +151,14 @@ float Neo::Retrain() {
   nn::ComputeThreadsScope compute_scope(config_.threads);
   float last_loss = 0.0f;
   for (int epoch = 0; epoch < config_.epochs_per_episode; ++epoch) {
-    Experience::TrainingBatchView view =
-        experience_.Sample(config_.max_train_samples, rng_);
+    // Sampling synchronizes with concurrent serves' experience inserts; the
+    // sampled pointers stay valid outside the lock (node-based store,
+    // samples immutable after insert), so training itself runs unlocked and
+    // never stalls the serving path.
+    Experience::TrainingBatchView view = [&] {
+      std::lock_guard<std::mutex> lock(experience_mu_);
+      return experience_.Sample(config_.max_train_samples, rng_);
+    }();
     if (view.samples.empty()) break;
     // Minibatches slice the sampled view by offset — no per-batch vector
     // copies, and the final under-sized batch trains in place like any other.

@@ -47,6 +47,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "src/core/circuit_breaker.h"
 #include "src/core/experience.h"
@@ -154,6 +155,18 @@ class Neo {
   /// by RunEpisode; exposed for Fig. 13/14 style offline training).
   float Retrain();
 
+  /// Thread-safe serve entry point for the serving core: executes
+  /// `learned_plan` through the guarded choke point (ServeAndMaybeLearn)
+  /// under an internal serve mutex, so N request workers may call this
+  /// concurrently — with each other AND with a background Retrain. The
+  /// breaker/watchdog state machines, guard counters, and engine accounting
+  /// all advance atomically per serve; experience inserts additionally
+  /// synchronize with Retrain's sampling via a second internal mutex.
+  /// A single caller sees exactly ServeAndMaybeLearn's semantics (guards off
+  /// = the pre-guardrail execute path, bit-identical).
+  double Serve(const query::Query& query, const plan::PartialPlan& learned_plan,
+               bool learn);
+
   void SetBaseline(int query_id, double latency_ms) {
     baselines_[query_id] = latency_ms;
   }
@@ -163,6 +176,7 @@ class Neo {
   nn::ValueNetwork& net() { return *net_; }
   PlanSearch& search() { return search_; }
   engine::ExecutionEngine& engine() { return *engine_; }
+  const featurize::Featurizer& featurizer() const { return *featurizer_; }
   const NeoConfig& config() const { return config_; }
 
   double total_nn_time_ms() const { return total_nn_time_ms_; }
@@ -217,6 +231,16 @@ class Neo {
   CircuitBreaker breaker_;
   nn::ModelHealthMonitor health_;
   util::FaultInjector* fault_injector_ = nullptr;  ///< Not owned; may be null.
+  /// Serializes concurrent Serve() calls through the guarded choke point
+  /// (breaker + watchdog + counters advance atomically per serve); mutable so
+  /// guard_stats() reads a consistent snapshot. The single-threaded episode
+  /// paths never take it — they call ServeAndMaybeLearn directly.
+  mutable std::mutex serve_mu_;
+  /// Synchronizes experience-store mutation (serves learning) with Retrain's
+  /// sampling. Sampled pointers stay valid across concurrent inserts (the
+  /// store is node-based and samples are immutable after insert), so only the
+  /// map operations themselves need the lock — TrainBatch runs outside it.
+  std::mutex experience_mu_;
   double total_nn_time_ms_ = 0.0;
   int episodes_run_ = 0;
   int64_t retrains_run_ = 0;

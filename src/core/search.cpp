@@ -133,18 +133,32 @@ void PlanSearch::SyncCache(const query::Query& query, const SearchOptions& optio
   if (cache_valid_ && cache_query_fp_ == query.fingerprint &&
       cache_version_ == net_->version() &&
       cache_reference_mode_ == nn::UseReferenceKernels() &&
-      cache_kernel_isa_ == nn::ActiveKernelIsa() && cache_cap_ == cap &&
-      act_cache_cap_ == act_cap) {
+      cache_kernel_isa_ == nn::ActiveKernelIsa() &&
+      (shared_ != nullptr || (cache_cap_ == cap && act_cache_cap_ == act_cap))) {
     return;
   }
-  // A changed cap also rebuilds: re-capping a live LRU is not worth the
-  // complexity for an option that changes between searches, not within one.
-  // The activation cache shares the validity triple (its entries depend on
-  // the query embedding and the weights exactly like scores do).
-  score_cache_.Clear(cap);
-  activation_cache_.Clear(act_cap);
-  cache_cap_ = cap;
-  act_cache_cap_ = act_cap;
+  if (shared_ == nullptr) {
+    // A changed cap also rebuilds: re-capping a live LRU is not worth the
+    // complexity for an option that changes between searches, not within one.
+    // The activation cache shares the validity triple (its entries depend on
+    // the query embedding and the weights exactly like scores do).
+    score_cache_.Clear(cap);
+    activation_cache_.Clear(act_cap);
+    cache_cap_ = cap;
+    act_cache_cap_ = act_cap;
+  } else {
+    // Shared mode: the global maps are never cleared; staleness is handled
+    // by re-salting, so entries from other tuples are simply never probed.
+    // The mode bits get a low tag bit so a (fp, version) pair can never
+    // produce the same salt as a raw fingerprint.
+    const uint64_t mode_bits =
+        (static_cast<uint64_t>(nn::ActiveKernelIsa()) << 2) |
+        (nn::UseReferenceKernels() ? 2u : 0u) | 1u;
+    salt_ = util::Mix64(util::HashCombine(
+        util::HashCombine(util::HashCombine(query.fingerprint, net_->version()),
+                          mode_bits),
+        shared_generation_));
+  }
   cache_query_fp_ = query.fingerprint;
   cache_version_ = net_->version();
   cache_reference_mode_ = nn::UseReferenceKernels();
@@ -162,7 +176,13 @@ float PlanSearch::ScoreUncached(const query::Query& query,
   featurizer_->EncodePlan(query, plan, &tree, &features);
   const float score =
       net_->PredictWithEmbedding(query_embedding, tree, features, &net_ctx_);
-  if (score_cache_.Insert(hash, score)) ++result->cache_evictions;
+  if (shared_ != nullptr) {
+    if (shared_->scores.Insert(util::HashCombine(hash, salt_), score)) {
+      ++result->cache_evictions;
+    }
+  } else if (score_cache_.Insert(hash, score)) {
+    ++result->cache_evictions;
+  }
   return score;
 }
 
@@ -171,7 +191,13 @@ float PlanSearch::Score(const query::Query& query, const nn::Matrix& query_embed
                         SearchResult* result) {
   SyncCache(query, options);
   const uint64_t h = plan.Hash();
-  if (const float* hit = score_cache_.Find(h)) {
+  if (shared_ != nullptr) {
+    float v = 0.0f;
+    if (shared_->scores.Lookup(util::HashCombine(h, salt_), &v)) {
+      ++result->cache_hits;
+      return v;
+    }
+  } else if (const float* hit = score_cache_.Find(h)) {
     ++result->cache_hits;
     return *hit;
   }
@@ -196,9 +222,17 @@ std::vector<float> PlanSearch::ScoreAll(const query::Query& query,
   misses.reserve(plans.size());
   for (size_t i = 0; i < plans.size(); ++i) {
     const uint64_t h = hashes != nullptr ? (*hashes)[i] : plans[i].Hash();
-    if (const float* hit = score_cache_.Find(h)) {
+    bool hit = false;
+    float v = 0.0f;
+    if (shared_ != nullptr) {
+      hit = shared_->scores.Lookup(util::HashCombine(h, salt_), &v);
+    } else if (const float* p = score_cache_.Find(h)) {
+      hit = true;
+      v = *p;
+    }
+    if (hit) {
       ++result->cache_hits;
-      scores[i] = *hit;
+      scores[i] = v;
     } else {
       misses.push_back(&plans[i]);
       miss_idx.push_back(i);
@@ -224,19 +258,44 @@ std::vector<float> PlanSearch::ScoreAll(const query::Query& query,
       reuse_scratch_.cached.assign(n_rows, nullptr);
       reuse_scratch_.store.assign(n_rows, nullptr);
       size_t n_dirty = 0;
-      for (size_t i = 0; i < n_rows; ++i) {
-        if (std::vector<float>* hit = activation_cache_.Find(batch_scratch_.node_fp[i])) {
-          reuse_scratch_.cached[i] = hit->data();
-          ++result->activation_hits;
-        } else {
-          ++n_dirty;
+      if (shared_ != nullptr) {
+        // Shared mode sizes the slab for EVERY row: hits are copied out of
+        // the global map under the shard lock into this search's private
+        // slab (a pointer into the map could be evicted out from under the
+        // forward pass by a concurrent search), and dirty rows are computed
+        // into their own slots for the post-forward inserts.
+        act_slab_scratch_.resize(n_rows * entry_floats);
+        for (size_t i = 0; i < n_rows; ++i) {
+          float* slot = act_slab_scratch_.data() + i * entry_floats;
+          const uint64_t key =
+              util::HashCombine(batch_scratch_.node_fp[i], salt_);
+          const bool hit = shared_->activations.Visit(
+              key, [slot](const std::vector<float>& v) {
+                std::copy(v.begin(), v.end(), slot);
+              });
+          if (hit) {
+            reuse_scratch_.cached[i] = slot;
+            ++result->activation_hits;
+          } else {
+            reuse_scratch_.store[i] = slot;
+            ++n_dirty;
+          }
         }
-      }
-      act_slab_scratch_.resize(n_dirty * entry_floats);
-      size_t slot = 0;
-      for (size_t i = 0; i < n_rows; ++i) {
-        if (reuse_scratch_.cached[i] == nullptr) {
-          reuse_scratch_.store[i] = act_slab_scratch_.data() + (slot++) * entry_floats;
+      } else {
+        for (size_t i = 0; i < n_rows; ++i) {
+          if (std::vector<float>* hit = activation_cache_.Find(batch_scratch_.node_fp[i])) {
+            reuse_scratch_.cached[i] = hit->data();
+            ++result->activation_hits;
+          } else {
+            ++n_dirty;
+          }
+        }
+        act_slab_scratch_.resize(n_dirty * entry_floats);
+        size_t slot = 0;
+        for (size_t i = 0; i < n_rows; ++i) {
+          if (reuse_scratch_.cached[i] == nullptr) {
+            reuse_scratch_.store[i] = act_slab_scratch_.data() + (slot++) * entry_floats;
+          }
         }
       }
       const size_t layers = net_->config().tree_channels.size();
@@ -246,24 +305,42 @@ std::vector<float> PlanSearch::ScoreAll(const query::Query& query,
     }
 
     const std::vector<float> predicted =
-        net_->PredictBatch(query_embedding, batch_scratch_, &net_ctx_, reuse);
+        scorer_ != nullptr
+            ? scorer_->ScoreBatch(net_, query_embedding, batch_scratch_, reuse,
+                                  &net_ctx_)
+            : net_->PredictBatch(query_embedding, batch_scratch_, &net_ctx_, reuse);
 
     if (use_act) {
       // Populate the cache from the slab. Duplicate fingerprints within one
       // batch (sibling candidates share almost every subtree) insert once.
+      // Shared-mode concurrent inserts of one fingerprint are idempotent:
+      // the salt pins (query, version, kernel mode, generation), so both
+      // writers computed bitwise-identical rows.
       act_seen_scratch_.clear();
       for (size_t i = 0; i < batch_scratch_.node_fp.size(); ++i) {
         const float* src = reuse_scratch_.store[i];
         if (src == nullptr) continue;
         const uint64_t fp = batch_scratch_.node_fp[i];
         if (!act_seen_scratch_.insert(fp).second) continue;
-        activation_cache_.Insert(fp, std::vector<float>(src, src + entry_floats));
+        if (shared_ != nullptr) {
+          shared_->activations.Insert(util::HashCombine(fp, salt_),
+                                      std::vector<float>(src, src + entry_floats));
+        } else {
+          activation_cache_.Insert(fp, std::vector<float>(src, src + entry_floats));
+        }
       }
     }
 
     for (size_t m = 0; m < misses.size(); ++m) {
       scores[miss_idx[m]] = predicted[m];
-      if (score_cache_.Insert(miss_hash[m], predicted[m])) ++result->cache_evictions;
+      if (shared_ != nullptr) {
+        if (shared_->scores.Insert(util::HashCombine(miss_hash[m], salt_),
+                                   predicted[m])) {
+          ++result->cache_evictions;
+        }
+      } else if (score_cache_.Insert(miss_hash[m], predicted[m])) {
+        ++result->cache_evictions;
+      }
     }
   } else {
     // Per-candidate fallback, reusing the hashes from the miss scan.

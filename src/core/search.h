@@ -73,8 +73,44 @@
 #include "src/nn/value_network.h"
 #include "src/plan/plan.h"
 #include "src/util/lru_map.h"
+#include "src/util/sharded_lru.h"
 
 namespace neo::core {
+
+/// Scoring indirection for PlanSearch's batched forward passes. The default
+/// (no scorer installed) calls net->PredictBatch directly; the serving core
+/// installs a cross-query coalescer here so concurrent searches' small
+/// candidate batches merge into one PredictBatchMulti GEMM. The contract is
+/// strict bit-transparency: ScoreBatch must return exactly what
+/// net->PredictBatch(query_embedding, batch, ctx, reuse) would, and must
+/// honor `reuse` (serve cached rows, fill store rows) before returning.
+class BatchScorer {
+ public:
+  virtual ~BatchScorer() = default;
+  virtual std::vector<float> ScoreBatch(nn::ValueNetwork* net,
+                                        const nn::Matrix& query_embedding,
+                                        const nn::PlanBatch& batch,
+                                        const nn::ActivationReuse* reuse,
+                                        nn::ValueNetwork::InferenceContext* ctx) = 0;
+};
+
+/// Process-global promotion of PlanSearch's per-instance score/activation
+/// caches: sharded, mutex-per-shard LRUs shared by every concurrent search of
+/// a serving core. Entries are keyed by HashCombine(local key, salt) where
+/// the salt folds in (query fingerprint, net version, kernel mode/ISA, RCU
+/// weight generation) — so searches of different queries, different weight
+/// snapshots, or different standby nets of the SAME version can coexist in
+/// one map without ever serving each other stale values, and invalidation is
+/// free (stale entries simply stop being probed and age out of the LRU).
+/// Activation values are copied out under the shard lock into the probing
+/// search's private slab, so eviction never invalidates rows mid-forward.
+struct SharedSearchCaches {
+  SharedSearchCaches(size_t score_cap, size_t activation_cap, int shards = 16)
+      : scores(score_cap, shards), activations(activation_cap, shards) {}
+
+  util::ShardedLruMap<uint64_t, float> scores;
+  util::ShardedLruMap<uint64_t, std::vector<float>> activations;
+};
 
 struct SearchOptions {
   int max_expansions = 60;      ///< Heap pops before giving up (<=0: unlimited).
@@ -138,6 +174,32 @@ class PlanSearch {
   /// from the start state == Q-learning-style planning, §4.2).
   SearchResult GreedyPlan(const query::Query& query);
 
+  /// Routes subsequent batched scoring through `scorer` (nullptr restores
+  /// the direct PredictBatch path). The scorer must outlive every FindPlan
+  /// that runs under it. Purely an indirection — scores are bit-identical
+  /// either way (see BatchScorer).
+  void SetBatchScorer(BatchScorer* scorer) { scorer_ = scorer; }
+
+  /// Switches this search onto process-global caches (nullptr reverts to the
+  /// private per-instance LRUs). `generation` is the RCU weight-snapshot
+  /// generation folded into the cache salt; it must change whenever the
+  /// bound network's weights could alias another generation's version
+  /// number (standby nets reuse version counters). Invalidates the local
+  /// validity tuple so the next search re-salts.
+  void SetSharedCaches(SharedSearchCaches* caches, uint64_t generation) {
+    shared_ = caches;
+    shared_generation_ = generation;
+    cache_valid_ = false;
+  }
+
+  /// Re-points this search at another network (the serving core acquires an
+  /// RCU snapshot per request). The caller must pair this with
+  /// SetSharedCaches' generation for correct cache salting.
+  void Rebind(nn::ValueNetwork* net) {
+    net_ = net;
+    cache_valid_ = false;
+  }
+
  private:
   float Score(const query::Query& query, const nn::Matrix& query_embedding,
               const plan::PartialPlan& plan, const SearchOptions& options,
@@ -186,6 +248,16 @@ class PlanSearch {
   bool cache_reference_mode_ = false;
   nn::KernelIsa cache_kernel_isa_ = nn::KernelIsa::kPortable;
   bool cache_valid_ = false;
+
+  /// Serving-mode seams (both null outside a serving core): the batched-
+  /// scoring indirection and the process-global cache pair, plus the salt
+  /// mixing (query fp, net version, kernel mode, weight generation) into
+  /// every shared-cache key. SyncCache recomputes the salt on any tuple
+  /// change; in shared mode the private LRUs above go unused.
+  BatchScorer* scorer_ = nullptr;
+  SharedSearchCaches* shared_ = nullptr;
+  uint64_t shared_generation_ = 0;
+  uint64_t salt_ = 0;
 
   /// Per-instance network scratch, so concurrent PlanSearch workers never
   /// share inference buffers.

@@ -14,6 +14,11 @@ ExecutionResult ExecutionEngine::ExecutePlanGuarded(const query::Query& query,
                                                     double deadline_ms) {
   ExecutionResult result;
   const uint64_t key = util::HashCombine(plan.Hash(), query.fingerprint);
+  // Whole-body lock: memo probe, model recompute, injector draws, and the
+  // accounting must be one atomic step so concurrent serves observe exact
+  // hit/miss/eviction sequences (the model is deterministic, so serializing
+  // recomputes changes no values, only keeps the counters exact).
+  std::lock_guard<std::mutex> lock(mu_);
   ++num_executions_;
 
   double base;

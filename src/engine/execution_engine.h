@@ -11,9 +11,18 @@
 // with deterministic latency spikes and mid-flight failures so the guardrails
 // above (Neo's circuit breaker, the experience clipping) can be exercised
 // reproducibly.
+//
+// Thread safety: the latency memo, its counters, and the simulated-time
+// accumulator live behind one internal mutex, so concurrent guarded serves
+// (the serving core overlapping a background retrain, or tests hammering the
+// engine from many threads) keep every counter exact. A single mutex — not a
+// sharded cache — is deliberate: the memo's exact global LRU order is pinned
+// by tests (cap=1 eviction sequences), and real serve call sites already
+// serialize execution, so the lock is uncontended in practice.
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "src/engine/cardinality_oracle.h"
 #include "src/engine/engine_profile.h"
@@ -72,10 +81,16 @@ class ExecutionEngine {
   /// Attaches a fault injector (nullptr detaches). Not owned; must outlive
   /// the engine or be detached first. Injection draws are deterministic per
   /// (injector seed, plan key, occurrence) — see util::FaultInjector.
-  void SetFaultInjector(util::FaultInjector* injector) { injector_ = injector; }
+  void SetFaultInjector(util::FaultInjector* injector) {
+    std::lock_guard<std::mutex> lock(mu_);
+    injector_ = injector;
+  }
 
   /// Re-caps the latency memo cache, dropping all entries (0 = unbounded).
-  void SetLatencyCacheCap(size_t cap) { latency_cache_.Clear(cap); }
+  void SetLatencyCacheCap(size_t cap) {
+    std::lock_guard<std::mutex> lock(mu_);
+    latency_cache_.Clear(cap);
+  }
 
   EngineKind kind() const { return kind_; }
   const EngineProfile& profile() const { return profile_; }
@@ -86,22 +101,49 @@ class ExecutionEngine {
   /// a real deployment executes each submitted plan). Timed-out executions
   /// accrue only up to the deadline — the watchdog killed them. Used by the
   /// Fig. 11 training-time accounting.
-  double simulated_execution_ms() const { return simulated_execution_ms_; }
-  size_t num_executions() const { return num_executions_; }
+  double simulated_execution_ms() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return simulated_execution_ms_;
+  }
+  size_t num_executions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return num_executions_;
+  }
   /// Distinct plans currently memoized (bounded by the cache cap).
-  size_t num_distinct_plans() const { return latency_cache_.size(); }
+  size_t num_distinct_plans() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return latency_cache_.size();
+  }
 
-  size_t latency_cache_hits() const { return cache_hits_; }
-  size_t latency_cache_misses() const { return cache_misses_; }
-  size_t latency_cache_evictions() const { return cache_evictions_; }
-  size_t num_timeouts() const { return num_timeouts_; }
-  size_t num_injected_failures() const { return num_injected_failures_; }
+  size_t latency_cache_hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_hits_;
+  }
+  size_t latency_cache_misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_misses_;
+  }
+  size_t latency_cache_evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_evictions_;
+  }
+  size_t num_timeouts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return num_timeouts_;
+  }
+  size_t num_injected_failures() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return num_injected_failures_;
+  }
 
  private:
   EngineKind kind_;
   const EngineProfile& profile_;
   std::unique_ptr<CardinalityOracle> oracle_;
   LatencyModel model_;
+  /// Guards the memo, counters, injector pointer, and simulated time (see the
+  /// thread-safety notes in the file header).
+  mutable std::mutex mu_;
   /// Plan-latency memo, bounded LRU (it previously grew without limit — a
   /// leak under any serving-shaped workload). Stores the model's un-injected
   /// latency; fault perturbation applies per execution on top.

@@ -340,6 +340,165 @@ void TreeConv::ForwardInferenceRows(const TreeStructure& tree, const Matrix& x,
   add_side(tree.right, w_right_, suffix_right);
 }
 
+Matrix TreeConv::ForwardInferenceMulti(const TreeStructure& tree,
+                                       const Matrix& x, const Matrix& suffixes,
+                                       const std::vector<int>& node_seg,
+                                       Scratch* scratch) const {
+  const int n = x.rows();
+  const int s = shared_suffix_dim_;
+  const int top = in_channels_ - s;
+  NEO_CHECK(x.cols() == top);
+  NEO_CHECK((s > 0) == (suffixes.rows() > 0));
+  NEO_CHECK(static_cast<size_t>(n) == tree.NumNodes());
+  NEO_CHECK(node_seg.size() == static_cast<size_t>(n));
+  NEO_CHECK(split_fresh_);
+  Scratch local;
+  if (scratch == nullptr) scratch = &local;
+
+  // All K queries' suffix projections in one GEMM per block; row k is
+  // bitwise the single-query projection of query k.
+  Matrix suffix_self, suffix_left, suffix_right;
+  if (s > 0) {
+    NEO_CHECK(suffixes.cols() == s);
+    suffix_self = MatMulPacked(suffixes, w_self_suffix_);
+    suffix_left = MatMulPacked(suffixes, w_left_suffix_);
+    suffix_right = MatMulPacked(suffixes, w_right_suffix_);
+  }
+
+  // Self block + bias (+ the node's segment's self-suffix row). The add
+  // order per row matches ForwardInference exactly: bias, then suffix.
+  Matrix y = MatMulPacked(x, w_self_);
+  const int cout = y.cols();
+  const float* b = bias_.value.Row(0);
+  for (int i = 0; i < n; ++i) {
+    float* row = y.Row(i);
+    for (int c = 0; c < cout; ++c) row[c] += b[c];
+    if (s > 0) {
+      const float* sp = suffix_self.Row(node_seg[static_cast<size_t>(i)]);
+      for (int c = 0; c < cout; ++c) row[c] += sp[c];
+    }
+  }
+
+  auto add_side = [&](const std::vector<int>& child, const PackedB& w,
+                      const Matrix& suffix_proj) {
+    int present = 0;
+    for (size_t i = 0; i < child.size(); ++i) {
+      if (child[i] >= 0) ++present;
+    }
+    if (present == 0) return;
+    if (scratch->gather.rows() != present || scratch->gather.cols() != top) {
+      scratch->gather = Matrix(present, top);
+    }
+    scratch->parent.assign(static_cast<size_t>(present), 0);
+    int t = 0;
+    for (size_t i = 0; i < child.size(); ++i) {
+      if (child[i] < 0) continue;
+      std::copy(x.Row(child[i]), x.Row(child[i]) + top, scratch->gather.Row(t));
+      scratch->parent[static_cast<size_t>(t)] = static_cast<int>(i);
+      ++t;
+    }
+    const Matrix contrib = MatMulPacked(scratch->gather, w);
+    for (int r = 0; r < present; ++r) {
+      const int p = scratch->parent[static_cast<size_t>(r)];
+      float* dst = y.Row(p);
+      const float* src = contrib.Row(r);
+      for (int c = 0; c < cout; ++c) dst[c] += src[c];
+      if (s > 0) {
+        const float* proj = suffix_proj.Row(node_seg[static_cast<size_t>(p)]);
+        for (int c = 0; c < cout; ++c) dst[c] += proj[c];
+      }
+    }
+  };
+  add_side(tree.left, w_left_, suffix_left);
+  add_side(tree.right, w_right_, suffix_right);
+  return y;
+}
+
+void TreeConv::ForwardInferenceRowsMulti(const TreeStructure& tree,
+                                         const Matrix& x,
+                                         const std::vector<int>& rows,
+                                         const Matrix& suffixes,
+                                         const std::vector<int>& node_seg,
+                                         Scratch* scratch, Matrix* y) const {
+  const int s = shared_suffix_dim_;
+  const int top = in_channels_ - s;
+  const int cout = weight_.value.cols();
+  NEO_CHECK(x.cols() == top);
+  NEO_CHECK((s > 0) == (suffixes.rows() > 0));
+  NEO_CHECK(static_cast<size_t>(x.rows()) == tree.NumNodes());
+  NEO_CHECK(node_seg.size() == static_cast<size_t>(x.rows()));
+  NEO_CHECK(y->rows() == x.rows() && y->cols() == cout);
+  NEO_CHECK(split_fresh_);
+  if (rows.empty()) return;
+  Scratch local;
+  if (scratch == nullptr) scratch = &local;
+  const int d = static_cast<int>(rows.size());
+
+  Matrix suffix_self, suffix_left, suffix_right;
+  if (s > 0) {
+    NEO_CHECK(suffixes.cols() == s);
+    suffix_self = MatMulPacked(suffixes, w_self_suffix_);
+    suffix_left = MatMulPacked(suffixes, w_left_suffix_);
+    suffix_right = MatMulPacked(suffixes, w_right_suffix_);
+  }
+
+  auto regather = [&](int count) {
+    if (scratch->gather.rows() != count || scratch->gather.cols() != top) {
+      scratch->gather = Matrix(count, top);
+    }
+  };
+
+  regather(d);
+  for (int r = 0; r < d; ++r) {
+    std::copy(x.Row(rows[static_cast<size_t>(r)]),
+              x.Row(rows[static_cast<size_t>(r)]) + top, scratch->gather.Row(r));
+  }
+  const Matrix self = MatMulPacked(scratch->gather, w_self_);
+  const float* b = bias_.value.Row(0);
+  for (int r = 0; r < d; ++r) {
+    const int node = rows[static_cast<size_t>(r)];
+    float* dst = y->Row(node);
+    const float* src = self.Row(r);
+    for (int c = 0; c < cout; ++c) dst[c] = src[c] + b[c];
+    if (s > 0) {
+      const float* sp = suffix_self.Row(node_seg[static_cast<size_t>(node)]);
+      for (int c = 0; c < cout; ++c) dst[c] += sp[c];
+    }
+  }
+
+  auto add_side = [&](const std::vector<int>& child, const PackedB& w,
+                      const Matrix& suffix_proj) {
+    int present = 0;
+    for (const int r : rows) {
+      if (child[static_cast<size_t>(r)] >= 0) ++present;
+    }
+    if (present == 0) return;
+    regather(present);
+    scratch->parent.assign(static_cast<size_t>(present), 0);
+    int t = 0;
+    for (const int r : rows) {
+      const int c = child[static_cast<size_t>(r)];
+      if (c < 0) continue;
+      std::copy(x.Row(c), x.Row(c) + top, scratch->gather.Row(t));
+      scratch->parent[static_cast<size_t>(t)] = r;
+      ++t;
+    }
+    const Matrix contrib = MatMulPacked(scratch->gather, w);
+    for (int r = 0; r < present; ++r) {
+      const int p = scratch->parent[static_cast<size_t>(r)];
+      float* dst = y->Row(p);
+      const float* src = contrib.Row(r);
+      for (int c = 0; c < cout; ++c) dst[c] += src[c];
+      if (s > 0) {
+        const float* proj = suffix_proj.Row(node_seg[static_cast<size_t>(p)]);
+        for (int c = 0; c < cout; ++c) dst[c] += proj[c];
+      }
+    }
+  };
+  add_side(tree.left, w_left_, suffix_left);
+  add_side(tree.right, w_right_, suffix_right);
+}
+
 Matrix TreeConv::Backward(const TreeStructure& tree, const Matrix& x,
                           const Matrix& grad_out, const TreeGather* gather,
                           TrainScratch* scratch) {

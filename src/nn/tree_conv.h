@@ -186,6 +186,31 @@ class TreeConv {
                             const Matrix* shared_suffix, Scratch* scratch,
                             Matrix* y) const;
 
+  /// Multi-query variant of ForwardInference for cross-query coalescing:
+  /// the forest packs trees from K different queries, `suffixes` is the
+  /// (K x s) stack of their shared-suffix vectors, and `node_seg[i]` names
+  /// node i's query segment (children share their parent's segment, since a
+  /// tree never spans queries). The K suffix projections are computed as one
+  /// multi-row GEMM whose rows are bitwise equal to K separate (1 x s) GEMMs
+  /// (MatMul rows are position-independent), and every per-row add runs in
+  /// the exact order of the single-query path — so each output row is
+  /// BIT-IDENTICAL to the same node scored through ForwardInference with its
+  /// own query alone. Only layer 0 carries a suffix; deeper layers coalesce
+  /// through the unmodified single-suffix-free functions. When the layer has
+  /// no suffix (s == 0), pass an empty `suffixes`.
+  Matrix ForwardInferenceMulti(const TreeStructure& tree, const Matrix& x,
+                               const Matrix& suffixes,
+                               const std::vector<int>& node_seg,
+                               Scratch* scratch) const;
+
+  /// Incremental multi-query variant (see ForwardInferenceRows): computes
+  /// only `rows`, reading each row's suffix projection via `node_seg`.
+  void ForwardInferenceRowsMulti(const TreeStructure& tree, const Matrix& x,
+                                 const std::vector<int>& rows,
+                                 const Matrix& suffixes,
+                                 const std::vector<int>& node_seg,
+                                 Scratch* scratch, Matrix* y) const;
+
   /// Re-splits the stacked weight into the per-block copies ForwardInference
   /// multiplies with, pre-packed into the kernel dispatch panel layout so the
   /// hot gather/GEMM/scatter never repacks. Cheap (one copy of the weights).

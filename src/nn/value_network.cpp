@@ -426,6 +426,154 @@ std::vector<float> ValueNetwork::PredictBatch(
   return PredictBatch(query_embedding, PackPlanBatch(samples));
 }
 
+Matrix ValueNetwork::InferencePooledMulti(const TreeStructure& tree,
+                                          const Matrix& node_features,
+                                          const Matrix& suffixes,
+                                          const std::vector<int>& node_seg,
+                                          const std::vector<int>& offsets,
+                                          InferenceContext* ctx,
+                                          const ActivationReuse* reuse) {
+  SyncInferenceWeights();
+  if (ctx->conv_scratch.size() < convs_.size()) ctx->conv_scratch.resize(convs_.size());
+
+  if (reuse == nullptr) {
+    Matrix cur;
+    for (size_t li = 0; li < convs_.size(); ++li) {
+      Matrix z = li == 0 ? convs_[0].ForwardInferenceMulti(tree, node_features,
+                                                           suffixes, node_seg,
+                                                           &ctx->conv_scratch[0])
+                         : convs_[li].ForwardInference(tree, cur, nullptr,
+                                                       &ctx->conv_scratch[li]);
+      ApplyLeakyReLU(&z);
+      cur = std::move(z);
+    }
+    return pool_.ForwardInference(cur, offsets);
+  }
+
+  // Incremental path over the merged forest: identical to InferencePooled's
+  // except layer 0's row-restricted pass reads each dirty row's suffix
+  // projection via node_seg. Dirty rows from different queries share the
+  // GEMMs (rows are position-independent), so each row's bits match the
+  // solo-query incremental pass.
+  const int n = node_features.rows();
+  NEO_CHECK(reuse->cached.size() == static_cast<size_t>(n));
+  NEO_CHECK(reuse->store.size() == static_cast<size_t>(n));
+  std::vector<int>& dirty = ctx->dirty_rows;
+  dirty.clear();
+  for (int i = 0; i < n; ++i) {
+    if (reuse->cached[static_cast<size_t>(i)] == nullptr) dirty.push_back(i);
+  }
+  Matrix cur;
+  int layer_off = 0;
+  for (size_t li = 0; li < convs_.size(); ++li) {
+    const int cout = convs_[li].out_channels();
+    Matrix z(n, cout);
+    for (int i = 0; i < n; ++i) {
+      const float* hit = reuse->cached[static_cast<size_t>(i)];
+      if (hit != nullptr) std::copy(hit + layer_off, hit + layer_off + cout, z.Row(i));
+    }
+    if (li == 0) {
+      convs_[0].ForwardInferenceRowsMulti(tree, node_features, dirty, suffixes,
+                                          node_seg, &ctx->conv_scratch[0], &z);
+    } else {
+      convs_[li].ForwardInferenceRows(tree, cur, dirty, nullptr,
+                                      &ctx->conv_scratch[li], &z);
+    }
+    for (const int i : dirty) {
+      float* row = z.Row(i);
+      for (int c = 0; c < cout; ++c) {
+        if (row[c] < 0.0f) row[c] *= leaky_alpha_;
+      }
+      float* out = reuse->store[static_cast<size_t>(i)];
+      if (out != nullptr) std::copy(row, row + cout, out + layer_off);
+    }
+    layer_off += cout;
+    cur = std::move(z);
+  }
+  return pool_.ForwardInference(cur, offsets);
+}
+
+std::vector<float> ValueNetwork::PredictBatchMulti(const MultiPredictItem* items,
+                                                   size_t n_items,
+                                                   InferenceContext* ctx) {
+  NEO_CHECK(n_items > 0);
+  if (n_items == 1) {
+    return PredictBatch(*items[0].query_embedding, *items[0].batch, ctx,
+                        items[0].reuse);
+  }
+  NEO_CHECK(!UseReferenceKernels());
+  if (ctx == nullptr) ctx = &default_ctx_;
+  InferenceContext::MultiScratch& ms = ctx->multi;
+
+  int total_nodes = 0;
+  int total_plans = 0;
+  bool any_reuse = false;
+  for (size_t k = 0; k < n_items; ++k) {
+    const PlanBatch& b = *items[k].batch;
+    NEO_CHECK(b.size() > 0);
+    NEO_CHECK(b.node_features.rows() == static_cast<int>(b.forest.NumNodes()));
+    total_nodes += b.node_features.rows();
+    total_plans += b.size();
+    if (items[k].reuse != nullptr) any_reuse = true;
+  }
+
+  // Merge: concatenate forests (child indices rebased), stack embeddings as
+  // suffix rows, tag each node with its query segment, splice the per-item
+  // reuse spans (an item without reuse scores all-dirty and stores nothing).
+  ms.forest.left.clear();
+  ms.forest.right.clear();
+  ms.forest.left.reserve(static_cast<size_t>(total_nodes));
+  ms.forest.right.reserve(static_cast<size_t>(total_nodes));
+  ms.node_seg.clear();
+  ms.node_seg.reserve(static_cast<size_t>(total_nodes));
+  ms.features.Reshape(total_nodes, config_.plan_dim);
+  ms.suffixes.Reshape(static_cast<int>(n_items), embed_dim_);
+  ms.offsets.assign(1, 0);
+  if (any_reuse) {
+    ms.reuse.cached.assign(static_cast<size_t>(total_nodes), nullptr);
+    ms.reuse.store.assign(static_cast<size_t>(total_nodes), nullptr);
+  }
+  int node_base = 0;
+  for (size_t k = 0; k < n_items; ++k) {
+    const PlanBatch& b = *items[k].batch;
+    const int bn = b.node_features.rows();
+    for (int i = 0; i < bn; ++i) {
+      const int l = b.forest.left[static_cast<size_t>(i)];
+      const int r = b.forest.right[static_cast<size_t>(i)];
+      ms.forest.left.push_back(l < 0 ? -1 : l + node_base);
+      ms.forest.right.push_back(r < 0 ? -1 : r + node_base);
+      ms.node_seg.push_back(static_cast<int>(k));
+      std::copy(b.node_features.Row(i), b.node_features.Row(i) + config_.plan_dim,
+                ms.features.Row(node_base + i));
+    }
+    NEO_CHECK(items[k].query_embedding->cols() == embed_dim_);
+    std::copy(items[k].query_embedding->Row(0),
+              items[k].query_embedding->Row(0) + embed_dim_,
+              ms.suffixes.Row(static_cast<int>(k)));
+    for (int t = 1; t <= b.size(); ++t) {
+      ms.offsets.push_back(node_base + b.tree_offsets[static_cast<size_t>(t)]);
+    }
+    if (any_reuse && items[k].reuse != nullptr) {
+      const ActivationReuse& r = *items[k].reuse;
+      NEO_CHECK(r.cached.size() == static_cast<size_t>(bn));
+      NEO_CHECK(r.store.size() == static_cast<size_t>(bn));
+      std::copy(r.cached.begin(), r.cached.end(),
+                ms.reuse.cached.begin() + node_base);
+      std::copy(r.store.begin(), r.store.end(),
+                ms.reuse.store.begin() + node_base);
+    }
+    node_base += bn;
+  }
+
+  Matrix pooled = InferencePooledMulti(ms.forest, ms.features, ms.suffixes,
+                                       ms.node_seg, ms.offsets, ctx,
+                                       any_reuse ? &ms.reuse : nullptr);
+  const Matrix scores = head_.ForwardInference(pooled);  // (total_plans x 1)
+  std::vector<float> out(static_cast<size_t>(total_plans));
+  for (int i = 0; i < total_plans; ++i) out[static_cast<size_t>(i)] = scores.At(i, 0);
+  return out;
+}
+
 float ValueNetwork::ForwardPlan(const Matrix& query_embedding, const TreeStructure& tree,
                                 const Matrix& node_features, ForwardState* state,
                                 InferenceContext* ctx) {

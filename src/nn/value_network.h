@@ -90,6 +90,15 @@ struct ActivationReuse {
   std::vector<float*> store;
 };
 
+/// One query's scoring request inside a cross-query coalesced predict
+/// (ValueNetwork::PredictBatchMulti): the query's embedding, its packed
+/// candidate forest, and optionally that search's activation reuse spans.
+struct MultiPredictItem {
+  const Matrix* query_embedding = nullptr;  ///< (1 x embed dim)
+  const PlanBatch* batch = nullptr;         ///< Non-empty packed candidates.
+  const ActivationReuse* reuse = nullptr;   ///< Optional incremental reuse.
+};
+
 class ValueNetwork {
  public:
   /// Per-caller scratch for the inference paths. The network's inference is
@@ -101,6 +110,16 @@ class ValueNetwork {
   struct InferenceContext {
     std::vector<TreeConv::Scratch> conv_scratch;  ///< One per conv layer (lazy).
     std::vector<int> dirty_rows;  ///< Incremental-path row-list scratch.
+    /// Merge buffers for PredictBatchMulti (reused across coalesced calls).
+    struct MultiScratch {
+      TreeStructure forest;       ///< Concatenated multi-query forest.
+      Matrix features;            ///< Concatenated node features.
+      Matrix suffixes;            ///< (K x embed dim) stacked embeddings.
+      std::vector<int> node_seg;  ///< Node row -> query segment.
+      std::vector<int> offsets;   ///< Merged tree offsets.
+      ActivationReuse reuse;      ///< Merged reuse spans.
+    };
+    MultiScratch multi;
   };
 
   explicit ValueNetwork(const ValueNetConfig& config);
@@ -122,6 +141,20 @@ class ValueNetwork {
   std::vector<float> PredictBatch(const Matrix& query_embedding, const PlanBatch& batch,
                                   InferenceContext* ctx = nullptr,
                                   const ActivationReuse* reuse = nullptr);
+
+  /// Cross-query coalesced inference: merges K queries' candidate batches
+  /// into ONE forest (layer-0 suffixes segmented per query via
+  /// TreeConv::ForwardInferenceMulti) so the whole group runs each conv layer
+  /// and the FC head as one GEMM instead of K small ones. Scores come back
+  /// concatenated in item order (items[0]'s plans first). Every per-plan
+  /// score is BIT-IDENTICAL to the same item run alone through PredictBatch:
+  /// GEMM rows are position-independent, the K suffix projections are rows of
+  /// one multi-row GEMM, and pooling/head see per-segment row sets identical
+  /// to the solo call's. n == 1 delegates to PredictBatch (including the
+  /// reference-kernel path); n > 1 requires fast kernels. Items' reuse spans
+  /// may be null per item (that item is scored all-dirty, nothing stored).
+  std::vector<float> PredictBatchMulti(const MultiPredictItem* items, size_t n,
+                                       InferenceContext* ctx = nullptr);
 
   /// Floats per node of a concatenated all-conv-layer activation entry (the
   /// ActivationReuse buffer size): sum of the conv stack's out_channels.
@@ -254,6 +287,17 @@ class ValueNetwork {
                          const Matrix& query_embedding,
                          const std::vector<int>& offsets, InferenceContext* ctx,
                          const ActivationReuse* reuse = nullptr);
+
+  /// Multi-query mirror of InferencePooled: layer 0 runs the segmented-suffix
+  /// TreeConv::ForwardInference[Rows]Multi; deeper layers (no suffix) run the
+  /// unmodified single-forest functions over the merged forest.
+  Matrix InferencePooledMulti(const TreeStructure& tree,
+                              const Matrix& node_features,
+                              const Matrix& suffixes,
+                              const std::vector<int>& node_seg,
+                              const std::vector<int>& offsets,
+                              InferenceContext* ctx,
+                              const ActivationReuse* reuse);
 
   /// The legacy per-sample training loop (SetBatchedTraining(false)).
   float TrainBatchPerSample(const PlanSample* const* samples, const float* targets,

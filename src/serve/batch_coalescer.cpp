@@ -1,0 +1,101 @@
+#include "src/serve/batch_coalescer.h"
+
+#include <chrono>
+
+#include "src/util/status.h"
+
+namespace neo::serve {
+
+std::vector<float> BatchCoalescer::ScoreBatch(
+    nn::ValueNetwork* net, const nn::Matrix& query_embedding,
+    const nn::PlanBatch& batch, const nn::ActivationReuse* reuse,
+    nn::ValueNetwork::InferenceContext* ctx) {
+  // Solo fast path: with at most one search in flight nothing can join a
+  // group, so the window would be pure added latency. The count is advisory
+  // — a stale read only costs a missed merge or an empty window, never
+  // correctness.
+  if (active_searches_.load(std::memory_order_relaxed) <= 1) {
+    direct_calls_.fetch_add(1, std::memory_order_relaxed);
+    return net->PredictBatch(query_embedding, batch, ctx, reuse);
+  }
+
+  Pending self;
+  self.item = {&query_embedding, &batch, reuse};
+  std::shared_ptr<Group> group;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    Group* open = open_.get();
+    if (open != nullptr && !open->closed && open->net == net &&
+        static_cast<int>(open->members.size()) < options_.max_merge) {
+      // Join as a follower: park until the leader distributes our span.
+      group = open_;
+      group->members.push_back(&self);
+      if (static_cast<int>(group->members.size()) >= options_.max_merge) {
+        group->cv.notify_all();  // Group is full; wake the leader early.
+      }
+      group->cv.wait(lock, [&self] { return self.done; });
+      return std::move(self.scores);
+    }
+    if (open != nullptr) {
+      // An open group exists but is unjoinable (full, closing, or pinned to
+      // a different RCU snapshot). Score directly rather than racing it.
+      direct_calls_.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+      return net->PredictBatch(query_embedding, batch, ctx, reuse);
+    }
+    // Become the leader of a fresh group and hold the gather window.
+    group = std::make_shared<Group>();
+    group->net = net;
+    group->members.push_back(&self);
+    open_ = group;
+    group->cv.wait_for(lock, std::chrono::microseconds(options_.window_us),
+                       [&] {
+                         return static_cast<int>(group->members.size()) >=
+                                options_.max_merge;
+                       });
+    group->closed = true;
+    if (open_ == group) open_ = nullptr;
+  }
+
+  // Leader, lock released: score the closed member set. Followers are all
+  // parked on group->cv, so their Pending slots (and the batches/reuse spans
+  // they point to) are stable.
+  if (group->members.size() == 1) {
+    solo_groups_.fetch_add(1, std::memory_order_relaxed);
+    direct_calls_.fetch_add(1, std::memory_order_relaxed);
+    return net->PredictBatch(query_embedding, batch, ctx, reuse);
+  }
+  std::vector<nn::MultiPredictItem> items;
+  items.reserve(group->members.size());
+  for (const Pending* p : group->members) items.push_back(p->item);
+  const std::vector<float> all =
+      net->PredictBatchMulti(items.data(), items.size(), ctx);
+  merged_groups_.fetch_add(1, std::memory_order_relaxed);
+  merged_requests_.fetch_add(group->members.size(), std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t off = 0;
+    for (Pending* p : group->members) {
+      const size_t n = static_cast<size_t>(p->item.batch->size());
+      p->scores.assign(all.begin() + static_cast<ptrdiff_t>(off),
+                       all.begin() + static_cast<ptrdiff_t>(off + n));
+      off += n;
+      p->done = true;
+    }
+    NEO_CHECK(off == all.size());
+  }
+  group->cv.notify_all();
+  return std::move(self.scores);
+}
+
+BatchCoalescer::Stats BatchCoalescer::stats() const {
+  Stats s;
+  s.direct_calls = direct_calls_.load(std::memory_order_relaxed);
+  s.merged_groups = merged_groups_.load(std::memory_order_relaxed);
+  s.merged_requests = merged_requests_.load(std::memory_order_relaxed);
+  s.solo_groups = solo_groups_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace neo::serve

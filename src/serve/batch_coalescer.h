@@ -1,0 +1,96 @@
+// Cross-query batch coalescing for concurrent plan searches.
+//
+// A single search already batches one expansion round's candidates into one
+// forest (ValueNetwork::PredictBatch), but serving-shaped workloads run many
+// small searches concurrently, each issuing small GEMMs that underutilize
+// the kernels. BatchCoalescer implements core::BatchScorer: the first
+// concurrent caller of a scoring round becomes the group LEADER and holds a
+// short gather window (Options::window_us); other searches that reach their
+// own scoring call inside the window JOIN the group. The leader merges every
+// member's (embedding, candidate forest, activation-reuse spans) into one
+// ValueNetwork::PredictBatchMulti call — one GEMM per layer for the whole
+// group — then distributes each member's score span and wakes it.
+//
+// Bit-transparency: grouping NEVER changes a score. PredictBatchMulti's
+// per-row arithmetic is bitwise-identical to each member's solo
+// PredictBatch (GEMM rows are position-independent; the per-query layer-0
+// suffix projections are rows of one multi-row GEMM), so coalescing is
+// purely a throughput optimization — any interleaving of joins, timeouts,
+// and group sizes yields the same per-search results.
+//
+// Liveness: followers wait only on their leader, and the leader's window
+// wait is bounded (wait_for), after which the group is closed and scored
+// unconditionally — no circular waits, no unbounded blocking. A search that
+// finds no open group (none yet, group full, group closed, or a different
+// RCU net snapshot) scores directly; solo activity (<= 1 active search)
+// bypasses the window entirely so an idle server adds zero latency.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/core/search.h"
+
+namespace neo::serve {
+
+class BatchCoalescer : public core::BatchScorer {
+ public:
+  struct Options {
+    int max_merge = 8;    ///< Max member searches per merged group.
+    int window_us = 200;  ///< Leader's gather window (microseconds).
+  };
+
+  struct Stats {
+    uint64_t direct_calls = 0;     ///< Scored directly (solo / no open group).
+    uint64_t merged_groups = 0;    ///< Groups scored via PredictBatchMulti.
+    uint64_t merged_requests = 0;  ///< Member calls inside merged groups.
+    uint64_t solo_groups = 0;      ///< Groups whose window closed with 1 member.
+  };
+
+  explicit BatchCoalescer(Options options) : options_(options) {}
+
+  /// Search-activity bracket: ServeOne calls Begin/EndSearch around FindPlan
+  /// so ScoreBatch can skip the gather window when nothing could join.
+  void BeginSearch() { active_searches_.fetch_add(1, std::memory_order_relaxed); }
+  void EndSearch() { active_searches_.fetch_sub(1, std::memory_order_relaxed); }
+
+  std::vector<float> ScoreBatch(nn::ValueNetwork* net,
+                                const nn::Matrix& query_embedding,
+                                const nn::PlanBatch& batch,
+                                const nn::ActivationReuse* reuse,
+                                nn::ValueNetwork::InferenceContext* ctx) override;
+
+  Stats stats() const;
+
+ private:
+  /// One member's slot in a group; lives on the member's stack for the
+  /// duration of its ScoreBatch call (the group holds raw pointers, valid
+  /// because every member stays blocked until its `done` flips).
+  struct Pending {
+    nn::MultiPredictItem item;
+    std::vector<float> scores;
+    bool done = false;
+  };
+
+  struct Group {
+    nn::ValueNetwork* net = nullptr;  ///< Members must share one snapshot.
+    std::vector<Pending*> members;
+    bool closed = false;
+    std::condition_variable cv;  ///< Leader waits for fill; members for done.
+  };
+
+  Options options_;
+  std::atomic<int> active_searches_{0};
+  std::mutex mu_;  ///< Guards open_ and all Group state.
+  std::shared_ptr<Group> open_;
+  std::atomic<uint64_t> direct_calls_{0};
+  std::atomic<uint64_t> merged_groups_{0};
+  std::atomic<uint64_t> merged_requests_{0};
+  std::atomic<uint64_t> solo_groups_{0};
+};
+
+}  // namespace neo::serve

@@ -1,0 +1,48 @@
+#include "src/serve/model_rcu.h"
+
+namespace neo::serve {
+
+ModelRcu::Ref ModelRcu::Acquire() const {
+  const std::shared_ptr<const Published> cur =
+      std::atomic_load_explicit(&current_, std::memory_order_acquire);
+  if (cur == nullptr) return {};
+  return {cur->net, cur->generation};
+}
+
+uint64_t ModelRcu::Publish(const nn::ValueNetwork& source) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  nn::ValueNetwork::WeightSnapshot snap;
+  source.CaptureSnapshot(&snap);
+
+  const std::shared_ptr<const Published> cur = std::atomic_load(&current_);
+  std::shared_ptr<nn::ValueNetwork> standby;
+  for (const std::shared_ptr<nn::ValueNetwork>& net : pool_) {
+    // Reusable: only the pool references it, and it is not the net readers
+    // can still Acquire. A non-current net's use_count can only fall (see
+    // the header notes), so this check is stable once true.
+    if (net.use_count() == 1 && (cur == nullptr || net != cur->net)) {
+      standby = net;
+      break;
+    }
+  }
+  if (standby == nullptr) {
+    standby = std::make_shared<nn::ValueNetwork>(config_);
+    pool_.push_back(standby);
+  }
+  // RestoreSnapshot bumps the standby's weight version and invalidates its
+  // packed inference weights; the first inference on it re-syncs lazily.
+  standby->RestoreSnapshot(snap);
+
+  const uint64_t gen = ++generation_;
+  auto next = std::make_shared<const Published>(Published{standby, gen});
+  std::atomic_store_explicit(&current_, std::move(next),
+                             std::memory_order_release);
+  return gen;
+}
+
+size_t ModelRcu::pool_size() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return pool_.size();
+}
+
+}  // namespace neo::serve

@@ -1,0 +1,159 @@
+#include "src/serve/serving_core.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace neo::serve {
+
+ServingCore::ServingCore(core::Neo* neo, ServingOptions options)
+    : neo_(neo), options_(std::move(options)), rcu_(neo->net().config()) {
+  NEO_CHECK_MSG(!nn::UseReferenceKernels(),
+                "serving requires fast kernels (reference path is serial)");
+  options_.workers = std::max(1, options_.workers);
+  if (options_.shared_caches) {
+    caches_ = std::make_unique<core::SharedSearchCaches>(
+        options_.shared_score_cap, options_.shared_activation_cap,
+        options_.cache_shards);
+  }
+  if (options_.coalesce) {
+    coalescer_ = std::make_unique<BatchCoalescer>(options_.coalescer);
+  }
+  rcu_.Publish(neo_->net());
+  searches_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    searches_.push_back(
+        std::make_unique<core::PlanSearch>(&neo_->featurizer(), nullptr));
+  }
+  threads_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ServingCore::~ServingCore() { Stop(); }
+
+std::future<ServeResult> ServingCore::Submit(const query::Query& query,
+                                             bool learn) {
+  Task task;
+  task.query = &query;
+  task.learn = learn;
+  std::future<ServeResult> future = task.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    NEO_CHECK_MSG(!stopping_, "Submit after Stop");
+    ++requests_;
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+ServeResult ServingCore::ServeSync(const query::Query& query, bool learn) {
+  return Submit(query, learn).get();
+}
+
+uint64_t ServingCore::PublishWeights() { return rcu_.Publish(neo_->net()); }
+
+float ServingCore::RetrainAndPublish() {
+  std::lock_guard<std::mutex> lock(retrain_mu_);
+  // Retrain mutates only the primary network, which no worker reads — every
+  // in-flight search scores on an RCU standby — so this blocks nothing.
+  const float loss = neo_->Retrain();
+  rcu_.Publish(neo_->net());
+  return loss;
+}
+
+void ServingCore::Drain() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ServingCore::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ServingCore::WorkerLoop(int worker_index) {
+  core::PlanSearch& search = *searches_[static_cast<size_t>(worker_index)];
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Stopping and fully drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    ServeResult result = ServeOne(search, task);
+    task.promise.set_value(std::move(result));
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+ServeResult ServingCore::ServeOne(core::PlanSearch& search, const Task& task) {
+  ServeResult out;
+  out.queue_ms = task.queued.ElapsedMs();
+
+  const ModelRcu::Ref ref = rcu_.Acquire();
+  NEO_CHECK(ref.net != nullptr);
+  out.generation = ref.generation;
+  // Rebind to this request's snapshot; the generation re-salts every
+  // shared-cache key so entries from other snapshots are never served.
+  search.Rebind(ref.net.get());
+  search.SetSharedCaches(caches_.get(), ref.generation);
+  search.SetBatchScorer(coalescer_.get());
+
+  util::Stopwatch plan_watch;
+  if (coalescer_ != nullptr) coalescer_->BeginSearch();
+  core::SearchResult found = search.FindPlan(*task.query, options_.search);
+  if (coalescer_ != nullptr) coalescer_->EndSearch();
+  out.plan_ms = plan_watch.ElapsedMs();
+
+  out.latency_ms = neo_->Serve(*task.query, found.plan, task.learn);
+  out.predicted_cost = found.predicted_cost;
+  out.plan_hash = found.plan.Hash();
+  out.total_ms = task.queued.ElapsedMs();
+  out.search = std::move(found);
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    total_hist_.Record(out.total_ms);
+    plan_hist_.Record(out.plan_ms);
+  }
+  return out;
+}
+
+ServingStats ServingCore::stats() const {
+  ServingStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s.total_latency = total_hist_;
+    s.plan_latency = plan_hist_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    s.requests = requests_;
+  }
+  s.generation = rcu_.generation();
+  if (coalescer_ != nullptr) s.coalescer = coalescer_->stats();
+  if (caches_ != nullptr) {
+    s.score_cache = caches_->scores.TotalStats();
+    s.activation_cache = caches_->activations.TotalStats();
+  }
+  return s;
+}
+
+}  // namespace neo::serve

@@ -1,0 +1,190 @@
+// Optimizer-as-a-service: the concurrent serving front over Neo.
+//
+// ============================ Architecture =================================
+//
+//             Submit(query) ──► [ request queue (deque + cv) ]
+//                                       │ pop
+//             ┌─────────────────────────┼─────────────────────────┐
+//         worker 0                  worker 1        ...       worker N-1
+//        (dedicated std::thread, owns one core::PlanSearch)
+//             │ 1. ModelRcu::Acquire()      — wait-free weight snapshot
+//             │ 2. search.Rebind(snapshot)  — + shared-cache re-salt
+//             │ 3. FindPlan()               — scoring may coalesce ──┐
+//             │ 4. Neo::Serve()             — guarded execute/learn  │
+//             ▼                                                      ▼
+//        per-request ServeResult                    BatchCoalescer merges
+//        (latency histograms record)                concurrent searches'
+//                                                   candidate batches into
+//                                                   one PredictBatchMulti
+//
+// The pieces and why they exist:
+//
+// 1. Request queue + worker threads. Requests enqueue without blocking and
+//    drain through a fixed pool of workers, each owning one PlanSearch (its
+//    inference scratch is never shared). Workers are dedicated std::threads
+//    rather than util::ThreadPool tasks: the global pool is a fork-join
+//    ParallelFor primitive, and the searches still FEED it — each scoring
+//    round's GEMMs row-partition across the pool per SearchOptions::threads
+//    — so request concurrency and kernel parallelism compose instead of
+//    competing for one abstraction.
+//
+// 2. Cross-query batch coalescing (batch_coalescer.h). Concurrent searches'
+//    small candidate batches merge into one multi-query forest per scoring
+//    round — one GEMM per layer for the group — with per-score bits
+//    IDENTICAL to uncoalesced serving (the determinism contract of
+//    PredictBatchMulti / TreeConv::ForwardInferenceMulti).
+//
+// 3. Shared score/activation caches (core::SharedSearchCaches). The
+//    per-search LRUs promote to process-global sharded maps, so repeat
+//    queries hit scores cached by ANY worker and common subtrees share conv
+//    activations across searches. Keys are salted with (query fp, net
+//    version, kernel mode, RCU generation): invalidation is free — entries
+//    of dead snapshots simply stop being probed and age out.
+//
+// 4. RCU weight snapshots (model_rcu.h). Background retraining mutates only
+//    Neo's primary network; PublishWeights()/RetrainAndPublish() snapshot it
+//    into a standby and atomically swap the serving pointer. In-flight
+//    searches finish on the snapshot they acquired; retraining NEVER stalls
+//    serving and serving never reads half-written weights.
+//
+// Determinism: a single-client (workers=1, coalescing moot) serving loop is
+// bit-identical to calling FindPlan + ServeAndMaybeLearn inline on a twin
+// Neo at the same published weights; multi-client runs produce the same
+// per-request scores/plans whenever the cache/coalescing state they observe
+// is value-equal (both caches only ever store bitwise-recomputable values).
+//
+// Ordering: guarded execution (breaker/watchdog/experience) is serialized
+// inside Neo::Serve; the order concurrent requests reach it is scheduling-
+// dependent, which is inherent to concurrent serving, not an artifact.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/neo.h"
+#include "src/serve/batch_coalescer.h"
+#include "src/serve/model_rcu.h"
+#include "src/util/latency_histogram.h"
+#include "src/util/sharded_lru.h"
+#include "src/util/stopwatch.h"
+
+namespace neo::serve {
+
+struct ServingOptions {
+  int workers = 2;  ///< Request worker threads (clamped to >= 1).
+  bool coalesce = true;
+  BatchCoalescer::Options coalescer;
+  bool shared_caches = true;
+  size_t shared_score_cap = 1 << 20;        ///< Entries, split across shards.
+  size_t shared_activation_cap = 128 * 1024;
+  int cache_shards = 16;
+  core::SearchOptions search;
+};
+
+/// Everything one request observed, returned through the Submit future.
+struct ServeResult {
+  double latency_ms = 0.0;     ///< Executed (guarded) plan latency.
+  float predicted_cost = 0.0f;
+  uint64_t plan_hash = 0;
+  double queue_ms = 0.0;       ///< Submit -> worker pickup.
+  double plan_ms = 0.0;        ///< FindPlan wall time.
+  double total_ms = 0.0;       ///< Submit -> serve complete.
+  uint64_t generation = 0;     ///< RCU weight generation served under.
+  core::SearchResult search;
+};
+
+struct ServingStats {
+  util::LatencyHistogram total_latency;  ///< Per-request total_ms.
+  util::LatencyHistogram plan_latency;   ///< Per-request plan_ms.
+  uint64_t requests = 0;
+  uint64_t generation = 0;
+  BatchCoalescer::Stats coalescer;
+  util::ShardedLruStats score_cache;
+  util::ShardedLruStats activation_cache;
+};
+
+class ServingCore {
+ public:
+  /// `neo` must be bootstrapped (baselines/fallbacks recorded) before
+  /// serving starts and must outlive this object. The constructor publishes
+  /// the primary network's current weights as generation 1 and starts the
+  /// workers. Requires fast kernels (the reference-kernel path mutates
+  /// shared layer state and is single-thread only).
+  ServingCore(core::Neo* neo, ServingOptions options);
+  ~ServingCore();
+
+  ServingCore(const ServingCore&) = delete;
+  ServingCore& operator=(const ServingCore&) = delete;
+
+  /// Enqueues one request. `query` must stay alive until the future
+  /// resolves. `learn` feeds the observation back into experience (under
+  /// Neo's internal synchronization).
+  std::future<ServeResult> Submit(const query::Query& query, bool learn);
+
+  /// Submit + wait.
+  ServeResult ServeSync(const query::Query& query, bool learn);
+
+  /// Snapshots the primary network's weights into the RCU as a new serving
+  /// generation (e.g. after an external Retrain / weight load).
+  uint64_t PublishWeights();
+
+  /// Retrains Neo's primary network on current experience, then publishes
+  /// the result. Safe to call from a background thread while requests are
+  /// being served — serving keeps scoring on the previous generation until
+  /// the publish lands. Returns the final minibatch loss.
+  float RetrainAndPublish();
+
+  /// Blocks until the queue is empty and no request is in flight.
+  void Drain();
+
+  /// Drains nothing — workers finish any queued requests, then exit. Called
+  /// by the destructor; idempotent.
+  void Stop();
+
+  ServingStats stats() const;
+
+  core::Neo& neo() { return *neo_; }
+  const ServingOptions& options() const { return options_; }
+
+ private:
+  struct Task {
+    const query::Query* query = nullptr;
+    bool learn = false;
+    std::promise<ServeResult> promise;
+    util::Stopwatch queued;  ///< Starts at Submit.
+  };
+
+  void WorkerLoop(int worker_index);
+  ServeResult ServeOne(core::PlanSearch& search, const Task& task);
+
+  core::Neo* neo_;
+  ServingOptions options_;
+  ModelRcu rcu_;
+  std::unique_ptr<core::SharedSearchCaches> caches_;  ///< Null if disabled.
+  std::unique_ptr<BatchCoalescer> coalescer_;         ///< Null if disabled.
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drain_cv_;
+  std::deque<Task> queue_;
+  int in_flight_ = 0;
+  bool stopping_ = false;
+  uint64_t requests_ = 0;
+
+  std::mutex retrain_mu_;  ///< Serializes RetrainAndPublish callers.
+
+  mutable std::mutex stats_mu_;
+  util::LatencyHistogram total_hist_;
+  util::LatencyHistogram plan_hist_;
+
+  std::vector<std::unique_ptr<core::PlanSearch>> searches_;  ///< One per worker.
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace neo::serve

@@ -34,6 +34,7 @@ bool FaultInjector::Draw(Site site, uint64_t key, double p) {
 }
 
 double FaultInjector::PerturbLatency(uint64_t plan_key, double latency_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!Draw(Site::kLatencySpike, plan_key, config_.latency_spike_p)) {
     return latency_ms;
   }
@@ -42,12 +43,14 @@ double FaultInjector::PerturbLatency(uint64_t plan_key, double latency_ms) {
 }
 
 bool FaultInjector::DrawExecutionFailure(uint64_t plan_key) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!Draw(Site::kExecFailure, plan_key, config_.exec_failure_p)) return false;
   ++failures_;
   return true;
 }
 
 bool FaultInjector::DrawWeightCorruption(uint64_t step_key) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!Draw(Site::kWeightCorruption, step_key, config_.weight_corruption_p)) {
     return false;
   }

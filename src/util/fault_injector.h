@@ -13,11 +13,18 @@
 // execution failures; `Neo::SetFaultInjector` arms per-retrain weight
 // corruption. Nothing injects by default — an injector must be constructed
 // (explicitly, or from the NEO_FAULT_* environment via `FromEnv`) and
-// attached. Not thread-safe: callers inject only from serial phases (engine
-// execution and retraining are serial even in parallel episodes).
+// attached. Draws are internally mutex-serialized so the serving core's
+// guarded serves (engine draw sites) may overlap a background retrain (the
+// weight-corruption site). Determinism is unchanged where it matters: a draw
+// depends only on its per-(site, key) occurrence index, and any single
+// site/key stream is still issued from one serialized phase (engine draws
+// run under the engine's execution serialization; retrain draws are ordered
+// by retrain index), so cross-thread interleaving across distinct streams
+// cannot reorder any stream's occurrences.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "src/util/rng.h"
@@ -71,15 +78,28 @@ class FaultInjector {
   /// True if the retrain identified by `step_key` should corrupt weights.
   bool DrawWeightCorruption(uint64_t step_key);
 
-  size_t latency_spikes() const { return spikes_; }
-  size_t execution_failures() const { return failures_; }
-  size_t weight_corruptions() const { return corruptions_; }
+  size_t latency_spikes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spikes_;
+  }
+  size_t execution_failures() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return failures_;
+  }
+  size_t weight_corruptions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return corruptions_;
+  }
 
  private:
   /// One deterministic Bernoulli draw: hash(seed, site, key, occurrence).
+  /// Caller must hold mu_.
   bool Draw(Site site, uint64_t key, double p);
 
   FaultInjectorConfig config_;
+  /// Serializes the occurrence map and counters (see the thread-safety notes
+  /// in the file header).
+  mutable std::mutex mu_;
   /// Per-(site, key) occurrence counters; draws depend on per-key call
   /// sequence only, never on interleaving across keys.
   std::unordered_map<uint64_t, uint32_t> occurrence_;

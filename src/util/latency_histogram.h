@@ -1,0 +1,104 @@
+// Log-bucketed latency histogram for the serving loop and micro_serve.
+//
+// Buckets grow geometrically (10^(1/32) per bucket, ~7.46% width), covering
+// 1e-3 ms .. 1e5 ms in 256 buckets plus an underflow and an overflow bucket.
+// Rank extraction is exact over the bucket counts: Percentile(p) walks the
+// cumulative counts to the bucket holding the rank-ceil(p/100 * count) sample
+// and returns that bucket's upper edge clamped into [min, max] — so the
+// reported quantile is within one bucket width (<= 7.5%) of the true sample
+// value, and p0/p100 are the exact observed min/max. Count, sum, min, and max
+// are tracked exactly.
+//
+// Thread model: Record() is not synchronized — each thread owns its own
+// histogram and the aggregator combines them with Merge() (bucket counts and
+// the exact aggregates are all order-independent, so a merged histogram
+// equals one built from the concatenated samples).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace neo::util {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBucketsPerDecade = 32;
+  static constexpr int kDecades = 8;
+  static constexpr double kMinTracked = 1e-3;  ///< ms; below -> underflow.
+  /// Underflow + log range + overflow.
+  static constexpr int kNumBuckets = kDecades * kBucketsPerDecade + 2;
+
+  void Record(double ms) {
+    ++buckets_[static_cast<size_t>(BucketIndex(ms))];
+    ++count_;
+    sum_ += ms;
+    min_ = std::min(min_, ms);
+    max_ = std::max(max_, ms);
+  }
+
+  /// Adds another histogram's samples into this one.
+  void Merge(const LatencyHistogram& other) {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  /// Value at percentile p (0..100); 0 when empty. See the accuracy contract
+  /// in the file header.
+  double Percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    const double clamped = std::min(100.0, std::max(0.0, p));
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(count_)));
+    if (rank < 1) rank = 1;
+    uint64_t cum = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      cum += buckets_[static_cast<size_t>(i)];
+      if (cum >= rank) {
+        return std::min(max_, std::max(min_, BucketUpperEdge(i)));
+      }
+    }
+    return max_;
+  }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Bucket of a value: 0 = underflow, kNumBuckets-1 = overflow.
+  static int BucketIndex(double ms) {
+    if (!(ms > kMinTracked)) return 0;  // Also catches NaN -> underflow.
+    const int idx = 1 + static_cast<int>(std::floor(
+                            std::log10(ms / kMinTracked) *
+                            static_cast<double>(kBucketsPerDecade)));
+    return std::min(idx, kNumBuckets - 1);
+  }
+
+  /// Upper edge of a bucket (inclusive side used by Percentile); +inf for the
+  /// overflow bucket (Percentile clamps it to the exact max).
+  static double BucketUpperEdge(int bucket) {
+    if (bucket <= 0) return kMinTracked;
+    if (bucket >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+    return kMinTracked *
+           std::pow(10.0, static_cast<double>(bucket) /
+                              static_cast<double>(kBucketsPerDecade));
+  }
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace neo::util

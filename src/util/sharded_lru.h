@@ -1,0 +1,131 @@
+// Sharded, mutex-per-shard LRU map: the concurrency wrapper the serving
+// core's shared score/activation caches use around util::LruMap.
+//
+// Each key hashes to one shard; a shard is an LruMap plus a mutex plus exact
+// hit/miss/eviction counters. The capacity is split evenly across shards, so
+// eviction is exact-LRU *per shard* (global recency order is approximated —
+// acceptable for caches whose entries are bitwise-recomputable, which is the
+// contract of every cache in this codebase). Values are always copied out
+// under the shard lock (Visit runs the callback while holding it); callers
+// never receive pointers into the map, so a concurrent insert/eviction can
+// never invalidate a value in use — the property that makes the per-search
+// activation cache promotable to a process-global one.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "src/util/lru_map.h"
+#include "src/util/rng.h"
+
+namespace neo::util {
+
+/// Exact counter totals of one ShardedLruMap (shared by every instantiation
+/// so aggregators can hold stats from differently-typed maps uniformly).
+struct ShardedLruStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+};
+
+template <typename K, typename V>
+class ShardedLruMap {
+ public:
+  using Stats = ShardedLruStats;
+
+  /// `cap` is the total entry bound split across shards (0 = unbounded);
+  /// `shards` is rounded up to a power of two.
+  explicit ShardedLruMap(size_t cap = 0, int shards = 16) {
+    int n = 1;
+    while (n < shards) n <<= 1;
+    num_shards_ = static_cast<size_t>(n);
+    shards_ = std::make_unique<Shard[]>(num_shards_);
+    Clear(cap);
+  }
+
+  /// Drops all entries and re-splits `cap` across the shards.
+  void Clear(size_t cap) {
+    cap_ = cap;
+    const size_t per_shard = cap == 0 ? 0 : std::max<size_t>(1, cap / num_shards_);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      Shard& shard = shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.map.Clear(per_shard);
+      shard.stats = Stats();
+    }
+  }
+
+  /// Runs `fn(const V&)` under the shard lock if the key is present (touching
+  /// the entry), returning presence. The callback must copy what it needs —
+  /// the reference dies with the lock.
+  template <typename Fn>
+  bool Visit(const K& key, Fn&& fn) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (V* hit = shard.map.Find(key)) {
+      ++shard.stats.hits;
+      fn(static_cast<const V&>(*hit));
+      return true;
+    }
+    ++shard.stats.misses;
+    return false;
+  }
+
+  /// Copy-out convenience over Visit.
+  bool Lookup(const K& key, V* out) {
+    return Visit(key, [out](const V& v) { *out = v; });
+  }
+
+  /// Inserts (or overwrites + touches). Returns true if the shard evicted its
+  /// least-recently-used entry.
+  bool Insert(const K& key, V value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const bool evicted = shard.map.Insert(key, std::move(value));
+    if (evicted) ++shard.stats.evictions;
+    return evicted;
+  }
+
+  /// Exact counter totals summed across shards (takes every shard lock).
+  Stats TotalStats() const {
+    Stats total;
+    for (size_t s = 0; s < num_shards_; ++s) {
+      const Shard& shard = shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total.hits += shard.stats.hits;
+      total.misses += shard.stats.misses;
+      total.evictions += shard.stats.evictions;
+      total.entries += static_cast<uint64_t>(shard.map.size());
+    }
+    return total;
+  }
+
+  size_t capacity() const { return cap_; }
+  int num_shards() const { return static_cast<int>(num_shards_); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    LruMap<K, V> map;
+    Stats stats;
+  };
+
+  Shard& ShardFor(const K& key) {
+    // Keys here are already hashes (plan/subtree fingerprints mixed with a
+    // salt); remix so shard choice and the inner unordered_map's bucket
+    // choice never correlate.
+    const uint64_t h = Mix64(static_cast<uint64_t>(key));
+    return shards_[static_cast<size_t>(h) & (num_shards_ - 1)];
+  }
+
+  std::unique_ptr<Shard[]> shards_;
+  size_t num_shards_ = 0;
+  size_t cap_ = 0;
+};
+
+}  // namespace neo::util

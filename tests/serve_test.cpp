@@ -1,0 +1,510 @@
+// Serving-core tests: cross-query coalesced inference bit-identity, the
+// single-client serving == inline-loop parity contract, shared-cache
+// exactness under concurrency, RCU generation invalidation, retraining
+// overlapped with serving, the engine memo's concurrent counter exactness,
+// and the guarded-serve latency bound under fault injection. The asan/tsan
+// CI arms run this whole file, so every test doubles as a race probe.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/neo.h"
+#include "src/datagen/imdb_gen.h"
+#include "src/query/builder.h"
+#include "src/query/job_workload.h"
+#include "src/serve/serving_core.h"
+
+namespace neo::serve {
+namespace {
+
+using core::Neo;
+using core::NeoConfig;
+using engine::EngineKind;
+using query::PredOp;
+using query::Query;
+using query::QueryBuilder;
+
+class ServeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::GenOptions opt;
+    opt.scale = 0.05;
+    ds_ = new datagen::Dataset(datagen::GenerateImdb(opt));
+    featurizer_ = new featurize::Featurizer(ds_->schema, *ds_->db, {});
+    wl_ = new query::Workload(query::MakeJobWorkload(ds_->schema, *ds_->db));
+  }
+  static void TearDownTestSuite() {
+    delete wl_;
+    delete featurizer_;
+    delete ds_;
+  }
+
+  static NeoConfig SmallConfig(uint64_t seed = 7) {
+    NeoConfig cfg;
+    cfg.net.query_fc = {64, 32};
+    cfg.net.tree_channels = {32, 16};
+    cfg.net.head_fc = {16};
+    cfg.net.adam.lr = 1e-3f;
+    cfg.epochs_per_episode = 4;
+    cfg.batch_size = 32;
+    cfg.search.max_expansions = 40;
+    cfg.seed = seed;
+    return cfg;
+  }
+
+  /// A small spread of workload queries (every 19th JOB variant).
+  static std::vector<const Query*> TrainSet() {
+    std::vector<const Query*> train;
+    for (size_t i = 0; i < wl_->size(); i += 19) train.push_back(&wl_->query(i));
+    return train;
+  }
+
+  /// A bootstrapped Neo plus its private engine — twin rigs built from the
+  /// same config are bit-identical (same net seed, same expert baselines).
+  struct Rig {
+    std::unique_ptr<engine::ExecutionEngine> engine;
+    std::unique_ptr<Neo> neo;
+  };
+  static Rig MakeRig(const std::vector<const Query*>& train, const NeoConfig& cfg) {
+    Rig r;
+    r.engine = std::make_unique<engine::ExecutionEngine>(ds_->schema, *ds_->db,
+                                                         EngineKind::kPostgres);
+    r.neo = std::make_unique<Neo>(featurizer_, r.engine.get(), cfg);
+    auto native =
+        optim::MakeNativeOptimizer(EngineKind::kPostgres, ds_->schema, *ds_->db);
+    r.neo->Bootstrap(train, native.optimizer.get());
+    return r;
+  }
+
+  static datagen::Dataset* ds_;
+  static featurize::Featurizer* featurizer_;
+  static query::Workload* wl_;
+};
+
+datagen::Dataset* ServeFixture::ds_ = nullptr;
+featurize::Featurizer* ServeFixture::featurizer_ = nullptr;
+query::Workload* ServeFixture::wl_ = nullptr;
+
+// ---- Cross-query coalesced inference (PredictBatchMulti) -------------------
+
+TEST_F(ServeFixture, PredictBatchMultiBitwiseEqualsSoloPredictBatch) {
+  if (nn::UseReferenceKernels()) GTEST_SKIP() << "requires fast kernels";
+  nn::ValueNetConfig cfg;
+  cfg.query_dim = featurizer_->query_dim();
+  cfg.plan_dim = featurizer_->plan_dim();
+  cfg.query_fc = {32, 16};
+  cfg.tree_channels = {16, 8};
+  cfg.head_fc = {8};
+  cfg.seed = 3;
+  nn::ValueNetwork net(cfg);
+  core::PlanSearch helper(featurizer_, &net);
+
+  // Three distinct queries, each contributing one expansion round's worth of
+  // candidate plans (the exact batch shape serving coalesces).
+  const std::vector<const Query*> queries = {&wl_->query(0), &wl_->query(19),
+                                             &wl_->query(38)};
+  std::vector<nn::Matrix> embeds;
+  std::vector<nn::PlanBatch> batches;
+  std::vector<std::vector<plan::PartialPlan>> children(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = *queries[i];
+    children[i] = helper.Children(q, plan::PartialPlan::Initial(q));
+    ASSERT_GT(children[i].size(), 1u) << "query " << i;
+    std::vector<const plan::PartialPlan*> ptrs;
+    for (const plan::PartialPlan& p : children[i]) ptrs.push_back(&p);
+    nn::PlanBatch batch;
+    featurizer_->EncodePlanBatch(q, ptrs, &batch);
+    batches.push_back(std::move(batch));
+    embeds.push_back(net.EmbedQuery(featurizer_->EncodeQuery(q)));
+  }
+
+  nn::ValueNetwork::InferenceContext solo_ctx;
+  std::vector<float> expected;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const std::vector<float> scores =
+        net.PredictBatch(embeds[i], batches[i], &solo_ctx);
+    expected.insert(expected.end(), scores.begin(), scores.end());
+  }
+
+  std::vector<nn::MultiPredictItem> items;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    items.push_back({&embeds[i], &batches[i], nullptr});
+  }
+  nn::ValueNetwork::InferenceContext multi_ctx;
+  const std::vector<float> merged =
+      net.PredictBatchMulti(items.data(), items.size(), &multi_ctx);
+  ASSERT_EQ(merged.size(), expected.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i], expected[i]) << "row " << i;  // Bitwise.
+  }
+
+  // n == 1 delegates to the plain batched path.
+  const std::vector<float> one =
+      net.PredictBatchMulti(items.data(), 1, &multi_ctx);
+  const std::vector<float> direct = net.PredictBatch(embeds[0], batches[0], &solo_ctx);
+  ASSERT_EQ(one.size(), direct.size());
+  for (size_t i = 0; i < one.size(); ++i) EXPECT_EQ(one[i], direct[i]);
+}
+
+TEST_F(ServeFixture, CoalescerIsBitTransparentUnderConcurrency) {
+  // Hammer one BatchCoalescer from four threads; whatever merge pattern the
+  // scheduler produces, every returned score vector must be bitwise equal to
+  // the direct PredictBatch of the same request.
+  if (nn::UseReferenceKernels()) GTEST_SKIP() << "requires fast kernels";
+  nn::ValueNetConfig cfg;
+  cfg.query_dim = featurizer_->query_dim();
+  cfg.plan_dim = featurizer_->plan_dim();
+  cfg.query_fc = {32, 16};
+  cfg.tree_channels = {16, 8};
+  cfg.head_fc = {8};
+  cfg.seed = 5;
+  nn::ValueNetwork net(cfg);
+  core::PlanSearch helper(featurizer_, &net);
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 50;
+  std::vector<const Query*> queries;
+  for (int t = 0; t < kThreads; ++t) queries.push_back(&wl_->query(static_cast<size_t>(t) * 7));
+
+  // Per-thread request + its solo reference, computed up front.
+  std::vector<nn::Matrix> embeds;
+  std::vector<nn::PlanBatch> batches;
+  std::vector<std::vector<plan::PartialPlan>> children(queries.size());
+  std::vector<std::vector<float>> reference;
+  {
+    nn::ValueNetwork::InferenceContext ctx;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const Query& q = *queries[i];
+      children[i] = helper.Children(q, plan::PartialPlan::Initial(q));
+      std::vector<const plan::PartialPlan*> ptrs;
+      for (const plan::PartialPlan& p : children[i]) ptrs.push_back(&p);
+      nn::PlanBatch batch;
+      featurizer_->EncodePlanBatch(q, ptrs, &batch);
+      batches.push_back(std::move(batch));
+      embeds.push_back(net.EmbedQuery(featurizer_->EncodeQuery(q)));
+      reference.push_back(net.PredictBatch(embeds[i], batches[i], &ctx));
+    }
+  }
+
+  BatchCoalescer::Options copt;
+  copt.max_merge = kThreads;
+  copt.window_us = 500;
+  BatchCoalescer coalescer(copt);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      nn::ValueNetwork::InferenceContext ctx;
+      coalescer.BeginSearch();
+      for (int i = 0; i < kIters; ++i) {
+        const std::vector<float> got = coalescer.ScoreBatch(
+            &net, embeds[static_cast<size_t>(t)], batches[static_cast<size_t>(t)],
+            nullptr, &ctx);
+        if (got != reference[static_cast<size_t>(t)]) mismatches.fetch_add(1);
+      }
+      coalescer.EndSearch();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Every call is accounted exactly once: directly or as a merged member.
+  const BatchCoalescer::Stats s = coalescer.stats();
+  EXPECT_EQ(s.direct_calls + s.merged_requests,
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+// ---- Single-client parity (the acceptance contract) ------------------------
+
+TEST_F(ServeFixture, SingleClientServingBitIdenticalToInlineGuardedLoop) {
+  if (nn::UseReferenceKernels()) GTEST_SKIP() << "requires fast kernels";
+  const std::vector<const Query*> train = TrainSet();
+  ASSERT_GE(train.size(), 5u);
+  NeoConfig cfg = SmallConfig();
+  cfg.guards.watchdog.baseline_factor = 4.0;
+  cfg.guards.breaker.enabled = true;
+  cfg.guards.health.enabled = true;
+
+  // Twin A: the pre-serving inline loop (plan + guarded execute + learn).
+  Rig a = MakeRig(train, cfg);
+  ASSERT_TRUE(a.neo->GuardsActive());
+  std::vector<double> inline_lat;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Query* q : train) inline_lat.push_back(a.neo->ExecuteAndLearn(*q));
+  }
+
+  // Twin B: the same requests through a single-worker serving core (RCU
+  // snapshot + shared caches + coalescer installed, all of which must be
+  // transparent).
+  Rig b = MakeRig(train, cfg);
+  std::vector<double> served_lat;
+  {
+    ServingOptions sopt;
+    sopt.workers = 1;
+    sopt.search = cfg.search;
+    ServingCore core(b.neo.get(), sopt);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const Query* q : train) {
+        served_lat.push_back(core.ServeSync(*q, /*learn=*/true).latency_ms);
+      }
+    }
+  }
+
+  ASSERT_EQ(inline_lat.size(), served_lat.size());
+  for (size_t i = 0; i < inline_lat.size(); ++i) {
+    EXPECT_EQ(inline_lat[i], served_lat[i]) << "request " << i;  // Bitwise.
+  }
+  EXPECT_EQ(a.neo->experience().NumStates(), b.neo->experience().NumStates());
+  for (const Query* q : train) {
+    EXPECT_EQ(a.neo->experience().BestCost(q->id), b.neo->experience().BestCost(q->id));
+  }
+  const core::GuardStats ga = a.neo->guard_stats();
+  const core::GuardStats gb = b.neo->guard_stats();
+  EXPECT_EQ(ga.learned_serves, gb.learned_serves);
+  EXPECT_EQ(ga.fallback_serves, gb.fallback_serves);
+  EXPECT_EQ(ga.timeouts, gb.timeouts);
+  EXPECT_EQ(a.engine->num_executions(), b.engine->num_executions());
+}
+
+// ---- Concurrent serving matches the serial reference -----------------------
+
+TEST_F(ServeFixture, ConcurrentServingMatchesSerialReference) {
+  if (nn::UseReferenceKernels()) GTEST_SKIP() << "requires fast kernels";
+  const std::vector<const Query*> train = TrainSet();
+  const NeoConfig cfg = SmallConfig();
+
+  // Serial reference on twin A: plan + guarded serve, no learning — so the
+  // per-query outcome is order-independent and comparable request-by-request.
+  Rig a = MakeRig(train, cfg);
+  std::map<int, std::pair<double, uint64_t>> expected;  // id -> (latency, hash)
+  for (const Query* q : train) {
+    const core::SearchResult r = a.neo->search().FindPlan(*q, cfg.search);
+    const double lat = a.neo->Serve(*q, r.plan, /*learn=*/false);
+    expected[q->id] = {lat, r.plan.Hash()};
+  }
+
+  Rig b = MakeRig(train, cfg);
+  ServingOptions sopt;
+  sopt.workers = 4;
+  sopt.search = cfg.search;
+  ServingCore core(b.neo.get(), sopt);
+  constexpr int kPasses = 4;
+  std::vector<std::pair<const Query*, std::future<ServeResult>>> inflight;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    for (const Query* q : train) {
+      inflight.emplace_back(q, core.Submit(*q, /*learn=*/false));
+    }
+  }
+  for (auto& [q, fut] : inflight) {
+    const ServeResult r = fut.get();
+    const auto& [lat, hash] = expected.at(q->id);
+    EXPECT_EQ(r.latency_ms, lat) << "query " << q->id;   // Bitwise.
+    EXPECT_EQ(r.plan_hash, hash) << "query " << q->id;
+    EXPECT_EQ(r.generation, 1u);
+    EXPECT_GE(r.total_ms, r.plan_ms);
+  }
+
+  const ServingStats stats = core.stats();
+  EXPECT_EQ(stats.requests, train.size() * kPasses);
+  EXPECT_EQ(stats.total_latency.count(), train.size() * kPasses);
+  EXPECT_EQ(stats.generation, 1u);
+  // Repeat passes of identical queries must hit the shared score cache.
+  EXPECT_GT(stats.score_cache.hits, 0u);
+}
+
+// ---- Shared caches ---------------------------------------------------------
+
+TEST_F(ServeFixture, SharedCachesStayExactAcrossConcurrentSameQuerySearches) {
+  if (nn::UseReferenceKernels()) GTEST_SKIP() << "requires fast kernels";
+  const std::vector<const Query*> train = TrainSet();
+  const NeoConfig cfg = SmallConfig();
+  const Query& q = *train[0];
+
+  // Isolated reference: a fresh search with private caches on the primary net.
+  Rig ref = MakeRig(train, cfg);
+  core::PlanSearch isolated(featurizer_, &ref.neo->net());
+  const core::SearchResult solo = isolated.FindPlan(q, cfg.search);
+
+  Rig b = MakeRig(train, cfg);
+  ServingOptions sopt;
+  sopt.workers = 2;
+  sopt.search = cfg.search;
+  ServingCore core(b.neo.get(), sopt);
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 16; ++i) futures.push_back(core.Submit(q, /*learn=*/false));
+  for (std::future<ServeResult>& f : futures) {
+    const ServeResult r = f.get();
+    EXPECT_EQ(r.plan_hash, solo.plan.Hash());
+    EXPECT_EQ(r.predicted_cost, solo.predicted_cost);  // Bitwise.
+  }
+  // By the later requests the shared score cache is warm (two workers, so
+  // request 16 starts after >= 14 finished inserting).
+  EXPECT_GT(core.stats().score_cache.hits, 0u);
+}
+
+TEST_F(ServeFixture, PublishedGenerationInvalidatesWithoutStaleScores) {
+  if (nn::UseReferenceKernels()) GTEST_SKIP() << "requires fast kernels";
+  const std::vector<const Query*> train = TrainSet();
+  const NeoConfig cfg = SmallConfig();
+  const Query& q = *train[1];
+
+  Rig b = MakeRig(train, cfg);
+  ServingOptions sopt;
+  sopt.workers = 1;
+  sopt.search = cfg.search;
+  ServingCore core(b.neo.get(), sopt);
+
+  const ServeResult before = core.ServeSync(q, /*learn=*/false);
+  EXPECT_EQ(before.generation, 1u);
+
+  // Retrain mutates the weights; the publish swaps serving onto them.
+  core.RetrainAndPublish();
+  const ServeResult after = core.ServeSync(q, /*learn=*/false);
+  EXPECT_EQ(after.generation, 2u);
+
+  // A fresh isolated search on the retrained primary net is the no-stale
+  // oracle: if any generation-1 shared-cache entry leaked into the second
+  // serve, its plan/score could not match this one bitwise.
+  core::PlanSearch isolated(featurizer_, &b.neo->net());
+  const core::SearchResult fresh = isolated.FindPlan(q, cfg.search);
+  EXPECT_EQ(after.plan_hash, fresh.plan.Hash());
+  EXPECT_EQ(after.predicted_cost, fresh.predicted_cost);  // Bitwise.
+}
+
+// ---- Retraining overlapped with serving ------------------------------------
+
+TEST_F(ServeFixture, RetrainRunsConcurrentlyWithServing) {
+  if (nn::UseReferenceKernels()) GTEST_SKIP() << "requires fast kernels";
+  const std::vector<const Query*> train = TrainSet();
+  const NeoConfig cfg = SmallConfig();
+  Rig b = MakeRig(train, cfg);
+  ServingOptions sopt;
+  sopt.workers = 2;
+  sopt.search = cfg.search;
+  ServingCore core(b.neo.get(), sopt);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> served{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      size_t i = static_cast<size_t>(c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ServeResult r =
+            core.ServeSync(*train[i % train.size()], /*learn=*/true);
+        EXPECT_GT(r.latency_ms, 0.0);
+        served.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+    });
+  }
+  // Two background retrain+publish cycles while the clients hammer away.
+  // The tsan CI arm turns any serving/retraining race into a failure here.
+  for (int r = 0; r < 2; ++r) core.RetrainAndPublish();
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  core.Drain();
+
+  EXPECT_GT(served.load(), 0);
+  EXPECT_EQ(core.stats().generation, 3u);  // Ctor publish + two retrains.
+}
+
+// ---- Engine memo exactness under concurrency (satellite a) -----------------
+
+TEST_F(ServeFixture, EngineMemoCountersExactUnderConcurrentExecutes) {
+  auto native =
+      optim::MakeNativeOptimizer(EngineKind::kPostgres, ds_->schema, *ds_->db);
+  const std::vector<const Query*> train = TrainSet();
+  constexpr int kPlans = 4;
+  std::vector<const Query*> queries(train.begin(), train.begin() + kPlans);
+  std::vector<plan::PartialPlan> plans;
+  std::vector<double> serial;
+  {
+    engine::ExecutionEngine probe(ds_->schema, *ds_->db, EngineKind::kPostgres);
+    for (const Query* q : queries) {
+      plans.push_back(native.optimizer->Optimize(*q));
+      serial.push_back(probe.ExecutePlan(*q, plans.back()));
+    }
+  }
+
+  engine::ExecutionEngine engine(ds_->schema, *ds_->db, EngineKind::kPostgres);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        for (int p = 0; p < kPlans; ++p) {
+          const double lat =
+              engine.ExecutePlan(*queries[static_cast<size_t>(p)],
+                                 plans[static_cast<size_t>(p)]);
+          if (lat != serial[static_cast<size_t>(p)]) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const size_t total = static_cast<size_t>(kThreads) * kIters * kPlans;
+  EXPECT_EQ(engine.num_executions(), total);
+  // The whole-body lock makes the memo probe-or-compute atomic: each plan
+  // misses exactly once, every other execution hits.
+  EXPECT_EQ(engine.latency_cache_misses(), static_cast<size_t>(kPlans));
+  EXPECT_EQ(engine.latency_cache_hits(), total - kPlans);
+  EXPECT_EQ(engine.latency_cache_evictions(), 0u);
+  EXPECT_EQ(engine.num_distinct_plans(), static_cast<size_t>(kPlans));
+}
+
+// ---- Guarded bound under faults, concurrently (faults-arm coverage) --------
+
+TEST_F(ServeFixture, ConcurrentGuardedServesStayWithinWatchdogBound) {
+  if (nn::UseReferenceKernels()) GTEST_SKIP() << "requires fast kernels";
+  const std::vector<const Query*> train = TrainSet();
+  constexpr double kFactor = 2.0;
+  NeoConfig cfg = SmallConfig();
+  cfg.guards.watchdog.baseline_factor = kFactor;
+  cfg.guards.breaker.enabled = true;
+  cfg.guards.breaker.trip_after = 1;
+
+  Rig b = MakeRig(train, cfg);
+  util::FaultInjectorConfig fcfg;
+  fcfg.enabled = true;
+  fcfg.seed = 23;
+  fcfg.latency_spike_p = 0.3;
+  fcfg.latency_spike_factor = 40.0;
+  util::FaultInjector injector(fcfg);
+  b.engine->SetFaultInjector(&injector);
+
+  {
+    ServingOptions sopt;
+    sopt.workers = 4;
+    sopt.search = cfg.search;
+    ServingCore core(b.neo.get(), sopt);
+    std::vector<std::pair<const Query*, std::future<ServeResult>>> inflight;
+    for (int pass = 0; pass < 4; ++pass) {
+      for (const Query* q : train) {
+        inflight.emplace_back(q, core.Submit(*q, /*learn=*/true));
+      }
+    }
+    for (auto& [q, fut] : inflight) {
+      const ServeResult r = fut.get();
+      // Structural bound: learned or fallback, every serve is clipped at
+      // kFactor x the query's expert baseline, faults notwithstanding.
+      EXPECT_LE(r.latency_ms, kFactor * b.neo->Baseline(q->id) * (1.0 + 1e-9))
+          << "query " << q->id;
+    }
+    EXPECT_GE(b.neo->guard_stats().timeouts, 1);
+  }
+  b.engine->SetFaultInjector(nullptr);
+}
+
+}  // namespace
+}  // namespace neo::serve
