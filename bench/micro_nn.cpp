@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/nn/value_network.h"
+#include "src/util/alloc_counter.h"
 #include "src/util/stopwatch.h"
 
 namespace {
@@ -261,6 +262,7 @@ struct TrainThroughput {
   float first_loss = 0.0f;
   float final_loss = 0.0f;
   size_t peak_scratch_bytes = 0;
+  uint64_t steady_allocs = 0;  ///< Heap allocs in one post-warmup step.
   std::vector<TreeConv::TrainStats> conv_stats;  ///< Per layer, per step.
   std::vector<int> conv_in, conv_out;
 };
@@ -301,7 +303,15 @@ TrainThroughput MeasureTrainThroughput(bool packed, bool sparse, int threads,
 
   TrainThroughput out;
   out.first_loss = net.TrainBatch(ptrs, targets);  // Warm-up step (untimed).
-  out.final_loss = out.first_loss;
+  out.final_loss = net.TrainBatch(ptrs, targets);  // Buffers now at capacity.
+  // Steady-state alloc probe: TrainBatch brackets its own work in an
+  // AllocRegionScope, so RegionAllocs() counts exactly the step's heap
+  // traffic. The packed path must be zero once warm.
+  neo::util::ArmAllocCounter(true);
+  neo::util::ResetRegionAllocs();
+  out.final_loss = net.TrainBatch(ptrs, targets);
+  out.steady_allocs = neo::util::RegionAllocs();
+  neo::util::ArmAllocCounter(false);
   net.ResetConvTrainStats();
   neo::util::Stopwatch watch;
   for (int i = 0; i < steps; ++i) out.final_loss = net.TrainBatch(ptrs, targets);
@@ -331,10 +341,12 @@ void PrintTrainArm(std::FILE* out, const char* name, const TrainThroughput& r,
   std::fprintf(out,
                "  \"%s\": {\"samples_per_sec\": %.1f, \"step_ms_mean\": %.3f,"
                " \"first_loss\": %.6f, \"final_loss\": %.6f,"
-               " \"peak_train_scratch_bytes\": %zu}%s\n",
+               " \"peak_train_scratch_bytes\": %zu,"
+               " \"steady_state_heap_allocs\": %llu}%s\n",
                name, r.samples_per_sec, r.step_ms_mean,
                static_cast<double>(r.first_loss),
                static_cast<double>(r.final_loss), r.peak_scratch_bytes,
+               static_cast<unsigned long long>(r.steady_allocs),
                trailing_comma);
 }
 
@@ -413,6 +425,16 @@ void WriteTrainJson(const std::string& path, int steps) {
   }
   PrintConvLayers(out, "conv_layers_dense", dense_train, ",");
   PrintConvLayers(out, "conv_layers", sparse_train, ",");
+  // Zero-alloc gate for the default (packed sparse) training path. When the
+  // alloc counter is compiled out (sanitizer builds) the gate is vacuous.
+  const bool counter_active = neo::util::AllocCounterActive();
+  const bool zero_alloc = !counter_active || sparse_train.steady_allocs == 0;
+  std::fprintf(out, "  \"alloc_counter_active\": %s,\n",
+               counter_active ? "true" : "false");
+  std::fprintf(out, "  \"steady_state_heap_allocs\": %llu,\n",
+               static_cast<unsigned long long>(sparse_train.steady_allocs));
+  std::fprintf(out, "  \"steady_state_zero_alloc\": %s,\n",
+               zero_alloc ? "true" : "false");
   std::fprintf(out, "  \"first_loss_bit_identical\": %s,\n",
                first_loss_bit_identical ? "true" : "false");
   std::fprintf(out, "  \"final_loss_bit_identical\": %s,\n",
@@ -426,10 +448,13 @@ void WriteTrainJson(const std::string& path, int steps) {
   }
   std::fclose(out);
   std::printf("TrainBatch throughput (batch 64): per-sample %.0f, dense %.0f,"
-              " sparse %.0f samples/s (%.2fx sparse-vs-dense, %.2fx packing;"
+              " sparse %.0f samples/s; steady-state allocs/step %llu"
+              " (%.2fx sparse-vs-dense, %.2fx packing;"
               " loss bit-identical first=%d final=%d",
               per_sample.samples_per_sec, dense_train.samples_per_sec,
-              sparse_train.samples_per_sec, speedup_sparse, speedup_packing,
+              sparse_train.samples_per_sec,
+              static_cast<unsigned long long>(sparse_train.steady_allocs),
+              speedup_sparse, speedup_packing,
               first_loss_bit_identical ? 1 : 0, final_loss_bit_identical ? 1 : 0);
   if (thread_arms_skipped) {
     std::printf("; thread arms skipped, hardware_threads=%u) -> %s\n", hw,

@@ -32,6 +32,7 @@
 #include "src/datagen/imdb_gen.h"
 #include "src/query/job_workload.h"
 #include "src/serve/serving_core.h"
+#include "src/util/alloc_counter.h"
 #include "src/util/stopwatch.h"
 
 namespace {
@@ -142,6 +143,8 @@ struct ArmResult {
   serve::BatchCoalescer::Stats coalescer;
   util::ShardedLruStats score_cache;
   util::ShardedLruStats activation_cache;
+  util::ShardedLruStats leaf_cache;
+  uint64_t leaf_tier_hits = 0;
 };
 
 /// One serving arm: `clients` closed-loop threads issue `requests` total
@@ -194,7 +197,42 @@ ArmResult RunArm(int clients, bool coalesced, int requests, int reps) {
   r.coalescer = stats.coalescer;
   r.score_cache = stats.score_cache;
   r.activation_cache = stats.activation_cache;
+  r.leaf_cache = stats.leaf_cache;
+  r.leaf_tier_hits = stats.leaf_tier_hits;
   return r;
+}
+
+/// Steady-state allocation probe over the real scoring path: a warmed direct
+/// PlanSearch (no coalescer — the gather/merge machinery inherently
+/// allocates) alternating over a few queries so every round does full NN
+/// work (the per-query score cache re-salts on each switch) while all
+/// buffers sit at capacity. RegionAllocs() counts mallocs inside ScoreAll's
+/// probe+forward region only.
+struct SteadyState {
+  uint64_t heap_allocs = 0;
+  size_t slab_peak_bytes = 0;
+  bool counter_active = false;
+};
+
+SteadyState MeasureSteadyState() {
+  Fixture& f = Fixture::Get();
+  const core::NeoConfig cfg = Fixture::Config();
+  Rig rig = MakeRig(cfg);
+  rig.neo->Retrain();
+  core::PlanSearch search(f.feat.get(), &rig.neo->net());
+  const size_t rotation = std::min<size_t>(4, f.train.size());
+  for (size_t i = 0; i < 3 * rotation; ++i) {
+    search.FindPlan(*f.train[i % rotation], cfg.search);
+  }
+  util::ArmAllocCounter(true);
+  util::ResetRegionAllocs();
+  search.FindPlan(*f.train[0], cfg.search);
+  SteadyState out;
+  out.heap_allocs = util::RegionAllocs();
+  util::ArmAllocCounter(false);
+  out.slab_peak_bytes = search.activation_slab_peak_bytes();
+  out.counter_active = util::AllocCounterActive();
+  return out;
 }
 
 /// Acceptance probe: a one-worker serving loop must replay the inline
@@ -287,7 +325,9 @@ void AppendArmJson(std::FILE* out, const ArmResult& r, bool last) {
                " \"merged_groups\": %llu, \"merged_requests\": %llu,"
                " \"direct_calls\": %llu,"
                " \"score_cache_hits\": %llu, \"score_cache_misses\": %llu,"
-               " \"activation_cache_hits\": %llu}%s\n",
+               " \"activation_cache_hits\": %llu,"
+               " \"leaf_tier_hits\": %llu, \"leaf_cache_hits\": %llu,"
+               " \"coalescer_window_us\": %d}%s\n",
                r.clients, r.coalesced ? "true" : "false", r.workers,
                static_cast<unsigned long long>(r.requests), r.qps, r.p50_ms,
                r.p95_ms, r.p99_ms,
@@ -297,7 +337,9 @@ void AppendArmJson(std::FILE* out, const ArmResult& r, bool last) {
                static_cast<unsigned long long>(r.score_cache.hits),
                static_cast<unsigned long long>(r.score_cache.misses),
                static_cast<unsigned long long>(r.activation_cache.hits),
-               last ? "" : ",");
+               static_cast<unsigned long long>(r.leaf_tier_hits),
+               static_cast<unsigned long long>(r.leaf_cache.hits),
+               r.coalescer.last_window_us, last ? "" : ",");
 }
 
 void WriteServeJson(const std::string& path, int reps) {
@@ -336,6 +378,8 @@ void WriteServeJson(const std::string& path, int reps) {
 
   const bool bit_identical = SingleClientBitIdentical();
   const RetrainOverlap overlap = MeasureRetrainOverlap();
+  const SteadyState steady = MeasureSteadyState();
+  const bool zero_alloc = !steady.counter_active || steady.heap_allocs == 0;
 
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
@@ -360,12 +404,19 @@ void WriteServeJson(const std::string& path, int reps) {
                "  \"single_client_bit_identical\": %s,\n"
                "  \"qps_scaling_ok\": %s,\n"
                "  \"coalesce_speedup_8clients\": %.3f,\n"
+               "  \"alloc_counter_active\": %s,\n"
+               "  \"steady_state_heap_allocs\": %llu,\n"
+               "  \"steady_state_zero_alloc\": %s,\n"
+               "  \"activation_slab_peak_bytes\": %zu,\n"
                "  \"retrain_overlap\": {\"retrains\": %d,"
                " \"serves_during_retrain\": %llu, \"final_generation\": %llu,"
                " \"qps\": %.2f}\n"
                "}\n",
                bit_identical ? "true" : "false", qps_scaling_ok ? "true" : "false",
-               coalesce_speedup, overlap.retrains,
+               coalesce_speedup, steady.counter_active ? "true" : "false",
+               static_cast<unsigned long long>(steady.heap_allocs),
+               zero_alloc ? "true" : "false", steady.slab_peak_bytes,
+               overlap.retrains,
                static_cast<unsigned long long>(overlap.serves_during_retrain),
                static_cast<unsigned long long>(overlap.final_generation),
                overlap.qps);
@@ -374,10 +425,12 @@ void WriteServeJson(const std::string& path, int reps) {
   std::printf(
       "serving: 1-client %.0f qps; best multi-client %.0f qps (%u hw threads,"
       " scaling ok: %s); coalesce speedup @8 clients %.2fx;"
-      " single-client bit-identical: %s; %llu serves overlapped %d retrains"
+      " single-client bit-identical: %s; steady-state allocs %llu"
+      " (slab peak %zu B); %llu serves overlapped %d retrains"
       " (generation %llu) -> %s\n",
       qps_1, qps_multi_best, hw, qps_scaling_ok ? "yes" : "NO", coalesce_speedup,
       bit_identical ? "yes" : "NO",
+      static_cast<unsigned long long>(steady.heap_allocs), steady.slab_peak_bytes,
       static_cast<unsigned long long>(overlap.serves_during_retrain),
       overlap.retrains, static_cast<unsigned long long>(overlap.final_generation),
       path.c_str());

@@ -1,10 +1,10 @@
 #include "src/core/search.h"
 
 #include <algorithm>
-#include <queue>
-#include <unordered_set>
+#include <cstring>
 
 #include "src/engine/latency_model.h"
+#include "src/util/alloc_counter.h"
 #include "src/util/status.h"
 #include "src/util/stopwatch.h"
 
@@ -35,6 +35,18 @@ const plan::PlanNode* FirstUnspecified(const plan::PlanNode& node) {
   if (node.num_unspecified == 0) return nullptr;
   if (const plan::PlanNode* l = FirstUnspecified(*node.left)) return l;
   return FirstUnspecified(*node.right);
+}
+
+/// Largest subtree (in packed-forest nodes) eligible for the shared leaf
+/// tier: leaves and first-order joins — the rows every fresh search
+/// recomputes in its first expansion rounds.
+constexpr int kLeafTierMaxNodes = 3;
+
+/// Kernel mode/ISA bits folded into every shared-cache salt; the low tag bit
+/// keeps any salt from colliding with a raw fingerprint.
+uint64_t KernelModeBits() {
+  return (static_cast<uint64_t>(nn::ActiveKernelIsa()) << 2) |
+         (nn::UseReferenceKernels() ? 2u : 0u) | 1u;
 }
 
 }  // namespace
@@ -151,12 +163,9 @@ void PlanSearch::SyncCache(const query::Query& query, const SearchOptions& optio
     // by re-salting, so entries from other tuples are simply never probed.
     // The mode bits get a low tag bit so a (fp, version) pair can never
     // produce the same salt as a raw fingerprint.
-    const uint64_t mode_bits =
-        (static_cast<uint64_t>(nn::ActiveKernelIsa()) << 2) |
-        (nn::UseReferenceKernels() ? 2u : 0u) | 1u;
     salt_ = util::Mix64(util::HashCombine(
         util::HashCombine(util::HashCombine(query.fingerprint, net_->version()),
-                          mode_bits),
+                          KernelModeBits()),
         shared_generation_));
   }
   cache_query_fp_ = query.fingerprint;
@@ -204,15 +213,16 @@ float PlanSearch::Score(const query::Query& query, const nn::Matrix& query_embed
   return ScoreUncached(query, query_embedding, plan, h, result);
 }
 
-std::vector<float> PlanSearch::ScoreAll(const query::Query& query,
-                                        const nn::Matrix& query_embedding,
-                                        const std::vector<plan::PartialPlan>& plans,
-                                        const std::vector<uint64_t>* hashes,
-                                        const SearchOptions& options,
-                                        SearchResult* result) {
+void PlanSearch::ScoreAll(const query::Query& query,
+                          const nn::Matrix& query_embedding,
+                          const std::vector<plan::PartialPlan>& plans,
+                          const std::vector<uint64_t>* hashes,
+                          const SearchOptions& options, SearchResult* result,
+                          std::vector<float>* out) {
   SyncCache(query, options);
   NEO_CHECK(hashes == nullptr || hashes->size() == plans.size());
-  std::vector<float> scores(plans.size(), 0.0f);
+  std::vector<float>& scores = *out;
+  scores.assign(plans.size(), 0.0f);
   std::vector<const plan::PartialPlan*>& misses = miss_scratch_;
   std::vector<size_t>& miss_idx = miss_idx_scratch_;
   std::vector<uint64_t>& miss_hash = miss_hash_scratch_;
@@ -239,7 +249,7 @@ std::vector<float> PlanSearch::ScoreAll(const query::Query& query,
       miss_hash.push_back(h);
     }
   }
-  if (misses.empty()) return scores;
+  if (misses.empty()) return;
 
   if (options.batched) {
     result->evaluations += misses.size();
@@ -253,62 +263,99 @@ std::vector<float> PlanSearch::ScoreAll(const query::Query& query,
     const bool use_act = options.incremental && !nn::UseReferenceKernels();
     const nn::ActivationReuse* reuse = nullptr;
     const size_t entry_floats = static_cast<size_t>(net_->TotalConvChannels());
-    if (use_act) {
-      const size_t n_rows = batch_scratch_.node_fp.size();
-      reuse_scratch_.cached.assign(n_rows, nullptr);
-      reuse_scratch_.store.assign(n_rows, nullptr);
-      size_t n_dirty = 0;
-      if (shared_ != nullptr) {
-        // Shared mode sizes the slab for EVERY row: hits are copied out of
-        // the global map under the shard lock into this search's private
-        // slab (a pointer into the map could be evicted out from under the
-        // forward pass by a concurrent search), and dirty rows are computed
-        // into their own slots for the post-forward inserts.
-        act_slab_scratch_.resize(n_rows * entry_floats);
-        for (size_t i = 0; i < n_rows; ++i) {
-          float* slot = act_slab_scratch_.data() + i * entry_floats;
-          const uint64_t key =
-              util::HashCombine(batch_scratch_.node_fp[i], salt_);
-          const bool hit = shared_->activations.Visit(
-              key, [slot](const std::vector<float>& v) {
-                std::copy(v.begin(), v.end(), slot);
-              });
-          if (hit) {
-            reuse_scratch_.cached[i] = slot;
-            ++result->activation_hits;
-          } else {
-            reuse_scratch_.store[i] = slot;
-            ++n_dirty;
+    const bool leaf_tier = use_act && shared_ != nullptr && leaf_tier_enabled_;
+    {
+      // NN-eval region: the probe loops, slab writes, and the batched forward
+      // are the steady-state hot section. With a warmed search instance the
+      // whole block performs zero heap allocations (the slab arena resets to
+      // one high-water block; every network buffer is capacity-reused) —
+      // benches assert this via util::RegionAllocs. Cache population below
+      // stays OUTSIDE the region: it is proportional to newly discovered
+      // subtrees, not NN work, and vanishes as the caches warm.
+      util::AllocRegionScope alloc_region;
+      if (use_act) {
+        const size_t n_rows = batch_scratch_.node_fp.size();
+        reuse_scratch_.cached.assign(n_rows, nullptr);
+        reuse_scratch_.store.assign(n_rows, nullptr);
+        slab_arena_.Reset();
+        size_t n_dirty = 0;
+        if (shared_ != nullptr) {
+          // Shared mode sizes the slab for EVERY row: hits are copied out of
+          // the global map under the shard lock into this search's private
+          // slab (a pointer into the map could be evicted out from under the
+          // forward pass by a concurrent search), and dirty rows are computed
+          // into their own slots for the post-forward inserts.
+          if (leaf_tier) {
+            // Packed-forest subtree sizes for the leaf-tier gate: pre-order
+            // packing puts children at higher indices, so a descending scan
+            // sees every child before its parent.
+            subtree_size_scratch_.assign(n_rows, 1);
+            for (size_t i = n_rows; i-- > 0;) {
+              const int l = batch_scratch_.forest.left[i];
+              const int r = batch_scratch_.forest.right[i];
+              if (l >= 0) subtree_size_scratch_[i] += subtree_size_scratch_[static_cast<size_t>(l)];
+              if (r >= 0) subtree_size_scratch_[i] += subtree_size_scratch_[static_cast<size_t>(r)];
+            }
+          }
+          float* slab = slab_arena_.AllocateArray<float>(n_rows * entry_floats);
+          for (size_t i = 0; i < n_rows; ++i) {
+            float* slot = slab + i * entry_floats;
+            const uint64_t fp = batch_scratch_.node_fp[i];
+            bool hit = shared_->activations.Visit(
+                util::HashCombine(fp, salt_), [slot](const std::vector<float>& v) {
+                  std::copy(v.begin(), v.end(), slot);
+                });
+            if (!hit && leaf_tier &&
+                subtree_size_scratch_[i] <= kLeafTierMaxNodes) {
+              // Cross-request tier: rows another search (same embedding bits,
+              // weights, kernel mode, generation) already computed.
+              hit = shared_->leaf_activations.Visit(
+                  util::HashCombine(fp, leaf_salt_),
+                  [slot](const std::vector<float>& v) {
+                    std::copy(v.begin(), v.end(), slot);
+                  });
+              if (hit) ++result->leaf_tier_hits;
+            }
+            if (hit) {
+              reuse_scratch_.cached[i] = slot;
+              ++result->activation_hits;
+            } else {
+              reuse_scratch_.store[i] = slot;
+              ++n_dirty;
+            }
+          }
+        } else {
+          for (size_t i = 0; i < n_rows; ++i) {
+            if (std::vector<float>* hit = activation_cache_.Find(batch_scratch_.node_fp[i])) {
+              reuse_scratch_.cached[i] = hit->data();
+              ++result->activation_hits;
+            } else {
+              ++n_dirty;
+            }
+          }
+          float* slab = slab_arena_.AllocateArray<float>(n_dirty * entry_floats);
+          size_t slot = 0;
+          for (size_t i = 0; i < n_rows; ++i) {
+            if (reuse_scratch_.cached[i] == nullptr) {
+              reuse_scratch_.store[i] = slab + (slot++) * entry_floats;
+            }
           }
         }
-      } else {
-        for (size_t i = 0; i < n_rows; ++i) {
-          if (std::vector<float>* hit = activation_cache_.Find(batch_scratch_.node_fp[i])) {
-            reuse_scratch_.cached[i] = hit->data();
-            ++result->activation_hits;
-          } else {
-            ++n_dirty;
-          }
-        }
-        act_slab_scratch_.resize(n_dirty * entry_floats);
-        size_t slot = 0;
-        for (size_t i = 0; i < n_rows; ++i) {
-          if (reuse_scratch_.cached[i] == nullptr) {
-            reuse_scratch_.store[i] = act_slab_scratch_.data() + (slot++) * entry_floats;
-          }
-        }
+        const size_t layers = net_->config().tree_channels.size();
+        result->rows_recomputed += n_dirty * layers;
+        result->rows_reused += (n_rows - n_dirty) * layers;
+        reuse = &reuse_scratch_;
       }
-      const size_t layers = net_->config().tree_channels.size();
-      result->rows_recomputed += n_dirty * layers;
-      result->rows_reused += (n_rows - n_dirty) * layers;
-      reuse = &reuse_scratch_;
-    }
 
-    const std::vector<float> predicted =
-        scorer_ != nullptr
-            ? scorer_->ScoreBatch(net_, query_embedding, batch_scratch_, reuse,
-                                  &net_ctx_)
-            : net_->PredictBatch(query_embedding, batch_scratch_, &net_ctx_, reuse);
+      if (scorer_ != nullptr) {
+        predicted_scratch_ = scorer_->ScoreBatch(net_, query_embedding,
+                                                 batch_scratch_, reuse, &net_ctx_);
+      } else {
+        net_->PredictBatchInto(query_embedding, batch_scratch_, &net_ctx_, reuse,
+                               &predicted_scratch_);
+      }
+    }
+    const std::vector<float>& predicted = predicted_scratch_;
 
     if (use_act) {
       // Populate the cache from the slab. Duplicate fingerprints within one
@@ -316,15 +363,20 @@ std::vector<float> PlanSearch::ScoreAll(const query::Query& query,
       // Shared-mode concurrent inserts of one fingerprint are idempotent:
       // the salt pins (query, version, kernel mode, generation), so both
       // writers computed bitwise-identical rows.
-      act_seen_scratch_.clear();
+      act_seen_scratch_.Clear();
       for (size_t i = 0; i < batch_scratch_.node_fp.size(); ++i) {
         const float* src = reuse_scratch_.store[i];
         if (src == nullptr) continue;
         const uint64_t fp = batch_scratch_.node_fp[i];
-        if (!act_seen_scratch_.insert(fp).second) continue;
+        if (!act_seen_scratch_.Insert(fp)) continue;
         if (shared_ != nullptr) {
           shared_->activations.Insert(util::HashCombine(fp, salt_),
                                       std::vector<float>(src, src + entry_floats));
+          if (leaf_tier && subtree_size_scratch_[i] <= kLeafTierMaxNodes) {
+            shared_->leaf_activations.Insert(
+                util::HashCombine(fp, leaf_salt_),
+                std::vector<float>(src, src + entry_floats));
+          }
         } else {
           activation_cache_.Insert(fp, std::vector<float>(src, src + entry_floats));
         }
@@ -349,7 +401,6 @@ std::vector<float> PlanSearch::ScoreAll(const query::Query& query,
           ScoreUncached(query, query_embedding, *misses[m], miss_hash[m], result);
     }
   }
-  return scores;
 }
 
 SearchResult PlanSearch::FindPlan(const query::Query& query,
@@ -363,19 +414,44 @@ SearchResult PlanSearch::FindPlan(const query::Query& query,
   const nn::Matrix query_vec = featurizer_->EncodeQuery(query);
   const nn::Matrix embed = net_->EmbedQuery(query_vec);
 
-  struct HeapEntry {
-    float score;
-    size_t idx;
-    bool operator>(const HeapEntry& o) const { return score > o.score; }
+  // Shared leaf-tier salt for this search: the embedding's BIT PATTERN (the
+  // activations' true query dependency) plus (version, kernel mode,
+  // generation). Gated on a fingerprint-pure featurizer — with a cardinality
+  // channel, node features depend on the query beyond subtree_fp and rows
+  // must not cross queries.
+  leaf_tier_enabled_ =
+      shared_ != nullptr &&
+      featurizer_->config().card_channel == featurize::CardChannel::kNone;
+  if (leaf_tier_enabled_) {
+    uint64_t ehash = 0x6c656166u;  // "leaf"
+    const float* e = embed.Row(0);
+    for (int c = 0; c < embed.cols(); ++c) {
+      uint32_t bits;
+      std::memcpy(&bits, &e[c], sizeof(bits));
+      ehash = util::HashCombine(ehash, bits);
+    }
+    leaf_salt_ = util::Mix64(util::HashCombine(
+        util::HashCombine(util::HashCombine(ehash, net_->version()),
+                          KernelModeBits()),
+        shared_generation_));
+  }
+
+  // Round state lives in members (capacity-reused across requests); heap_ is
+  // an explicit push_heap/pop_heap min-heap — the same algorithm
+  // std::priority_queue wraps, without a fresh backing vector per call.
+  std::vector<plan::PartialPlan>& arena = state_arena_;
+  arena.clear();
+  heap_.clear();
+  visited_.Clear();
+  const auto heap_push = [this](float score, size_t idx) {
+    heap_.push_back({score, idx});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<HeapEntry>());
   };
-  std::vector<plan::PartialPlan> arena;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap;
-  std::unordered_set<uint64_t> visited;
 
   plan::PartialPlan initial = plan::PartialPlan::Initial(query);
-  visited.insert(initial.Hash());
+  visited_.Insert(initial.Hash());
   arena.push_back(initial);
-  heap.push({Score(query, embed, initial, options, &result), 0});
+  heap_push(Score(query, embed, initial, options, &result), 0);
 
   bool have_complete = false;
   float best_complete_score = 0.0f;
@@ -390,13 +466,13 @@ SearchResult PlanSearch::FindPlan(const query::Query& query,
   // and scores the merged, deduped child set in one batch. speculation == 1
   // reproduces the classic one-pop-per-round best-first loop exactly.
   const int speculation = std::max(1, options.speculation);
-  std::vector<size_t> round_states;
-  round_states.reserve(static_cast<size_t>(speculation));
+  round_states_.clear();
+  round_states_.reserve(static_cast<size_t>(speculation));
   bool stop = false;
-  while (!stop && !heap.empty()) {
+  while (!stop && !heap_.empty()) {
     if (options.max_expansions == 0) break;  // Pure hurry-up mode.
-    round_states.clear();
-    while (static_cast<int>(round_states.size()) < speculation && !heap.empty()) {
+    round_states_.clear();
+    while (static_cast<int>(round_states_.size()) < speculation && !heap_.empty()) {
       if (options.max_expansions > 0 && result.expansions >= options.max_expansions) {
         stop = true;
         break;
@@ -405,33 +481,35 @@ SearchResult PlanSearch::FindPlan(const query::Query& query,
         stop = true;
         break;
       }
-      const HeapEntry top = heap.top();
+      const HeapEntry top = heap_.front();
       if (options.early_stop && have_complete && top.score >= best_complete_score) {
         stop = true;
         break;
       }
-      heap.pop();
-      round_states.push_back(top.idx);
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<HeapEntry>());
+      heap_.pop_back();
+      round_states_.push_back(top.idx);
       last_popped_idx = top.idx;
       ++result.expansions;
     }
-    if (round_states.empty()) break;
+    if (round_states_.empty()) break;
 
-    // Children of every popped state, merged and deduped against `visited`.
+    // Children of every popped state, merged and deduped against `visited_`.
     // The hashes computed for dedup are reused for the score-cache probes.
     child_scratch_.clear();
     child_hash_scratch_.clear();
-    for (const size_t state_idx : round_states) {
+    for (const size_t state_idx : round_states_) {
       ChildrenInto(query, arena[state_idx], &round_child_scratch_);
       for (plan::PartialPlan& child : round_child_scratch_) {
         const uint64_t h = child.Hash();
-        if (!visited.insert(h).second) continue;
+        if (!visited_.Insert(h)) continue;
         child_scratch_.push_back(std::move(child));
         child_hash_scratch_.push_back(h);
       }
     }
-    const std::vector<float> scores = ScoreAll(
-        query, embed, child_scratch_, &child_hash_scratch_, options, &result);
+    ScoreAll(query, embed, child_scratch_, &child_hash_scratch_, options,
+             &result, &scores_scratch_);
+    const std::vector<float>& scores = scores_scratch_;
 
     for (size_t i = 0; i < child_scratch_.size(); ++i) {
       plan::PartialPlan& child = child_scratch_[i];
@@ -444,7 +522,7 @@ SearchResult PlanSearch::FindPlan(const query::Query& query,
         }
       } else {
         arena.push_back(std::move(child));
-        heap.push({score, arena.size() - 1});
+        heap_push(score, arena.size() - 1);
       }
     }
   }
@@ -457,8 +535,9 @@ SearchResult PlanSearch::FindPlan(const query::Query& query,
     while (!current.IsComplete()) {
       ChildrenInto(query, current, &child_scratch_);
       NEO_CHECK_MSG(!child_scratch_.empty(), "search: dead-end state");
-      const std::vector<float> scores = ScoreAll(
-          query, embed, child_scratch_, /*hashes=*/nullptr, options, &result);
+      ScoreAll(query, embed, child_scratch_, /*hashes=*/nullptr, options,
+               &result, &scores_scratch_);
+      const std::vector<float>& scores = scores_scratch_;
       size_t best_idx = 0;
       for (size_t i = 1; i < scores.size(); ++i) {
         if (scores[i] < scores[best_idx]) best_idx = i;

@@ -65,13 +65,26 @@
 // the full pass (MatMul rows are position-independent), so the incremental
 // path changes no search outcome at any thread count; SearchOptions::
 // incremental = false disables it (bench baseline arms).
+//
+// ---- Memory model (zero-alloc steady state) --------------------------------
+// Every per-round buffer of FindPlan/ScoreAll is instance-owned and capacity-
+// reused: the state arena, heap, visited set (util::FlatHashSet64), child and
+// miss scratch, score vectors, and the activation slab (a util::Arena, reset
+// per scoring round to one high-water block). The NN-eval portion of a round
+// — activation-cache probing plus the batched forward — runs inside
+// util::AllocRegionScope, and with a warmed search the network's Into-paths
+// allocate nothing (see the memory-model notes atop value_network.h); bench
+// harnesses report the counted allocations as steady_state_heap_allocs.
+// Plan-node construction (Children's shared_ptr trees) is intentionally
+// OUTSIDE the counted region: it is proportional to new states discovered,
+// not to NN work, and vanishes as caches warm.
 #pragma once
-
-#include <unordered_set>
 
 #include "src/featurize/featurizer.h"
 #include "src/nn/value_network.h"
 #include "src/plan/plan.h"
+#include "src/util/arena.h"
+#include "src/util/flat_hash_set.h"
 #include "src/util/lru_map.h"
 #include "src/util/sharded_lru.h"
 
@@ -105,11 +118,28 @@ class BatchScorer {
 /// Activation values are copied out under the shard lock into the probing
 /// search's private slab, so eviction never invalidates rows mid-forward.
 struct SharedSearchCaches {
-  SharedSearchCaches(size_t score_cap, size_t activation_cap, int shards = 16)
-      : scores(score_cap, shards), activations(activation_cap, shards) {}
+  SharedSearchCaches(size_t score_cap, size_t activation_cap, int shards = 16,
+                     size_t leaf_cap = 0)
+      : scores(score_cap, shards),
+        activations(activation_cap, shards),
+        leaf_activations(leaf_cap == 0 ? activation_cap : leaf_cap, shards) {}
 
   util::ShardedLruMap<uint64_t, float> scores;
   util::ShardedLruMap<uint64_t, std::vector<float>> activations;
+  /// Cross-request tier for small-subtree (<= 3 node: leaves and first joins)
+  /// activation entries — the rows every search recomputes in its first
+  /// expansion rounds. Keyed by HashCombine(subtree_fp, leaf salt) where the
+  /// leaf salt folds in the BIT PATTERN of the query embedding (activations'
+  /// true query dependency: layer 0 adds the embedding's suffix projection to
+  /// every row) plus (net version, kernel mode/ISA, RCU generation), instead
+  /// of the query fingerprint — so any two requests whose embeddings coincide
+  /// bitwise (the same query re-served, under any request or search instance)
+  /// share these rows. Only valid when node features are a pure function of
+  /// the subtree fingerprint (FeaturizerConfig::card_channel == kNone; query-
+  /// dependent cardinality channels would alias under one fp) — PlanSearch
+  /// gates on that. A separate LRU so the high-reuse small entries are never
+  /// evicted by the churn of deep-plan rows in `activations`.
+  util::ShardedLruMap<uint64_t, std::vector<float>> leaf_activations;
 };
 
 struct SearchOptions {
@@ -140,6 +170,10 @@ struct SearchResult {
   size_t cache_hits = 0;   ///< Scores served from the per-query score cache.
   size_t cache_evictions = 0;  ///< LRU evictions forced by score_cache_cap.
   size_t activation_hits = 0;  ///< Packed node rows served by the activation cache.
+  /// Of activation_hits, rows served by the shared small-subtree tier
+  /// (SharedSearchCaches::leaf_activations) after a main-cache miss — i.e.
+  /// first-expansion recomputation another request's search already paid for.
+  size_t leaf_tier_hits = 0;
   /// Conv rows computed vs. served from cache, summed over layers (a node hit
   /// saves one row in EVERY conv layer, so these are activation-miss/hit node
   /// counts x num conv layers). rows_reused / (rows_reused + rows_recomputed)
@@ -211,15 +245,15 @@ class PlanSearch {
                       const plan::PartialPlan& plan, uint64_t hash,
                       SearchResult* result);
 
-  /// Scores `plans`, serving cached entries and batching the misses into one
-  /// PredictBatch call (or per-plan passes when `options.batched` is false).
-  /// `hashes`, when non-null, supplies plans[i].Hash() values the caller
-  /// already computed (Hash() allocates and sorts, so it is worth reusing).
-  std::vector<float> ScoreAll(const query::Query& query,
-                              const nn::Matrix& query_embedding,
-                              const std::vector<plan::PartialPlan>& plans,
-                              const std::vector<uint64_t>* hashes,
-                              const SearchOptions& options, SearchResult* result);
+  /// Scores `plans` into `out` (resized; capacity-reused), serving cached
+  /// entries and batching the misses into one PredictBatch call (or per-plan
+  /// passes when `options.batched` is false). `hashes`, when non-null,
+  /// supplies plans[i].Hash() values the caller already computed (Hash()
+  /// allocates and sorts, so it is worth reusing).
+  void ScoreAll(const query::Query& query, const nn::Matrix& query_embedding,
+                const std::vector<plan::PartialPlan>& plans,
+                const std::vector<uint64_t>* hashes, const SearchOptions& options,
+                SearchResult* result, std::vector<float>* out);
 
   /// Drops the score + activation caches unless they match (query, network
   /// version).
@@ -258,6 +292,13 @@ class PlanSearch {
   SharedSearchCaches* shared_ = nullptr;
   uint64_t shared_generation_ = 0;
   uint64_t salt_ = 0;
+  /// Shared leaf-tier salt for the current FindPlan: Mix64 over (query
+  /// embedding bit-pattern hash, net version, kernel mode/ISA, generation).
+  /// Recomputed per FindPlan after EmbedQuery; leaf_tier_enabled_ gates the
+  /// tier on shared mode + a fingerprint-pure featurizer (card_channel ==
+  /// kNone).
+  uint64_t leaf_salt_ = 0;
+  bool leaf_tier_enabled_ = false;
 
   /// Per-instance network scratch, so concurrent PlanSearch workers never
   /// share inference buffers.
@@ -273,13 +314,35 @@ class PlanSearch {
   std::vector<size_t> miss_idx_scratch_;
   std::vector<uint64_t> miss_hash_scratch_;
   /// Incremental-path scratch: the per-row cached/store pointer views handed
-  /// to PredictBatch, the slab the network writes dirty-row activations into
-  /// (inserted into activation_cache_ after the forward pass — never during
-  /// it, so eviction cannot invalidate in-use cached pointers), and the
-  /// per-batch fingerprint dedup for those inserts.
+  /// to PredictBatch, the bump-pointer arena the per-round activation slab is
+  /// carved from (reset per round; Reset coalesces to one high-water block,
+  /// so the steady state allocates nothing — rows are inserted into
+  /// activation_cache_ after the forward pass, never during it, so eviction
+  /// cannot invalidate in-use cached pointers), the per-batch fingerprint
+  /// dedup for those inserts, and per-row packed-forest subtree sizes for the
+  /// leaf-tier gate.
   nn::ActivationReuse reuse_scratch_;
-  std::vector<float> act_slab_scratch_;
-  std::unordered_set<uint64_t> act_seen_scratch_;
+  util::Arena slab_arena_;
+  util::FlatHashSet64 act_seen_scratch_;
+  std::vector<int> subtree_size_scratch_;
+
+  /// FindPlan round state, hoisted so repeated searches on one instance reuse
+  /// capacity instead of reallocating per request.
+  struct HeapEntry {
+    float score;
+    size_t idx;
+    bool operator>(const HeapEntry& o) const { return score > o.score; }
+  };
+  std::vector<plan::PartialPlan> state_arena_;
+  std::vector<HeapEntry> heap_;
+  util::FlatHashSet64 visited_;
+  std::vector<size_t> round_states_;
+  std::vector<float> scores_scratch_;
+  std::vector<float> predicted_scratch_;
+
+ public:
+  /// Peak bytes of the per-round activation slab arena (bench reporting).
+  size_t activation_slab_peak_bytes() const { return slab_arena_.peak_bytes(); }
 };
 
 }  // namespace neo::core

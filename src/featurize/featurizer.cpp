@@ -208,7 +208,10 @@ void Featurizer::EncodePlanBatch(const query::Query& query,
   batch->forest.left.assign(total_nodes, -1);
   batch->forest.right.assign(total_nodes, -1);
   batch->node_fp.assign(total_nodes, 0);
-  batch->node_features = nn::Matrix(static_cast<int>(total_nodes), plan_dim_);
+  // Reshape + Zero reuses the caller's backing store across batches (AppendPlan
+  // writes only the nonzero feature slots, so rows must start zeroed).
+  batch->node_features.Reshape(static_cast<int>(total_nodes), plan_dim_);
+  batch->node_features.Zero();
   for (size_t i = 0; i < plans.size(); ++i) {
     AppendPlan(query, *plans[i], batch->tree_offsets[i], &batch->forest,
                &batch->node_features, &batch->node_fp);

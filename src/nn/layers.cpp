@@ -21,17 +21,43 @@ Matrix Linear::ForwardInference(const Matrix& x) const {
   return Apply(x, packed_fresh_);
 }
 
+void Linear::ForwardInto(const Matrix& x, Matrix* y) {
+  last_input_ = x;  // Copy-assign: reuses capacity once warm.
+  ApplyInto(x, /*use_packed=*/false, y);
+}
+
+void Linear::ForwardInferenceInto(const Matrix& x, Matrix* y) const {
+  ApplyInto(x, packed_fresh_, y);
+}
+
 Matrix Linear::Apply(const Matrix& x, bool use_packed) const {
-  Matrix y = use_packed ? MatMulPacked(x, packed_weight_)
-                        : MatMul(x, weight_.value);
+  Matrix y;
+  ApplyInto(x, use_packed, &y);
+  return y;
+}
+
+void Linear::GemmInto(const Matrix& x, Matrix* y) const {
+  if (packed_fresh_) {
+    MatMulPackedInto(x, packed_weight_, y);
+  } else {
+    MatMulInto(x, weight_.value, y, &gemm_scratch_);
+  }
+}
+
+void Linear::ApplyInto(const Matrix& x, bool use_packed, Matrix* y) const {
+  if (use_packed) {
+    MatMulPackedInto(x, packed_weight_, y);
+  } else {
+    MatMulInto(x, weight_.value, y, &gemm_scratch_);
+  }
   const float* b = bias_.value.Row(0);
-  ParallelRows(y.rows(), /*min_parallel=*/256, [&](int64_t r0, int64_t r1) {
+  const int cols = y->cols();
+  ParallelRows(y->rows(), /*min_parallel=*/256, [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
-      float* row = y.Row(static_cast<int>(r));
-      for (int c = 0; c < y.cols(); ++c) row[c] += b[c];
+      float* row = y->Row(static_cast<int>(r));
+      for (int c = 0; c < cols; ++c) row[c] += b[c];
     }
   });
-  return y;
 }
 
 void Linear::RefreshInferenceWeights() {
@@ -40,19 +66,26 @@ void Linear::RefreshInferenceWeights() {
 }
 
 Matrix Linear::Backward(const Matrix& grad_out) {
+  Matrix grad_in;
+  BackwardInto(grad_out, &grad_in);
+  return grad_in;
+}
+
+void Linear::BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
   // Training implies an imminent weight update: invalidate the packed copy so
   // ForwardInference cannot silently multiply stale weights (same discipline
   // as TreeConv::Backward and its split blocks).
   packed_fresh_ = false;
   // dW += x^T g (scatter-added in place — no product temporary); db +=
   // sum_rows(g) ; dx = g W^T.
-  MatMulTransposeAInto(last_input_, grad_out, weight_.grad.data());
+  MatMulTransposeAInto(last_input_, grad_out, weight_.grad.data(),
+                       &gemm_scratch_);
   for (int r = 0; r < grad_out.rows(); ++r) {
     const float* g = grad_out.Row(r);
     float* b = bias_.grad.Row(0);
     for (int c = 0; c < grad_out.cols(); ++c) b[c] += g[c];
   }
-  return MatMulTransposeB(grad_out, weight_.value);
+  MatMulTransposeBInto(grad_out, weight_.value, grad_in, &gemm_scratch_);
 }
 
 Matrix LeakyReLU::Forward(const Matrix& x) {
@@ -68,12 +101,35 @@ Matrix LeakyReLU::ForwardInference(const Matrix& x) const {
   return y;
 }
 
-Matrix LeakyReLU::Backward(const Matrix& grad_out) {
-  Matrix g = grad_out;
-  for (size_t i = 0; i < g.Size(); ++i) {
-    if (last_input_.data()[i] < 0.0f) g.data()[i] *= alpha_;
+void LeakyReLU::ForwardInto(const Matrix& x, Matrix* y) {
+  last_input_ = x;  // Copy-assign: reuses capacity once warm.
+  ForwardInferenceInto(x, y);
+}
+
+void LeakyReLU::ForwardInferenceInto(const Matrix& x, Matrix* y) const {
+  y->Reshape(x.rows(), x.cols());
+  const float* src = x.data();
+  float* dst = y->data();
+  for (size_t i = 0; i < x.Size(); ++i) {
+    const float v = src[i];
+    dst[i] = v < 0.0f ? v * alpha_ : v;
   }
+}
+
+Matrix LeakyReLU::Backward(const Matrix& grad_out) {
+  Matrix g;
+  BackwardInto(grad_out, &g);
   return g;
+}
+
+void LeakyReLU::BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
+  grad_in->Reshape(grad_out.rows(), grad_out.cols());
+  const float* g = grad_out.data();
+  const float* x = last_input_.data();
+  float* dst = grad_in->data();
+  for (size_t i = 0; i < grad_out.Size(); ++i) {
+    dst[i] = x[i] < 0.0f ? g[i] * alpha_ : g[i];
+  }
 }
 
 LayerNorm::LayerNorm(int dim) {
@@ -112,39 +168,56 @@ inline void LayerNormRow(const float* row, int d, const float* gain,
 }  // namespace
 
 Matrix LayerNorm::Forward(const Matrix& x) {
+  Matrix y;
+  ForwardInto(x, &y);
+  return y;
+}
+
+void LayerNorm::ForwardInto(const Matrix& x, Matrix* y) {
   const int n = x.rows(), d = x.cols();
-  last_norm_ = Matrix(n, d);
-  last_inv_std_.assign(static_cast<size_t>(n), 0.0f);
-  Matrix y(n, d);
+  last_norm_.Reshape(n, d);  // Fully overwritten below.
+  last_inv_std_.resize(static_cast<size_t>(n));
+  y->Reshape(n, d);
   const float* gain = gain_.value.Row(0);
   const float* bias = bias_.value.Row(0);
   ParallelRows(n, /*min_parallel=*/128, [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       const int ri = static_cast<int>(r);
-      LayerNormRow(x.Row(ri), d, gain, bias, kEps, y.Row(ri), last_norm_.Row(ri),
-                   &last_inv_std_[static_cast<size_t>(r)]);
+      LayerNormRow(x.Row(ri), d, gain, bias, kEps, y->Row(ri),
+                   last_norm_.Row(ri), &last_inv_std_[static_cast<size_t>(r)]);
     }
   });
-  return y;
 }
 
 Matrix LayerNorm::ForwardInference(const Matrix& x) const {
+  Matrix y;
+  ForwardInferenceInto(x, &y);
+  return y;
+}
+
+void LayerNorm::ForwardInferenceInto(const Matrix& x, Matrix* y) const {
   const int n = x.rows(), d = x.cols();
-  Matrix y(n, d);
+  y->Reshape(n, d);
   const float* gain = gain_.value.Row(0);
   const float* bias = bias_.value.Row(0);
   ParallelRows(n, /*min_parallel=*/128, [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       const int ri = static_cast<int>(r);
-      LayerNormRow(x.Row(ri), d, gain, bias, kEps, y.Row(ri), nullptr, nullptr);
+      LayerNormRow(x.Row(ri), d, gain, bias, kEps, y->Row(ri), nullptr, nullptr);
     }
   });
-  return y;
 }
 
 Matrix LayerNorm::Backward(const Matrix& grad_out) {
+  Matrix grad_in;
+  BackwardInto(grad_out, &grad_in);
+  return grad_in;
+}
+
+void LayerNorm::BackwardInto(const Matrix& grad_out, Matrix* grad_in_out) {
   const int n = grad_out.rows(), d = grad_out.cols();
-  Matrix grad_in(n, d);
+  grad_in_out->Reshape(n, d);  // Fully overwritten below.
+  Matrix& grad_in = *grad_in_out;
   dxhat_scratch_.resize(static_cast<size_t>(d));  // One buffer for all rows.
   float* dxhat = dxhat_scratch_.data();
   for (int r = 0; r < n; ++r) {
@@ -170,7 +243,6 @@ Matrix LayerNorm::Backward(const Matrix& grad_out) {
       out[c] = inv_std * (dxhat[c] - mean_dxhat - x_hat[c] * mean_dxhat_xhat);
     }
   }
-  return grad_in;
 }
 
 Matrix Sequential::Forward(const Matrix& x) {
@@ -191,6 +263,96 @@ Matrix Sequential::Backward(const Matrix& grad_out) {
     cur = (*it)->Backward(cur);
   }
   return cur;
+}
+
+void Sequential::ForwardInto(const Matrix& x, PipelineScratch* scratch,
+                             Matrix* y) {
+  if (layers_.empty()) {
+    *y = x;
+    return;
+  }
+  const Matrix* cur = &x;
+  Matrix* bufs[2] = {&scratch->a, &scratch->b};
+  int which = 0;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    Matrix* out = (i + 1 == layers_.size()) ? y : bufs[which];
+    layers_[i]->ForwardInto(*cur, out);
+    cur = out;
+    which ^= 1;
+  }
+}
+
+void Sequential::BackwardInto(const Matrix& grad_out, PipelineScratch* scratch,
+                              Matrix* grad_in) {
+  if (layers_.empty()) {
+    *grad_in = grad_out;
+    return;
+  }
+  const Matrix* cur = &grad_out;
+  Matrix* bufs[2] = {&scratch->a, &scratch->b};
+  int which = 0;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    Matrix* out = (i == 0) ? grad_in : bufs[which];
+    layers_[i]->BackwardInto(*cur, out);
+    cur = out;
+    which ^= 1;
+  }
+}
+
+void Sequential::ForwardInferenceInto(const Matrix& x, PipelineScratch* scratch,
+                                      Matrix* y) const {
+  if (layers_.empty()) {
+    *y = x;
+    return;
+  }
+  const Matrix* cur = &x;
+  Matrix* bufs[2] = {&scratch->a, &scratch->b};
+  int which = 0;
+  size_t i = 0;
+  while (i < layers_.size()) {
+    const bool triple = i + 2 < layers_.size() &&
+                        layers_[i]->kind() == LayerKind::kLinear &&
+                        layers_[i + 1]->kind() == LayerKind::kLayerNorm &&
+                        layers_[i + 2]->kind() == LayerKind::kLeakyReLU;
+    const size_t last = triple ? i + 2 : i;
+    Matrix* out = (last + 1 == layers_.size()) ? y : bufs[which];
+    if (triple) {
+      // Fused (Linear, LayerNorm, LeakyReLU): GEMM into the staging buffer
+      // (never a ping-pong target, so it cannot alias `cur`), then one
+      // per-row pass applies bias, normalization, and the leak in the exact
+      // per-element op order of the three unfused layers — bit-identical,
+      // with the two intermediate activations never written to memory.
+      const auto* lin = static_cast<const Linear*>(layers_[i].get());
+      const auto* ln = static_cast<const LayerNorm*>(layers_[i + 1].get());
+      const auto* relu = static_cast<const LeakyReLU*>(layers_[i + 2].get());
+      Matrix& t = scratch->fused;
+      lin->GemmInto(*cur, &t);
+      const int n = t.rows(), d = t.cols();
+      out->Reshape(n, d);
+      const float* lb = lin->bias_row();
+      const float* gain = ln->gain_row();
+      const float* lnb = ln->bias_row();
+      const float alpha = relu->alpha();
+      ParallelRows(n, /*min_parallel=*/128, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const int ri = static_cast<int>(r);
+          float* trow = t.Row(ri);
+          for (int c = 0; c < d; ++c) trow[c] += lb[c];
+          float* orow = out->Row(ri);
+          LayerNormRow(trow, d, gain, lnb, LayerNorm::kEps, orow, nullptr,
+                       nullptr);
+          for (int c = 0; c < d; ++c) {
+            if (orow[c] < 0.0f) orow[c] *= alpha;
+          }
+        }
+      });
+    } else {
+      layers_[i]->ForwardInferenceInto(*cur, out);
+    }
+    cur = out;
+    which ^= 1;
+    i = last + 1;
+  }
 }
 
 void Sequential::CollectParams(std::vector<Param*>* out) {

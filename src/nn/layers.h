@@ -18,6 +18,11 @@ struct Param {
   void ZeroGrad() { grad.Zero(); }
 };
 
+/// Concrete layer type, for the pipeline-level fusion in Sequential (a
+/// (Linear, LayerNorm, LeakyReLU) triple collapses into GEMM + one per-row
+/// epilogue pass). Types not participating in fusion report kOther.
+enum class LayerKind { kLinear, kLayerNorm, kLeakyReLU, kOther };
+
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -33,6 +38,21 @@ class Layer {
   /// grad_out: (batch x out_dim) -> grad_in (batch x in_dim); accumulates
   /// parameter gradients.
   virtual Matrix Backward(const Matrix& grad_out) = 0;
+
+  /// Into-forms of the three passes above, bit-identical to them, writing a
+  /// caller-owned output (Reshape'd: capacity-reused, so a warmed output
+  /// makes the steady state allocation-free). The output must not alias the
+  /// input. The base fallbacks allocate via the Matrix-returning forms; the
+  /// concrete layers all override with true in-place-capacity versions.
+  virtual void ForwardInto(const Matrix& x, Matrix* y) { *y = Forward(x); }
+  virtual void ForwardInferenceInto(const Matrix& x, Matrix* y) const {
+    *y = ForwardInference(x);
+  }
+  virtual void BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
+    *grad_in = Backward(grad_out);
+  }
+
+  virtual LayerKind kind() const { return LayerKind::kOther; }
 
   /// Appends this layer's trainable parameters.
   virtual void CollectParams(std::vector<Param*>* /*out*/) {}
@@ -68,6 +88,9 @@ class Linear : public Layer {
   Matrix Forward(const Matrix& x) override;
   Matrix ForwardInference(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
+  void ForwardInto(const Matrix& x, Matrix* y) override;
+  void ForwardInferenceInto(const Matrix& x, Matrix* y) const override;
+  void BackwardInto(const Matrix& grad_out, Matrix* grad_in) override;
   void CollectParams(std::vector<Param*>* out) override {
     out->push_back(&weight_);
     out->push_back(&bias_);
@@ -78,14 +101,21 @@ class Linear : public Layer {
   size_t TrainingScratchBytes() const override {
     return last_input_.Size() * sizeof(float);
   }
+  LayerKind kind() const override { return LayerKind::kLinear; }
 
   int in_dim() const { return weight_.value.rows(); }
   int out_dim() const { return weight_.value.cols(); }
+
+  /// The bare GEMM (no bias), packed copy when fresh. Building block for the
+  /// fused (Linear, LayerNorm, LeakyReLU) inference pass in Sequential.
+  void GemmInto(const Matrix& x, Matrix* y) const;
+  const float* bias_row() const { return bias_.value.Row(0); }
 
  private:
   /// y = x W + b. `use_packed` selects the pre-packed weight copy (bit-
   /// identical to the live weight; see PackedB) — only valid while fresh.
   Matrix Apply(const Matrix& x, bool use_packed) const;
+  void ApplyInto(const Matrix& x, bool use_packed, Matrix* y) const;
 
   Param weight_;  ///< (in x out)
   Param bias_;    ///< (1 x out)
@@ -95,6 +125,11 @@ class Linear : public Layer {
   PackedB packed_weight_;
   bool packed_fresh_ = false;
   Matrix last_input_;
+  /// Cross-call GEMM pack/staging buffers (growth-only): the unpacked-weight
+  /// GEMMs (training forward/backward) reuse them so steady-state steps make
+  /// no heap allocations. Mutable because inference-const paths share them;
+  /// Linear is not const-thread-safe anyway (see ValueNetwork's contexts).
+  mutable GemmScratch gemm_scratch_;
 };
 
 /// Leaky rectified linear unit (paper §6.1 uses the leaky variant).
@@ -105,10 +140,16 @@ class LeakyReLU : public Layer {
   Matrix Forward(const Matrix& x) override;
   Matrix ForwardInference(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
+  void ForwardInto(const Matrix& x, Matrix* y) override;
+  void ForwardInferenceInto(const Matrix& x, Matrix* y) const override;
+  void BackwardInto(const Matrix& grad_out, Matrix* grad_in) override;
   void ReleaseTrainingScratch() override { last_input_ = Matrix(); }
   size_t TrainingScratchBytes() const override {
     return last_input_.Size() * sizeof(float);
   }
+  LayerKind kind() const override { return LayerKind::kLeakyReLU; }
+
+  float alpha() const { return alpha_; }
 
  private:
   float alpha_;
@@ -124,6 +165,10 @@ class LayerNorm : public Layer {
   Matrix Forward(const Matrix& x) override;
   Matrix ForwardInference(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
+  void ForwardInto(const Matrix& x, Matrix* y) override;
+  void ForwardInferenceInto(const Matrix& x, Matrix* y) const override;
+  void BackwardInto(const Matrix& grad_out, Matrix* grad_in) override;
+  LayerKind kind() const override { return LayerKind::kLayerNorm; }
   void CollectParams(std::vector<Param*>* out) override {
     out->push_back(&gain_);
     out->push_back(&bias_);
@@ -140,13 +185,32 @@ class LayerNorm : public Layer {
            (last_inv_std_.size() + dxhat_scratch_.size()) * sizeof(float);
   }
 
- private:
   static constexpr float kEps = 1e-5f;
+
+  const float* gain_row() const { return gain_.value.Row(0); }
+  const float* bias_row() const { return bias_.value.Row(0); }
+
+ private:
   Param gain_;
   Param bias_;
   Matrix last_norm_;  ///< Normalized activations.
   std::vector<float> last_inv_std_;
   std::vector<float> dxhat_scratch_;  ///< Backward row buffer (hoisted alloc).
+};
+
+/// Ping-pong buffers threading activations through a Sequential's layers
+/// plus the fused-triple GEMM staging buffer. Caller-owned and capacity-
+/// reused: after one warm pass, pipeline forwards allocate nothing. Not
+/// thread-safe — one per caller (concurrent inference passes each bring
+/// their own).
+struct PipelineScratch {
+  Matrix a;
+  Matrix b;
+  Matrix fused;
+
+  size_t Bytes() const {
+    return (a.Size() + b.Size() + fused.Size()) * sizeof(float);
+  }
 };
 
 /// Layer pipeline.
@@ -157,11 +221,30 @@ class Sequential : public Layer {
   Matrix Forward(const Matrix& x) override;
   Matrix ForwardInference(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
+  using Layer::BackwardInto;
+  using Layer::ForwardInferenceInto;
+  using Layer::ForwardInto;
   void CollectParams(std::vector<Param*>* out) override;
   void RefreshInferenceWeights() override;
   void InvalidateInferenceWeights() override;
   void ReleaseTrainingScratch() override;
   size_t TrainingScratchBytes() const override;
+
+  /// Pipeline Into-forms: bit-identical to the Matrix-returning passes,
+  /// threading activations through the caller's scratch so a warmed
+  /// (scratch, output) pair makes the whole pass allocation-free. The output
+  /// must alias neither the input nor the scratch.
+  ///
+  /// ForwardInferenceInto additionally fuses every (Linear, LayerNorm,
+  /// LeakyReLU) triple into GEMM + ONE per-row epilogue pass — the
+  /// per-element op sequence (bias add, then normalize/scale/shift, then
+  /// leak) is exactly the unfused layers', so results stay bit-identical;
+  /// the intermediate activations just never round-trip through memory.
+  void ForwardInto(const Matrix& x, PipelineScratch* scratch, Matrix* y);
+  void ForwardInferenceInto(const Matrix& x, PipelineScratch* scratch,
+                            Matrix* y) const;
+  void BackwardInto(const Matrix& grad_out, PipelineScratch* scratch,
+                    Matrix* grad_in);
 
   size_t size() const { return layers_.size(); }
 

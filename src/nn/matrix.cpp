@@ -183,14 +183,19 @@ const char* PortableArmCodegen() {
 void SetComputeThreads(int n) { g_compute_threads = n < 1 ? 1 : n; }
 int ComputeThreads() { return g_compute_threads; }
 
-void ParallelRows(int64_t n, int64_t min_parallel,
-                  const std::function<void(int64_t, int64_t)>& fn) {
+void ParallelRowsImpl(int64_t n, int64_t min_parallel,
+                      void (*fn)(const void*, int64_t, int64_t),
+                      const void* ctx) {
   const int threads = ComputeThreads();
   if (threads <= 1 || n < min_parallel) {
-    if (n > 0) fn(0, n);
+    if (n > 0) fn(ctx, 0, n);
     return;
   }
-  util::ThreadPool::Global().ParallelFor(0, n, threads, /*grain=*/0, fn);
+  // {fn, ctx} is 16 trivially-copyable bytes: fits std::function's inline
+  // storage, so even the pool path constructs no heap-backed callable.
+  util::ThreadPool::Global().ParallelFor(
+      0, n, threads, /*grain=*/0,
+      [fn, ctx](int64_t r0, int64_t r1) { fn(ctx, r0, r1); });
 }
 
 namespace {
@@ -330,15 +335,24 @@ void MatMulTransposeARows(const float* __restrict adata,
 }
 
 /// Row-partitions [0, rows) across the pool when the product is big enough
-/// for the dispatch to pay off; otherwise runs the range inline.
-void DispatchRows(int64_t rows, int64_t madds,
-                  const std::function<void(int64_t, int64_t)>& fn) {
+/// for the dispatch to pay off; otherwise runs the range inline. A template
+/// (lambda captures stay on the stack; the pool path gets a 16-byte SSO
+/// std::function) so GEMM calls never heap-allocate for dispatch.
+template <typename Fn>
+void DispatchRows(int64_t rows, int64_t madds, const Fn& fn) {
   const int threads = ComputeThreads();
   if (threads <= 1 || rows <= 1 || madds < kMinParallelMadds) {
     fn(0, rows);
     return;
   }
-  util::ThreadPool::Global().ParallelFor(0, rows, threads, /*grain=*/0, fn);
+  void (*tramp)(const void*, int64_t, int64_t) =
+      [](const void* c, int64_t r0, int64_t r1) {
+        (*static_cast<const Fn*>(c))(r0, r1);
+      };
+  const void* ctx = &fn;
+  util::ThreadPool::Global().ParallelFor(
+      0, rows, threads, /*grain=*/0,
+      [tramp, ctx](int64_t r0, int64_t r1) { tramp(ctx, r0, r1); });
 }
 
 }  // namespace
@@ -461,6 +475,16 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   return out;
 }
 
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out,
+                GemmScratch* scratch) {
+  if (g_use_reference_kernels) {
+    *out = MatMulNaive(a, b);
+    return;
+  }
+  NEO_CHECK(a.cols() == b.rows());
+  MatMulImplInto(a, nullptr, 0, b.data(), b.rows(), b.cols(), out, scratch);
+}
+
 Matrix MatMulBlock(const Matrix& a, const float* b, int k, int m) {
   if (g_use_reference_kernels) {
     return MatMulNaive(a, BlockToMatrix(b, k, m));
@@ -524,6 +548,29 @@ Matrix MatMulPacked(const Matrix& a, const PackedB& b) {
   return out;
 }
 
+void MatMulPackedInto(const Matrix& a, const PackedB& b, Matrix* out) {
+  if (g_use_reference_kernels) {
+    *out = MatMulNaive(a, b.unpacked());
+    return;
+  }
+  NEO_CHECK(a.cols() == b.rows());
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  out->Reshape(n, m);
+  const float* adata = a.data();
+  float* odata = out->data();
+  if (const detail::SimdGemmKernels* simd = ActiveSimdKernels()) {
+    const float* packed = b.panels();
+    DispatchRows(n, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
+      simd->gemm_rows(adata, nullptr, packed, odata, r0, r1, k, m);
+    });
+    return;
+  }
+  const float* bdata = b.unpacked().data();
+  DispatchRows(n, static_cast<int64_t>(n) * k * m, [&](int64_t r0, int64_t r1) {
+    MatMulRows(adata, nullptr, bdata, odata, r0, r1, k, m);
+  });
+}
+
 namespace {
 
 /// Shared body of MatMulTransposeB and MatMulTransposeBBlock: out = a * b^T
@@ -546,7 +593,9 @@ void MatMulTransposeBImplInto(const Matrix& a, const int* arows, int nrows,
     });
     return;
   }
-  Matrix bt(k, m);
+  Matrix bt_local;
+  Matrix& bt = scratch != nullptr ? scratch->staging : bt_local;
+  bt.Reshape(k, m);  // Fully overwritten below.
   for (int r = 0; r < m; ++r) {
     const float* src = bdata + static_cast<size_t>(r) * k;
     for (int c = 0; c < k; ++c) bt.At(c, r) = src[c];
@@ -565,6 +614,16 @@ Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
   Matrix out;
   MatMulTransposeBImplInto(a, nullptr, 0, b.data(), b.rows(), &out, nullptr);
   return out;
+}
+
+void MatMulTransposeBInto(const Matrix& a, const Matrix& b, Matrix* out,
+                          GemmScratch* scratch) {
+  if (g_use_reference_kernels) {
+    *out = MatMulTransposeBNaive(a, b);
+    return;
+  }
+  NEO_CHECK(a.cols() == b.cols());
+  MatMulTransposeBImplInto(a, nullptr, 0, b.data(), b.rows(), out, scratch);
 }
 
 Matrix MatMulTransposeBBlock(const Matrix& a, const float* b, int m) {

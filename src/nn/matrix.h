@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "src/util/rng.h"
@@ -115,8 +116,22 @@ class Matrix {
 /// Results may differ from MatMulNaive by accumulation-order ulps.
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
+struct GemmScratch;
+
+/// MatMul into a caller-owned output (Reshape'd, fully overwritten).
+/// Bit-identical to MatMul under every arm, including reference mode.
+/// `scratch` reuses the B-panel pack buffer across calls (zero-alloc steady
+/// state); results are bit-identical with or without it.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out,
+                GemmScratch* scratch = nullptr);
+
 /// out = a (n x k) * b^T where b is (m x k). Blocked kernel.
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+
+/// MatMulTransposeB into a caller-owned output (Reshape'd, fully
+/// overwritten). Bit-identical to MatMulTransposeB under every arm.
+void MatMulTransposeBInto(const Matrix& a, const Matrix& b, Matrix* out,
+                          GemmScratch* scratch = nullptr);
 
 /// out = a^T (k x n -> n x k') ... computes a^T (a: k x n) times b (k x m).
 /// Blocked kernel.
@@ -329,6 +344,11 @@ class PackedB {
 /// and bit-exact results as MatMul under the active dispatch arm.
 Matrix MatMulPacked(const Matrix& a, const PackedB& b);
 
+/// MatMulPacked into a caller-owned output (Reshape'd, fully overwritten).
+/// Bit-identical to MatMulPacked; the zero-steady-state-allocation form the
+/// inference hot path uses with capacity-reused scratch matrices.
+void MatMulPackedInto(const Matrix& a, const PackedB& b, Matrix* out);
+
 /// Name of the runtime-dispatched kernel arm (KernelIsaName(ActiveKernelIsa())).
 /// Recorded as "kernel_arch" in the BENCH_*.json files so perf numbers are
 /// attributable to the arm that actually ran, not just the compile flags.
@@ -369,11 +389,27 @@ class ComputeThreadsScope {
   int prev_;
 };
 
+/// Type-erased body of ParallelRows (function pointer + context, so the hot
+/// paths never construct a heap-backed std::function).
+void ParallelRowsImpl(int64_t n, int64_t min_parallel,
+                      void (*fn)(const void*, int64_t, int64_t),
+                      const void* ctx);
+
 /// Runs fn over disjoint chunks covering [0, n) on the global thread pool,
 /// using the ambient ComputeThreads() degree (inline serial when it is 1 or
 /// n < min_parallel). fn's output for index i must depend only on i, which
-/// makes the result independent of the thread count.
-void ParallelRows(int64_t n, int64_t min_parallel,
-                  const std::function<void(int64_t, int64_t)>& fn);
+/// makes the result independent of the thread count. A template (not
+/// std::function) so per-call capture lists never heap-allocate — the NN hot
+/// loops run inside counted zero-alloc regions.
+template <typename Fn>
+inline void ParallelRows(int64_t n, int64_t min_parallel, Fn&& fn) {
+  using F = std::remove_reference_t<Fn>;
+  ParallelRowsImpl(
+      n, min_parallel,
+      [](const void* c, int64_t r0, int64_t r1) {
+        (*const_cast<F*>(static_cast<const F*>(c)))(r0, r1);
+      },
+      static_cast<const void*>(std::addressof(fn)));
+}
 
 }  // namespace neo::nn

@@ -1,5 +1,6 @@
 #include "src/nn/tree_conv.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
@@ -19,6 +20,42 @@ bool& SparseTrainingFlag() {
   return sparse;
 }
 
+/// Gathers the present `child` rows (of every node, or of the `rows` subset
+/// when given) into `gather`, recording each gathered row's parent node in
+/// `parent` (ascending). Returns the gather count. Capacity-reused: with a
+/// warmed scratch this performs no heap allocation.
+int GatherSide(const std::vector<int>& child, const Matrix& x, int top,
+               const std::vector<int>* rows, Matrix* gather,
+               std::vector<int>* parent) {
+  parent->clear();
+  int present = 0;
+  if (rows == nullptr) {
+    for (size_t i = 0; i < child.size(); ++i) {
+      if (child[i] >= 0) ++present;
+    }
+  } else {
+    for (const int r : *rows) {
+      if (child[static_cast<size_t>(r)] >= 0) ++present;
+    }
+  }
+  gather->Reshape(present, top);
+  if (present == 0) return 0;
+  int t = 0;
+  auto take = [&](int node) {
+    const int c = child[static_cast<size_t>(node)];
+    if (c < 0) return;
+    std::copy(x.Row(c), x.Row(c) + top, gather->Row(t));
+    parent->push_back(node);
+    ++t;
+  };
+  if (rows == nullptr) {
+    for (size_t i = 0; i < child.size(); ++i) take(static_cast<int>(i));
+  } else {
+    for (const int r : *rows) take(r);
+  }
+  return present;
+}
+
 }  // namespace
 
 void SetSparseTrainingConv(bool sparse) { SparseTrainingFlag() = sparse; }
@@ -26,18 +63,26 @@ bool SparseTrainingConv() { return SparseTrainingFlag(); }
 
 TreeGather TreeGather::Build(const TreeStructure& tree) {
   TreeGather g;
+  BuildInto(tree, &g);
+  return g;
+}
+
+void TreeGather::BuildInto(const TreeStructure& tree, TreeGather* out) {
+  out->left.parent.clear();
+  out->left.child.clear();
+  out->right.parent.clear();
+  out->right.child.clear();
   const size_t n = tree.NumNodes();
   for (size_t i = 0; i < n; ++i) {
     if (tree.left[i] >= 0) {
-      g.left.parent.push_back(static_cast<int>(i));
-      g.left.child.push_back(tree.left[i]);
+      out->left.parent.push_back(static_cast<int>(i));
+      out->left.child.push_back(tree.left[i]);
     }
     if (tree.right[i] >= 0) {
-      g.right.parent.push_back(static_cast<int>(i));
-      g.right.child.push_back(tree.right[i]);
+      out->right.parent.push_back(static_cast<int>(i));
+      out->right.child.push_back(tree.right[i]);
     }
   }
-  return g;
 }
 
 TreeConv::TreeConv(int in_channels, int out_channels, util::Rng& rng,
@@ -123,7 +168,7 @@ Matrix TreeConv::Forward(const TreeStructure& tree, const Matrix& x,
     const int present = static_cast<int>(side.parent.size());
     const int rows = sparse ? present : n;
     if (rows == 0) return;
-    Matrix& contrib = scratch->contrib;
+    Matrix& contrib = scratch->lcontrib;
     if (sparse) {
       MatMulGatherBlockInto(x, side.child.data(), present,
                             weight_.value.Row(blk * cin), cin, cout, &contrib,
@@ -163,6 +208,132 @@ Matrix TreeConv::Forward(const TreeStructure& tree, const Matrix& x,
   return y;
 }
 
+void TreeConv::ForwardTrain(const TreeStructure& tree, const Matrix& x,
+                            const Matrix* suffixes, const int* node_seg,
+                            const TreeGather& gather, TrainScratch* scratch,
+                            float leaky_alpha, Matrix* y) {
+  NEO_CHECK_MSG(!UseReferenceKernels(),
+                "ForwardTrain is the fast path; reference mode keeps the seed "
+                "concat Forward");
+  const int n = x.rows();
+  const int s = shared_suffix_dim_;
+  const int top = in_channels_ - s;
+  const int cin = in_channels_;
+  const int cout = weight_.value.cols();
+  NEO_CHECK(x.cols() == top);
+  NEO_CHECK((s > 0) == (suffixes != nullptr));
+  NEO_CHECK(static_cast<size_t>(n) == tree.NumNodes());
+  NEO_CHECK(scratch != nullptr);
+  const bool sparse = SparseTrainingConv();
+
+  // Suffix projections: one (B x cout) GEMM per block per FOREST — the
+  // row-constant query-embedding suffix never spatially replicates into the
+  // node features. LIVE weights (direct parameter pokes stay visible).
+  if (s > 0) {
+    NEO_CHECK(suffixes->cols() == s);
+    MatMulBlockInto(*suffixes, weight_.value.Row(0 * cin + top), s, cout,
+                    &scratch->proj_self, &scratch->gemm);
+    MatMulBlockInto(*suffixes, weight_.value.Row(1 * cin + top), s, cout,
+                    &scratch->proj_left, &scratch->gemm);
+    MatMulBlockInto(*suffixes, weight_.value.Row(2 * cin + top), s, cout,
+                    &scratch->proj_right, &scratch->gemm);
+    train_stats_.forward_madds += 3ULL * suffixes->rows() * s * cout;
+  }
+
+  // Self top-block GEMM straight into y; the fused epilogue finishes rows.
+  MatMulBlockInto(x, weight_.value.Row(0), top, cout, y, &scratch->gemm);
+  train_stats_.forward_madds +=
+      static_cast<uint64_t>(n) * static_cast<uint64_t>(top) * cout;
+
+  // Side top-block GEMMs; both sides' contributions live at once so the
+  // epilogue can apply them in one pass.
+  auto side_contrib = [&](const SideGather& side, int blk, Matrix* contrib) {
+    const int present = static_cast<int>(side.parent.size());
+    const int rows = sparse ? present : n;
+    if (rows == 0) {
+      contrib->Reshape(0, cout);
+      return;
+    }
+    if (sparse) {
+      MatMulGatherBlockInto(x, side.child.data(), present,
+                            weight_.value.Row(blk * cin), top, cout, contrib,
+                            &scratch->gemm);
+    } else {
+      Matrix& g = scratch->gather;
+      g.Reshape(n, top);
+      g.Zero();
+      ParallelRows(present, /*min_parallel=*/256, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          std::copy(x.Row(side.child[static_cast<size_t>(r)]),
+                    x.Row(side.child[static_cast<size_t>(r)]) + top,
+                    g.Row(side.parent[static_cast<size_t>(r)]));
+        }
+      });
+      MatMulBlockInto(g, weight_.value.Row(blk * cin), top, cout, contrib,
+                      &scratch->gemm);
+    }
+    train_stats_.forward_madds +=
+        static_cast<uint64_t>(rows) * static_cast<uint64_t>(top) * cout;
+    train_stats_.gather_bytes +=
+        static_cast<uint64_t>(rows) * (top + cout) * sizeof(float);
+    if (sparse) train_stats_.rows_skipped += static_cast<uint64_t>(n - present);
+  };
+  side_contrib(gather.left, 1, &scratch->lcontrib);
+  side_contrib(gather.right, 2, &scratch->rcontrib);
+
+  // Fused epilogue: bias + suffix projections + side contributions +
+  // activation in ONE pass — each post-activation row is written exactly
+  // once. Per-element op order is a fixed function of the node's child
+  // presence alone (never of the gather-row count), which is what keeps
+  // sparse and dense training bit-identical. Sparse contributions are
+  // indexed by an ascending cursor into the parent list (re-seeded per
+  // chunk), dense ones by the node index itself — same values either way.
+  const float* b = bias_.value.Row(0);
+  const int* lpar = gather.left.parent.data();
+  const int* rpar = gather.right.parent.data();
+  const size_t lsz = gather.left.parent.size();
+  const size_t rsz = gather.right.parent.size();
+  const bool has_lc = scratch->lcontrib.rows() > 0;
+  const bool has_rc = scratch->rcontrib.rows() > 0;
+  ParallelRows(n, /*min_parallel=*/256, [&](int64_t r0, int64_t r1) {
+    size_t lc = std::lower_bound(lpar, lpar + lsz, static_cast<int>(r0)) - lpar;
+    size_t rc = std::lower_bound(rpar, rpar + rsz, static_cast<int>(r0)) - rpar;
+    for (int64_t i = r0; i < r1; ++i) {
+      const bool has_l = has_lc && lc < lsz && lpar[lc] == static_cast<int>(i);
+      const bool has_r = has_rc && rc < rsz && rpar[rc] == static_cast<int>(i);
+      const float* lrow =
+          has_l ? scratch->lcontrib.Row(sparse ? static_cast<int>(lc)
+                                               : static_cast<int>(i))
+                : nullptr;
+      const float* rrow =
+          has_r ? scratch->rcontrib.Row(sparse ? static_cast<int>(rc)
+                                               : static_cast<int>(i))
+                : nullptr;
+      if (has_l) ++lc;
+      if (has_r) ++rc;
+      const int seg = node_seg != nullptr ? node_seg[i] : 0;
+      const float* ps = s > 0 ? scratch->proj_self.Row(seg) : nullptr;
+      const float* pl = s > 0 ? scratch->proj_left.Row(seg) : nullptr;
+      const float* pr = s > 0 ? scratch->proj_right.Row(seg) : nullptr;
+      float* row = y->Row(static_cast<int>(i));
+      for (int c = 0; c < cout; ++c) {
+        float v = row[c] + b[c];
+        if (ps != nullptr) v += ps[c];
+        if (lrow != nullptr) {
+          v += lrow[c];
+          if (pl != nullptr) v += pl[c];
+        }
+        if (rrow != nullptr) {
+          v += rrow[c];
+          if (pr != nullptr) v += pr[c];
+        }
+        if (leaky_alpha >= 0.0f && v < 0.0f) v *= leaky_alpha;
+        row[c] = v;
+      }
+    }
+  });
+}
+
 void TreeConv::RefreshInferenceWeights() {
   const int cin = in_channels_;
   const int s = shared_suffix_dim_;
@@ -188,6 +359,16 @@ void TreeConv::RefreshInferenceWeights() {
 Matrix TreeConv::ForwardInference(const TreeStructure& tree, const Matrix& x,
                                   const Matrix* shared_suffix,
                                   Scratch* scratch) const {
+  Matrix y;
+  ForwardInferenceInto(tree, x, shared_suffix, scratch, /*leaky_alpha=*/-1.0f,
+                       &y);
+  return y;
+}
+
+void TreeConv::ForwardInferenceInto(const TreeStructure& tree, const Matrix& x,
+                                    const Matrix* shared_suffix,
+                                    Scratch* scratch, float leaky_alpha,
+                                    Matrix* y) const {
   const int n = x.rows();
   const int s = shared_suffix_dim_;
   const int top = in_channels_ - s;
@@ -200,68 +381,64 @@ Matrix TreeConv::ForwardInference(const TreeStructure& tree, const Matrix& x,
 
   // Per-call suffix projections: the shared channels contribute the same
   // (1 x out) vector to every node (per present block), computed once.
-  Matrix suffix_self, suffix_left, suffix_right;
   if (s > 0) {
     NEO_CHECK(shared_suffix->cols() == s);
-    suffix_self = MatMulPacked(*shared_suffix, w_self_suffix_);
-    suffix_left = MatMulPacked(*shared_suffix, w_left_suffix_);
-    suffix_right = MatMulPacked(*shared_suffix, w_right_suffix_);
+    MatMulPackedInto(*shared_suffix, w_self_suffix_, &scratch->suffix_self);
+    MatMulPackedInto(*shared_suffix, w_left_suffix_, &scratch->suffix_left);
+    MatMulPackedInto(*shared_suffix, w_right_suffix_, &scratch->suffix_right);
   }
 
-  // Self block + bias (+ self-suffix projection) for every node.
-  Matrix y = MatMulPacked(x, w_self_);
-  const int cout = y.cols();
+  // Self GEMM straight into y; the fused epilogue below finishes each row:
+  // bias, self suffix, left contrib, left suffix, right contrib, right
+  // suffix, activation — the exact per-element op order of the unfused
+  // passes, so results are bit-identical to running them separately, with
+  // each post-activation row written exactly once.
+  MatMulPackedInto(x, w_self_, y);
+  const int cout = y->cols();
+
+  const int nl = GatherSide(tree.left, x, top, nullptr, &scratch->gather,
+                            &scratch->lparent);
+  if (nl > 0) MatMulPackedInto(scratch->gather, w_left_, &scratch->lcontrib);
+  const int nr = GatherSide(tree.right, x, top, nullptr, &scratch->gather,
+                            &scratch->rparent);
+  if (nr > 0) MatMulPackedInto(scratch->gather, w_right_, &scratch->rcontrib);
+
   const float* b = bias_.value.Row(0);
-  const float* sp = s > 0 ? suffix_self.Row(0) : nullptr;
+  const float* sps = s > 0 ? scratch->suffix_self.Row(0) : nullptr;
+  const float* spl = s > 0 ? scratch->suffix_left.Row(0) : nullptr;
+  const float* spr = s > 0 ? scratch->suffix_right.Row(0) : nullptr;
+  size_t lc = 0, rc = 0;
   for (int i = 0; i < n; ++i) {
-    float* row = y.Row(i);
-    for (int c = 0; c < cout; ++c) row[c] += b[c];
-    if (sp != nullptr) {
-      for (int c = 0; c < cout; ++c) row[c] += sp[c];
+    const bool has_l = lc < scratch->lparent.size() && scratch->lparent[lc] == i;
+    const bool has_r = rc < scratch->rparent.size() && scratch->rparent[rc] == i;
+    const float* lrow =
+        has_l ? scratch->lcontrib.Row(static_cast<int>(lc)) : nullptr;
+    const float* rrow =
+        has_r ? scratch->rcontrib.Row(static_cast<int>(rc)) : nullptr;
+    if (has_l) ++lc;
+    if (has_r) ++rc;
+    float* row = y->Row(i);
+    for (int c = 0; c < cout; ++c) {
+      float v = row[c] + b[c];
+      if (sps != nullptr) v += sps[c];
+      if (lrow != nullptr) {
+        v += lrow[c];
+        if (spl != nullptr) v += spl[c];
+      }
+      if (rrow != nullptr) {
+        v += rrow[c];
+        if (spr != nullptr) v += spr[c];
+      }
+      if (leaky_alpha >= 0.0f && v < 0.0f) v *= leaky_alpha;
+      row[c] = v;
     }
   }
-
-  // Child blocks: gather present children, one GEMM per side, scatter-add.
-  // MatMul rows are independent, so each node's contribution is the same
-  // regardless of which other nodes share the gather.
-  auto add_side = [&](const std::vector<int>& child, const PackedB& w,
-                      const Matrix& suffix_proj) {
-    int present = 0;
-    for (size_t i = 0; i < child.size(); ++i) {
-      if (child[i] >= 0) ++present;
-    }
-    if (present == 0) return;
-    if (scratch->gather.rows() != present || scratch->gather.cols() != top) {
-      scratch->gather = Matrix(present, top);
-    }
-    scratch->parent.assign(static_cast<size_t>(present), 0);
-    int t = 0;
-    for (size_t i = 0; i < child.size(); ++i) {
-      if (child[i] < 0) continue;
-      std::copy(x.Row(child[i]), x.Row(child[i]) + top, scratch->gather.Row(t));
-      scratch->parent[static_cast<size_t>(t)] = static_cast<int>(i);
-      ++t;
-    }
-    const Matrix contrib = MatMulPacked(scratch->gather, w);
-    const float* proj = s > 0 ? suffix_proj.Row(0) : nullptr;
-    for (int r = 0; r < present; ++r) {
-      float* dst = y.Row(scratch->parent[static_cast<size_t>(r)]);
-      const float* src = contrib.Row(r);
-      for (int c = 0; c < cout; ++c) dst[c] += src[c];
-      if (proj != nullptr) {
-        for (int c = 0; c < cout; ++c) dst[c] += proj[c];
-      }
-    }
-  };
-  add_side(tree.left, w_left_, suffix_left);
-  add_side(tree.right, w_right_, suffix_right);
-  return y;
 }
 
 void TreeConv::ForwardInferenceRows(const TreeStructure& tree, const Matrix& x,
                                     const std::vector<int>& rows,
                                     const Matrix* shared_suffix, Scratch* scratch,
-                                    Matrix* y) const {
+                                    Matrix* y, float leaky_alpha) const {
   const int s = shared_suffix_dim_;
   const int top = in_channels_ - s;
   const int cout = weight_.value.cols();
@@ -275,75 +452,81 @@ void TreeConv::ForwardInferenceRows(const TreeStructure& tree, const Matrix& x,
   if (scratch == nullptr) scratch = &local;
   const int d = static_cast<int>(rows.size());
 
-  Matrix suffix_self, suffix_left, suffix_right;
   if (s > 0) {
     NEO_CHECK(shared_suffix->cols() == s);
-    suffix_self = MatMulPacked(*shared_suffix, w_self_suffix_);
-    suffix_left = MatMulPacked(*shared_suffix, w_left_suffix_);
-    suffix_right = MatMulPacked(*shared_suffix, w_right_suffix_);
+    MatMulPackedInto(*shared_suffix, w_self_suffix_, &scratch->suffix_self);
+    MatMulPackedInto(*shared_suffix, w_left_suffix_, &scratch->suffix_left);
+    MatMulPackedInto(*shared_suffix, w_right_suffix_, &scratch->suffix_right);
   }
 
-  auto regather = [&](int count) {
-    if (scratch->gather.rows() != count || scratch->gather.cols() != top) {
-      scratch->gather = Matrix(count, top);
-    }
-  };
-
-  // Self block + bias (+ self-suffix projection), gathered over dirty rows.
-  regather(d);
+  // Self block gathered over dirty rows; side blocks over the dirty rows'
+  // present children; then one fused epilogue writes each dirty row once.
+  scratch->gather.Reshape(d, top);
   for (int r = 0; r < d; ++r) {
     std::copy(x.Row(rows[static_cast<size_t>(r)]),
               x.Row(rows[static_cast<size_t>(r)]) + top, scratch->gather.Row(r));
   }
-  const Matrix self = MatMulPacked(scratch->gather, w_self_);
+  MatMulPackedInto(scratch->gather, w_self_, &scratch->self);
+
+  const int nl = GatherSide(tree.left, x, top, &rows, &scratch->gather,
+                            &scratch->lparent);
+  if (nl > 0) MatMulPackedInto(scratch->gather, w_left_, &scratch->lcontrib);
+  const int nr = GatherSide(tree.right, x, top, &rows, &scratch->gather,
+                            &scratch->rparent);
+  if (nr > 0) MatMulPackedInto(scratch->gather, w_right_, &scratch->rcontrib);
+
   const float* b = bias_.value.Row(0);
-  const float* sp = s > 0 ? suffix_self.Row(0) : nullptr;
+  const float* sps = s > 0 ? scratch->suffix_self.Row(0) : nullptr;
+  const float* spl = s > 0 ? scratch->suffix_left.Row(0) : nullptr;
+  const float* spr = s > 0 ? scratch->suffix_right.Row(0) : nullptr;
+  size_t lc = 0, rc = 0;
   for (int r = 0; r < d; ++r) {
-    float* dst = y->Row(rows[static_cast<size_t>(r)]);
-    const float* src = self.Row(r);
-    for (int c = 0; c < cout; ++c) dst[c] = src[c] + b[c];
-    if (sp != nullptr) {
-      for (int c = 0; c < cout; ++c) dst[c] += sp[c];
+    const int node = rows[static_cast<size_t>(r)];
+    const bool has_l =
+        lc < scratch->lparent.size() && scratch->lparent[lc] == node;
+    const bool has_r =
+        rc < scratch->rparent.size() && scratch->rparent[rc] == node;
+    const float* lrow =
+        has_l ? scratch->lcontrib.Row(static_cast<int>(lc)) : nullptr;
+    const float* rrow =
+        has_r ? scratch->rcontrib.Row(static_cast<int>(rc)) : nullptr;
+    if (has_l) ++lc;
+    if (has_r) ++rc;
+    float* dst = y->Row(node);
+    const float* src = scratch->self.Row(r);
+    for (int c = 0; c < cout; ++c) {
+      float v = src[c] + b[c];
+      if (sps != nullptr) v += sps[c];
+      if (lrow != nullptr) {
+        v += lrow[c];
+        if (spl != nullptr) v += spl[c];
+      }
+      if (rrow != nullptr) {
+        v += rrow[c];
+        if (spr != nullptr) v += spr[c];
+      }
+      if (leaky_alpha >= 0.0f && v < 0.0f) v *= leaky_alpha;
+      dst[c] = v;
     }
   }
-
-  // Child blocks restricted to the dirty rows' present children.
-  auto add_side = [&](const std::vector<int>& child, const PackedB& w,
-                      const Matrix& suffix_proj) {
-    int present = 0;
-    for (const int r : rows) {
-      if (child[static_cast<size_t>(r)] >= 0) ++present;
-    }
-    if (present == 0) return;
-    regather(present);
-    scratch->parent.assign(static_cast<size_t>(present), 0);
-    int t = 0;
-    for (const int r : rows) {
-      const int c = child[static_cast<size_t>(r)];
-      if (c < 0) continue;
-      std::copy(x.Row(c), x.Row(c) + top, scratch->gather.Row(t));
-      scratch->parent[static_cast<size_t>(t)] = r;
-      ++t;
-    }
-    const Matrix contrib = MatMulPacked(scratch->gather, w);
-    const float* proj = s > 0 ? suffix_proj.Row(0) : nullptr;
-    for (int r = 0; r < present; ++r) {
-      float* dst = y->Row(scratch->parent[static_cast<size_t>(r)]);
-      const float* src = contrib.Row(r);
-      for (int c = 0; c < cout; ++c) dst[c] += src[c];
-      if (proj != nullptr) {
-        for (int c = 0; c < cout; ++c) dst[c] += proj[c];
-      }
-    }
-  };
-  add_side(tree.left, w_left_, suffix_left);
-  add_side(tree.right, w_right_, suffix_right);
 }
 
 Matrix TreeConv::ForwardInferenceMulti(const TreeStructure& tree,
                                        const Matrix& x, const Matrix& suffixes,
                                        const std::vector<int>& node_seg,
                                        Scratch* scratch) const {
+  Matrix y;
+  ForwardInferenceMultiInto(tree, x, suffixes, node_seg, scratch,
+                            /*leaky_alpha=*/-1.0f, &y);
+  return y;
+}
+
+void TreeConv::ForwardInferenceMultiInto(const TreeStructure& tree,
+                                         const Matrix& x,
+                                         const Matrix& suffixes,
+                                         const std::vector<int>& node_seg,
+                                         Scratch* scratch, float leaky_alpha,
+                                         Matrix* y) const {
   const int n = x.rows();
   const int s = shared_suffix_dim_;
   const int top = in_channels_ - s;
@@ -357,61 +540,57 @@ Matrix TreeConv::ForwardInferenceMulti(const TreeStructure& tree,
 
   // All K queries' suffix projections in one GEMM per block; row k is
   // bitwise the single-query projection of query k.
-  Matrix suffix_self, suffix_left, suffix_right;
   if (s > 0) {
     NEO_CHECK(suffixes.cols() == s);
-    suffix_self = MatMulPacked(suffixes, w_self_suffix_);
-    suffix_left = MatMulPacked(suffixes, w_left_suffix_);
-    suffix_right = MatMulPacked(suffixes, w_right_suffix_);
+    MatMulPackedInto(suffixes, w_self_suffix_, &scratch->suffix_self);
+    MatMulPackedInto(suffixes, w_left_suffix_, &scratch->suffix_left);
+    MatMulPackedInto(suffixes, w_right_suffix_, &scratch->suffix_right);
   }
 
-  // Self block + bias (+ the node's segment's self-suffix row). The add
-  // order per row matches ForwardInference exactly: bias, then suffix.
-  Matrix y = MatMulPacked(x, w_self_);
-  const int cout = y.cols();
+  MatMulPackedInto(x, w_self_, y);
+  const int cout = y->cols();
+
+  const int nl = GatherSide(tree.left, x, top, nullptr, &scratch->gather,
+                            &scratch->lparent);
+  if (nl > 0) MatMulPackedInto(scratch->gather, w_left_, &scratch->lcontrib);
+  const int nr = GatherSide(tree.right, x, top, nullptr, &scratch->gather,
+                            &scratch->rparent);
+  if (nr > 0) MatMulPackedInto(scratch->gather, w_right_, &scratch->rcontrib);
+
+  // Fused epilogue; per row the suffix projections are read through the
+  // node's segment, in the exact op order of the single-query path — so each
+  // output row is bit-identical to ForwardInference with its query alone.
   const float* b = bias_.value.Row(0);
+  size_t lc = 0, rc = 0;
   for (int i = 0; i < n; ++i) {
-    float* row = y.Row(i);
-    for (int c = 0; c < cout; ++c) row[c] += b[c];
-    if (s > 0) {
-      const float* sp = suffix_self.Row(node_seg[static_cast<size_t>(i)]);
-      for (int c = 0; c < cout; ++c) row[c] += sp[c];
+    const bool has_l = lc < scratch->lparent.size() && scratch->lparent[lc] == i;
+    const bool has_r = rc < scratch->rparent.size() && scratch->rparent[rc] == i;
+    const float* lrow =
+        has_l ? scratch->lcontrib.Row(static_cast<int>(lc)) : nullptr;
+    const float* rrow =
+        has_r ? scratch->rcontrib.Row(static_cast<int>(rc)) : nullptr;
+    if (has_l) ++lc;
+    if (has_r) ++rc;
+    const int seg = node_seg[static_cast<size_t>(i)];
+    const float* sps = s > 0 ? scratch->suffix_self.Row(seg) : nullptr;
+    const float* spl = s > 0 ? scratch->suffix_left.Row(seg) : nullptr;
+    const float* spr = s > 0 ? scratch->suffix_right.Row(seg) : nullptr;
+    float* row = y->Row(i);
+    for (int c = 0; c < cout; ++c) {
+      float v = row[c] + b[c];
+      if (sps != nullptr) v += sps[c];
+      if (lrow != nullptr) {
+        v += lrow[c];
+        if (spl != nullptr) v += spl[c];
+      }
+      if (rrow != nullptr) {
+        v += rrow[c];
+        if (spr != nullptr) v += spr[c];
+      }
+      if (leaky_alpha >= 0.0f && v < 0.0f) v *= leaky_alpha;
+      row[c] = v;
     }
   }
-
-  auto add_side = [&](const std::vector<int>& child, const PackedB& w,
-                      const Matrix& suffix_proj) {
-    int present = 0;
-    for (size_t i = 0; i < child.size(); ++i) {
-      if (child[i] >= 0) ++present;
-    }
-    if (present == 0) return;
-    if (scratch->gather.rows() != present || scratch->gather.cols() != top) {
-      scratch->gather = Matrix(present, top);
-    }
-    scratch->parent.assign(static_cast<size_t>(present), 0);
-    int t = 0;
-    for (size_t i = 0; i < child.size(); ++i) {
-      if (child[i] < 0) continue;
-      std::copy(x.Row(child[i]), x.Row(child[i]) + top, scratch->gather.Row(t));
-      scratch->parent[static_cast<size_t>(t)] = static_cast<int>(i);
-      ++t;
-    }
-    const Matrix contrib = MatMulPacked(scratch->gather, w);
-    for (int r = 0; r < present; ++r) {
-      const int p = scratch->parent[static_cast<size_t>(r)];
-      float* dst = y.Row(p);
-      const float* src = contrib.Row(r);
-      for (int c = 0; c < cout; ++c) dst[c] += src[c];
-      if (s > 0) {
-        const float* proj = suffix_proj.Row(node_seg[static_cast<size_t>(p)]);
-        for (int c = 0; c < cout; ++c) dst[c] += proj[c];
-      }
-    }
-  };
-  add_side(tree.left, w_left_, suffix_left);
-  add_side(tree.right, w_right_, suffix_right);
-  return y;
 }
 
 void TreeConv::ForwardInferenceRowsMulti(const TreeStructure& tree,
@@ -419,7 +598,8 @@ void TreeConv::ForwardInferenceRowsMulti(const TreeStructure& tree,
                                          const std::vector<int>& rows,
                                          const Matrix& suffixes,
                                          const std::vector<int>& node_seg,
-                                         Scratch* scratch, Matrix* y) const {
+                                         Scratch* scratch, Matrix* y,
+                                         float leaky_alpha) const {
   const int s = shared_suffix_dim_;
   const int top = in_channels_ - s;
   const int cout = weight_.value.cols();
@@ -434,69 +614,62 @@ void TreeConv::ForwardInferenceRowsMulti(const TreeStructure& tree,
   if (scratch == nullptr) scratch = &local;
   const int d = static_cast<int>(rows.size());
 
-  Matrix suffix_self, suffix_left, suffix_right;
   if (s > 0) {
     NEO_CHECK(suffixes.cols() == s);
-    suffix_self = MatMulPacked(suffixes, w_self_suffix_);
-    suffix_left = MatMulPacked(suffixes, w_left_suffix_);
-    suffix_right = MatMulPacked(suffixes, w_right_suffix_);
+    MatMulPackedInto(suffixes, w_self_suffix_, &scratch->suffix_self);
+    MatMulPackedInto(suffixes, w_left_suffix_, &scratch->suffix_left);
+    MatMulPackedInto(suffixes, w_right_suffix_, &scratch->suffix_right);
   }
 
-  auto regather = [&](int count) {
-    if (scratch->gather.rows() != count || scratch->gather.cols() != top) {
-      scratch->gather = Matrix(count, top);
-    }
-  };
-
-  regather(d);
+  scratch->gather.Reshape(d, top);
   for (int r = 0; r < d; ++r) {
     std::copy(x.Row(rows[static_cast<size_t>(r)]),
               x.Row(rows[static_cast<size_t>(r)]) + top, scratch->gather.Row(r));
   }
-  const Matrix self = MatMulPacked(scratch->gather, w_self_);
+  MatMulPackedInto(scratch->gather, w_self_, &scratch->self);
+
+  const int nl = GatherSide(tree.left, x, top, &rows, &scratch->gather,
+                            &scratch->lparent);
+  if (nl > 0) MatMulPackedInto(scratch->gather, w_left_, &scratch->lcontrib);
+  const int nr = GatherSide(tree.right, x, top, &rows, &scratch->gather,
+                            &scratch->rparent);
+  if (nr > 0) MatMulPackedInto(scratch->gather, w_right_, &scratch->rcontrib);
+
   const float* b = bias_.value.Row(0);
+  size_t lc = 0, rc = 0;
   for (int r = 0; r < d; ++r) {
     const int node = rows[static_cast<size_t>(r)];
+    const bool has_l =
+        lc < scratch->lparent.size() && scratch->lparent[lc] == node;
+    const bool has_r =
+        rc < scratch->rparent.size() && scratch->rparent[rc] == node;
+    const float* lrow =
+        has_l ? scratch->lcontrib.Row(static_cast<int>(lc)) : nullptr;
+    const float* rrow =
+        has_r ? scratch->rcontrib.Row(static_cast<int>(rc)) : nullptr;
+    if (has_l) ++lc;
+    if (has_r) ++rc;
+    const int seg = node_seg[static_cast<size_t>(node)];
+    const float* sps = s > 0 ? scratch->suffix_self.Row(seg) : nullptr;
+    const float* spl = s > 0 ? scratch->suffix_left.Row(seg) : nullptr;
+    const float* spr = s > 0 ? scratch->suffix_right.Row(seg) : nullptr;
     float* dst = y->Row(node);
-    const float* src = self.Row(r);
-    for (int c = 0; c < cout; ++c) dst[c] = src[c] + b[c];
-    if (s > 0) {
-      const float* sp = suffix_self.Row(node_seg[static_cast<size_t>(node)]);
-      for (int c = 0; c < cout; ++c) dst[c] += sp[c];
+    const float* src = scratch->self.Row(r);
+    for (int c = 0; c < cout; ++c) {
+      float v = src[c] + b[c];
+      if (sps != nullptr) v += sps[c];
+      if (lrow != nullptr) {
+        v += lrow[c];
+        if (spl != nullptr) v += spl[c];
+      }
+      if (rrow != nullptr) {
+        v += rrow[c];
+        if (spr != nullptr) v += spr[c];
+      }
+      if (leaky_alpha >= 0.0f && v < 0.0f) v *= leaky_alpha;
+      dst[c] = v;
     }
   }
-
-  auto add_side = [&](const std::vector<int>& child, const PackedB& w,
-                      const Matrix& suffix_proj) {
-    int present = 0;
-    for (const int r : rows) {
-      if (child[static_cast<size_t>(r)] >= 0) ++present;
-    }
-    if (present == 0) return;
-    regather(present);
-    scratch->parent.assign(static_cast<size_t>(present), 0);
-    int t = 0;
-    for (const int r : rows) {
-      const int c = child[static_cast<size_t>(r)];
-      if (c < 0) continue;
-      std::copy(x.Row(c), x.Row(c) + top, scratch->gather.Row(t));
-      scratch->parent[static_cast<size_t>(t)] = r;
-      ++t;
-    }
-    const Matrix contrib = MatMulPacked(scratch->gather, w);
-    for (int r = 0; r < present; ++r) {
-      const int p = scratch->parent[static_cast<size_t>(r)];
-      float* dst = y->Row(p);
-      const float* src = contrib.Row(r);
-      for (int c = 0; c < cout; ++c) dst[c] += src[c];
-      if (s > 0) {
-        const float* proj = suffix_proj.Row(node_seg[static_cast<size_t>(p)]);
-        for (int c = 0; c < cout; ++c) dst[c] += proj[c];
-      }
-    }
-  };
-  add_side(tree.left, w_left_, suffix_left);
-  add_side(tree.right, w_right_, suffix_right);
 }
 
 Matrix TreeConv::Backward(const TreeStructure& tree, const Matrix& x,
@@ -571,7 +744,7 @@ Matrix TreeConv::Backward(const TreeStructure& tree, const Matrix& x,
     const int present = static_cast<int>(side.parent.size());
     const int rows = sparse ? present : n;
     if (rows == 0) return;
-    Matrix& contrib = scratch->contrib;
+    Matrix& contrib = scratch->lcontrib;
     if (sparse) {
       // dW_blk += x[child]^T grad_out[parent]; zero rows the dense mode
       // carries are exact no-ops in every MatMulTransposeAInto strategy, so
@@ -623,6 +796,153 @@ Matrix TreeConv::Backward(const TreeStructure& tree, const Matrix& x,
   return grad_in;
 }
 
+void TreeConv::BackwardTrain(const TreeStructure& tree, const Matrix& x,
+                             const Matrix* suffixes, const int* node_seg,
+                             const Matrix& grad_out, const TreeGather& gather,
+                             TrainScratch* scratch, Matrix* grad_in,
+                             Matrix* grad_suffix) {
+  NEO_CHECK_MSG(!UseReferenceKernels(),
+                "BackwardTrain is the fast path; reference mode keeps the "
+                "seed concat Backward");
+  split_fresh_ = false;
+  const int n = grad_out.rows();
+  const int s = shared_suffix_dim_;
+  const int top = in_channels_ - s;
+  const int cin = in_channels_;
+  const int cout = grad_out.cols();
+  NEO_CHECK(cout == weight_.value.cols());
+  NEO_CHECK(x.rows() == n && x.cols() == top);
+  NEO_CHECK((s > 0) == (suffixes != nullptr));
+  // Input gradients flow only through suffix-free (deeper) layers; layer 0's
+  // varying channels are leaf inputs, so their gradient is never computed.
+  NEO_CHECK(grad_in == nullptr || s == 0);
+  NEO_CHECK(grad_suffix == nullptr || s > 0);
+  NEO_CHECK(scratch != nullptr);
+  const bool sparse = SparseTrainingConv();
+  const int batch = s > 0 ? suffixes->rows() : 1;
+
+  // Bias gradient: serial ascending-row reduction (fixed order, cheap).
+  for (int i = 0; i < n; ++i) {
+    const float* g = grad_out.Row(i);
+    float* b = bias_.grad.Row(0);
+    for (int c = 0; c < cout; ++c) b[c] += g[c];
+  }
+
+  // Per-sample segment sums of grad rows over the nodes a block touches:
+  // G_b[k] = sum of grad_out rows (ascending node order — forests pack
+  // sample-contiguously, so this is also ascending within each sample) whose
+  // b-child is present and whose node belongs to sample k. Both training
+  // modes iterate the SAME side lists, so sparse and dense stay
+  // bit-identical by construction.
+  auto seg_sum = [&](const SideGather* side) {
+    Matrix& G = scratch->seg_grad;
+    G.Reshape(batch, cout);
+    G.Zero();
+    if (side == nullptr) {
+      for (int i = 0; i < n; ++i) {
+        float* dst = G.Row(node_seg != nullptr ? node_seg[i] : 0);
+        const float* g = grad_out.Row(i);
+        for (int c = 0; c < cout; ++c) dst[c] += g[c];
+      }
+    } else {
+      for (size_t t = 0; t < side->parent.size(); ++t) {
+        const int p = side->parent[t];
+        float* dst = G.Row(node_seg != nullptr ? node_seg[p] : 0);
+        const float* g = grad_out.Row(p);
+        for (int c = 0; c < cout; ++c) dst[c] += g[c];
+      }
+    }
+  };
+
+  // Suffix sub-block of block `blk`: dW_suf += E^T G_b (one small GEMM per
+  // block per step instead of per node), and the suffix (query-embedding)
+  // gradient accumulates G_b W_suf^T in self/left/right order.
+  auto suffix_backward = [&](const SideGather* side, int blk) {
+    if (s == 0) return;
+    if (side != nullptr && side->parent.empty()) return;
+    seg_sum(side);
+    MatMulTransposeAInto(*suffixes, scratch->seg_grad,
+                         weight_.grad.Row(blk * cin + top), &scratch->gemm);
+    if (grad_suffix != nullptr) {
+      MatMulTransposeBBlockInto(scratch->seg_grad,
+                                weight_.value.Row(blk * cin + top), s,
+                                &scratch->sgrad_tmp, &scratch->gemm);
+      if (blk == 0) {
+        *grad_suffix = scratch->sgrad_tmp;
+      } else {
+        grad_suffix->Add(scratch->sgrad_tmp);
+      }
+    }
+    train_stats_.backward_madds +=
+        2ULL * static_cast<uint64_t>(batch) * static_cast<uint64_t>(s) * cout;
+  };
+
+  // Self block: dW_top += x^T g; dx = g W_top^T seeds grad_in when asked.
+  MatMulTransposeAInto(x, grad_out, weight_.grad.Row(0), &scratch->gemm);
+  suffix_backward(nullptr, 0);
+  if (grad_in != nullptr) {
+    MatMulTransposeBBlockInto(grad_out, weight_.value.Row(0), top, grad_in,
+                              &scratch->gemm);
+  }
+  train_stats_.backward_madds +=
+      2ULL * static_cast<uint64_t>(n) * static_cast<uint64_t>(top) * cout;
+
+  // Side top blocks (see Backward's side_backward for the mode notes).
+  auto side_backward = [&](const SideGather& side, int blk) {
+    const int present = static_cast<int>(side.parent.size());
+    const int rows = sparse ? present : n;
+    if (rows == 0) return;
+    Matrix& contrib = scratch->lcontrib;
+    if (sparse) {
+      MatMulGatherTransposeAInto(x, side.child.data(), grad_out,
+                                 side.parent.data(), present,
+                                 weight_.grad.Row(blk * cin), &scratch->gemm);
+      if (grad_in != nullptr) {
+        MatMulGatherTransposeBBlockInto(grad_out, side.parent.data(), present,
+                                        weight_.value.Row(blk * cin), top,
+                                        &contrib, &scratch->gemm);
+      }
+    } else {
+      Matrix& gx = scratch->gather;
+      gx.Reshape(n, top);
+      gx.Zero();  // Reshape may retain junk; absent rows must be 0.
+      ParallelRows(present, /*min_parallel=*/256, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          std::copy(x.Row(side.child[static_cast<size_t>(r)]),
+                    x.Row(side.child[static_cast<size_t>(r)]) + top,
+                    gx.Row(side.parent[static_cast<size_t>(r)]));
+        }
+      });
+      MatMulTransposeAInto(gx, grad_out, weight_.grad.Row(blk * cin),
+                           &scratch->gemm);
+      if (grad_in != nullptr) {
+        MatMulTransposeBBlockInto(grad_out, weight_.value.Row(blk * cin), top,
+                                  &contrib, &scratch->gemm);
+      }
+    }
+    suffix_backward(&side, blk);
+    if (grad_in != nullptr) {
+      ParallelRows(present, /*min_parallel=*/256, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const int src_row = sparse ? static_cast<int>(r)
+                                     : side.parent[static_cast<size_t>(r)];
+          float* dst = grad_in->Row(side.child[static_cast<size_t>(r)]);
+          const float* src = contrib.Row(src_row);
+          for (int c = 0; c < top; ++c) dst[c] += src[c];
+        }
+      });
+    }
+    train_stats_.backward_madds +=
+        2ULL * static_cast<uint64_t>(rows) * static_cast<uint64_t>(top) * cout;
+    train_stats_.gather_bytes +=
+        static_cast<uint64_t>(rows) * (top + cout) * sizeof(float) +
+        static_cast<uint64_t>(present) * top * sizeof(float);
+    if (sparse) train_stats_.rows_skipped += static_cast<uint64_t>(n - present);
+  };
+  side_backward(gather.left, 1);
+  side_backward(gather.right, 2);
+}
+
 Matrix DynamicPooling::Forward(const Matrix& x) {
   NEO_CHECK(x.rows() > 0);
   const std::vector<int> offsets = {0, x.rows()};
@@ -656,6 +976,13 @@ inline void PoolSegment(const Matrix& x, int begin, int end, float* yrow,
 }  // namespace
 
 Matrix DynamicPooling::Forward(const Matrix& x, const std::vector<int>& offsets) {
+  Matrix y;
+  ForwardInto(x, offsets, &y);
+  return y;
+}
+
+void DynamicPooling::ForwardInto(const Matrix& x, const std::vector<int>& offsets,
+                                 Matrix* y) {
   const int d = x.cols();
   NEO_CHECK(offsets.size() >= 2);
   const int segments = static_cast<int>(offsets.size()) - 1;
@@ -663,44 +990,56 @@ Matrix DynamicPooling::Forward(const Matrix& x, const std::vector<int>& offsets)
   last_rows_ = x.rows();
   last_segments_ = segments;
   argmax_.assign(static_cast<size_t>(segments) * d, 0);
-  Matrix y(segments, d);
+  y->Reshape(segments, d);  // Fully overwritten by PoolSegment.
   ParallelRows(segments, /*min_parallel=*/64, [&](int64_t s0, int64_t s1) {
     for (int64_t s = s0; s < s1; ++s) {
       PoolSegment(x, offsets[static_cast<size_t>(s)],
-                  offsets[static_cast<size_t>(s) + 1], y.Row(static_cast<int>(s)),
+                  offsets[static_cast<size_t>(s) + 1], y->Row(static_cast<int>(s)),
                   argmax_.data() + static_cast<size_t>(s) * d);
     }
   });
-  return y;
 }
 
 Matrix DynamicPooling::ForwardInference(const Matrix& x,
                                         const std::vector<int>& offsets) const {
+  Matrix y;
+  ForwardInferenceInto(x, offsets, &y);
+  return y;
+}
+
+void DynamicPooling::ForwardInferenceInto(const Matrix& x,
+                                          const std::vector<int>& offsets,
+                                          Matrix* y) const {
   const int d = x.cols();
   NEO_CHECK(offsets.size() >= 2);
   const int segments = static_cast<int>(offsets.size()) - 1;
   NEO_CHECK(offsets.front() == 0 && offsets.back() == x.rows());
-  Matrix y(segments, d);
+  y->Reshape(segments, d);  // Fully overwritten by PoolSegment.
   ParallelRows(segments, /*min_parallel=*/64, [&](int64_t s0, int64_t s1) {
     for (int64_t s = s0; s < s1; ++s) {
       PoolSegment(x, offsets[static_cast<size_t>(s)],
-                  offsets[static_cast<size_t>(s) + 1], y.Row(static_cast<int>(s)),
+                  offsets[static_cast<size_t>(s) + 1], y->Row(static_cast<int>(s)),
                   nullptr);
     }
   });
-  return y;
 }
 
 Matrix DynamicPooling::Backward(const Matrix& grad_out) {
+  Matrix grad_in;
+  BackwardInto(grad_out, &grad_in);
+  return grad_in;
+}
+
+void DynamicPooling::BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
   NEO_CHECK(grad_out.rows() == last_segments_);
   const int d = grad_out.cols();
-  Matrix grad_in(last_rows_, d);
+  grad_in->Reshape(last_rows_, d);
+  grad_in->Zero();
   for (int s = 0; s < grad_out.rows(); ++s) {
     const int* amax = argmax_.data() + static_cast<size_t>(s) * d;
     const float* g = grad_out.Row(s);
-    for (int c = 0; c < d; ++c) grad_in.At(amax[c], c) += g[c];
+    for (int c = 0; c < d; ++c) grad_in->At(amax[c], c) += g[c];
   }
-  return grad_in;
 }
 
 }  // namespace neo::nn

@@ -86,6 +86,9 @@ struct TreeGather {
   SideGather right;
 
   static TreeGather Build(const TreeStructure& tree);
+  /// Build into an existing TreeGather, reusing its vectors' capacity (the
+  /// zero-steady-state-allocation form).
+  static void BuildInto(const TreeStructure& tree, TreeGather* out);
 };
 
 /// When true (default), the training conv gathers only present-child rows and
@@ -108,29 +111,42 @@ class TreeConv {
   TreeConv(int in_channels, int out_channels, util::Rng& rng,
            int shared_suffix_dim = 0);
 
-  /// Reusable gather buffers for ForwardInference. The layer itself holds no
+  /// Reusable inference scratch: gather buffers, per-side GEMM outputs, and
+  /// the per-call suffix projections. Every buffer is capacity-reused
+  /// (Reshape, fully overwritten), so a warmed Scratch makes repeated
+  /// inference forwards heap-allocation-free. The layer itself holds no
   /// inference scratch, so concurrent callers (parallel plan searches) stay
   /// race-free by each owning one Scratch per layer.
   struct Scratch {
-    Matrix gather;             ///< Child-feature gather buffer.
-    std::vector<int> parent;   ///< Gather-row -> node map.
+    Matrix gather;              ///< Child-feature gather buffer (per side).
+    Matrix self;                ///< Dirty-row self GEMM output (Rows variants).
+    Matrix lcontrib, rcontrib;  ///< Per-side GEMM outputs (both live at once
+                                ///< so the epilogue can fuse them).
+    Matrix suffix_self, suffix_left, suffix_right;  ///< Suffix projections.
+    std::vector<int> lparent, rparent;  ///< Gather-row -> node maps.
   };
 
   /// Reusable training-path scratch, shared across all conv layers of one
   /// step (buffers Reshape to each layer's dims without reallocating).
-  /// ValueNetwork owns one, passes it to every Forward/Backward, and
-  /// releases it after the optimizer step — so nothing batch-sized survives
-  /// between minibatches, while within a step no gather/GEMM temporary is
-  /// ever re-malloc'd or re-zeroed. Results are bit-identical with or
-  /// without a scratch (every reused element is fully overwritten).
+  /// ValueNetwork owns one, passes it to every Forward/Backward, and by
+  /// default RETAINS it across steps (high-water reuse: the steady-state
+  /// training step performs zero heap allocations). Results are bit-identical
+  /// with or without a scratch and whether or not it is retained (every
+  /// reused element is fully overwritten).
   struct TrainScratch {
-    Matrix gather;    ///< Dense-fallback zero-padded child gather.
-    Matrix contrib;   ///< Per-side GEMM outputs.
-    GemmScratch gemm; ///< Pack + transpose staging for the block GEMMs.
+    Matrix gather;     ///< Dense-fallback zero-padded child gather.
+    Matrix lcontrib;   ///< Left-side GEMM output.
+    Matrix rcontrib;   ///< Right-side GEMM output.
+    Matrix proj_self, proj_left, proj_right;  ///< (B x cout) suffix projections.
+    Matrix seg_grad;   ///< (B x cout) per-sample grad sums (suffix backward).
+    Matrix sgrad_tmp;  ///< (B x s) per-block suffix-grad staging.
+    GemmScratch gemm;  ///< Pack + transpose staging for the block GEMMs.
 
     void Release() { *this = TrainScratch(); }
     size_t Bytes() const {
-      return (gather.Size() + contrib.Size() + gemm.staging.Size() +
+      return (gather.Size() + lcontrib.Size() + rcontrib.Size() +
+              proj_self.Size() + proj_left.Size() + proj_right.Size() +
+              seg_grad.Size() + sgrad_tmp.Size() + gemm.staging.Size() +
               gemm.pack.size()) * sizeof(float);
     }
   };
@@ -157,6 +173,39 @@ class TreeConv {
                  const TreeGather* gather = nullptr,
                  TrainScratch* scratch = nullptr);
 
+  /// Fast-path training forward with the fused epilogue and the layer-0
+  /// shared-suffix split (the training-side twin of ForwardInference's
+  /// suffix handling). `x` holds only the (in - s) varying channels;
+  /// `suffixes` is the (B x s) per-sample suffix stack (nullptr when the
+  /// layer has no suffix), projected through each weight block ONCE PER
+  /// FOREST instead of once per node; `node_seg` maps node -> sample row
+  /// (nullptr = all sample 0). Bias, both side contributions, the suffix
+  /// projections, and (when `leaky_alpha` >= 0) the leaky-ReLU are applied
+  /// in one fused pass, so each post-activation row is written exactly once.
+  /// Multiplies the LIVE weights. The per-element op order is a fixed
+  /// function of the node's (left, right) presence alone, so sparse and
+  /// dense training stay bit-identical and packed/per-sample forwards agree
+  /// bitwise. Not available under SetUseReferenceKernels (callers keep the
+  /// seed concat path there).
+  void ForwardTrain(const TreeStructure& tree, const Matrix& x,
+                    const Matrix* suffixes, const int* node_seg,
+                    const TreeGather& gather, TrainScratch* scratch,
+                    float leaky_alpha, Matrix* y);
+
+  /// Backward for ForwardTrain. `grad_out` must already be masked through
+  /// the activation derivative. Accumulates weight/bias gradients (top
+  /// sub-blocks from the varying channels, suffix sub-blocks via per-sample
+  /// segment sums). When `grad_suffix` is non-null it is OVERWRITTEN with
+  /// the (B x s) suffix gradient. When `grad_in` is non-null (suffix-free
+  /// layers only) it receives the (n x in) input gradient; layer 0 passes
+  /// nullptr and skips the input-gradient GEMMs entirely — plan features
+  /// are leaf inputs.
+  void BackwardTrain(const TreeStructure& tree, const Matrix& x,
+                     const Matrix* suffixes, const int* node_seg,
+                     const Matrix& grad_out, const TreeGather& gather,
+                     TrainScratch* scratch, Matrix* grad_in,
+                     Matrix* grad_suffix);
+
   /// Inference-only forward that skips absent-child weight blocks:
   /// y = x*W_p + gather(x_left)*W_l + gather(x_right)*W_r + b. Most forest
   /// nodes are leaves, so this does roughly half the flops of Forward. With
@@ -172,6 +221,20 @@ class TreeConv {
                           const Matrix* shared_suffix = nullptr,
                           Scratch* scratch = nullptr) const;
 
+  /// ForwardInference into a caller-owned output with the fused epilogue:
+  /// self GEMM lands in `y`, then ONE serial pass per row applies bias,
+  /// suffix projections, both side contributions, and (when `leaky_alpha`
+  /// >= 0) the leaky-ReLU — the post-activation row is written exactly once,
+  /// in the exact per-element op order of the unfused passes (bias, self
+  /// suffix, left contrib, left suffix, right contrib, right suffix,
+  /// activation), so results are bit-identical to running them separately
+  /// under every dispatch arm. With a warmed `scratch` the call performs
+  /// zero heap allocations. `leaky_alpha` < 0 skips the activation
+  /// (pre-activation output, the compatibility wrapper's behavior).
+  void ForwardInferenceInto(const TreeStructure& tree, const Matrix& x,
+                            const Matrix* shared_suffix, Scratch* scratch,
+                            float leaky_alpha, Matrix* y) const;
+
   /// Incremental variant of ForwardInference: computes ONLY the output rows
   /// listed in `rows` (ascending node indices), writing them into the
   /// pre-sized (nodes x out_channels) `y`; all other rows of `y` must already
@@ -184,7 +247,7 @@ class TreeConv {
   void ForwardInferenceRows(const TreeStructure& tree, const Matrix& x,
                             const std::vector<int>& rows,
                             const Matrix* shared_suffix, Scratch* scratch,
-                            Matrix* y) const;
+                            Matrix* y, float leaky_alpha = -1.0f) const;
 
   /// Multi-query variant of ForwardInference for cross-query coalescing:
   /// the forest packs trees from K different queries, `suffixes` is the
@@ -203,13 +266,22 @@ class TreeConv {
                                const std::vector<int>& node_seg,
                                Scratch* scratch) const;
 
+  /// ForwardInferenceMulti into a caller-owned output with the fused
+  /// epilogue (see ForwardInferenceInto).
+  void ForwardInferenceMultiInto(const TreeStructure& tree, const Matrix& x,
+                                 const Matrix& suffixes,
+                                 const std::vector<int>& node_seg,
+                                 Scratch* scratch, float leaky_alpha,
+                                 Matrix* y) const;
+
   /// Incremental multi-query variant (see ForwardInferenceRows): computes
   /// only `rows`, reading each row's suffix projection via `node_seg`.
   void ForwardInferenceRowsMulti(const TreeStructure& tree, const Matrix& x,
                                  const std::vector<int>& rows,
                                  const Matrix& suffixes,
                                  const std::vector<int>& node_seg,
-                                 Scratch* scratch, Matrix* y) const;
+                                 Scratch* scratch, Matrix* y,
+                                 float leaky_alpha = -1.0f) const;
 
   /// Re-splits the stacked weight into the per-block copies ForwardInference
   /// multiplies with, pre-packed into the kernel dispatch panel layout so the
@@ -269,11 +341,23 @@ class DynamicPooling {
   Matrix Forward(const Matrix& x);
   Matrix Forward(const Matrix& x, const std::vector<int>& offsets);
 
+  /// Segmented Forward into a caller-owned output (capacity-reused; the
+  /// zero-steady-state-allocation training form). Bit-identical to Forward.
+  void ForwardInto(const Matrix& x, const std::vector<int>& offsets, Matrix* y);
+
   /// Same pooling as the segmented Forward but records no argmax state, so
   /// it is const, cannot feed Backward, and is safe to call concurrently.
   Matrix ForwardInference(const Matrix& x, const std::vector<int>& offsets) const;
 
+  /// ForwardInference into a caller-owned output (capacity-reused).
+  void ForwardInferenceInto(const Matrix& x, const std::vector<int>& offsets,
+                            Matrix* y) const;
+
   Matrix Backward(const Matrix& grad_out);
+
+  /// Backward into a caller-owned output (Reshape'd + zeroed, then the same
+  /// scatter-add as Backward).
+  void BackwardInto(const Matrix& grad_out, Matrix* grad_in);
 
   /// Drops the batch-sized argmax state after a training step.
   void ReleaseTrainingScratch() {

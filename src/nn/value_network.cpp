@@ -1,13 +1,11 @@
 #include "src/nn/value_network.h"
 
-#include <cstdlib>
-#if defined(__GLIBC__)
-#include <malloc.h>
-#endif
-
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
+
+#include "src/util/alloc_counter.h"
 
 
 
@@ -241,41 +239,59 @@ PlanBatch PackPlanBatch(const std::vector<const PlanSample*>& samples) {
 
 PlanBatch PackPlanBatch(const PlanSample* const* samples, size_t n) {
   PlanBatch batch;
-  batch.tree_offsets.reserve(n + 1);
-  batch.tree_offsets.push_back(0);
+  PackPlanBatchInto(samples, n, &batch);
+  return batch;
+}
+
+void PackPlanBatchInto(const PlanSample* const* samples, size_t n,
+                       PlanBatch* out) {
+  out->tree_offsets.clear();
+  out->tree_offsets.reserve(n + 1);
+  out->tree_offsets.push_back(0);
+  out->node_fp.clear();
+  out->forest.left.clear();
+  out->forest.right.clear();
   size_t total = 0;
   for (size_t s = 0; s < n; ++s) {
     total += samples[s]->tree.NumNodes();
-    batch.tree_offsets.push_back(static_cast<int>(total));
+    out->tree_offsets.push_back(static_cast<int>(total));
   }
-  if (total == 0) return batch;
-  batch.forest.left.reserve(total);
-  batch.forest.right.reserve(total);
-  batch.node_features = Matrix(static_cast<int>(total), samples[0]->node_features.cols());
+  if (total == 0) {
+    out->node_features.Reshape(0, 0);
+    return;
+  }
+  out->forest.left.reserve(total);
+  out->forest.right.reserve(total);
+  out->node_features.Reshape(static_cast<int>(total),
+                             samples[0]->node_features.cols());
   for (size_t s = 0; s < n; ++s) {
     const PlanSample& sample = *samples[s];
-    NEO_CHECK(sample.node_features.cols() == batch.node_features.cols());
+    NEO_CHECK(sample.node_features.cols() == out->node_features.cols());
     NEO_CHECK(sample.node_features.rows() ==
               static_cast<int>(sample.tree.NumNodes()));
-    const int base = batch.tree_offsets[s];
+    const int base = out->tree_offsets[s];
     for (size_t i = 0; i < sample.tree.NumNodes(); ++i) {
       const int l = sample.tree.left[i];
       const int r = sample.tree.right[i];
-      batch.forest.left.push_back(l < 0 ? -1 : l + base);
-      batch.forest.right.push_back(r < 0 ? -1 : r + base);
+      out->forest.left.push_back(l < 0 ? -1 : l + base);
+      out->forest.right.push_back(r < 0 ? -1 : r + base);
       std::copy(sample.node_features.Row(static_cast<int>(i)),
                 sample.node_features.Row(static_cast<int>(i)) + sample.node_features.cols(),
-                batch.node_features.Row(base + static_cast<int>(i)));
+                out->node_features.Row(base + static_cast<int>(i)));
     }
   }
   // Gather lists once per forest: every conv layer's training forward AND
   // backward reuses them instead of re-scanning child indices per layer.
-  batch.gather = TreeGather::Build(batch.forest);
-  return batch;
+  TreeGather::BuildInto(out->forest, &out->gather);
 }
 
 Matrix ValueNetwork::EmbedQuery(const Matrix& query_vec) const {
   return query_stack_.ForwardInference(query_vec);
+}
+
+void ValueNetwork::EmbedQueryInto(const Matrix& query_vec,
+                                  PipelineScratch* scratch, Matrix* out) const {
+  query_stack_.ForwardInferenceInto(query_vec, scratch, out);
 }
 
 Matrix ValueNetwork::AugmentNodes(const Matrix& query_embedding,
@@ -325,35 +341,41 @@ void ValueNetwork::ApplyLeakyReLU(Matrix* m) const {
                });
 }
 
-Matrix ValueNetwork::InferencePooled(const TreeStructure& tree,
-                                     const Matrix& node_features,
-                                     const Matrix& query_embedding,
-                                     const std::vector<int>& offsets,
-                                     InferenceContext* ctx,
-                                     const ActivationReuse* reuse) {
+void ValueNetwork::InferencePooledInto(const TreeStructure& tree,
+                                       const Matrix& node_features,
+                                       const Matrix& query_embedding,
+                                       const std::vector<int>& offsets,
+                                       InferenceContext* ctx,
+                                       const ActivationReuse* reuse,
+                                       Matrix* pooled) {
   SyncInferenceWeights();
   if (ctx == nullptr) ctx = &default_ctx_;
   if (ctx->conv_scratch.size() < convs_.size()) ctx->conv_scratch.resize(convs_.size());
+  if (ctx->conv_out.size() < convs_.size()) ctx->conv_out.resize(convs_.size());
 
   if (reuse == nullptr) {
-    Matrix cur;
     for (size_t li = 0; li < convs_.size(); ++li) {
-      Matrix z = li == 0 ? convs_[0].ForwardInference(tree, node_features,
-                                                      &query_embedding,
-                                                      &ctx->conv_scratch[0])
-                         : convs_[li].ForwardInference(tree, cur, nullptr,
-                                                       &ctx->conv_scratch[li]);
-      ApplyLeakyReLU(&z);
-      cur = std::move(z);
+      // Leaky ReLU is fused into the conv's scatter epilogue (bit-identical
+      // to a separate pass), so conv_out[li] holds post-activations.
+      if (li == 0) {
+        convs_[0].ForwardInferenceInto(tree, node_features, &query_embedding,
+                                       &ctx->conv_scratch[0], leaky_alpha_,
+                                       &ctx->conv_out[0]);
+      } else {
+        convs_[li].ForwardInferenceInto(tree, ctx->conv_out[li - 1], nullptr,
+                                        &ctx->conv_scratch[li], leaky_alpha_,
+                                        &ctx->conv_out[li]);
+      }
     }
-    return pool_.ForwardInference(cur, offsets);
+    pool_.ForwardInferenceInto(ctx->conv_out[convs_.size() - 1], offsets, pooled);
+    return;
   }
 
   // Incremental path: cached rows are copied in per layer, dirty rows run the
   // row-restricted gather/GEMM/scatter. Every row of every layer matrix ends
   // up filled (clean from cache, dirty computed), so a dirty node may sit
   // anywhere — its children's input rows are always available. Dirty rows get
-  // the same per-row arithmetic (and then the same leaky ReLU) as the full
+  // the same per-row arithmetic (with the same fused leaky ReLU) as the full
   // pass, and cached rows were themselves computed that way in an earlier
   // batch, so the pooled result is bit-identical to the non-incremental path.
   const int n = node_features.rows();
@@ -364,41 +386,50 @@ Matrix ValueNetwork::InferencePooled(const TreeStructure& tree,
   for (int i = 0; i < n; ++i) {
     if (reuse->cached[static_cast<size_t>(i)] == nullptr) dirty.push_back(i);
   }
-  Matrix cur;
   int layer_off = 0;
   for (size_t li = 0; li < convs_.size(); ++li) {
     const int cout = convs_[li].out_channels();
-    Matrix z(n, cout);
+    Matrix& z = ctx->conv_out[li];
+    z.Reshape(n, cout);
     for (int i = 0; i < n; ++i) {
       const float* hit = reuse->cached[static_cast<size_t>(i)];
       if (hit != nullptr) std::copy(hit + layer_off, hit + layer_off + cout, z.Row(i));
     }
-    convs_[li].ForwardInferenceRows(tree, li == 0 ? node_features : cur, dirty,
-                                    li == 0 ? &query_embedding : nullptr,
-                                    &ctx->conv_scratch[li], &z);
+    convs_[li].ForwardInferenceRows(tree,
+                                    li == 0 ? node_features : ctx->conv_out[li - 1],
+                                    dirty, li == 0 ? &query_embedding : nullptr,
+                                    &ctx->conv_scratch[li], &z, leaky_alpha_);
     for (const int i : dirty) {
-      float* row = z.Row(i);
-      for (int c = 0; c < cout; ++c) {
-        if (row[c] < 0.0f) row[c] *= leaky_alpha_;
-      }
       float* out = reuse->store[static_cast<size_t>(i)];
-      if (out != nullptr) std::copy(row, row + cout, out + layer_off);
+      if (out != nullptr) {
+        const float* row = z.Row(i);
+        std::copy(row, row + cout, out + layer_off);
+      }
     }
     layer_off += cout;
-    cur = std::move(z);
   }
-  return pool_.ForwardInference(cur, offsets);
+  pool_.ForwardInferenceInto(ctx->conv_out[convs_.size() - 1], offsets, pooled);
 }
 
 std::vector<float> ValueNetwork::PredictBatch(const Matrix& query_embedding,
                                               const PlanBatch& batch,
                                               InferenceContext* ctx,
                                               const ActivationReuse* reuse) {
+  std::vector<float> out;
+  PredictBatchInto(query_embedding, batch, ctx, reuse, &out);
+  return out;
+}
+
+void ValueNetwork::PredictBatchInto(const Matrix& query_embedding,
+                                    const PlanBatch& batch,
+                                    InferenceContext* ctx,
+                                    const ActivationReuse* reuse,
+                                    std::vector<float>* out) {
+  out->clear();
   const int n_plans = batch.size();
-  if (n_plans == 0) return {};
+  if (n_plans == 0) return;
   NEO_CHECK(batch.node_features.rows() ==
             static_cast<int>(batch.forest.NumNodes()));
-  Matrix pooled;  // (N x C)
   if (UseReferenceKernels()) {
     // Seed-path reconstruction for benches: dense augment-and-concat stack.
     // Mutates layer caches, so it is single-thread only. Activation reuse is
@@ -410,15 +441,20 @@ std::vector<float> ValueNetwork::PredictBatch(const Matrix& query_embedding,
       ApplyLeakyReLU(&z);
       cur = std::move(z);
     }
-    pooled = pool_.Forward(cur, batch.tree_offsets);
-  } else {
-    pooled = InferencePooled(batch.forest, batch.node_features, query_embedding,
-                             batch.tree_offsets, ctx, reuse);
+    const Matrix pooled = pool_.Forward(cur, batch.tree_offsets);
+    const Matrix scores = head_.ForwardInference(pooled);  // (N x 1)
+    out->resize(static_cast<size_t>(n_plans));
+    for (int i = 0; i < n_plans; ++i) (*out)[static_cast<size_t>(i)] = scores.At(i, 0);
+    return;
   }
-  const Matrix scores = head_.ForwardInference(pooled);  // (N x 1)
-  std::vector<float> out(static_cast<size_t>(n_plans));
-  for (int i = 0; i < n_plans; ++i) out[static_cast<size_t>(i)] = scores.At(i, 0);
-  return out;
+  if (ctx == nullptr) ctx = &default_ctx_;
+  InferencePooledInto(batch.forest, batch.node_features, query_embedding,
+                      batch.tree_offsets, ctx, reuse, &ctx->pooled);
+  head_.ForwardInferenceInto(ctx->pooled, &ctx->head_pipe, &ctx->scores);
+  out->resize(static_cast<size_t>(n_plans));
+  for (int i = 0; i < n_plans; ++i) {
+    (*out)[static_cast<size_t>(i)] = ctx->scores.At(i, 0);
+  }
 }
 
 std::vector<float> ValueNetwork::PredictBatch(
@@ -426,31 +462,35 @@ std::vector<float> ValueNetwork::PredictBatch(
   return PredictBatch(query_embedding, PackPlanBatch(samples));
 }
 
-Matrix ValueNetwork::InferencePooledMulti(const TreeStructure& tree,
-                                          const Matrix& node_features,
-                                          const Matrix& suffixes,
-                                          const std::vector<int>& node_seg,
-                                          const std::vector<int>& offsets,
-                                          InferenceContext* ctx,
-                                          const ActivationReuse* reuse) {
+void ValueNetwork::InferencePooledMultiInto(const TreeStructure& tree,
+                                            const Matrix& node_features,
+                                            const Matrix& suffixes,
+                                            const std::vector<int>& node_seg,
+                                            const std::vector<int>& offsets,
+                                            InferenceContext* ctx,
+                                            const ActivationReuse* reuse,
+                                            Matrix* pooled) {
   SyncInferenceWeights();
   if (ctx->conv_scratch.size() < convs_.size()) ctx->conv_scratch.resize(convs_.size());
+  if (ctx->conv_out.size() < convs_.size()) ctx->conv_out.resize(convs_.size());
 
   if (reuse == nullptr) {
-    Matrix cur;
     for (size_t li = 0; li < convs_.size(); ++li) {
-      Matrix z = li == 0 ? convs_[0].ForwardInferenceMulti(tree, node_features,
-                                                           suffixes, node_seg,
-                                                           &ctx->conv_scratch[0])
-                         : convs_[li].ForwardInference(tree, cur, nullptr,
-                                                       &ctx->conv_scratch[li]);
-      ApplyLeakyReLU(&z);
-      cur = std::move(z);
+      if (li == 0) {
+        convs_[0].ForwardInferenceMultiInto(tree, node_features, suffixes,
+                                            node_seg, &ctx->conv_scratch[0],
+                                            leaky_alpha_, &ctx->conv_out[0]);
+      } else {
+        convs_[li].ForwardInferenceInto(tree, ctx->conv_out[li - 1], nullptr,
+                                        &ctx->conv_scratch[li], leaky_alpha_,
+                                        &ctx->conv_out[li]);
+      }
     }
-    return pool_.ForwardInference(cur, offsets);
+    pool_.ForwardInferenceInto(ctx->conv_out[convs_.size() - 1], offsets, pooled);
+    return;
   }
 
-  // Incremental path over the merged forest: identical to InferencePooled's
+  // Incremental path over the merged forest: identical to the solo one
   // except layer 0's row-restricted pass reads each dirty row's suffix
   // projection via node_seg. Dirty rows from different queries share the
   // GEMMs (rows are position-independent), so each row's bits match the
@@ -463,43 +503,51 @@ Matrix ValueNetwork::InferencePooledMulti(const TreeStructure& tree,
   for (int i = 0; i < n; ++i) {
     if (reuse->cached[static_cast<size_t>(i)] == nullptr) dirty.push_back(i);
   }
-  Matrix cur;
   int layer_off = 0;
   for (size_t li = 0; li < convs_.size(); ++li) {
     const int cout = convs_[li].out_channels();
-    Matrix z(n, cout);
+    Matrix& z = ctx->conv_out[li];
+    z.Reshape(n, cout);
     for (int i = 0; i < n; ++i) {
       const float* hit = reuse->cached[static_cast<size_t>(i)];
       if (hit != nullptr) std::copy(hit + layer_off, hit + layer_off + cout, z.Row(i));
     }
     if (li == 0) {
       convs_[0].ForwardInferenceRowsMulti(tree, node_features, dirty, suffixes,
-                                          node_seg, &ctx->conv_scratch[0], &z);
+                                          node_seg, &ctx->conv_scratch[0], &z,
+                                          leaky_alpha_);
     } else {
-      convs_[li].ForwardInferenceRows(tree, cur, dirty, nullptr,
-                                      &ctx->conv_scratch[li], &z);
+      convs_[li].ForwardInferenceRows(tree, ctx->conv_out[li - 1], dirty, nullptr,
+                                      &ctx->conv_scratch[li], &z, leaky_alpha_);
     }
     for (const int i : dirty) {
-      float* row = z.Row(i);
-      for (int c = 0; c < cout; ++c) {
-        if (row[c] < 0.0f) row[c] *= leaky_alpha_;
-      }
       float* out = reuse->store[static_cast<size_t>(i)];
-      if (out != nullptr) std::copy(row, row + cout, out + layer_off);
+      if (out != nullptr) {
+        const float* row = z.Row(i);
+        std::copy(row, row + cout, out + layer_off);
+      }
     }
     layer_off += cout;
-    cur = std::move(z);
   }
-  return pool_.ForwardInference(cur, offsets);
+  pool_.ForwardInferenceInto(ctx->conv_out[convs_.size() - 1], offsets, pooled);
 }
 
 std::vector<float> ValueNetwork::PredictBatchMulti(const MultiPredictItem* items,
                                                    size_t n_items,
                                                    InferenceContext* ctx) {
+  std::vector<float> out;
+  PredictBatchMultiInto(items, n_items, ctx, &out);
+  return out;
+}
+
+void ValueNetwork::PredictBatchMultiInto(const MultiPredictItem* items,
+                                         size_t n_items, InferenceContext* ctx,
+                                         std::vector<float>* out) {
   NEO_CHECK(n_items > 0);
   if (n_items == 1) {
-    return PredictBatch(*items[0].query_embedding, *items[0].batch, ctx,
-                        items[0].reuse);
+    PredictBatchInto(*items[0].query_embedding, *items[0].batch, ctx,
+                     items[0].reuse, out);
+    return;
   }
   NEO_CHECK(!UseReferenceKernels());
   if (ctx == nullptr) ctx = &default_ctx_;
@@ -565,13 +613,14 @@ std::vector<float> ValueNetwork::PredictBatchMulti(const MultiPredictItem* items
     node_base += bn;
   }
 
-  Matrix pooled = InferencePooledMulti(ms.forest, ms.features, ms.suffixes,
-                                       ms.node_seg, ms.offsets, ctx,
-                                       any_reuse ? &ms.reuse : nullptr);
-  const Matrix scores = head_.ForwardInference(pooled);  // (total_plans x 1)
-  std::vector<float> out(static_cast<size_t>(total_plans));
-  for (int i = 0; i < total_plans; ++i) out[static_cast<size_t>(i)] = scores.At(i, 0);
-  return out;
+  InferencePooledMultiInto(ms.forest, ms.features, ms.suffixes, ms.node_seg,
+                           ms.offsets, ctx, any_reuse ? &ms.reuse : nullptr,
+                           &ctx->pooled);
+  head_.ForwardInferenceInto(ctx->pooled, &ctx->head_pipe, &ctx->scores);
+  out->resize(static_cast<size_t>(total_plans));
+  for (int i = 0; i < total_plans; ++i) {
+    (*out)[static_cast<size_t>(i)] = ctx->scores.At(i, 0);
+  }
 }
 
 float ValueNetwork::ForwardPlan(const Matrix& query_embedding, const TreeStructure& tree,
@@ -586,9 +635,11 @@ float ValueNetwork::ForwardPlan(const Matrix& query_embedding, const TreeStructu
   // dense branch below even at inference.
   if (state == nullptr && !UseReferenceKernels()) {
     const std::vector<int> offsets = {0, n};
-    const Matrix pooled =
-        InferencePooled(tree, node_features, query_embedding, offsets, ctx);
-    return head_.ForwardInference(pooled).At(0, 0);
+    if (ctx == nullptr) ctx = &default_ctx_;
+    InferencePooledInto(tree, node_features, query_embedding, offsets, ctx,
+                        nullptr, &ctx->pooled);
+    head_.ForwardInferenceInto(ctx->pooled, &ctx->head_pipe, &ctx->scores);
+    return ctx->scores.At(0, 0);
   }
 
   // Training forward (caches activations for the backward) and reference
@@ -634,23 +685,21 @@ float ValueNetwork::TrainBatch(const std::vector<const PlanSample*>& samples,
 
 namespace {
 
-/// One-time allocator tuning for the training loop. A training step frees a
-/// few MB of batch-sized buffers at the top of the heap (activations, grads,
-/// released scratch); glibc's default 128KB trim threshold returns those
-/// pages to the kernel every step, and the next step pays the page faults to
-/// get them back — measured at ~0.5ms/step (~15%) at batch 64. Raising the
-/// trim threshold keeps the pages on malloc's freelists across steps; idle
-/// retention is bounded by the threshold. NEO_NO_MALLOC_TUNING=1 opts out.
+/// DEPRECATED no-op. Earlier revisions raised glibc's M_TRIM_THRESHOLD here:
+/// training then freed a few MB of batch-sized buffers every step, and the
+/// default 128KB trim threshold returned those pages to the kernel each time
+/// (~0.5ms/step of re-fault cost). Training scratch is now RETAINED across
+/// steps (see SetRetainTrainingScratch) — the steady state frees nothing, so
+/// there is nothing for malloc to trim and no allocator knob to turn. The
+/// NEO_NO_MALLOC_TUNING opt-out is still parsed so existing launch scripts
+/// keep working, but it changes nothing.
 void TuneAllocatorForTraining() {
-#if defined(__GLIBC__)
-  static const bool done = [] {
+  static const bool parsed = [] {
     const char* off = std::getenv("NEO_NO_MALLOC_TUNING");
-    if (off != nullptr && off[0] != '\0' && off[0] != '0') return true;
-    mallopt(M_TRIM_THRESHOLD, 16 << 20);
+    (void)off;  // Deprecated and ignored.
     return true;
   }();
-  (void)done;
-#endif
+  (void)parsed;
 }
 
 }  // namespace
@@ -659,18 +708,128 @@ float ValueNetwork::TrainBatch(const PlanSample* const* samples, const float* ta
                                size_t n) {
   NEO_CHECK(n > 0);
   TuneAllocatorForTraining();
+  // Count every heap allocation made by the step (benches assert the steady
+  // state makes none; see util::RegionAllocs).
+  util::AllocRegionScope alloc_region;
   return batched_training_ ? TrainBatchPacked(samples, targets, n)
                            : TrainBatchPerSample(samples, targets, n);
 }
 
 float ValueNetwork::TrainBatchPacked(const PlanSample* const* samples,
                                      const float* targets, size_t n) {
-  // Pack the minibatch into one forest (the PR-1 batched-inference
-  // representation): every conv layer, the pooling, the head, and the query
-  // stack then run once over the whole batch as large GEMMs instead of n
-  // small per-sample passes. Forward values are bit-identical to the
-  // per-sample loop (all kernels are row-independent); gradient sums differ
-  // from it only by accumulation order.
+  if (UseReferenceKernels()) return TrainBatchPackedReference(samples, targets, n);
+  // Pack the minibatch into one forest: every conv layer, the pooling, the
+  // head, and the query stack run once over the whole batch as large GEMMs
+  // instead of n small per-sample passes. Forward values are bit-identical
+  // to the per-sample fast path (all kernels are row-independent); gradient
+  // sums differ from it only by accumulation order.
+  //
+  // Every buffer here is a member, capacity-reused across steps: after one
+  // step at the batch-size high-water mark the whole step performs zero heap
+  // allocations. Layer 0 runs the suffix-split ForwardTrain/BackwardTrain —
+  // the query-embedding suffix is projected once per forest (one (B x s)
+  // GEMM), never materialized per node, so the augmented matrix of the old
+  // path no longer exists.
+  const int batch = static_cast<int>(n);
+  PackPlanBatchInto(samples, n, &train_batch_);
+  const PlanBatch& packed = train_batch_;
+  const int total_nodes = packed.node_features.rows();
+  NEO_CHECK(total_nodes > 0);
+
+  // Query stack forward over all query vectors at once.
+  train_query_vecs_.Reshape(batch, config_.query_dim);
+  for (int s = 0; s < batch; ++s) {
+    NEO_CHECK(samples[s]->query_vec.cols() == config_.query_dim);
+    std::copy(samples[s]->query_vec.Row(0),
+              samples[s]->query_vec.Row(0) + config_.query_dim,
+              train_query_vecs_.Row(s));
+  }
+  query_stack_.ForwardInto(train_query_vecs_, &train_pipe_, &train_embeds_);
+
+  // Node row -> sample segment (which embedding row a node's suffix is).
+  train_node_seg_.resize(static_cast<size_t>(total_nodes));
+  for (int s = 0; s < batch; ++s) {
+    const int begin = packed.tree_offsets[static_cast<size_t>(s)];
+    const int end = packed.tree_offsets[static_cast<size_t>(s) + 1];
+    for (int i = begin; i < end; ++i) train_node_seg_[static_cast<size_t>(i)] = s;
+  }
+
+  // Conv stack forward. Leaky ReLU is fused into each layer's scatter
+  // epilogue, so train_post_[li] holds post-activations — the layers'
+  // backward inputs (leaky ReLU preserves sign, so the backward's relu mask
+  // reads post < 0 and no pre-activation copy is ever made).
+  if (train_post_.size() < convs_.size()) train_post_.resize(convs_.size());
+  for (size_t li = 0; li < convs_.size(); ++li) {
+    convs_[li].ForwardTrain(packed.forest,
+                            li == 0 ? packed.node_features : train_post_[li - 1],
+                            li == 0 ? &train_embeds_ : nullptr,
+                            li == 0 ? train_node_seg_.data() : nullptr,
+                            packed.gather, &train_scratch_, leaky_alpha_,
+                            &train_post_[li]);
+  }
+  pool_.ForwardInto(train_post_[convs_.size() - 1], packed.tree_offsets,
+                    &train_pooled_);                                // (batch x C)
+  head_.ForwardInto(train_pooled_, &train_pipe_, &train_head_out_);  // (batch x 1)
+
+  // L2 loss and output gradient: dL/dpred_s = 2 * err_s / batch (paper §4).
+  double total_loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  train_grad_out_.Reshape(batch, 1);
+  for (int s = 0; s < batch; ++s) {
+    const float err = train_head_out_.At(s, 0) - targets[s];
+    total_loss += static_cast<double>(err) * err;
+    train_grad_out_.At(s, 0) = 2.0f * err * inv_batch;
+  }
+
+  head_.BackwardInto(train_grad_out_, &train_pipe_, &train_grad_pooled_);
+  pool_.BackwardInto(train_grad_pooled_, &train_grad_nodes_);
+  // Peak-scratch high-water mark, sampled at maximal liveness: every conv
+  // post-activation, the packed features, the embeddings, and the layers'
+  // backward caches are all alive here.
+  size_t live_bytes = (packed.node_features.Size() + train_embeds_.Size() +
+                       train_grad_nodes_.Size()) * sizeof(float);
+  for (const Matrix& z : train_post_) live_bytes += z.Size() * sizeof(float);
+  for (int li = static_cast<int>(convs_.size()) - 1; li >= 0; --li) {
+    // Leaky ReLU backward mask (elementwise, partitionable): post < 0 iff
+    // pre < 0 since alpha > 0, so the kept post-activations suffice.
+    const float* z = train_post_[static_cast<size_t>(li)].data();
+    float* g = train_grad_nodes_.data();
+    ParallelRows(static_cast<int64_t>(train_grad_nodes_.Size()),
+                 /*min_parallel=*/1 << 14, [&](int64_t i0, int64_t i1) {
+                   for (int64_t i = i0; i < i1; ++i) {
+                     if (z[i] < 0.0f) g[i] *= leaky_alpha_;
+                   }
+                 });
+    if (li > 0) {
+      convs_[static_cast<size_t>(li)].BackwardTrain(
+          packed.forest, train_post_[static_cast<size_t>(li) - 1],
+          /*suffixes=*/nullptr, /*node_seg=*/nullptr, train_grad_nodes_,
+          packed.gather, &train_scratch_, &train_grad_nodes_tmp_,
+          /*grad_suffix=*/nullptr);
+      std::swap(train_grad_nodes_, train_grad_nodes_tmp_);
+    } else {
+      // Layer 0: plan features are leaf inputs (no input gradient); the
+      // suffix gradient comes back per SAMPLE (ascending per-segment sums —
+      // the spatial-replication split of the old path, without the
+      // augmented-matrix round trip).
+      convs_[0].BackwardTrain(packed.forest, packed.node_features,
+                              &train_embeds_, train_node_seg_.data(),
+                              train_grad_nodes_, packed.gather, &train_scratch_,
+                              /*grad_in=*/nullptr, &train_grad_embeds_);
+    }
+  }
+  query_stack_.BackwardInto(train_grad_embeds_, &train_pipe_, &train_grad_query_);
+
+  adam_->Step();
+  ++version_;
+  NoteScratchPeakAndRelease(live_bytes);
+  return static_cast<float>(total_loss / static_cast<double>(batch));
+}
+
+float ValueNetwork::TrainBatchPackedReference(const PlanSample* const* samples,
+                                              const float* targets, size_t n) {
+  // Seed-path packed step, kept verbatim for reference-kernel benches: dense
+  // augment + concat conv, per-step allocation of every batch buffer.
   const int batch = static_cast<int>(n);
   const PlanBatch packed = PackPlanBatch(samples, n);
   const int total_nodes = packed.node_features.rows();
@@ -778,6 +937,74 @@ float ValueNetwork::TrainBatchPacked(const PlanSample* const* samples,
 
 float ValueNetwork::TrainBatchPerSample(const PlanSample* const* samples,
                                         const float* targets, size_t n) {
+  if (!UseReferenceKernels()) {
+    // Fast per-sample loop: the same suffix-split ForwardTrain/BackwardTrain
+    // chain as the packed path at B == 1 (node_seg == nullptr: every node
+    // reads suffix row 0), so per-sample predictions — and thus the first
+    // loss — stay bit-identical to TrainBatchPacked (GEMM rows are
+    // position-independent). Gradient sums differ only by accumulation order.
+    double total_loss = 0.0;
+    const float inv_batch = 1.0f / static_cast<float>(n);
+    for (size_t s = 0; s < n; ++s) {
+      const PlanSample& sample = *samples[s];
+      const Matrix embed = query_stack_.Forward(sample.query_vec);  // (1 x E)
+      TreeGather gather = TreeGather::Build(sample.tree);
+      std::vector<Matrix> post(convs_.size());
+      for (size_t li = 0; li < convs_.size(); ++li) {
+        convs_[li].ForwardTrain(sample.tree,
+                                li == 0 ? sample.node_features : post[li - 1],
+                                li == 0 ? &embed : nullptr,
+                                /*node_seg=*/nullptr, gather, &train_scratch_,
+                                leaky_alpha_, &post[li]);
+      }
+      const Matrix pooled = pool_.Forward(post.back());
+      const Matrix out = head_.Forward(pooled);
+
+      const float err = out.At(0, 0) - targets[s];
+      total_loss += static_cast<double>(err) * err;
+
+      Matrix grad_out(1, 1);
+      grad_out.At(0, 0) = 2.0f * err * inv_batch;
+      Matrix grad_pooled = head_.Backward(grad_out);
+      Matrix grad_nodes = pool_.Backward(grad_pooled);
+
+      // Peak-scratch sample at maximal liveness (mirrors the packed path).
+      size_t live_bytes = grad_nodes.Size() * sizeof(float);
+      for (const Matrix& z : post) live_bytes += z.Size() * sizeof(float);
+      const size_t layer_bytes = current_training_scratch_bytes();
+      if (live_bytes + layer_bytes > peak_train_scratch_) {
+        peak_train_scratch_ = live_bytes + layer_bytes;
+      }
+
+      Matrix grad_embed;
+      for (int li = static_cast<int>(convs_.size()) - 1; li >= 0; --li) {
+        // Leaky ReLU backward mask from the post-activation (sign-preserving).
+        const Matrix& z = post[static_cast<size_t>(li)];
+        for (size_t i = 0; i < grad_nodes.Size(); ++i) {
+          if (z.data()[i] < 0.0f) grad_nodes.data()[i] *= leaky_alpha_;
+        }
+        if (li > 0) {
+          Matrix grad_in;
+          convs_[static_cast<size_t>(li)].BackwardTrain(
+              sample.tree, post[static_cast<size_t>(li) - 1],
+              /*suffixes=*/nullptr, /*node_seg=*/nullptr, grad_nodes, gather,
+              &train_scratch_, &grad_in, /*grad_suffix=*/nullptr);
+          grad_nodes = std::move(grad_in);
+        } else {
+          convs_[0].BackwardTrain(sample.tree, sample.node_features, &embed,
+                                  /*node_seg=*/nullptr, grad_nodes, gather,
+                                  &train_scratch_, /*grad_in=*/nullptr,
+                                  &grad_embed);
+        }
+      }
+      query_stack_.Backward(grad_embed);
+    }
+    adam_->Step();
+    ++version_;
+    NoteScratchPeakAndRelease(0);
+    return static_cast<float>(total_loss / static_cast<double>(n));
+  }
+
   double total_loss = 0.0;
   const float inv_batch = 1.0f / static_cast<float>(n);
 
@@ -846,11 +1073,33 @@ size_t ValueNetwork::current_training_scratch_bytes() const {
 void ValueNetwork::NoteScratchPeakAndRelease(size_t live_bytes) {
   const size_t total = live_bytes + current_training_scratch_bytes();
   if (total > peak_train_scratch_) peak_train_scratch_ = total;
+  // Default: RETAIN everything. The buffers are fully overwritten next step
+  // (capacity reuse), so retention changes no bits — it only removes the
+  // per-step free/alloc churn that the old M_TRIM_THRESHOLD hack papered
+  // over.
+  if (retain_training_scratch_) return;
   query_stack_.ReleaseTrainingScratch();
   head_.ReleaseTrainingScratch();
   pool_.ReleaseTrainingScratch();
   for (auto& conv : convs_) conv.ReleaseTrainingScratch();
   train_scratch_.Release();
+  // Member-owned packed-batch buffers.
+  train_batch_ = PlanBatch();
+  train_query_vecs_ = Matrix();
+  train_embeds_ = Matrix();
+  train_node_seg_.clear();
+  train_node_seg_.shrink_to_fit();
+  train_post_.clear();
+  train_post_.shrink_to_fit();
+  train_pooled_ = Matrix();
+  train_head_out_ = Matrix();
+  train_grad_out_ = Matrix();
+  train_grad_pooled_ = Matrix();
+  train_grad_nodes_ = Matrix();
+  train_grad_nodes_tmp_ = Matrix();
+  train_grad_embeds_ = Matrix();
+  train_grad_query_ = Matrix();
+  train_pipe_ = PipelineScratch();
 }
 
 std::vector<TreeConv::TrainStats> ValueNetwork::ConvTrainStats() const {

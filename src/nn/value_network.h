@@ -9,6 +9,28 @@
 // Channel widths are configurable: the paper uses 512/256/128 tree-conv
 // filters; the default here is narrower so that the full RL loop runs on a
 // laptop-scale substrate (see NeoConfig; benches can widen via --full).
+//
+// ---- Memory model (zero-alloc steady state) --------------------------------
+//
+// Serving and training steady states perform no heap allocation:
+//  * Inference: every Predict*Into call threads an InferenceContext whose
+//    per-layer conv outputs, pooled matrix, head pipeline buffers, and conv
+//    scratch are capacity-reused (Matrix::Reshape never shrinks capacity).
+//    After one call at each shape high-water mark, repeated calls allocate
+//    nothing; post-activations are written exactly once per row (the
+//    bias/suffix/side/leaky-ReLU epilogue is fused into the conv scatter,
+//    and (Linear, LayerNorm, LeakyReLU) triples fuse in the FC stacks —
+//    both bit-identical to the unfused passes).
+//  * Training: TrainBatch packs the minibatch into member-owned buffers and
+//    by default RETAINS all training scratch across steps (high-water
+//    reuse); SetRetainTrainingScratch(false) restores per-step release —
+//    loss curves are bit-identical either way. The former glibc
+//    M_TRIM_THRESHOLD workaround is gone: with no steady-state frees there
+//    is nothing to trim (NEO_NO_MALLOC_TUNING is deprecated and ignored).
+//  * Verification: TrainBatch runs inside util::AllocRegionScope (as does
+//    the search's NN-eval section); the bench harnesses report the counted
+//    allocations as steady_state_heap_allocs and CI fails if nonzero after
+//    warmup.
 #pragma once
 
 #include <atomic>
@@ -71,6 +93,11 @@ struct PlanBatch {
 PlanBatch PackPlanBatch(const PlanSample* const* samples, size_t n);
 PlanBatch PackPlanBatch(const std::vector<const PlanSample*>& samples);
 
+/// PackPlanBatch into an existing PlanBatch, reusing every buffer's capacity
+/// (the zero-steady-state-allocation training form).
+void PackPlanBatchInto(const PlanSample* const* samples, size_t n,
+                       PlanBatch* out);
+
 /// Per-node activation reuse for the incremental PredictBatch path. For node
 /// row i of a packed forest:
 ///   cached[i] — non-null: every conv layer's post-activation row is served
@@ -110,6 +137,14 @@ class ValueNetwork {
   struct InferenceContext {
     std::vector<TreeConv::Scratch> conv_scratch;  ///< One per conv layer (lazy).
     std::vector<int> dirty_rows;  ///< Incremental-path row-list scratch.
+    /// Capacity-reused forward buffers: per-conv-layer post-activation
+    /// outputs, the pooled matrix, the FC-head pipeline scratch, and the
+    /// head's (N x 1) score output. One warm call per shape high-water mark
+    /// makes every later Predict*Into call heap-allocation-free.
+    std::vector<Matrix> conv_out;
+    Matrix pooled;
+    Matrix scores;
+    PipelineScratch head_pipe;
     /// Merge buffers for PredictBatchMulti (reused across coalesced calls).
     struct MultiScratch {
       TreeStructure forest;       ///< Concatenated multi-query forest.
@@ -142,6 +177,13 @@ class ValueNetwork {
                                   InferenceContext* ctx = nullptr,
                                   const ActivationReuse* reuse = nullptr);
 
+  /// PredictBatch into a caller-owned score vector (resized; capacity-
+  /// reused). Bit-identical to PredictBatch; with a warmed context and
+  /// output this is the zero-steady-state-allocation serving form.
+  void PredictBatchInto(const Matrix& query_embedding, const PlanBatch& batch,
+                        InferenceContext* ctx, const ActivationReuse* reuse,
+                        std::vector<float>* out);
+
   /// Cross-query coalesced inference: merges K queries' candidate batches
   /// into ONE forest (layer-0 suffixes segmented per query via
   /// TreeConv::ForwardInferenceMulti) so the whole group runs each conv layer
@@ -156,6 +198,11 @@ class ValueNetwork {
   std::vector<float> PredictBatchMulti(const MultiPredictItem* items, size_t n,
                                        InferenceContext* ctx = nullptr);
 
+  /// PredictBatchMulti into a caller-owned score vector (see
+  /// PredictBatchInto).
+  void PredictBatchMultiInto(const MultiPredictItem* items, size_t n,
+                             InferenceContext* ctx, std::vector<float>* out);
+
   /// Floats per node of a concatenated all-conv-layer activation entry (the
   /// ActivationReuse buffer size): sum of the conv stack's out_channels.
   int TotalConvChannels() const { return total_conv_channels_; }
@@ -166,6 +213,12 @@ class ValueNetwork {
 
   /// Runs the query-level FC stack only (stateless; thread-safe).
   Matrix EmbedQuery(const Matrix& query_vec) const;
+
+  /// EmbedQuery into a caller-owned output through caller-owned pipeline
+  /// scratch (bit-identical; zero allocations once warm; thread-safe when
+  /// each caller passes its own scratch and output).
+  void EmbedQueryInto(const Matrix& query_vec, PipelineScratch* scratch,
+                      Matrix* out) const;
 
   /// One SGD step over a minibatch; returns mean squared error before the
   /// update. Default path: the whole minibatch is packed into one forest
@@ -192,13 +245,22 @@ class ValueNetwork {
   /// Peak bytes of batch-sized training scratch observed across TrainBatch
   /// calls: per-layer pre/post activations, the packed forest features, and
   /// every layer's Backward caches, sampled at the backward's point of
-  /// maximal liveness. All of it is released after each optimizer step
-  /// (ReleaseTrainingScratch), so nothing batch-sized survives between
-  /// minibatches; current_training_scratch_bytes() is 0 between steps.
+  /// maximal liveness. By default the scratch is RETAINED across steps
+  /// (high-water reuse — the steady-state training step allocates nothing);
+  /// SetRetainTrainingScratch(false) restores the per-step release, after
+  /// which current_training_scratch_bytes() is 0 between steps. Results are
+  /// bit-identical either way (every reused element is fully overwritten).
   size_t peak_training_scratch_bytes() const { return peak_train_scratch_; }
   void ResetPeakTrainingScratch() { peak_train_scratch_ = 0; }
-  /// Layer-cache scratch currently held (0 after a completed TrainBatch).
+  /// Layer-cache scratch currently held (0 after a completed TrainBatch only
+  /// when scratch retention is off).
   size_t current_training_scratch_bytes() const;
+
+  /// When true (default), training scratch survives optimizer steps so the
+  /// steady state performs zero heap allocations; false releases it after
+  /// every step (the pre-arena behavior — memory-frugal, allocation-churny).
+  void SetRetainTrainingScratch(bool retain) { retain_training_scratch_ = retain; }
+  bool retain_training_scratch() const { return retain_training_scratch_; }
 
   /// Per-conv-layer training counters (flops, gather bytes, skipped rows)
   /// accumulated since the last reset; index = conv stack position.
@@ -282,22 +344,28 @@ class ValueNetwork {
   /// Fast-inference conv stack + segmented pooling shared by PredictBatch
   /// and the single-plan prediction path (offsets {0, n} for one tree).
   /// `reuse`, when non-null, serves cached rows and computes only dirty ones
-  /// (see ActivationReuse).
-  Matrix InferencePooled(const TreeStructure& tree, const Matrix& node_features,
-                         const Matrix& query_embedding,
-                         const std::vector<int>& offsets, InferenceContext* ctx,
-                         const ActivationReuse* reuse = nullptr);
+  /// (see ActivationReuse). Writes the pooled (N x C) matrix into `pooled`
+  /// (a ctx buffer — capacity-reused); every conv layer runs the fused
+  /// bias/suffix/side/leaky-ReLU epilogue, so with a warmed ctx the whole
+  /// pass performs zero heap allocations.
+  void InferencePooledInto(const TreeStructure& tree,
+                           const Matrix& node_features,
+                           const Matrix& query_embedding,
+                           const std::vector<int>& offsets,
+                           InferenceContext* ctx, const ActivationReuse* reuse,
+                           Matrix* pooled);
 
-  /// Multi-query mirror of InferencePooled: layer 0 runs the segmented-suffix
-  /// TreeConv::ForwardInference[Rows]Multi; deeper layers (no suffix) run the
-  /// unmodified single-forest functions over the merged forest.
-  Matrix InferencePooledMulti(const TreeStructure& tree,
-                              const Matrix& node_features,
-                              const Matrix& suffixes,
-                              const std::vector<int>& node_seg,
-                              const std::vector<int>& offsets,
-                              InferenceContext* ctx,
-                              const ActivationReuse* reuse);
+  /// Multi-query mirror of InferencePooledInto: layer 0 runs the segmented-
+  /// suffix TreeConv::ForwardInference[Rows]Multi[Into]; deeper layers (no
+  /// suffix) run the unmodified single-forest functions over the merged
+  /// forest.
+  void InferencePooledMultiInto(const TreeStructure& tree,
+                                const Matrix& node_features,
+                                const Matrix& suffixes,
+                                const std::vector<int>& node_seg,
+                                const std::vector<int>& offsets,
+                                InferenceContext* ctx,
+                                const ActivationReuse* reuse, Matrix* pooled);
 
   /// The legacy per-sample training loop (SetBatchedTraining(false)).
   float TrainBatchPerSample(const PlanSample* const* samples, const float* targets,
@@ -306,6 +374,11 @@ class ValueNetwork {
   /// Packed-forest training step: one forward/backward over the whole batch.
   float TrainBatchPacked(const PlanSample* const* samples, const float* targets,
                          size_t n);
+
+  /// The seed-path packed step (dense augment + concat conv), kept verbatim
+  /// for SetUseReferenceKernels(true) benches.
+  float TrainBatchPackedReference(const PlanSample* const* samples,
+                                  const float* targets, size_t n);
 
   /// In-place leaky ReLU (the inter-conv activation), row-partitioned over
   /// the pool when ComputeThreads() > 1.
@@ -332,8 +405,26 @@ class ValueNetwork {
   std::mutex inference_sync_mu_;
   InferenceContext default_ctx_;
   /// Shared gather/GEMM scratch for the training conv stack, reused across
-  /// layers and steps; released after each optimizer step.
+  /// layers and steps; retained by default (see SetRetainTrainingScratch).
   TreeConv::TrainScratch train_scratch_;
+  /// Member-owned TrainBatchPacked buffers (capacity-reused across steps so
+  /// the steady-state training step performs zero heap allocations; released
+  /// only when scratch retention is off).
+  PlanBatch train_batch_;            ///< Packed minibatch forest.
+  Matrix train_query_vecs_;          ///< (B x query_dim) stacked query vecs.
+  Matrix train_embeds_;              ///< (B x embed_dim) query embeddings.
+  std::vector<int> train_node_seg_;  ///< Node row -> sample index.
+  std::vector<Matrix> train_post_;   ///< Per-conv-layer post-activations.
+  Matrix train_pooled_;              ///< Pooled (B x C) forward output.
+  Matrix train_head_out_;            ///< Head (B x 1) predictions.
+  Matrix train_grad_out_;            ///< (B x 1) dLoss/dPred.
+  Matrix train_grad_pooled_;         ///< Pool-backward input gradient.
+  Matrix train_grad_nodes_;          ///< Node-gradient ping buffer.
+  Matrix train_grad_nodes_tmp_;      ///< Node-gradient pong buffer.
+  Matrix train_grad_embeds_;         ///< (B x embed_dim) embedding grads.
+  Matrix train_grad_query_;          ///< Query-stack input gradient (unused).
+  PipelineScratch train_pipe_;       ///< Query/head pipeline ping-pong bufs.
+  bool retain_training_scratch_ = true;
   bool batched_training_ = true;
   float leaky_alpha_;
   int embed_dim_ = 0;

@@ -1,15 +1,45 @@
 #include "src/serve/batch_coalescer.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "src/util/status.h"
 
 namespace neo::serve {
 
+void BatchCoalescer::NoteArrival() {
+  const int64_t now_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  const int64_t prev = last_arrival_us_.exchange(now_us, std::memory_order_relaxed);
+  if (prev < 0 || now_us <= prev) return;
+  // Cap one interval at 10x the max window: after an idle gap the EWMA should
+  // recover within a few arrivals instead of remembering the gap for hundreds.
+  const int64_t cap = static_cast<int64_t>(options_.window_us) * 10;
+  const int64_t interval = std::min<int64_t>(now_us - prev, cap);
+  const int64_t old = ewma_interval_us_.load(std::memory_order_relaxed);
+  // Integer EWMA, alpha = 1/5: new = old + (sample - old) / 5.
+  const int64_t next = old < 0 ? interval : old + (interval - old) / 5;
+  ewma_interval_us_.store(next, std::memory_order_relaxed);
+}
+
+int BatchCoalescer::EffectiveWindowUs() const {
+  if (!options_.adaptive_window) return options_.window_us;
+  const int64_t ewma = ewma_interval_us_.load(std::memory_order_relaxed);
+  if (ewma < 0) return options_.window_us;  // No signal yet: be permissive.
+  if (ewma > options_.window_us) return options_.min_window_us;
+  // Wait roughly two expected arrivals, bounded by [min, max].
+  const int64_t want = 2 * ewma;
+  return static_cast<int>(std::clamp<int64_t>(want, options_.min_window_us,
+                                              options_.window_us));
+}
+
 std::vector<float> BatchCoalescer::ScoreBatch(
     nn::ValueNetwork* net, const nn::Matrix& query_embedding,
     const nn::PlanBatch& batch, const nn::ActivationReuse* reuse,
     nn::ValueNetwork::InferenceContext* ctx) {
+  NoteArrival();
   // Solo fast path: with at most one search in flight nothing can join a
   // group, so the window would be pure added latency. The count is advisory
   // — a stale read only costs a missed merge or an empty window, never
@@ -48,7 +78,9 @@ std::vector<float> BatchCoalescer::ScoreBatch(
     group->net = net;
     group->members.push_back(&self);
     open_ = group;
-    group->cv.wait_for(lock, std::chrono::microseconds(options_.window_us),
+    const int window_us = EffectiveWindowUs();
+    last_window_us_.store(window_us, std::memory_order_relaxed);
+    group->cv.wait_for(lock, std::chrono::microseconds(window_us),
                        [&] {
                          return static_cast<int>(group->members.size()) >=
                                 options_.max_merge;
@@ -95,6 +127,8 @@ BatchCoalescer::Stats BatchCoalescer::stats() const {
   s.merged_groups = merged_groups_.load(std::memory_order_relaxed);
   s.merged_requests = merged_requests_.load(std::memory_order_relaxed);
   s.solo_groups = solo_groups_.load(std::memory_order_relaxed);
+  s.ewma_interval_us = ewma_interval_us_.load(std::memory_order_relaxed);
+  s.last_window_us = last_window_us_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -41,7 +41,15 @@ class BatchCoalescer : public core::BatchScorer {
  public:
   struct Options {
     int max_merge = 8;    ///< Max member searches per merged group.
-    int window_us = 200;  ///< Leader's gather window (microseconds).
+    int window_us = 200;  ///< Leader's max gather window (microseconds).
+    /// Scale the gather window to the observed arrival rate: a leader waits
+    /// ~2x the EWMA inter-arrival interval (clamped to
+    /// [min_window_us, window_us]) instead of the full window_us. Under a
+    /// sparse trickle (EWMA > window_us) nothing would join anyway, so the
+    /// window collapses to min_window_us. The solo (<=1 active search) fast
+    /// path is unaffected — it never opens a window at all.
+    bool adaptive_window = true;
+    int min_window_us = 10;  ///< Floor for the adaptive gather window.
   };
 
   struct Stats {
@@ -49,6 +57,8 @@ class BatchCoalescer : public core::BatchScorer {
     uint64_t merged_groups = 0;    ///< Groups scored via PredictBatchMulti.
     uint64_t merged_requests = 0;  ///< Member calls inside merged groups.
     uint64_t solo_groups = 0;      ///< Groups whose window closed with 1 member.
+    int64_t ewma_interval_us = -1;  ///< Arrival-interval EWMA (-1: no samples).
+    int last_window_us = 0;         ///< Most recent leader gather window used.
   };
 
   explicit BatchCoalescer(Options options) : options_(options) {}
@@ -83,8 +93,18 @@ class BatchCoalescer : public core::BatchScorer {
     std::condition_variable cv;  ///< Leader waits for fill; members for done.
   };
 
+  /// Record a scoring-round arrival and fold its inter-arrival interval into
+  /// the EWMA. Advisory (relaxed atomics): a torn/stale read only skews the
+  /// window heuristic, never correctness.
+  void NoteArrival();
+  /// Gather window for a new leader, from the arrival-rate EWMA.
+  int EffectiveWindowUs() const;
+
   Options options_;
   std::atomic<int> active_searches_{0};
+  std::atomic<int64_t> last_arrival_us_{-1};    ///< steady_clock us of last arrival.
+  std::atomic<int64_t> ewma_interval_us_{-1};   ///< EWMA of arrival intervals (us).
+  std::atomic<int> last_window_us_{0};          ///< Last leader window actually used.
   std::mutex mu_;  ///< Guards open_ and all Group state.
   std::shared_ptr<Group> open_;
   std::atomic<uint64_t> direct_calls_{0};

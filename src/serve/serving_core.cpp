@@ -15,7 +15,7 @@ ServingCore::ServingCore(core::Neo* neo, ServingOptions options)
   if (options_.shared_caches) {
     caches_ = std::make_unique<core::SharedSearchCaches>(
         options_.shared_score_cap, options_.shared_activation_cap,
-        options_.cache_shards);
+        options_.cache_shards, options_.shared_leaf_cap);
   }
   if (options_.coalesce) {
     coalescer_ = std::make_unique<BatchCoalescer>(options_.coalescer);
@@ -126,6 +126,7 @@ ServeResult ServingCore::ServeOne(core::PlanSearch& search, const Task& task) {
   out.predicted_cost = found.predicted_cost;
   out.plan_hash = found.plan.Hash();
   out.total_ms = task.queued.ElapsedMs();
+  leaf_tier_hits_.fetch_add(found.leaf_tier_hits, std::memory_order_relaxed);
   out.search = std::move(found);
 
   {
@@ -152,7 +153,9 @@ ServingStats ServingCore::stats() const {
   if (caches_ != nullptr) {
     s.score_cache = caches_->scores.TotalStats();
     s.activation_cache = caches_->activations.TotalStats();
+    s.leaf_cache = caches_->leaf_activations.TotalStats();
   }
+  s.leaf_tier_hits = leaf_tier_hits_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -58,6 +58,7 @@
 // dependent, which is inherent to concurrent serving, not an artifact.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -83,6 +84,9 @@ struct ServingOptions {
   bool shared_caches = true;
   size_t shared_score_cap = 1 << 20;        ///< Entries, split across shards.
   size_t shared_activation_cap = 128 * 1024;
+  /// Capacity of the cross-query leaf/low-order activation tier (entries).
+  /// 0 defaults to shared_activation_cap. See SharedSearchCaches.
+  size_t shared_leaf_cap = 0;
   int cache_shards = 16;
   core::SearchOptions search;
 };
@@ -107,6 +111,8 @@ struct ServingStats {
   BatchCoalescer::Stats coalescer;
   util::ShardedLruStats score_cache;
   util::ShardedLruStats activation_cache;
+  util::ShardedLruStats leaf_cache;   ///< Cross-query leaf activation tier.
+  uint64_t leaf_tier_hits = 0;        ///< Rows served from the leaf tier.
 };
 
 class ServingCore {
@@ -182,6 +188,7 @@ class ServingCore {
   mutable std::mutex stats_mu_;
   util::LatencyHistogram total_hist_;
   util::LatencyHistogram plan_hist_;
+  std::atomic<uint64_t> leaf_tier_hits_{0};
 
   std::vector<std::unique_ptr<core::PlanSearch>> searches_;  ///< One per worker.
   std::vector<std::thread> threads_;

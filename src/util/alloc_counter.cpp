@@ -1,0 +1,159 @@
+#include "src/util/alloc_counter.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#ifdef NEO_ALLOC_TRACE
+#include <execinfo.h>
+#include <unistd.h>
+#endif
+
+// The interposition must stay out of sanitizer builds: ASan/TSan interpose
+// malloc themselves and replacing the C++ operators on top of them breaks
+// their bookkeeping. NEO_NO_ALLOC_HOOK is the manual escape hatch.
+#if !defined(NEO_NO_ALLOC_HOOK) && !defined(__SANITIZE_ADDRESS__) && \
+    !defined(__SANITIZE_THREAD__)
+#if defined(__has_feature)
+#if !__has_feature(address_sanitizer) && !__has_feature(thread_sanitizer)
+#define NEO_ALLOC_COUNTER 1
+#endif
+#else
+#define NEO_ALLOC_COUNTER 1
+#endif
+#endif
+
+namespace neo::util {
+namespace {
+
+// Constant-initialized / trivially-destructible state only: operator new runs
+// during static init and teardown, so nothing here may have a dynamic
+// constructor or destructor.
+std::atomic<bool> g_armed{false};
+std::atomic<uint64_t> g_region_allocs{0};
+thread_local int t_region_depth = 0;
+
+inline void NoteAlloc() {
+  if (t_region_depth > 0 && g_armed.load(std::memory_order_relaxed)) {
+    g_region_allocs.fetch_add(1, std::memory_order_relaxed);
+#ifdef NEO_ALLOC_TRACE
+    static thread_local bool tracing = false;
+    if (!tracing && g_region_allocs.load(std::memory_order_relaxed) <= 40) {
+      tracing = true;
+      void* frames[16];
+      const int n = backtrace(frames, 16);
+      backtrace_symbols_fd(frames, n, 2);
+      write(2, "----\n", 5);
+      tracing = false;
+    }
+#endif
+  }
+}
+
+}  // namespace
+
+bool AllocCounterActive() {
+#if defined(NEO_ALLOC_COUNTER)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void ArmAllocCounter(bool on) { g_armed.store(on, std::memory_order_relaxed); }
+
+void ResetRegionAllocs() {
+  g_region_allocs.store(0, std::memory_order_relaxed);
+}
+
+uint64_t RegionAllocs() {
+  return g_region_allocs.load(std::memory_order_relaxed);
+}
+
+AllocRegionScope::AllocRegionScope() { ++t_region_depth; }
+AllocRegionScope::~AllocRegionScope() { --t_region_depth; }
+
+}  // namespace neo::util
+
+#if defined(NEO_ALLOC_COUNTER)
+
+namespace {
+
+void* CountedAlloc(std::size_t n) {
+  void* p = std::malloc(n != 0 ? n : 1);
+  if (p != nullptr) neo::util::NoteAlloc();
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t n, std::size_t align) {
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     n != 0 ? n : 1) != 0) {
+    return nullptr;
+  }
+  neo::util::NoteAlloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) {
+  void* p = CountedAlloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n) {
+  void* p = CountedAlloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return CountedAlloc(n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return CountedAlloc(n);
+}
+void* operator new(std::size_t n, std::align_val_t align) {
+  void* p = CountedAlignedAlloc(n, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t align) {
+  void* p = CountedAlignedAlloc(n, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t n, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(n, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t n, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(n, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // NEO_ALLOC_COUNTER

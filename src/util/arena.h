@@ -1,0 +1,138 @@
+// Bump-pointer arena with high-water reuse: the steady-state allocator for
+// per-request / per-step POD scratch.
+//
+// Contract: Allocate() hands out raw bytes from the current block; Reset()
+// recycles everything at a request/step boundary. The first few
+// requests grow the arena (heap blocks are chained), after which Reset()
+// coalesces the chain into ONE block sized to the observed high-water mark —
+// from then on every request is served from that single block and the arena
+// performs zero heap allocations until a request exceeds the previous peak.
+//
+// Pointer-stability rules (documented here because callers build aliasing
+// structures on top of arena memory):
+//   - Pointers returned by Allocate() are valid until the next Reset(), and
+//     ONLY until then. Never cache arena pointers across requests.
+//   - Within one request, previously returned pointers are never moved or
+//     invalidated by later Allocate() calls (a new block is chained instead
+//     of reallocating an old one).
+//   - The arena never constructs or destroys objects; it is for trivially-
+//     destructible POD only (floats, ints, raw pointer tables).
+//
+// Not thread-safe: one arena per thread / per PlanSearch / per context.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace neo::util {
+
+class Arena {
+ public:
+  explicit Arena(size_t initial_bytes = 0) {
+    if (initial_bytes > 0) AddBlock(initial_bytes);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Returns `bytes` of storage aligned to `align` (power of two). Valid
+  /// until the next Reset().
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    // Align the actual address, not the block-relative offset: block bases
+    // come from operator new[] and only guarantee max_align_t.
+    size_t offset = 0;
+    if (!blocks_.empty()) {
+      const uintptr_t base =
+          reinterpret_cast<uintptr_t>(blocks_.back().data.get());
+      offset = static_cast<size_t>(Align(base + cur_, align) - base);
+    }
+    if (blocks_.empty() || offset + bytes > blocks_.back().size) {
+      // Chain a new block; never touch existing ones (pointer stability).
+      // `align` extra bytes cover the worst-case base-misalignment pad.
+      const size_t need = bytes + align;
+      const size_t want = need > NextBlockSize() ? need : NextBlockSize();
+      AddBlock(Align(want, alignof(std::max_align_t)));
+      const uintptr_t base =
+          reinterpret_cast<uintptr_t>(blocks_.back().data.get());
+      offset = static_cast<size_t>(Align(base, align) - base);
+    }
+    char* p = blocks_.back().data.get() + offset;
+    cur_ = offset + bytes;
+    used_ = used_before_last_ + cur_;
+    if (used_ > peak_) peak_ = used_;
+    return p;
+  }
+
+  /// Typed convenience: `n` default-UNinitialized elements of trivially-
+  /// destructible T.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible<T>::value,
+                  "Arena storage is never destroyed");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Request/step boundary: recycles all storage. If the request chained
+  /// more than one block (or outgrew the single block), the chain is
+  /// coalesced into one block at the high-water size so the NEXT request is
+  /// served alloc-free. All previously returned pointers die here.
+  void Reset() {
+    if (blocks_.size() != 1 || blocks_.back().size < peak_) {
+      blocks_.clear();
+      if (peak_ > 0) AddBlock(Align(peak_, alignof(std::max_align_t)));
+    }
+    cur_ = 0;
+    used_ = 0;
+    used_before_last_ = 0;
+  }
+
+  /// High-water mark of bytes live at once (across all Resets).
+  size_t peak_bytes() const { return peak_; }
+  /// Heap blocks ever requested from the system (stabilizes after warmup).
+  uint64_t heap_blocks() const { return heap_blocks_; }
+  /// Currently reserved backing storage.
+  size_t capacity_bytes() const {
+    size_t c = 0;
+    for (const Block& b : blocks_) c += b.size;
+    return c;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  static size_t Align(size_t v, size_t a) { return (v + a - 1) & ~(a - 1); }
+
+  size_t NextBlockSize() const {
+    const size_t base = blocks_.empty() ? kMinBlock : blocks_.back().size * 2;
+    return base < kMinBlock ? kMinBlock : base;
+  }
+
+  void AddBlock(size_t size) {
+    used_before_last_ = used_;
+    Block b;
+    b.data = std::make_unique<char[]>(size);
+    b.size = size;
+    blocks_.push_back(std::move(b));
+    ++heap_blocks_;
+    cur_ = 0;
+  }
+
+  static constexpr size_t kMinBlock = 4096;
+
+  std::vector<Block> blocks_;
+  size_t cur_ = 0;                ///< Bump offset within the last block.
+  size_t used_ = 0;               ///< Bytes live this request.
+  size_t used_before_last_ = 0;   ///< Bytes live in all but the last block.
+  size_t peak_ = 0;
+  uint64_t heap_blocks_ = 0;
+};
+
+}  // namespace neo::util

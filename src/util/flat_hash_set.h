@@ -1,0 +1,101 @@
+// Open-addressing uint64 hash set with capacity reuse: the zero-steady-state
+// -allocation replacement for the per-request `std::unordered_set<uint64_t>`
+// dedup sets in plan search (visited states, activation-insert dedup).
+//
+// std::unordered_set allocates one node per insert, so a search that visits
+// thousands of states performs thousands of heap allocations per request even
+// when the set is cleared and reused. This set stores keys inline in a
+// power-of-two slot array with linear probing; Clear() keeps the backing
+// array, so after the high-water request the set never allocates again.
+//
+// Keys are expected to already be hashes (plan/subtree fingerprints); they
+// are remixed with Mix64 so slot choice does not correlate with the caller's
+// own hash structure. Key 0 is handled out of line (it is a valid key, but
+// doubles as the empty-slot sentinel).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace neo::util {
+
+class FlatHashSet64 {
+ public:
+  explicit FlatHashSet64(size_t expected = 0) {
+    if (expected > 0) Reserve(expected);
+  }
+
+  /// Drops all keys, keeping the slot array (O(capacity) fill, zero allocs).
+  void Clear() {
+    std::fill(slots_.begin(), slots_.end(), uint64_t{0});
+    has_zero_ = false;
+    size_ = 0;
+  }
+
+  /// Inserts `key`; returns true iff it was not already present.
+  bool Insert(uint64_t key) {
+    if (key == 0) {
+      const bool fresh = !has_zero_;
+      has_zero_ = true;
+      size_ += fresh ? 1 : 0;
+      return fresh;
+    }
+    if ((size_ + 1) * 4 >= Capacity() * 3) Grow();
+    size_t i = Mix64(key) & mask_;
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) return false;
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = key;
+    ++size_;
+    return true;
+  }
+
+  bool Contains(uint64_t key) const {
+    if (key == 0) return has_zero_;
+    if (slots_.empty()) return false;
+    size_t i = Mix64(key) & mask_;
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) return true;
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  /// Pre-sizes the slot array for `n` keys (rounds up to keep load < 3/4).
+  void Reserve(size_t n) {
+    size_t want = 16;
+    while (want * 3 < n * 4) want <<= 1;
+    if (want > Capacity()) Rehash(want);
+  }
+
+  size_t size() const { return size_; }
+  size_t Capacity() const { return slots_.size(); }
+
+ private:
+  void Grow() { Rehash(slots_.empty() ? 16 : slots_.size() * 2); }
+
+  void Rehash(size_t new_cap) {
+    std::vector<uint64_t> old;
+    old.swap(slots_);
+    slots_.assign(new_cap, 0);
+    mask_ = new_cap - 1;
+    for (uint64_t k : old) {
+      if (k == 0) continue;
+      size_t i = Mix64(k) & mask_;
+      while (slots_[i] != 0) i = (i + 1) & mask_;
+      slots_[i] = k;
+    }
+  }
+
+  std::vector<uint64_t> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  bool has_zero_ = false;
+};
+
+}  // namespace neo::util

@@ -271,6 +271,41 @@ TEST_F(CoreFixture, IncrementalSearchBitIdenticalAcrossToggleAndThreads) {
   }
 }
 
+TEST_F(CoreFixture, ReusedSearchInstanceBitIdenticalToFreshAcrossRequests) {
+  // The zero-alloc steady state reuses everything across FindPlan calls on
+  // one instance: the state arena, heap, visited set, score/activation
+  // scratch, and the activation slab arena (Reset to one high-water block).
+  // None of that reuse may change any outcome: every request on the warmed
+  // instance must be bit-identical to the same request on a brand-new
+  // PlanSearch. Queries alternate so the per-query caches re-salt and clear
+  // between requests, forcing full recomputation through reused buffers.
+  engine::ExecutionEngine engine(ds_->schema, *ds_->db, EngineKind::kPostgres);
+  const auto wl = query::MakeJobWorkload(ds_->schema, *ds_->db);
+  Neo neo(featurizer_, &engine, SmallConfig());
+  SearchOptions opt;
+  opt.max_expansions = 30;
+  const std::vector<const Query*> rotation = {&wl.query(0), &wl.query(30),
+                                              &wl.query(60)};
+  for (int round = 0; round < 3; ++round) {
+    for (size_t qi = 0; qi < rotation.size(); ++qi) {
+      const Query& q = *rotation[qi];
+      const SearchResult reused = neo.search().FindPlan(q, opt);
+      PlanSearch fresh(featurizer_, &neo.net());
+      const SearchResult baseline = fresh.FindPlan(q, opt);
+      ASSERT_EQ(reused.plan.Hash(), baseline.plan.Hash())
+          << "round " << round << " query " << qi;
+      ASSERT_EQ(reused.predicted_cost, baseline.predicted_cost);  // Bitwise.
+      ASSERT_EQ(reused.expansions, baseline.expansions);
+      ASSERT_EQ(reused.evaluations, baseline.evaluations);
+      ASSERT_EQ(reused.plan.ToString(ds_->schema),
+                baseline.plan.ToString(ds_->schema));
+    }
+  }
+  // The reused instance's slab arena actually saw work (and therefore the
+  // rounds above exercised high-water reuse, not an empty arena).
+  EXPECT_GT(neo.search().activation_slab_peak_bytes(), 0u);
+}
+
 TEST_F(CoreFixture, SearchPlansIdenticalAcrossKernelArms) {
   // SIMD-vs-portable acceptance: the arms differ by FMA/accumulation-order
   // ulps, so scores must agree within tolerance and the searched plan (and

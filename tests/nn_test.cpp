@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <thread>
 
 #include "src/nn/value_network.h"
@@ -891,6 +892,168 @@ TEST(TreeConvTest, TrainingForwardMatchesInferenceForward) {
   }
 }
 
+TEST(TreeConvTest, FusedEpilogueBitIdenticalToUnfusedReference) {
+  // The fused scatter epilogue (bias + suffix projections + side
+  // contributions + leaky-ReLU written in ONE pass) must be bitwise equal to
+  // an unfused reference that runs the same GEMMs as separate passes and then
+  // applies the adds element-by-element in the documented order: GEMM value,
+  // + bias, + self suffix, [+ left contrib, + left suffix], [+ right contrib,
+  // + right suffix], activation last. Swept over every dispatch arm and
+  // thread count — the epilogue contains only adds, so no arm may contract
+  // any step into an FMA.
+  if (UseReferenceKernels()) GTEST_SKIP() << "requires fast kernels";
+  const int varying = 4, s = 3, cin = varying + s, cout = 6, n = 6;
+  const float alpha = 0.01f;
+  // Forest covering every child shape: both children, left-only, right-only,
+  // and leaves.
+  TreeStructure t;
+  t.left = {1, 3, -1, -1, -1, -1};
+  t.right = {2, -1, -1, -1, 5, -1};
+  util::Rng rng_x(41);
+  const Matrix x = RandomMatrix(n, varying, rng_x);
+  const Matrix suffix = RandomMatrix(1, s, rng_x);
+
+  for (KernelIsa isa : AvailableKernelIsas()) {
+    KernelIsaScope isa_scope(isa);
+    util::Rng rng(42);
+    TreeConv conv(cin, cout, rng, s);
+    conv.RefreshInferenceWeights();
+
+    std::vector<Param*> params;
+    conv.CollectParams(&params);
+    const Matrix& W = params[0]->value;  // (3*cin x cout) stacked blocks.
+    const float* bias = params[1]->value.Row(0);
+    auto block = [&](int blk, int row0, int nrows) {
+      Matrix m(nrows, cout);
+      for (int r = 0; r < nrows; ++r) {
+        std::copy(W.Row(blk * cin + row0 + r),
+                  W.Row(blk * cin + row0 + r) + cout, m.Row(r));
+      }
+      return m;
+    };
+    std::vector<int> lpar, lch, rpar, rch;
+    for (int i = 0; i < n; ++i) {
+      if (t.left[i] >= 0) { lpar.push_back(i); lch.push_back(t.left[i]); }
+      if (t.right[i] >= 0) { rpar.push_back(i); rch.push_back(t.right[i]); }
+    }
+    auto gather = [&](const std::vector<int>& ch) {
+      Matrix g(static_cast<int>(ch.size()), varying);
+      for (size_t r = 0; r < ch.size(); ++r) {
+        std::copy(x.Row(ch[r]), x.Row(ch[r]) + varying,
+                  g.Row(static_cast<int>(r)));
+      }
+      return g;
+    };
+    // Unfused passes. MatMul rows are position-independent and the packed /
+    // block / gather GEMM variants are bit-identical to these entry points,
+    // so any difference below can only come from the epilogue fusion.
+    const Matrix self = MatMul(x, block(0, 0, varying));
+    const Matrix lcontrib = MatMul(gather(lch), block(1, 0, varying));
+    const Matrix rcontrib = MatMul(gather(rch), block(2, 0, varying));
+    const Matrix ps = MatMul(suffix, block(0, varying, s));
+    const Matrix pl = MatMul(suffix, block(1, varying, s));
+    const Matrix pr = MatMul(suffix, block(2, varying, s));
+    Matrix ref(n, cout);
+    size_t lc = 0, rc = 0;
+    for (int i = 0; i < n; ++i) {
+      const bool has_l = lc < lpar.size() && lpar[lc] == i;
+      const bool has_r = rc < rpar.size() && rpar[rc] == i;
+      for (int c = 0; c < cout; ++c) {
+        float v = self.At(i, c) + bias[c];
+        v += ps.At(0, c);
+        if (has_l) {
+          v += lcontrib.At(static_cast<int>(lc), c);
+          v += pl.At(0, c);
+        }
+        if (has_r) {
+          v += rcontrib.At(static_cast<int>(rc), c);
+          v += pr.At(0, c);
+        }
+        if (v < 0.0f) v *= alpha;
+        ref.At(i, c) = v;
+      }
+      if (has_l) ++lc;
+      if (has_r) ++rc;
+    }
+
+    const TreeGather tg = TreeGather::Build(t);
+    for (int threads : {1, 2, 8}) {
+      ComputeThreadsScope tscope(threads);
+      TreeConv::Scratch scratch;
+      Matrix y;
+      conv.ForwardInferenceInto(t, x, &suffix, &scratch, alpha, &y);
+      ASSERT_EQ(y.rows(), n);
+      ASSERT_EQ(y.cols(), cout);
+      for (size_t i = 0; i < ref.Size(); ++i) {
+        ASSERT_EQ(ref.data()[i], y.data()[i])
+            << KernelIsaName(isa) << " threads " << threads << " infer elt " << i;
+      }
+      // The training forward shares the fused-epilogue contract (same op
+      // order, live weights instead of the packed split).
+      SparseTrainingScope sparse(true);
+      TreeConv::TrainScratch ts;
+      Matrix yt;
+      conv.ForwardTrain(t, x, &suffix, nullptr, tg, &ts, alpha, &yt);
+      for (size_t i = 0; i < ref.Size(); ++i) {
+        ASSERT_EQ(ref.data()[i], yt.data()[i])
+            << KernelIsaName(isa) << " threads " << threads << " train elt " << i;
+      }
+    }
+  }
+}
+
+TEST(SequentialTest, FusedTripleInferenceBitIdenticalToUnfusedLayers) {
+  // Sequential::ForwardInferenceInto collapses every (Linear, LayerNorm,
+  // LeakyReLU) triple into GEMM + one per-row epilogue; the results must be
+  // bitwise equal to running the three layers' own inference passes
+  // separately, under every dispatch arm and thread count.
+  if (UseReferenceKernels()) GTEST_SKIP() << "requires fast kernels";
+  const int in = 9, hidden = 12, out = 5, batch = 7;
+  for (KernelIsa isa : AvailableKernelIsas()) {
+    KernelIsaScope isa_scope(isa);
+    util::Rng rng(43);
+    auto l1 = std::make_unique<Linear>(in, hidden, rng);
+    auto l2 = std::make_unique<LayerNorm>(hidden);
+    auto l3 = std::make_unique<LeakyReLU>();
+    auto l4 = std::make_unique<Linear>(hidden, out, rng);
+    Linear* l1p = l1.get();
+    LayerNorm* l2p = l2.get();
+    LeakyReLU* l3p = l3.get();
+    Linear* l4p = l4.get();
+    // Randomize the norm's gain/bias so the normalize/scale/shift step has
+    // teeth (the defaults are identity-ish).
+    std::vector<Param*> norm_params;
+    l2p->CollectParams(&norm_params);
+    for (Param* p : norm_params) {
+      for (size_t i = 0; i < p->value.Size(); ++i) {
+        p->value.data()[i] = static_cast<float>(rng.NextUniform(-1, 1));
+      }
+    }
+    Sequential seq;
+    seq.Add(std::move(l1));
+    seq.Add(std::move(l2));
+    seq.Add(std::move(l3));
+    seq.Add(std::move(l4));
+    seq.RefreshInferenceWeights();
+
+    const Matrix x = RandomMatrix(batch, in, rng);
+    const Matrix ref = l4p->ForwardInference(
+        l3p->ForwardInference(l2p->ForwardInference(l1p->ForwardInference(x))));
+    for (int threads : {1, 2, 8}) {
+      ComputeThreadsScope tscope(threads);
+      PipelineScratch scratch;
+      Matrix y;
+      seq.ForwardInferenceInto(x, &scratch, &y);
+      ASSERT_EQ(y.rows(), ref.rows());
+      ASSERT_EQ(y.cols(), ref.cols());
+      for (size_t i = 0; i < ref.Size(); ++i) {
+        ASSERT_EQ(ref.data()[i], y.data()[i])
+            << KernelIsaName(isa) << " threads " << threads << " elt " << i;
+      }
+    }
+  }
+}
+
 TEST(DynamicPoolingTest, MaxAndGradRouting) {
   DynamicPooling pool;
   Matrix x(3, 2);
@@ -1235,10 +1398,11 @@ TEST(ValueNetworkTest, PerSampleTrainingBitIdenticalSparseVsDense) {
 }
 
 TEST(ValueNetworkTest, TrainingReleasesScratchAndTracksPeak) {
-  // Batch-sized training scratch must not survive the step: layer caches are
-  // dropped after Adam runs, and the peak accounting observed the forward's
-  // activations.
+  // Training scratch is RETAINED by default (zero-alloc steady state); with
+  // retention off, batch-sized layer caches must not survive the step, and
+  // either way the peak accounting observed the forward's activations.
   ValueNetwork net(SmallConfig());
+  net.SetRetainTrainingScratch(false);
   util::Rng rng(25);
   std::vector<PlanSample> samples;
   std::vector<float> targets;
