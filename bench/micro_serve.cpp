@@ -32,6 +32,7 @@
 #include "src/datagen/imdb_gen.h"
 #include "src/query/job_workload.h"
 #include "src/serve/serving_core.h"
+#include "src/store/experience_store.h"
 #include "src/util/alloc_counter.h"
 #include "src/util/stopwatch.h"
 
@@ -317,6 +318,68 @@ RetrainOverlap MeasureRetrainOverlap() {
   return r;
 }
 
+/// Experience-store serving arm (the adaptive-mode path): serve the train
+/// set through a store-attached core until types learn their best plans,
+/// manually pin one type, and report the per-type counters the serving stats
+/// surface — so mode behavior is visible in the bench report, not just in
+/// tests.
+struct StoreServing {
+  bool ran = false;
+  uint64_t types_tracked = 0;
+  uint64_t mode_transitions = 0;
+  uint64_t exploit_serves = 0;
+  uint64_t drift_demotions = 0;
+  uint64_t pinned_serves = 0;
+  uint64_t wal_records = 0;
+  double pinned_qps = 0.0;
+};
+
+StoreServing MeasureStoreServing() {
+  Fixture& f = Fixture::Get();
+  const core::NeoConfig cfg = Fixture::Config();
+  Rig rig = MakeRig(cfg);
+  store::ExperienceStore store{store::StoreOptions{}};  // In-memory.
+  if (!store.Open().ok()) return {};
+
+  StoreServing r;
+  serve::ServingOptions sopt;
+  sopt.workers = 2;
+  sopt.search = cfg.search;
+  sopt.store = &store;
+  serve::ServingCore core(rig.neo.get(), sopt);
+  // Learn phase: every type records serves and captures its best plan.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const query::Query* q : f.train) core.ServeSync(*q, /*learn=*/true);
+  }
+  // Pin every type that captured a best plan, then measure pinned serving
+  // (search skipped entirely — the store's fast path).
+  size_t pinned_types = 0;
+  for (const query::Query* q : f.train) {
+    if (store.SetMode(q->type_hash, store::TypeMode::kExploit).ok()) {
+      ++pinned_types;
+    }
+  }
+  constexpr int kPinnedRequests = 256;
+  util::Stopwatch watch;
+  for (int i = 0; i < kPinnedRequests; ++i) {
+    core.ServeSync(*f.train[static_cast<size_t>(i) % f.train.size()],
+                   /*learn=*/true);
+  }
+  const double secs = watch.ElapsedSeconds();
+  core.Drain();
+
+  const serve::ServingStats stats = core.stats();
+  r.ran = pinned_types > 0;
+  r.types_tracked = stats.store_types_tracked;
+  r.mode_transitions = stats.store_mode_transitions;
+  r.exploit_serves = stats.store_exploit_serves;
+  r.drift_demotions = stats.store_drift_demotions;
+  r.pinned_serves = stats.store_pinned_serves;
+  r.wal_records = stats.store_wal_records;
+  r.pinned_qps = secs > 0 ? kPinnedRequests / secs : 0.0;
+  return r;
+}
+
 void AppendArmJson(std::FILE* out, const ArmResult& r, bool last) {
   std::fprintf(out,
                "    {\"clients\": %d, \"coalesced\": %s, \"workers\": %d,"
@@ -379,6 +442,7 @@ void WriteServeJson(const std::string& path, int reps) {
   const bool bit_identical = SingleClientBitIdentical();
   const RetrainOverlap overlap = MeasureRetrainOverlap();
   const SteadyState steady = MeasureSteadyState();
+  const StoreServing store_arm = MeasureStoreServing();
   const bool zero_alloc = !steady.counter_active || steady.heap_allocs == 0;
 
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -410,7 +474,13 @@ void WriteServeJson(const std::string& path, int reps) {
                "  \"activation_slab_peak_bytes\": %zu,\n"
                "  \"retrain_overlap\": {\"retrains\": %d,"
                " \"serves_during_retrain\": %llu, \"final_generation\": %llu,"
-               " \"qps\": %.2f}\n"
+               " \"qps\": %.2f},\n"
+               "  \"store\": {\"ran\": %s, \"store_types_tracked\": %llu,"
+               " \"store_mode_transitions\": %llu,"
+               " \"store_exploit_serves\": %llu,"
+               " \"store_drift_demotions\": %llu,"
+               " \"store_pinned_serves\": %llu, \"store_wal_records\": %llu,"
+               " \"pinned_qps\": %.2f}\n"
                "}\n",
                bit_identical ? "true" : "false", qps_scaling_ok ? "true" : "false",
                coalesce_speedup, steady.counter_active ? "true" : "false",
@@ -419,7 +489,14 @@ void WriteServeJson(const std::string& path, int reps) {
                overlap.retrains,
                static_cast<unsigned long long>(overlap.serves_during_retrain),
                static_cast<unsigned long long>(overlap.final_generation),
-               overlap.qps);
+               overlap.qps, store_arm.ran ? "true" : "false",
+               static_cast<unsigned long long>(store_arm.types_tracked),
+               static_cast<unsigned long long>(store_arm.mode_transitions),
+               static_cast<unsigned long long>(store_arm.exploit_serves),
+               static_cast<unsigned long long>(store_arm.drift_demotions),
+               static_cast<unsigned long long>(store_arm.pinned_serves),
+               static_cast<unsigned long long>(store_arm.wal_records),
+               store_arm.pinned_qps);
   std::fclose(out);
 
   std::printf(
@@ -427,13 +504,16 @@ void WriteServeJson(const std::string& path, int reps) {
       " scaling ok: %s); coalesce speedup @8 clients %.2fx;"
       " single-client bit-identical: %s; steady-state allocs %llu"
       " (slab peak %zu B); %llu serves overlapped %d retrains"
-      " (generation %llu) -> %s\n",
+      " (generation %llu); store arm: %llu types, %llu pinned serves at"
+      " %.0f qps -> %s\n",
       qps_1, qps_multi_best, hw, qps_scaling_ok ? "yes" : "NO", coalesce_speedup,
       bit_identical ? "yes" : "NO",
       static_cast<unsigned long long>(steady.heap_allocs), steady.slab_peak_bytes,
       static_cast<unsigned long long>(overlap.serves_during_retrain),
       overlap.retrains, static_cast<unsigned long long>(overlap.final_generation),
-      path.c_str());
+      static_cast<unsigned long long>(store_arm.types_tracked),
+      static_cast<unsigned long long>(store_arm.pinned_serves),
+      store_arm.pinned_qps, path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,389 @@
+// Experience-store micro-benchmarks + the BENCH_store.json durability report.
+//
+// The JSON measurement drives a durable ExperienceStore in a scratch dir and
+// reports:
+//   wal_append_records_per_sec / wal_append_mb_per_sec - framed+checksummed
+//               append throughput through RecordServe (includes the final
+//               Sync), over a round-robin of distinct query types,
+//   recovery_ms / replay_records_per_sec - cold Open() replaying the full
+//               WAL through the live state machine,
+//   snapshot_ms / snapshot_recovery_ms - serialize+atomic-publish cost and
+//               the Open() that loads the snapshot instead of replaying,
+//   recovery_lossless - an in-bench kill-point sweep: the WAL is truncated
+//               at every frame boundary and at mid-record offsets, and every
+//               cut must recover cleanly (kOk, exact complete-frame prefix,
+//               state equal to the pre-crash reference at that boundary).
+//               CI hard-fails on false — this is the crash-safety gate.
+//
+// The google-benchmark suite runs after the JSON measurement; pass
+// --benchmark_filter etc. as usual.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/datagen/imdb_gen.h"
+#include "src/query/builder.h"
+#include "src/store/experience_store.h"
+#include "src/store/store_file.h"
+#include "src/util/stopwatch.h"
+
+namespace {
+
+using namespace neo;
+using store::ExperienceStore;
+using store::StoreOptions;
+using store::TypeView;
+
+struct Fixture {
+  datagen::Dataset ds;
+  std::vector<query::Query> queries;           ///< Distinct type templates.
+  std::vector<plan::PartialPlan> plans;        ///< One complete plan each.
+
+  Fixture() {
+    datagen::GenOptions opt;
+    opt.scale = 0.02;
+    ds = datagen::GenerateImdb(opt);
+    // 16 structurally distinct single-relation templates (predicate-count and
+    // operator shape vary, so every one hashes to its own type).
+    const query::PredOp ops[] = {query::PredOp::kGe, query::PredOp::kLe,
+                                 query::PredOp::kGt, query::PredOp::kLt};
+    for (int n = 0; n < 16; ++n) {
+      query::QueryBuilder b(ds.schema, *ds.db, "bench");
+      b.Rel("title");
+      for (int p = 0; p <= n % 4; ++p) {
+        b.Pred("title", "production_year", ops[(n + p) % 4], 1950 + 10 * p);
+      }
+      queries.push_back(b.Build());
+      queries.back().id = n + 1;
+    }
+    for (query::Query& q : queries) {
+      plan::PartialPlan p;
+      p.query = &q;
+      p.roots = {plan::MakeScan(plan::ScanOp::kTable, q.relations[0], 1ULL << 0)};
+      plans.push_back(std::move(p));
+    }
+  }
+  static Fixture& Get() {
+    static Fixture f;
+    return f;
+  }
+};
+
+/// Scratch dir for durable stores; known store files removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    char buf[] = "/tmp/neo_micro_store_XXXXXX";
+    const char* p = ::mkdtemp(buf);
+    path_ = p != nullptr ? p : "/tmp";
+  }
+  ~TempDir() {
+    for (const char* f : {"/wal.log", "/snapshot.bin", "/snapshot.bin.tmp"}) {
+      ::unlink((path_ + f).c_str());
+    }
+    ::rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ---- google-benchmark micro measurements ----------------------------------
+
+void BM_WalAppendRecord(benchmark::State& state) {
+  TempDir tmp;
+  store::WalWriter w;
+  if (!w.Open(tmp.path() + "/wal.log", 0).ok()) {
+    state.SkipWithError("wal open failed");
+    return;
+  }
+  uint8_t payload[64];
+  std::memset(payload, 0x5a, sizeof payload);
+  uint64_t lsn = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.AppendRecord(1, lsn++, payload, sizeof payload));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sizeof payload + 24));
+}
+BENCHMARK(BM_WalAppendRecord);
+
+/// RecordServe through the full mode machine, in-memory (no WAL I/O): the
+/// pure bookkeeping cost a serving worker pays per request.
+void BM_StoreRecordServe(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  ExperienceStore store{StoreOptions{}};
+  (void)store.Open();
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t qi = i % f.queries.size();
+    store.RecordServe(f.queries[qi], f.plans[qi], 10.0 + 0.001 * (i % 7),
+                      /*from_search=*/true);
+    ++i;
+  }
+}
+BENCHMARK(BM_StoreRecordServe);
+
+/// Decide() on a pinned (exploit) type: the fast-path lookup serving pays
+/// before skipping search. Includes the pinned-plan decode-cache hit.
+void BM_StoreDecidePinned(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  ExperienceStore store{StoreOptions{}};
+  (void)store.Open();
+  store.RecordServe(f.queries[0], f.plans[0], 10.0, /*from_search=*/true);
+  if (!store.SetMode(f.queries[0].type_hash, store::TypeMode::kExploit).ok()) {
+    state.SkipWithError("pin failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Decide(f.queries[0]));
+  }
+}
+BENCHMARK(BM_StoreDecidePinned);
+
+// ---- BENCH_store.json ------------------------------------------------------
+
+bool ViewsEqual(const TypeView& a, const TypeView& b) {
+  return a.type_hash == b.type_hash && a.mode == b.mode &&
+         a.serves == b.serves && a.exploit_run_len == b.exploit_run_len &&
+         a.ewma == b.ewma && a.baseline_mean == b.baseline_mean &&
+         a.baseline_n == b.baseline_n && a.has_best == b.has_best &&
+         a.best_latency_ms == b.best_latency_ms &&
+         a.best_plan_hash == b.best_plan_hash &&
+         a.num_corrections == b.num_corrections;
+}
+
+bool AllViewsEqual(const std::vector<TypeView>& a,
+                   const std::vector<TypeView>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!ViewsEqual(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+void WriteRawFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return;
+  if (!bytes.empty()) {
+    (void)std::fwrite(bytes.data(), 1, bytes.size(), f);
+  }
+  std::fclose(f);
+}
+
+/// Kill-point sweep: cut the canonical WAL at every frame boundary and at
+/// offsets inside every frame; every cut must mount kOk with exactly the
+/// complete-frame prefix and the reference state at that boundary. Returns
+/// false on ANY deviation — the bench's hard acceptance gate.
+bool SweepKillPoints(const std::vector<uint8_t>& wal,
+                     const std::map<uint64_t, std::vector<TypeView>>& reference,
+                     uint64_t* cuts_out) {
+  std::vector<uint64_t> boundaries = {8};
+  uint64_t off = 8;
+  while (off + 24 <= wal.size()) {
+    uint32_t len = 0;
+    std::memcpy(&len, wal.data() + off, 4);
+    off += 24 + len;
+    if (off > wal.size()) return false;  // Canonical WAL must parse whole.
+    boundaries.push_back(off);
+  }
+  if (off != wal.size()) return false;
+
+  TempDir scratch;
+  StoreOptions opt;
+  opt.dir = scratch.path();
+  opt.snapshot_every = 0;
+  uint64_t cuts = 0;
+  for (size_t k = 0; k + 1 < boundaries.size(); ++k) {
+    const uint64_t frame_len = boundaries[k + 1] - boundaries[k];
+    const uint64_t offsets[] = {boundaries[k], boundaries[k] + 1,
+                                boundaries[k] + frame_len / 2,
+                                boundaries[k] + frame_len - 1};
+    for (const uint64_t cut : offsets) {
+      WriteRawFile(scratch.path() + "/wal.log",
+                   std::vector<uint8_t>(wal.begin(), wal.begin() + cut));
+      ExperienceStore b(opt);
+      if (!b.Open().ok()) return false;
+      if (b.recovery().wal_corrupt) return false;
+      if (b.recovery().wal_frames_replayed != k) return false;
+      const auto it = reference.find(k);
+      if (it != reference.end() && !AllViewsEqual(b.View(), it->second)) {
+        return false;
+      }
+      ++cuts;
+    }
+  }
+  // The untruncated file replays to the final reference state.
+  WriteRawFile(scratch.path() + "/wal.log", wal);
+  ExperienceStore full(opt);
+  if (!full.Open().ok()) return false;
+  if (!AllViewsEqual(full.View(), reference.rbegin()->second)) return false;
+  *cuts_out = cuts;
+  return true;
+}
+
+void WriteStoreJson(const std::string& path) {
+  Fixture& f = Fixture::Get();
+
+  // 1. WAL append throughput: records round-robin over 16 types, fsync at
+  //    the end (the serving cadence amortizes it the same way).
+  constexpr int kAppendRecords = 20000;
+  TempDir dir;
+  StoreOptions opt;
+  opt.dir = dir.path();
+  opt.snapshot_every = 0;
+  double append_secs = 0.0;
+  uint64_t appended = 0, wal_bytes = 0;
+  {
+    ExperienceStore store(opt);
+    if (!store.Open().ok()) {
+      std::fprintf(stderr, "micro_store: store open failed\n");
+      return;
+    }
+    util::Stopwatch watch;
+    for (int i = 0; i < kAppendRecords; ++i) {
+      const size_t qi = static_cast<size_t>(i) % f.queries.size();
+      store.RecordServe(f.queries[qi], f.plans[qi], 10.0 + 0.001 * (i % 7),
+                        /*from_search=*/true);
+    }
+    (void)store.Sync();
+    append_secs = watch.ElapsedSeconds();
+    appended = store.stats().wal_records;
+    std::vector<uint8_t> bytes;
+    if (store::ReadFileBytes(store.wal_path(), &bytes).ok()) {
+      wal_bytes = bytes.size();
+    }
+  }
+
+  // 2. Cold recovery: replay the whole WAL through the state machine.
+  double recovery_secs = 0.0;
+  uint64_t replayed = 0;
+  {
+    util::Stopwatch watch;
+    ExperienceStore store(opt);
+    (void)store.Open();
+    recovery_secs = watch.ElapsedSeconds();
+    replayed = store.recovery().wal_frames_replayed;
+
+    // 3. Snapshot publish, then the snapshot-backed recovery.
+    util::Stopwatch snap_watch;
+    const bool snap_ok = store.Snapshot().ok();
+    const double snapshot_secs = snap_watch.ElapsedSeconds();
+
+    util::Stopwatch reopen_watch;
+    ExperienceStore reopened(opt);
+    (void)reopened.Open();
+    const double snap_recovery_secs = reopen_watch.ElapsedSeconds();
+    const bool snapshot_loaded = reopened.recovery().snapshot_loaded;
+
+    // 4. Kill-point sweep on a small deterministic script (fresh dir).
+    TempDir sweep_dir;
+    StoreOptions sopt;
+    sopt.dir = sweep_dir.path();
+    sopt.snapshot_every = 0;
+    std::map<uint64_t, std::vector<TypeView>> reference;
+    std::vector<uint8_t> sweep_wal;
+    {
+      ExperienceStore s(sopt);
+      (void)s.Open();
+      reference[0] = s.View();
+      for (int i = 0; i < 120; ++i) {
+        const size_t qi = static_cast<size_t>(i) % 4;
+        // Mix improving serves (2 frames), plain serves, and corrections.
+        s.RecordServe(f.queries[qi], f.plans[qi], 50.0 - 0.1 * i,
+                      /*from_search=*/true);
+        reference.emplace(s.stats().wal_records, s.View());
+        if (i % 10 == 0) {
+          s.RecordCardCorrection(f.queries[qi], 1, 100.0, 150.0 + i);
+          reference.emplace(s.stats().wal_records, s.View());
+        }
+      }
+      (void)s.Sync();
+      (void)store::ReadFileBytes(s.wal_path(), &sweep_wal);
+    }
+    uint64_t kill_points = 0;
+    const bool lossless = SweepKillPoints(sweep_wal, reference, &kill_points);
+
+    const double append_rps = append_secs > 0 ? appended / append_secs : 0.0;
+    const double append_mbps =
+        append_secs > 0 ? wal_bytes / (1e6 * append_secs) : 0.0;
+    const double replay_rps = recovery_secs > 0 ? replayed / recovery_secs : 0.0;
+
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "micro_store: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"micro_store\",\n"
+                 "  \"types\": %zu,\n"
+                 "  \"wal_records\": %llu,\n"
+                 "  \"wal_bytes\": %llu,\n"
+                 "  \"wal_append_records_per_sec\": %.0f,\n"
+                 "  \"wal_append_mb_per_sec\": %.2f,\n"
+                 "  \"recovery_ms\": %.3f,\n"
+                 "  \"replay_records_per_sec\": %.0f,\n"
+                 "  \"snapshot_ms\": %.3f,\n"
+                 "  \"snapshot_ok\": %s,\n"
+                 "  \"snapshot_recovery_ms\": %.3f,\n"
+                 "  \"snapshot_loaded\": %s,\n"
+                 "  \"kill_points_swept\": %llu,\n"
+                 "  \"recovery_lossless\": %s\n"
+                 "}\n",
+                 f.queries.size(), static_cast<unsigned long long>(appended),
+                 static_cast<unsigned long long>(wal_bytes), append_rps,
+                 append_mbps, recovery_secs * 1e3, replay_rps,
+                 snapshot_secs * 1e3, snap_ok ? "true" : "false",
+                 snap_recovery_secs * 1e3, snapshot_loaded ? "true" : "false",
+                 static_cast<unsigned long long>(kill_points),
+                 lossless ? "true" : "false");
+    std::fclose(out);
+
+    std::printf(
+        "store: %llu wal records appended at %.0f rec/s (%.2f MB/s);"
+        " cold recovery %.3f ms (%.0f rec/s replay); snapshot %.3f ms,"
+        " snapshot recovery %.3f ms; %llu kill points swept, lossless: %s"
+        " -> %s\n",
+        static_cast<unsigned long long>(appended), append_rps, append_mbps,
+        recovery_secs * 1e3, replay_rps, snapshot_secs * 1e3,
+        snap_recovery_secs * 1e3, static_cast<unsigned long long>(kill_points),
+        lossless ? "yes" : "NO", path.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_store.json";
+  bool filtered = false;
+  bool json_requested = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json-out=", 0) == 0) {
+      json_requested = true;
+      json_path = arg.substr(std::string("--json-out=").size());
+    } else if (arg == "--json-out") {
+      json_requested = true;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        json_path = argv[++i];
+      }
+    }
+    if (arg.rfind("--benchmark_filter", 0) == 0) filtered = true;
+  }
+  if (!filtered || json_requested) WriteStoreJson(json_path);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,8 +1,10 @@
 #include "src/core/neo.h"
 
 #include <algorithm>
+#include <functional>
 #include <mutex>
 
+#include "src/store/experience_store.h"
 #include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
@@ -47,13 +49,45 @@ double Neo::EffectiveDeadline(const query::Query& query) const {
 }
 
 double Neo::Serve(const query::Query& query, const plan::PartialPlan& learned_plan,
-                  bool learn) {
+                  bool learn, bool from_search) {
   std::lock_guard<std::mutex> lock(serve_mu_);
-  return ServeAndMaybeLearn(query, learned_plan, learn);
+  return ServeAndMaybeLearn(query, learned_plan, learn, from_search);
+}
+
+void Neo::RecordStoreFeedback(const query::Query& query,
+                              const plan::PartialPlan& plan, double latency_ms,
+                              bool from_search) {
+  store_->RecordServe(query, plan, latency_ms, from_search);
+  // Observed-vs-estimated cardinality corrections for the executed plan's
+  // join subsets, fed back into the featurizer's kEstimated channel.
+  const featurize::FeaturizerConfig& fc = featurizer_->config();
+  if (fc.card_channel != featurize::CardChannel::kEstimated ||
+      featurizer_->hist_estimator() == nullptr) {
+    return;
+  }
+  std::vector<uint64_t> masks;
+  std::function<void(const plan::PlanNode&)> collect =
+      [&](const plan::PlanNode& node) {
+        if (!node.is_join) return;
+        if (std::find(masks.begin(), masks.end(), node.rel_mask) ==
+            masks.end()) {
+          masks.push_back(node.rel_mask);
+        }
+        collect(*node.left);
+        collect(*node.right);
+      };
+  for (const auto& root : plan.roots) collect(*root);
+  for (uint64_t mask : masks) {
+    const double estimated =
+        featurizer_->hist_estimator()->EstimateSubset(query, mask);
+    const double observed = engine_->oracle().Cardinality(query, mask);
+    store_->RecordCardCorrection(query, mask, estimated, observed);
+  }
 }
 
 double Neo::ServeAndMaybeLearn(const query::Query& query,
-                               const plan::PartialPlan& learned_plan, bool learn) {
+                               const plan::PartialPlan& learned_plan, bool learn,
+                               bool from_search) {
   if (!GuardsActive()) {
     // Parity fast path: the exact pre-guardrail serve (see the guardrail
     // notes in neo.h — guards off must stay bit-identical).
@@ -61,6 +95,9 @@ double Neo::ServeAndMaybeLearn(const query::Query& query,
     if (learn) {
       std::lock_guard<std::mutex> lock(experience_mu_);
       experience_.AddCompletePlan(query, learned_plan, CostOf(query, latency));
+    }
+    if (store_ != nullptr) {
+      RecordStoreFeedback(query, learned_plan, latency, from_search);
     }
     return latency;
   }
@@ -94,6 +131,12 @@ double Neo::ServeAndMaybeLearn(const query::Query& query,
     // NeoConfig::latency_clip_ms, applied at execution time.
     std::lock_guard<std::mutex> lock(experience_mu_);
     experience_.AddCompletePlan(query, plan, CostOf(query, result.latency_ms));
+  }
+  if (store_ != nullptr) {
+    // A breaker-fallback serve did not come from a live search, whatever the
+    // caller believed.
+    RecordStoreFeedback(query, plan, result.latency_ms,
+                        from_search && serve_learned);
   }
   return result.latency_ms;
 }

@@ -57,6 +57,10 @@
 #include "src/optim/optimizer.h"
 #include "src/util/fault_injector.h"
 
+namespace neo::store {
+class ExperienceStore;
+}
+
 namespace neo::core {
 
 /// Execution-watchdog deadlines (0 = that bound disabled).
@@ -164,8 +168,10 @@ class Neo {
   /// synchronize with Retrain's sampling via a second internal mutex.
   /// A single caller sees exactly ServeAndMaybeLearn's semantics (guards off
   /// = the pre-guardrail execute path, bit-identical).
+  /// `from_search` distinguishes live search results from pinned/fallback
+  /// plans for the experience store's mode machine (see store/).
   double Serve(const query::Query& query, const plan::PartialPlan& learned_plan,
-               bool learn);
+               bool learn, bool from_search = true);
 
   void SetBaseline(int query_id, double latency_ms) {
     baselines_[query_id] = latency_ms;
@@ -187,6 +193,14 @@ class Neo {
   /// ExecutionEngine::SetFaultInjector). nullptr detaches. Not owned; must
   /// outlive this object or be detached first.
   void SetFaultInjector(util::FaultInjector* injector) { fault_injector_ = injector; }
+
+  /// Attaches the durable per-query-type experience store: every serve
+  /// through the choke point is recorded (latency + best-plan + cardinality
+  /// corrections). nullptr detaches — with no store attached the serve path
+  /// is the literal unchanged code. Not owned; must outlive this object or
+  /// be detached first.
+  void SetExperienceStore(store::ExperienceStore* store) { store_ = store; }
+  store::ExperienceStore* experience_store() const { return store_; }
 
   GuardStats guard_stats() const;
   CircuitBreaker& breaker() { return breaker_; }
@@ -211,7 +225,16 @@ class Neo {
   /// `learn` — feeds the (possibly deadline-clipped) observation of the plan
   /// that actually ran into experience. Returns the incurred latency.
   double ServeAndMaybeLearn(const query::Query& query,
-                            const plan::PartialPlan& learned_plan, bool learn);
+                            const plan::PartialPlan& learned_plan, bool learn,
+                            bool from_search = true);
+
+  /// Feeds one executed serve into the attached experience store (no-op when
+  /// detached): the observation itself, plus observed-vs-estimated
+  /// cardinality corrections for the executed plan's join subsets when the
+  /// featurizer runs the kEstimated channel.
+  void RecordStoreFeedback(const query::Query& query,
+                           const plan::PartialPlan& plan, double latency_ms,
+                           bool from_search);
 
   const featurize::Featurizer* featurizer_;
   engine::ExecutionEngine* engine_;
@@ -231,6 +254,7 @@ class Neo {
   CircuitBreaker breaker_;
   nn::ModelHealthMonitor health_;
   util::FaultInjector* fault_injector_ = nullptr;  ///< Not owned; may be null.
+  store::ExperienceStore* store_ = nullptr;        ///< Not owned; may be null.
   /// Serializes concurrent Serve() calls through the guarded choke point
   /// (breaker + watchdog + counters advance atomically per serve); mutable so
   /// guard_stats() reads a consistent snapshot. The single-threaded episode

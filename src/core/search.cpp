@@ -146,6 +146,7 @@ void PlanSearch::SyncCache(const query::Query& query, const SearchOptions& optio
       cache_version_ == net_->version() &&
       cache_reference_mode_ == nn::UseReferenceKernels() &&
       cache_kernel_isa_ == nn::ActiveKernelIsa() &&
+      cache_encoding_epoch_ == featurizer_->encoding_epoch() &&
       (shared_ != nullptr || (cache_cap_ == cap && act_cache_cap_ == act_cap))) {
     return;
   }
@@ -164,14 +165,18 @@ void PlanSearch::SyncCache(const query::Query& query, const SearchOptions& optio
     // The mode bits get a low tag bit so a (fp, version) pair can never
     // produce the same salt as a raw fingerprint.
     salt_ = util::Mix64(util::HashCombine(
-        util::HashCombine(util::HashCombine(query.fingerprint, net_->version()),
-                          KernelModeBits()),
-        shared_generation_));
+        util::HashCombine(
+            util::HashCombine(util::HashCombine(query.fingerprint,
+                                                net_->version()),
+                              KernelModeBits()),
+            shared_generation_),
+        featurizer_->encoding_epoch()));
   }
   cache_query_fp_ = query.fingerprint;
   cache_version_ = net_->version();
   cache_reference_mode_ = nn::UseReferenceKernels();
   cache_kernel_isa_ = nn::ActiveKernelIsa();
+  cache_encoding_epoch_ = featurizer_->encoding_epoch();
   cache_valid_ = true;
 }
 

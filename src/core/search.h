@@ -281,6 +281,10 @@ class PlanSearch {
   size_t act_cache_cap_ = 0;
   bool cache_reference_mode_ = false;
   nn::KernelIsa cache_kernel_isa_ = nn::KernelIsa::kPortable;
+  /// Featurizer::encoding_epoch() at cache build: the experience store's
+  /// cardinality corrections change plan encodings, so the epoch joins the
+  /// validity tuple (and the shared-cache salt) exactly like net version.
+  uint64_t cache_encoding_epoch_ = 0;
   bool cache_valid_ = false;
 
   /// Serving-mode seams (both null outside a serving core): the batched-

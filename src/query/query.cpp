@@ -113,21 +113,35 @@ void Query::Finalize(const catalog::Schema& schema) {
   }
 
   uint64_t h = util::Mix64(0xf17e + relations.size());
-  for (int r : relations) h = util::HashCombine(h, util::Mix64(static_cast<uint64_t>(r)));
+  uint64_t th = util::Mix64(0x717e + relations.size());
+  for (int r : relations) {
+    h = util::HashCombine(h, util::Mix64(static_cast<uint64_t>(r)));
+    th = util::HashCombine(th, util::Mix64(static_cast<uint64_t>(r)));
+  }
   for (const auto& j : joins) {
-    h = util::HashCombine(h, util::Mix64((static_cast<uint64_t>(j.left_table) << 40) ^
-                                         (static_cast<uint64_t>(j.left_column) << 28) ^
-                                         (static_cast<uint64_t>(j.right_table) << 14) ^
-                                         static_cast<uint64_t>(j.right_column)));
+    const uint64_t jh =
+        util::Mix64((static_cast<uint64_t>(j.left_table) << 40) ^
+                    (static_cast<uint64_t>(j.left_column) << 28) ^
+                    (static_cast<uint64_t>(j.right_table) << 14) ^
+                    static_cast<uint64_t>(j.right_column));
+    h = util::HashCombine(h, jh);
+    th = util::HashCombine(th, jh);
   }
   for (const auto& p : predicates) {
-    h = util::HashCombine(h, util::Mix64((static_cast<uint64_t>(p.table_id) << 40) ^
-                                         (static_cast<uint64_t>(p.column_idx) << 28) ^
-                                         (static_cast<uint64_t>(p.op) << 20) ^
-                                         static_cast<uint64_t>(p.value_code + (1 << 19))));
+    const uint64_t shape = (static_cast<uint64_t>(p.table_id) << 40) ^
+                           (static_cast<uint64_t>(p.column_idx) << 28) ^
+                           (static_cast<uint64_t>(p.op) << 20);
+    h = util::HashCombine(
+        h, util::Mix64(shape ^ static_cast<uint64_t>(p.value_code + (1 << 19))));
     h = util::HashCombine(h, util::Mix64(std::hash<std::string>{}(p.value_str)));
+    // The type hash keeps the predicate's shape (table, column, operator,
+    // string-ness) but not its literal: queries differing only in constants
+    // must collide here.
+    th = util::HashCombine(
+        th, util::Mix64(shape ^ (p.is_string ? (1ULL << 19) : 0ULL)));
   }
   fingerprint = h;
+  type_hash = th;
 }
 
 std::string Query::ToSql(const catalog::Schema& schema) const {

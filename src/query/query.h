@@ -58,6 +58,15 @@ class Query {
   /// that structurally identical queries share cache entries and distinct
   /// temporaries never collide.
   uint64_t fingerprint = 0;
+  /// Constant-insensitive structural hash, set by Finalize(): like
+  /// `fingerprint` but with predicate literal values (value_code / value_str)
+  /// dropped, so queries that differ only in their constants share a value —
+  /// the "query type" key of the per-type experience store (AQO's notion:
+  /// two queries belong to the same type iff they differ only in constants).
+  /// Built from util::Mix64/HashCombine only (no std::hash, whose value is
+  /// implementation-defined), so it is stable across processes and safe to
+  /// persist.
+  uint64_t type_hash = 0;
 
   size_t num_relations() const { return relations.size(); }
   size_t num_joins() const { return joins.size(); }

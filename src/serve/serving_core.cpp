@@ -20,6 +20,11 @@ ServingCore::ServingCore(core::Neo* neo, ServingOptions options)
   if (options_.coalesce) {
     coalescer_ = std::make_unique<BatchCoalescer>(options_.coalescer);
   }
+  if (options_.store != nullptr) {
+    // Every serve through the choke point records into the store; Decide()
+    // consultation happens in ServeOne before search.
+    neo_->SetExperienceStore(options_.store);
+  }
   rcu_.Publish(neo_->net());
   searches_.reserve(static_cast<size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
@@ -66,8 +71,13 @@ float ServingCore::RetrainAndPublish() {
 }
 
 void ServingCore::Drain() {
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  drain_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    drain_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  }
+  // Every observation recorded so far is now in the WAL buffer; make it
+  // durable before reporting the core idle.
+  if (options_.store != nullptr) options_.store->Sync();
 }
 
 void ServingCore::Stop() {
@@ -76,6 +86,15 @@ void ServingCore::Stop() {
     stopping_ = true;
   }
   queue_cv_.notify_all();
+  // Explicit shutdown ordering: (1) wait until queued AND in-flight requests
+  // finish — workers only exit on an empty queue, but in-flight serves must
+  // have *recorded* before the flush below; (2) flush the store WAL so no
+  // accepted request's observation is lost; (3) join.
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    drain_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  }
+  if (options_.store != nullptr) options_.store->Sync();
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
@@ -107,6 +126,32 @@ ServeResult ServingCore::ServeOne(core::PlanSearch& search, const Task& task) {
   ServeResult out;
   out.queue_ms = task.queued.ElapsedMs();
 
+  store::ExperienceStore* store = options_.store;
+  if (store != nullptr) {
+    store::Decision decision = store->Decide(*task.query);
+    if (decision.use_pinned) {
+      // Exploit/frozen type: serve the best-known plan, skip search. The
+      // serve still flows through Neo's guarded choke point (watchdog,
+      // breaker, experience, store recording) with from_search=false.
+      out.served_from_store = true;
+      out.store_probe = decision.is_probe;
+      out.latency_ms = neo_->Serve(*task.query, decision.pinned, task.learn,
+                                   /*from_search=*/false);
+      out.predicted_cost = static_cast<float>(decision.pinned_latency_ms);
+      out.plan_hash = decision.pinned.Hash();
+      out.generation = rcu_.generation();
+      out.total_ms = task.queued.ElapsedMs();
+      store_pinned_serves_.fetch_add(1, std::memory_order_relaxed);
+      MaybeSyncStore();
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        total_hist_.Record(out.total_ms);
+        plan_hist_.Record(out.plan_ms);
+      }
+      return out;
+    }
+  }
+
   const ModelRcu::Ref ref = rcu_.Acquire();
   NEO_CHECK(ref.net != nullptr);
   out.generation = ref.generation;
@@ -128,6 +173,7 @@ ServeResult ServingCore::ServeOne(core::PlanSearch& search, const Task& task) {
   out.total_ms = task.queued.ElapsedMs();
   leaf_tier_hits_.fetch_add(found.leaf_tier_hits, std::memory_order_relaxed);
   out.search = std::move(found);
+  MaybeSyncStore();
 
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -156,7 +202,29 @@ ServingStats ServingCore::stats() const {
     s.leaf_cache = caches_->leaf_activations.TotalStats();
   }
   s.leaf_tier_hits = leaf_tier_hits_.load(std::memory_order_relaxed);
+  if (options_.store != nullptr) {
+    const store::StoreStats st = options_.store->stats();
+    s.store_attached = true;
+    s.store_types_tracked = options_.store->NumTypes();
+    s.store_mode_transitions = st.mode_transitions;
+    s.store_exploit_serves = st.exploit_serves;
+    s.store_drift_demotions = st.drift_demotions;
+    s.store_wal_records = st.wal_records;
+    s.store_pinned_serves =
+        store_pinned_serves_.load(std::memory_order_relaxed);
+  }
   return s;
+}
+
+void ServingCore::MaybeSyncStore() {
+  if (options_.store == nullptr || options_.store_sync_every <= 0) return;
+  const uint64_t n = store_ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Amortized durability: one worker pays an fsync (and possibly a
+  // snapshot) every store_sync_every requests; Drain()/Stop() cover the
+  // tail.
+  if (n % static_cast<uint64_t>(options_.store_sync_every) == 0) {
+    options_.store->Sync();
+  }
 }
 
 }  // namespace neo::serve

@@ -71,6 +71,7 @@
 #include "src/core/neo.h"
 #include "src/serve/batch_coalescer.h"
 #include "src/serve/model_rcu.h"
+#include "src/store/experience_store.h"
 #include "src/util/latency_histogram.h"
 #include "src/util/sharded_lru.h"
 #include "src/util/stopwatch.h"
@@ -89,6 +90,15 @@ struct ServingOptions {
   size_t shared_leaf_cap = 0;
   int cache_shards = 16;
   core::SearchOptions search;
+  /// Durable per-query-type experience store (see store/experience_store.h).
+  /// Not owned; may be null (store-less serving is the literal unchanged
+  /// path). The constructor attaches it to Neo's serve choke point; workers
+  /// consult ExperienceStore::Decide before searching — an exploit/frozen
+  /// type serves its pinned best plan and skips search entirely — and the
+  /// WAL is fsynced every `store_sync_every` requests, on Drain(), and
+  /// before workers join in Stop().
+  store::ExperienceStore* store = nullptr;
+  int store_sync_every = 64;
 };
 
 /// Everything one request observed, returned through the Submit future.
@@ -100,6 +110,10 @@ struct ServeResult {
   double plan_ms = 0.0;        ///< FindPlan wall time.
   double total_ms = 0.0;       ///< Submit -> serve complete.
   uint64_t generation = 0;     ///< RCU weight generation served under.
+  /// True: the experience store pinned this serve (exploit/frozen mode) and
+  /// no search ran; predicted_cost is the store's best-known latency.
+  bool served_from_store = false;
+  bool store_probe = false;    ///< This pinned serve was a drift probe.
   core::SearchResult search;
 };
 
@@ -113,6 +127,15 @@ struct ServingStats {
   util::ShardedLruStats activation_cache;
   util::ShardedLruStats leaf_cache;   ///< Cross-query leaf activation tier.
   uint64_t leaf_tier_hits = 0;        ///< Rows served from the leaf tier.
+  // Experience-store counters (zero when no store is attached), so mode
+  // behavior is observable rather than inferred.
+  bool store_attached = false;
+  uint64_t store_types_tracked = 0;
+  uint64_t store_mode_transitions = 0;
+  uint64_t store_exploit_serves = 0;
+  uint64_t store_drift_demotions = 0;
+  uint64_t store_pinned_serves = 0;   ///< Serves this core answered pinned.
+  uint64_t store_wal_records = 0;
 };
 
 class ServingCore {
@@ -146,11 +169,14 @@ class ServingCore {
   /// the publish lands. Returns the final minibatch loss.
   float RetrainAndPublish();
 
-  /// Blocks until the queue is empty and no request is in flight.
+  /// Blocks until the queue is empty and no request is in flight, then
+  /// flushes the experience-store WAL (every recorded observation is
+  /// durable once Drain returns).
   void Drain();
 
-  /// Drains nothing — workers finish any queued requests, then exit. Called
-  /// by the destructor; idempotent.
+  /// Graceful shutdown: stops intake, waits for queued + in-flight requests
+  /// to finish, flushes the experience-store WAL, then joins the workers.
+  /// Called by the destructor; idempotent.
   void Stop();
 
   ServingStats stats() const;
@@ -168,6 +194,8 @@ class ServingCore {
 
   void WorkerLoop(int worker_index);
   ServeResult ServeOne(core::PlanSearch& search, const Task& task);
+  /// Pays the periodic store WAL fsync every store_sync_every requests.
+  void MaybeSyncStore();
 
   core::Neo* neo_;
   ServingOptions options_;
@@ -189,6 +217,9 @@ class ServingCore {
   util::LatencyHistogram total_hist_;
   util::LatencyHistogram plan_hist_;
   std::atomic<uint64_t> leaf_tier_hits_{0};
+  std::atomic<uint64_t> store_pinned_serves_{0};
+  /// Requests since start, for the store_sync_every cadence.
+  std::atomic<uint64_t> store_ops_{0};
 
   std::vector<std::unique_ptr<core::PlanSearch>> searches_;  ///< One per worker.
   std::vector<std::thread> threads_;

@@ -1,0 +1,84 @@
+#include "src/store/plan_codec.h"
+
+namespace neo::store {
+
+namespace {
+
+void EncodeNode(const plan::PlanNode& node, ByteWriter* out) {
+  out->PutU8(node.is_join ? 1 : 0);
+  if (node.is_join) {
+    out->PutU8(static_cast<uint8_t>(node.join_op));
+    EncodeNode(*node.left, out);
+    EncodeNode(*node.right, out);
+  } else {
+    out->PutU8(static_cast<uint8_t>(node.scan_op));
+    out->PutI32(node.table_id);
+  }
+}
+
+util::Status DecodeNode(ByteReader* in, const query::Query& query, int depth,
+                        plan::NodeRef* out) {
+  if (depth > 64) return util::Status::DataLoss("plan nesting too deep");
+  const uint8_t is_join = in->GetU8();
+  if (!in->ok()) return util::Status::DataLoss("plan payload truncated");
+  if (is_join != 0) {
+    const uint8_t op = in->GetU8();
+    if (!in->ok() || op >= static_cast<uint8_t>(plan::kNumJoinOps)) {
+      return util::Status::DataLoss("bad join operator in plan payload");
+    }
+    plan::NodeRef left, right;
+    util::Status s = DecodeNode(in, query, depth + 1, &left);
+    if (!s.ok()) return s;
+    s = DecodeNode(in, query, depth + 1, &right);
+    if (!s.ok()) return s;
+    if ((left->rel_mask & right->rel_mask) != 0) {
+      return util::Status::DataLoss("overlapping join children in payload");
+    }
+    *out = plan::MakeJoin(static_cast<plan::JoinOp>(op), std::move(left),
+                          std::move(right));
+    return util::Status::Ok();
+  }
+  const uint8_t op = in->GetU8();
+  const int32_t table_id = in->GetI32();
+  if (!in->ok() || op > static_cast<uint8_t>(plan::ScanOp::kUnspecified)) {
+    return util::Status::DataLoss("bad scan operator in plan payload");
+  }
+  const int idx = query.RelationIndex(table_id);
+  if (idx < 0) {
+    return util::Status::DataLoss("plan references a table outside the query");
+  }
+  *out = plan::MakeScan(static_cast<plan::ScanOp>(op), table_id, 1ULL << idx);
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+void EncodePlan(const plan::PartialPlan& plan, ByteWriter* out) {
+  out->PutU32(static_cast<uint32_t>(plan.roots.size()));
+  for (const auto& root : plan.roots) EncodeNode(*root, out);
+}
+
+util::Status DecodePlan(ByteReader* in, const query::Query& query,
+                        plan::PartialPlan* out) {
+  const uint32_t num_roots = in->GetU32();
+  if (!in->ok() || num_roots > 64) {
+    return util::Status::DataLoss("bad plan root count");
+  }
+  out->query = &query;
+  out->roots.clear();
+  out->roots.reserve(num_roots);
+  uint64_t covered = 0;
+  for (uint32_t i = 0; i < num_roots; ++i) {
+    plan::NodeRef root;
+    util::Status s = DecodeNode(in, query, 0, &root);
+    if (!s.ok()) return s;
+    if ((covered & root->rel_mask) != 0) {
+      return util::Status::DataLoss("overlapping plan roots in payload");
+    }
+    covered |= root->rel_mask;
+    out->roots.push_back(std::move(root));
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace neo::store

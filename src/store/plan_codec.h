@@ -1,0 +1,29 @@
+// Serialization for execution plans persisted by the experience store
+// (best-known plan per query type). A plan is encoded structurally —
+// preorder operator/table walk, no rel_masks — because masks are positions
+// within Query::relations and are re-derived at decode time against the live
+// query object. Decode validates everything it reads (operator ranges, table
+// membership, mask disjointness) and returns kDataLoss instead of aborting,
+// so a corrupted-but-checksum-colliding payload can never take the process
+// down.
+#pragma once
+
+#include <vector>
+
+#include "src/plan/plan.h"
+#include "src/store/store_file.h"
+#include "src/util/status.h"
+
+namespace neo::store {
+
+/// Appends the encoding of `plan` (a forest; typically one complete tree)
+/// to `out`.
+void EncodePlan(const plan::PartialPlan& plan, ByteWriter* out);
+
+/// Decodes a plan for `query` from `in`. On success `*out` has its query
+/// pointer set to `&query` and rel_masks rebuilt from the query's relation
+/// order.
+util::Status DecodePlan(ByteReader* in, const query::Query& query,
+                        plan::PartialPlan* out);
+
+}  // namespace neo::store

@@ -20,6 +20,10 @@ FaultInjectorConfig FaultInjectorConfig::FromEnv() {
   cfg.latency_spike_factor = EnvDouble("NEO_FAULT_SPIKE_FACTOR", 40.0);
   cfg.exec_failure_p = EnvDouble("NEO_FAULT_FAIL_P", 0.05);
   cfg.weight_corruption_p = EnvDouble("NEO_FAULT_CORRUPT_P", 0.25);
+  cfg.io_short_write_p = EnvDouble("NEO_FAULT_IO_SHORTWRITE_P", 0.05);
+  cfg.io_failure_p = EnvDouble("NEO_FAULT_IO_FAIL_P", 0.02);
+  cfg.io_truncate_at =
+      static_cast<int64_t>(EnvDouble("NEO_FAULT_IO_TRUNCATE_AT", -1.0));
   return cfg;
 }
 
@@ -56,6 +60,42 @@ bool FaultInjector::DrawWeightCorruption(uint64_t step_key) {
   }
   ++corruptions_;
   return true;
+}
+
+bool FaultInjector::DrawIoFailure(uint64_t file_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!Draw(Site::kIoFailure, file_key, config_.io_failure_p)) return false;
+  ++io_failures_;
+  return true;
+}
+
+size_t FaultInjector::ConsumeIoBudget(size_t intended) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!config_.enabled || config_.io_truncate_at < 0) return intended;
+  const uint64_t budget = static_cast<uint64_t>(config_.io_truncate_at);
+  const uint64_t before = io_bytes_;
+  io_bytes_ += intended;
+  if (before >= budget) return 0;
+  const uint64_t room = budget - before;
+  return room >= intended ? intended : static_cast<size_t>(room);
+}
+
+size_t FaultInjector::PerturbWriteLength(uint64_t file_key, size_t intended) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (intended == 0 ||
+      !Draw(Site::kIoShortWrite, file_key, config_.io_short_write_p)) {
+    return intended;
+  }
+  ++io_short_writes_;
+  // Landed-prefix length in [0, intended): reuse the deterministic draw
+  // stream so the torn length replays with the schedule. Occurrence was
+  // already consumed by Draw above; draw a fresh occurrence for the length.
+  const uint64_t site_key =
+      HashCombine(static_cast<uint64_t>(Site::kIoShortWrite) ^ 0x9e37, file_key);
+  const uint32_t occurrence = occurrence_[site_key]++;
+  const uint64_t h =
+      Mix64(HashCombine(HashCombine(config_.seed, site_key), occurrence));
+  return static_cast<size_t>(h % intended);
 }
 
 }  // namespace neo::util

@@ -11,7 +11,10 @@
 //
 // Wiring: `ExecutionEngine::SetFaultInjector` arms latency spikes and
 // execution failures; `Neo::SetFaultInjector` arms per-retrain weight
-// corruption. Nothing injects by default — an injector must be constructed
+// corruption; `store::ExperienceStore::SetFaultInjector` arms the file-I/O
+// sites (short writes, write failures, crash-point truncation) that the
+// durable experience store's WAL/snapshot recovery is exercised against.
+// Nothing injects by default — an injector must be constructed
 // (explicitly, or from the NEO_FAULT_* environment via `FromEnv`) and
 // attached. Draws are internally mutex-serialized so the serving core's
 // guarded serves (engine draw sites) may overlap a background retrain (the
@@ -42,12 +45,24 @@ struct FaultInjectorConfig {
   double exec_failure_p = 0.0;
   /// Per-retrain probability that the optimizer step corrupts weights.
   double weight_corruption_p = 0.0;
+  /// Per-write probability that a store file write lands only a prefix of
+  /// its bytes (torn record / torn snapshot).
+  double io_short_write_p = 0.0;
+  /// Per-write probability that a store file write fails outright (EIO).
+  double io_failure_p = 0.0;
+  /// Crash-point truncation: when >= 0, a writer that consults this budget
+  /// silently drops every byte past this cumulative offset — emulating a
+  /// process kill at that exact byte of the file's lifetime. -1 = off.
+  int64_t io_truncate_at = -1;
 
   /// Parses the NEO_FAULT_* environment: NEO_FAULT_INJECT (enable, "0" off),
   /// NEO_FAULT_SEED, NEO_FAULT_SPIKE_P, NEO_FAULT_SPIKE_FACTOR,
-  /// NEO_FAULT_FAIL_P, NEO_FAULT_CORRUPT_P. Unset numeric vars keep the
-  /// defaults below (a moderate all-faults mix), so CI arms can toggle the
-  /// whole harness with NEO_FAULT_INJECT=1 NEO_FAULT_SEED=<k> alone.
+  /// NEO_FAULT_FAIL_P, NEO_FAULT_CORRUPT_P, and the file-I/O sites
+  /// NEO_FAULT_IO_SHORTWRITE_P, NEO_FAULT_IO_FAIL_P,
+  /// NEO_FAULT_IO_TRUNCATE_AT. Unset numeric vars keep the defaults below
+  /// (a moderate all-faults mix; truncation stays off), so CI arms can
+  /// toggle the whole harness with NEO_FAULT_INJECT=1 NEO_FAULT_SEED=<k>
+  /// alone.
   static FaultInjectorConfig FromEnv();
 };
 
@@ -59,6 +74,8 @@ class FaultInjector {
     kLatencySpike = 0x11,
     kExecFailure = 0x22,
     kWeightCorruption = 0x33,
+    kIoShortWrite = 0x44,
+    kIoFailure = 0x55,
   };
 
   FaultInjector() = default;
@@ -77,6 +94,36 @@ class FaultInjector {
 
   /// True if the retrain identified by `step_key` should corrupt weights.
   bool DrawWeightCorruption(uint64_t step_key);
+
+  /// True if this write to the file stream identified by `file_key` should
+  /// fail outright (simulated EIO).
+  bool DrawIoFailure(uint64_t file_key);
+
+  /// Returns the number of bytes of an `intended`-byte write that actually
+  /// land (a short write leaves a uniformly-drawn strict prefix; most writes
+  /// land whole). Never returns `intended` when a short write fires on a
+  /// write of >= 1 bytes.
+  size_t PerturbWriteLength(uint64_t file_key, size_t intended);
+
+  /// Crash-point byte budget for store writers (-1 = unlimited); see
+  /// FaultInjectorConfig::io_truncate_at.
+  int64_t io_truncate_at() const { return config_.io_truncate_at; }
+
+  /// Advances the shared store-I/O byte odometer by `intended` and returns
+  /// how many of those bytes land before the crash budget (io_truncate_at)
+  /// runs out — `intended` when the budget is off or not yet reached, 0 once
+  /// it is exhausted. Emulates a process kill at one exact byte of the
+  /// store's cumulative write stream.
+  size_t ConsumeIoBudget(size_t intended);
+
+  size_t io_failures() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return io_failures_;
+  }
+  size_t io_short_writes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return io_short_writes_;
+  }
 
   size_t latency_spikes() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -106,6 +153,10 @@ class FaultInjector {
   size_t spikes_ = 0;
   size_t failures_ = 0;
   size_t corruptions_ = 0;
+  size_t io_failures_ = 0;
+  size_t io_short_writes_ = 0;
+  /// Cumulative bytes presented to ConsumeIoBudget (the crash-budget clock).
+  uint64_t io_bytes_ = 0;
 };
 
 }  // namespace neo::util

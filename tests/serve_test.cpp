@@ -6,10 +6,14 @@
 // CI arms run this whole file, so every test doubles as a race probe.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -590,6 +594,168 @@ TEST_F(ServeFixture, ConcurrentGuardedServesStayWithinWatchdogBound) {
     EXPECT_GE(b.neo->guard_stats().timeouts, 1);
   }
   b.engine->SetFaultInjector(nullptr);
+}
+
+// ---- Experience-store integration ------------------------------------------
+
+namespace {
+/// Scratch dir for durable-store serving tests (mirrors store_test's helper).
+class StoreTempDir {
+ public:
+  StoreTempDir() {
+    char buf[] = "/tmp/neo_serve_store_XXXXXX";
+    const char* p = ::mkdtemp(buf);
+    EXPECT_NE(p, nullptr);
+    path_ = p != nullptr ? p : "/tmp";
+  }
+  ~StoreTempDir() {
+    for (const char* f : {"/wal.log", "/snapshot.bin", "/snapshot.bin.tmp"}) {
+      ::unlink((path_ + f).c_str());
+    }
+    ::rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+}  // namespace
+
+TEST_F(ServeFixture, StoreObserveOnlyServingIsBitIdenticalToStoreless) {
+  // A store in learn mode (the steady state for fresh types) observes every
+  // serve but never redirects one: serving with it attached must be bitwise
+  // the storeless path. This is the store-disabled parity contract from the
+  // other side.
+  if (nn::UseReferenceKernels()) GTEST_SKIP() << "requires fast kernels";
+  const std::vector<const Query*> train = TrainSet();
+  const NeoConfig cfg = SmallConfig();
+
+  Rig a = MakeRig(train, cfg);
+  std::vector<double> plain_lat;
+  {
+    ServingOptions sopt;
+    sopt.workers = 1;
+    sopt.search = cfg.search;
+    ServingCore core(a.neo.get(), sopt);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const Query* q : train) {
+        plain_lat.push_back(core.ServeSync(*q, /*learn=*/true).latency_ms);
+      }
+    }
+    EXPECT_FALSE(core.stats().store_attached);
+  }
+
+  Rig b = MakeRig(train, cfg);
+  store::ExperienceStore store{store::StoreOptions{}};  // In-memory.
+  ASSERT_TRUE(store.Open().ok());
+  {
+    ServingOptions sopt;
+    sopt.workers = 1;
+    sopt.search = cfg.search;
+    sopt.store = &store;
+    ServingCore core(b.neo.get(), sopt);
+    for (size_t i = 0; i < plain_lat.size(); ++i) {
+      const Query& q = *train[i % train.size()];
+      const ServeResult r = core.ServeSync(q, /*learn=*/true);
+      EXPECT_EQ(r.latency_ms, plain_lat[i]) << "request " << i;  // Bitwise.
+      EXPECT_FALSE(r.served_from_store);
+    }
+    const ServingStats stats = core.stats();
+    EXPECT_TRUE(stats.store_attached);
+    EXPECT_EQ(stats.store_types_tracked, train.size());
+    EXPECT_EQ(stats.store_pinned_serves, 0u);
+  }
+  // Every serve was observed even though none was redirected.
+  EXPECT_EQ(store.stats().observations, plain_lat.size());
+}
+
+TEST_F(ServeFixture, ExploitModeServesPinnedPlanWithoutSearch) {
+  if (nn::UseReferenceKernels()) GTEST_SKIP() << "requires fast kernels";
+  const std::vector<const Query*> train = TrainSet();
+  const NeoConfig cfg = SmallConfig();
+  const Query& q = *train[0];
+
+  Rig b = MakeRig(train, cfg);
+  store::ExperienceStore store{store::StoreOptions{}};
+  ASSERT_TRUE(store.Open().ok());
+  ServingOptions sopt;
+  sopt.workers = 1;
+  sopt.search = cfg.search;
+  sopt.store = &store;
+  ServingCore core(b.neo.get(), sopt);
+
+  // First serve goes through search and captures the type's best plan.
+  const ServeResult learned = core.ServeSync(q, /*learn=*/true);
+  EXPECT_FALSE(learned.served_from_store);
+  store::TypeView v;
+  ASSERT_TRUE(store.ViewOf(q.type_hash, &v));
+  ASSERT_TRUE(v.has_best);
+  EXPECT_EQ(v.best_plan_hash, learned.plan_hash);
+
+  // Operator pins the type: subsequent serves skip search entirely and
+  // execute the best-known plan at the identical memoized latency.
+  ASSERT_TRUE(store.SetMode(q.type_hash, store::TypeMode::kExploit).ok());
+  const ServeResult pinned = core.ServeSync(q, /*learn=*/true);
+  EXPECT_TRUE(pinned.served_from_store);
+  EXPECT_EQ(pinned.plan_hash, learned.plan_hash);
+  EXPECT_EQ(pinned.latency_ms, learned.latency_ms);  // Bitwise (memoized).
+  EXPECT_EQ(pinned.plan_ms, 0.0);                    // No search ran.
+  EXPECT_EQ(static_cast<double>(pinned.predicted_cost),
+            static_cast<double>(static_cast<float>(v.best_latency_ms)));
+
+  const ServingStats stats = core.stats();
+  EXPECT_TRUE(stats.store_attached);
+  EXPECT_EQ(stats.store_pinned_serves, 1u);
+  EXPECT_GE(stats.store_exploit_serves, 1u);
+  EXPECT_GE(stats.store_mode_transitions, 1u);
+  EXPECT_GE(stats.store_types_tracked, 1u);
+}
+
+TEST_F(ServeFixture, StopUnderLoadDrainsInFlightAndMakesObservationsDurable) {
+  // Graceful-shutdown contract: Stop() accepts no new work but finishes every
+  // queued + in-flight request and flushes the store WAL before joining, so a
+  // restart recovers ALL accepted observations.
+  if (nn::UseReferenceKernels()) GTEST_SKIP() << "requires fast kernels";
+  const std::vector<const Query*> train = TrainSet();
+  const NeoConfig cfg = SmallConfig();
+  StoreTempDir tmp;
+  store::StoreOptions stopt;
+  stopt.dir = tmp.path();
+
+  Rig b = MakeRig(train, cfg);
+  size_t submitted = 0;
+  {
+    store::ExperienceStore store(stopt);
+    ASSERT_TRUE(store.Open().ok());
+    ServingOptions sopt;
+    sopt.workers = 4;
+    sopt.search = cfg.search;
+    sopt.store = &store;
+    sopt.store_sync_every = 1 << 20;  // Force Stop() to pay the final sync.
+    ServingCore core(b.neo.get(), sopt);
+    std::vector<std::future<ServeResult>> inflight;
+    for (int pass = 0; pass < 4; ++pass) {
+      for (const Query* q : train) {
+        inflight.push_back(core.Submit(*q, /*learn=*/true));
+        ++submitted;
+      }
+    }
+    core.Stop();  // While most of the queue is still pending.
+    for (std::future<ServeResult>& f : inflight) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+      EXPECT_GT(f.get().latency_ms, 0.0);
+    }
+    EXPECT_EQ(store.stats().observations, submitted);
+  }
+
+  // Restart: every accepted request's observation is in the recovered state.
+  store::ExperienceStore reopened(stopt);
+  const util::Status s = reopened.Open();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(reopened.NumTypes(), train.size());
+  uint64_t recovered_serves = 0;
+  for (const store::TypeView& v : reopened.View()) recovered_serves += v.serves;
+  EXPECT_EQ(recovered_serves, submitted);
 }
 
 }  // namespace
