@@ -21,8 +21,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <memory>
 #include <string>
 #include <thread>
@@ -34,6 +36,7 @@
 #include "src/serve/serving_core.h"
 #include "src/store/experience_store.h"
 #include "src/util/alloc_counter.h"
+#include "src/util/fault_injector.h"
 #include "src/util/stopwatch.h"
 
 namespace {
@@ -380,6 +383,110 @@ StoreServing MeasureStoreServing() {
   return r;
 }
 
+/// Overload arm: a 10x-the-cap burst against one deliberately stalled worker,
+/// with deadline-aware admission on — then the identical burst with admission
+/// OFF as the contrast. The acceptance bound this surfaces (and CI greps):
+/// every served request's queue wait stayed within its deadline (structural —
+/// expired requests are dropped at pickup, never executed), no future was
+/// abandoned, and the queue never grew past its cap; the no-admission
+/// baseline blows straight through that cap on the same trace.
+struct OverloadArm {
+  bool ran = false;
+  uint64_t submitted = 0;
+  uint64_t served = 0;
+  uint64_t abandoned_futures = 0;
+  bool bound_satisfied = false;
+  double deadline_ms = 0.0;
+  double queue_wait_p50_ms = 0.0;
+  double queue_wait_p99_ms = 0.0;
+  double served_queue_wait_max_ms = 0.0;
+  size_t queue_cap = 0;
+  size_t queue_depth_hwm = 0;
+  size_t baseline_hwm = 0;  ///< Same burst, admission disabled.
+  serve::ServingStats stats;
+};
+
+OverloadArm MeasureOverload() {
+  Fixture& f = Fixture::Get();
+  const core::NeoConfig cfg = Fixture::Config();
+  Rig rig = MakeRig(cfg);
+  rig.neo->Retrain();
+
+  util::FaultInjectorConfig fcfg;
+  fcfg.enabled = true;
+  fcfg.seed = 29;
+  fcfg.serve_stall_p = 1.0;  // Every serve stalls 1ms: sustained overload.
+  fcfg.serve_stall_ms = 1.0;
+
+  OverloadArm r;
+  r.queue_cap = 32;
+  r.deadline_ms = 250.0;
+  const int kBurst = static_cast<int>(r.queue_cap) * 10;
+
+  auto burst = [&](serve::ServingCore* core) {
+    std::vector<std::future<serve::ServeResult>> futures;
+    futures.reserve(static_cast<size_t>(kBurst));
+    for (int i = 0; i < kBurst; ++i) {
+      futures.push_back(core->Submit(
+          *f.train[static_cast<size_t>(i) % f.train.size()], /*learn=*/false));
+    }
+    return futures;
+  };
+
+  {
+    util::FaultInjector chaos(fcfg);
+    serve::ServingOptions sopt;
+    sopt.workers = 1;
+    sopt.search = cfg.search;
+    sopt.fault_injector = &chaos;
+    sopt.admission.enabled = true;
+    sopt.admission.queue_cap = r.queue_cap;
+    sopt.admission.default_deadline_ms = r.deadline_ms;
+    serve::ServingCore core(rig.neo.get(), sopt);
+
+    std::vector<std::future<serve::ServeResult>> futures = burst(&core);
+    core.Drain();
+    bool within_deadline = true;
+    for (std::future<serve::ServeResult>& fu : futures) {
+      if (fu.wait_for(std::chrono::seconds(30)) != std::future_status::ready) {
+        ++r.abandoned_futures;  // Should be structurally impossible.
+        continue;
+      }
+      const serve::ServeResult res = fu.get();
+      if (res.status.ok()) {
+        if (res.queue_ms > r.deadline_ms) within_deadline = false;
+        r.served_queue_wait_max_ms =
+            std::max(r.served_queue_wait_max_ms, res.queue_ms);
+      }
+    }
+    r.stats = core.stats();
+    r.submitted = r.stats.requests;
+    r.served = r.stats.total_latency.count();
+    r.queue_depth_hwm = r.stats.queue_depth_hwm;
+    r.queue_wait_p50_ms = r.stats.queue_wait.Percentile(50);
+    r.queue_wait_p99_ms = r.stats.queue_wait.Percentile(99);
+    r.bound_satisfied = within_deadline && r.abandoned_futures == 0 &&
+                        r.queue_depth_hwm <= r.queue_cap && r.served > 0;
+  }
+
+  // The contrast: the same burst with admission disabled has no cap and no
+  // deadline — the backlog (and so tail queue wait) grows with the burst.
+  {
+    util::FaultInjector chaos(fcfg);
+    serve::ServingOptions bopt;
+    bopt.workers = 1;
+    bopt.search = cfg.search;
+    bopt.fault_injector = &chaos;
+    serve::ServingCore baseline(rig.neo.get(), bopt);
+    std::vector<std::future<serve::ServeResult>> futures = burst(&baseline);
+    for (std::future<serve::ServeResult>& fu : futures) fu.wait();
+    baseline.Drain();
+    r.baseline_hwm = baseline.stats().queue_depth_hwm;
+  }
+  r.ran = true;
+  return r;
+}
+
 void AppendArmJson(std::FILE* out, const ArmResult& r, bool last) {
   std::fprintf(out,
                "    {\"clients\": %d, \"coalesced\": %s, \"workers\": %d,"
@@ -443,6 +550,7 @@ void WriteServeJson(const std::string& path, int reps) {
   const RetrainOverlap overlap = MeasureRetrainOverlap();
   const SteadyState steady = MeasureSteadyState();
   const StoreServing store_arm = MeasureStoreServing();
+  const OverloadArm ov = MeasureOverload();
   const bool zero_alloc = !steady.counter_active || steady.heap_allocs == 0;
 
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -480,7 +588,20 @@ void WriteServeJson(const std::string& path, int reps) {
                " \"store_exploit_serves\": %llu,"
                " \"store_drift_demotions\": %llu,"
                " \"store_pinned_serves\": %llu, \"store_wal_records\": %llu,"
-               " \"pinned_qps\": %.2f}\n"
+               " \"pinned_qps\": %.2f},\n"
+               "  \"overload_bound_satisfied\": %s,\n"
+               "  \"abandoned_futures\": %llu,\n"
+               "  \"overload\": {\"submitted\": %llu, \"admitted\": %llu,"
+               " \"served\": %llu, \"shed_admission\": %llu,"
+               " \"shed_queue_full\": %llu, \"evicted_lower_priority\": %llu,"
+               " \"expired_at_admission\": %llu, \"expired_in_queue\": %llu,"
+               " \"worker_exceptions\": %llu, \"degraded_budget_serves\": %llu,"
+               " \"degraded_pinned_serves\": %llu, \"ladder_transitions\": %llu,"
+               " \"ladder_entries_l1\": %llu, \"ladder_entries_l2\": %llu,"
+               " \"ladder_entries_l3\": %llu, \"deadline_ms\": %.1f,"
+               " \"queue_wait_p50_ms\": %.4f, \"queue_wait_p99_ms\": %.4f,"
+               " \"served_queue_wait_max_ms\": %.4f, \"queue_cap\": %zu,"
+               " \"queue_depth_hwm\": %zu, \"no_admission_hwm\": %zu}\n"
                "}\n",
                bit_identical ? "true" : "false", qps_scaling_ok ? "true" : "false",
                coalesce_speedup, steady.counter_active ? "true" : "false",
@@ -496,7 +617,26 @@ void WriteServeJson(const std::string& path, int reps) {
                static_cast<unsigned long long>(store_arm.drift_demotions),
                static_cast<unsigned long long>(store_arm.pinned_serves),
                static_cast<unsigned long long>(store_arm.wal_records),
-               store_arm.pinned_qps);
+               store_arm.pinned_qps, ov.bound_satisfied ? "true" : "false",
+               static_cast<unsigned long long>(ov.abandoned_futures),
+               static_cast<unsigned long long>(ov.submitted),
+               static_cast<unsigned long long>(ov.stats.admitted),
+               static_cast<unsigned long long>(ov.served),
+               static_cast<unsigned long long>(ov.stats.shed_admission),
+               static_cast<unsigned long long>(ov.stats.shed_queue_full),
+               static_cast<unsigned long long>(ov.stats.evicted_lower_priority),
+               static_cast<unsigned long long>(ov.stats.expired_at_admission),
+               static_cast<unsigned long long>(ov.stats.expired_in_queue),
+               static_cast<unsigned long long>(ov.stats.worker_exceptions),
+               static_cast<unsigned long long>(ov.stats.degraded_budget_serves),
+               static_cast<unsigned long long>(ov.stats.degraded_pinned_serves),
+               static_cast<unsigned long long>(ov.stats.ladder_transitions),
+               static_cast<unsigned long long>(ov.stats.ladder_level_entries[1]),
+               static_cast<unsigned long long>(ov.stats.ladder_level_entries[2]),
+               static_cast<unsigned long long>(ov.stats.ladder_level_entries[3]),
+               ov.deadline_ms, ov.queue_wait_p50_ms, ov.queue_wait_p99_ms,
+               ov.served_queue_wait_max_ms, ov.queue_cap, ov.queue_depth_hwm,
+               ov.baseline_hwm);
   std::fclose(out);
 
   std::printf(
@@ -505,7 +645,9 @@ void WriteServeJson(const std::string& path, int reps) {
       " single-client bit-identical: %s; steady-state allocs %llu"
       " (slab peak %zu B); %llu serves overlapped %d retrains"
       " (generation %llu); store arm: %llu types, %llu pinned serves at"
-      " %.0f qps -> %s\n",
+      " %.0f qps; overload: %llu/%llu served under a 10x burst (hwm %zu/cap"
+      " %zu vs %zu unbounded, served-wait max %.1f ms vs %.0f ms deadline,"
+      " bound %s, %llu abandoned) -> %s\n",
       qps_1, qps_multi_best, hw, qps_scaling_ok ? "yes" : "NO", coalesce_speedup,
       bit_identical ? "yes" : "NO",
       static_cast<unsigned long long>(steady.heap_allocs), steady.slab_peak_bytes,
@@ -513,7 +655,11 @@ void WriteServeJson(const std::string& path, int reps) {
       overlap.retrains, static_cast<unsigned long long>(overlap.final_generation),
       static_cast<unsigned long long>(store_arm.types_tracked),
       static_cast<unsigned long long>(store_arm.pinned_serves),
-      store_arm.pinned_qps, path.c_str());
+      store_arm.pinned_qps, static_cast<unsigned long long>(ov.served),
+      static_cast<unsigned long long>(ov.submitted), ov.queue_depth_hwm,
+      ov.queue_cap, ov.baseline_hwm, ov.served_queue_wait_max_ms,
+      ov.deadline_ms, ov.bound_satisfied ? "yes" : "NO",
+      static_cast<unsigned long long>(ov.abandoned_futures), path.c_str());
 }
 
 }  // namespace

@@ -178,6 +178,17 @@ class Neo {
   }
   double Baseline(int query_id) const;
 
+  /// The bootstrap expert plan recorded for `fingerprint`, or nullptr when
+  /// none exists. This is what the circuit breaker serves while open, and
+  /// what the serving core's degradation ladder serves at its no-search
+  /// level when the experience store has no best-known plan. The map is
+  /// populated only by Bootstrap (which must precede serving), so reading it
+  /// concurrently from request workers is safe.
+  const plan::PartialPlan* FallbackPlan(uint64_t fingerprint) const {
+    const auto it = fallback_plans_.find(fingerprint);
+    return it == fallback_plans_.end() ? nullptr : &it->second;
+  }
+
   Experience& experience() { return experience_; }
   nn::ValueNetwork& net() { return *net_; }
   PlanSearch& search() { return search_; }

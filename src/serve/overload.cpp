@@ -1,0 +1,33 @@
+#include "src/serve/overload.h"
+
+#include <algorithm>
+
+namespace neo::serve {
+
+int DegradationController::Observe(double queue_wait_ms, double deadline_ms,
+                                   size_t depth, size_t cap) {
+  if (!options_.enabled) return 0;
+  double x = cap > 0 ? static_cast<double>(depth) / static_cast<double>(cap) : 0.0;
+  if (deadline_ms > 0.0) x = std::max(x, queue_wait_ms / deadline_ms);
+  x = std::min(x, options_.max_observation);
+  pressure_ += options_.ewma_alpha * (x - pressure_);
+
+  ++dwell_;
+  if (dwell_ < options_.min_dwell) return level_;
+  int target = level_;
+  if (level_ < 3 && pressure_ >= options_.rise[static_cast<size_t>(level_)]) {
+    target = level_ + 1;  // One step at a time: dwell re-arms per level.
+  } else if (level_ > 0 &&
+             pressure_ < options_.fall[static_cast<size_t>(level_ - 1)]) {
+    target = level_ - 1;
+  }
+  if (target != level_) {
+    level_ = target;
+    dwell_ = 0;
+    ++transitions_;
+    ++entries_[static_cast<size_t>(target)];
+  }
+  return level_;
+}
+
+}  // namespace neo::serve

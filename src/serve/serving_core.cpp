@@ -1,7 +1,11 @@
 #include "src/serve/serving_core.h"
 
 #include <algorithm>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "src/util/status.h"
 
@@ -25,6 +29,23 @@ ServingCore::ServingCore(core::Neo* neo, ServingOptions options)
     // consultation happens in ServeOne before search.
     neo_->SetExperienceStore(options_.store);
   }
+  if (options_.admission.enabled && options_.admission.ladder.enabled) {
+    controller_ =
+        std::make_unique<DegradationController>(options_.admission.ladder);
+  }
+  // Level-1 budget: a real search, just a cheaper one. Derived once so the
+  // worker's per-request choice is a pointer pick, not a recompute.
+  degraded_search_ = options_.search;
+  const LadderOptions& ladder = options_.admission.ladder;
+  if (degraded_search_.max_expansions > 0) {
+    degraded_search_.max_expansions =
+        std::max(1, degraded_search_.max_expansions /
+                        std::max(1, ladder.l1_expansion_divisor));
+  } else {
+    degraded_search_.max_expansions = std::max(1, ladder.l1_unlimited_expansions);
+  }
+  degraded_search_.speculation =
+      std::max(1, std::min(degraded_search_.speculation, ladder.l1_speculation));
   rcu_.Publish(neo_->net());
   searches_.reserve(static_cast<size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
@@ -39,17 +60,112 @@ ServingCore::ServingCore(core::Neo* neo, ServingOptions options)
 
 ServingCore::~ServingCore() { Stop(); }
 
+void ServingCore::FailTask(Task&& task, util::Status status, int level) {
+  ServeResult r;
+  r.queue_ms = task.queued.ElapsedMs();
+  r.status = std::move(status);
+  r.ladder_level = level;
+  task.promise.set_value(std::move(r));
+}
+
 std::future<ServeResult> ServingCore::Submit(const query::Query& query,
-                                             bool learn) {
+                                             bool learn,
+                                             const SubmitOptions& submit) {
+  const AdmissionOptions& adm = options_.admission;
   Task task;
   task.query = &query;
   task.learn = learn;
+  task.deadline_ms = submit.deadline_ms > 0.0 ? submit.deadline_ms
+                                              : adm.default_deadline_ms;
+  task.priority = submit.priority;
   std::future<ServeResult> future = task.promise.get_future();
+  // Tasks failed under the lock complete their futures after it drops.
+  std::vector<Task> failed_expired;
+  Task failed_victim;
+  bool have_victim = false;
+  util::Status reject;  // Ok = admitted.
+  int level = 0;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    NEO_CHECK_MSG(!stopping_, "Submit after Stop");
     ++requests_;
-    queue_.push_back(std::move(task));
+    task.seq = requests_;
+    if (stopping_) {
+      ++rejected_post_stop_;
+      reject = util::Status::FailedPrecondition("Submit after Stop");
+    } else if (adm.enabled) {
+      level = controller_ != nullptr ? controller_->level() : 0;
+      if (level >= 3) {
+        // Level 3 admits nothing, so pickups — the controller's usual
+        // observation source — stop once the queue drains, and the ladder
+        // could never recover. Fold the shed arrival itself as an
+        // observation (depth pressure only; it never waited), so an idle
+        // system decays pressure and re-opens admission.
+        level = controller_->Observe(/*queue_wait_ms=*/0.0,
+                                     /*deadline_ms=*/0.0, queue_.size(),
+                                     adm.queue_cap);
+      }
+      if (level >= 3) {
+        // The ladder's terminal level: protect queued work by refusing new
+        // work outright — the cheapest possible serve of this request.
+        ++shed_admission_;
+        reject = util::Status::ResourceExhausted("overload: shedding at admission");
+      } else if (adm.queue_cap > 0 && queue_.size() >= adm.queue_cap) {
+        if (adm.policy == ShedPolicy::kEvictExpiredFirst) {
+          // Past-deadline queued requests can never be served in time;
+          // evicting them first converts dead queue slots into live ones.
+          for (auto it = queue_.begin(); it != queue_.end();) {
+            if (it->deadline_ms > 0.0 &&
+                it->queued.ElapsedMs() > it->deadline_ms) {
+              ++expired_at_admission_;
+              failed_expired.push_back(std::move(*it));
+              it = queue_.erase(it);
+            } else {
+              ++it;
+            }
+          }
+        }
+        if (queue_.size() >= adm.queue_cap) {
+          // Priority shed: a strictly higher-priority arrival evicts the
+          // lowest-priority queued request; ties keep what is queued.
+          auto victim = queue_.end();
+          for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (it->priority < task.priority &&
+                (victim == queue_.end() || it->priority < victim->priority)) {
+              victim = it;
+            }
+          }
+          if (victim != queue_.end()) {
+            ++evicted_lower_priority_;
+            failed_victim = std::move(*victim);
+            have_victim = true;
+            queue_.erase(victim);
+          } else {
+            ++shed_queue_full_;
+            reject = util::Status::ResourceExhausted("overload: queue full");
+          }
+        }
+      }
+    }
+    if (reject.ok()) {
+      ++admitted_;
+      queue_.push_back(std::move(task));
+      queue_depth_hwm_ = std::max(queue_depth_hwm_, queue_.size());
+    }
+  }
+  for (Task& t : failed_expired) {
+    FailTask(std::move(t),
+             util::Status::DeadlineExceeded("deadline passed while queued"),
+             level);
+  }
+  if (have_victim) {
+    FailTask(std::move(failed_victim),
+             util::Status::ResourceExhausted(
+                 "overload: evicted for a higher-priority arrival"),
+             level);
+  }
+  if (!reject.ok()) {
+    FailTask(std::move(task), std::move(reject), level);
+    return future;
   }
   queue_cv_.notify_one();
   return future;
@@ -102,17 +218,75 @@ void ServingCore::Stop() {
 
 void ServingCore::WorkerLoop(int worker_index) {
   core::PlanSearch& search = *searches_[static_cast<size_t>(worker_index)];
+  const bool admission = options_.admission.enabled;
   for (;;) {
     Task task;
+    int level = 0;
+    bool expired = false;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // Stopping and fully drained.
       task = std::move(queue_.front());
       queue_.pop_front();
-      ++in_flight_;
+      task.picked_wait_ms = task.queued.ElapsedMs();
+      if (controller_ != nullptr) {
+        // One pickup = one controller observation (under the queue mutex,
+        // so the observation sequence is totally ordered).
+        level = controller_->Observe(task.picked_wait_ms, task.deadline_ms,
+                                     queue_.size(), options_.admission.queue_cap);
+      }
+      expired = admission && task.deadline_ms > 0.0 &&
+                task.picked_wait_ms > task.deadline_ms;
+      if (expired) {
+        // The caller stopped waiting before we could start: drop without
+        // executing. This is what makes queue_ms <= deadline structural for
+        // every request that does execute.
+        if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
+      } else {
+        ++in_flight_;
+      }
     }
-    ServeResult result = ServeOne(search, task);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      queue_wait_hist_.Record(task.picked_wait_ms);
+    }
+    if (expired) {
+      expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+      FailTask(std::move(task),
+               util::Status::DeadlineExceeded("deadline passed while queued"),
+               level);
+      continue;
+    }
+    ServeResult result;
+    // Crash containment: a throwing serve fails only this request's future;
+    // the worker (and every other queued request) survives.
+    try {
+      util::FaultInjector* chaos = options_.fault_injector;
+      if (chaos != nullptr) {
+        const double stall_ms = chaos->DrawServeStall(task.seq);
+        if (stall_ms > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(stall_ms));
+        }
+        if (chaos->DrawServeException(task.seq)) {
+          throw std::runtime_error("injected poisoned request");
+        }
+      }
+      result = ServeOne(search, task, level);
+    } catch (const std::exception& e) {
+      worker_exceptions_.fetch_add(1, std::memory_order_relaxed);
+      result = ServeResult();
+      result.queue_ms = task.picked_wait_ms;
+      result.ladder_level = level;
+      result.status = util::Status::Internal(e.what());
+    } catch (...) {
+      worker_exceptions_.fetch_add(1, std::memory_order_relaxed);
+      result = ServeResult();
+      result.queue_ms = task.picked_wait_ms;
+      result.ladder_level = level;
+      result.status = util::Status::Internal("unknown serve exception");
+    }
     task.promise.set_value(std::move(result));
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
@@ -122,9 +296,11 @@ void ServingCore::WorkerLoop(int worker_index) {
   }
 }
 
-ServeResult ServingCore::ServeOne(core::PlanSearch& search, const Task& task) {
+ServeResult ServingCore::ServeOne(core::PlanSearch& search, const Task& task,
+                                  int level) {
   ServeResult out;
-  out.queue_ms = task.queued.ElapsedMs();
+  out.queue_ms = task.picked_wait_ms;
+  out.ladder_level = level;
 
   store::ExperienceStore* store = options_.store;
   if (store != nullptr) {
@@ -152,6 +328,44 @@ ServeResult ServingCore::ServeOne(core::PlanSearch& search, const Task& task) {
     }
   }
 
+  if (level >= 2) {
+    // Ladder level 2: no search. Serve the store's best-known plan, else
+    // the query's bootstrap expert plan, through the guarded choke point
+    // (from_search=false so the store's mode machine sees it as pinned).
+    plan::PartialPlan pinned;
+    double pinned_latency_ms = 0.0;
+    bool have = store != nullptr &&
+                store->BestPlanFor(*task.query, &pinned, &pinned_latency_ms);
+    if (!have) {
+      const plan::PartialPlan* fb = neo_->FallbackPlan(task.query->fingerprint);
+      if (fb != nullptr) {
+        pinned = *fb;  // cheap: shared_ptr roots
+        pinned.query = task.query;
+        pinned_latency_ms = neo_->Baseline(task.query->id);
+        have = true;
+      }
+    }
+    if (have) {
+      out.degraded = true;
+      out.latency_ms = neo_->Serve(*task.query, pinned, task.learn,
+                                   /*from_search=*/false);
+      out.predicted_cost = static_cast<float>(pinned_latency_ms);
+      out.plan_hash = pinned.Hash();
+      out.generation = rcu_.generation();
+      out.total_ms = task.queued.ElapsedMs();
+      degraded_pinned_serves_.fetch_add(1, std::memory_order_relaxed);
+      MaybeSyncStore();
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        total_hist_.Record(out.total_ms);
+        plan_hist_.Record(out.plan_ms);
+      }
+      return out;
+    }
+    // No pinned plan known for this type: fall through to a reduced-budget
+    // search — still strictly cheaper than full service.
+  }
+
   const ModelRcu::Ref ref = rcu_.Acquire();
   NEO_CHECK(ref.net != nullptr);
   out.generation = ref.generation;
@@ -161,10 +375,29 @@ ServeResult ServingCore::ServeOne(core::PlanSearch& search, const Task& task) {
   search.SetSharedCaches(caches_.get(), ref.generation);
   search.SetBatchScorer(coalescer_.get());
 
+  const bool reduced_budget = level >= 1;
+  if (reduced_budget) {
+    out.degraded = true;
+    degraded_budget_serves_.fetch_add(1, std::memory_order_relaxed);
+  }
   util::Stopwatch plan_watch;
-  if (coalescer_ != nullptr) coalescer_->BeginSearch();
-  core::SearchResult found = search.FindPlan(*task.query, options_.search);
-  if (coalescer_ != nullptr) coalescer_->EndSearch();
+  // RAII bracket so a throwing search (crash containment) never leaves the
+  // coalescer's active count stuck.
+  struct SearchBracket {
+    BatchCoalescer* c;
+    explicit SearchBracket(BatchCoalescer* coalescer) : c(coalescer) {
+      if (c != nullptr) c->BeginSearch();
+    }
+    ~SearchBracket() {
+      if (c != nullptr) c->EndSearch();
+    }
+  };
+  core::SearchResult found;
+  {
+    SearchBracket bracket(coalescer_.get());
+    found = search.FindPlan(*task.query,
+                            reduced_budget ? degraded_search_ : options_.search);
+  }
   out.plan_ms = plan_watch.ElapsedMs();
 
   out.latency_ms = neo_->Serve(*task.query, found.plan, task.learn);
@@ -189,11 +422,30 @@ ServingStats ServingCore::stats() const {
     std::lock_guard<std::mutex> lock(stats_mu_);
     s.total_latency = total_hist_;
     s.plan_latency = plan_hist_;
+    s.queue_wait = queue_wait_hist_;
   }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     s.requests = requests_;
+    s.admitted = admitted_;
+    s.shed_admission = shed_admission_;
+    s.shed_queue_full = shed_queue_full_;
+    s.evicted_lower_priority = evicted_lower_priority_;
+    s.expired_at_admission = expired_at_admission_;
+    s.rejected_post_stop = rejected_post_stop_;
+    s.queue_depth_hwm = queue_depth_hwm_;
+    if (controller_ != nullptr) {
+      s.ladder_level = controller_->level();
+      s.ladder_transitions = controller_->transitions();
+      s.ladder_level_entries = controller_->level_entries();
+    }
   }
+  s.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
+  s.degraded_budget_serves =
+      degraded_budget_serves_.load(std::memory_order_relaxed);
+  s.degraded_pinned_serves =
+      degraded_pinned_serves_.load(std::memory_order_relaxed);
+  s.worker_exceptions = worker_exceptions_.load(std::memory_order_relaxed);
   s.generation = rcu_.generation();
   if (coalescer_ != nullptr) s.coalescer = coalescer_->stats();
   if (caches_ != nullptr) {

@@ -351,6 +351,27 @@ Decision ExperienceStore::Decide(const query::Query& query) {
   return d;
 }
 
+bool ExperienceStore::BestPlanFor(const query::Query& query,
+                                  plan::PartialPlan* out, double* latency_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = types_.find(query.type_hash);
+  if (it == types_.end() || !it->second.has_best) return false;
+  TypeState& t = it->second;
+  if (!t.decoded_valid) {
+    ByteReader r(t.best_plan_bytes.data(), t.best_plan_bytes.size());
+    util::Status s = DecodePlan(&r, query, &t.decoded_best);
+    if (!s.ok()) {
+      ++stats_.plan_decode_failures;
+      return false;
+    }
+    t.decoded_valid = true;
+  }
+  *out = t.decoded_best;  // cheap: shared_ptr roots
+  out->query = &query;
+  if (latency_ms != nullptr) *latency_ms = t.best_latency_ms;
+  return true;
+}
+
 void ExperienceStore::RecordServe(const query::Query& query,
                                   const plan::PartialPlan& plan,
                                   double latency_ms, bool from_search) {

@@ -236,6 +236,14 @@ class ExperienceStore : public featurize::CardCorrectionSource {
   /// set to `&query` and the plan is ready to execute.
   Decision Decide(const query::Query& query);
 
+  /// Fetches the type's best-known plan regardless of mode (Decide only
+  /// pins in exploit/frozen; this also serves learn-mode types). Used by
+  /// the serving core's degradation ladder for no-search degraded serves.
+  /// False when the type is unknown, has no best plan, or the stored bytes
+  /// fail structural decode. On success `out->query` is set to `&query`.
+  bool BestPlanFor(const query::Query& query, plan::PartialPlan* out,
+                   double* latency_ms);
+
   /// Records one executed serve. `from_search`: the plan came from a live
   /// search (learn-mode serve), as opposed to a pinned/fallback plan.
   /// Complete searched plans that beat the type's best are captured as the

@@ -24,6 +24,13 @@ FaultInjectorConfig FaultInjectorConfig::FromEnv() {
   cfg.io_failure_p = EnvDouble("NEO_FAULT_IO_FAIL_P", 0.02);
   cfg.io_truncate_at =
       static_cast<int64_t>(EnvDouble("NEO_FAULT_IO_TRUNCATE_AT", -1.0));
+  // Overload sites default OFF (see the config notes): only the overload
+  // chaos arm sets these, so the general faults arm is unaffected.
+  cfg.arrival_burst_p = EnvDouble("NEO_FAULT_BURST_P", 0.0);
+  cfg.arrival_burst_len = static_cast<int>(EnvDouble("NEO_FAULT_BURST_LEN", 8.0));
+  cfg.serve_stall_p = EnvDouble("NEO_FAULT_STALL_P", 0.0);
+  cfg.serve_stall_ms = EnvDouble("NEO_FAULT_STALL_MS", 0.0);
+  cfg.serve_exception_p = EnvDouble("NEO_FAULT_EXC_P", 0.0);
   return cfg;
 }
 
@@ -78,6 +85,29 @@ size_t FaultInjector::ConsumeIoBudget(size_t intended) {
   if (before >= budget) return 0;
   const uint64_t room = budget - before;
   return room >= intended ? intended : static_cast<size_t>(room);
+}
+
+int FaultInjector::DrawArrivalBurst(uint64_t client_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!Draw(Site::kArrivalBurst, client_key, config_.arrival_burst_p)) return 0;
+  ++bursts_;
+  return config_.arrival_burst_len > 0 ? config_.arrival_burst_len : 0;
+}
+
+double FaultInjector::DrawServeStall(uint64_t request_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!Draw(Site::kServeStall, request_key, config_.serve_stall_p)) return 0.0;
+  ++stalls_;
+  return config_.serve_stall_ms;
+}
+
+bool FaultInjector::DrawServeException(uint64_t request_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!Draw(Site::kServeException, request_key, config_.serve_exception_p)) {
+    return false;
+  }
+  ++serve_exceptions_;
+  return true;
 }
 
 size_t FaultInjector::PerturbWriteLength(uint64_t file_key, size_t intended) {

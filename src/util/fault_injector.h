@@ -54,6 +54,21 @@ struct FaultInjectorConfig {
   /// silently drops every byte past this cumulative offset — emulating a
   /// process kill at that exact byte of the file's lifetime. -1 = off.
   int64_t io_truncate_at = -1;
+  // Serving-overload sites (all off by default, including under FromEnv —
+  // they fire only where the overload chaos harness arms them explicitly,
+  // so the general faults CI arm stays byte-identical to its pre-overload
+  // behavior).
+  /// Per-arrival probability that a client begins a burst: the arrival is
+  /// amplified into `burst_len` back-to-back submissions.
+  double arrival_burst_p = 0.0;
+  int arrival_burst_len = 8;
+  /// Per-request probability that the serving worker stalls for
+  /// `serve_stall_ms` before serving (an interference / slow-serve stall).
+  double serve_stall_p = 0.0;
+  double serve_stall_ms = 0.0;
+  /// Per-request probability that the serve body throws (a poisoned
+  /// request); the worker must contain it to that request's future.
+  double serve_exception_p = 0.0;
 
   /// Parses the NEO_FAULT_* environment: NEO_FAULT_INJECT (enable, "0" off),
   /// NEO_FAULT_SEED, NEO_FAULT_SPIKE_P, NEO_FAULT_SPIKE_FACTOR,
@@ -62,7 +77,10 @@ struct FaultInjectorConfig {
   /// NEO_FAULT_IO_TRUNCATE_AT. Unset numeric vars keep the defaults below
   /// (a moderate all-faults mix; truncation stays off), so CI arms can
   /// toggle the whole harness with NEO_FAULT_INJECT=1 NEO_FAULT_SEED=<k>
-  /// alone.
+  /// alone. The serving-overload sites read NEO_FAULT_BURST_P,
+  /// NEO_FAULT_BURST_LEN, NEO_FAULT_STALL_P, NEO_FAULT_STALL_MS, and
+  /// NEO_FAULT_EXC_P but default to OFF (0) when unset — the overload chaos
+  /// arm sets them explicitly.
   static FaultInjectorConfig FromEnv();
 };
 
@@ -76,6 +94,9 @@ class FaultInjector {
     kWeightCorruption = 0x33,
     kIoShortWrite = 0x44,
     kIoFailure = 0x55,
+    kArrivalBurst = 0x66,
+    kServeStall = 0x77,
+    kServeException = 0x88,
   };
 
   FaultInjector() = default;
@@ -109,6 +130,18 @@ class FaultInjector {
   /// FaultInjectorConfig::io_truncate_at.
   int64_t io_truncate_at() const { return config_.io_truncate_at; }
 
+  /// Number of extra back-to-back submissions this arrival of `client_key`
+  /// should be amplified into (0 = no burst). Drives overload-harness
+  /// arrival shaping; the draw stream is per-client occurrence-indexed.
+  int DrawArrivalBurst(uint64_t client_key);
+
+  /// Stall (ms) the worker should sleep before serving `request_key`
+  /// (0 = none). Emulates a slow serve / interference stall.
+  double DrawServeStall(uint64_t request_key);
+
+  /// True if serving `request_key` should throw (a poisoned request).
+  bool DrawServeException(uint64_t request_key);
+
   /// Advances the shared store-I/O byte odometer by `intended` and returns
   /// how many of those bytes land before the crash budget (io_truncate_at)
   /// runs out — `intended` when the budget is off or not yet reached, 0 once
@@ -137,6 +170,18 @@ class FaultInjector {
     std::lock_guard<std::mutex> lock(mu_);
     return corruptions_;
   }
+  size_t arrival_bursts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bursts_;
+  }
+  size_t serve_stalls() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stalls_;
+  }
+  size_t serve_exceptions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return serve_exceptions_;
+  }
 
  private:
   /// One deterministic Bernoulli draw: hash(seed, site, key, occurrence).
@@ -155,6 +200,9 @@ class FaultInjector {
   size_t corruptions_ = 0;
   size_t io_failures_ = 0;
   size_t io_short_writes_ = 0;
+  size_t bursts_ = 0;
+  size_t stalls_ = 0;
+  size_t serve_exceptions_ = 0;
   /// Cumulative bytes presented to ConsumeIoBudget (the crash-budget clock).
   uint64_t io_bytes_ = 0;
 };

@@ -21,6 +21,8 @@ class Status {
     kDeadlineExceeded,  ///< Execution watchdog cut the operation off.
     kAborted,           ///< Execution died mid-flight (e.g. injected failure).
     kDataLoss,          ///< Persistent data is truncated or corrupted.
+    kResourceExhausted, ///< Admission control shed the request (queue full /
+                        ///< overload ladder at its shedding level).
   };
 
   Status() : code_(Code::kOk) {}
@@ -39,6 +41,9 @@ class Status {
   }
   static Status Aborted(std::string msg) { return Status(Code::kAborted, std::move(msg)); }
   static Status DataLoss(std::string msg) { return Status(Code::kDataLoss, std::move(msg)); }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -56,6 +61,7 @@ class Status {
       case Code::kDeadlineExceeded: name = "DEADLINE_EXCEEDED"; break;
       case Code::kAborted: name = "ABORTED"; break;
       case Code::kDataLoss: name = "DATA_LOSS"; break;
+      case Code::kResourceExhausted: name = "RESOURCE_EXHAUSTED"; break;
     }
     return std::string(name) + ": " + message_;
   }
